@@ -1,0 +1,70 @@
+//! Generation-path benchmarks: prompt construction, the simulated chat
+//! completion, the guardrail chain, and the full ask() flow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniask_core::app::UniAsk;
+use uniask_core::config::UniAskConfig;
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::scale::CorpusScale;
+use uniask_guardrails::chain::GuardrailChain;
+use uniask_llm::model::{ChatModel, SimLlm, SimLlmConfig};
+use uniask_llm::prompt::{ContextChunk, PromptBuilder};
+
+fn context() -> Vec<ContextChunk> {
+    (1..=4)
+        .map(|k| ContextChunk {
+            key: k,
+            title: format!("Documento {k}"),
+            content: "La procedura di apertura del conto corrente richiede la verifica \
+                      dell'anagrafica del cliente e la firma del modulo contrattuale presso \
+                      la filiale di competenza. Il limite operativo è pari a 5.000 euro."
+                .to_string(),
+        })
+        .collect()
+}
+
+fn bench_prompt(c: &mut Criterion) {
+    let builder = PromptBuilder::default();
+    let chunks = context();
+    c.bench_function("prompt/build_m4", |b| {
+        b.iter(|| black_box(builder.build(black_box("qual è il limite del conto?"), &chunks).prompt_tokens()))
+    });
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let builder = PromptBuilder::default();
+    let chunks = context();
+    let request = builder.build("qual è il limite operativo del conto corrente?", &chunks);
+    let llm = SimLlm::new(SimLlmConfig::default());
+    c.bench_function("llm/complete_extractive", |b| {
+        b.iter(|| black_box(llm.complete(black_box(&request)).expect("ok").usage.completion_tokens))
+    });
+}
+
+fn bench_guardrails(c: &mut Criterion) {
+    let chain = GuardrailChain::new();
+    let chunks = context();
+    let answer = "Il limite operativo è pari a 5.000 euro [doc_1]. La procedura richiede la \
+                  verifica dell'anagrafica del cliente [doc_2].";
+    c.bench_function("guardrails/check_answer", |b| {
+        b.iter(|| black_box(chain.check_answer(black_box(answer), &chunks).delivered()))
+    });
+}
+
+fn bench_ask(c: &mut Criterion) {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 19).generate();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    c.bench_function("e2e/ask_full_flow_300_docs", |b| {
+        b.iter(|| {
+            black_box(
+                app.ask(black_box("qual è il massimale del trasferimento estero?"))
+                    .generation
+                    .answered(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_prompt, bench_completion, bench_guardrails, bench_ask);
+criterion_main!(benches);

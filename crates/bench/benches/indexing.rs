@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the inverted index: document addition and BM25
+//! query execution at corpus-like scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::scale::CorpusScale;
+use uniask_index::doc::IndexDocument;
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{ScoringProfile, Searcher};
+
+fn sample_docs(n: usize) -> Vec<IndexDocument> {
+    let kb = CorpusGenerator::new(
+        CorpusScale {
+            documents: n,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 8,
+        },
+        7,
+    )
+    .generate();
+    kb.documents
+        .iter()
+        .map(|d| {
+            IndexDocument::new()
+                .with_text("title", d.title.clone())
+                .with_text("content", d.body_text())
+        })
+        .collect()
+}
+
+fn build_index(docs: &[IndexDocument]) -> InvertedIndex {
+    let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+    for d in docs {
+        idx.add(d).expect("valid schema");
+    }
+    idx
+}
+
+fn bench_add(c: &mut Criterion) {
+    let docs = sample_docs(200);
+    c.bench_function("inverted_index/add_200_documents", |b| {
+        b.iter_batched(
+            || InvertedIndex::new(Schema::uniask_chunk_schema()),
+            |mut idx| {
+                for d in &docs {
+                    idx.add(black_box(d)).expect("valid");
+                }
+                black_box(idx.doc_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let docs = sample_docs(2000);
+    let idx = build_index(&docs);
+    let searcher = Searcher::new();
+    let profile = ScoringProfile::neutral();
+    c.bench_function("bm25/query_2000_docs_top50", |b| {
+        b.iter(|| {
+            black_box(
+                searcher
+                    .search(&idx, black_box("limite bonifico estero"), 50, &profile, None)
+                    .expect("search ok")
+                    .len(),
+            )
+        })
+    });
+    let boosted = ScoringProfile::title_boost(50.0);
+    c.bench_function("bm25/query_with_title_boost", |b| {
+        b.iter(|| {
+            black_box(
+                searcher
+                    .search(&idx, black_box("errore pos pagamento"), 50, &boosted, None)
+                    .expect("search ok")
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_add, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Persistence and ingestion benchmarks: snapshot encode/decode and
+//! sequential vs. parallel bulk ingest.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use uniask_core::app::UniAsk;
+use uniask_core::config::UniAskConfig;
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::kb::KnowledgeBase;
+use uniask_corpus::scale::CorpusScale;
+use uniask_search::reranker::SemanticReranker;
+use uniask_search::hybrid::SearchIndex;
+use uniask_vector::embedding::SyntheticEmbedder;
+use std::sync::Arc;
+
+fn kb(n: usize) -> KnowledgeBase {
+    CorpusGenerator::new(
+        CorpusScale {
+            documents: n,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 64,
+        },
+        23,
+    )
+    .generate()
+}
+
+fn app() -> UniAsk {
+    UniAsk::new(UniAskConfig {
+        embedding_dim: 64,
+        ..Default::default()
+    })
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let corpus = kb(400);
+    let mut group = c.benchmark_group("ingest_400_docs");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter_batched(
+            app,
+            |mut a| {
+                a.ingest(&corpus);
+                black_box(a.index().len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("parallel_all_cpus", |b| {
+        b.iter_batched(
+            app,
+            |mut a| {
+                a.ingest_parallel(&corpus, 0);
+                black_box(a.index().len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let corpus = kb(400);
+    let mut a = app();
+    a.ingest_parallel(&corpus, 0);
+    let snapshot = a.save_index();
+    let mut group = c.benchmark_group("snapshot_400_docs");
+    group.sample_size(20);
+    group.bench_function("save", |b| b.iter(|| black_box(a.save_index().len())));
+    group.bench_function("load", |b| {
+        b.iter(|| {
+            let embedder = Arc::new(SyntheticEmbedder::new(64, 0xBA5E_BA11));
+            black_box(
+                SearchIndex::load(black_box(&snapshot), embedder, SemanticReranker::default())
+                    .expect("valid snapshot")
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_snapshot);
+criterion_main!(benches);

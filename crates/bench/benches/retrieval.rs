@@ -1,0 +1,65 @@
+//! End-to-end retrieval benchmarks: the full HSS query path (text +
+//! two vector fields + RRF + semantic reranking) against the component
+//! ablations, on an ingested corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniask_core::app::UniAsk;
+use uniask_core::config::UniAskConfig;
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::scale::CorpusScale;
+use uniask_search::hybrid::HybridConfig;
+use uniask_search::rrf::rrf_fuse;
+
+fn system() -> UniAsk {
+    let kb = CorpusGenerator::new(
+        CorpusScale {
+            documents: 1500,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 64,
+        },
+        11,
+    )
+    .generate();
+    let mut app = UniAsk::new(UniAskConfig {
+        embedding_dim: 64,
+        ..Default::default()
+    });
+    app.ingest(&kb);
+    app
+}
+
+fn bench_hss(c: &mut Criterion) {
+    let app = system();
+    let query = "come posso bloccare la tessera smarrita di un correntista";
+    for (name, config) in [
+        ("hss", HybridConfig::default()),
+        ("text_only", HybridConfig::text_only()),
+        ("vector_only", HybridConfig::vector_only()),
+    ] {
+        let config = config.clone();
+        c.bench_function(&format!("retrieval/{name}_1500_docs"), |b| {
+            b.iter(|| {
+                black_box(
+                    app.index()
+                        .search_documents(black_box(query), &config)
+                        .len(),
+                )
+            })
+        });
+    }
+}
+
+fn bench_rrf(c: &mut Criterion) {
+    let rankings: Vec<Vec<u32>> = vec![
+        (0..50).collect(),
+        (25..40).collect(),
+        (10..25).collect(),
+    ];
+    c.bench_function("rrf/fuse_50_15_15", |b| {
+        b.iter(|| black_box(rrf_fuse(black_box(&rankings), 60.0).len()))
+    });
+}
+
+criterion_group!(benches, bench_hss, bench_rrf);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the text-analysis substrate: the Italian
+//! analyzer chain, ROUGE-L (the per-answer guardrail cost), and the two
+//! chunking strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+use uniask_text::html::parse_html;
+use uniask_text::rouge::rouge_l;
+use uniask_text::splitter::{HtmlParagraphSplitter, RecursiveCharacterTextSplitter, TextSplitter};
+
+const PARAGRAPH: &str = "La procedura di apertura del conto corrente aziendale richiede la \
+verifica dell'anagrafica del cliente, la raccolta della documentazione prevista dalla normativa \
+antiriciclaggio e la sottoscrizione del modulo contrattuale presso la filiale di competenza. In \
+caso di anomalia contattare l'assistenza applicativa aprendo una segnalazione tramite il portale.";
+
+fn long_html() -> String {
+    let mut html = String::from("<html><head><title>Pagina lunga</title></head><body><h1>Pagina lunga</h1>");
+    for i in 0..40 {
+        html.push_str(&format!("<p>{PARAGRAPH} Paragrafo numero {i}.</p>"));
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let analyzer = ItalianAnalyzer::new();
+    let mut buf = Vec::new();
+    c.bench_function("italian_analyzer/paragraph", |b| {
+        b.iter(|| {
+            buf.clear();
+            analyzer.analyze_into(black_box(PARAGRAPH), &mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_rouge(c: &mut Criterion) {
+    let answer = "La procedura di apertura del conto richiede la verifica dell'anagrafica \
+                  e la firma del modulo contrattuale presso la filiale [doc_1].";
+    c.bench_function("rouge_l/answer_vs_chunk", |b| {
+        b.iter(|| black_box(rouge_l(black_box(answer), black_box(PARAGRAPH)).f_measure))
+    });
+}
+
+fn bench_html_parse(c: &mut Criterion) {
+    let html = long_html();
+    c.bench_function("html/parse_40_paragraphs", |b| {
+        b.iter(|| black_box(parse_html(black_box(&html)).paragraphs.len()))
+    });
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let html = long_html();
+    let parsed = parse_html(&html);
+    let body = parsed.body_text();
+    let html_splitter = HtmlParagraphSplitter::new(512);
+    let recursive = RecursiveCharacterTextSplitter::new(512);
+    c.bench_function("chunking/html_paragraph_512", |b| {
+        b.iter(|| black_box(html_splitter.split_document(black_box(&parsed)).len()))
+    });
+    c.bench_function("chunking/recursive_character_512", |b| {
+        b.iter(|| black_box(recursive.split(black_box(&body)).len()))
+    });
+}
+
+criterion_group!(benches, bench_analyzer, bench_rouge, bench_html_parse, bench_chunkers);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the vector substrate: embedding, HNSW
+//! construction/search, and the exhaustive baseline for comparison
+//! (the paper notes HNSW ≈ exhaustive k-NN in quality; here we show
+//! the latency gap that justifies ANN).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use uniask_vector::distance::normalize;
+use uniask_vector::embedding::{Embedder, SyntheticEmbedder};
+use uniask_vector::flat::FlatIndex;
+use uniask_vector::hnsw::{Hnsw, HnswParams};
+use uniask_vector::VectorIndex;
+
+fn random_vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+            normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let embedder = SyntheticEmbedder::new(128, 3);
+    let text = "come posso eseguire un bonifico istantaneo verso una banca estera dal portale interno";
+    // Warm the per-term direction cache as production indexing would.
+    let _ = embedder.embed(text);
+    c.bench_function("embedding/query_128d_cached", |b| {
+        b.iter(|| black_box(embedder.embed(black_box(text))[0]))
+    });
+}
+
+fn bench_hnsw_build(c: &mut Criterion) {
+    let vectors = random_vectors(1000, 64);
+    c.bench_function("hnsw/build_1000x64", |b| {
+        b.iter_batched(
+            || vectors.clone(),
+            |vectors| {
+                let mut h = Hnsw::new(HnswParams::default());
+                for (i, v) in vectors.into_iter().enumerate() {
+                    h.add(i as u32, v);
+                }
+                black_box(h.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let vectors = random_vectors(5000, 64);
+    let mut hnsw = Hnsw::new(HnswParams::default());
+    let mut flat = FlatIndex::new();
+    for (i, v) in vectors.iter().enumerate() {
+        hnsw.add(i as u32, v.clone());
+        flat.add(i as u32, v.clone());
+    }
+    let query = &vectors[42];
+    c.bench_function("hnsw/search_k15_5000x64", |b| {
+        b.iter(|| black_box(hnsw.search(black_box(query), 15).len()))
+    });
+    c.bench_function("flat/search_k15_5000x64", |b| {
+        b.iter(|| black_box(flat.search(black_box(query), 15).len()))
+    });
+}
+
+criterion_group!(benches, bench_embedding, bench_hnsw_build, bench_search);
+criterion_main!(benches);

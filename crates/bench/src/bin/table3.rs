@@ -1,0 +1,95 @@
+//! Table 3 — (A) query expansion (QGA / MQ1 / MQ2) and (B) boosting
+//! text matches on the title (T ∈ {5, 50, 500}); % variation vs. HSS
+//! on the human test dataset.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin table3 [--full|--tiny] [--seed N]`
+
+use uniask_bench::{eval_queries, parse_scale_args, Experiment};
+use uniask_eval::report::format_variation_table;
+use uniask_eval::runner::EvalRunner;
+use uniask_index::searcher::ScoringProfile;
+use uniask_search::expansion::{ExpandedSearch, QueryExpansion};
+use uniask_search::hybrid::HybridConfig;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "table3: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+    let runner = EvalRunner::new();
+    let index = exp.uniask.index();
+    let llm = exp.uniask.llm();
+    let expanded = ExpandedSearch::new(index, llm);
+    let queries = eval_queries(&exp.human.test);
+    let base_config = exp.uniask.config().hybrid.clone();
+
+    let hss = runner
+        .run(&queries, |q| {
+            index
+                .search_documents(q, &base_config)
+                .into_iter()
+                .map(|h| h.parent_doc)
+                .collect()
+        })
+        .metrics;
+
+    // (A) query expansion.
+    let mut expansion_results = Vec::new();
+    for (name, strategy) in [
+        ("QGA", QueryExpansion::Qga),
+        ("MQ1", QueryExpansion::Mq1 { k: 3 }),
+        ("MQ2", QueryExpansion::Mq2 { k: 3 }),
+    ] {
+        let metrics = runner
+            .run(&queries, |q| {
+                expanded
+                    .search_documents(q, strategy, &base_config)
+                    .into_iter()
+                    .map(|h| h.parent_doc)
+                    .collect()
+            })
+            .metrics;
+        expansion_results.push((name, metrics));
+    }
+    let refs: Vec<(&str, &uniask_eval::metrics::RetrievalMetrics)> = expansion_results
+        .iter()
+        .map(|(n, m)| (*n, m))
+        .collect();
+    println!(
+        "{}",
+        format_variation_table("Table 3A — Query expansion (Human Test Dataset)", &hss, &refs)
+    );
+
+    // (B) title boosting.
+    let mut boost_results = Vec::new();
+    for t in [5.0, 50.0, 500.0] {
+        let config = HybridConfig {
+            profile: ScoringProfile::title_boost(t),
+            ..base_config.clone()
+        };
+        let metrics = runner
+            .run(&queries, |q| {
+                index
+                    .search_documents(q, &config)
+                    .into_iter()
+                    .map(|h| h.parent_doc)
+                    .collect()
+            })
+            .metrics;
+        boost_results.push((format!("T{t:.0}"), metrics));
+    }
+    let refs: Vec<(&str, &uniask_eval::metrics::RetrievalMetrics)> = boost_results
+        .iter()
+        .map(|(n, m)| (n.as_str(), m))
+        .collect();
+    println!(
+        "{}",
+        format_variation_table(
+            "Table 3B — Boosting match on title (Human Test Dataset)",
+            &hss,
+            &refs
+        )
+    );
+}

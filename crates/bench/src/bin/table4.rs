@@ -1,0 +1,67 @@
+//! Table 4 — Enriching the index with LLM-extracted keywords:
+//! HSS-KT (keywords from title) and HSS-KTC (title + content),
+//! % variation vs. HSS on both test datasets.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin table4 [--full|--tiny] [--seed N]`
+
+use uniask_bench::{eval_queries, parse_scale_args, Experiment};
+use uniask_core::config::UniAskConfig;
+use uniask_eval::report::format_variation_table;
+use uniask_eval::runner::EvalRunner;
+use uniask_search::enrichment::Enrichment;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "table4: building three index variants ({} docs each, seed {seed})...",
+        scale.documents
+    );
+    let base = Experiment::setup(scale, seed);
+    let kt = Experiment::setup_with_config(
+        scale,
+        seed,
+        UniAskConfig {
+            enrichment: Enrichment::KeywordsFromTitle { k: 4 },
+            ..UniAskConfig::default()
+        },
+    );
+    let ktc = Experiment::setup_with_config(
+        scale,
+        seed,
+        UniAskConfig {
+            enrichment: Enrichment::KeywordsFromTitleAndContent { k: 8 },
+            ..UniAskConfig::default()
+        },
+    );
+    let runner = EvalRunner::new();
+
+    for (label, pick) in [
+        ("Human", 0usize),
+        ("Keyword", 1usize),
+    ] {
+        let split = if pick == 0 { &base.human } else { &base.keyword };
+        let queries = eval_queries(&split.test);
+        let run_on = |exp: &uniask_bench::Experiment| {
+            runner
+                .run(&queries, |q| {
+                    exp.uniask
+                        .search(q)
+                        .into_iter()
+                        .map(|h| h.parent_doc)
+                        .collect()
+                })
+                .metrics
+        };
+        let hss = run_on(&base);
+        let m_kt = run_on(&kt);
+        let m_ktc = run_on(&ktc);
+        println!(
+            "{}",
+            format_variation_table(
+                &format!("Table 4 — {label} Test Dataset"),
+                &hss,
+                &[("HSS-KT", &m_kt), ("HSS-KTC", &m_ktc)],
+            )
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 5 — Answer generation rate on the human test dataset: the
+//! fraction of questions answered without guardrails, and the share of
+//! each guardrail among the triggers.
+//!
+//! Paper values: 94.8 % generated, 3.5 % citation, 1.1 % ROUGE,
+//! 0.2 % clarification, 0.5 % content filter.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin table5 [--full|--tiny] [--seed N]`
+
+use uniask_bench::{parse_scale_args, Experiment};
+use uniask_guardrails::verdict::GuardrailKind;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "table5: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+    let queries = &exp.human.test.queries;
+
+    let mut generated = 0usize;
+    let mut citation = 0usize;
+    let mut rouge = 0usize;
+    let mut clarification = 0usize;
+    let mut content_filter = 0usize;
+    let mut errors = 0usize;
+    for q in queries {
+        let response = exp.uniask.ask(&q.text);
+        match response.generation.guardrail() {
+            None => {
+                if response.generation.answered() {
+                    generated += 1;
+                } else {
+                    errors += 1;
+                }
+            }
+            Some(GuardrailKind::Citation) => citation += 1,
+            Some(GuardrailKind::Rouge) => rouge += 1,
+            Some(GuardrailKind::Clarification) => clarification += 1,
+            Some(GuardrailKind::ContentFilter) => content_filter += 1,
+        }
+    }
+    let n = queries.len().max(1) as f64;
+    println!("== Table 5 — Answer generation rate on the Human Test Dataset ({} questions) ==", queries.len());
+    println!("{:<38}{:>9}", "Guardrail Type", "# Answers");
+    println!("{:<38}{:>8.1}%", "Generated answers (no guardrails)", 100.0 * generated as f64 / n);
+    println!("{:<38}{:>8.1}%", "Citation guardrail", 100.0 * citation as f64 / n);
+    println!("{:<38}{:>8.1}%", "Rouge guardrail", 100.0 * rouge as f64 / n);
+    println!("{:<38}{:>8.1}%", "Require clarification guardrail", 100.0 * clarification as f64 / n);
+    println!("{:<38}{:>8.1}%", "Content Filter", 100.0 * content_filter as f64 / n);
+    if errors > 0 {
+        println!("{:<38}{:>8.1}%", "Service errors", 100.0 * errors as f64 / n);
+    }
+    println!(
+        "\nPaper: 94.8% generated / 3.5% citation / 1.1% rouge / 0.2% clarification / 0.5% content filter."
+    );
+}

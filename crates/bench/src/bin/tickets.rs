@@ -1,0 +1,70 @@
+//! §1/§11 — Post-launch ticket-reduction analysis.
+//!
+//! "Post-launch analysis shows that UniAsk allows to reduce the number
+//! of tickets opened to report unsuccessful searches by around 20%."
+//!
+//! The model replays a realistic traffic mix (mostly keyword queries,
+//! a growing share of natural-language questions) against both systems;
+//! a search fails when no ground-truth document appears in the top 4
+//! results; failed searches convert to tickets at a fixed propensity.
+//!
+//! Usage: `cargo run -p uniask-bench --release --bin tickets [--full|--tiny] [--seed N]`
+
+use uniask_bench::{parse_scale_args, Experiment};
+use uniask_core::tickets::ticket_analysis;
+use uniask_corpus::questions::QueryRecord;
+
+fn main() {
+    let (scale, seed) = parse_scale_args();
+    eprintln!(
+        "tickets: building corpus ({} docs, seed {seed})...",
+        scale.documents
+    );
+    let exp = Experiment::setup(scale, seed);
+
+    // Post-launch traffic: employees keep their keyword habits for a
+    // while — 70 % keyword queries, 30 % natural-language questions.
+    let mut traffic: Vec<&QueryRecord> = Vec::new();
+    let keyword_pool = &exp.keyword.validation.queries;
+    let human_pool = &exp.human.validation.queries;
+    let total = (keyword_pool.len() * 2).min(600);
+    for i in 0..total {
+        if i % 10 < 7 {
+            traffic.push(&keyword_pool[i % keyword_pool.len()]);
+        } else {
+            traffic.push(&human_pool[i % human_pool.len()]);
+        }
+    }
+
+    let success = |ranked: &[String], relevant: &[String]| -> bool {
+        ranked.iter().take(4).any(|d| relevant.contains(d))
+    };
+    let prev_outcomes: Vec<bool> = traffic
+        .iter()
+        .map(|q| success(&exp.prev.search(&q.text, 50), &q.relevant))
+        .collect();
+    let uniask_outcomes: Vec<bool> = traffic
+        .iter()
+        .map(|q| {
+            let ranked: Vec<String> = exp
+                .uniask
+                .search(&q.text)
+                .into_iter()
+                .map(|h| h.parent_doc)
+                .collect();
+            success(&ranked, &q.relevant)
+        })
+        .collect();
+
+    let report = ticket_analysis(&prev_outcomes, &uniask_outcomes, 0.3, seed);
+    println!("== Ticket analysis (traffic: 70% keyword / 30% natural language) ==");
+    println!("searches                     {:>8}", report.searches);
+    println!("failed searches (Prev.)      {:>8}", report.failures_prev);
+    println!("failed searches (UniAsk)     {:>8}", report.failures_uniask);
+    println!("tickets opened (Prev.)       {:>8}", report.tickets_prev);
+    println!("tickets opened (UniAsk)      {:>8}", report.tickets_uniask);
+    println!(
+        "ticket reduction             {:>7.1}%  (paper: ~20%)",
+        report.reduction_pct()
+    );
+}

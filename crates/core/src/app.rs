@@ -1,0 +1,653 @@
+//! The assembled UniAsk system and its user-query flow.
+//!
+//! A query travels: content filter → hybrid retrieval (HSS) → prompt
+//! construction (top *m* = 4 chunks as JSON context) → LLM generation →
+//! post-generation guardrails. Whatever happens to the generated
+//! answer, the retrieved document list is always returned — a guardrail
+//! marks "a failure of the generation module, not of the whole system".
+
+use std::sync::Arc;
+
+use uniask_corpus::kb::KnowledgeBase;
+use uniask_corpus::vocab::{SynonymNormalizer, Vocabulary};
+use uniask_guardrails::chain::{ChainOutcome, GuardrailChain};
+use uniask_guardrails::fact_check::{FactCheckGuardrail, FactStore};
+use uniask_guardrails::rouge_guard::RougeGuardrail;
+use uniask_guardrails::verdict::{GuardrailKind, Verdict};
+use uniask_llm::error::LlmError;
+use uniask_llm::model::{ChatModel, SimLlm};
+use uniask_llm::prompt::{ContextChunk, PromptBuilder};
+use uniask_llm::service::LlmService;
+use uniask_search::hybrid::{SearchHit, SearchIndex};
+use uniask_search::reranker::SemanticReranker;
+use uniask_vector::embedding::SyntheticEmbedder;
+
+use crate::config::UniAskConfig;
+use crate::indexing::IndexingService;
+use crate::ingestion::IngestMessage;
+use crate::monitoring::Monitoring;
+
+/// What the generation module produced for a question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerationOutcome {
+    /// A validated answer with its citations (context keys).
+    Answer {
+        /// The answer text, citations included.
+        text: String,
+        /// Context keys cited.
+        citations: Vec<usize>,
+    },
+    /// A guardrail invalidated the generation.
+    GuardrailBlocked {
+        /// Which guardrail fired.
+        kind: GuardrailKind,
+        /// The user-facing message.
+        message: String,
+    },
+    /// The LLM service failed (rate limit, context overflow).
+    ServiceError {
+        /// Error description.
+        error: String,
+    },
+}
+
+impl GenerationOutcome {
+    /// Whether a proper answer was delivered.
+    pub fn answered(&self) -> bool {
+        matches!(self, GenerationOutcome::Answer { .. })
+    }
+
+    /// The guardrail that fired, if any.
+    pub fn guardrail(&self) -> Option<GuardrailKind> {
+        match self {
+            GenerationOutcome::GuardrailBlocked { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+/// Response of one `ask` call: generation outcome + document list.
+#[derive(Debug, Clone)]
+pub struct AskResponse {
+    /// The question as submitted.
+    pub question: String,
+    /// Generation outcome.
+    pub generation: GenerationOutcome,
+    /// The retrieved document list (deduplicated by source document),
+    /// always populated regardless of guardrails.
+    pub documents: Vec<SearchHit>,
+    /// The context chunks that were passed to the LLM.
+    pub context: Vec<ContextChunk>,
+}
+
+/// The assembled system.
+pub struct UniAsk {
+    config: UniAskConfig,
+    index: SearchIndex,
+    llm: Arc<SimLlm>,
+    /// Optional hosting-service envelope around the model.
+    service: Option<LlmService<Arc<SimLlm>>>,
+    clock: crate::clock::SimClock,
+    prompt: PromptBuilder,
+    guardrails: GuardrailChain,
+    fact_check: Option<FactCheckGuardrail>,
+    indexing: IndexingService,
+    /// Monitoring collector (shared with the backend).
+    pub monitoring: Arc<Monitoring>,
+}
+
+impl std::fmt::Debug for UniAsk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniAsk")
+            .field("chunks", &self.index.len())
+            .finish()
+    }
+}
+
+impl UniAsk {
+    /// Build an empty system from configuration. The vocabulary's
+    /// synonym table wires the embedder, the reranker and the simulated
+    /// LLM exactly as the production models would be shared.
+    pub fn new(config: UniAskConfig) -> Self {
+        let vocab = Arc::new(Vocabulary::new());
+        let normalizer = Arc::new(SynonymNormalizer::new(Arc::clone(&vocab)));
+        let embedder = Arc::new(SyntheticEmbedder::with_normalizer(
+            config.embedding_dim,
+            config.seed,
+            normalizer.clone(),
+        ));
+        let reranker = SemanticReranker::new(normalizer.clone());
+        let index = SearchIndex::new(embedder, reranker);
+        let llm = Arc::new(SimLlm::with_normalizer(config.llm, normalizer));
+        let service = config
+            .llm_service
+            .map(|svc| LlmService::new(Arc::clone(&llm), svc));
+        let guardrails = GuardrailChain {
+            rouge: RougeGuardrail::new(config.rouge_threshold),
+            ..GuardrailChain::new()
+        };
+        let indexing = IndexingService::new(
+            config.chunk_max_tokens,
+            config.enrichment,
+            config.summary_sentences,
+        );
+        let fact_check = config
+            .enable_fact_check
+            .then(|| FactCheckGuardrail::new(FactStore::new()));
+        UniAsk {
+            prompt: PromptBuilder::new(config.context_chunks),
+            config,
+            index,
+            llm,
+            service,
+            clock: crate::clock::SimClock::new(),
+            guardrails,
+            fact_check,
+            indexing,
+            monitoring: Arc::new(Monitoring::new()),
+        }
+    }
+
+    /// Bulk-ingest a knowledge base (initial index build).
+    pub fn ingest(&mut self, kb: &KnowledgeBase) {
+        for doc in &kb.documents {
+            self.apply_update(IngestMessage::Upsert(doc.clone()));
+        }
+    }
+
+    /// Bulk-ingest in parallel: chunking, enrichment and embedding fan
+    /// out over `workers` threads (0 = all CPUs) while the index stays
+    /// single-writer. The result is bit-identical to [`UniAsk::ingest`].
+    pub fn ingest_parallel(&mut self, kb: &KnowledgeBase, workers: usize) -> usize {
+        if let Some(fc) = &mut self.fact_check {
+            for doc in &kb.documents {
+                fc.store.ingest(&doc.body_text());
+            }
+        }
+        crate::bulk::bulk_ingest(&self.indexing, &mut self.index, kb, workers)
+    }
+
+    /// Apply one incremental ingest message (the live update path).
+    pub fn apply_update(&mut self, message: IngestMessage) {
+        if let (Some(fc), IngestMessage::Upsert(doc)) = (&mut self.fact_check, &message) {
+            fc.store.ingest(&doc.body_text());
+        }
+        self.indexing.apply(&mut self.index, message);
+    }
+
+    /// The fact-check knowledge store, when enabled.
+    pub fn fact_store(&self) -> Option<&FactStore> {
+        self.fact_check.as_ref().map(|fc| &fc.store)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UniAskConfig {
+        &self.config
+    }
+
+    /// The underlying chunk index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// The simulated LLM (exposed for the expansion experiments).
+    pub fn llm(&self) -> &SimLlm {
+        &self.llm
+    }
+
+    /// Retrieval only: the deduplicated document ranking for a query.
+    pub fn search(&self, query: &str) -> Vec<SearchHit> {
+        self.index.search_documents(query, &self.config.hybrid)
+    }
+
+    /// The full query flow of Sections 4–6.
+    pub fn ask(&self, question: &str) -> AskResponse {
+        // Pre-generation: content filter on the question.
+        if let Verdict::Blocked { kind, reason } = self.guardrails.check_question(question) {
+            self.monitoring.record_guardrail(kind);
+            // The user still gets the document list.
+            let documents = self.search(question);
+            return AskResponse {
+                question: question.to_string(),
+                generation: GenerationOutcome::GuardrailBlocked {
+                    kind,
+                    message: reason,
+                },
+                documents,
+                context: Vec::new(),
+            };
+        }
+
+        // Retrieval: chunk-level hits feed the context; the displayed
+        // list is document-level.
+        let chunk_hits = self.index.search(question, &self.config.hybrid);
+        let documents = {
+            let mut seen = std::collections::HashSet::new();
+            chunk_hits
+                .iter()
+                .filter(|h| seen.insert(h.parent_doc.clone()))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        let context: Vec<ContextChunk> = chunk_hits
+            .iter()
+            .take(self.config.context_chunks)
+            .enumerate()
+            .map(|(i, h)| ContextChunk {
+                key: i + 1,
+                title: h.title.clone(),
+                content: h.content.clone(),
+            })
+            .collect();
+
+        // Generation, through the hosting-service envelope when one is
+        // configured: one bounded retry after the advertised wait (the
+        // backend's policy for transient rate limits).
+        let request = self.prompt.build(question, &context);
+        let result = match &self.service {
+            None => self.llm.complete(&request),
+            Some(service) => {
+                let now = self.clock.now();
+                match service.complete_at(&request, now) {
+                    Ok(timed) => {
+                        self.clock.advance(timed.latency_secs);
+                        Ok(timed.response)
+                    }
+                    Err(LlmError::RateLimited { retry_after_secs })
+                        if retry_after_secs <= 5.0 =>
+                    {
+                        self.clock.advance(retry_after_secs + 1e-3);
+                        service
+                            .complete_at(&request, self.clock.now())
+                            .map(|timed| {
+                                self.clock.advance(timed.latency_secs);
+                                timed.response
+                            })
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        let response = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.monitoring.record_failure();
+                return AskResponse {
+                    question: question.to_string(),
+                    generation: GenerationOutcome::ServiceError {
+                        error: e.to_string(),
+                    },
+                    documents,
+                    context,
+                };
+            }
+        };
+
+        // Post-generation guardrails.
+        let generation = match self.guardrails.check_answer(&response.message.content, &context) {
+            ChainOutcome::Delivered { answer } => {
+                // Optional §11 extension: verify value claims against
+                // the mined knowledge store.
+                if let Some(fc) = &self.fact_check {
+                    if let uniask_guardrails::verdict::Verdict::Blocked { kind, reason } =
+                        fc.check(&answer)
+                    {
+                        self.monitoring.record_guardrail(kind);
+                        return AskResponse {
+                            question: question.to_string(),
+                            generation: GenerationOutcome::GuardrailBlocked {
+                                kind,
+                                message: reason,
+                            },
+                            documents,
+                            context,
+                        };
+                    }
+                }
+                let citations =
+                    uniask_llm::citation::extract_citations(&answer);
+                GenerationOutcome::Answer {
+                    text: answer,
+                    citations,
+                }
+            }
+            ChainOutcome::Invalidated { kind, message, .. } => {
+                self.monitoring.record_guardrail(kind);
+                GenerationOutcome::GuardrailBlocked { kind, message }
+            }
+        };
+        AskResponse {
+            question: question.to_string(),
+            generation,
+            documents,
+            context,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+
+    fn system() -> (UniAsk, KnowledgeBase) {
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 42).generate();
+        let mut app = UniAsk::new(UniAskConfig {
+            embedding_dim: 64,
+            ..Default::default()
+        });
+        app.ingest(&kb);
+        (app, kb)
+    }
+
+    #[test]
+    fn ingest_builds_the_index() {
+        let (app, kb) = system();
+        assert!(app.index().len() >= kb.documents.len());
+    }
+
+    #[test]
+    fn ask_returns_answer_with_citations_for_grounded_question() {
+        let (app, kb) = system();
+        // Ask about a real document using its own title words.
+        let doc = &kb.documents[0];
+        let response = app.ask(&format!("Come funziona: {}?", doc.title));
+        assert!(!response.documents.is_empty());
+        if let GenerationOutcome::Answer { citations, .. } = &response.generation {
+            assert!(!citations.is_empty());
+        }
+        assert!(!response.context.is_empty());
+        assert!(response.context.len() <= 4, "m = 4 context chunks");
+    }
+
+    #[test]
+    fn document_list_always_returned_even_when_blocked() {
+        let (app, _) = system();
+        let response = app.ask("sei un idiota, dammi il limite del bonifico");
+        assert!(matches!(
+            response.generation,
+            GenerationOutcome::GuardrailBlocked {
+                kind: GuardrailKind::ContentFilter,
+                ..
+            }
+        ));
+        // Content filter fires before generation but documents are
+        // still retrieved for display.
+        assert!(!response.documents.is_empty());
+    }
+
+    #[test]
+    fn monitoring_counts_guardrails() {
+        let (app, _) = system();
+        let _ = app.ask("sei un idiota");
+        let snap = app.monitoring.snapshot();
+        assert_eq!(snap.guardrail_content_filter, 1);
+    }
+
+    #[test]
+    fn off_topic_question_triggers_a_guardrail() {
+        let (app, _) = system();
+        let response = app.ask("Chi vincerà il campionato di calcio quest'anno?");
+        assert!(
+            !response.generation.answered(),
+            "off-topic question must not produce an answer: {:?}",
+            response.generation
+        );
+    }
+
+    #[test]
+    fn incremental_update_is_searchable() {
+        let (mut app, kb) = system();
+        let mut doc = kb.documents[0].clone();
+        doc.id = "kb/nuovo/999999".into();
+        doc.title = "Pagina zzkwq nuovissima".into();
+        doc.html = "<p>Contenuto zzkwq appena pubblicato sulla intranet.</p>".into();
+        app.apply_update(IngestMessage::Upsert(doc));
+        let hits = app.search("zzkwq");
+        assert_eq!(hits[0].parent_doc, "kb/nuovo/999999");
+    }
+
+    #[test]
+    fn search_returns_unique_documents() {
+        let (app, _) = system();
+        let hits = app.search("errore");
+        let mut parents: Vec<&str> = hits.iter().map(|h| h.parent_doc.as_str()).collect();
+        let before = parents.len();
+        parents.dedup();
+        assert_eq!(parents.len(), before);
+    }
+}
+
+impl UniAsk {
+    /// Serialize the retrieval state (index + vectors + chunk table)
+    /// for a warm restart. The configuration itself is code, not data.
+    pub fn save_index(&self) -> bytes::Bytes {
+        self.index.save()
+    }
+
+    /// Rebuild a system from `config` and a snapshot produced by
+    /// [`UniAsk::save_index`] under the *same* configuration (embedding
+    /// dimension and seed must match, or similarities degrade).
+    pub fn from_snapshot(
+        config: UniAskConfig,
+        snapshot: &[u8],
+    ) -> Result<Self, uniask_search::persistence::PersistError> {
+        let vocab = Arc::new(Vocabulary::new());
+        let normalizer = Arc::new(SynonymNormalizer::new(Arc::clone(&vocab)));
+        let embedder = Arc::new(SyntheticEmbedder::with_normalizer(
+            config.embedding_dim,
+            config.seed,
+            normalizer.clone(),
+        ));
+        let reranker = SemanticReranker::new(normalizer.clone());
+        let index = SearchIndex::load(snapshot, embedder, reranker)?;
+        let llm = Arc::new(SimLlm::with_normalizer(config.llm, normalizer));
+        let service = config
+            .llm_service
+            .map(|svc| LlmService::new(Arc::clone(&llm), svc));
+        let guardrails = GuardrailChain {
+            rouge: RougeGuardrail::new(config.rouge_threshold),
+            ..GuardrailChain::new()
+        };
+        let indexing = IndexingService::new(
+            config.chunk_max_tokens,
+            config.enrichment,
+            config.summary_sentences,
+        );
+        let fact_check = config
+            .enable_fact_check
+            .then(|| FactCheckGuardrail::new(FactStore::new()));
+        Ok(UniAsk {
+            prompt: PromptBuilder::new(config.context_chunks),
+            config,
+            index,
+            llm,
+            service,
+            clock: crate::clock::SimClock::new(),
+            guardrails,
+            fact_check,
+            indexing,
+            monitoring: Arc::new(Monitoring::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+
+    #[test]
+    fn snapshot_restart_preserves_answers() {
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 77).generate();
+        let config = UniAskConfig {
+            embedding_dim: 64,
+            ..Default::default()
+        };
+        let mut app = UniAsk::new(config.clone());
+        app.ingest(&kb);
+        let question = "Qual è il massimale previsto per il trasferimento estero?";
+        let before = app.ask(question);
+
+        let snapshot = app.save_index();
+        let restored = UniAsk::from_snapshot(config, &snapshot).expect("load ok");
+        let after = restored.ask(question);
+        assert_eq!(before.generation, after.generation);
+        assert_eq!(
+            before.documents.iter().map(|d| &d.parent_doc).collect::<Vec<_>>(),
+            after.documents.iter().map(|d| &d.parent_doc).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error() {
+        assert!(UniAsk::from_snapshot(UniAskConfig::default(), b"garbage").is_err());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+    use uniask_llm::model::SimLlmConfig;
+
+    #[test]
+    fn context_overflow_surfaces_as_service_error() {
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 3).generate();
+        // A context window smaller than any realistic prompt: every
+        // generation call fails, exercising the degradation path where
+        // the user still receives the document list.
+        let mut app = UniAsk::new(UniAskConfig {
+            llm: SimLlmConfig {
+                context_window: 16,
+                ..SimLlmConfig::default()
+            },
+            ..Default::default()
+        });
+        app.ingest(&kb);
+        let response = app.ask("come posso aprire un conto corrente?");
+        assert!(matches!(
+            response.generation,
+            GenerationOutcome::ServiceError { .. }
+        ));
+        assert!(!response.documents.is_empty(), "retrieval still serves");
+        assert_eq!(app.monitoring.snapshot().failed_requests, 1);
+    }
+
+    #[test]
+    fn fact_check_blocks_wrong_values_end_to_end() {
+        use uniask_corpus::kb::KbDocument;
+        // A KB asserting one value, and a hallucination-prone LLM that
+        // will (with p=1) produce off-context prose. The fact store is
+        // populated during ingest.
+        let doc = KbDocument {
+            id: "kb/test/1".into(),
+            title: "Limite bonifico estero".into(),
+            html: "<h1>Limite bonifico estero</h1><p>Il limite previsto per il bonifico \
+                   estero è pari a 5.000 euro.</p>"
+                .into(),
+            domain: "Pagamenti".into(),
+            topic: "Bonifici".into(),
+            section: "FAQ".into(),
+            keywords: vec!["limite".into(), "bonifico".into()],
+            fact_id: 1,
+            last_modified: 0,
+        };
+        let mut app = UniAsk::new(UniAskConfig {
+            enable_fact_check: true,
+            ..Default::default()
+        });
+        app.apply_update(IngestMessage::Upsert(doc));
+        let store = app.fact_store().expect("enabled");
+        assert!(!store.is_empty(), "ingest must mine the value fact");
+        // The delivered answer quotes the correct value: passes.
+        let r = app.ask("Qual è il limite previsto per il bonifico estero?");
+        if let GenerationOutcome::Answer { text, .. } = &r.generation {
+            assert!(text.contains("5.000"), "answer quotes the KB value: {text}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod service_envelope_tests {
+    use super::*;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+    use uniask_llm::service::LlmServiceConfig;
+
+    fn kb() -> uniask_corpus::kb::KnowledgeBase {
+        CorpusGenerator::new(CorpusScale::tiny(), 8).generate()
+    }
+
+    #[test]
+    fn generous_service_answers_like_direct_mode() {
+        let kb = kb();
+        let mut direct = UniAsk::new(UniAskConfig::default());
+        direct.ingest(&kb);
+        let mut via_service = UniAsk::new(UniAskConfig {
+            llm_service: Some(LlmServiceConfig {
+                bucket_capacity: 1e9,
+                tokens_per_sec: 1e9,
+                base_latency_secs: 0.3,
+                per_token_latency_secs: 0.01,
+            }),
+            ..UniAskConfig::default()
+        });
+        via_service.ingest(&kb);
+        let q = "come posso aprire un conto corrente aziendale?";
+        assert_eq!(direct.ask(q).generation, via_service.ask(q).generation);
+    }
+
+    #[test]
+    fn starved_service_rate_limits_with_retry_then_fails() {
+        let kb = kb();
+        // A bucket too small for even one prompt: the retry wait exceeds
+        // the 5-second policy bound, so the request surfaces as a
+        // service error and is counted as a failed request.
+        let mut app = UniAsk::new(UniAskConfig {
+            llm_service: Some(LlmServiceConfig {
+                bucket_capacity: 50.0,
+                tokens_per_sec: 1.0,
+                base_latency_secs: 0.0,
+                per_token_latency_secs: 0.0,
+            }),
+            ..UniAskConfig::default()
+        });
+        app.ingest(&kb);
+        let response = app.ask("come posso aprire un conto corrente aziendale?");
+        assert!(matches!(
+            response.generation,
+            GenerationOutcome::ServiceError { .. }
+        ));
+        assert!(!response.documents.is_empty(), "retrieval unaffected");
+        assert_eq!(app.monitoring.snapshot().failed_requests, 1);
+    }
+
+    #[test]
+    fn short_rate_limits_recover_via_retry() {
+        let kb = kb();
+        // Sized so a burst drains the bucket but one ~≤5 s wait refills
+        // enough for the retry to succeed.
+        let mut app = UniAsk::new(UniAskConfig {
+            llm_service: Some(LlmServiceConfig {
+                bucket_capacity: 4_000.0,
+                tokens_per_sec: 1_000.0,
+                base_latency_secs: 0.1,
+                per_token_latency_secs: 0.001,
+            }),
+            ..UniAskConfig::default()
+        });
+        app.ingest(&kb);
+        let q = "come posso aprire un conto corrente aziendale?";
+        let mut failures = 0;
+        for _ in 0..6 {
+            if matches!(app.ask(q).generation, GenerationOutcome::ServiceError { .. }) {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "bounded retries should absorb short bursts");
+    }
+}

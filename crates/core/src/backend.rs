@@ -1,0 +1,233 @@
+//! The backend service: request handling + granular feedback.
+//!
+//! "The BackEnd service is a REST layer exposing endpoints to be called
+//! by the frontend. It contains the logic responsible for login and the
+//! requests to the Retrieval and Generation services. It stores
+//! feedbacks and user actions." The feedback form carries the five
+//! fields of Section 8 ("Granular Feedback").
+
+use parking_lot::Mutex;
+
+use crate::app::{AskResponse, UniAsk};
+
+/// A granular feedback form submission (Section 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feedback {
+    /// The user who submitted it.
+    pub user: String,
+    /// The question the feedback refers to.
+    pub question: String,
+    /// (1) Was the answer helpful?
+    pub answer_helpful: Option<bool>,
+    /// (2) Did the system retrieve relevant documents?
+    pub docs_relevant: Option<bool>,
+    /// (3) Rating 1–5 (1–2 negative, 3–5 positive).
+    pub rating: u8,
+    /// (4) Links to documents that contain the correct answer.
+    pub relevant_links: Vec<String>,
+    /// (5) Free-text comments.
+    pub comments: String,
+}
+
+impl Feedback {
+    /// The paper's polarity convention: ratings 3–5 are positive.
+    pub fn is_positive(&self) -> bool {
+        self.rating >= 3
+    }
+}
+
+/// In-memory feedback store with aggregates.
+#[derive(Debug, Default)]
+pub struct FeedbackStore {
+    entries: Mutex<Vec<Feedback>>,
+}
+
+impl FeedbackStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persist a feedback form.
+    pub fn submit(&self, feedback: Feedback) {
+        assert!((1..=5).contains(&feedback.rating), "rating must be 1-5");
+        self.entries.lock().push(feedback);
+    }
+
+    /// Number of feedbacks collected.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Fraction of positive feedbacks (rating ≥ 3); 0 when empty.
+    pub fn positive_rate(&self) -> f64 {
+        let entries = self.entries.lock();
+        if entries.is_empty() {
+            return 0.0;
+        }
+        entries.iter().filter(|f| f.is_positive()).count() as f64 / entries.len() as f64
+    }
+
+    /// Ground-truth links harvested from feedback (the team found these
+    /// "extremely useful to gather ground-truth documents … for
+    /// questions on which the system had failed").
+    pub fn harvested_links(&self) -> Vec<(String, Vec<String>)> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|f| !f.relevant_links.is_empty())
+            .map(|f| (f.question.clone(), f.relevant_links.clone()))
+            .collect()
+    }
+
+    /// A snapshot of all entries (analysis).
+    pub fn entries(&self) -> Vec<Feedback> {
+        self.entries.lock().clone()
+    }
+}
+
+/// The backend: routes questions to the app, stores feedback, records
+/// monitoring events.
+pub struct Backend {
+    app: UniAsk,
+    /// The feedback store.
+    pub feedback: FeedbackStore,
+    /// The query log (the paper's datasets were mined from this).
+    pub query_log: crate::querylog::QueryLog,
+}
+
+impl Backend {
+    /// Wrap an assembled system.
+    pub fn new(app: UniAsk) -> Self {
+        Backend {
+            app,
+            feedback: FeedbackStore::new(),
+            query_log: crate::querylog::QueryLog::new(100_000),
+        }
+    }
+
+    /// The wrapped application.
+    pub fn app(&self) -> &UniAsk {
+        &self.app
+    }
+
+    /// Mutable access (release upgrades during pilots).
+    pub fn app_mut(&mut self) -> &mut UniAsk {
+        &mut self.app
+    }
+
+    /// Handle a question from `user` (the `/ask` endpoint).
+    pub fn handle_ask(&self, user: &str, question: &str) -> AskResponse {
+        let response = self.app.ask(question);
+        // Response-time model: base routing cost plus generation cost
+        // proportional to the answer length.
+        let answer_tokens = match &response.generation {
+            crate::app::GenerationOutcome::Answer { text, .. } => {
+                uniask_text::approx_token_count(text)
+            }
+            _ => 0,
+        };
+        let response_time = 0.4 + 0.012 * answer_tokens as f64;
+        self.app.monitoring.record_query(user, response_time);
+        self.query_log
+            .record(question, user, !response.documents.is_empty());
+        response
+    }
+
+    /// Handle a feedback submission (the `/feedback` endpoint).
+    pub fn handle_feedback(&self, feedback: Feedback) {
+        self.app.monitoring.record_feedback();
+        self.feedback.submit(feedback);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UniAskConfig;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+
+    fn backend() -> Backend {
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 42).generate();
+        let mut app = UniAsk::new(UniAskConfig {
+            embedding_dim: 64,
+            ..Default::default()
+        });
+        app.ingest(&kb);
+        Backend::new(app)
+    }
+
+    fn feedback(rating: u8) -> Feedback {
+        Feedback {
+            user: "u1".into(),
+            question: "q".into(),
+            answer_helpful: Some(rating >= 3),
+            docs_relevant: Some(true),
+            rating,
+            relevant_links: vec![],
+            comments: String::new(),
+        }
+    }
+
+    #[test]
+    fn ask_records_monitoring() {
+        let b = backend();
+        let _ = b.handle_ask("mario", "come apro un conto corrente?");
+        let snap = b.app().monitoring.snapshot();
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.users, 1);
+        assert!(snap.avg_response_time_secs > 0.0);
+    }
+
+    #[test]
+    fn positive_rate_follows_the_3_to_5_convention() {
+        let b = backend();
+        b.handle_feedback(feedback(1));
+        b.handle_feedback(feedback(2));
+        b.handle_feedback(feedback(3));
+        b.handle_feedback(feedback(5));
+        assert_eq!(b.feedback.len(), 4);
+        assert!((b.feedback.positive_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn links_are_harvested_as_ground_truth() {
+        let b = backend();
+        let mut f = feedback(2);
+        f.relevant_links = vec!["kb/x/1".into()];
+        f.question = "domanda fallita".into();
+        b.handle_feedback(f);
+        let harvested = b.feedback.harvested_links();
+        assert_eq!(harvested.len(), 1);
+        assert_eq!(harvested[0].0, "domanda fallita");
+    }
+
+    #[test]
+    #[should_panic(expected = "rating must be 1-5")]
+    fn invalid_rating_is_rejected() {
+        FeedbackStore::new().submit(feedback(0));
+    }
+
+    #[test]
+    fn queries_land_in_the_log() {
+        let b = backend();
+        let _ = b.handle_ask("anna", "limite bonifico estero");
+        let _ = b.handle_ask("carlo", "Limite  Bonifico  Estero");
+        let top = b.query_log.frequent(1);
+        assert_eq!(top[0].0, 2, "normalized frequency aggregates");
+        assert_eq!(b.query_log.total(), 2);
+    }
+
+    #[test]
+    fn feedback_increments_dashboard() {
+        let b = backend();
+        b.handle_feedback(feedback(4));
+        assert_eq!(b.app().monitoring.snapshot().feedbacks, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! The FrontEnd service (Figure 1).
+//!
+//! "The FrontEnd service provides an interface users can interact
+//! with. It exposes a search box to query the engine and a feedback
+//! form where the user can provide information about the answer
+//! quality." This module is the rendering layer of that interface: it
+//! turns an [`AskResponse`] into the page the employee sees (answer or
+//! apology + the always-present document list) and models the granular
+//! five-field feedback form of Section 8, with validation.
+
+use crate::app::{AskResponse, GenerationOutcome};
+use crate::backend::Feedback;
+
+/// Render an [`AskResponse`] as the user-facing result page.
+pub fn render_response(response: &AskResponse) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!("DOMANDA: {}\n\n", response.question));
+    match &response.generation {
+        GenerationOutcome::Answer { text, citations } => {
+            out.push_str("RISPOSTA:\n");
+            out.push_str(text);
+            out.push('\n');
+            if !citations.is_empty() {
+                out.push_str(&format!("\nFonti citate: {citations:?}\n"));
+            }
+        }
+        GenerationOutcome::GuardrailBlocked { message, .. } => {
+            out.push_str(message);
+            out.push('\n');
+        }
+        GenerationOutcome::ServiceError { .. } => {
+            out.push_str(
+                "Il servizio non è al momento disponibile; riprova tra qualche istante.\n",
+            );
+        }
+    }
+    out.push_str("\nDOCUMENTI TROVATI:\n");
+    if response.documents.is_empty() {
+        out.push_str("  (nessun documento)\n");
+    }
+    for (i, doc) in response.documents.iter().take(10).enumerate() {
+        out.push_str(&format!("  {}. {} [{}]\n", i + 1, doc.title, doc.parent_doc));
+    }
+    out
+}
+
+/// The pop-up feedback modal: the five questions of Section 8.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackForm {
+    /// (1) Was the answer helpful?
+    pub answer_helpful: Option<bool>,
+    /// (2) Did the system retrieve relevant documents?
+    pub docs_relevant: Option<bool>,
+    /// (3) Rating experience 1–5.
+    pub rating: Option<u8>,
+    /// (4) Links to documents containing the answer.
+    pub relevant_links: Vec<String>,
+    /// (5) Additional comments.
+    pub comments: String,
+}
+
+/// Validation failures of a submitted form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormError {
+    /// The rating field is mandatory.
+    MissingRating,
+    /// Rating outside 1–5.
+    InvalidRating(u8),
+    /// A provided link is not a KB path.
+    InvalidLink(String),
+}
+
+impl std::fmt::Display for FormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormError::MissingRating => write!(f, "la valutazione è obbligatoria"),
+            FormError::InvalidRating(r) => write!(f, "valutazione {r} fuori scala 1-5"),
+            FormError::InvalidLink(l) => write!(f, "link non valido: {l}"),
+        }
+    }
+}
+
+impl FeedbackForm {
+    /// Validate and convert into a backend [`Feedback`] record.
+    pub fn submit(self, user: &str, question: &str) -> Result<Feedback, FormError> {
+        let rating = self.rating.ok_or(FormError::MissingRating)?;
+        if !(1..=5).contains(&rating) {
+            return Err(FormError::InvalidRating(rating));
+        }
+        for link in &self.relevant_links {
+            if !link.starts_with("kb/") {
+                return Err(FormError::InvalidLink(link.clone()));
+            }
+        }
+        Ok(Feedback {
+            user: user.to_string(),
+            question: question.to_string(),
+            answer_helpful: self.answer_helpful,
+            docs_relevant: self.docs_relevant,
+            rating,
+            relevant_links: self.relevant_links,
+            comments: self.comments,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_guardrails::verdict::GuardrailKind;
+    use uniask_index::doc::DocId;
+    use uniask_search::hybrid::SearchHit;
+
+    fn response(generation: GenerationOutcome) -> AskResponse {
+        AskResponse {
+            question: "qual è il limite?".into(),
+            generation,
+            documents: vec![SearchHit {
+                chunk: DocId(0),
+                parent_doc: "kb/pagamenti/000001".into(),
+                title: "Limite bonifico".into(),
+                content: "testo".into(),
+                score: 1.0,
+            }],
+            context: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_answer_with_sources() {
+        let page = render_response(&response(GenerationOutcome::Answer {
+            text: "Il limite è 5.000 euro [doc_1].".into(),
+            citations: vec![1],
+        }));
+        assert!(page.contains("RISPOSTA"));
+        assert!(page.contains("5.000 euro"));
+        assert!(page.contains("Fonti citate"));
+        assert!(page.contains("DOCUMENTI TROVATI"));
+        assert!(page.contains("Limite bonifico"));
+    }
+
+    #[test]
+    fn renders_guardrail_apology_with_documents() {
+        let page = render_response(&response(GenerationOutcome::GuardrailBlocked {
+            kind: GuardrailKind::Citation,
+            message: "Ci scusiamo: nessuna risposta affidabile.".into(),
+        }));
+        assert!(page.contains("Ci scusiamo"));
+        assert!(page.contains("Limite bonifico"), "documents always shown");
+    }
+
+    #[test]
+    fn renders_service_error() {
+        let page = render_response(&response(GenerationOutcome::ServiceError {
+            error: "rate limited".into(),
+        }));
+        assert!(page.contains("non è al momento disponibile"));
+    }
+
+    #[test]
+    fn form_requires_rating() {
+        let err = FeedbackForm::default().submit("u", "q").unwrap_err();
+        assert_eq!(err, FormError::MissingRating);
+    }
+
+    #[test]
+    fn form_validates_rating_range_and_links() {
+        let mut form = FeedbackForm {
+            rating: Some(9),
+            ..Default::default()
+        };
+        assert_eq!(form.clone().submit("u", "q").unwrap_err(), FormError::InvalidRating(9));
+        form.rating = Some(4);
+        form.relevant_links = vec!["http://esterno".into()];
+        assert!(matches!(
+            form.clone().submit("u", "q").unwrap_err(),
+            FormError::InvalidLink(_)
+        ));
+        form.relevant_links = vec!["kb/carte/000002".into()];
+        let feedback = form.submit("mario", "domanda").unwrap();
+        assert_eq!(feedback.rating, 4);
+        assert!(feedback.is_positive());
+    }
+}

@@ -1,0 +1,216 @@
+//! The indexing service.
+//!
+//! "The Indexing service parses, chunks and populates metadata for each
+//! document of the KB. … Every chunk contains the title of the
+//! document, the text content and domain, section and topic tags
+//! provided by the KB editors. We augment the metadata generating via
+//! LLM a summary of the whole document and a list of keywords."
+//!
+//! Chunking uses the production HTML-paragraph strategy with the
+//! 512-token budget (Section 4, "Index Design and Creation").
+
+use uniask_corpus::kb::KbDocument;
+use uniask_llm::summarize::{extract_keywords, summarize};
+use uniask_search::enrichment::{enrich_chunk, Enrichment};
+use uniask_search::hybrid::{ChunkRecord, SearchIndex};
+use uniask_text::html::parse_html;
+use uniask_text::splitter::HtmlParagraphSplitter;
+
+use crate::ingestion::IngestMessage;
+use crate::queue::MessageQueue;
+
+/// The indexing service: consumes ingest messages, feeds the index.
+#[derive(Debug)]
+pub struct IndexingService {
+    splitter: HtmlParagraphSplitter,
+    enrichment: Enrichment,
+    summary_sentences: usize,
+    keywords_per_doc: usize,
+    /// Chunks written since start (monitoring).
+    pub chunks_indexed: usize,
+    /// Documents removed/replaced since start.
+    pub documents_removed: usize,
+}
+
+impl IndexingService {
+    /// Create a service with the given chunk budget and enrichment.
+    pub fn new(chunk_max_tokens: usize, enrichment: Enrichment, summary_sentences: usize) -> Self {
+        IndexingService {
+            splitter: HtmlParagraphSplitter::new(chunk_max_tokens),
+            enrichment,
+            summary_sentences,
+            keywords_per_doc: 6,
+            chunks_indexed: 0,
+            documents_removed: 0,
+        }
+    }
+
+    /// Turn a KB page into chunk records (parse → chunk → metadata).
+    pub fn chunk_document(&self, doc: &KbDocument) -> Vec<ChunkRecord> {
+        let parsed = parse_html(&doc.html);
+        let body = parsed.body_text();
+        // LLM metadata enrichment over the whole document.
+        let summary = summarize(&body, self.summary_sentences);
+        let llm_keywords = extract_keywords(&body, self.keywords_per_doc);
+        let mut keywords = doc.keywords.clone();
+        keywords.extend(llm_keywords);
+
+        let chunks = self.splitter.split_document(&parsed);
+        chunks
+            .into_iter()
+            .map(|c| {
+                let mut record = ChunkRecord {
+                    parent_doc: doc.id.clone(),
+                    ordinal: c.ordinal,
+                    title: doc.title.clone(),
+                    content: c.text,
+                    summary: summary.clone(),
+                    domain: doc.domain.clone(),
+                    topic: doc.topic.clone(),
+                    section: doc.section.clone(),
+                    keywords: keywords.clone(),
+                };
+                enrich_chunk(&mut record, self.enrichment);
+                record
+            })
+            .collect()
+    }
+
+    /// Apply one ingest message to the index.
+    pub fn apply(&mut self, index: &mut SearchIndex, message: IngestMessage) {
+        match message {
+            IngestMessage::Upsert(doc) => {
+                let removed = index.remove_document(&doc.id);
+                if removed > 0 {
+                    self.documents_removed += 1;
+                }
+                for record in self.chunk_document(&doc) {
+                    index.add_chunk(&record);
+                    self.chunks_indexed += 1;
+                }
+            }
+            IngestMessage::Delete(id) => {
+                if index.remove_document(&id) > 0 {
+                    self.documents_removed += 1;
+                }
+            }
+        }
+    }
+
+    /// Drain every message currently in the queue into the index.
+    /// Returns the number of messages processed.
+    pub fn drain(&mut self, index: &mut SearchIndex, queue: &MessageQueue<IngestMessage>) -> usize {
+        let mut processed = 0;
+        while let Some(message) = queue.try_receive() {
+            self.apply(index, message);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+    use uniask_search::hybrid::HybridConfig;
+    use uniask_search::reranker::SemanticReranker;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn service() -> IndexingService {
+        IndexingService::new(512, Enrichment::None, 2)
+    }
+
+    fn index() -> SearchIndex {
+        SearchIndex::new(
+            Arc::new(SyntheticEmbedder::new(64, 3)),
+            SemanticReranker::default(),
+        )
+    }
+
+    fn sample_doc() -> KbDocument {
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 5).generate();
+        kb.documents.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn chunking_produces_metadata() {
+        let svc = service();
+        let doc = sample_doc();
+        let chunks = svc.chunk_document(&doc);
+        assert!(!chunks.is_empty());
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.parent_doc, doc.id);
+            assert_eq!(c.ordinal, i);
+            assert_eq!(c.title, doc.title);
+            assert!(!c.summary.is_empty(), "LLM summary must be attached");
+            assert!(c.keywords.len() >= doc.keywords.len(), "LLM keywords appended");
+        }
+    }
+
+    #[test]
+    fn chunks_respect_token_budget() {
+        let svc = IndexingService::new(128, Enrichment::None, 1);
+        let doc = sample_doc();
+        for c in svc.chunk_document(&doc) {
+            // Budget can be exceeded only by a single unsplittable unit.
+            assert!(
+                uniask_text::approx_token_count(&c.content) <= 192,
+                "chunk grossly over budget"
+            );
+        }
+    }
+
+    #[test]
+    fn upsert_then_search_finds_document() {
+        let mut svc = service();
+        let mut idx = index();
+        let doc = sample_doc();
+        svc.apply(&mut idx, IngestMessage::Upsert(doc.clone()));
+        assert!(svc.chunks_indexed > 0);
+        let hits = idx.search(&doc.title, &HybridConfig::default());
+        assert_eq!(hits[0].parent_doc, doc.id);
+    }
+
+    #[test]
+    fn upsert_replaces_previous_version() {
+        let mut svc = service();
+        let mut idx = index();
+        let mut doc = sample_doc();
+        svc.apply(&mut idx, IngestMessage::Upsert(doc.clone()));
+        let before = idx.len();
+        doc.html = "<p>versione aggiornata breve</p>".into();
+        svc.apply(&mut idx, IngestMessage::Upsert(doc.clone()));
+        assert_eq!(svc.documents_removed, 1);
+        assert!(idx.len() <= before, "old chunks tombstoned");
+        let hits = idx.search("versione aggiornata", &HybridConfig::default());
+        assert_eq!(hits[0].parent_doc, doc.id);
+    }
+
+    #[test]
+    fn delete_removes_document() {
+        let mut svc = service();
+        let mut idx = index();
+        let doc = sample_doc();
+        svc.apply(&mut idx, IngestMessage::Upsert(doc.clone()));
+        svc.apply(&mut idx, IngestMessage::Delete(doc.id.clone()));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn drain_consumes_the_queue() {
+        let mut svc = service();
+        let mut idx = index();
+        let queue = MessageQueue::new(16);
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 6).generate();
+        for d in kb.documents.iter().take(5) {
+            queue.post(IngestMessage::Upsert(d.clone()));
+        }
+        let processed = svc.drain(&mut idx, &queue);
+        assert_eq!(processed, 5);
+        assert!(queue.is_empty());
+        assert!(idx.len() >= 5);
+    }
+}

@@ -1,0 +1,195 @@
+//! The ingestion service.
+//!
+//! "The Ingestion service extracts information from each HTML document
+//! in the Knowledge Base. Given that the KB is edited on daily basis,
+//! this service is also in charge to keep data updated by polling
+//! modifications every 15 minutes. It is deployed on a serverless
+//! infrastructure component, triggered by a cron-job mechanism."
+//!
+//! The service reads from a [`KbSource`] (the live KB), remembers the
+//! `last_modified` watermark per page, and posts upsert/delete messages
+//! to the queue for the indexing service.
+
+use std::collections::HashMap;
+
+use uniask_corpus::kb::KbDocument;
+
+use crate::queue::MessageQueue;
+
+/// The poll interval the paper states (15 minutes).
+pub const POLL_INTERVAL_SECS: f64 = 15.0 * 60.0;
+
+/// A message from ingestion to indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestMessage {
+    /// A new or modified page.
+    Upsert(KbDocument),
+    /// A removed page.
+    Delete(String),
+}
+
+/// Source of truth for KB pages (the production system scrapes the
+/// internal CMS; tests and experiments use an in-memory KB).
+pub trait KbSource {
+    /// Snapshot of all pages currently in the KB.
+    fn pages(&self) -> Vec<KbDocument>;
+}
+
+impl KbSource for Vec<KbDocument> {
+    fn pages(&self) -> Vec<KbDocument> {
+        self.clone()
+    }
+}
+
+/// The poll-based ingestion service.
+#[derive(Debug)]
+pub struct IngestionService {
+    /// Watermarks: page id → last_modified seen.
+    seen: HashMap<String, u64>,
+    /// Simulated time of the last poll.
+    last_poll: Option<f64>,
+    /// Total messages posted (monitoring).
+    pub messages_posted: usize,
+}
+
+impl Default for IngestionService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IngestionService {
+    /// A fresh service that has never polled.
+    pub fn new() -> Self {
+        IngestionService {
+            seen: HashMap::new(),
+            last_poll: None,
+            messages_posted: 0,
+        }
+    }
+
+    /// Whether the cron trigger is due at simulated time `now`.
+    pub fn poll_due(&self, now: f64) -> bool {
+        match self.last_poll {
+            None => true,
+            Some(t) => now - t >= POLL_INTERVAL_SECS,
+        }
+    }
+
+    /// Run one poll cycle against `source`, posting changes to `queue`.
+    /// Returns the number of changes detected.
+    pub fn poll(
+        &mut self,
+        source: &dyn KbSource,
+        queue: &MessageQueue<IngestMessage>,
+        now: f64,
+    ) -> usize {
+        self.last_poll = Some(now);
+        let pages = source.pages();
+        let mut changes = 0usize;
+        let mut current_ids: HashMap<&str, ()> = HashMap::with_capacity(pages.len());
+        for page in &pages {
+            current_ids.insert(page.id.as_str(), ());
+            let is_change = match self.seen.get(&page.id) {
+                None => true,
+                Some(&seen) => page.last_modified > seen,
+            };
+            if is_change {
+                self.seen.insert(page.id.clone(), page.last_modified);
+                queue.post(IngestMessage::Upsert(page.clone()));
+                self.messages_posted += 1;
+                changes += 1;
+            }
+        }
+        // Deletions: pages we had seen that are gone.
+        let removed: Vec<String> = self
+            .seen
+            .keys()
+            .filter(|id| !current_ids.contains_key(id.as_str()))
+            .cloned()
+            .collect();
+        for id in removed {
+            self.seen.remove(&id);
+            queue.post(IngestMessage::Delete(id));
+            self.messages_posted += 1;
+            changes += 1;
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+
+    fn sample_docs(n: usize) -> Vec<KbDocument> {
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 1).generate();
+        kb.documents.into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn first_poll_ingests_everything() {
+        let docs = sample_docs(10);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        let changes = svc.poll(&docs, &queue, 0.0);
+        assert_eq!(changes, 10);
+        assert_eq!(queue.len(), 10);
+    }
+
+    #[test]
+    fn unchanged_kb_produces_no_messages() {
+        let docs = sample_docs(5);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        svc.poll(&docs, &queue, 0.0);
+        while queue.try_receive().is_some() {}
+        let changes = svc.poll(&docs, &queue, POLL_INTERVAL_SECS);
+        assert_eq!(changes, 0);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn modified_page_is_reingested() {
+        let mut docs = sample_docs(3);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        svc.poll(&docs, &queue, 0.0);
+        while queue.try_receive().is_some() {}
+        docs[1].last_modified += 100;
+        docs[1].html = "<p>aggiornato</p>".into();
+        let changes = svc.poll(&docs, &queue, POLL_INTERVAL_SECS);
+        assert_eq!(changes, 1);
+        match queue.try_receive().unwrap() {
+            IngestMessage::Upsert(d) => assert_eq!(d.id, docs[1].id),
+            other => panic!("expected upsert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removed_page_produces_delete() {
+        let docs = sample_docs(3);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        svc.poll(&docs, &queue, 0.0);
+        while queue.try_receive().is_some() {}
+        let shorter = docs[..2].to_vec();
+        let removed_id = docs[2].id.clone();
+        let changes = svc.poll(&shorter, &queue, POLL_INTERVAL_SECS);
+        assert_eq!(changes, 1);
+        assert_eq!(queue.try_receive(), Some(IngestMessage::Delete(removed_id)));
+    }
+
+    #[test]
+    fn poll_cadence_is_15_minutes() {
+        let mut svc = IngestionService::new();
+        assert!(svc.poll_due(0.0), "first poll always due");
+        let docs = sample_docs(1);
+        let queue = MessageQueue::new(8);
+        svc.poll(&docs, &queue, 0.0);
+        assert!(!svc.poll_due(600.0), "10 minutes: not due");
+        assert!(svc.poll_due(900.0), "15 minutes: due");
+    }
+}

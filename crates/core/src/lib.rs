@@ -1,0 +1,51 @@
+//! # uniask-core
+//!
+//! The UniAsk system itself (Figure 1): the hybrid
+//! microservice/serverless architecture assembled from the substrate
+//! crates.
+//!
+//! * [`ingestion`] — the serverless ingestion service: polls the KB
+//!   every 15 minutes (simulated clock), detects new/updated/removed
+//!   pages and posts them to the message queue.
+//! * [`queue`] — the message queue between ingestion and indexing.
+//! * [`indexing`] — the indexing service: parses HTML, chunks along
+//!   paragraph boundaries (512-token budget), enriches metadata with an
+//!   LLM summary and keywords, and feeds the search index.
+//! * [`app`] — the user-query flow: retrieval (HSS) → prompt → LLM →
+//!   guardrails, returning the answer plus the retrieved document list.
+//! * [`backend`] — the REST-layer equivalent: request handling plus the
+//!   granular feedback store of Section 8.
+//! * [`monitoring`] — the dashboard counters of Figure 3.
+//! * [`loadtest`] — the open-system load test of Figure 2.
+//! * [`pilot`] — the three user-test phases of Section 8.
+//! * [`tickets`] — the post-launch ticket-reduction analysis.
+
+pub mod app;
+pub mod backend;
+pub mod bulk;
+pub mod clock;
+pub mod config;
+pub mod frontend;
+pub mod indexing;
+pub mod ingestion;
+pub mod loadtest;
+pub mod monitoring;
+pub mod pilot;
+pub mod querylog;
+pub mod queue;
+pub mod tickets;
+
+pub use app::{AskResponse, GenerationOutcome, UniAsk};
+pub use backend::{Backend, Feedback, FeedbackStore};
+pub use bulk::bulk_ingest;
+pub use clock::SimClock;
+pub use config::UniAskConfig;
+pub use frontend::{render_response, FeedbackForm, FormError};
+pub use indexing::IndexingService;
+pub use ingestion::{IngestMessage, IngestionService, KbSource};
+pub use loadtest::{LoadTest, LoadTestConfig, LoadTestReport};
+pub use monitoring::{DashboardSnapshot, Monitoring};
+pub use pilot::{PilotConfig, PilotPhase, PilotReport, UatReport};
+pub use querylog::{QueryEvent, QueryLog};
+pub use queue::MessageQueue;
+pub use tickets::{ticket_analysis, TicketReport};

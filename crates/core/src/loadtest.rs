@@ -1,0 +1,280 @@
+//! The load test of Figure 2.
+//!
+//! "We treat UniAsk as an open system, where there is no control over
+//! the number of concurrent users. … The test consists in continuously
+//! hitting the LLM resource with requests during a 60-minute interval,
+//! with an initial user amount rate of 1 per second and a target user
+//! amount rate of 3 per second. Each request has 7200 tokens in total.
+//! The test yields 267 failed queries out of a total of 7200 requests."
+//!
+//! The simulation drives the token-bucket-limited [`LlmService`] with a
+//! deterministic open arrival process whose rate ramps linearly from
+//! the initial to the target rate; requests failing the rate limit are
+//! the failures the paper counts.
+
+use uniask_llm::chat::{ChatMessage, ChatRequest, ChatResponse, FinishReason, Usage};
+use uniask_llm::error::LlmError;
+use uniask_llm::model::ChatModel;
+use uniask_llm::service::{LlmService, LlmServiceConfig};
+
+/// Load-test parameters (defaults are the paper's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadTestConfig {
+    /// Test duration, seconds (paper: 60 minutes).
+    pub duration_secs: f64,
+    /// Initial arrival rate, users/second (paper: 1).
+    pub initial_rate: f64,
+    /// Target arrival rate at the end of the ramp (paper: 3).
+    pub target_rate: f64,
+    /// Tokens per request, total (paper: 7 200).
+    pub tokens_per_request: usize,
+    /// Completion tokens within the total.
+    pub completion_tokens: usize,
+    /// Service envelope under test.
+    pub service: LlmServiceConfig,
+}
+
+impl Default for LoadTestConfig {
+    fn default() -> Self {
+        LoadTestConfig {
+            duration_secs: 3600.0,
+            initial_rate: 1.0,
+            target_rate: 3.0,
+            tokens_per_request: 7200,
+            completion_tokens: 200,
+            service: LlmServiceConfig {
+                bucket_capacity: 120_000.0,
+                tokens_per_sec: 17_500.0,
+                base_latency_secs: 0.35,
+                per_token_latency_secs: 0.012,
+            },
+        }
+    }
+}
+
+/// Per-minute statistics of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinuteStats {
+    /// Minute index (0-based).
+    pub minute: usize,
+    /// Requests that arrived in this minute.
+    pub requests: usize,
+    /// Requests rejected by the rate limiter.
+    pub failures: usize,
+    /// Mean service latency of successful requests, seconds.
+    pub avg_latency_secs: f64,
+}
+
+/// Result of a load-test run.
+#[derive(Debug, Clone)]
+pub struct LoadTestReport {
+    /// Total requests issued.
+    pub total_requests: usize,
+    /// Requests rejected by the rate limiter.
+    pub failed_requests: usize,
+    /// Per-minute series.
+    pub minutes: Vec<MinuteStats>,
+}
+
+impl LoadTestReport {
+    /// Failure fraction.
+    pub fn failure_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.failed_requests as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Render the per-minute failure series as a textual chart (the
+    /// Figure 2 panel).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Load test: {} requests, {} failed ({:.1}%)\n",
+            self.total_requests,
+            self.failed_requests,
+            100.0 * self.failure_rate()
+        ));
+        out.push_str("min | req | fail | chart (#=2 failures)\n");
+        for m in &self.minutes {
+            let bar = "#".repeat(m.failures / 2);
+            out.push_str(&format!(
+                "{:>3} | {:>3} | {:>4} | {bar}\n",
+                m.minute, m.requests, m.failures
+            ));
+        }
+        out
+    }
+}
+
+/// A stub model with the paper's request shape: the load test measures
+/// the *service envelope*, not generation quality.
+struct SyntheticModel {
+    completion_tokens: usize,
+}
+
+impl ChatModel for SyntheticModel {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        Ok(ChatResponse {
+            message: ChatMessage::assistant("risposta sintetica del test di carico"),
+            finish_reason: FinishReason::Stop,
+            usage: Usage {
+                prompt_tokens: request.prompt_tokens(),
+                completion_tokens: self.completion_tokens,
+            },
+        })
+    }
+}
+
+/// The load-test driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadTest {
+    /// Parameters.
+    pub config: LoadTestConfig,
+}
+
+impl LoadTest {
+    /// Create a driver with custom parameters.
+    pub fn new(config: LoadTestConfig) -> Self {
+        LoadTest { config }
+    }
+
+    /// Instantaneous arrival rate at time `t`.
+    fn rate_at(&self, t: f64) -> f64 {
+        let c = &self.config;
+        let frac = (t / c.duration_secs).clamp(0.0, 1.0);
+        c.initial_rate + (c.target_rate - c.initial_rate) * frac
+    }
+
+    /// Run the test on a simulated clock.
+    pub fn run(&self) -> LoadTestReport {
+        let c = &self.config;
+        let prompt_tokens = c.tokens_per_request.saturating_sub(c.completion_tokens);
+        // A prompt whose approximate token count equals the target:
+        // the counter charges 1 token per 1-3-char word.
+        let prompt_text = vec!["tok"; prompt_tokens].join(" ");
+        let request = ChatRequest::new(vec![ChatMessage::user(prompt_text)]);
+        debug_assert_eq!(request.prompt_tokens(), prompt_tokens);
+
+        let service = LlmService::new(
+            SyntheticModel {
+                completion_tokens: c.completion_tokens,
+            },
+            c.service,
+        );
+
+        let minutes_len = (c.duration_secs / 60.0).ceil() as usize;
+        let mut minutes: Vec<MinuteStats> = (0..minutes_len)
+            .map(|m| MinuteStats {
+                minute: m,
+                ..Default::default()
+            })
+            .collect();
+        let mut latency_sums = vec![0.0f64; minutes_len];
+        let mut success_counts = vec![0usize; minutes_len];
+
+        let mut total = 0usize;
+        let mut failed = 0usize;
+        let mut t = 0.0f64;
+        while t < c.duration_secs {
+            let minute = ((t / 60.0) as usize).min(minutes_len - 1);
+            minutes[minute].requests += 1;
+            total += 1;
+            match service.complete_at(&request, t) {
+                Ok(timed) => {
+                    latency_sums[minute] += timed.latency_secs;
+                    success_counts[minute] += 1;
+                }
+                Err(LlmError::RateLimited { .. }) => {
+                    minutes[minute].failures += 1;
+                    failed += 1;
+                }
+                Err(_) => {
+                    minutes[minute].failures += 1;
+                    failed += 1;
+                }
+            }
+            // Deterministic open arrivals: inter-arrival = 1/rate(t).
+            t += 1.0 / self.rate_at(t);
+        }
+        for (m, stats) in minutes.iter_mut().enumerate() {
+            if success_counts[m] > 0 {
+                stats.avg_latency_secs = latency_sums[m] / success_counts[m] as f64;
+            }
+        }
+        LoadTestReport {
+            total_requests: total,
+            failed_requests: failed,
+            minutes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_reproduces_figure_2_shape() {
+        let report = LoadTest::new(LoadTestConfig::default()).run();
+        // ~7200 total requests (ramp 1→3 over an hour averages 2/s).
+        assert!(
+            (6800..=7600).contains(&report.total_requests),
+            "total {}",
+            report.total_requests
+        );
+        // Failures in the paper's ballpark (267/7200 ≈ 3.7%).
+        let rate = report.failure_rate();
+        assert!(
+            (0.015..=0.08).contains(&rate),
+            "failure rate {rate} out of band ({} failures)",
+            report.failed_requests
+        );
+        // Failures concentrate in the back half of the ramp.
+        let first_half: usize = report.minutes[..30].iter().map(|m| m.failures).sum();
+        let second_half: usize = report.minutes[30..].iter().map(|m| m.failures).sum();
+        assert!(second_half > first_half * 3, "failures must cluster late: {first_half} vs {second_half}");
+    }
+
+    #[test]
+    fn generous_capacity_has_no_failures() {
+        let mut config = LoadTestConfig::default();
+        config.service.tokens_per_sec = 100_000.0;
+        let report = LoadTest::new(config).run();
+        assert_eq!(report.failed_requests, 0);
+    }
+
+    #[test]
+    fn request_rate_ramps_linearly() {
+        let lt = LoadTest::new(LoadTestConfig::default());
+        assert!((lt.rate_at(0.0) - 1.0).abs() < 1e-9);
+        assert!((lt.rate_at(1800.0) - 2.0).abs() < 1e-9);
+        assert!((lt.rate_at(3600.0) - 3.0).abs() < 1e-9);
+        assert!((lt.rate_at(7200.0) - 3.0).abs() < 1e-9, "clamped after the ramp");
+    }
+
+    #[test]
+    fn short_test_is_fast_and_consistent() {
+        let config = LoadTestConfig {
+            duration_secs: 60.0,
+            ..Default::default()
+        };
+        let a = LoadTest::new(config).run();
+        let b = LoadTest::new(config).run();
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.failed_requests, b.failed_requests);
+        assert_eq!(a.minutes.len(), 1);
+    }
+
+    #[test]
+    fn render_mentions_totals() {
+        let config = LoadTestConfig {
+            duration_secs: 120.0,
+            ..Default::default()
+        };
+        let r = LoadTest::new(config).run().render();
+        assert!(r.contains("requests"));
+        assert!(r.contains("min |"));
+    }
+}

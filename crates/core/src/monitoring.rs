@@ -1,0 +1,266 @@
+//! Monitoring (Figure 3).
+//!
+//! "We have created a dashboard that directly queries the logs of the
+//! various microservices … reporting the number of users, the number of
+//! feedbacks provided, the average response time, and the number of
+//! failed requests and triggered guardrails."
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+use uniask_guardrails::verdict::GuardrailKind;
+
+/// Thread-safe monitoring collector.
+#[derive(Debug, Default)]
+pub struct Monitoring {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    users: HashSet<String>,
+    queries: usize,
+    feedbacks: usize,
+    failed_requests: usize,
+    guardrail_citation: usize,
+    guardrail_rouge: usize,
+    guardrail_clarification: usize,
+    guardrail_content_filter: usize,
+    response_time_sum: f64,
+    response_time_count: usize,
+    /// Response-time histogram: fixed 50 ms buckets up to 10 s, plus an
+    /// overflow bucket — enough resolution for p50/p95/p99 on a
+    /// dashboard without unbounded memory.
+    response_time_buckets: Vec<u64>,
+}
+
+/// 50 ms buckets, 10 s span (200 buckets + overflow).
+const BUCKET_WIDTH_SECS: f64 = 0.05;
+const BUCKET_COUNT: usize = 200;
+
+impl Inner {
+    fn record_latency(&mut self, secs: f64) {
+        if self.response_time_buckets.is_empty() {
+            self.response_time_buckets = vec![0; BUCKET_COUNT + 1];
+        }
+        let idx = ((secs / BUCKET_WIDTH_SECS) as usize).min(BUCKET_COUNT);
+        self.response_time_buckets[idx] += 1;
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.response_time_count == 0 {
+            return 0.0;
+        }
+        let target = ((self.response_time_count as f64) * p).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.response_time_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return (i as f64 + 0.5) * BUCKET_WIDTH_SECS;
+            }
+        }
+        (BUCKET_COUNT as f64) * BUCKET_WIDTH_SECS
+    }
+}
+
+/// A point-in-time dashboard page (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DashboardSnapshot {
+    /// Distinct users observed.
+    pub users: usize,
+    /// Total queries served.
+    pub queries: usize,
+    /// Feedback forms submitted.
+    pub feedbacks: usize,
+    /// Failed requests (LLM errors, rate limits).
+    pub failed_requests: usize,
+    /// Guardrails triggered, total.
+    pub guardrails_triggered: usize,
+    /// Citation guardrail triggers.
+    pub guardrail_citation: usize,
+    /// ROUGE guardrail triggers.
+    pub guardrail_rouge: usize,
+    /// Clarification guardrail triggers.
+    pub guardrail_clarification: usize,
+    /// Content-filter triggers.
+    pub guardrail_content_filter: usize,
+    /// Average response time over all queries, seconds.
+    pub avg_response_time_secs: f64,
+    /// Median response time, seconds (50 ms histogram resolution).
+    pub p50_response_time_secs: f64,
+    /// 95th-percentile response time, seconds.
+    pub p95_response_time_secs: f64,
+}
+
+impl Monitoring {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a served query by `user` with its response time.
+    pub fn record_query(&self, user: &str, response_time_secs: f64) {
+        let mut inner = self.inner.lock();
+        inner.users.insert(user.to_string());
+        inner.queries += 1;
+        inner.response_time_sum += response_time_secs;
+        inner.response_time_count += 1;
+        inner.record_latency(response_time_secs);
+    }
+
+    /// Record a feedback submission.
+    pub fn record_feedback(&self) {
+        self.inner.lock().feedbacks += 1;
+    }
+
+    /// Record a failed request (LLM/service error).
+    pub fn record_failure(&self) {
+        self.inner.lock().failed_requests += 1;
+    }
+
+    /// Record a guardrail trigger.
+    pub fn record_guardrail(&self, kind: GuardrailKind) {
+        let mut inner = self.inner.lock();
+        match kind {
+            GuardrailKind::Citation => inner.guardrail_citation += 1,
+            GuardrailKind::Rouge => inner.guardrail_rouge += 1,
+            GuardrailKind::Clarification => inner.guardrail_clarification += 1,
+            GuardrailKind::ContentFilter => inner.guardrail_content_filter += 1,
+        }
+    }
+
+    /// Produce the dashboard page.
+    pub fn snapshot(&self) -> DashboardSnapshot {
+        let inner = self.inner.lock();
+        DashboardSnapshot {
+            users: inner.users.len(),
+            queries: inner.queries,
+            feedbacks: inner.feedbacks,
+            failed_requests: inner.failed_requests,
+            guardrails_triggered: inner.guardrail_citation
+                + inner.guardrail_rouge
+                + inner.guardrail_clarification
+                + inner.guardrail_content_filter,
+            guardrail_citation: inner.guardrail_citation,
+            guardrail_rouge: inner.guardrail_rouge,
+            guardrail_clarification: inner.guardrail_clarification,
+            guardrail_content_filter: inner.guardrail_content_filter,
+            avg_response_time_secs: if inner.response_time_count == 0 {
+                0.0
+            } else {
+                inner.response_time_sum / inner.response_time_count as f64
+            },
+            p50_response_time_secs: inner.percentile(0.50),
+            p95_response_time_secs: inner.percentile(0.95),
+        }
+    }
+}
+
+impl DashboardSnapshot {
+    /// Render the dashboard as text (the Figure 3 page).
+    pub fn render(&self) -> String {
+        format!(
+            "┌─ UniAsk Monitoring ─────────────────────────┐\n\
+             │ users                    {:>8}           │\n\
+             │ queries                  {:>8}           │\n\
+             │ feedbacks                {:>8}           │\n\
+             │ avg response time        {:>8.2}s          │\n\
+             │ p50/p95 response      {:>5.2}s /{:>6.2}s     │\n\
+             │ failed requests          {:>8}           │\n\
+             │ guardrails triggered     {:>8}           │\n\
+             │   · citation             {:>8}           │\n\
+             │   · rouge                {:>8}           │\n\
+             │   · clarification        {:>8}           │\n\
+             │   · content filter       {:>8}           │\n\
+             └─────────────────────────────────────────────┘",
+            self.users,
+            self.queries,
+            self.feedbacks,
+            self.avg_response_time_secs,
+            self.p50_response_time_secs,
+            self.p95_response_time_secs,
+            self.failed_requests,
+            self.guardrails_triggered,
+            self.guardrail_citation,
+            self.guardrail_rouge,
+            self.guardrail_clarification,
+            self.guardrail_content_filter,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Monitoring::new();
+        m.record_query("alice", 1.0);
+        m.record_query("bob", 3.0);
+        m.record_query("alice", 2.0);
+        m.record_feedback();
+        m.record_failure();
+        m.record_guardrail(GuardrailKind::Citation);
+        m.record_guardrail(GuardrailKind::Rouge);
+        let s = m.snapshot();
+        assert_eq!(s.users, 2);
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.feedbacks, 1);
+        assert_eq!(s.failed_requests, 1);
+        assert_eq!(s.guardrails_triggered, 2);
+        assert!((s.avg_response_time_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let m = Monitoring::new();
+        // 90 fast queries, 10 slow ones.
+        for i in 0..90 {
+            m.record_query(&format!("u{i}"), 0.2);
+        }
+        for i in 0..10 {
+            m.record_query(&format!("s{i}"), 3.0);
+        }
+        let s = m.snapshot();
+        assert!((s.p50_response_time_secs - 0.2).abs() < 0.06, "p50 {}", s.p50_response_time_secs);
+        assert!(s.p95_response_time_secs > 2.5, "p95 {}", s.p95_response_time_secs);
+        assert!(s.p95_response_time_secs >= s.p50_response_time_secs);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Monitoring::new().snapshot();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.avg_response_time_secs, 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_counters() {
+        let m = Monitoring::new();
+        m.record_query("u", 0.5);
+        let page = m.snapshot().render();
+        assert!(page.contains("users"));
+        assert!(page.contains("guardrails triggered"));
+        assert!(page.contains("content filter"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let m = std::sync::Arc::new(Monitoring::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = std::sync::Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    m.record_query(&format!("user-{t}"), f64::from(i) * 0.001);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().queries, 1000);
+        assert_eq!(m.snapshot().users, 4);
+    }
+}

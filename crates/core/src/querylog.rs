@@ -1,0 +1,177 @@
+//! Query log (the raw material of the paper's datasets).
+//!
+//! The keyword dataset was "randomly sampled among the frequent queries
+//! in the log of the previous system … a log spanning one year", and
+//! the UAT picked "the most frequent in the 2023 log". This service is
+//! that log: a bounded in-memory record of (query, served?, user)
+//! events with the analyses the paper performs on it — frequent-query
+//! extraction and failure accounting.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// One logged query event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryEvent {
+    /// The query as typed.
+    pub query: String,
+    /// The user who issued it.
+    pub user: String,
+    /// Whether the engine returned any results.
+    pub served: bool,
+}
+
+/// Bounded in-memory query log with frequency analysis.
+#[derive(Debug)]
+pub struct QueryLog {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: std::collections::VecDeque<QueryEvent>,
+    /// Normalized query → frequency (survives event eviction, as a log
+    /// aggregation would).
+    frequency: HashMap<String, u64>,
+    total: u64,
+    unserved: u64,
+}
+
+/// Normalize a query for frequency aggregation: lower-case, collapsed
+/// whitespace.
+fn normalize(query: &str) -> String {
+    query.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+impl QueryLog {
+    /// A log retaining the most recent `capacity` events (frequency
+    /// counters are unbounded aggregates).
+    pub fn new(capacity: usize) -> Self {
+        QueryLog {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record a query event.
+    pub fn record(&self, query: &str, user: &str, served: bool) {
+        let mut inner = self.inner.lock();
+        inner.total += 1;
+        if !served {
+            inner.unserved += 1;
+        }
+        *inner.frequency.entry(normalize(query)).or_insert(0) += 1;
+        inner.events.push_back(QueryEvent {
+            query: query.to_string(),
+            user: user.to_string(),
+            served,
+        });
+        if inner.events.len() > self.capacity {
+            inner.events.pop_front();
+        }
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().total
+    }
+
+    /// Fraction of queries that returned nothing — the number the
+    /// paper's ticket analysis starts from.
+    pub fn failure_rate(&self) -> f64 {
+        let inner = self.inner.lock();
+        if inner.total == 0 {
+            0.0
+        } else {
+            inner.unserved as f64 / inner.total as f64
+        }
+    }
+
+    /// The `n` most frequent normalized queries (count, query), ties
+    /// broken alphabetically — the sampling frame for the keyword
+    /// dataset and the UAT selection.
+    pub fn frequent(&self, n: usize) -> Vec<(u64, String)> {
+        let inner = self.inner.lock();
+        let mut entries: Vec<(u64, String)> = inner
+            .frequency
+            .iter()
+            .map(|(q, c)| (*c, q.clone()))
+            .collect();
+        entries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        entries.truncate(n);
+        entries
+    }
+
+    /// Most recent retained events (oldest first).
+    pub fn recent(&self) -> Vec<QueryEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_aggregates_normalized_queries() {
+        let log = QueryLog::new(100);
+        log.record("Bonifico Estero", "a", true);
+        log.record("bonifico   estero", "b", true);
+        log.record("saldo", "a", true);
+        let top = log.frequent(2);
+        assert_eq!(top[0], (2, "bonifico estero".to_string()));
+        assert_eq!(top[1], (1, "saldo".to_string()));
+    }
+
+    #[test]
+    fn failure_rate_counts_unserved() {
+        let log = QueryLog::new(10);
+        log.record("a", "u", true);
+        log.record("b", "u", false);
+        log.record("c", "u", false);
+        log.record("d", "u", true);
+        assert!((log.failure_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(log.total(), 4);
+    }
+
+    #[test]
+    fn capacity_bounds_events_but_not_counters() {
+        let log = QueryLog::new(3);
+        for i in 0..10 {
+            log.record(&format!("q{i}"), "u", true);
+        }
+        assert_eq!(log.recent().len(), 3);
+        assert_eq!(log.recent()[0].query, "q7", "oldest retained event");
+        assert_eq!(log.total(), 10);
+        assert_eq!(log.frequent(100).len(), 10, "frequencies survive eviction");
+    }
+
+    #[test]
+    fn empty_log_is_sane() {
+        let log = QueryLog::new(5);
+        assert_eq!(log.failure_rate(), 0.0);
+        assert!(log.frequent(3).is_empty());
+        assert!(log.recent().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let log = std::sync::Arc::new(QueryLog::new(1000));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    log.record(&format!("q{}", i % 5), &format!("u{t}"), i % 7 != 0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.total(), 400);
+        assert_eq!(log.frequent(5).iter().map(|(c, _)| c).sum::<u64>(), 400);
+    }
+}

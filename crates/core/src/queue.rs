@@ -1,0 +1,105 @@
+//! The message queue between ingestion and indexing.
+//!
+//! "The Indexing service communicates with the Ingestion service by
+//! means of a message queue. Using an event-based trigger, it reads
+//! messages posted by the ingester and it feeds the index." Backed by a
+//! crossbeam MPMC channel so the two services can run on separate
+//! threads.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// A bounded MPMC message queue.
+#[derive(Debug, Clone)]
+pub struct MessageQueue<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+impl<T> MessageQueue<T> {
+    /// Create a queue with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        let (tx, rx) = bounded(capacity);
+        MessageQueue { tx, rx }
+    }
+
+    /// Post a message (blocks when the queue is full — natural
+    /// backpressure on the ingester).
+    pub fn post(&self, message: T) {
+        // The queue is only disconnected when both ends are dropped, in
+        // which case there is nobody to notify.
+        let _ = self.tx.send(message);
+    }
+
+    /// Blocking receive; `None` when all senders are gone.
+    pub fn receive(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_receive(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// A sender handle for producer threads.
+    pub fn sender(&self) -> Sender<T> {
+        self.tx.clone()
+    }
+
+    /// A receiver handle for consumer threads.
+    pub fn receiver(&self) -> Receiver<T> {
+        self.rx.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_receive_in_order() {
+        let q = MessageQueue::new(8);
+        q.post(1);
+        q.post(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_receive(), Some(1));
+        assert_eq!(q.try_receive(), Some(2));
+        assert_eq!(q.try_receive(), None);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let q = MessageQueue::new(4);
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                q2.post(i);
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Some(v) = q.receive() {
+                got.push(v);
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn is_empty_reflects_state() {
+        let q: MessageQueue<u8> = MessageQueue::new(2);
+        assert!(q.is_empty());
+        q.post(1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Post-launch ticket analysis.
+//!
+//! "Whenever an employee is unable to obtain a satisfactory answer for
+//! an enquiry of hers, she usually opens a ticket to require the
+//! correct information. … Post-launch analysis shows that UniAsk allows
+//! to reduce the number of tickets opened to report unsuccessful
+//! searches by around 20%."
+//!
+//! The model: a search *fails* for an employee when no relevant
+//! document appears in the first page of results; failed searches
+//! convert to tickets at a fixed propensity. The reduction follows from
+//! the failure counts of the two systems on the same traffic mix.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Result of the ticket analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TicketReport {
+    /// Searches evaluated.
+    pub searches: usize,
+    /// Failed searches under the previous engine.
+    pub failures_prev: usize,
+    /// Failed searches under UniAsk.
+    pub failures_uniask: usize,
+    /// Tickets opened under the previous engine.
+    pub tickets_prev: usize,
+    /// Tickets opened under UniAsk.
+    pub tickets_uniask: usize,
+}
+
+impl TicketReport {
+    /// Percentage reduction in tickets (positive = fewer tickets).
+    pub fn reduction_pct(&self) -> f64 {
+        if self.tickets_prev == 0 {
+            return 0.0;
+        }
+        100.0 * (self.tickets_prev as f64 - self.tickets_uniask as f64)
+            / self.tickets_prev as f64
+    }
+}
+
+/// Run the ticket model over per-search success flags of the two
+/// systems on identical traffic. `ticket_propensity` is the probability
+/// that a failed search turns into a ticket.
+pub fn ticket_analysis(
+    prev_success: &[bool],
+    uniask_success: &[bool],
+    ticket_propensity: f64,
+    seed: u64,
+) -> TicketReport {
+    assert_eq!(
+        prev_success.len(),
+        uniask_success.len(),
+        "both systems must be evaluated on the same traffic"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut report = TicketReport {
+        searches: prev_success.len(),
+        failures_prev: 0,
+        failures_uniask: 0,
+        tickets_prev: 0,
+        tickets_uniask: 0,
+    };
+    for (&prev_ok, &uni_ok) in prev_success.iter().zip(uniask_success) {
+        // One propensity draw per search: the same employee faces both
+        // systems in the before/after comparison.
+        let would_open = rng.gen::<f64>() < ticket_propensity;
+        if !prev_ok {
+            report.failures_prev += 1;
+            if would_open {
+                report.tickets_prev += 1;
+            }
+        }
+        if !uni_ok {
+            report.failures_uniask += 1;
+            if would_open {
+                report.tickets_uniask += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_system_means_fewer_tickets() {
+        // Prev fails 40%, UniAsk fails 20% on the same traffic.
+        let n = 10_000;
+        let prev: Vec<bool> = (0..n).map(|i| i % 5 != 0 && i % 5 != 1).collect();
+        let uniask: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+        let r = ticket_analysis(&prev, &uniask, 0.3, 7);
+        assert!(r.failures_prev > r.failures_uniask);
+        assert!(r.tickets_prev > r.tickets_uniask);
+        let red = r.reduction_pct();
+        assert!((40.0..=60.0).contains(&red), "expected ~50% reduction, got {red}");
+    }
+
+    #[test]
+    fn identical_systems_have_zero_reduction() {
+        let outcomes: Vec<bool> = (0..1000).map(|i| i % 3 != 0).collect();
+        let r = ticket_analysis(&outcomes, &outcomes, 0.5, 1);
+        assert_eq!(r.tickets_prev, r.tickets_uniask);
+        assert_eq!(r.reduction_pct(), 0.0);
+    }
+
+    #[test]
+    fn propensity_scales_ticket_volume() {
+        let prev = vec![false; 1000];
+        let uniask = vec![true; 1000];
+        let low = ticket_analysis(&prev, &uniask, 0.1, 3);
+        let high = ticket_analysis(&prev, &uniask, 0.9, 3);
+        assert!(high.tickets_prev > low.tickets_prev * 5);
+        assert_eq!(high.tickets_uniask, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let prev = vec![false; 500];
+        let uniask: Vec<bool> = (0..500).map(|i| i % 2 == 0).collect();
+        let a = ticket_analysis(&prev, &uniask, 0.3, 42);
+        let b = ticket_analysis(&prev, &uniask, 0.3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same traffic")]
+    fn mismatched_lengths_panic() {
+        ticket_analysis(&[true], &[true, false], 0.5, 1);
+    }
+}

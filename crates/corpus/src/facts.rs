@@ -1,0 +1,292 @@
+//! Facts: the ground-truth backbone of the synthetic corpus.
+//!
+//! Every generated document is built around a *fact* — an atomic piece
+//! of bank knowledge (a procedure, an error resolution, a limit, a
+//! requirement, a policy). Questions are generated from the same facts,
+//! which is what gives the evaluation datasets exact ground truth: the
+//! documents relevant to a question are precisely the documents that
+//! express its fact.
+
+use crate::vocab::Concept;
+
+/// The kind of knowledge a fact captures (also determines the document
+/// archetype and the question templates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactKind {
+    /// How to perform `action` on `object` (optionally qualified) in
+    /// `system`.
+    Procedure {
+        /// The action concept.
+        action: &'static Concept,
+        /// The object concept.
+        object: &'static Concept,
+        /// Optional qualifier concept.
+        qualifier: Option<&'static Concept>,
+        /// The internal system where the procedure runs.
+        system: &'static Concept,
+        /// Number of procedure steps.
+        steps: usize,
+    },
+    /// Resolution of error `code` raised by `system` while operating on
+    /// `object`.
+    ErrorCode {
+        /// The literal error code (e.g. `E4521`).
+        code: String,
+        /// The system raising the error.
+        system: &'static Concept,
+        /// The object involved.
+        object: &'static Concept,
+        /// The action that resolves it.
+        resolution: &'static Concept,
+    },
+    /// `attribute` of (optionally qualified) `object` equals `value`.
+    Limit {
+        /// The object concept.
+        object: &'static Concept,
+        /// Optional qualifier.
+        qualifier: Option<&'static Concept>,
+        /// The attribute (limit, fee, rate, deadline…).
+        attribute: &'static Concept,
+        /// The literal value with unit (e.g. `5.000 euro`).
+        value: String,
+    },
+    /// Performing `action` on `object` requires `requirement` (an
+    /// attribute concept) plus a literal detail.
+    Requirement {
+        /// The action.
+        action: &'static Concept,
+        /// The object.
+        object: &'static Concept,
+        /// The required attribute (document, signature, authorization…).
+        requirement: &'static Concept,
+        /// Literal detail (e.g. the form name).
+        detail: String,
+    },
+    /// Governance/policy statement about `object`'s `attribute`.
+    Policy {
+        /// The object.
+        object: &'static Concept,
+        /// The attribute the policy constrains.
+        attribute: &'static Concept,
+        /// Literal policy detail.
+        detail: String,
+    },
+}
+
+/// A fact with taxonomy placement and identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// Unique fact id (ground-truth linkage).
+    pub id: u64,
+    /// Domain tag (taxonomy level 1).
+    pub domain: String,
+    /// Topic tag (taxonomy level 2).
+    pub topic: String,
+    /// Section tag (document archetype family).
+    pub section: String,
+    /// The knowledge payload.
+    pub kind: FactKind,
+}
+
+/// Surface of a concept at variant index `v` (0 = primary).
+fn surf(c: &Concept, v: usize) -> &str {
+    c.surfaces[v % c.surfaces.len()]
+}
+
+impl Fact {
+    /// The canonical sentence expressing this fact, written with the
+    /// *primary* surface of every concept (documents use it; it also
+    /// serves as the ground-truth answer for the fact's questions).
+    pub fn key_sentence(&self) -> String {
+        self.key_sentence_variant(0)
+    }
+
+    /// The key sentence written with surface variant `v` of every
+    /// concept. Re-published duplicate pages use v > 0: the same fact
+    /// worded by a different editor — the content replication the
+    /// paper describes.
+    pub fn key_sentence_variant(&self, v: usize) -> String {
+        match &self.kind {
+            FactKind::Procedure {
+                action,
+                object,
+                qualifier,
+                system,
+                ..
+            } => {
+                let q = qualifier.map(|c| format!(" {}", surf(c, v))).unwrap_or_default();
+                format!(
+                    "Per {} il {}{} occorre utilizzare la funzione dedicata del sistema {}.",
+                    surf(action, v),
+                    surf(object, v),
+                    q,
+                    system.surfaces[0].to_uppercase()
+                )
+            }
+            FactKind::ErrorCode {
+                code,
+                system,
+                object,
+                resolution,
+            } => format!(
+                "L'errore {} del sistema {} durante l'operazione su {} si risolve con {} della sessione.",
+                code,
+                system.surfaces[0].to_uppercase(),
+                surf(object, v),
+                surf(resolution, v)
+            ),
+            FactKind::Limit {
+                object,
+                qualifier,
+                attribute,
+                value,
+            } => {
+                let q = qualifier.map(|c| format!(" {}", surf(c, v))).unwrap_or_default();
+                format!(
+                    "Il {} previsto per il {}{} è pari a {}.",
+                    surf(attribute, v), surf(object, v), q, value
+                )
+            }
+            FactKind::Requirement {
+                action,
+                object,
+                requirement,
+                detail,
+            } => format!(
+                "Per {} il {} è necessario presentare il {} {}.",
+                surf(action, v), surf(object, v), surf(requirement, v), detail
+            ),
+            FactKind::Policy {
+                object,
+                attribute,
+                detail,
+            } => format!(
+                "La normativa interna stabilisce che la {} del {} {}.",
+                surf(attribute, v), surf(object, v), detail
+            ),
+        }
+    }
+
+    /// The concepts this fact involves (for question generation).
+    pub fn concepts(&self) -> Vec<&'static Concept> {
+        match &self.kind {
+            FactKind::Procedure {
+                action,
+                object,
+                qualifier,
+                system,
+                ..
+            } => {
+                let mut v = vec![*action, *object, *system];
+                if let Some(q) = qualifier {
+                    v.push(q);
+                }
+                v
+            }
+            FactKind::ErrorCode {
+                system,
+                object,
+                resolution,
+                ..
+            } => vec![*system, *object, *resolution],
+            FactKind::Limit {
+                object,
+                qualifier,
+                attribute,
+                ..
+            } => {
+                let mut v = vec![*object, *attribute];
+                if let Some(q) = qualifier {
+                    v.push(q);
+                }
+                v
+            }
+            FactKind::Requirement {
+                action,
+                object,
+                requirement,
+                ..
+            } => vec![*action, *object, *requirement],
+            FactKind::Policy {
+                object, attribute, ..
+            } => vec![*object, *attribute],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn sample_fact() -> Fact {
+        let v = Vocabulary::new();
+        Fact {
+            id: 1,
+            domain: "Pagamenti".into(),
+            topic: "Bonifici".into(),
+            section: "Procedure".into(),
+            kind: FactKind::Procedure {
+                action: v.concept("eseguire").unwrap(),
+                object: v.concept("bonifico").unwrap(),
+                qualifier: Some(v.concept("estero").unwrap()),
+                system: v.concept("sibec").unwrap(),
+                steps: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn key_sentence_uses_primary_surfaces() {
+        let s = sample_fact().key_sentence();
+        assert!(s.contains("eseguire"));
+        assert!(s.contains("bonifico"));
+        assert!(s.contains("estero"));
+        assert!(s.contains("SIBEC"));
+    }
+
+    #[test]
+    fn concepts_include_qualifier_when_present() {
+        let f = sample_fact();
+        let ids: Vec<&str> = f.concepts().iter().map(|c| c.id).collect();
+        assert!(ids.contains(&"estero"));
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn limit_sentence_contains_value() {
+        let v = Vocabulary::new();
+        let f = Fact {
+            id: 2,
+            domain: "Carte".into(),
+            topic: "Limiti".into(),
+            section: "FAQ".into(),
+            kind: FactKind::Limit {
+                object: v.concept("carta").unwrap(),
+                qualifier: None,
+                attribute: v.concept("limite").unwrap(),
+                value: "1.500 euro".into(),
+            },
+        };
+        assert!(f.key_sentence().contains("1.500 euro"));
+    }
+
+    #[test]
+    fn error_sentence_contains_code() {
+        let v = Vocabulary::new();
+        let f = Fact {
+            id: 3,
+            domain: "Tecnologia".into(),
+            topic: "Errori".into(),
+            section: "Errori".into(),
+            kind: FactKind::ErrorCode {
+                code: "E4521".into(),
+                system: v.concept("pos").unwrap(),
+                object: v.concept("pagamento").unwrap(),
+                resolution: v.concept("sbloccare").unwrap(),
+            },
+        };
+        assert!(f.key_sentence().contains("E4521"));
+        assert!(f.key_sentence().contains("POS"));
+    }
+}

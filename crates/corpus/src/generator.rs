@@ -1,0 +1,663 @@
+//! Knowledge-base generation.
+//!
+//! [`CorpusGenerator`] produces a [`KnowledgeBase`] whose aggregate
+//! statistics match the ones the paper states for the UniCredit corpus
+//! (Section 4): short employee-written HTML pages (average ≈ 248 words
+//! and ≈ 7.6 paragraphs, half just a few sentences, ≈ 25 % above 600
+//! tokens), significant near-duplicate replication among procedure and
+//! error pages ("almost identical content except for specific error or
+//! procedure codes"), and pervasive internal jargon.
+//!
+//! Every document is anchored to a [`Fact`]; the question generators in
+//! [`crate::questions`] derive ground truth from the same facts.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::facts::{Fact, FactKind};
+use crate::kb::{KbDocument, KnowledgeBase};
+use crate::scale::CorpusScale;
+use crate::vocab::{Concept, ConceptCategory, Vocabulary};
+
+/// Taxonomy: object concept id → (domain, topic).
+pub fn taxonomy(object_id: &str) -> (&'static str, &'static str) {
+    match object_id {
+        "bonifico" => ("Pagamenti", "Bonifici"),
+        "pagamento" => ("Pagamenti", "Pagamenti"),
+        "domiciliazione" => ("Pagamenti", "Domiciliazioni"),
+        "ricarica" => ("Pagamenti", "Ricariche"),
+        "fattura" => ("Pagamenti", "Fatturazione"),
+        "iban" => ("Pagamenti", "Coordinate"),
+        "valuta" | "cambio" => ("Pagamenti", "Valute"),
+        "conto" => ("Conti e Depositi", "Conti Correnti"),
+        "deposito" => ("Conti e Depositi", "Depositi"),
+        "libretto" => ("Conti e Depositi", "Libretti"),
+        "carta" => ("Carte", "Carte di Pagamento"),
+        "bancomat" => ("Carte", "Prelievi"),
+        "mutuo" => ("Crediti", "Mutui"),
+        "prestito" => ("Crediti", "Prestiti"),
+        "garanzia" => ("Crediti", "Garanzie"),
+        "rata" => ("Crediti", "Rate"),
+        "investimento" => ("Investimenti", "Portafogli"),
+        "obbligazione" => ("Investimenti", "Obbligazioni"),
+        "azione" => ("Investimenti", "Azioni"),
+        "polizza" => ("Investimenti", "Polizze"),
+        "sportello" | "filiale" => ("Sportello e Filiale", "Operatività"),
+        "cassetta" => ("Sportello e Filiale", "Cassette di Sicurezza"),
+        "assegno" => ("Sportello e Filiale", "Assegni"),
+        "delega" => ("Sportello e Filiale", "Deleghe"),
+        "cliente" => ("Sportello e Filiale", "Anagrafica"),
+        "utenza" => ("Tecnologia", "Accessi"),
+        "dispositivo" | "smartphone" => ("Tecnologia", "Dispositivi"),
+        "stampante" => ("Tecnologia", "Periferiche"),
+        "badge" => ("Tecnologia", "Badge"),
+        "ticket" => ("Tecnologia", "Assistenza"),
+        "errore" | "procedura" => ("Tecnologia", "Applicativi"),
+        "stipendio" => ("Risorse Umane", "Retribuzioni"),
+        "pensione" => ("Risorse Umane", "Previdenza"),
+        "dipendente" => ("Risorse Umane", "Personale"),
+        _ => ("Governance", "Processi Generali"),
+    }
+}
+
+/// Pool of filler/compliance sentences (the connective tissue of real
+/// KB pages). `{SYS}` is replaced with a system name.
+const FILLERS: &[&str] = &[
+    "In caso di anomalia aprire un ticket tramite il portale assistenza.",
+    "L'operazione viene tracciata ai fini di audit interno.",
+    "Per importi superiori al massimale è richiesta l'autorizzazione del responsabile di filiale.",
+    "La funzione è disponibile dal lunedì al venerdì in orario di sportello.",
+    "Verificare sempre l'anagrafica del cliente prima di procedere.",
+    "Le credenziali di accesso sono personali e non cedibili.",
+    "La documentazione va archiviata nel fascicolo elettronico del rapporto.",
+    "In assenza di firma digitale utilizzare il modulo cartaceo disponibile in {SYS}.",
+    "L'esito dell'operazione è consultabile nella sezione storico del sistema {SYS}.",
+    "Per i clienti cointestatari è necessaria la firma di entrambi gli intestatari.",
+    "Eventuali eccezioni vanno autorizzate dalla direzione competente.",
+    "Il mancato rispetto della procedura comporta la segnalazione al controllo interno.",
+    "La normativa antiriciclaggio richiede la verifica adeguata della clientela.",
+    "Consultare il manuale operativo pubblicato su {SYS} per i dettagli completi.",
+    "Il servizio non è disponibile durante le finestre di manutenzione notturna.",
+    "Le operazioni eseguite dopo il cut-off sono contabilizzate il giorno successivo.",
+    "Conservare la ricevuta dell'operazione per eventuali contestazioni.",
+    "La richiesta viene lavorata entro due giorni lavorativi dalla presa in carico.",
+    "Per assistenza telefonica contattare il numero interno dedicato.",
+    "L'abilitazione alla funzione è profilata in base al ruolo del dipendente.",
+];
+
+/// Extra-detail sentence templates for long documents.
+const DETAILS: &[&str] = &[
+    "La commissione applicata all'operazione è pari a {VAL}.",
+    "La scadenza per la presentazione della richiesta è di {DAYS} giorni lavorativi.",
+    "Il tasso applicato è aggiornato trimestralmente dal servizio finanza.",
+    "Il limite operativo può essere variato su richiesta motivata della filiale.",
+    "La procedura sostituisce la precedente versione pubblicata nel {YEAR}.",
+    "Il modulo di richiesta è scaricabile dalla sezione modulistica della intranet.",
+    "Gli importi indicati si intendono al netto delle imposte di bollo.",
+    "La delega alla firma deve risultare dal registro delle procure.",
+    "L'estratto delle operazioni è disponibile in formato elettronico e cartaceo.",
+    "Il controllo di secondo livello è svolto dalla funzione compliance.",
+    "Per la clientela estera è richiesta la documentazione aggiuntiva prevista dal KYC.",
+    "Il rendiconto periodico viene inviato con cadenza mensile al domicilio del cliente.",
+];
+
+/// Procedure step templates.
+const STEPS: &[&str] = &[
+    "Accedere al sistema {SYS} con la propria utenza personale",
+    "Selezionare la funzione {OBJ} dal menù operazioni",
+    "Inserire i dati richiesti nei campi obbligatori",
+    "Verificare la correttezza delle informazioni inserite",
+    "Allegare la documentazione richiesta in formato elettronico",
+    "Confermare l'operazione con la firma digitale",
+    "Stampare la ricevuta e consegnarla al cliente",
+    "Registrare l'esito nella sezione note del rapporto",
+];
+
+/// Monetary values used by limit facts.
+const AMOUNTS: &[&str] = &[
+    "100 euro", "250 euro", "500 euro", "1.000 euro", "1.500 euro", "2.500 euro", "5.000 euro",
+    "10.000 euro", "15.000 euro", "25.000 euro", "50.000 euro",
+];
+
+/// Day counts used by deadline facts.
+const DAYS: &[&str] = &["5", "10", "15", "30", "45", "60", "90"];
+
+/// Generates the knowledge base.
+pub struct CorpusGenerator {
+    scale: CorpusScale,
+    seed: u64,
+    vocab: Vocabulary,
+    /// Fraction of pages that are junk (empty bodies, broken markup,
+    /// pathological paragraphs). Real intranets accumulate them; the
+    /// ingestion pipeline must shrug them off. 0.0 by default so the
+    /// calibrated experiments are unaffected.
+    noise_rate: f64,
+}
+
+impl CorpusGenerator {
+    /// Create a generator for `scale` with RNG `seed`.
+    pub fn new(scale: CorpusScale, seed: u64) -> Self {
+        CorpusGenerator {
+            scale,
+            seed,
+            vocab: Vocabulary::new(),
+            noise_rate: 0.0,
+        }
+    }
+
+    /// Enable junk-page injection at `rate` (clamped to [0, 0.5]).
+    pub fn with_noise(mut self, rate: f64) -> Self {
+        self.noise_rate = rate.clamp(0.0, 0.5);
+        self
+    }
+
+    /// A junk page: one of several real-world failure shapes.
+    fn noise_document(&self, rng: &mut ChaCha8Rng, index: usize) -> KbDocument {
+        let shape = rng.gen_range(0..4u8);
+        let (title, html) = match shape {
+            0 => ("Pagina in costruzione".to_string(), "<html><body></body></html>".to_string()),
+            1 => (
+                "Bozza non pubblicata".to_string(),
+                "<p>contenuto <b>troncato <i>senza chiusura".to_string(),
+            ),
+            2 => {
+                // One enormous unbroken paragraph (copy-pasted dump).
+                let blob = "dato ".repeat(rng.gen_range(800..1600));
+                ("Esportazione grezza".to_string(), format!("<p>{blob}</p>"))
+            }
+            _ => (
+                "???".to_string(),
+                "<title></title>&&&& <p>???</p> <script>alert(1)</script>".to_string(),
+            ),
+        };
+        KbDocument {
+            id: format!("kb/junk/{index:06}"),
+            title,
+            html,
+            domain: "Governance".to_string(),
+            topic: "Varie".to_string(),
+            section: "FAQ".to_string(),
+            keywords: vec![],
+            fact_id: u64::MAX - index as u64,
+            last_modified: 1_700_000_000,
+        }
+    }
+
+    /// The vocabulary used during generation.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Generate the knowledge base.
+    pub fn generate(&self) -> KnowledgeBase {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut documents: Vec<KbDocument> = Vec::with_capacity(self.scale.documents);
+        let mut next_fact_id: u64 = 1;
+        let mut next_code: u32 = 1000;
+
+        let actions = self.vocab.concepts(ConceptCategory::Action).to_vec();
+        let objects = self.vocab.concepts(ConceptCategory::Object).to_vec();
+        let attributes = self.vocab.concepts(ConceptCategory::Attribute).to_vec();
+        let systems = self.vocab.concepts(ConceptCategory::System).to_vec();
+        let qualifiers = self.vocab.concepts(ConceptCategory::Qualifier).to_vec();
+
+        while documents.len() < self.scale.documents {
+            if self.noise_rate > 0.0 && rng.gen::<f64>() < self.noise_rate {
+                documents.push(self.noise_document(&mut rng, documents.len()));
+                continue;
+            }
+            let archetype: f64 = rng.gen();
+            if archetype < 0.35 {
+                // ---- procedure fact (sometimes duplicated) ----
+                let fact = self.procedure_fact(&mut rng, next_fact_id, &actions, &objects, &systems, &qualifiers);
+                next_fact_id += 1;
+                // Heavy replication: "a significant amount of content
+                // replication, especially among the documents describing
+                // procedures or errors".
+                let roll: f64 = rng.gen();
+                let copies = if roll < 0.15 { 3 } else if roll < 0.40 { 2 } else { 1 };
+                for copy in 0..copies {
+                    if documents.len() >= self.scale.documents {
+                        break;
+                    }
+                    documents.push(self.render_document(&mut rng, &fact, documents.len(), copy));
+                }
+            } else if archetype < 0.60 {
+                // ---- error family: near-identical docs, differing codes ----
+                let family = rng.gen_range(3..=7usize);
+                let system = *systems.choose(&mut rng).expect("systems non-empty");
+                let object = *objects.choose(&mut rng).expect("objects non-empty");
+                let resolution = *actions.choose(&mut rng).expect("actions non-empty");
+                for _ in 0..family {
+                    if documents.len() >= self.scale.documents {
+                        break;
+                    }
+                    let code = format!("E{next_code}");
+                    next_code += 1;
+                    let (domain, topic) = taxonomy(object.id);
+                    let fact = Fact {
+                        id: next_fact_id,
+                        domain: domain.to_string(),
+                        topic: topic.to_string(),
+                        section: "Errori".to_string(),
+                        kind: FactKind::ErrorCode {
+                            code,
+                            system,
+                            object,
+                            resolution,
+                        },
+                    };
+                    next_fact_id += 1;
+                    documents.push(self.render_document(&mut rng, &fact, documents.len(), 0));
+                }
+            } else if archetype < 0.80 {
+                // ---- limit fact ----
+                let object = *objects.choose(&mut rng).expect("objects non-empty");
+                let attribute = *attributes.choose(&mut rng).expect("attributes non-empty");
+                let qualifier = if rng.gen::<f64>() < 0.6 {
+                    Some(*qualifiers.choose(&mut rng).expect("qualifiers non-empty"))
+                } else {
+                    None
+                };
+                let (domain, topic) = taxonomy(object.id);
+                let fact = Fact {
+                    id: next_fact_id,
+                    domain: domain.to_string(),
+                    topic: topic.to_string(),
+                    section: "FAQ".to_string(),
+                    kind: FactKind::Limit {
+                        object,
+                        qualifier,
+                        attribute,
+                        value: AMOUNTS.choose(&mut rng).expect("amounts").to_string(),
+                    },
+                };
+                next_fact_id += 1;
+                let copies = if rng.gen::<f64>() < 0.25 { 2 } else { 1 };
+                for copy in 0..copies {
+                    if documents.len() >= self.scale.documents {
+                        break;
+                    }
+                    documents.push(self.render_document(&mut rng, &fact, documents.len(), copy));
+                }
+            } else if archetype < 0.92 {
+                // ---- requirement fact ----
+                let action = *actions.choose(&mut rng).expect("actions non-empty");
+                let object = *objects.choose(&mut rng).expect("objects non-empty");
+                let requirement = *attributes.choose(&mut rng).expect("attributes non-empty");
+                let (domain, topic) = taxonomy(object.id);
+                let fact = Fact {
+                    id: next_fact_id,
+                    domain: domain.to_string(),
+                    topic: topic.to_string(),
+                    section: "Procedure".to_string(),
+                    kind: FactKind::Requirement {
+                        action,
+                        object,
+                        requirement,
+                        detail: format!("MOD-{}", rng.gen_range(100..999)),
+                    },
+                };
+                next_fact_id += 1;
+                documents.push(self.render_document(&mut rng, &fact, documents.len(), 0));
+            } else {
+                // ---- policy fact ----
+                let object = *objects.choose(&mut rng).expect("objects non-empty");
+                let attribute = *attributes.choose(&mut rng).expect("attributes non-empty");
+                let (domain, _) = taxonomy(object.id);
+                let detail = format!(
+                    "deve essere rinnovata ogni {} mesi dal responsabile competente",
+                    [6, 12, 24, 36].choose(&mut rng).expect("months")
+                );
+                let fact = Fact {
+                    id: next_fact_id,
+                    domain: domain.to_string(),
+                    topic: "Normativa".to_string(),
+                    section: "Normativa".to_string(),
+                    kind: FactKind::Policy {
+                        object,
+                        attribute,
+                        detail,
+                    },
+                };
+                next_fact_id += 1;
+                documents.push(self.render_document(&mut rng, &fact, documents.len(), 0));
+            }
+        }
+        KnowledgeBase { documents }
+    }
+
+    fn procedure_fact(
+        &self,
+        rng: &mut ChaCha8Rng,
+        id: u64,
+        actions: &[&'static Concept],
+        objects: &[&'static Concept],
+        systems: &[&'static Concept],
+        qualifiers: &[&'static Concept],
+    ) -> Fact {
+        let action = *actions.choose(rng).expect("actions non-empty");
+        let object = *objects.choose(rng).expect("objects non-empty");
+        let system = *systems.choose(rng).expect("systems non-empty");
+        let qualifier = if rng.gen::<f64>() < 0.55 {
+            Some(*qualifiers.choose(rng).expect("qualifiers non-empty"))
+        } else {
+            None
+        };
+        let (domain, topic) = taxonomy(object.id);
+        Fact {
+            id,
+            domain: domain.to_string(),
+            topic: topic.to_string(),
+            section: "Procedure".to_string(),
+            kind: FactKind::Procedure {
+                action,
+                object,
+                qualifier,
+                system,
+                steps: rng.gen_range(3..=6),
+            },
+        }
+    }
+
+    /// Document title for a fact. `copy` > 0 marks a near-duplicate
+    /// re-publication: a different editor re-worded the same fact with
+    /// synonym surfaces (`copy` selects the surface variant).
+    fn title_for(fact: &Fact, copy: usize) -> String {
+        let v = copy;
+        let surf = |c: &'static Concept| -> &'static str { c.surfaces[v % c.surfaces.len()] };
+        let suffix = if copy > 0 { " (aggiornamento)" } else { "" };
+        match &fact.kind {
+            FactKind::Procedure {
+                action,
+                object,
+                qualifier,
+                system,
+                ..
+            } => {
+                let q = qualifier.map(|c| format!(" {}", surf(c))).unwrap_or_default();
+                let mut a = surf(action).to_string();
+                if let Some(first) = a.get_mut(0..1) {
+                    first.make_ascii_uppercase();
+                }
+                format!("{a} {}{q} su {}{suffix}", surf(object), system.surfaces[0].to_uppercase())
+            }
+            FactKind::ErrorCode { code, system, object, .. } => {
+                format!("Errore {code} {} - {}{suffix}", system.surfaces[0].to_uppercase(), surf(object))
+            }
+            FactKind::Limit {
+                object,
+                qualifier,
+                attribute,
+                ..
+            } => {
+                let q = qualifier.map(|c| format!(" {}", surf(c))).unwrap_or_default();
+                let mut a = surf(attribute).to_string();
+                if let Some(first) = a.get_mut(0..1) {
+                    first.make_ascii_uppercase();
+                }
+                format!("{a} {}{q}{suffix}", surf(object))
+            }
+            FactKind::Requirement { action, object, .. } => {
+                format!("Documentazione per {} {}{suffix}", surf(action), surf(object))
+            }
+            FactKind::Policy { object, attribute, .. } => {
+                format!("Normativa {}: {}{suffix}", surf(object), surf(attribute))
+            }
+        }
+    }
+
+    /// Render a fact into an HTML document.
+    fn render_document(
+        &self,
+        rng: &mut ChaCha8Rng,
+        fact: &Fact,
+        index: usize,
+        copy: usize,
+    ) -> KbDocument {
+        let title = Self::title_for(fact, copy);
+        let system_name = fact
+            .concepts()
+            .iter()
+            .find(|c| c.category == ConceptCategory::System)
+            .map(|c| c.surfaces[0].to_uppercase())
+            .unwrap_or_else(|| "INTRANET".to_string());
+        let object_name = fact
+            .concepts()
+            .iter()
+            .find(|c| c.category == ConceptCategory::Object)
+            .map(|c| c.surfaces[0].to_string())
+            .unwrap_or_else(|| "operazione".to_string());
+
+        let fill = |template: &str, rng: &mut ChaCha8Rng| -> String {
+            template
+                .replace("{SYS}", &system_name)
+                .replace("{OBJ}", &object_name)
+                .replace("{VAL}", AMOUNTS.choose(rng).expect("amounts"))
+                .replace("{DAYS}", DAYS.choose(rng).expect("days"))
+                .replace("{YEAR}", &format!("{}", rng.gen_range(2015..2024)))
+        };
+
+        // Length class: 50 % short ("just a few sentences"), 25 %
+        // medium, 25 % long (> 600 tokens). Chosen to land on the
+        // paper's corpus statistics: ≈ 248 words and ≈ 7.6 paragraphs on
+        // average, 25 % above 600 tokens, half the pages short.
+        let class: f64 = rng.gen();
+        let (filler_count, detail_count, with_steps) = if class < 0.50 {
+            (rng.gen_range(1..=2usize), 0usize, false)
+        } else if class < 0.75 {
+            (rng.gen_range(5..=8), rng.gen_range(2..=4), true)
+        } else {
+            (rng.gen_range(14..=20), rng.gen_range(24..=36), true)
+        };
+
+        // Collect body sentences in narrative order.
+        let mut sentences: Vec<String> = Vec::new();
+        // The key fact always leads (KB pages open with their purpose);
+        // duplicate copies re-word it with synonym surfaces.
+        sentences.push(fact.key_sentence_variant(copy));
+        if class >= 0.50 {
+            sentences.insert(
+                0,
+                format!(
+                    "Questa pagina descrive le istruzioni operative relative a {} per i dipendenti della banca.",
+                    title.to_lowercase()
+                ),
+            );
+        }
+        if with_steps {
+            let steps = match &fact.kind {
+                FactKind::Procedure { steps, .. } => *steps,
+                FactKind::ErrorCode { .. } => 3,
+                _ => 0,
+            };
+            for (i, template) in STEPS.iter().take(steps).enumerate() {
+                sentences.push(format!("{}. {}.", i + 1, fill(template, rng)));
+            }
+        }
+        let mut filler_pool: Vec<&&str> = FILLERS.iter().collect();
+        filler_pool.shuffle(rng);
+        for template in filler_pool.into_iter().take(filler_count) {
+            sentences.push(fill(template, rng));
+        }
+        for _ in 0..detail_count {
+            let template = DETAILS.choose(rng).expect("details");
+            sentences.push(fill(template, rng));
+        }
+        if class >= 0.50 {
+            sentences.push(
+                "Per ulteriore supporto contattare l'assistenza applicativa tramite il canale dedicato."
+                    .to_string(),
+            );
+        }
+
+        // Pack sentences into paragraphs of 1-4 sentences, as a human
+        // editor would.
+        let mut paragraphs: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < sentences.len() {
+            let take = rng.gen_range(2..=4usize).min(sentences.len() - i);
+            paragraphs.push(sentences[i..i + take].join(" "));
+            i += take;
+        }
+
+        let mut html = String::with_capacity(1024);
+        html.push_str(&format!("<html><head><title>{title}</title></head><body>"));
+        html.push_str(&format!("<h1>{title}</h1>"));
+        for p in &paragraphs {
+            html.push_str(&format!("<p>{p}</p>"));
+        }
+        html.push_str("</body></html>");
+
+        let keywords: Vec<String> = fact
+            .concepts()
+            .iter()
+            .map(|c| c.surfaces[0].to_string())
+            .collect();
+
+        let domain_slug = fact.domain.to_lowercase().replace(' ', "-");
+        KbDocument {
+            id: format!("kb/{domain_slug}/{index:06}"),
+            title,
+            html,
+            domain: fact.domain.clone(),
+            topic: fact.topic.clone(),
+            section: fact.section.clone(),
+            keywords,
+            fact_id: fact.id,
+            last_modified: 1_700_000_000 + rng.gen_range(0..10_000_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        CorpusGenerator::new(CorpusScale::tiny(), 42).generate()
+    }
+
+    #[test]
+    fn generates_requested_document_count() {
+        assert_eq!(kb().documents.len(), CorpusScale::tiny().documents);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CorpusGenerator::new(CorpusScale::tiny(), 7).generate();
+        let b = CorpusGenerator::new(CorpusScale::tiny(), 7).generate();
+        assert_eq!(a.documents.len(), b.documents.len());
+        assert_eq!(a.documents[10].html, b.documents[10].html);
+        assert_eq!(a.documents[99].id, b.documents[99].id);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusGenerator::new(CorpusScale::tiny(), 1).generate();
+        let b = CorpusGenerator::new(CorpusScale::tiny(), 2).generate();
+        assert_ne!(a.documents[0].html, b.documents[0].html);
+    }
+
+    #[test]
+    fn corpus_statistics_match_the_paper() {
+        let stats = kb().stats();
+        // Paper: 248 words avg; generous band for the tiny scale.
+        assert!(
+            (140.0..=360.0).contains(&stats.avg_words),
+            "avg words {} outside band",
+            stats.avg_words
+        );
+        // Paper: 7.6 paragraphs avg.
+        assert!(
+            (5.0..=12.0).contains(&stats.avg_paragraphs),
+            "avg paragraphs {} outside band",
+            stats.avg_paragraphs
+        );
+        // Paper: 25% of documents above 600 tokens.
+        assert!(
+            (0.12..=0.40).contains(&stats.frac_over_600_tokens),
+            "frac>600tok {} outside band",
+            stats.frac_over_600_tokens
+        );
+        // Paper: half the documents are just a few sentences.
+        assert!(
+            (0.30..=0.70).contains(&stats.frac_short),
+            "frac short {} outside band",
+            stats.frac_short
+        );
+    }
+
+    #[test]
+    fn documents_have_valid_html_with_title() {
+        for d in kb().documents.iter().take(20) {
+            let parsed = uniask_text::html::parse_html(&d.html);
+            assert_eq!(parsed.title, d.title);
+            assert!(parsed.paragraphs.len() >= 2, "doc {} too bare", d.id);
+        }
+    }
+
+    #[test]
+    fn error_families_replicate_content() {
+        let kb = kb();
+        // Find two error docs from the same family (same title prefix up
+        // to the code) and check they share most of their text.
+        let error_docs: Vec<&KbDocument> = kb
+            .documents
+            .iter()
+            .filter(|d| d.section == "Errori")
+            .collect();
+        assert!(!error_docs.is_empty(), "corpus must contain error docs");
+        let mut found_pair = false;
+        for (i, a) in error_docs.iter().enumerate() {
+            for b in error_docs.iter().skip(i + 1) {
+                let suffix_a = a.title.split('-').next_back().unwrap_or("");
+                let suffix_b = b.title.split('-').next_back().unwrap_or("");
+                if suffix_a == suffix_b && a.fact_id != b.fact_id {
+                    let sim = uniask_text::similarity::jaccard(&a.body_text(), &b.body_text());
+                    if sim > 0.5 {
+                        found_pair = true;
+                    }
+                }
+            }
+            if found_pair {
+                break;
+            }
+        }
+        assert!(found_pair, "expected near-duplicate error documents");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let kb = kb();
+        let mut ids: Vec<&String> = kb.documents.iter().map(|d| &d.id).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn every_document_has_taxonomy_tags_and_keywords() {
+        for d in kb().documents.iter().take(50) {
+            assert!(!d.domain.is_empty());
+            assert!(!d.topic.is_empty());
+            assert!(!d.section.is_empty());
+            assert!(!d.keywords.is_empty());
+        }
+    }
+
+    #[test]
+    fn some_facts_have_multiple_documents() {
+        let kb = kb();
+        let mut counts = std::collections::HashMap::new();
+        for d in &kb.documents {
+            *counts.entry(d.fact_id).or_insert(0usize) += 1;
+        }
+        assert!(
+            counts.values().any(|&c| c > 1),
+            "procedure duplication must produce multi-document facts"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Knowledge-base document model.
+
+use uniask_text::html::parse_html;
+use uniask_text::tokens::approx_token_count;
+
+/// One HTML page of the knowledge base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbDocument {
+    /// Stable page identifier (URL-like path).
+    pub id: String,
+    /// Page title (duplicated in the HTML `<title>`).
+    pub title: String,
+    /// Raw HTML body as the editors wrote it.
+    pub html: String,
+    /// Domain tag provided by the KB editors.
+    pub domain: String,
+    /// Topic tag.
+    pub topic: String,
+    /// Section tag.
+    pub section: String,
+    /// Editor-provided keywords.
+    pub keywords: Vec<String>,
+    /// Ground-truth fact this document expresses (synthetic oracle;
+    /// never exposed to the search system itself).
+    pub fact_id: u64,
+    /// Last-modified timestamp (seconds) for the ingestion poller.
+    pub last_modified: u64,
+}
+
+impl KbDocument {
+    /// The visible plain text of the page (title excluded).
+    pub fn body_text(&self) -> String {
+        parse_html(&self.html).body_text()
+    }
+
+    /// Word count of the visible text.
+    pub fn word_count(&self) -> usize {
+        self.body_text().split_whitespace().count()
+    }
+
+    /// Number of HTML paragraphs.
+    pub fn paragraph_count(&self) -> usize {
+        parse_html(&self.html).paragraphs.len()
+    }
+
+    /// Approximate LLM-token count of the visible text.
+    pub fn token_count(&self) -> usize {
+        approx_token_count(&self.body_text())
+    }
+}
+
+/// The whole knowledge base plus aggregate statistics.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    /// All documents.
+    pub documents: Vec<KbDocument>,
+}
+
+/// Aggregate corpus statistics (compared against Section 4's numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KbStats {
+    /// Number of documents.
+    pub documents: usize,
+    /// Mean words per document.
+    pub avg_words: f64,
+    /// Mean paragraphs per document.
+    pub avg_paragraphs: f64,
+    /// Fraction of documents above 600 approximate tokens.
+    pub frac_over_600_tokens: f64,
+    /// Fraction of documents with at most 4 sentences ("half of them
+    /// contain just a few sentences").
+    pub frac_short: f64,
+}
+
+impl KnowledgeBase {
+    /// Look up a document by id.
+    pub fn get(&self, id: &str) -> Option<&KbDocument> {
+        self.documents.iter().find(|d| d.id == id)
+    }
+
+    /// Compute aggregate statistics.
+    pub fn stats(&self) -> KbStats {
+        let n = self.documents.len().max(1);
+        let mut words = 0usize;
+        let mut paragraphs = 0usize;
+        let mut over = 0usize;
+        let mut short = 0usize;
+        for d in &self.documents {
+            let body = d.body_text();
+            words += body.split_whitespace().count();
+            paragraphs += d.paragraph_count();
+            if approx_token_count(&body) > 600 {
+                over += 1;
+            }
+            let sentences = uniask_text::tokenizer::split_sentences(&body).len();
+            if sentences <= 5 {
+                short += 1;
+            }
+        }
+        KbStats {
+            documents: self.documents.len(),
+            avg_words: words as f64 / n as f64,
+            avg_paragraphs: paragraphs as f64 / n as f64,
+            frac_over_600_tokens: over as f64 / n as f64,
+            frac_short: short as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(html: &str) -> KbDocument {
+        KbDocument {
+            id: "kb/test".into(),
+            title: "Test".into(),
+            html: html.into(),
+            domain: "D".into(),
+            topic: "T".into(),
+            section: "S".into(),
+            keywords: vec![],
+            fact_id: 0,
+            last_modified: 0,
+        }
+    }
+
+    #[test]
+    fn body_text_strips_html() {
+        let d = doc("<h1>Titolo</h1><p>Primo testo.</p><p>Secondo testo.</p>");
+        assert!(d.body_text().contains("Primo testo."));
+        assert!(!d.body_text().contains("<p>"));
+        assert_eq!(d.paragraph_count(), 3);
+    }
+
+    #[test]
+    fn stats_on_empty_kb_are_zeroes() {
+        let kb = KnowledgeBase::default();
+        let s = kb.stats();
+        assert_eq!(s.documents, 0);
+        assert_eq!(s.avg_words, 0.0);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let kb = KnowledgeBase {
+            documents: vec![doc("<p>x</p>")],
+        };
+        assert!(kb.get("kb/test").is_some());
+        assert!(kb.get("kb/missing").is_none());
+    }
+
+    #[test]
+    fn word_and_token_counts() {
+        let d = doc("<p>tre parole qui</p>");
+        assert_eq!(d.word_count(), 3);
+        assert!(d.token_count() >= 3);
+    }
+}

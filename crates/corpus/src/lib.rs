@@ -1,0 +1,48 @@
+//! # uniask-corpus
+//!
+//! Synthetic stand-in for UniCredit's closed Italian knowledge base and
+//! query datasets.
+//!
+//! The paper's corpus cannot be released ("due to legal constraints,
+//! the datasets cannot be made publicly available"), so this crate
+//! generates a corpus with the *stated statistics* — 59 308 short HTML
+//! documents (average ≈ 248 words, ≈ 7.6 paragraphs, half just a few
+//! sentences, ≈ 25 % above 600 tokens), heavy content replication among
+//! procedure/error pages, and pervasive domain jargon — plus the two
+//! evaluation datasets:
+//!
+//! * the **human dataset**: natural-language questions written with
+//!   *synonym and morphological paraphrase* of document wording, each
+//!   with ground-truth documents and a ground-truth answer;
+//! * the **keyword dataset**: short queries whose terms are drawn
+//!   *verbatim* from documents, as users typed into the previous
+//!   keyword engine.
+//!
+//! It also provides [`PrevEngine`], the 20-year-old exact-keyword
+//! baseline, the corner-case/UAT catalogues of Section 8, and a
+//! [`SynonymNormalizer`] exposing the vocabulary's concept table to the
+//! embedder and the simulated LLM.
+//!
+//! Everything is generated from a single `u64` seed with `ChaCha8Rng`:
+//! the corpus, datasets and therefore every downstream experiment are
+//! bit-for-bit reproducible.
+
+pub mod corner;
+pub mod facts;
+pub mod generator;
+pub mod io;
+pub mod kb;
+pub mod prev_engine;
+pub mod questions;
+pub mod scale;
+pub mod vocab;
+
+pub use corner::{corner_case_catalogue, special_case_queries, CornerCase, CornerKind};
+pub use facts::{Fact, FactKind};
+pub use generator::CorpusGenerator;
+pub use io::{read_dataset, read_kb, write_dataset, write_kb, IoError};
+pub use kb::{KbDocument, KnowledgeBase};
+pub use prev_engine::PrevEngine;
+pub use questions::{Dataset, DatasetSplit, QueryRecord, QuestionGenerator};
+pub use scale::CorpusScale;
+pub use vocab::{Concept, ConceptAnalyzer, ConceptCategory, SynonymNormalizer, Vocabulary};

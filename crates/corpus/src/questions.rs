@@ -1,0 +1,512 @@
+//! Evaluation datasets (Section 7).
+//!
+//! Two query workloads with exact ground truth:
+//!
+//! * the **human dataset** — natural-language questions an expert would
+//!   author: full sentences built on *synonym paraphrase* of the
+//!   documents' wording (employees do not know the editors' vocabulary),
+//!   each with a ground-truth answer and the links to the documents
+//!   expressing the underlying fact;
+//! * the **keyword dataset** — the short queries users typed into the
+//!   previous engine: 1–3 terms copied *verbatim* from a document.
+//!
+//! Both are split 2/3 validation + 1/3 test, as in the paper.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::kb::{KbDocument, KnowledgeBase};
+use crate::vocab::{Concept, Vocabulary};
+
+/// One evaluation query with ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Stable identifier within its dataset.
+    pub id: String,
+    /// The query/question text.
+    pub text: String,
+    /// Ids of the ground-truth relevant documents (≥ 1).
+    pub relevant: Vec<String>,
+    /// Ground-truth natural-language answer (human dataset only).
+    pub answer: Option<String>,
+    /// The underlying fact (oracle linkage).
+    pub fact_id: u64,
+}
+
+/// A named set of queries.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Dataset name (`human` / `keyword`).
+    pub name: String,
+    /// The queries.
+    pub queries: Vec<QueryRecord>,
+}
+
+/// Validation/test split of a dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSplit {
+    /// 2/3 of the queries, used for tuning.
+    pub validation: Dataset,
+    /// 1/3 of the queries, used for the pre-deployment evaluation.
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Split into validation (2/3) and test (1/3) with a seeded shuffle.
+    pub fn split(&self, seed: u64) -> DatasetSplit {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut queries = self.queries.clone();
+        queries.shuffle(&mut rng);
+        let cut = queries.len() * 2 / 3;
+        let (validation, test) = queries.split_at(cut);
+        DatasetSplit {
+            validation: Dataset {
+                name: format!("{}-validation", self.name),
+                queries: validation.to_vec(),
+            },
+            test: Dataset {
+                name: format!("{}-test", self.name),
+                queries: test.to_vec(),
+            },
+        }
+    }
+}
+
+/// Generates the two evaluation datasets from a knowledge base.
+pub struct QuestionGenerator<'a> {
+    kb: &'a KnowledgeBase,
+    vocab: &'a Vocabulary,
+    seed: u64,
+    /// Probability that a question slot uses a synonym instead of the
+    /// document's primary surface (the human-paraphrase rate).
+    pub synonym_rate: f64,
+    /// Fraction of human questions carrying inappropriate language
+    /// (exercises the content filter; paper Table 5: 0.5 %).
+    pub harmful_rate: f64,
+    /// Fraction of human questions that are a single generic term
+    /// (exercises the clarification guardrail; paper: 0.2 %).
+    pub generic_rate: f64,
+    /// Fraction of human questions that are *terse* — experts carry
+    /// the habit of the old engine and write noun-phrase questions
+    /// ("limite bonifico estero") rather than full sentences. Terse
+    /// questions use synonyms at a reduced rate.
+    pub terse_rate: f64,
+}
+
+impl<'a> QuestionGenerator<'a> {
+    /// Create a generator with the paper-calibrated mix.
+    pub fn new(kb: &'a KnowledgeBase, vocab: &'a Vocabulary, seed: u64) -> Self {
+        QuestionGenerator {
+            kb,
+            vocab,
+            seed,
+            synonym_rate: 0.85,
+            harmful_rate: 0.005,
+            generic_rate: 0.002,
+            terse_rate: 0.30,
+        }
+    }
+
+    /// Pick a surface form for a concept: a synonym with probability
+    /// `synonym_rate` (when one exists), otherwise the primary surface.
+    fn surface(&self, rng: &mut ChaCha8Rng, c: &'static Concept) -> String {
+        self.surface_with_rate(rng, c, self.synonym_rate)
+    }
+
+    fn surface_with_rate(&self, rng: &mut ChaCha8Rng, c: &'static Concept, rate: f64) -> String {
+        if c.surfaces.len() > 1 && rng.gen::<f64>() < rate {
+            let alt = &c.surfaces[1..];
+            alt[rng.gen_range(0..alt.len())].to_string()
+        } else {
+            c.surfaces[0].to_string()
+        }
+    }
+
+    /// Compose a terse noun-phrase question (the habit of the previous
+    /// engine): 2-3 concept surfaces, lightly paraphrased.
+    fn terse_question(&self, rng: &mut ChaCha8Rng, fact: &ReconstructedFact) -> String {
+        const TERSE_SYNONYM_RATE: f64 = 0.35;
+        let mut parts: Vec<String> = Vec::new();
+        use crate::vocab::ConceptCategory::*;
+        // Attribute/action first, then object, then qualifier — the
+        // word order of the old engine's typical queries.
+        for cat in [Attribute, Action, Object, Qualifier] {
+            if let Some(c) = fact.concepts.iter().find(|c| c.category == cat) {
+                parts.push(self.surface_with_rate(rng, c, TERSE_SYNONYM_RATE));
+            }
+            if parts.len() >= 3 {
+                break;
+            }
+        }
+        if parts.is_empty() {
+            parts.push("informazioni".to_string());
+        }
+        parts.join(" ")
+    }
+
+    /// All documents sharing `fact_id` (ground truth by construction).
+    fn relevant_docs(&self, fact_id: u64) -> Vec<String> {
+        self.kb
+            .documents
+            .iter()
+            .filter(|d| d.fact_id == fact_id)
+            .map(|d| d.id.clone())
+            .collect()
+    }
+
+    /// Generate the human dataset: `n` natural-language questions.
+    pub fn human_dataset(&self, n: usize) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x48_55_4D);
+        let mut queries = Vec::with_capacity(n);
+        // Deduplicate facts: one primary document per fact. Error-code
+        // facts are under-sampled: employees ask those through the
+        // error-code/keyword channel (the UAT dataset has a dedicated
+        // error-code category), not as expert NL questions.
+        let mut facts_seen = std::collections::HashSet::new();
+        let mut error_keep = 0usize;
+        let candidates: Vec<&KbDocument> = self
+            .kb
+            .documents
+            .iter()
+            .filter(|d| facts_seen.insert(d.fact_id))
+            .filter(|d| {
+                if d.section == "Errori" {
+                    error_keep += 1;
+                    error_keep.is_multiple_of(6) // keep one in six error facts
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Dataset {
+                name: "human".into(),
+                queries,
+            };
+        }
+        for i in 0..n {
+            let doc = candidates[rng.gen_range(0..candidates.len())];
+            let fact = self.fact_of(doc);
+            let r: f64 = rng.gen();
+            let text = if r < self.harmful_rate {
+                // Frustrated employee: insult in an otherwise real query.
+                format!("questo stupido sistema non funziona, {}", self.question_text(&mut rng, doc, &fact))
+            } else if r < self.harmful_rate + self.generic_rate {
+                // Hopelessly generic single-term question.
+                "informazioni".to_string()
+            } else if r < self.harmful_rate + self.generic_rate + self.terse_rate {
+                self.terse_question(&mut rng, &fact)
+            } else {
+                self.question_text(&mut rng, doc, &fact)
+            };
+            queries.push(QueryRecord {
+                id: format!("human-{i:05}"),
+                text,
+                relevant: self.relevant_docs(doc.fact_id),
+                answer: Some(fact_answer(&fact, doc)),
+                fact_id: doc.fact_id,
+            });
+        }
+        Dataset {
+            name: "human".into(),
+            queries,
+        }
+    }
+
+    /// Reconstruct the fact kind of a document from its keywords/section
+    /// (the generator stores concepts as keyword tags in primary form).
+    fn fact_of(&self, doc: &KbDocument) -> ReconstructedFact {
+        let concepts: Vec<&'static Concept> = doc
+            .keywords
+            .iter()
+            .filter_map(|k| self.vocab.concept(k))
+            .collect();
+        ReconstructedFact {
+            section: doc.section.clone(),
+            concepts,
+        }
+    }
+
+    /// Compose a natural-language question for a document.
+    fn question_text(&self, rng: &mut ChaCha8Rng, doc: &KbDocument, fact: &ReconstructedFact) -> String {
+        use crate::vocab::ConceptCategory::*;
+        let action = fact.concepts.iter().find(|c| c.category == Action);
+        let object = fact.concepts.iter().find(|c| c.category == Object);
+        let attribute = fact.concepts.iter().find(|c| c.category == Attribute);
+        let system = fact.concepts.iter().find(|c| c.category == System);
+        let qualifier = fact.concepts.iter().find(|c| c.category == Qualifier);
+
+        let obj = object.map(|c| self.surface(rng, c)).unwrap_or_else(|| "servizio".into());
+        let qual = qualifier.map(|c| format!(" {}", self.surface(rng, c))).unwrap_or_default();
+
+        match fact.section.as_str() {
+            "Errori" => {
+                // Extract the literal code from the title ("Errore E1234 …").
+                let code = doc
+                    .title
+                    .split_whitespace()
+                    .find(|t| t.starts_with('E') && t.len() > 2 && t[1..].chars().all(|c| c.is_ascii_digit()))
+                    .unwrap_or("E0000")
+                    .to_string();
+                let sys = system.map(|c| c.surfaces[0].to_uppercase()).unwrap_or_default();
+                match rng.gen_range(0..3) {
+                    0 => format!("Cosa devo fare quando compare l'anomalia {code} su {sys}?"),
+                    1 => format!("Come risolvo l'errore {code} che appare in {sys} mentre lavoro su {obj}?"),
+                    _ => format!("Mi esce il codice {code} durante un'operazione su {obj}, come procedo?"),
+                }
+            }
+            "FAQ" => {
+                let attr = attribute.map(|c| self.surface(rng, c)).unwrap_or_else(|| "limite".into());
+                match rng.gen_range(0..3) {
+                    0 => format!("Qual è {} previsto per {obj}{qual}?", article_for(&attr)),
+                    1 => format!("A quanto ammonta {} {} per {obj}{qual}?", article_for(&attr), attr),
+                    _ => format!("Potete indicarmi {} {} applicato a {obj}{qual}?", article_for(&attr), attr),
+                }
+            }
+            "Normativa" => {
+                let attr = attribute.map(|c| self.surface(rng, c)).unwrap_or_else(|| "procedura".into());
+                match rng.gen_range(0..2) {
+                    0 => format!("Cosa prevede la normativa interna sulla {attr} per {obj}?"),
+                    _ => format!("Quali sono le regole aziendali sulla {attr} relativa a {obj}?"),
+                }
+            }
+            _ => {
+                // Procedures and requirements.
+                let act = action.map(|c| self.surface(rng, c)).unwrap_or_else(|| "gestire".into());
+                if attribute.is_some() && action.is_some() && fact.section == "Procedure" && rng.gen_bool(0.3) {
+                    let attr = attribute.map(|c| self.surface(rng, c)).unwrap_or_default();
+                    return format!("Quali {attr} servono per {act} {obj}{qual}?");
+                }
+                let sys_part = if let (Some(s), true) = (system, rng.gen_bool(0.2)) {
+                    format!(" in {}", s.surfaces[0].to_uppercase())
+                } else {
+                    String::new()
+                };
+                match rng.gen_range(0..4) {
+                    0 => format!("Come posso {act} un {obj}{qual}{sys_part}?"),
+                    1 => format!("Qual è la procedura corretta per {act} il {obj}{qual}{sys_part}?"),
+                    2 => format!("Cosa devo fare per {act} un {obj}{qual} di un cliente{sys_part}?"),
+                    _ => format!("È possibile {act} il {obj}{qual}{sys_part}? Come si procede?"),
+                }
+            }
+        }
+    }
+
+    /// Generate the keyword dataset: `n` short queries whose terms are
+    /// drawn verbatim from documents.
+    pub fn keyword_dataset(&self, n: usize) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x4B_57);
+        let mut queries = Vec::with_capacity(n);
+        if self.kb.documents.is_empty() {
+            return Dataset {
+                name: "keyword".into(),
+                queries,
+            };
+        }
+        for i in 0..n {
+            let doc = &self.kb.documents[rng.gen_range(0..self.kb.documents.len())];
+            // Candidate terms: title tokens that are not trivial.
+            let title_terms: Vec<String> = doc
+                .title
+                .split_whitespace()
+                .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+                .filter(|t| t.len() > 2 && t != "per" && t != "su")
+                .collect();
+            let text = if title_terms.is_empty() {
+                doc.keywords.first().cloned().unwrap_or_else(|| "conto".into())
+            } else {
+                let k = rng.gen_range(1..=2usize).min(title_terms.len());
+                let start = rng.gen_range(0..=title_terms.len() - k);
+                title_terms[start..start + k].join(" ")
+            };
+            queries.push(QueryRecord {
+                id: format!("keyword-{i:05}"),
+                text,
+                relevant: self.relevant_docs(doc.fact_id),
+                answer: None,
+                fact_id: doc.fact_id,
+            });
+        }
+        Dataset {
+            name: "keyword".into(),
+            queries,
+        }
+    }
+}
+
+/// Minimal reconstructed view of a document's fact.
+struct ReconstructedFact {
+    section: String,
+    concepts: Vec<&'static Concept>,
+}
+
+/// The ground-truth answer: the fact's key sentence as the document
+/// states it (first sentence of the body that mentions the fact).
+fn fact_answer(_fact: &ReconstructedFact, doc: &KbDocument) -> String {
+    // The generator always places the key sentence first in the body.
+    let body = doc.body_text();
+    uniask_text::tokenizer::split_sentences(&body)
+        .into_iter()
+        .find(|s| s.len() > 20)
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Italian article heuristic for question templates.
+fn article_for(noun: &str) -> &'static str {
+    match noun.chars().next() {
+        Some('a' | 'e' | 'i' | 'o' | 'u') => "l'",
+        Some('s') => "lo", // approximation for s+consonant
+        _ => "il",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusGenerator;
+    use crate::scale::CorpusScale;
+    use std::sync::Arc;
+
+    fn setup() -> (KnowledgeBase, Arc<Vocabulary>) {
+        let g = CorpusGenerator::new(CorpusScale::tiny(), 42);
+        (g.generate(), Arc::new(Vocabulary::new()))
+    }
+
+    #[test]
+    fn human_dataset_has_answers_and_ground_truth() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 1).human_dataset(50);
+        assert_eq!(ds.queries.len(), 50);
+        for q in &ds.queries {
+            assert!(!q.relevant.is_empty(), "query {} lacks ground truth", q.id);
+            assert!(q.answer.as_deref().is_some_and(|a| !a.is_empty()));
+            assert!(!q.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn human_questions_are_natural_language() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 1).human_dataset(60);
+        // Most questions are full sentences (contain a space and end
+        // with a question mark or are reasonably long).
+        let nl = ds
+            .queries
+            .iter()
+            .filter(|q| q.text.split_whitespace().count() >= 4)
+            .count();
+        // ~30% are terse noun-phrase questions; the rest full sentences.
+        assert!(nl as f64 / ds.queries.len() as f64 > 0.55);
+    }
+
+    #[test]
+    fn human_questions_use_synonyms() {
+        let (kb, vocab) = setup();
+        let gen = QuestionGenerator::new(&kb, &vocab, 3);
+        let ds = gen.human_dataset(100);
+        // At least some questions must contain a non-primary surface
+        // (e.g. "massimale" instead of "limite").
+        let synonym_hits = ds
+            .queries
+            .iter()
+            .filter(|q| {
+                let t = q.text.to_lowercase();
+                t.contains("massimale")
+                    || t.contains("plafond")
+                    || t.contains("trasferimento")
+                    || t.contains("attivare")
+                    || t.contains("tessera")
+                    || t.contains("anomalia")
+            })
+            .count();
+        assert!(synonym_hits > 0, "no synonym paraphrase found");
+    }
+
+    #[test]
+    fn keyword_queries_are_short_and_verbatim() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 1).keyword_dataset(40);
+        assert_eq!(ds.queries.len(), 40);
+        for q in &ds.queries {
+            assert!(q.text.split_whitespace().count() <= 3, "too long: {}", q.text);
+            assert!(q.answer.is_none());
+            assert!(!q.relevant.is_empty());
+        }
+    }
+
+    #[test]
+    fn keyword_terms_appear_in_their_source_document() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 9).keyword_dataset(30);
+        for q in &ds.queries {
+            // The query was drawn verbatim from one of the fact's
+            // documents (duplicate copies re-word the fact, so check
+            // against every relevant document).
+            let found = q.relevant.iter().any(|id| {
+                let doc = kb.get(id).expect("relevant doc exists");
+                let haystack = format!("{} {}", doc.title, doc.body_text()).to_lowercase();
+                q.text.split_whitespace().all(|term| haystack.contains(term))
+            });
+            assert!(found, "query `{}` not verbatim in any relevant doc", q.text);
+        }
+    }
+
+    #[test]
+    fn split_is_two_thirds_one_third() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 1).human_dataset(60);
+        let split = ds.split(7);
+        assert_eq!(split.validation.queries.len(), 40);
+        assert_eq!(split.test.queries.len(), 20);
+        // No overlap.
+        for q in &split.test.queries {
+            assert!(!split.validation.queries.iter().any(|v| v.id == q.id));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 1).human_dataset(30);
+        let a = ds.split(5);
+        let b = ds.split(5);
+        assert_eq!(a.test.queries[0].id, b.test.queries[0].id);
+    }
+
+    #[test]
+    fn datasets_are_deterministic_per_seed() {
+        let (kb, vocab) = setup();
+        let a = QuestionGenerator::new(&kb, &vocab, 11).human_dataset(20);
+        let b = QuestionGenerator::new(&kb, &vocab, 11).human_dataset(20);
+        assert_eq!(a.queries, b.queries);
+        let c = QuestionGenerator::new(&kb, &vocab, 12).human_dataset(20);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn harmful_and_generic_questions_appear_at_configured_rates() {
+        let (kb, vocab) = setup();
+        let mut gen = QuestionGenerator::new(&kb, &vocab, 2);
+        gen.harmful_rate = 0.2;
+        gen.generic_rate = 0.2;
+        let ds = gen.human_dataset(200);
+        let harmful = ds.queries.iter().filter(|q| q.text.contains("stupido")).count();
+        let generic = ds.queries.iter().filter(|q| q.text == "informazioni").count();
+        assert!(harmful > 10, "harmful {harmful}");
+        assert!(generic > 10, "generic {generic}");
+    }
+
+    #[test]
+    fn error_questions_carry_the_code() {
+        let (kb, vocab) = setup();
+        let ds = QuestionGenerator::new(&kb, &vocab, 4).human_dataset(150);
+        let with_codes = ds
+            .queries
+            .iter()
+            .filter(|q| q.text.contains(" E") || q.text.contains("codice"))
+            .count();
+        assert!(with_codes > 0, "no error-code questions generated");
+    }
+}

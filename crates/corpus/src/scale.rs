@@ -1,0 +1,70 @@
+//! Corpus scale presets.
+//!
+//! The paper works at 59 308 documents / 2 700 human questions / 800
+//! keyword queries with 1536-dimensional embeddings. Generating and
+//! embedding that corpus is feasible but slow in CI, so the scale is a
+//! first-class parameter: unit tests run `tiny`, the repro binaries
+//! default to `small` and accept `--full` for the paper scale.
+//! EXPERIMENTS.md documents that all reported *shapes* are stable
+//! across scales.
+
+/// Size parameters of a generated corpus + query datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusScale {
+    /// Number of knowledge-base documents.
+    pub documents: usize,
+    /// Natural-language questions in the human dataset.
+    pub human_questions: usize,
+    /// Keyword-style queries in the keyword dataset.
+    pub keyword_queries: usize,
+    /// Embedding dimension used downstream.
+    pub embedding_dim: usize,
+}
+
+impl CorpusScale {
+    /// Unit-test scale: fast enough for `cargo test`.
+    pub fn tiny() -> Self {
+        CorpusScale {
+            documents: 300,
+            human_questions: 60,
+            keyword_queries: 40,
+            embedding_dim: 64,
+        }
+    }
+
+    /// Default experiment scale: minutes, not hours.
+    pub fn small() -> Self {
+        CorpusScale {
+            documents: 4_000,
+            human_questions: 600,
+            keyword_queries: 240,
+            embedding_dim: 128,
+        }
+    }
+
+    /// The paper's full deployment scale.
+    pub fn paper() -> Self {
+        CorpusScale {
+            documents: 59_308,
+            human_questions: 2_700,
+            keyword_queries: 800,
+            embedding_dim: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let t = CorpusScale::tiny();
+        let s = CorpusScale::small();
+        let p = CorpusScale::paper();
+        assert!(t.documents < s.documents && s.documents < p.documents);
+        assert_eq!(p.documents, 59_308, "paper corpus size");
+        assert_eq!(p.human_questions, 2_700);
+        assert_eq!(p.keyword_queries, 800);
+    }
+}

@@ -1,0 +1,369 @@
+//! The Italian banking vocabulary.
+//!
+//! A hand-built domain model: *concepts* with multiple Italian surface
+//! forms (the first surface is the one documents prefer; the others are
+//! the synonyms employees use when asking questions), organized by
+//! grammatical/semantic category. The [`Vocabulary`] compiles the
+//! concept table into a stem → concept map and exposes it as a
+//! [`SynonymNormalizer`] for the embedder and the simulated LLM — this
+//! is the mechanism that lets paraphrased natural-language questions
+//! reach documents whose surface wording differs, exactly the gap
+//! between UniAsk and the old exact-keyword engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use uniask_text::concepts::TermNormalizer;
+use uniask_text::stemmer::italian_stem;
+
+/// Semantic category of a concept (drives document/question templates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConceptCategory {
+    /// Verbs: what the employee wants to do.
+    Action,
+    /// Banking objects: products, instruments, artifacts.
+    Object,
+    /// Attributes of objects: limits, fees, deadlines.
+    Attribute,
+    /// Internal systems and jargon (no synonyms; matched exactly).
+    System,
+    /// Qualifiers: business/retail, domestic/foreign, instant…
+    Qualifier,
+}
+
+/// A domain concept: canonical id plus Italian surface forms (lemmas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Concept {
+    /// Stable identifier (also the primary surface).
+    pub id: &'static str,
+    /// Surface lemmas; index 0 is the form documents prefer.
+    pub surfaces: &'static [&'static str],
+    /// Category.
+    pub category: ConceptCategory,
+}
+
+use ConceptCategory::*;
+
+/// The concept table. Surfaces are single-word lemmas so that the
+/// stem-level synonym map stays well-defined.
+pub const CONCEPTS: &[Concept] = &[
+    // ------------------------------------------------ actions
+    Concept { id: "aprire", surfaces: &["aprire", "attivare", "accendere"], category: Action },
+    Concept { id: "chiudere", surfaces: &["chiudere", "estinguere", "cessare"], category: Action },
+    Concept { id: "bloccare", surfaces: &["bloccare", "sospendere", "disabilitare"], category: Action },
+    Concept { id: "sbloccare", surfaces: &["sbloccare", "riattivare", "ripristinare"], category: Action },
+    Concept { id: "richiedere", surfaces: &["richiedere", "ottenere", "domandare"], category: Action },
+    Concept { id: "modificare", surfaces: &["modificare", "aggiornare", "variare"], category: Action },
+    Concept { id: "annullare", surfaces: &["annullare", "revocare", "stornare"], category: Action },
+    Concept { id: "eseguire", surfaces: &["eseguire", "effettuare", "disporre"], category: Action },
+    Concept { id: "verificare", surfaces: &["verificare", "controllare", "consultare"], category: Action },
+    Concept { id: "stampare", surfaces: &["stampare", "esportare", "scaricare"], category: Action },
+    Concept { id: "installare", surfaces: &["installare", "configurare", "abilitare"], category: Action },
+    Concept { id: "accedere", surfaces: &["accedere", "entrare", "collegarsi"], category: Action },
+    Concept { id: "rinnovare", surfaces: &["rinnovare", "prorogare", "estendere"], category: Action },
+    Concept { id: "contestare", surfaces: &["contestare", "disconoscere", "reclamare"], category: Action },
+    Concept { id: "autorizzare", surfaces: &["autorizzare", "approvare", "validare"], category: Action },
+    Concept { id: "registrare", surfaces: &["registrare", "censire", "inserire"], category: Action },
+    // ------------------------------------------------ objects
+    Concept { id: "conto", surfaces: &["conto", "rapporto"], category: Object },
+    Concept { id: "bonifico", surfaces: &["bonifico", "trasferimento"], category: Object },
+    Concept { id: "carta", surfaces: &["carta", "tessera"], category: Object },
+    Concept { id: "bancomat", surfaces: &["bancomat", "prelievo"], category: Object },
+    Concept { id: "mutuo", surfaces: &["mutuo", "finanziamento"], category: Object },
+    Concept { id: "prestito", surfaces: &["prestito", "credito"], category: Object },
+    Concept { id: "assegno", surfaces: &["assegno", "cheque"], category: Object },
+    Concept { id: "deposito", surfaces: &["deposito", "giacenza"], category: Object },
+    Concept { id: "investimento", surfaces: &["investimento", "portafoglio"], category: Object },
+    Concept { id: "obbligazione", surfaces: &["obbligazione", "bond"], category: Object },
+    Concept { id: "azione", surfaces: &["azione", "titolo"], category: Object },
+    Concept { id: "polizza", surfaces: &["polizza", "assicurazione"], category: Object },
+    Concept { id: "domiciliazione", surfaces: &["domiciliazione", "addebito"], category: Object },
+    Concept { id: "ricarica", surfaces: &["ricarica", "rifornimento"], category: Object },
+    Concept { id: "pagamento", surfaces: &["pagamento", "versamento"], category: Object },
+    Concept { id: "fattura", surfaces: &["fattura", "ricevuta"], category: Object },
+    Concept { id: "stipendio", surfaces: &["stipendio", "retribuzione"], category: Object },
+    Concept { id: "pensione", surfaces: &["pensione", "previdenza"], category: Object },
+    Concept { id: "delega", surfaces: &["delega", "procura"], category: Object },
+    Concept { id: "garanzia", surfaces: &["garanzia", "fideiussione"], category: Object },
+    Concept { id: "cassetta", surfaces: &["cassetta", "cassaforte"], category: Object },
+    Concept { id: "sportello", surfaces: &["sportello", "cassa"], category: Object },
+    Concept { id: "filiale", surfaces: &["filiale", "agenzia"], category: Object },
+    Concept { id: "cliente", surfaces: &["cliente", "correntista"], category: Object },
+    Concept { id: "dipendente", surfaces: &["dipendente", "collega"], category: Object },
+    Concept { id: "utenza", surfaces: &["utenza", "account"], category: Object },
+    Concept { id: "dispositivo", surfaces: &["dispositivo", "apparato"], category: Object },
+    Concept { id: "smartphone", surfaces: &["smartphone", "cellulare"], category: Object },
+    Concept { id: "stampante", surfaces: &["stampante", "periferica"], category: Object },
+    Concept { id: "badge", surfaces: &["badge", "tesserino"], category: Object },
+    Concept { id: "ticket", surfaces: &["ticket", "segnalazione"], category: Object },
+    Concept { id: "errore", surfaces: &["errore", "anomalia", "malfunzionamento"], category: Object },
+    Concept { id: "procedura", surfaces: &["procedura", "processo", "iter"], category: Object },
+    Concept { id: "libretto", surfaces: &["libretto", "risparmio"], category: Object },
+    Concept { id: "valuta", surfaces: &["valuta", "divisa"], category: Object },
+    Concept { id: "cambio", surfaces: &["cambio", "conversione"], category: Object },
+    Concept { id: "iban", surfaces: &["iban", "coordinate"], category: Object },
+    // ------------------------------------------------ attributes
+    Concept { id: "limite", surfaces: &["limite", "massimale", "plafond"], category: Attribute },
+    Concept { id: "commissione", surfaces: &["commissione", "costo", "tariffa"], category: Attribute },
+    Concept { id: "tasso", surfaces: &["tasso", "interesse"], category: Attribute },
+    Concept { id: "scadenza", surfaces: &["scadenza", "termine"], category: Attribute },
+    Concept { id: "requisito", surfaces: &["requisito", "condizione"], category: Attribute },
+    Concept { id: "documento", surfaces: &["documento", "modulo", "modulistica"], category: Attribute },
+    Concept { id: "password", surfaces: &["password", "credenziale"], category: Attribute },
+    Concept { id: "firma", surfaces: &["firma", "sottoscrizione"], category: Attribute },
+    Concept { id: "saldo", surfaces: &["saldo", "disponibilita"], category: Attribute },
+    Concept { id: "estratto", surfaces: &["estratto", "rendiconto"], category: Attribute },
+    Concept { id: "durata", surfaces: &["durata", "periodo"], category: Attribute },
+    Concept { id: "importo", surfaces: &["importo", "ammontare", "somma"], category: Attribute },
+    Concept { id: "autorizzazione", surfaces: &["autorizzazione", "abilitazione", "permesso"], category: Attribute },
+    Concept { id: "rata", surfaces: &["rata", "quota"], category: Attribute },
+    // ------------------------------------------------ systems (jargon; exact)
+    Concept { id: "gianos", surfaces: &["gianos"], category: System },
+    Concept { id: "sibec", surfaces: &["sibec"], category: System },
+    Concept { id: "arco", surfaces: &["arco"], category: System },
+    Concept { id: "teseo", surfaces: &["teseo"], category: System },
+    Concept { id: "mobis", surfaces: &["mobis"], category: System },
+    Concept { id: "pos", surfaces: &["pos"], category: System },
+    Concept { id: "atm", surfaces: &["atm"], category: System },
+    Concept { id: "crm04", surfaces: &["crm04"], category: System },
+    Concept { id: "kyc", surfaces: &["kyc"], category: System },
+    Concept { id: "intranet", surfaces: &["intranet"], category: System },
+    Concept { id: "evo", surfaces: &["evo"], category: System },
+    Concept { id: "sportel", surfaces: &["sportel"], category: System },
+    // ------------------------------------------------ qualifiers
+    Concept { id: "aziendale", surfaces: &["aziendale", "business"], category: Qualifier },
+    Concept { id: "estero", surfaces: &["estero", "internazionale"], category: Qualifier },
+    Concept { id: "istantaneo", surfaces: &["istantaneo", "immediato"], category: Qualifier },
+    Concept { id: "cartaceo", surfaces: &["cartaceo", "fisico"], category: Qualifier },
+    Concept { id: "digitale", surfaces: &["digitale", "elettronico", "online"], category: Qualifier },
+    Concept { id: "giornaliero", surfaces: &["giornaliero", "quotidiano"], category: Qualifier },
+    Concept { id: "mensile", surfaces: &["mensile"], category: Qualifier },
+    Concept { id: "cointestato", surfaces: &["cointestato", "condiviso"], category: Qualifier },
+    Concept { id: "minorenne", surfaces: &["minorenne", "minore"], category: Qualifier },
+    Concept { id: "smarrito", surfaces: &["smarrito", "perso", "rubato"], category: Qualifier },
+    Concept { id: "scaduto", surfaces: &["scaduto", "decaduto"], category: Qualifier },
+    Concept { id: "nuovo", surfaces: &["nuovo", "recente"], category: Qualifier },
+];
+
+/// The compiled vocabulary: concept table plus stem → concept map.
+#[derive(Debug)]
+pub struct Vocabulary {
+    stem_to_concept: HashMap<String, &'static str>,
+    by_category: HashMap<ConceptCategory, Vec<&'static Concept>>,
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocabulary {
+    /// Compile the static concept table.
+    pub fn new() -> Self {
+        let mut stem_to_concept = HashMap::new();
+        let mut by_category: HashMap<ConceptCategory, Vec<&'static Concept>> = HashMap::new();
+        for concept in CONCEPTS {
+            for surface in concept.surfaces {
+                let stem = italian_stem(&surface.to_lowercase());
+                stem_to_concept.insert(stem, concept.id);
+            }
+            by_category.entry(concept.category).or_default().push(concept);
+        }
+        Vocabulary {
+            stem_to_concept,
+            by_category,
+        }
+    }
+
+    /// All concepts of a category, in table order.
+    pub fn concepts(&self, category: ConceptCategory) -> &[&'static Concept] {
+        self.by_category
+            .get(&category)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Look up a concept by id.
+    pub fn concept(&self, id: &str) -> Option<&'static Concept> {
+        CONCEPTS.iter().find(|c| c.id == id)
+    }
+
+    /// Map a *stemmed* term to its concept id (None when out of
+    /// vocabulary).
+    pub fn concept_of_stem(&self, stem: &str) -> Option<&'static str> {
+        self.stem_to_concept.get(stem).copied()
+    }
+
+    /// Build the shared normalizer for the embedder / simulated LLM.
+    pub fn normalizer(self: &Arc<Self>) -> SynonymNormalizer {
+        SynonymNormalizer {
+            vocab: Arc::clone(self),
+        }
+    }
+}
+
+/// [`TermNormalizer`] backed by the vocabulary's synonym table.
+#[derive(Debug, Clone)]
+pub struct SynonymNormalizer {
+    vocab: Arc<Vocabulary>,
+}
+
+impl SynonymNormalizer {
+    /// Create from a shared vocabulary.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        SynonymNormalizer { vocab }
+    }
+}
+
+impl TermNormalizer for SynonymNormalizer {
+    fn normalize(&self, term: &str) -> String {
+        match self.vocab.concept_of_stem(term) {
+            Some(id) => id.to_string(),
+            None => term.to_string(),
+        }
+    }
+
+    fn recognizes(&self, term: &str) -> bool {
+        self.vocab.concept_of_stem(term).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_no_duplicate_ids() {
+        let mut ids: Vec<&str> = CONCEPTS.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate concept ids");
+    }
+
+    #[test]
+    fn surfaces_map_to_distinct_stems() {
+        // Every surface must stem to a unique key, otherwise two
+        // concepts collide in the synonym map.
+        let mut seen: HashMap<String, &str> = HashMap::new();
+        for c in CONCEPTS {
+            for s in c.surfaces {
+                let stem = italian_stem(&s.to_lowercase());
+                if let Some(other) = seen.insert(stem.clone(), c.id) {
+                    assert_eq!(
+                        other, c.id,
+                        "surface `{s}` (stem `{stem}`) collides between `{other}` and `{}`",
+                        c.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synonyms_normalize_to_same_concept() {
+        let v = Arc::new(Vocabulary::new());
+        let n = v.normalizer();
+        let a = n.normalize(&italian_stem("massimale"));
+        let b = n.normalize(&italian_stem("limite"));
+        assert_eq!(a, "limite");
+        assert_eq!(b, "limite");
+    }
+
+    #[test]
+    fn morphological_variants_normalize_via_stemming() {
+        let v = Arc::new(Vocabulary::new());
+        let n = v.normalizer();
+        assert_eq!(n.normalize(&italian_stem("bonifici")), "bonifico");
+        assert_eq!(n.normalize(&italian_stem("bonifico")), "bonifico");
+    }
+
+    #[test]
+    fn out_of_vocabulary_terms_pass_through() {
+        let v = Arc::new(Vocabulary::new());
+        let n = v.normalizer();
+        assert_eq!(n.normalize("xyzzy"), "xyzzy");
+    }
+
+    #[test]
+    fn categories_are_populated() {
+        let v = Vocabulary::new();
+        assert!(v.concepts(ConceptCategory::Action).len() >= 10);
+        assert!(v.concepts(ConceptCategory::Object).len() >= 20);
+        assert!(v.concepts(ConceptCategory::Attribute).len() >= 8);
+        assert!(v.concepts(ConceptCategory::System).len() >= 8);
+        assert!(v.concepts(ConceptCategory::Qualifier).len() >= 8);
+    }
+
+    #[test]
+    fn primary_surface_is_first() {
+        let v = Vocabulary::new();
+        let c = v.concept("limite").unwrap();
+        assert_eq!(c.surfaces[0], "limite");
+    }
+
+    #[test]
+    fn systems_have_single_surface() {
+        let v = Vocabulary::new();
+        for c in v.concepts(ConceptCategory::System) {
+            assert_eq!(c.surfaces.len(), 1, "system jargon `{}` must be exact", c.id);
+        }
+    }
+}
+
+/// An [`Analyzer`](uniask_text::analyzer::Analyzer) that collapses synonyms into concept ids at analysis
+/// time — the "what if we put the synonym table inside text search"
+/// experiment. With it, BM25 alone bridges paraphrase the way the
+/// vector path does; the `ablations` binary measures how much of the
+/// hybrid gap that closes (and what it costs on exact keyword queries,
+/// where collapsing synonyms loses surface precision).
+#[derive(Debug, Clone)]
+pub struct ConceptAnalyzer {
+    inner: uniask_text::analyzer::ItalianAnalyzer,
+    vocab: Arc<Vocabulary>,
+}
+
+impl ConceptAnalyzer {
+    /// Create from a shared vocabulary.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        ConceptAnalyzer {
+            inner: uniask_text::analyzer::ItalianAnalyzer::new(),
+            vocab,
+        }
+    }
+}
+
+impl uniask_text::analyzer::Analyzer for ConceptAnalyzer {
+    fn analyze_into(&self, text: &str, out: &mut Vec<String>) {
+        let start = out.len();
+        self.inner.analyze_into(text, out);
+        for term in out[start..].iter_mut() {
+            if let Some(concept) = self.vocab.concept_of_stem(term) {
+                *term = concept.to_string();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod concept_analyzer_tests {
+    use super::*;
+    use uniask_text::analyzer::Analyzer;
+
+    #[test]
+    fn synonyms_analyze_to_the_same_terms() {
+        let vocab = Arc::new(Vocabulary::new());
+        let a = ConceptAnalyzer::new(vocab);
+        assert_eq!(a.analyze("massimale del bonifico"), a.analyze("limite del trasferimento"));
+    }
+
+    #[test]
+    fn out_of_vocabulary_terms_stay_stemmed() {
+        let vocab = Arc::new(Vocabulary::new());
+        let a = ConceptAnalyzer::new(vocab);
+        let terms = a.analyze("parola sconosciuta E4521");
+        assert!(terms.contains(&"parol".to_string()));
+        assert!(terms.contains(&"e4521".to_string()));
+    }
+}

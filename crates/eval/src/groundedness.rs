@@ -1,0 +1,74 @@
+//! Groundedness.
+//!
+//! "One of the most used metrics in the literature is groundedness,
+//! which evaluates whether an answer is stating facts that are present
+//! in a given context." The paper's LLM-judged version "failed to
+//! return meaningful results in the large majority of cases"; we
+//! implement the lexical formulation — the fraction of the answer's
+//! content terms that are supported by some context chunk — which is
+//! what the guardrail layer effectively approximates with ROUGE-L.
+
+use std::collections::HashSet;
+
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+
+/// Groundedness of `answer` against `contexts`, in `[0, 1]`.
+///
+/// Fraction of the answer's distinct content terms that occur in at
+/// least one context. 0.0 for an empty answer or empty contexts.
+pub fn groundedness(answer: &str, contexts: &[String]) -> f64 {
+    let analyzer = ItalianAnalyzer::new();
+    let answer_terms: HashSet<String> = analyzer.analyze(answer).into_iter().collect();
+    if answer_terms.is_empty() || contexts.is_empty() {
+        return 0.0;
+    }
+    let mut context_terms: HashSet<String> = HashSet::new();
+    for c in contexts {
+        context_terms.extend(analyzer.analyze(c));
+    }
+    let supported = answer_terms.iter().filter(|t| context_terms.contains(*t)).count();
+    supported as f64 / answer_terms.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fully_grounded_answer_scores_one() {
+        let c = ctx(&["il limite del bonifico è di 5000 euro"]);
+        let s = groundedness("il limite del bonifico è 5000 euro", &c);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn fabricated_answer_scores_low() {
+        let c = ctx(&["il limite del bonifico è di 5000 euro"]);
+        let s = groundedness("serve una raccomandata alla direzione regionale", &c);
+        assert!(s < 0.35, "got {s}");
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        assert_eq!(groundedness("", &ctx(&["a"])), 0.0);
+        assert_eq!(groundedness("risposta", &[]), 0.0);
+    }
+
+    #[test]
+    fn union_of_contexts_counts() {
+        let c = ctx(&["il limite è 5000 euro", "vale per il bonifico estero"]);
+        let s = groundedness("il limite del bonifico estero è 5000 euro", &c);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_is_in_unit_interval() {
+        let c = ctx(&["testo con alcune parole condivise"]);
+        let s = groundedness("parole condivise e parole inventate qui", &c);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

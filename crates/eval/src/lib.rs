@@ -1,0 +1,19 @@
+//! # uniask-eval
+//!
+//! The automatic evaluation harness of Section 7: standard IR metrics
+//! (precision@n, recall@n, binary hit rate@n, MRR) with the paper's
+//! aggregation convention — averages are computed **over the queries
+//! for which a non-empty document list was obtained**, with coverage
+//! reported separately — plus the groundedness metric the paper
+//! evaluated for generation, and percent-variation report tables in the
+//! format of Tables 2–4.
+
+pub mod groundedness;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use groundedness::groundedness;
+pub use metrics::{hit_at, ndcg_at, precision_at, recall_at, reciprocal_rank, MetricsAccumulator, RetrievalMetrics};
+pub use report::{format_metrics_table, format_variation_table, percent_variation};
+pub use runner::{EvalOutcome, EvalRunner};

@@ -1,0 +1,301 @@
+//! Retrieval metrics.
+//!
+//! Definitions follow the paper: for a ranked result list and a set of
+//! relevant documents,
+//!
+//! * `precision@n` — relevant results among the top *n*, over *n*;
+//! * `recall@n` — relevant results among the top *n*, over the number
+//!   of relevant documents;
+//! * `hit@n` — 1 if the top *n* contain at least one relevant result;
+//! * `MRR` — reciprocal of the rank of the first relevant result.
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+/// The cutoffs Table 1 reports.
+pub const CUTOFFS: [usize; 3] = [1, 4, 50];
+
+/// Precision at `n`.
+///
+/// ```
+/// use std::collections::HashSet;
+/// use uniask_eval::metrics::precision_at;
+///
+/// let ranked = vec!["a".to_string(), "b".to_string()];
+/// let relevant: HashSet<String> = ["a".to_string()].into_iter().collect();
+/// assert_eq!(precision_at(&ranked, &relevant, 2), 0.5);
+/// ```
+pub fn precision_at(ranked: &[String], relevant: &HashSet<String>, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(n).filter(|d| relevant.contains(*d)).count();
+    hits as f64 / n as f64
+}
+
+/// Recall at `n`.
+pub fn recall_at(ranked: &[String], relevant: &HashSet<String>, n: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(n).filter(|d| relevant.contains(*d)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Binary hit rate at `n`.
+pub fn hit_at(ranked: &[String], relevant: &HashSet<String>, n: usize) -> f64 {
+    if ranked.iter().take(n).any(|d| relevant.contains(d)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Normalized discounted cumulative gain at `n` (binary relevance).
+///
+/// `DCG = Σ 1/log2(rank+1)` over relevant results in the top `n`,
+/// normalized by the ideal DCG for the given number of relevant
+/// documents. 0 when there are no relevant documents.
+pub fn ndcg_at(ranked: &[String], relevant: &HashSet<String>, n: usize) -> f64 {
+    if relevant.is_empty() || n == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(n)
+        .enumerate()
+        .filter(|(_, d)| relevant.contains(*d))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(n))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// Reciprocal rank of the first relevant result (0 when none).
+pub fn reciprocal_rank(ranked: &[String], relevant: &HashSet<String>) -> f64 {
+    for (i, d) in ranked.iter().enumerate() {
+        if relevant.contains(d) {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// Aggregated metrics over a query set.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RetrievalMetrics {
+    /// precision@n per cutoff.
+    pub p_at: BTreeMap<usize, f64>,
+    /// recall@n per cutoff.
+    pub r_at: BTreeMap<usize, f64>,
+    /// hit@n per cutoff.
+    pub hit_at: BTreeMap<usize, f64>,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of queries with a non-empty result list.
+    pub coverage: f64,
+    /// Total queries submitted.
+    pub total_queries: usize,
+    /// Queries with non-empty results (the averaging denominator).
+    pub answered_queries: usize,
+}
+
+impl RetrievalMetrics {
+    /// Fetch a named metric (used by the variation tables): `"p@4"`,
+    /// `"r@50"`, `"hit@1"`, `"mrr"`.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        if name.eq_ignore_ascii_case("mrr") {
+            return Some(self.mrr);
+        }
+        let (kind, n) = name.split_once('@')?;
+        let n: usize = n.parse().ok()?;
+        match kind {
+            "p" => self.p_at.get(&n).copied(),
+            "r" => self.r_at.get(&n).copied(),
+            "hit" => self.hit_at.get(&n).copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Streaming accumulator with the paper's convention: queries with an
+/// empty result list count toward coverage but not toward the metric
+/// averages ("the reported results are averages on the questions for
+/// which a non-empty document list was obtained").
+#[derive(Debug, Clone)]
+pub struct MetricsAccumulator {
+    cutoffs: Vec<usize>,
+    p_sum: BTreeMap<usize, f64>,
+    r_sum: BTreeMap<usize, f64>,
+    hit_sum: BTreeMap<usize, f64>,
+    mrr_sum: f64,
+    total: usize,
+    answered: usize,
+}
+
+impl Default for MetricsAccumulator {
+    fn default() -> Self {
+        Self::new(&CUTOFFS)
+    }
+}
+
+impl MetricsAccumulator {
+    /// Create an accumulator for the given cutoffs.
+    pub fn new(cutoffs: &[usize]) -> Self {
+        MetricsAccumulator {
+            cutoffs: cutoffs.to_vec(),
+            p_sum: cutoffs.iter().map(|&c| (c, 0.0)).collect(),
+            r_sum: cutoffs.iter().map(|&c| (c, 0.0)).collect(),
+            hit_sum: cutoffs.iter().map(|&c| (c, 0.0)).collect(),
+            mrr_sum: 0.0,
+            total: 0,
+            answered: 0,
+        }
+    }
+
+    /// Record one query's ranked results against its relevant set.
+    pub fn record(&mut self, ranked: &[String], relevant: &HashSet<String>) {
+        self.total += 1;
+        if ranked.is_empty() {
+            return;
+        }
+        self.answered += 1;
+        for &c in &self.cutoffs {
+            *self.p_sum.get_mut(&c).expect("cutoff") += precision_at(ranked, relevant, c);
+            *self.r_sum.get_mut(&c).expect("cutoff") += recall_at(ranked, relevant, c);
+            *self.hit_sum.get_mut(&c).expect("cutoff") += hit_at(ranked, relevant, c);
+        }
+        self.mrr_sum += reciprocal_rank(ranked, relevant);
+    }
+
+    /// Finalize into averaged metrics.
+    pub fn finish(&self) -> RetrievalMetrics {
+        let denom = self.answered.max(1) as f64;
+        RetrievalMetrics {
+            p_at: self.p_sum.iter().map(|(&c, &s)| (c, s / denom)).collect(),
+            r_at: self.r_sum.iter().map(|(&c, &s)| (c, s / denom)).collect(),
+            hit_at: self.hit_sum.iter().map(|(&c, &s)| (c, s / denom)).collect(),
+            mrr: self.mrr_sum / denom,
+            coverage: if self.total == 0 {
+                0.0
+            } else {
+                self.answered as f64 / self.total as f64
+            },
+            total_queries: self.total,
+            answered_queries: self.answered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(ids: &[&str]) -> Vec<String> {
+        ids.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn relevant(ids: &[&str]) -> HashSet<String> {
+        ids.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_counts_top_n() {
+        let r = ranked(&["a", "b", "c", "d"]);
+        let rel = relevant(&["a", "c"]);
+        assert_eq!(precision_at(&r, &rel, 1), 1.0);
+        assert_eq!(precision_at(&r, &rel, 2), 0.5);
+        assert_eq!(precision_at(&r, &rel, 4), 0.5);
+    }
+
+    #[test]
+    fn precision_divides_by_n_not_list_length() {
+        // Shorter list than n: missing slots count as misses.
+        let r = ranked(&["a"]);
+        let rel = relevant(&["a"]);
+        assert_eq!(precision_at(&r, &rel, 4), 0.25);
+    }
+
+    #[test]
+    fn recall_divides_by_relevant_count() {
+        let r = ranked(&["a", "x", "b"]);
+        let rel = relevant(&["a", "b", "c", "d"]);
+        assert_eq!(recall_at(&r, &rel, 3), 0.5);
+        assert_eq!(recall_at(&r, &rel, 1), 0.25);
+    }
+
+    #[test]
+    fn hit_is_binary() {
+        let r = ranked(&["x", "y", "a"]);
+        let rel = relevant(&["a"]);
+        assert_eq!(hit_at(&r, &rel, 2), 0.0);
+        assert_eq!(hit_at(&r, &rel, 3), 1.0);
+    }
+
+    #[test]
+    fn mrr_uses_first_relevant() {
+        let r = ranked(&["x", "a", "b"]);
+        let rel = relevant(&["a", "b"]);
+        assert_eq!(reciprocal_rank(&r, &rel), 0.5);
+        assert_eq!(reciprocal_rank(&ranked(&["x", "y"]), &rel), 0.0);
+    }
+
+    #[test]
+    fn empty_relevant_set_scores_zero() {
+        let r = ranked(&["a"]);
+        let rel: HashSet<String> = HashSet::new();
+        assert_eq!(recall_at(&r, &rel, 1), 0.0);
+        assert_eq!(reciprocal_rank(&r, &rel), 0.0);
+    }
+
+    #[test]
+    fn accumulator_skips_empty_results_in_averages() {
+        let mut acc = MetricsAccumulator::default();
+        let rel = relevant(&["a"]);
+        acc.record(&ranked(&["a"]), &rel); // perfect
+        acc.record(&[], &rel); // unanswered
+        let m = acc.finish();
+        assert_eq!(m.total_queries, 2);
+        assert_eq!(m.answered_queries, 1);
+        assert_eq!(m.coverage, 0.5);
+        // Average over answered queries only → still 1.0.
+        assert_eq!(m.hit_at[&1], 1.0);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_relevance() {
+        let rel = relevant(&["a", "b"]);
+        let early = ndcg_at(&ranked(&["a", "b", "x"]), &rel, 3);
+        let late = ndcg_at(&ranked(&["x", "a", "b"]), &rel, 3);
+        assert!((early - 1.0).abs() < 1e-12, "perfect ranking scores 1: {early}");
+        assert!(late < early && late > 0.0);
+        // Bounded and zero-safe.
+        assert_eq!(ndcg_at(&ranked(&["x"]), &rel, 1), 0.0);
+        assert_eq!(ndcg_at(&ranked(&["a"]), &HashSet::new(), 3), 0.0);
+    }
+
+    #[test]
+    fn metrics_get_by_name() {
+        let mut acc = MetricsAccumulator::default();
+        acc.record(&ranked(&["a", "b"]), &relevant(&["b"]));
+        let m = acc.finish();
+        assert_eq!(m.get("hit@1"), Some(0.0));
+        assert_eq!(m.get("hit@4"), Some(1.0));
+        assert_eq!(m.get("mrr"), Some(0.5));
+        assert_eq!(m.get("r@50"), Some(1.0));
+        assert_eq!(m.get("x@1"), None);
+        assert_eq!(m.get("p@notanumber"), None);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_cleanly() {
+        let m = MetricsAccumulator::default().finish();
+        assert_eq!(m.total_queries, 0);
+        assert_eq!(m.coverage, 0.0);
+        assert_eq!(m.mrr, 0.0);
+    }
+}

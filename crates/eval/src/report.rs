@@ -1,0 +1,134 @@
+//! Report formatting.
+//!
+//! Renders the metric tables the paper reports: absolute side-by-side
+//! comparisons (Table 1) and percent-variation tables against a
+//! baseline (Tables 2–4).
+
+use crate::metrics::RetrievalMetrics;
+
+/// The metric rows of Tables 1–4, in the paper's order.
+pub const TABLE_METRICS: [&str; 10] = [
+    "p@1", "p@4", "p@50", "r@1", "r@4", "r@50", "hit@1", "hit@4", "hit@50", "mrr",
+];
+
+/// Percentage variation of `variant` relative to `base`:
+/// `100 · (variant − base) / base`; 0.0 when the base is zero.
+pub fn percent_variation(base: f64, variant: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (variant - base) / base
+    }
+}
+
+/// Format a Table-1-style side-by-side comparison. `systems` pairs a
+/// column label with its metrics; when a baseline is present in column
+/// 0, a `% Var` column against it is appended per system.
+pub fn format_metrics_table(title: &str, systems: &[(&str, &RetrievalMetrics)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{:<8}", "Metric"));
+    for (name, _) in systems {
+        out.push_str(&format!("{name:>12}"));
+    }
+    if systems.len() > 1 {
+        out.push_str(&format!("{:>10}", "% Var"));
+    }
+    out.push('\n');
+    for metric in TABLE_METRICS {
+        out.push_str(&format!("{metric:<8}"));
+        for (_, m) in systems {
+            let v = m.get(metric).unwrap_or(0.0);
+            out.push_str(&format!("{v:>12.4}"));
+        }
+        if systems.len() > 1 {
+            let base = systems[0].1.get(metric).unwrap_or(0.0);
+            let last = systems[systems.len() - 1].1.get(metric).unwrap_or(0.0);
+            out.push_str(&format!("{:>9.1}%", percent_variation(base, last)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:<8}{}\n",
+        "coverage",
+        systems
+            .iter()
+            .map(|(_, m)| format!("{:>12.4}", m.coverage))
+            .collect::<String>()
+    ));
+    out
+}
+
+/// Format a Tables-2/3/4-style percent-variation table: each variant
+/// column shows its % variation vs. the `base` metrics.
+pub fn format_variation_table(
+    title: &str,
+    base: &RetrievalMetrics,
+    variants: &[(&str, &RetrievalMetrics)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} (% variation wrt HSS) ==\n"));
+    out.push_str(&format!("{:<8}", "Metric"));
+    for (name, _) in variants {
+        out.push_str(&format!("{name:>12}"));
+    }
+    out.push('\n');
+    for metric in TABLE_METRICS {
+        out.push_str(&format!("{metric:<8}"));
+        let b = base.get(metric).unwrap_or(0.0);
+        for (_, m) in variants {
+            let v = m.get(metric).unwrap_or(0.0);
+            out.push_str(&format!("{:>11.1}%", percent_variation(b, v)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsAccumulator;
+    use std::collections::HashSet;
+
+    fn metrics(hit_first: bool) -> RetrievalMetrics {
+        let mut acc = MetricsAccumulator::default();
+        let rel: HashSet<String> = ["a".to_string()].into_iter().collect();
+        let ranked = if hit_first {
+            vec!["a".to_string(), "b".to_string()]
+        } else {
+            vec!["b".to_string(), "a".to_string()]
+        };
+        acc.record(&ranked, &rel);
+        acc.finish()
+    }
+
+    #[test]
+    fn percent_variation_basics() {
+        assert_eq!(percent_variation(0.5, 0.75), 50.0);
+        assert_eq!(percent_variation(0.5, 0.25), -50.0);
+        assert_eq!(percent_variation(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn metrics_table_contains_all_rows() {
+        let a = metrics(true);
+        let b = metrics(false);
+        let t = format_metrics_table("Test", &[("Prev", &a), ("UniAsk", &b)]);
+        for m in TABLE_METRICS {
+            assert!(t.contains(m), "missing row {m}");
+        }
+        assert!(t.contains("% Var"));
+        assert!(t.contains("coverage"));
+    }
+
+    #[test]
+    fn variation_table_shows_percentages() {
+        let base = metrics(true);
+        let variant = metrics(false);
+        let t = format_variation_table("Ablation", &base, &[("Text", &variant)]);
+        assert!(t.contains('%'));
+        // hit@1 drops from 1 to 0: -100%.
+        assert!(t.contains("-100.0%"), "table:\n{t}");
+    }
+}

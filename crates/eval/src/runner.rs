@@ -1,0 +1,129 @@
+//! Dataset evaluation runner.
+//!
+//! Drives any retrieval function over a query workload and accumulates
+//! the Table 1 metrics. The runner is generic over the system under
+//! test — a closure from query text to a ranked document-id list — so
+//! the same harness evaluates UniAsk, the previous engine, and every
+//! Table 2–4 variant.
+
+use std::collections::HashSet;
+
+use crate::metrics::{MetricsAccumulator, RetrievalMetrics, CUTOFFS};
+
+/// One query for the runner: text plus its relevant document ids.
+#[derive(Debug, Clone)]
+pub struct EvalQuery {
+    /// Query text.
+    pub text: String,
+    /// Ground-truth relevant document ids.
+    pub relevant: Vec<String>,
+}
+
+/// Result of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Aggregated metrics (paper convention: averaged over answered
+    /// queries; coverage reported separately).
+    pub metrics: RetrievalMetrics,
+}
+
+/// Evaluation harness.
+#[derive(Debug, Clone)]
+pub struct EvalRunner {
+    cutoffs: Vec<usize>,
+}
+
+impl Default for EvalRunner {
+    fn default() -> Self {
+        EvalRunner {
+            cutoffs: CUTOFFS.to_vec(),
+        }
+    }
+}
+
+impl EvalRunner {
+    /// Runner with the paper's cutoffs (1, 4, 50).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runner with custom cutoffs (the K-sweep uses more).
+    pub fn with_cutoffs(cutoffs: &[usize]) -> Self {
+        EvalRunner {
+            cutoffs: cutoffs.to_vec(),
+        }
+    }
+
+    /// Evaluate `system` over `queries`.
+    pub fn run<F>(&self, queries: &[EvalQuery], mut system: F) -> EvalOutcome
+    where
+        F: FnMut(&str) -> Vec<String>,
+    {
+        let mut acc = MetricsAccumulator::new(&self.cutoffs);
+        for q in queries {
+            let ranked = system(&q.text);
+            let relevant: HashSet<String> = q.relevant.iter().cloned().collect();
+            acc.record(&ranked, &relevant);
+        }
+        EvalOutcome {
+            metrics: acc.finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queries() -> Vec<EvalQuery> {
+        vec![
+            EvalQuery {
+                text: "q1".into(),
+                relevant: vec!["a".into()],
+            },
+            EvalQuery {
+                text: "q2".into(),
+                relevant: vec!["b".into()],
+            },
+        ]
+    }
+
+    #[test]
+    fn perfect_system_scores_one() {
+        let out = EvalRunner::new().run(&queries(), |q| {
+            vec![if q == "q1" { "a" } else { "b" }.to_string()]
+        });
+        assert_eq!(out.metrics.hit_at[&1], 1.0);
+        assert_eq!(out.metrics.mrr, 1.0);
+        assert_eq!(out.metrics.coverage, 1.0);
+    }
+
+    #[test]
+    fn failing_system_has_zero_coverage() {
+        let out = EvalRunner::new().run(&queries(), |_| Vec::new());
+        assert_eq!(out.metrics.coverage, 0.0);
+        assert_eq!(out.metrics.answered_queries, 0);
+    }
+
+    #[test]
+    fn custom_cutoffs_are_respected() {
+        let runner = EvalRunner::with_cutoffs(&[3, 10]);
+        let out = runner.run(&queries(), |_| vec!["x".into(), "a".into(), "b".into()]);
+        assert!(out.metrics.hit_at.contains_key(&3));
+        assert!(out.metrics.hit_at.contains_key(&10));
+        assert!(!out.metrics.hit_at.contains_key(&1));
+    }
+
+    #[test]
+    fn mixed_coverage_averages_over_answered_only() {
+        let out = EvalRunner::new().run(&queries(), |q| {
+            if q == "q1" {
+                vec!["a".to_string()]
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(out.metrics.coverage, 0.5);
+        assert_eq!(out.metrics.hit_at[&1], 1.0, "only answered queries averaged");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the evaluation metrics.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use uniask_eval::metrics::{hit_at, precision_at, recall_at, reciprocal_rank, MetricsAccumulator};
+
+fn ranked() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set(0u32..40, 0..20)
+        .prop_map(|set| set.into_iter().map(|i| format!("d{i}")).collect())
+}
+
+fn relevant() -> impl Strategy<Value = HashSet<String>> {
+    proptest::collection::hash_set(0u32..40, 0..10)
+        .prop_map(|set| set.into_iter().map(|i| format!("d{i}")).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_metrics_are_in_unit_interval(r in ranked(), rel in relevant(), n in 1usize..60) {
+        for v in [
+            precision_at(&r, &rel, n),
+            recall_at(&r, &rel, n),
+            hit_at(&r, &rel, n),
+            reciprocal_rank(&r, &rel),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+    }
+
+    #[test]
+    fn recall_and_hit_are_monotone_in_depth(r in ranked(), rel in relevant()) {
+        let mut prev_r = 0.0;
+        let mut prev_h = 0.0;
+        for n in 1..=r.len().max(1) {
+            let rec = recall_at(&r, &rel, n);
+            let hit = hit_at(&r, &rel, n);
+            prop_assert!(rec >= prev_r, "recall decreased at depth {n}");
+            prop_assert!(hit >= prev_h, "hit rate decreased at depth {n}");
+            prev_r = rec;
+            prev_h = hit;
+        }
+    }
+
+    #[test]
+    fn mrr_is_at_least_hit_at_1_scaled(r in ranked(), rel in relevant()) {
+        // RR = 1 when the first result is relevant; otherwise < 1 but
+        // > 0 iff any relevant result appears.
+        let rr = reciprocal_rank(&r, &rel);
+        let h1 = hit_at(&r, &rel, 1);
+        prop_assert!(rr >= h1 * 0.999);
+        let any_hit = r.iter().any(|d| rel.contains(d));
+        prop_assert_eq!(rr > 0.0, any_hit);
+    }
+
+    #[test]
+    fn precision_times_n_counts_hits(r in ranked(), rel in relevant(), n in 1usize..30) {
+        let hits = r.iter().take(n).filter(|d| rel.contains(*d)).count();
+        let p = precision_at(&r, &rel, n);
+        prop_assert!(((p * n as f64) - hits as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_average_stays_in_bounds(
+        batches in proptest::collection::vec((ranked(), relevant()), 1..20),
+    ) {
+        let mut acc = MetricsAccumulator::default();
+        for (r, rel) in &batches {
+            acc.record(r, rel);
+        }
+        let m = acc.finish();
+        prop_assert!((0.0..=1.0).contains(&m.mrr));
+        prop_assert!((0.0..=1.0).contains(&m.coverage));
+        for map in [&m.p_at, &m.r_at, &m.hit_at] {
+            for v in map.values() {
+                prop_assert!((0.0..=1.0).contains(v));
+            }
+        }
+        prop_assert_eq!(m.total_queries, batches.len());
+        prop_assert!(m.answered_queries <= m.total_queries);
+    }
+}

@@ -1,0 +1,222 @@
+//! The guardrail chain.
+//!
+//! Production order:
+//!
+//! 1. **Content filter** on the question, before generation;
+//! 2. after generation: **clarification**, then **citation**, then
+//!    **ROUGE-L**.
+//!
+//! Clarification runs first because its special handling applies "for
+//! both guardrails" — an answer that ends asking for details must be
+//! reported as a clarification requirement even though it would also
+//! fail the citation or ROUGE checks. When anything fires, UniAsk
+//! returns an apology message and *still shows the retrieved document
+//! list* — a guardrail marks a generation failure, not a system
+//! failure.
+
+use uniask_llm::prompt::ContextChunk;
+
+use crate::citation_guard::CitationGuardrail;
+use crate::clarification_guard::ClarificationGuardrail;
+use crate::content_filter::ContentFilter;
+use crate::rouge_guard::RougeGuardrail;
+use crate::verdict::{GuardrailKind, Verdict};
+
+/// Apology shown when a post-generation guardrail invalidates the
+/// answer.
+pub const APOLOGY_MESSAGE: &str =
+    "Ci scusiamo: non siamo riusciti a generare una risposta affidabile per \
+     la tua domanda. Di seguito trovi comunque i documenti recuperati.";
+
+/// Message shown when the clarification guardrail fires.
+pub const CLARIFY_MESSAGE: &str =
+    "La domanda necessita di maggiori dettagli: ti invitiamo a riformularla \
+     in modo più specifico. Di seguito trovi i documenti recuperati.";
+
+/// Final decision of the chain for one question/answer pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainOutcome {
+    /// The generated answer is delivered to the user.
+    Delivered {
+        /// The validated answer.
+        answer: String,
+    },
+    /// A guardrail invalidated the answer; the user sees `message` and
+    /// the retrieved document list.
+    Invalidated {
+        /// Which guardrail fired.
+        kind: GuardrailKind,
+        /// Diagnostic reason (logged, not shown).
+        reason: String,
+        /// The user-facing message.
+        message: String,
+    },
+}
+
+impl ChainOutcome {
+    /// Whether the answer was delivered.
+    pub fn delivered(&self) -> bool {
+        matches!(self, ChainOutcome::Delivered { .. })
+    }
+
+    /// The guardrail that fired, if any.
+    pub fn triggered(&self) -> Option<GuardrailKind> {
+        match self {
+            ChainOutcome::Delivered { .. } => None,
+            ChainOutcome::Invalidated { kind, .. } => Some(*kind),
+        }
+    }
+}
+
+/// The assembled production guardrail stack.
+///
+/// ```
+/// use uniask_guardrails::chain::GuardrailChain;
+/// use uniask_llm::prompt::ContextChunk;
+///
+/// let chain = GuardrailChain::new();
+/// let context = vec![ContextChunk {
+///     key: 1,
+///     title: "Bonifico".into(),
+///     content: "Il bonifico si esegue dalla sezione pagamenti.".into(),
+/// }];
+/// let ok = chain.check_answer("Il bonifico si esegue dalla sezione pagamenti [doc_1].", &context);
+/// assert!(ok.delivered());
+/// let blocked = chain.check_answer("Risposta senza alcuna citazione.", &context);
+/// assert!(!blocked.delivered());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GuardrailChain {
+    /// Pre-generation question filter.
+    pub content_filter: ContentFilter,
+    /// Clarification detection.
+    pub clarification: ClarificationGuardrail,
+    /// Citation presence.
+    pub citation: CitationGuardrail,
+    /// ROUGE-L topical check.
+    pub rouge: RougeGuardrail,
+}
+
+impl GuardrailChain {
+    /// The production configuration (ROUGE threshold 0.15).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-generation check of the question. `Verdict::Pass` means
+    /// generation may proceed.
+    pub fn check_question(&self, question: &str) -> Verdict {
+        self.content_filter.check(question)
+    }
+
+    /// Post-generation validation of `answer` against `context`.
+    pub fn check_answer(&self, answer: &str, context: &[ContextChunk]) -> ChainOutcome {
+        match self.clarification.check(answer) {
+            Verdict::Blocked { kind, reason } => {
+                return ChainOutcome::Invalidated {
+                    kind,
+                    reason,
+                    message: CLARIFY_MESSAGE.to_string(),
+                }
+            }
+            Verdict::Pass => {}
+        }
+        match self.citation.check(answer, context) {
+            Verdict::Blocked { kind, reason } => {
+                return ChainOutcome::Invalidated {
+                    kind,
+                    reason,
+                    message: APOLOGY_MESSAGE.to_string(),
+                }
+            }
+            Verdict::Pass => {}
+        }
+        match self.rouge.check(answer, context) {
+            Verdict::Blocked { kind, reason } => {
+                return ChainOutcome::Invalidated {
+                    kind,
+                    reason,
+                    message: APOLOGY_MESSAGE.to_string(),
+                }
+            }
+            Verdict::Pass => {}
+        }
+        ChainOutcome::Delivered {
+            answer: answer.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context() -> Vec<ContextChunk> {
+        vec![ContextChunk {
+            key: 1,
+            title: "Bonifico".into(),
+            content: "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno."
+                .into(),
+        }]
+    }
+
+    #[test]
+    fn good_answer_is_delivered() {
+        let chain = GuardrailChain::new();
+        let a = "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno [doc_1].";
+        let out = chain.check_answer(a, &context());
+        assert!(out.delivered());
+        assert_eq!(out.triggered(), None);
+    }
+
+    #[test]
+    fn uncited_answer_hits_citation_guardrail() {
+        let chain = GuardrailChain::new();
+        let a = "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno.";
+        assert_eq!(
+            chain.check_answer(a, &context()).triggered(),
+            Some(GuardrailKind::Citation)
+        );
+    }
+
+    #[test]
+    fn hallucination_with_citation_hits_rouge() {
+        let chain = GuardrailChain::new();
+        // Cited but entirely off-context prose.
+        let a = "Bisogna spedire tre raccomandate alla direzione generale regionale [doc_1].";
+        assert_eq!(
+            chain.check_answer(a, &context()).triggered(),
+            Some(GuardrailKind::Rouge)
+        );
+    }
+
+    #[test]
+    fn clarification_takes_precedence() {
+        let chain = GuardrailChain::new();
+        // No citations AND ends asking for details: must be reported as
+        // clarification, not citation.
+        let a = "La domanda è generica. Potresti riformulare la domanda fornendo maggiori dettagli?";
+        let out = chain.check_answer(a, &context());
+        assert_eq!(out.triggered(), Some(GuardrailKind::Clarification));
+        match out {
+            ChainOutcome::Invalidated { message, .. } => assert_eq!(message, CLARIFY_MESSAGE),
+            ChainOutcome::Delivered { .. } => panic!("must be invalidated"),
+        }
+    }
+
+    #[test]
+    fn harmful_question_blocked_before_generation() {
+        let chain = GuardrailChain::new();
+        assert!(!chain.check_question("sei un idiota").passed());
+        assert!(chain.check_question("come apro il conto?").passed());
+    }
+
+    #[test]
+    fn apology_is_returned_for_invalidations() {
+        let chain = GuardrailChain::new();
+        match chain.check_answer("senza fonti", &context()) {
+            ChainOutcome::Invalidated { message, .. } => assert_eq!(message, APOLOGY_MESSAGE),
+            ChainOutcome::Delivered { .. } => panic!("must be invalidated"),
+        }
+    }
+}

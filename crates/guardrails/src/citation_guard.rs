@@ -1,0 +1,107 @@
+//! The secondary guardrail: citation presence.
+//!
+//! "We noticed that whenever the generated answer did not contain at
+//! least one valid citation to the context, the answer was indeed
+//! hallucinated" — so answers without at least one citation that
+//! resolves to a supplied context key are invalidated.
+
+use uniask_llm::citation::extract_citations;
+use uniask_llm::prompt::ContextChunk;
+
+use crate::verdict::{GuardrailKind, Verdict};
+
+/// Citation-presence guardrail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CitationGuardrail;
+
+impl CitationGuardrail {
+    /// Create the guardrail.
+    pub fn new() -> Self {
+        CitationGuardrail
+    }
+
+    /// Valid citations of `answer`: markers whose key matches a chunk.
+    pub fn valid_citations(answer: &str, context: &[ContextChunk]) -> Vec<usize> {
+        extract_citations(answer)
+            .into_iter()
+            .filter(|k| context.iter().any(|c| c.key == *k))
+            .collect()
+    }
+
+    /// Check that the answer carries at least one valid citation.
+    pub fn check(&self, answer: &str, context: &[ContextChunk]) -> Verdict {
+        let cited = Self::valid_citations(answer, context);
+        if cited.is_empty() {
+            Verdict::blocked(
+                GuardrailKind::Citation,
+                "answer contains no valid citation to the retrieved context",
+            )
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context() -> Vec<ContextChunk> {
+        vec![
+            ContextChunk {
+                key: 1,
+                title: "A".into(),
+                content: "a".into(),
+            },
+            ContextChunk {
+                key: 3,
+                title: "C".into(),
+                content: "c".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn cited_answer_passes() {
+        let g = CitationGuardrail::new();
+        assert!(g.check("Risposta fondata [doc_1].", &context()).passed());
+    }
+
+    #[test]
+    fn uncited_answer_is_blocked() {
+        let g = CitationGuardrail::new();
+        let v = g.check("Risposta senza fonti.", &context());
+        assert!(matches!(
+            v,
+            Verdict::Blocked {
+                kind: GuardrailKind::Citation,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn citation_to_unknown_key_does_not_count() {
+        let g = CitationGuardrail::new();
+        // doc_2 is not in the context (keys are 1 and 3).
+        assert!(!g.check("Risposta [doc_2].", &context()).passed());
+    }
+
+    #[test]
+    fn one_valid_citation_suffices() {
+        let g = CitationGuardrail::new();
+        assert!(g.check("Mista [doc_9] e [doc_3].", &context()).passed());
+    }
+
+    #[test]
+    fn valid_citations_filters_correctly() {
+        let cited = CitationGuardrail::valid_citations("[doc_1] [doc_2] [doc_3]", &context());
+        assert_eq!(cited, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_context_blocks_all() {
+        let g = CitationGuardrail::new();
+        assert!(!g.check("Risposta [doc_1].", &[]).passed());
+    }
+}

@@ -1,0 +1,117 @@
+//! Clarification-requirement guardrail.
+//!
+//! "We further add a special handling of the generated answers that end
+//! with a request for further details, because UniAsk is intended to
+//! return a self-contained answer to any input question. When this
+//! happens, we raise a clarification requirement guardrail, which
+//! invalidates the answer and invites the user to reformulate her
+//! question with more details."
+
+use crate::verdict::{GuardrailKind, Verdict};
+
+/// Detects answers ending with a request for more details.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClarificationGuardrail {
+    /// Extra detail-request phrases beyond the built-in set.
+    pub extra_markers: Vec<String>,
+}
+
+/// Built-in Italian detail-request markers.
+const MARKERS: &[&str] = &[
+    "maggiori dettagli",
+    "più dettagli",
+    "ulteriori dettagli",
+    "ulteriori informazioni",
+    "riformulare la domanda",
+    "specificare meglio",
+    "essere più specifico",
+];
+
+impl ClarificationGuardrail {
+    /// Create the guardrail with built-in markers only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `answer` ends with a request for further details: its
+    /// final sentence is a question containing a detail-request marker.
+    pub fn requests_clarification(&self, answer: &str) -> bool {
+        let trimmed = answer.trim_end();
+        if !trimmed.ends_with('?') {
+            return false;
+        }
+        // The final sentence: everything after the last terminator
+        // before the trailing '?'.
+        let body = &trimmed[..trimmed.len() - 1];
+        let start = body
+            .rfind(['.', '!', '?'])
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let last_sentence = body[start..].to_lowercase();
+        MARKERS.iter().any(|m| last_sentence.contains(m))
+            || self
+                .extra_markers
+                .iter()
+                .any(|m| last_sentence.contains(&m.to_lowercase()))
+    }
+
+    /// Check an answer.
+    pub fn check(&self, answer: &str) -> Verdict {
+        if self.requests_clarification(answer) {
+            Verdict::blocked(
+                GuardrailKind::Clarification,
+                "answer ends with a request for further details",
+            )
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_request_is_blocked() {
+        let g = ClarificationGuardrail::new();
+        let a = "La domanda è generica. Potresti riformulare la domanda fornendo maggiori dettagli?";
+        assert!(!g.check(a).passed());
+    }
+
+    #[test]
+    fn self_contained_answer_passes() {
+        let g = ClarificationGuardrail::new();
+        assert!(g.check("Il limite è 5000 euro [doc_1].").passed());
+    }
+
+    #[test]
+    fn question_without_detail_marker_passes() {
+        // A rhetorical trailing question that is not a detail request.
+        let g = ClarificationGuardrail::new();
+        assert!(g.check("Il limite è 5000 euro. Serve altro?").passed());
+    }
+
+    #[test]
+    fn marker_in_middle_does_not_trigger() {
+        let g = ClarificationGuardrail::new();
+        // Mentions details but does not *end* asking for them.
+        let a = "Per maggiori dettagli consultare la pagina dedicata. Il limite è 5000 euro [doc_1].";
+        assert!(g.check(a).passed());
+    }
+
+    #[test]
+    fn extra_markers_are_honored() {
+        let g = ClarificationGuardrail {
+            extra_markers: vec!["quale filiale".into()],
+        };
+        assert!(!g.check("Dipende dalla sede. Puoi indicare quale filiale?").passed());
+    }
+
+    #[test]
+    fn empty_answer_passes_here() {
+        // Empty answers are the citation guardrail's job.
+        let g = ClarificationGuardrail::new();
+        assert!(g.check("").passed());
+    }
+}

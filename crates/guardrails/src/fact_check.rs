@@ -1,0 +1,302 @@
+//! Fact-checking guardrail (the paper's §11 future work).
+//!
+//! "We will strengthen our guardrails with more sophisticated
+//! approaches for hallucination detection and mitigation. We will
+//! consider building a knowledge graph to support guiding the
+//! generation via ontological reasoning."
+//!
+//! This module is that extension: a lightweight knowledge store of
+//! *value facts* mined from the KB ("il limite previsto per il
+//! bonifico estero è pari a 5.000 euro" → key {limit, bonifico,
+//! estero} → value "5.000 euro"), and a guardrail that extracts the
+//! same kind of claims from a generated answer and invalidates it when
+//! a claim **contradicts** the stored value. ROUGE-L catches wholesale
+//! drift; the fact check catches the subtler failure of a fluent,
+//! well-cited answer quoting the *wrong number* — exactly the class of
+//! error the SMEs' corner cases called "unacceptable".
+
+use std::collections::{BTreeSet, HashMap};
+
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+use uniask_text::tokenizer::split_sentences;
+
+use crate::verdict::{GuardrailKind, Verdict};
+
+/// Textual markers that introduce a value statement.
+const VALUE_MARKERS: &[&str] = &["è pari a ", "pari a ", "è di ", "ammonta a "];
+
+/// A value claim: the concept key it talks about, plus the stated value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// Stemmed content terms to the left of the value marker.
+    pub key: BTreeSet<String>,
+    /// Normalized value (e.g. `5.000 euro`, `30 giorni`).
+    pub value: String,
+}
+
+/// Extract value claims from a text.
+pub fn extract_claims(text: &str) -> Vec<Claim> {
+    let analyzer = ItalianAnalyzer::new();
+    let mut claims = Vec::new();
+    for sentence in split_sentences(text) {
+        let lower = sentence.to_lowercase();
+        for marker in VALUE_MARKERS {
+            let Some(pos) = lower.find(marker) else {
+                continue;
+            };
+            let subject_part = &sentence[..pos];
+            let value_part = &sentence[pos + marker.len()..];
+            // Value: up to three tokens, must start with a digit.
+            let value_tokens: Vec<&str> = value_part.split_whitespace().take(3).collect();
+            let Some(first) = value_tokens.first() else {
+                continue;
+            };
+            if !first.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            let value = normalize_value(&value_tokens);
+            let key: BTreeSet<String> = analyzer
+                .analyze(subject_part)
+                .into_iter()
+                .filter(|t| !t.chars().any(|c| c.is_ascii_digit()))
+                .collect();
+            if key.is_empty() || value.is_empty() {
+                continue;
+            }
+            claims.push(Claim { key, value });
+            break; // one claim per sentence; first marker wins
+        }
+    }
+    claims
+}
+
+/// Normalize a value token run: keep the number plus its unit word.
+fn normalize_value(tokens: &[&str]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let cleaned: String = t
+            .trim_matches(|c: char| !c.is_alphanumeric() && c != '.')
+            .to_lowercase();
+        if cleaned.is_empty() {
+            break;
+        }
+        if i == 0 || cleaned.chars().next().is_some_and(char::is_alphabetic) {
+            out.push(cleaned);
+        }
+        if out.len() == 2 {
+            break;
+        }
+    }
+    out.join(" ")
+}
+
+/// The knowledge store: concept keys → the value the KB asserts.
+#[derive(Debug, Clone, Default)]
+pub struct FactStore {
+    facts: HashMap<BTreeSet<String>, String>,
+    /// Keys asserted with more than one distinct value in the KB are
+    /// ambiguous (near-duplicate pages disagree) and are not enforced.
+    ambiguous: std::collections::HashSet<BTreeSet<String>>,
+}
+
+impl FactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mine the value claims of `text` (a KB document body) into the
+    /// store. Returns the number of claims ingested.
+    pub fn ingest(&mut self, text: &str) -> usize {
+        let claims = extract_claims(text);
+        let n = claims.len();
+        for c in claims {
+            if self.ambiguous.contains(&c.key) {
+                continue;
+            }
+            match self.facts.get(&c.key) {
+                Some(existing) if existing != &c.value => {
+                    // The KB itself disagrees (conflicting duplicate
+                    // pages): stop enforcing this key.
+                    self.facts.remove(&c.key);
+                    self.ambiguous.insert(c.key);
+                }
+                _ => {
+                    self.facts.insert(c.key, c.value);
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of enforceable facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Look up the asserted value for a claim key.
+    ///
+    /// Matching is subset-based: a stored fact applies to a claim when
+    /// the smaller key is contained in the larger one and they share at
+    /// least two terms — answers typically drop filler words like
+    /// "previsto" that the KB sentence carries. When several stored
+    /// facts match with conflicting values the claim is ambiguous and
+    /// `None` is returned (never a false positive).
+    pub fn value_for(&self, key: &BTreeSet<String>) -> Option<&str> {
+        if let Some(exact) = self.facts.get(key) {
+            return Some(exact);
+        }
+        let mut found: Option<&str> = None;
+        for (stored_key, value) in &self.facts {
+            let (small, large) = if stored_key.len() <= key.len() {
+                (stored_key, key)
+            } else {
+                (key, stored_key)
+            };
+            if small.len() >= 2 && small.is_subset(large) {
+                match found {
+                    None => found = Some(value),
+                    Some(existing) if existing != value => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+        found
+    }
+}
+
+/// The fact-checking guardrail.
+#[derive(Debug, Clone, Default)]
+pub struct FactCheckGuardrail {
+    /// The mined knowledge store.
+    pub store: FactStore,
+}
+
+impl FactCheckGuardrail {
+    /// Build from a populated store.
+    pub fn new(store: FactStore) -> Self {
+        FactCheckGuardrail { store }
+    }
+
+    /// Check an answer: blocked when any extracted claim contradicts
+    /// the KB's asserted value for the same concept key. Claims about
+    /// unknown keys pass (the store cannot verify them).
+    pub fn check(&self, answer: &str) -> Verdict {
+        for claim in extract_claims(answer) {
+            if let Some(expected) = self.store.value_for(&claim.key) {
+                if expected != claim.value {
+                    return Verdict::blocked(
+                        GuardrailKind::Rouge, // reported under hallucination
+                        format!(
+                            "answer states `{}` where the knowledge base asserts `{}`",
+                            claim.value, expected
+                        ),
+                    );
+                }
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB_SENTENCE: &str =
+        "Il limite previsto per il bonifico estero è pari a 5.000 euro.";
+
+    #[test]
+    fn claims_are_extracted_with_key_and_value() {
+        let claims = extract_claims(KB_SENTENCE);
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].value, "5.000 euro");
+        assert!(claims[0].key.contains("limit"));
+        assert!(claims[0].key.contains("bonific"));
+        assert!(claims[0].key.contains("ester"));
+    }
+
+    #[test]
+    fn non_numeric_statements_are_ignored() {
+        assert!(extract_claims("La procedura è pari a quella precedente.").is_empty());
+        assert!(extract_claims("Testo senza valori.").is_empty());
+    }
+
+    #[test]
+    fn consistent_answer_passes() {
+        let mut store = FactStore::new();
+        store.ingest(KB_SENTENCE);
+        let g = FactCheckGuardrail::new(store);
+        assert!(g
+            .check("Il limite per il bonifico estero è pari a 5.000 euro [doc_1].")
+            .passed());
+    }
+
+    #[test]
+    fn contradicting_value_is_blocked() {
+        let mut store = FactStore::new();
+        store.ingest(KB_SENTENCE);
+        let g = FactCheckGuardrail::new(store);
+        let v = g.check("Il limite per il bonifico estero è pari a 9.999 euro [doc_1].");
+        assert!(!v.passed());
+        if let Verdict::Blocked { reason, .. } = v {
+            assert!(reason.contains("9.999"));
+            assert!(reason.contains("5.000"));
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_not_enforced() {
+        let g = FactCheckGuardrail::new(FactStore::new());
+        assert!(g.check("La commissione del prelievo è pari a 2 euro.").passed());
+    }
+
+    #[test]
+    fn synonym_paraphrase_maps_to_the_same_key() {
+        // "massimale" is a synonym of "limite"; the analyzer stems both
+        // but does NOT collapse synonyms — the key differs, so the
+        // claim is simply unverifiable (pass), never a false positive.
+        let mut store = FactStore::new();
+        store.ingest(KB_SENTENCE);
+        let g = FactCheckGuardrail::new(store);
+        assert!(g
+            .check("Il massimale per il bonifico estero è pari a 9.999 euro.")
+            .passed());
+    }
+
+    #[test]
+    fn conflicting_kb_pages_disable_the_key() {
+        let mut store = FactStore::new();
+        store.ingest("Il limite previsto per la carta è pari a 500 euro.");
+        store.ingest("Il limite previsto per la carta è pari a 1.000 euro.");
+        assert_eq!(store.len(), 0, "conflicting keys must not be enforced");
+        let g = FactCheckGuardrail::new(store);
+        assert!(g.check("Il limite per la carta è pari a 750 euro.").passed());
+    }
+
+    #[test]
+    fn deadline_claims_work_too() {
+        let mut store = FactStore::new();
+        store.ingest("La scadenza per la presentazione della richiesta è di 30 giorni lavorativi.");
+        let g = FactCheckGuardrail::new(store);
+        assert!(!g
+            .check("La scadenza per la presentazione della richiesta è di 90 giorni.")
+            .passed());
+    }
+
+    #[test]
+    fn multiple_sentences_yield_multiple_facts() {
+        let mut store = FactStore::new();
+        let n = store.ingest(
+            "Il limite previsto per il bonifico è pari a 5.000 euro. \
+             La commissione prevista per il bonifico è pari a 2 euro.",
+        );
+        assert_eq!(n, 2);
+        assert_eq!(store.len(), 2);
+    }
+}

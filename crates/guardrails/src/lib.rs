@@ -1,0 +1,39 @@
+//! # uniask-guardrails
+//!
+//! The guardrail stack of Section 6: shields that keep UniAsk inside
+//! its intended purpose and minimize LLM risks.
+//!
+//! * [`RougeGuardrail`] — the primary topical guardrail: ROUGE-L between
+//!   the generated answer and each context chunk; below the threshold
+//!   (0.15 in production) the answer is invalidated as a likely
+//!   hallucination.
+//! * [`CitationGuardrail`] — the secondary guardrail: an answer with no
+//!   valid citations to the context "was indeed hallucinated" in the
+//!   team's preliminary experiments, so it is invalidated.
+//! * [`ClarificationGuardrail`] — special handling of answers that end
+//!   with a request for further details: UniAsk must return
+//!   self-contained answers, so the user is invited to reformulate.
+//! * [`ContentFilter`] — the Azure-Content-Filter stand-in: blocks
+//!   harmful or inappropriate language in the *question* before any
+//!   generation happens.
+//!
+//! [`GuardrailChain`] wires them in production order. When a guardrail
+//! invalidates an answer the system still shows the retrieved document
+//! list — "the triggering of a guardrail is a failure of the generation
+//! module, not of the whole system".
+
+pub mod chain;
+pub mod citation_guard;
+pub mod clarification_guard;
+pub mod content_filter;
+pub mod fact_check;
+pub mod rouge_guard;
+pub mod verdict;
+
+pub use chain::{ChainOutcome, GuardrailChain};
+pub use citation_guard::CitationGuardrail;
+pub use clarification_guard::ClarificationGuardrail;
+pub use content_filter::{ContentCategory, ContentFilter};
+pub use fact_check::{extract_claims, Claim, FactCheckGuardrail, FactStore};
+pub use rouge_guard::RougeGuardrail;
+pub use verdict::{GuardrailKind, Verdict};

@@ -1,0 +1,138 @@
+//! The primary topical guardrail (ROUGE-L).
+//!
+//! "The guardrail computes a measure of similarity between the
+//! generated answer and the reference context …. The similarity is
+//! computed between the answer and each chunk in the context, returning
+//! the maximum score yielded for a chunk as the final score. If the
+//! similarity score falls below a predetermined threshold, the
+//! guardrail invalidates the answer." The production threshold on
+//! ROUGE-L is 0.15, set heuristically on real user questions.
+
+use uniask_llm::citation::strip_citations;
+use uniask_llm::prompt::ContextChunk;
+use uniask_text::rouge::rouge_l;
+
+use crate::verdict::{GuardrailKind, Verdict};
+
+/// ROUGE-L topical guardrail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RougeGuardrail {
+    /// Minimum acceptable max-over-chunks ROUGE-L F-measure.
+    pub threshold: f64,
+}
+
+impl Default for RougeGuardrail {
+    fn default() -> Self {
+        RougeGuardrail { threshold: 0.15 }
+    }
+}
+
+impl RougeGuardrail {
+    /// Create a guardrail with a custom threshold.
+    pub fn new(threshold: f64) -> Self {
+        RougeGuardrail { threshold }
+    }
+
+    /// Max ROUGE-L F-measure of `answer` against any chunk (title and
+    /// content participate; citation markers are stripped first so the
+    /// measure sees only prose).
+    pub fn score(&self, answer: &str, context: &[ContextChunk]) -> f64 {
+        let clean = strip_citations(answer);
+        context
+            .iter()
+            .map(|c| {
+                let text = format!("{} {}", c.title, c.content);
+                rouge_l(&clean, &text).f_measure
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Check an answer against the context.
+    pub fn check(&self, answer: &str, context: &[ContextChunk]) -> Verdict {
+        let s = self.score(answer, context);
+        if s < self.threshold {
+            Verdict::blocked(
+                GuardrailKind::Rouge,
+                format!("max ROUGE-L {s:.3} below threshold {:.2}", self.threshold),
+            )
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context() -> Vec<ContextChunk> {
+        vec![
+            ContextChunk {
+                key: 1,
+                title: "Bonifico".into(),
+                content: "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno."
+                    .into(),
+            },
+            ContextChunk {
+                key: 2,
+                title: "Carte".into(),
+                content: "La carta si blocca chiamando il numero verde dedicato.".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn grounded_answer_passes() {
+        let g = RougeGuardrail::default();
+        let answer = "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno [doc_1].";
+        assert!(g.check(answer, &context()).passed());
+    }
+
+    #[test]
+    fn hallucinated_answer_is_blocked() {
+        let g = RougeGuardrail::default();
+        let answer =
+            "Bisogna inviare una raccomandata alla direzione generale entro quindici giorni festivi.";
+        assert!(!g.check(answer, &context()).passed());
+    }
+
+    #[test]
+    fn max_over_chunks_is_used() {
+        let g = RougeGuardrail::default();
+        // Matches only the second chunk; still passes.
+        let answer = "La carta si blocca chiamando il numero verde dedicato [doc_2].";
+        assert!(g.check(answer, &context()).passed());
+    }
+
+    #[test]
+    fn empty_context_blocks_everything() {
+        let g = RougeGuardrail::default();
+        assert!(!g.check("qualunque risposta", &[]).passed());
+    }
+
+    #[test]
+    fn citations_do_not_inflate_score() {
+        let g = RougeGuardrail::default();
+        let with = g.score("La carta si blocca [doc_2].", &context());
+        let without = g.score("La carta si blocca.", &context());
+        assert!((with - without).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_zero_passes_everything_nonempty() {
+        let g = RougeGuardrail::new(0.0);
+        assert!(g.check("testo qualsiasi", &context()).passed());
+    }
+
+    #[test]
+    fn blocked_verdict_reports_score() {
+        let g = RougeGuardrail::default();
+        match g.check("xyz estraneo totalmente", &context()) {
+            Verdict::Blocked { kind, reason } => {
+                assert_eq!(kind, GuardrailKind::Rouge);
+                assert!(reason.contains("ROUGE-L"));
+            }
+            Verdict::Pass => panic!("should have been blocked"),
+        }
+    }
+}

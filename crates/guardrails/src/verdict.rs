@@ -1,0 +1,76 @@
+//! Guardrail verdicts.
+
+use std::fmt;
+
+/// Which guardrail produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardrailKind {
+    /// Answer contains no valid citation to the context.
+    Citation,
+    /// ROUGE-L similarity to the context below threshold.
+    Rouge,
+    /// Answer ends with a request for further details.
+    Clarification,
+    /// Harmful content detected in the question.
+    ContentFilter,
+}
+
+impl fmt::Display for GuardrailKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GuardrailKind::Citation => "citation",
+            GuardrailKind::Rouge => "rouge",
+            GuardrailKind::Clarification => "clarification",
+            GuardrailKind::ContentFilter => "content-filter",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Outcome of a single guardrail check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The answer (or question) passed this guardrail.
+    Pass,
+    /// The guardrail invalidated the answer.
+    Blocked {
+        /// The guardrail that fired.
+        kind: GuardrailKind,
+        /// Human-readable diagnostics (for the monitoring dashboard).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Convenience constructor.
+    pub fn blocked(kind: GuardrailKind, reason: impl Into<String>) -> Self {
+        Verdict::Blocked {
+            kind,
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether the check passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GuardrailKind::Citation.to_string(), "citation");
+        assert_eq!(GuardrailKind::Rouge.to_string(), "rouge");
+        assert_eq!(GuardrailKind::Clarification.to_string(), "clarification");
+        assert_eq!(GuardrailKind::ContentFilter.to_string(), "content-filter");
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Pass.passed());
+        assert!(!Verdict::blocked(GuardrailKind::Rouge, "low score").passed());
+    }
+}

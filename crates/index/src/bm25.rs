@@ -1,0 +1,102 @@
+//! Okapi BM25 ranking function (Robertson & Spärck Jones).
+//!
+//! The paper's full-text module "retrieves relevant documents for the
+//! query by ranking the documents according to the Okapi BM25 ranking
+//! function". This module implements the standard formulation:
+//!
+//! ```text
+//! score(q, d) = Σ_t IDF(t) · tf(t,d)·(k1+1) / (tf(t,d) + k1·(1 − b + b·|d|/avgdl))
+//! IDF(t) = ln( (N − df(t) + 0.5) / (df(t) + 0.5) + 1 )
+//! ```
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation; Lucene/Azure default 1.2.
+    pub k1: f64,
+    /// Length normalization; Lucene/Azure default 0.75.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// The Lucene-style non-negative IDF.
+#[inline]
+pub fn idf(doc_count: usize, doc_freq: usize) -> f64 {
+    let n = doc_count as f64;
+    let df = doc_freq as f64;
+    ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+}
+
+/// Per-term, per-document BM25 contribution.
+#[inline]
+pub fn term_score(params: Bm25Params, idf: f64, tf: f64, doc_len: f64, avg_doc_len: f64) -> f64 {
+    if tf <= 0.0 {
+        return 0.0;
+    }
+    let avg = if avg_doc_len > 0.0 { avg_doc_len } else { 1.0 };
+    let norm = params.k1 * (1.0 - params.b + params.b * doc_len / avg);
+    idf * tf * (params.k1 + 1.0) / (tf + norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Bm25Params = Bm25Params { k1: 1.2, b: 0.75 };
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let rare = idf(1000, 1);
+        let common = idf(1000, 900);
+        assert!(rare > common);
+        assert!(common > 0.0, "Lucene IDF is always positive");
+    }
+
+    #[test]
+    fn score_increases_with_tf_but_saturates() {
+        let i = idf(100, 10);
+        let s1 = term_score(P, i, 1.0, 100.0, 100.0);
+        let s2 = term_score(P, i, 2.0, 100.0, 100.0);
+        let s10 = term_score(P, i, 10.0, 100.0, 100.0);
+        let s20 = term_score(P, i, 20.0, 100.0, 100.0);
+        assert!(s2 > s1);
+        assert!(s10 > s2);
+        // Saturation: the marginal gain shrinks.
+        assert!(s2 - s1 > s20 - s10);
+        // Upper bound: idf * (k1 + 1).
+        assert!(s20 < i * (P.k1 + 1.0));
+    }
+
+    #[test]
+    fn longer_documents_are_penalized() {
+        let i = idf(100, 10);
+        let short = term_score(P, i, 2.0, 50.0, 100.0);
+        let long = term_score(P, i, 2.0, 400.0, 100.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn zero_tf_scores_zero() {
+        assert_eq!(term_score(P, 2.0, 0.0, 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalization() {
+        let p = Bm25Params { k1: 1.2, b: 0.0 };
+        let i = idf(100, 10);
+        let a = term_score(p, i, 3.0, 10.0, 100.0);
+        let b = term_score(p, i, 3.0, 1000.0, 100.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_avg_len_is_safe() {
+        let s = term_score(P, 1.0, 1.0, 5.0, 0.0);
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

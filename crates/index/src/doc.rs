@@ -1,0 +1,141 @@
+//! Document model for the index.
+
+use std::collections::BTreeMap;
+
+/// Internal identifier of an indexed document (chunk).
+///
+/// Small and `Copy`; the 32-bit space comfortably covers the paper's
+/// scale (59 308 documents, a few chunks each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize, for array indexing.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A field value: free text or a tag list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Free text (title, content, summary).
+    Text(String),
+    /// A list of exact-match tags (keywords).
+    Tags(Vec<String>),
+}
+
+impl FieldValue {
+    /// The value as text for analysis: tags are joined by spaces.
+    pub fn as_text(&self) -> String {
+        match self {
+            FieldValue::Text(t) => t.clone(),
+            FieldValue::Tags(tags) => tags.join(" "),
+        }
+    }
+
+    /// Whether `tag` matches this value exactly (case-insensitive), per
+    /// the filterable-field semantics ("exact matching only").
+    pub fn matches_tag(&self, tag: &str) -> bool {
+        match self {
+            FieldValue::Text(t) => t.eq_ignore_ascii_case(tag),
+            FieldValue::Tags(tags) => tags.iter().any(|t| t.eq_ignore_ascii_case(tag)),
+        }
+    }
+}
+
+/// A document (chunk) to be indexed: a map of field name → value.
+///
+/// `BTreeMap` keeps field iteration deterministic, which keeps index
+/// construction and therefore every experiment reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexDocument {
+    fields: BTreeMap<String, FieldValue>,
+}
+
+impl IndexDocument {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style text field.
+    pub fn with_text(mut self, field: &str, value: impl Into<String>) -> Self {
+        self.fields.insert(field.to_string(), FieldValue::Text(value.into()));
+        self
+    }
+
+    /// Builder-style tag field.
+    pub fn with_tags(mut self, field: &str, tags: Vec<String>) -> Self {
+        self.fields.insert(field.to_string(), FieldValue::Tags(tags));
+        self
+    }
+
+    /// Get a field value.
+    pub fn get(&self, field: &str) -> Option<&FieldValue> {
+        self.fields.get(field)
+    }
+
+    /// Get a text field's content, if present and textual.
+    pub fn text(&self, field: &str) -> Option<&str> {
+        match self.fields.get(field) {
+            Some(FieldValue::Text(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Iterate all fields in name order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &FieldValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Mutably set a field (used by the enrichment experiments that add
+    /// LLM-extracted keywords, Table 4).
+    pub fn set(&mut self, field: &str, value: FieldValue) {
+        self.fields.insert(field.to_string(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_getters() {
+        let d = IndexDocument::new()
+            .with_text("title", "Bonifico")
+            .with_tags("keywords", vec!["sepa".into(), "estero".into()]);
+        assert_eq!(d.text("title"), Some("Bonifico"));
+        assert!(d.text("keywords").is_none());
+        assert_eq!(d.get("keywords").unwrap().as_text(), "sepa estero");
+    }
+
+    #[test]
+    fn tag_matching_is_exact_case_insensitive() {
+        let v = FieldValue::Tags(vec!["Pagamenti".into()]);
+        assert!(v.matches_tag("pagamenti"));
+        assert!(!v.matches_tag("pagament")); // no prefix/stem matching on filters
+    }
+
+    #[test]
+    fn text_tag_matching() {
+        let v = FieldValue::Text("Governance".into());
+        assert!(v.matches_tag("governance"));
+        assert!(!v.matches_tag("gov"));
+    }
+
+    #[test]
+    fn fields_iterate_in_name_order() {
+        let d = IndexDocument::new()
+            .with_text("z", "1")
+            .with_text("a", "2");
+        let names: Vec<_> = d.fields().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn doc_id_roundtrip() {
+        assert_eq!(DocId(5).as_usize(), 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! Typed errors for index operations.
+
+use std::fmt;
+
+/// Errors raised by index construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A document referenced a field that is not declared in the schema.
+    UnknownField(String),
+    /// A field was used in a role its attributes do not allow
+    /// (e.g. filtering on a non-filterable field).
+    AttributeViolation {
+        /// Field name.
+        field: String,
+        /// The capability that was required.
+        required: &'static str,
+    },
+    /// A document id was not found.
+    DocNotFound(u32),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            IndexError::AttributeViolation { field, required } => {
+                write!(f, "field `{field}` is not {required}")
+            }
+            IndexError::DocNotFound(id) => write!(f, "document {id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            IndexError::UnknownField("x".into()).to_string(),
+            "unknown field `x`"
+        );
+        assert_eq!(
+            IndexError::AttributeViolation {
+                field: "domain".into(),
+                required: "searchable"
+            }
+            .to_string(),
+            "field `domain` is not searchable"
+        );
+        assert_eq!(IndexError::DocNotFound(7).to_string(), "document 7 not found");
+    }
+}

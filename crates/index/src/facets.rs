@@ -1,0 +1,147 @@
+//! Faceted navigation.
+//!
+//! Azure AI Search field attributes "determine how a field is used,
+//! such as whether it's used in full-text search, faceted navigation,
+//! sort operations, and so forth". UniAsk's frontend shows domain /
+//! topic / section facets next to the result list so employees can
+//! narrow a search the way the KB taxonomy intends. A facet count is
+//! computed over the *filterable* fields of a result set.
+
+use std::collections::BTreeMap;
+
+use crate::doc::{DocId, FieldValue};
+use crate::error::IndexError;
+use crate::inverted::InvertedIndex;
+
+/// Facet counts for one field: value → number of matching documents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FacetCounts {
+    /// The faceted field.
+    pub field: String,
+    /// Sorted value → count map (deterministic rendering order).
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl FacetCounts {
+    /// The `k` most frequent values, ties broken alphabetically.
+    pub fn top(&self, k: usize) -> Vec<(&str, usize)> {
+        let mut entries: Vec<(&str, usize)> =
+            self.counts.iter().map(|(v, c)| (v.as_str(), *c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        entries.truncate(k);
+        entries
+    }
+}
+
+/// Compute facet counts for `field` over `docs`.
+///
+/// Returns [`IndexError::AttributeViolation`] when the field is not
+/// filterable — facets are an exact-match feature, like filters.
+pub fn facet_counts(
+    index: &InvertedIndex,
+    docs: &[DocId],
+    field: &str,
+) -> Result<FacetCounts, IndexError> {
+    let spec = index
+        .schema()
+        .field(field)
+        .ok_or_else(|| IndexError::UnknownField(field.to_string()))?;
+    if !spec.attributes.filterable {
+        return Err(IndexError::AttributeViolation {
+            field: field.to_string(),
+            required: "filterable",
+        });
+    }
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for &doc in docs {
+        for (name, value) in index.doc_tags(doc) {
+            if name != field {
+                continue;
+            }
+            match value {
+                FieldValue::Text(t) => {
+                    *counts.entry(t.clone()).or_insert(0) += 1;
+                }
+                FieldValue::Tags(tags) => {
+                    for t in tags {
+                        *counts.entry(t.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(FacetCounts {
+        field: field.to_string(),
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::IndexDocument;
+    use crate::schema::Schema;
+
+    fn index() -> (InvertedIndex, Vec<DocId>) {
+        let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+        let mut ids = Vec::new();
+        for (domain, topic) in [
+            ("Pagamenti", "Bonifici"),
+            ("Pagamenti", "Ricariche"),
+            ("Carte", "Prelievi"),
+        ] {
+            let d = IndexDocument::new()
+                .with_text("title", "t")
+                .with_tags("domain", vec![domain.to_string()])
+                .with_tags("topic", vec![topic.to_string()]);
+            ids.push(idx.add(&d).unwrap());
+        }
+        (idx, ids)
+    }
+
+    #[test]
+    fn counts_group_by_value() {
+        let (idx, ids) = index();
+        let f = facet_counts(&idx, &ids, "domain").unwrap();
+        assert_eq!(f.counts["Pagamenti"], 2);
+        assert_eq!(f.counts["Carte"], 1);
+    }
+
+    #[test]
+    fn top_orders_by_count_then_name() {
+        let (idx, ids) = index();
+        let f = facet_counts(&idx, &ids, "domain").unwrap();
+        let top = f.top(5);
+        assert_eq!(top[0], ("Pagamenti", 2));
+        assert_eq!(top[1], ("Carte", 1));
+    }
+
+    #[test]
+    fn subset_of_docs_counts_subset(){
+        let (idx, ids) = index();
+        let f = facet_counts(&idx, &ids[..1], "domain").unwrap();
+        assert_eq!(f.counts.len(), 1);
+        assert_eq!(f.counts["Pagamenti"], 1);
+    }
+
+    #[test]
+    fn non_filterable_field_is_rejected() {
+        let (idx, ids) = index();
+        assert!(matches!(
+            facet_counts(&idx, &ids, "title"),
+            Err(IndexError::AttributeViolation { .. })
+        ));
+        assert!(matches!(
+            facet_counts(&idx, &ids, "nope"),
+            Err(IndexError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn empty_docs_give_empty_counts() {
+        let (idx, _) = index();
+        let f = facet_counts(&idx, &[], "domain").unwrap();
+        assert!(f.counts.is_empty());
+        assert!(f.top(3).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Exact-match filters over filterable fields.
+//!
+//! The paper marks domain, topic, section and keywords as filterable,
+//! "to be used for exact matching only". A [`Filter`] is a small
+//! conjunction/disjunction tree over `field = tag` atoms.
+
+use crate::doc::DocId;
+use crate::error::IndexError;
+use crate::inverted::InvertedIndex;
+
+/// A filter expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// `field = tag` exact match (case-insensitive).
+    Eq {
+        /// Filterable field name.
+        field: String,
+        /// Tag value to match.
+        tag: String,
+    },
+    /// All sub-filters must match.
+    And(Vec<Filter>),
+    /// At least one sub-filter must match.
+    Or(Vec<Filter>),
+    /// Negation.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Convenience constructor for the common equality atom.
+    pub fn eq(field: &str, tag: &str) -> Filter {
+        Filter::Eq {
+            field: field.to_string(),
+            tag: tag.to_string(),
+        }
+    }
+
+    /// Evaluate the filter against a document in `index`.
+    pub fn matches(&self, index: &InvertedIndex, doc: DocId) -> Result<bool, IndexError> {
+        match self {
+            Filter::Eq { field, tag } => index.matches_filter(doc, field, tag),
+            Filter::And(subs) => {
+                for s in subs {
+                    if !s.matches(index, doc)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Filter::Or(subs) => {
+                for s in subs {
+                    if s.matches(index, doc)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Filter::Not(sub) => Ok(!sub.matches(index, doc)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::IndexDocument;
+    use crate::schema::Schema;
+
+    fn setup() -> (InvertedIndex, DocId) {
+        let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+        let d = IndexDocument::new()
+            .with_text("title", "x")
+            .with_tags("domain", vec!["Pagamenti".into()])
+            .with_tags("topic", vec!["Bonifici".into(), "Estero".into()]);
+        let id = idx.add(&d).unwrap();
+        (idx, id)
+    }
+
+    #[test]
+    fn eq_atom() {
+        let (idx, id) = setup();
+        assert!(Filter::eq("domain", "pagamenti").matches(&idx, id).unwrap());
+        assert!(!Filter::eq("domain", "altro").matches(&idx, id).unwrap());
+    }
+
+    #[test]
+    fn and_or_not() {
+        let (idx, id) = setup();
+        let f = Filter::And(vec![
+            Filter::eq("domain", "pagamenti"),
+            Filter::Or(vec![Filter::eq("topic", "estero"), Filter::eq("topic", "interno")]),
+        ]);
+        assert!(f.matches(&idx, id).unwrap());
+        let n = Filter::Not(Box::new(Filter::eq("domain", "pagamenti")));
+        assert!(!n.matches(&idx, id).unwrap());
+    }
+
+    #[test]
+    fn empty_and_is_true_empty_or_is_false() {
+        let (idx, id) = setup();
+        assert!(Filter::And(vec![]).matches(&idx, id).unwrap());
+        assert!(!Filter::Or(vec![]).matches(&idx, id).unwrap());
+    }
+
+    #[test]
+    fn error_propagates_from_atoms() {
+        let (idx, id) = setup();
+        let f = Filter::And(vec![Filter::eq("title", "x")]);
+        assert!(f.matches(&idx, id).is_err());
+    }
+}

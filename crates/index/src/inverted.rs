@@ -1,0 +1,302 @@
+//! The inverted index.
+//!
+//! One postings structure per *searchable* field ("an inverted index is
+//! built for each searchable field"), document length statistics for
+//! BM25, filterable tag storage for exact-match filters, and tombstone
+//! deletion so the ingestion service can replace updated documents.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer, KeywordAnalyzer};
+
+use crate::doc::{DocId, FieldValue, IndexDocument};
+use crate::error::IndexError;
+use crate::schema::Schema;
+
+/// Postings and statistics for one searchable field.
+#[derive(Debug, Default)]
+pub(crate) struct FieldIndex {
+    /// term → list of (doc, term frequency), in insertion (DocId) order.
+    pub postings: HashMap<String, Vec<(DocId, u32)>>,
+    /// Per-document field length in terms.
+    pub doc_len: HashMap<DocId, u32>,
+    /// Sum of all field lengths (for the BM25 average).
+    pub total_len: u64,
+}
+
+impl FieldIndex {
+    fn add(&mut self, doc: DocId, terms: &[String]) {
+        if terms.is_empty() {
+            return;
+        }
+        let mut tf: HashMap<&str, u32> = HashMap::with_capacity(terms.len());
+        for t in terms {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (term, freq) in tf {
+            self.postings.entry(term.to_string()).or_default().push((doc, freq));
+        }
+        self.doc_len.insert(doc, terms.len() as u32);
+        self.total_len += terms.len() as u64;
+    }
+
+    /// Average field length over documents that have this field.
+    pub fn avg_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+}
+
+/// An in-memory inverted index with schema-enforced field attributes.
+pub struct InvertedIndex {
+    schema: Schema,
+    analyzer: Arc<dyn Analyzer>,
+    tag_analyzer: KeywordAnalyzer,
+    pub(crate) fields: HashMap<String, FieldIndex>,
+    /// Filterable field values per document.
+    pub(crate) tags: HashMap<DocId, Vec<(String, FieldValue)>>,
+    pub(crate) deleted: HashSet<DocId>,
+    pub(crate) next_id: u32,
+    pub(crate) live_docs: usize,
+}
+
+impl std::fmt::Debug for InvertedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvertedIndex")
+            .field("docs", &self.live_docs)
+            .field("fields", &self.fields.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl InvertedIndex {
+    /// Create an index over `schema` using the Italian analysis chain
+    /// (the production configuration).
+    pub fn new(schema: Schema) -> Self {
+        Self::with_analyzer(schema, Arc::new(ItalianAnalyzer::new()))
+    }
+
+    /// Create an index with a custom analyzer (the previous-generation
+    /// engine uses [`KeywordAnalyzer`] for raw exact matching).
+    pub fn with_analyzer(schema: Schema, analyzer: Arc<dyn Analyzer>) -> Self {
+        let mut fields = HashMap::new();
+        for name in schema.searchable_fields() {
+            fields.insert(name.to_string(), FieldIndex::default());
+        }
+        InvertedIndex {
+            schema,
+            analyzer,
+            tag_analyzer: KeywordAnalyzer::new(),
+            fields,
+            tags: HashMap::new(),
+            deleted: HashSet::new(),
+            next_id: 0,
+            live_docs: 0,
+        }
+    }
+
+    /// The schema this index enforces.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The analyzer used for searchable fields (query side must match).
+    pub fn analyzer(&self) -> &Arc<dyn Analyzer> {
+        &self.analyzer
+    }
+
+    /// Number of live (non-deleted) documents.
+    pub fn doc_count(&self) -> usize {
+        self.live_docs
+    }
+
+    /// Whether `doc` exists and has not been deleted.
+    pub fn is_live(&self, doc: DocId) -> bool {
+        doc.0 < self.next_id && !self.deleted.contains(&doc)
+    }
+
+    /// Add a document, returning its assigned [`DocId`].
+    ///
+    /// Every field must exist in the schema; searchable fields are
+    /// analyzed and posted, filterable fields are stored for exact-match
+    /// filtering. Fields that are neither are rejected at schema level.
+    pub fn add(&mut self, doc: &IndexDocument) -> Result<DocId, IndexError> {
+        // Validate first so a failed add leaves the index untouched.
+        for (name, _) in doc.fields() {
+            if self.schema.field(name).is_none() {
+                return Err(IndexError::UnknownField(name.to_string()));
+            }
+        }
+        let id = DocId(self.next_id);
+        self.next_id += 1;
+        self.live_docs += 1;
+        let mut term_buf: Vec<String> = Vec::new();
+        for (name, value) in doc.fields() {
+            let spec = self.schema.field(name).expect("validated above");
+            if spec.attributes.searchable {
+                term_buf.clear();
+                self.analyzer.analyze_into(&value.as_text(), &mut term_buf);
+                self.fields
+                    .get_mut(name)
+                    .expect("searchable fields pre-created")
+                    .add(id, &term_buf);
+            }
+            if spec.attributes.filterable {
+                self.tags.entry(id).or_default().push((name.to_string(), value.clone()));
+            }
+        }
+        Ok(id)
+    }
+
+    /// Tombstone-delete a document. Postings remain but are skipped at
+    /// search time; statistics are adjusted.
+    pub fn delete(&mut self, doc: DocId) -> Result<(), IndexError> {
+        if doc.0 >= self.next_id || self.deleted.contains(&doc) {
+            return Err(IndexError::DocNotFound(doc.0));
+        }
+        self.deleted.insert(doc);
+        self.live_docs -= 1;
+        for field in self.fields.values_mut() {
+            if let Some(len) = field.doc_len.remove(&doc) {
+                field.total_len -= u64::from(len);
+            }
+        }
+        self.tags.remove(&doc);
+        Ok(())
+    }
+
+    /// Whether a deleted set contains `doc` (search-time skip).
+    pub(crate) fn is_deleted(&self, doc: DocId) -> bool {
+        self.deleted.contains(&doc)
+    }
+
+    /// Analyze a query string with this index's analyzer.
+    pub fn analyze_query(&self, query: &str) -> Vec<String> {
+        self.analyzer.analyze(query)
+    }
+
+    /// Filterable values of a document (empty if none).
+    pub fn doc_tags(&self, doc: DocId) -> &[(String, FieldValue)] {
+        self.tags.get(&doc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Check an exact-match tag on a *filterable* field.
+    pub fn matches_filter(&self, doc: DocId, field: &str, tag: &str) -> Result<bool, IndexError> {
+        let spec = self
+            .schema
+            .field(field)
+            .ok_or_else(|| IndexError::UnknownField(field.to_string()))?;
+        if !spec.attributes.filterable {
+            return Err(IndexError::AttributeViolation {
+                field: field.to_string(),
+                required: "filterable",
+            });
+        }
+        // Tags are matched on their lower-cased exact surface form.
+        let normalized = self
+            .tag_analyzer
+            .analyze(tag)
+            .join(" ");
+        Ok(self
+            .doc_tags(doc)
+            .iter()
+            .any(|(f, v)| f == field && (v.matches_tag(tag) || v.matches_tag(&normalized))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldAttributes;
+
+    fn schema() -> Schema {
+        Schema::uniask_chunk_schema()
+    }
+
+    fn doc(title: &str, content: &str) -> IndexDocument {
+        IndexDocument::new()
+            .with_text("title", title)
+            .with_text("content", content)
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut idx = InvertedIndex::new(schema());
+        let a = idx.add(&doc("a", "uno")).unwrap();
+        let b = idx.add(&doc("b", "due")).unwrap();
+        assert_eq!(a, DocId(0));
+        assert_eq!(b, DocId(1));
+        assert_eq!(idx.doc_count(), 2);
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let mut idx = InvertedIndex::new(schema());
+        let bad = IndexDocument::new().with_text("nonexistent", "x");
+        assert!(matches!(idx.add(&bad), Err(IndexError::UnknownField(_))));
+        assert_eq!(idx.doc_count(), 0);
+    }
+
+    #[test]
+    fn delete_removes_from_stats() {
+        let mut idx = InvertedIndex::new(schema());
+        let a = idx.add(&doc("t", "contenuto lungo con parole")).unwrap();
+        idx.delete(a).unwrap();
+        assert_eq!(idx.doc_count(), 0);
+        assert!(!idx.is_live(a));
+        assert!(matches!(idx.delete(a), Err(IndexError::DocNotFound(_))));
+    }
+
+    #[test]
+    fn filters_require_filterable_fields() {
+        let mut idx = InvertedIndex::new(schema());
+        let d = IndexDocument::new()
+            .with_text("title", "x")
+            .with_tags("domain", vec!["Pagamenti".into()]);
+        let id = idx.add(&d).unwrap();
+        assert!(idx.matches_filter(id, "domain", "pagamenti").unwrap());
+        assert!(!idx.matches_filter(id, "domain", "governance").unwrap());
+        assert!(matches!(
+            idx.matches_filter(id, "title", "x"),
+            Err(IndexError::AttributeViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn searchable_fields_are_analyzed() {
+        let mut idx = InvertedIndex::new(schema());
+        idx.add(&doc("Bonifici esteri", "come inviare il bonifico")).unwrap();
+        // The Italian chain stems "bonifici"/"bonifico" to the same term.
+        let title_index = idx.fields.get("title").unwrap();
+        let content_index = idx.fields.get("content").unwrap();
+        assert!(title_index.postings.contains_key("bonific"));
+        assert!(content_index.postings.contains_key("bonific"));
+        // Stop word "il" never indexed.
+        assert!(!content_index.postings.contains_key("il"));
+    }
+
+    #[test]
+    fn avg_len_tracks_additions_and_deletions() {
+        let mut idx = InvertedIndex::new(schema());
+        let a = idx.add(&doc("t", "uno due tre quattro")).unwrap();
+        idx.add(&doc("t", "uno due")).unwrap();
+        let before = idx.fields.get("content").unwrap().avg_len();
+        assert!(before > 0.0);
+        idx.delete(a).unwrap();
+        let after = idx.fields.get("content").unwrap().avg_len();
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn custom_schema_without_searchable_fields() {
+        let s = Schema::new().with_field("only_tag", FieldAttributes::filterable_only());
+        let mut idx = InvertedIndex::new(s);
+        let d = IndexDocument::new().with_tags("only_tag", vec!["a".into()]);
+        let id = idx.add(&d).unwrap();
+        assert!(idx.matches_filter(id, "only_tag", "a").unwrap());
+    }
+}

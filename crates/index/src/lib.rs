@@ -1,0 +1,37 @@
+//! # uniask-index
+//!
+//! Full-text indexing substrate: a from-scratch inverted index with the
+//! field-attribute model of Azure AI Search (fields are *searchable*,
+//! *retrievable* and/or *filterable*), Okapi BM25 ranking, exact-match
+//! filters, and scoring profiles (the paper's title-boost experiments,
+//! Table 3B).
+//!
+//! The index is the storage half of UniAsk's retrieval module: chunks
+//! produced by the indexing service are added as [`IndexDocument`]s, and
+//! the [`Searcher`] executes analyzed full-text queries against every
+//! searchable field, combining per-field BM25 scores under a
+//! [`ScoringProfile`].
+
+pub mod bm25;
+pub mod codec;
+pub mod doc;
+pub mod error;
+pub mod facets;
+pub mod filter;
+pub mod inverted;
+pub mod query_parser;
+pub mod schema;
+pub mod searcher;
+pub mod store;
+
+pub use bm25::Bm25Params;
+pub use codec::{decode as decode_index, encode as encode_index, CodecError};
+pub use doc::{DocId, FieldValue, IndexDocument};
+pub use error::IndexError;
+pub use facets::{facet_counts, FacetCounts};
+pub use filter::Filter;
+pub use inverted::InvertedIndex;
+pub use query_parser::{parse_query, ParsedQuery};
+pub use schema::{FieldAttributes, FieldSpec, Schema};
+pub use searcher::{ScoredDoc, ScoringProfile, Searcher};
+pub use store::DocumentStore;

@@ -1,0 +1,197 @@
+//! Search-box query language.
+//!
+//! The frontend's search box accepts the lightweight filter syntax
+//! power users expect from enterprise search:
+//!
+//! ```text
+//! domain:Pagamenti bonifico estero          field filter + free text
+//! topic:"Carte di Pagamento" blocco         quoted multi-word value
+//! -section:Errori carta                     negated filter
+//! domain:Carte domain:Pagamenti saldo       same field twice = OR
+//! ```
+//!
+//! Filters on the same field are OR-ed, different fields are AND-ed
+//! (the standard faceted-search semantics); the remaining tokens form
+//! the free-text query for HSS.
+
+use std::collections::BTreeMap;
+
+use crate::filter::Filter;
+
+/// A parsed search-box input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// The free-text part (may be empty).
+    pub text: String,
+    /// The combined filter (None when no `field:value` tokens appear).
+    pub filter: Option<Filter>,
+}
+
+/// Parse the search-box syntax. Unknown fields are the caller's
+/// problem (the searcher validates against the schema); a dangling
+/// quote swallows the rest of the input, matching what users expect.
+pub fn parse_query(input: &str) -> ParsedQuery {
+    let mut text_parts: Vec<&str> = Vec::new();
+    // field → (positive values, negative values)
+    let mut fields: BTreeMap<String, (Vec<String>, Vec<String>)> = BTreeMap::new();
+
+    let mut rest = input.trim();
+    while !rest.is_empty() {
+        // Next whitespace-delimited token, respecting quotes after ':'.
+        let token_end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+        let mut token = &rest[..token_end];
+        let mut consumed = token_end;
+
+        if let Some(colon) = token.find(':') {
+            let value_start = colon + 1;
+            if rest[value_start..].starts_with('"') {
+                // Quoted value: extend to the closing quote (or EOL).
+                let after_quote = value_start + 1;
+                let close = rest[after_quote..]
+                    .find('"')
+                    .map(|i| after_quote + i + 1)
+                    .unwrap_or(rest.len());
+                token = &rest[..close];
+                consumed = close;
+            }
+            let (negated, token) = match token.strip_prefix('-') {
+                Some(t) => (true, t),
+                None => (false, token),
+            };
+            let colon = token.find(':').expect("checked above");
+            let field = token[..colon].to_lowercase();
+            let raw_value = token[colon + 1..].trim_matches('"').trim();
+            if !field.is_empty() && !raw_value.is_empty() {
+                let entry = fields.entry(field).or_default();
+                if negated {
+                    entry.1.push(raw_value.to_string());
+                } else {
+                    entry.0.push(raw_value.to_string());
+                }
+            } else if !raw_value.is_empty() {
+                text_parts.push(raw_value);
+            }
+        } else if !token.is_empty() {
+            text_parts.push(token);
+        }
+        rest = rest[consumed..].trim_start();
+    }
+
+    let mut clauses: Vec<Filter> = Vec::new();
+    for (field, (positive, negative)) in fields {
+        if !positive.is_empty() {
+            let atoms: Vec<Filter> = positive.iter().map(|v| Filter::eq(&field, v)).collect();
+            clauses.push(if atoms.len() == 1 {
+                atoms.into_iter().next().expect("one atom")
+            } else {
+                Filter::Or(atoms)
+            });
+        }
+        for v in negative {
+            clauses.push(Filter::Not(Box::new(Filter::eq(&field, &v))));
+        }
+    }
+    let filter = match clauses.len() {
+        0 => None,
+        1 => Some(clauses.into_iter().next().expect("one clause")),
+        _ => Some(Filter::And(clauses)),
+    };
+    ParsedQuery {
+        text: text_parts.join(" "),
+        filter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_has_no_filter() {
+        let q = parse_query("bonifico estero urgente");
+        assert_eq!(q.text, "bonifico estero urgente");
+        assert!(q.filter.is_none());
+    }
+
+    #[test]
+    fn field_filter_is_extracted() {
+        let q = parse_query("domain:Pagamenti bonifico");
+        assert_eq!(q.text, "bonifico");
+        assert_eq!(q.filter, Some(Filter::eq("domain", "Pagamenti")));
+    }
+
+    #[test]
+    fn quoted_values_keep_spaces() {
+        let q = parse_query("topic:\"Carte di Pagamento\" blocco carta");
+        assert_eq!(q.text, "blocco carta");
+        assert_eq!(q.filter, Some(Filter::eq("topic", "Carte di Pagamento")));
+    }
+
+    #[test]
+    fn same_field_twice_is_or() {
+        let q = parse_query("domain:Carte domain:Pagamenti saldo");
+        assert_eq!(q.text, "saldo");
+        assert_eq!(
+            q.filter,
+            Some(Filter::Or(vec![
+                Filter::eq("domain", "Carte"),
+                Filter::eq("domain", "Pagamenti"),
+            ]))
+        );
+    }
+
+    #[test]
+    fn different_fields_are_and() {
+        let q = parse_query("domain:Carte section:FAQ limite");
+        match q.filter {
+            Some(Filter::And(clauses)) => assert_eq!(clauses.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_becomes_not() {
+        let q = parse_query("-section:Errori carta");
+        assert_eq!(q.text, "carta");
+        assert_eq!(
+            q.filter,
+            Some(Filter::Not(Box::new(Filter::eq("section", "Errori"))))
+        );
+    }
+
+    #[test]
+    fn field_names_are_lowercased() {
+        let q = parse_query("DOMAIN:Carte x");
+        assert_eq!(q.filter, Some(Filter::eq("domain", "Carte")));
+    }
+
+    #[test]
+    fn dangling_quote_swallows_the_rest() {
+        let q = parse_query("topic:\"Carte di Pagamento senza chiusura");
+        assert_eq!(q.filter, Some(Filter::eq("topic", "Carte di Pagamento senza chiusura")));
+        assert!(q.text.is_empty());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(parse_query(""), ParsedQuery { text: String::new(), filter: None });
+        // ":" with no field name: kept as text when a value exists.
+        let q = parse_query(":valore parola");
+        assert_eq!(q.text, "valore parola");
+        assert!(q.filter.is_none());
+        // Field with empty value: ignored entirely.
+        let q = parse_query("domain: parola");
+        assert_eq!(q.text, "parola");
+        assert!(q.filter.is_none());
+    }
+
+    #[test]
+    fn mixed_everything() {
+        let q = parse_query("domain:Pagamenti -section:Errori topic:\"Bonifici\" come fare un bonifico");
+        assert_eq!(q.text, "come fare un bonifico");
+        match q.filter {
+            Some(Filter::And(clauses)) => assert_eq!(clauses.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+}

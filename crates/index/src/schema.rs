@@ -1,0 +1,146 @@
+//! Index schema and field attributes.
+//!
+//! Mirrors the Azure AI Search model the paper describes: "index fields
+//! can be marked with attributes that determine how a field is used".
+//! UniAsk marks *title*, *content* and *summary* as searchable and
+//! retrievable, and *domain*, *topic*, *section* and *keywords* as
+//! filterable (exact matching only). An inverted index is built for each
+//! searchable field.
+
+/// What an index field can be used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FieldAttributes {
+    /// Participates in full-text search (an inverted index is built).
+    pub searchable: bool,
+    /// Can be returned in a search result.
+    pub retrievable: bool,
+    /// Can be used in exact-match filters.
+    pub filterable: bool,
+}
+
+impl FieldAttributes {
+    /// Searchable + retrievable (the default for string fields in Azure
+    /// AI Search, and what UniAsk uses for title/content/summary).
+    pub const fn searchable_retrievable() -> Self {
+        FieldAttributes {
+            searchable: true,
+            retrievable: true,
+            filterable: false,
+        }
+    }
+
+    /// Filterable only (UniAsk's domain/topic/section/keywords tags).
+    pub const fn filterable_only() -> Self {
+        FieldAttributes {
+            searchable: false,
+            retrievable: false,
+            filterable: true,
+        }
+    }
+}
+
+/// A named field with its attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name (unique within a schema).
+    pub name: String,
+    /// Usage attributes.
+    pub attributes: FieldAttributes,
+}
+
+/// An ordered collection of field specifications.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<FieldSpec>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a field. Replaces any existing field with the same name.
+    pub fn with_field(mut self, name: &str, attributes: FieldAttributes) -> Self {
+        if let Some(existing) = self.fields.iter_mut().find(|f| f.name == name) {
+            existing.attributes = attributes;
+        } else {
+            self.fields.push(FieldSpec {
+                name: name.to_string(),
+                attributes,
+            });
+        }
+        self
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldSpec> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// All fields, in declaration order.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// Names of all searchable fields.
+    pub fn searchable_fields(&self) -> impl Iterator<Item = &str> {
+        self.fields
+            .iter()
+            .filter(|f| f.attributes.searchable)
+            .map(|f| f.name.as_str())
+    }
+
+    /// The schema UniAsk uses for its chunk index (Section 4).
+    pub fn uniask_chunk_schema() -> Self {
+        Schema::new()
+            .with_field("title", FieldAttributes::searchable_retrievable())
+            .with_field("content", FieldAttributes::searchable_retrievable())
+            .with_field("summary", FieldAttributes::searchable_retrievable())
+            .with_field("domain", FieldAttributes::filterable_only())
+            .with_field("topic", FieldAttributes::filterable_only())
+            .with_field("section", FieldAttributes::filterable_only())
+            .with_field("keywords", FieldAttributes::filterable_only())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniask_schema_matches_paper() {
+        let s = Schema::uniask_chunk_schema();
+        for f in ["title", "content", "summary"] {
+            let spec = s.field(f).expect(f);
+            assert!(spec.attributes.searchable && spec.attributes.retrievable);
+            assert!(!spec.attributes.filterable);
+        }
+        for f in ["domain", "topic", "section", "keywords"] {
+            let spec = s.field(f).expect(f);
+            assert!(spec.attributes.filterable);
+            assert!(!spec.attributes.searchable);
+        }
+    }
+
+    #[test]
+    fn with_field_replaces_duplicates() {
+        let s = Schema::new()
+            .with_field("x", FieldAttributes::filterable_only())
+            .with_field("x", FieldAttributes::searchable_retrievable());
+        assert_eq!(s.fields().len(), 1);
+        assert!(s.field("x").unwrap().attributes.searchable);
+    }
+
+    #[test]
+    fn searchable_fields_iterates_in_order() {
+        let s = Schema::uniask_chunk_schema();
+        let names: Vec<_> = s.searchable_fields().collect();
+        assert_eq!(names, vec!["title", "content", "summary"]);
+    }
+
+    #[test]
+    fn unknown_field_is_none() {
+        assert!(Schema::new().field("missing").is_none());
+    }
+}

@@ -1,0 +1,299 @@
+//! Full-text search execution.
+//!
+//! The [`Searcher`] runs an analyzed query against every searchable
+//! field of an [`InvertedIndex`], scoring each field with Okapi BM25 and
+//! combining the per-field scores under a [`ScoringProfile`] — the
+//! mechanism behind the paper's title-boost experiments (Table 3B,
+//! multiplicative weight `T ∈ {5, 50, 500}` on title matches).
+
+use std::collections::HashMap;
+
+use crate::bm25::{idf, term_score, Bm25Params};
+use crate::doc::DocId;
+use crate::error::IndexError;
+use crate::filter::Filter;
+use crate::inverted::InvertedIndex;
+
+/// Relative weights of searchable fields when combining BM25 scores.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct ScoringProfile {
+    /// `(field, weight)` pairs; fields not listed get weight 1.0.
+    pub weights: Vec<(String, f64)>,
+}
+
+
+impl ScoringProfile {
+    /// The neutral profile: every field weighted 1.0.
+    pub fn neutral() -> Self {
+        Self::default()
+    }
+
+    /// Boost matches on the `title` field by `t` (Table 3B).
+    pub fn title_boost(t: f64) -> Self {
+        ScoringProfile {
+            weights: vec![("title".to_string(), t)],
+        }
+    }
+
+    /// Weight for `field`.
+    pub fn weight(&self, field: &str) -> f64 {
+        self.weights
+            .iter()
+            .find(|(f, _)| f == field)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    }
+}
+
+/// A search hit: document id plus relevance score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredDoc {
+    /// The matching document.
+    pub doc: DocId,
+    /// Combined BM25 relevance score.
+    pub score: f64,
+}
+
+/// Executes full-text queries against an [`InvertedIndex`].
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Searcher {
+    /// BM25 parameters (defaults match Lucene/Azure).
+    pub params: Bm25Params,
+}
+
+
+impl Searcher {
+    /// Create a searcher with default BM25 parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Search `index` for `query`, returning at most `n` hits sorted by
+    /// descending score (ties broken by ascending [`DocId`] so results
+    /// are fully deterministic).
+    pub fn search(
+        &self,
+        index: &InvertedIndex,
+        query: &str,
+        n: usize,
+        profile: &ScoringProfile,
+        filter: Option<&Filter>,
+    ) -> Result<Vec<ScoredDoc>, IndexError> {
+        let terms = index.analyze_query(query);
+        self.search_terms(index, &terms, n, profile, filter)
+    }
+
+    /// Search with pre-analyzed query terms.
+    pub fn search_terms(
+        &self,
+        index: &InvertedIndex,
+        terms: &[String],
+        n: usize,
+        profile: &ScoringProfile,
+        filter: Option<&Filter>,
+    ) -> Result<Vec<ScoredDoc>, IndexError> {
+        if terms.is_empty() || n == 0 {
+            return Ok(Vec::new());
+        }
+        let doc_count = index.doc_count();
+        if doc_count == 0 {
+            return Ok(Vec::new());
+        }
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for field_name in index.schema().searchable_fields() {
+            let Some(field) = index.fields.get(field_name) else {
+                continue;
+            };
+            let weight = profile.weight(field_name);
+            if weight == 0.0 {
+                continue;
+            }
+            let avg_len = field.avg_len();
+            for term in terms {
+                let Some(postings) = field.postings.get(term) else {
+                    continue;
+                };
+                // Live document frequency: tombstoned docs removed their
+                // lengths, so count live postings.
+                let df = postings.iter().filter(|(d, _)| !index.is_deleted(*d)).count();
+                if df == 0 {
+                    continue;
+                }
+                let term_idf = idf(doc_count, df);
+                for &(doc, tf) in postings {
+                    if index.is_deleted(doc) {
+                        continue;
+                    }
+                    let doc_len = f64::from(*field.doc_len.get(&doc).unwrap_or(&0));
+                    let s = term_score(self.params, term_idf, f64::from(tf), doc_len, avg_len);
+                    *scores.entry(doc).or_insert(0.0) += weight * s;
+                }
+            }
+        }
+        let mut hits: Vec<ScoredDoc> = Vec::with_capacity(scores.len());
+        for (doc, score) in scores {
+            if score <= 0.0 {
+                continue;
+            }
+            if let Some(f) = filter {
+                if !f.matches(index, doc)? {
+                    continue;
+                }
+            }
+            hits.push(ScoredDoc { doc, score });
+        }
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(n);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::IndexDocument;
+    use crate::schema::Schema;
+
+    fn index_with(docs: &[(&str, &str)]) -> InvertedIndex {
+        let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+        for (title, content) in docs {
+            idx.add(
+                &IndexDocument::new()
+                    .with_text("title", *title)
+                    .with_text("content", *content),
+            )
+            .unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn relevant_document_ranks_first() {
+        let idx = index_with(&[
+            ("Mutuo casa", "informazioni sul mutuo per la casa e i tassi"),
+            ("Bonifico SEPA", "come eseguire un bonifico SEPA verso estero"),
+            ("Carta di credito", "limiti della carta di credito aziendale"),
+        ]);
+        let hits = Searcher::new()
+            .search(&idx, "bonifico estero", 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert_eq!(hits[0].doc, DocId(1));
+    }
+
+    #[test]
+    fn morphological_variants_match() {
+        let idx = index_with(&[("Bonifici", "esecuzione dei bonifici esteri")]);
+        let hits = Searcher::new()
+            .search(&idx, "bonifico estero", 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = index_with(&[("a", "contenuto banale")]);
+        let hits = Searcher::new()
+            .search(&idx, "argomento inesistente", 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn stopword_only_query_returns_empty() {
+        let idx = index_with(&[("a", "contenuto")]);
+        let hits = Searcher::new()
+            .search(&idx, "il la per che", 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn n_limits_results() {
+        let idx = index_with(&[
+            ("t", "parola comune"),
+            ("t", "parola comune"),
+            ("t", "parola comune"),
+        ]);
+        let hits = Searcher::new()
+            .search(&idx, "parola", 2, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn title_boost_promotes_title_matches() {
+        let idx = index_with(&[
+            ("Altro argomento", "bonifico bonifico bonifico bonifico contenuto dettagliato"),
+            ("Bonifico", "testo generico senza ripetizioni utili"),
+        ]);
+        let neutral = Searcher::new()
+            .search(&idx, "bonifico", 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        let boosted = Searcher::new()
+            .search(&idx, "bonifico", 10, &ScoringProfile::title_boost(50.0), None)
+            .unwrap();
+        // Without boost, the tf-heavy content doc wins; with a title
+        // boost of 50, the title match wins.
+        assert_eq!(neutral[0].doc, DocId(0));
+        assert_eq!(boosted[0].doc, DocId(1));
+    }
+
+    #[test]
+    fn deleted_documents_are_not_returned() {
+        let mut idx = index_with(&[("t", "termine raro"), ("t", "termine raro")]);
+        idx.delete(DocId(0)).unwrap();
+        let hits = Searcher::new()
+            .search(&idx, "raro", 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocId(1));
+    }
+
+    #[test]
+    fn filter_restricts_results() {
+        let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+        for (i, domain) in ["Pagamenti", "Governance"].iter().enumerate() {
+            idx.add(
+                &IndexDocument::new()
+                    .with_text("title", format!("doc {i}"))
+                    .with_text("content", "argomento condiviso")
+                    .with_tags("domain", vec![domain.to_string()]),
+            )
+            .unwrap();
+        }
+        let f = Filter::eq("domain", "governance");
+        let hits = Searcher::new()
+            .search(&idx, "argomento condiviso", 10, &ScoringProfile::neutral(), Some(&f))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocId(1));
+    }
+
+    #[test]
+    fn results_are_deterministic_under_ties() {
+        let idx = index_with(&[("t", "uguale testo"), ("t", "uguale testo")]);
+        for _ in 0..5 {
+            let hits = Searcher::new()
+                .search(&idx, "uguale", 10, &ScoringProfile::neutral(), None)
+                .unwrap();
+            assert_eq!(hits[0].doc, DocId(0));
+            assert_eq!(hits[1].doc, DocId(1));
+        }
+    }
+
+    #[test]
+    fn zero_n_returns_empty() {
+        let idx = index_with(&[("t", "x y z")]);
+        let hits = Searcher::new()
+            .search(&idx, "x", 0, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert!(hits.is_empty());
+    }
+}

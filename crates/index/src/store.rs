@@ -1,0 +1,93 @@
+//! Retrievable-field document store.
+//!
+//! Azure AI Search returns only fields marked *retrievable* in search
+//! results. The [`DocumentStore`] enforces the same contract: when a
+//! document is stored, fields that are not retrievable under the schema
+//! are stripped, so nothing downstream (the generation prompt, the
+//! frontend) can accidentally leak a non-retrievable field.
+
+use std::collections::HashMap;
+
+use crate::doc::{DocId, IndexDocument};
+use crate::error::IndexError;
+use crate::schema::Schema;
+
+/// Stores the retrievable projection of indexed documents.
+#[derive(Debug, Default)]
+pub struct DocumentStore {
+    docs: HashMap<DocId, IndexDocument>,
+}
+
+impl DocumentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store the retrievable projection of `doc` under `id`.
+    pub fn put(&mut self, schema: &Schema, id: DocId, doc: &IndexDocument) {
+        let mut projected = IndexDocument::new();
+        for (name, value) in doc.fields() {
+            if schema.field(name).is_some_and(|s| s.attributes.retrievable) {
+                projected.set(name, value.clone());
+            }
+        }
+        self.docs.insert(id, projected);
+    }
+
+    /// Fetch a stored document.
+    pub fn get(&self, id: DocId) -> Result<&IndexDocument, IndexError> {
+        self.docs.get(&id).ok_or(IndexError::DocNotFound(id.0))
+    }
+
+    /// Remove a document (ingestion updates/deletions).
+    pub fn remove(&mut self, id: DocId) -> Option<IndexDocument> {
+        self.docs.remove(&id)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_retrievable_fields_are_stripped() {
+        let schema = Schema::uniask_chunk_schema();
+        let mut store = DocumentStore::new();
+        let doc = IndexDocument::new()
+            .with_text("title", "Titolo")
+            .with_text("content", "Contenuto")
+            .with_tags("domain", vec!["Pagamenti".into()]);
+        store.put(&schema, DocId(0), &doc);
+        let got = store.get(DocId(0)).unwrap();
+        assert_eq!(got.text("title"), Some("Titolo"));
+        assert!(got.get("domain").is_none(), "filterable-only field must not be retrievable");
+    }
+
+    #[test]
+    fn missing_doc_is_an_error() {
+        let store = DocumentStore::new();
+        assert!(matches!(store.get(DocId(9)), Err(IndexError::DocNotFound(9))));
+    }
+
+    #[test]
+    fn remove_then_get_fails() {
+        let schema = Schema::uniask_chunk_schema();
+        let mut store = DocumentStore::new();
+        store.put(&schema, DocId(1), &IndexDocument::new().with_text("title", "x"));
+        assert_eq!(store.len(), 1);
+        store.remove(DocId(1));
+        assert!(store.is_empty());
+        assert!(store.get(DocId(1)).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the inverted index and BM25.
+
+use proptest::prelude::*;
+use uniask_index::bm25::{idf, term_score, Bm25Params};
+use uniask_index::doc::IndexDocument;
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{ScoringProfile, Searcher};
+
+fn words() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{3,10}", 1..40).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn idf_is_positive_and_antitone(n in 1usize..100_000, df_a in 1usize..1000, df_b in 1usize..1000) {
+        prop_assume!(df_a <= n && df_b <= n);
+        let (lo, hi) = if df_a <= df_b { (df_a, df_b) } else { (df_b, df_a) };
+        prop_assert!(idf(n, lo) >= idf(n, hi), "idf must not increase with df");
+        prop_assert!(idf(n, hi) > 0.0, "Lucene idf is strictly positive");
+    }
+
+    #[test]
+    fn term_score_is_bounded_by_saturation(
+        tf in 0.0f64..1000.0,
+        doc_len in 0.0f64..10_000.0,
+        avg in 0.1f64..1000.0,
+    ) {
+        let params = Bm25Params::default();
+        let i = 2.0;
+        let s = term_score(params, i, tf, doc_len, avg);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= i * (params.k1 + 1.0) + 1e-9, "score above the saturation asymptote");
+    }
+
+    #[test]
+    fn term_score_is_monotone_in_tf(
+        tf in 0.5f64..100.0,
+        delta in 0.1f64..10.0,
+        doc_len in 1.0f64..500.0,
+    ) {
+        let params = Bm25Params::default();
+        let lo = term_score(params, 1.5, tf, doc_len, 100.0);
+        let hi = term_score(params, 1.5, tf + delta, doc_len, 100.0);
+        prop_assert!(hi >= lo);
+    }
+
+    #[test]
+    fn every_document_is_findable_by_its_own_content(texts in proptest::collection::vec(words(), 1..20)) {
+        let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+        let mut ids = Vec::new();
+        for t in &texts {
+            let doc = IndexDocument::new().with_text("content", t.clone());
+            ids.push(index.add(&doc).expect("valid schema"));
+        }
+        let searcher = Searcher::new();
+        for (i, t) in texts.iter().enumerate() {
+            let hits = searcher
+                .search(&index, t, texts.len(), &ScoringProfile::neutral(), None)
+                .expect("search ok");
+            // Querying a document's full text must return it (terms all
+            // survive analysis because they are ≥3 alphabetic chars —
+            // unless every word is an Italian stop word, which the
+            // 3-10 char [a-z] generator makes vanishingly unlikely but
+            // possible, so we check containment only when hits exist).
+            if !hits.is_empty() {
+                prop_assert!(
+                    hits.iter().any(|h| h.doc == ids[i]),
+                    "document {i} not found by its own text"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_sorted_and_results_deterministic(texts in proptest::collection::vec(words(), 1..15), query in words()) {
+        let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+        for t in &texts {
+            index.add(&IndexDocument::new().with_text("content", t.clone())).expect("ok");
+        }
+        let searcher = Searcher::new();
+        let a = searcher.search(&index, &query, 50, &ScoringProfile::neutral(), None).expect("ok");
+        let b = searcher.search(&index, &query, 50, &ScoringProfile::neutral(), None).expect("ok");
+        prop_assert_eq!(&a, &b, "search must be deterministic");
+        for w in a.windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "results must be score-sorted");
+        }
+        for h in &a {
+            prop_assert!(h.score > 0.0, "zero-score hits must be dropped");
+        }
+    }
+
+    #[test]
+    fn deleting_a_document_removes_it_from_all_results(texts in proptest::collection::vec(words(), 2..12)) {
+        let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+        let mut ids = Vec::new();
+        for t in &texts {
+            ids.push(index.add(&IndexDocument::new().with_text("content", t.clone())).expect("ok"));
+        }
+        let victim = ids[0];
+        index.delete(victim).expect("delete ok");
+        let searcher = Searcher::new();
+        for t in &texts {
+            let hits = searcher.search(&index, t, 50, &ScoringProfile::neutral(), None).expect("ok");
+            prop_assert!(hits.iter().all(|h| h.doc != victim), "tombstoned doc resurfaced");
+        }
+    }
+
+    #[test]
+    fn title_boost_never_changes_the_result_set_only_the_order(
+        texts in proptest::collection::vec(words(), 1..10),
+        query in words(),
+        boost in 1.0f64..100.0,
+    ) {
+        let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+        for (i, t) in texts.iter().enumerate() {
+            index
+                .add(&IndexDocument::new()
+                    .with_text("title", format!("titolo {i}"))
+                    .with_text("content", t.clone()))
+                .expect("ok");
+        }
+        let searcher = Searcher::new();
+        let neutral = searcher.search(&index, &query, 50, &ScoringProfile::neutral(), None).expect("ok");
+        let boosted = searcher.search(&index, &query, 50, &ScoringProfile::title_boost(boost), None).expect("ok");
+        let mut a: Vec<u32> = neutral.iter().map(|h| h.doc.0).collect();
+        let mut b: Vec<u32> = boosted.iter().map(|h| h.doc.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "boosting reweights, it must not add/remove matches");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_decode_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        use std::sync::Arc;
+        use uniask_index::codec::decode;
+        use uniask_text::analyzer::ItalianAnalyzer;
+        // Arbitrary bytes must yield a typed error, never a panic or
+        // a bogus "successful" index (the checksum makes accidental
+        // success astronomically unlikely).
+        let _ = decode(&data, Arc::new(ItalianAnalyzer::new()));
+    }
+
+    #[test]
+    fn codec_truncations_of_valid_snapshots_fail_cleanly(cut in 0usize..100) {
+        use std::sync::Arc;
+        use uniask_index::codec::{decode, encode};
+        use uniask_index::doc::IndexDocument;
+        use uniask_text::analyzer::ItalianAnalyzer;
+        let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+        idx.add(&IndexDocument::new().with_text("content", "alcune parole da indicizzare")).unwrap();
+        let snapshot = encode(&idx);
+        let len = snapshot.len();
+        let keep = len.saturating_sub(cut % len.max(1) + 1);
+        prop_assert!(decode(&snapshot[..keep], Arc::new(ItalianAnalyzer::new())).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Chat-completion API types.
+//!
+//! UniAsk talks to its LLM through the chat-completion interface
+//! ("we leverage gpt3.5-turbo as the LLM along with its chat completion
+//! API"). These types mirror that contract so the rest of the system is
+//! written exactly as it would be against the hosted service.
+
+use serde::{Deserialize, Serialize};
+use uniask_text::approx_token_count;
+
+/// The author of a chat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Role {
+    /// Task instructions and context.
+    System,
+    /// End-user input.
+    User,
+    /// Model output.
+    Assistant,
+}
+
+/// One message in a chat conversation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    /// Who produced the message.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl ChatMessage {
+    /// A system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    /// A user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    /// An assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// A chat-completion request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatRequest {
+    /// Conversation so far (system prompt first).
+    pub messages: Vec<ChatMessage>,
+    /// Sampling temperature (the simulation maps temperature 0 to a
+    /// fully deterministic decode; production UniAsk uses low values).
+    pub temperature: f32,
+    /// Upper bound on completion tokens.
+    pub max_tokens: usize,
+}
+
+impl ChatRequest {
+    /// Build a request with UniAsk's production defaults.
+    pub fn new(messages: Vec<ChatMessage>) -> Self {
+        ChatRequest {
+            messages,
+            temperature: 0.0,
+            max_tokens: 512,
+        }
+    }
+
+    /// Total prompt tokens across all messages (approximate).
+    pub fn prompt_tokens(&self) -> usize {
+        self.messages.iter().map(|m| approx_token_count(&m.content)).sum()
+    }
+}
+
+/// Why the model stopped generating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FinishReason {
+    /// Natural end of answer.
+    Stop,
+    /// Hit `max_tokens`.
+    Length,
+    /// Blocked by the provider-side content filter.
+    ContentFilter,
+}
+
+/// Token accounting for a completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Usage {
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens in the completion.
+    pub completion_tokens: usize,
+}
+
+impl Usage {
+    /// Prompt plus completion tokens.
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// A chat-completion response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatResponse {
+    /// The generated assistant message.
+    pub message: ChatMessage,
+    /// Why generation stopped.
+    pub finish_reason: FinishReason,
+    /// Token accounting.
+    pub usage: Usage,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_roles() {
+        assert_eq!(ChatMessage::system("s").role, Role::System);
+        assert_eq!(ChatMessage::user("u").role, Role::User);
+        assert_eq!(ChatMessage::assistant("a").role, Role::Assistant);
+    }
+
+    #[test]
+    fn prompt_tokens_sums_messages() {
+        let r = ChatRequest::new(vec![
+            ChatMessage::system("istruzioni dettagliate del sistema"),
+            ChatMessage::user("domanda breve"),
+        ]);
+        assert_eq!(
+            r.prompt_tokens(),
+            approx_token_count("istruzioni dettagliate del sistema") + approx_token_count("domanda breve")
+        );
+    }
+
+    #[test]
+    fn usage_total() {
+        let u = Usage {
+            prompt_tokens: 100,
+            completion_tokens: 28,
+        };
+        assert_eq!(u.total(), 128);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ChatRequest::new(vec![ChatMessage::user("ciao")]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ChatRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        assert!(json.contains("\"user\""));
+    }
+}

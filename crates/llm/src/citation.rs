@@ -1,0 +1,116 @@
+//! Citation formatting and parsing.
+//!
+//! The prompt instructs the model that "a valid answer must consist of
+//! sentences that always cite the relevant chunks from the context",
+//! with a fixed citation format to "reduce variability and increase the
+//! likelihood that the LLM uses the context properly". The format is
+//! `[doc_N]` where `N` is the 1-based key of a context chunk. The
+//! citation guardrail and the feedback analytics both parse answers
+//! with [`extract_citations`].
+
+/// Render the canonical citation marker for 1-based context key `n`.
+pub fn format_citation(n: usize) -> String {
+    format!("[doc_{n}]")
+}
+
+/// Extract all cited context keys from an answer, in order of first
+/// appearance, deduplicated. Malformed markers are ignored.
+pub fn extract_citations(answer: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    let bytes = answer.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = answer[i..].find("[doc_") {
+        let start = i + pos + 5;
+        let Some(end_rel) = answer[start..].find(']') else {
+            break;
+        };
+        let end = start + end_rel;
+        if let Ok(n) = answer[start..end].parse::<usize>() {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+        i = end + 1;
+        if i >= bytes.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Remove all citation markers (used when displaying plain answer text
+/// or when computing ROUGE-L against the context).
+pub fn strip_citations(answer: &str) -> String {
+    let mut out = String::with_capacity(answer.len());
+    let mut rest = answer;
+    while let Some(pos) = rest.find("[doc_") {
+        out.push_str(&rest[..pos]);
+        match rest[pos..].find(']') {
+            Some(close) => rest = &rest[pos + close + 1..],
+            None => {
+                rest = &rest[pos..];
+                break;
+            }
+        }
+    }
+    out.push_str(rest);
+    // Collapse doubled spaces created by removals.
+    let mut collapsed = String::with_capacity(out.len());
+    let mut prev_space = false;
+    for c in out.chars() {
+        if c == ' ' {
+            if !prev_space {
+                collapsed.push(c);
+            }
+            prev_space = true;
+        } else {
+            collapsed.push(c);
+            prev_space = false;
+        }
+    }
+    collapsed.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_roundtrips_through_extract() {
+        let answer = format!("Il limite è 500 euro {}. Serve l'OTP {}.", format_citation(2), format_citation(1));
+        assert_eq!(extract_citations(&answer), vec![2, 1]);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        assert_eq!(extract_citations("a [doc_1] b [doc_1] c [doc_3]"), vec![1, 3]);
+    }
+
+    #[test]
+    fn no_citations() {
+        assert!(extract_citations("risposta senza fonti").is_empty());
+    }
+
+    #[test]
+    fn malformed_markers_are_ignored() {
+        assert!(extract_citations("[doc_] [doc_x] [doc").is_empty());
+        assert_eq!(extract_citations("[doc_2] e poi [doc_"), vec![2]);
+    }
+
+    #[test]
+    fn strip_removes_markers() {
+        let s = strip_citations("Il limite è 500 euro [doc_2]. Fine [doc_1].");
+        assert_eq!(s, "Il limite è 500 euro . Fine .");
+        assert!(!s.contains("doc_"));
+    }
+
+    #[test]
+    fn strip_on_clean_text_is_identity() {
+        assert_eq!(strip_citations("testo pulito"), "testo pulito");
+    }
+
+    #[test]
+    fn strip_handles_unclosed_marker() {
+        assert_eq!(strip_citations("testo [doc_5 finale"), "testo [doc_5 finale");
+    }
+}

@@ -1,0 +1,664 @@
+//! The chat model.
+//!
+//! [`ChatModel`] is the interface the generation module programs
+//! against; in production it is `gpt-3.5-turbo` behind the chat
+//! completion API. [`SimLlm`] is the deterministic stand-in used here:
+//! an extractive generator that reads the JSON context out of the
+//! system prompt exactly as the hosted model would, selects the
+//! sentences that best cover the question's concepts, and emits an
+//! Italian answer with `[doc_N]` citations.
+//!
+//! The simulation also reproduces the *failure modes* the paper's
+//! guardrails exist to catch, with seeded probabilities:
+//!
+//! * **missing citations** — the model answers but forgets the required
+//!   markers (caught by the citation guardrail);
+//! * **hallucination** — the model drifts off-context (caught by the
+//!   ROUGE-L guardrail);
+//! * **clarification request** — a too-generic question yields an
+//!   answer that ends by asking for more details (caught by the
+//!   clarification guardrail);
+//! * **don't-know** — when no context sentence covers the question the
+//!   model follows its instruction to say it cannot answer.
+//!
+//! Failures depend on *retrieval quality* (poorly matching context makes
+//! them far more likely), mirroring the paper's observation that most
+//! guardrail triggers trace back to weak retrieval.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+use uniask_text::concepts::{IdentityNormalizer, TermNormalizer};
+use uniask_text::tokenizer::split_sentences;
+
+use crate::chat::{ChatRequest, ChatResponse, ChatMessage, FinishReason, Role, Usage};
+use crate::citation::format_citation;
+use crate::error::LlmError;
+use crate::prompt::{ContextChunk, DONT_KNOW_REPLY};
+
+/// Interface of a chat-completion model.
+pub trait ChatModel: Send + Sync {
+    /// Complete a chat request.
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError>;
+}
+
+impl<M: ChatModel + ?Sized> ChatModel for Arc<M> {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        (**self).complete(request)
+    }
+}
+
+/// The sentence suffix the clarification guardrail looks for.
+pub const CLARIFICATION_SUFFIX: &str =
+    "Potresti riformulare la domanda fornendo maggiori dettagli?";
+
+/// Tuning knobs of the simulated model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimLlmConfig {
+    /// Seed for the failure model (combined with a question hash).
+    pub seed: u64,
+    /// Probability of omitting citation markers from an otherwise good
+    /// answer.
+    pub p_drop_citations: f64,
+    /// Probability of drifting off-context (hallucinating) when the
+    /// context matches the question *well*.
+    pub p_hallucinate: f64,
+    /// Multiplier applied to the two failure probabilities when the
+    /// retrieved context matches the question *poorly*.
+    pub poor_context_penalty: f64,
+    /// Minimum fraction of question concepts a sentence must cover to
+    /// be quotable.
+    pub min_overlap: f64,
+    /// Maximum sentences quoted in one answer.
+    pub max_sentences: usize,
+    /// Model context window (tokens); longer prompts are rejected.
+    pub context_window: usize,
+}
+
+impl Default for SimLlmConfig {
+    fn default() -> Self {
+        SimLlmConfig {
+            seed: 0xC0FFEE,
+            p_drop_citations: 0.028,
+            p_hallucinate: 0.009,
+            poor_context_penalty: 4.0,
+            min_overlap: 0.34,
+            max_sentences: 3,
+            context_window: 16_384,
+        }
+    }
+}
+
+/// Deterministic extractive chat model.
+pub struct SimLlm {
+    config: SimLlmConfig,
+    analyzer: ItalianAnalyzer,
+    normalizer: Arc<dyn TermNormalizer>,
+    /// Nonce mixed into the RNG when `temperature > 0`, so repeated
+    /// sampling runs differ (the paper assesses guardrails over
+    /// "multiple runs to account for the non-determinism of the LLM").
+    nonce: AtomicU64,
+}
+
+impl std::fmt::Debug for SimLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimLlm").field("config", &self.config).finish()
+    }
+}
+
+/// FNV-1a hash (stable).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SimLlm {
+    /// Create a model with the given config and the identity concept
+    /// normalizer.
+    pub fn new(config: SimLlmConfig) -> Self {
+        Self::with_normalizer(config, Arc::new(IdentityNormalizer))
+    }
+
+    /// Create a model with a domain concept normalizer (lets the model
+    /// "understand" synonyms the way a real LLM does).
+    pub fn with_normalizer(config: SimLlmConfig, normalizer: Arc<dyn TermNormalizer>) -> Self {
+        SimLlm {
+            config,
+            analyzer: ItalianAnalyzer::new(),
+            normalizer,
+            nonce: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimLlmConfig {
+        &self.config
+    }
+
+    fn concepts(&self, text: &str) -> Vec<String> {
+        self.analyzer
+            .analyze(text)
+            .into_iter()
+            .map(|t| self.normalizer.normalize(&t))
+            .collect()
+    }
+
+    /// Fraction of `question_concepts` present in `sentence_concepts`.
+    fn coverage(question_concepts: &[String], sentence_concepts: &[String]) -> f64 {
+        if question_concepts.is_empty() {
+            return 0.0;
+        }
+        let covered = question_concepts
+            .iter()
+            .filter(|q| sentence_concepts.iter().any(|s| s == *q))
+            .count();
+        covered as f64 / question_concepts.len() as f64
+    }
+
+    /// Parse the JSON context list embedded in the system prompt.
+    pub fn parse_context(system_prompt: &str) -> Vec<ContextChunk> {
+        let Some(pos) = system_prompt.find("CONTESTO:") else {
+            return Vec::new();
+        };
+        let rest = &system_prompt[pos..];
+        let Some(bracket) = rest.find('[') else {
+            return Vec::new();
+        };
+        let mut stream =
+            serde_json::Deserializer::from_str(&rest[bracket..]).into_iter::<Vec<ContextChunk>>();
+        match stream.next() {
+            Some(Ok(chunks)) => chunks,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Deterministic per-question RNG; temperature > 0 adds a nonce so
+    /// repeated calls differ.
+    fn rng_for(&self, question: &str, temperature: f32) -> ChaCha8Rng {
+        let mut seed = self.config.seed ^ fnv1a(question);
+        if temperature > 0.0 {
+            seed ^= self.nonce.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Generate the off-context (hallucinated) answer: fluent, on-brand
+    /// text that is *not* grounded in the supplied chunks.
+    fn hallucinated_answer(question: &str) -> String {
+        format!(
+            "In base alla normativa generale, la procedura richiesta per \
+             \"{}\" prevede l'autorizzazione preventiva della direzione \
+             centrale e la compilazione del modulo standard entro trenta \
+             giorni lavorativi dalla richiesta iniziale.",
+            question.trim()
+        )
+    }
+
+    /// An answer for a question judged too generic to ground: ends by
+    /// asking the user for more details.
+    fn clarification_answer() -> String {
+        format!(
+            "La domanda è molto generica e il contesto contiene più procedure \
+             pertinenti. {CLARIFICATION_SUFFIX}"
+        )
+    }
+
+    /// Produce an answer for `question` given `chunks` (the RAG path).
+    fn answer(&self, question: &str, chunks: &[ContextChunk], temperature: f32) -> String {
+        let raw_terms: Vec<String> = self.analyzer.analyze(question);
+        let question_concepts: Vec<String> = raw_terms
+            .iter()
+            .map(|t| self.normalizer.normalize(t))
+            .collect();
+        // Terms the model "recognizes" as domain concepts. An
+        // unrecognized single-term question is hopelessly
+        // under-specified.
+        let recognized = raw_terms
+            .iter()
+            .filter(|t| self.normalizer.recognizes(t))
+            .count();
+        let mut rng = self.rng_for(question, temperature);
+
+        // Score every context sentence by question-concept coverage.
+        struct Quote {
+            chunk_key: usize,
+            sentence: String,
+            coverage: f64,
+        }
+        let mut quotes: Vec<Quote> = Vec::new();
+        for chunk in chunks {
+            for sentence in split_sentences(&chunk.content) {
+                let cov = Self::coverage(&question_concepts, &self.concepts(sentence));
+                if cov > 0.0 {
+                    quotes.push(Quote {
+                        chunk_key: chunk.key,
+                        sentence: sentence.to_string(),
+                        coverage: cov,
+                    });
+                }
+            }
+            // Titles count too: a chunk whose title matches strongly can
+            // be cited through its first sentence.
+        }
+        quotes.sort_by(|a, b| {
+            b.coverage
+                .partial_cmp(&a.coverage)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.chunk_key.cmp(&b.chunk_key))
+        });
+
+        let best = quotes.first().map(|q| q.coverage).unwrap_or(0.0);
+        let context_is_poor = best < self.config.min_overlap;
+
+        // Too-generic question: at most one content term, none of which
+        // the model recognizes as a domain concept ("informazioni",
+        // a bare code) — it asks for details instead of guessing. A
+        // recognized one-term query ("bonifico") is answered from the
+        // best-matching chunk, as the old engine's users expect.
+        if question_concepts.len() <= 1 && recognized == 0 && !chunks.is_empty() {
+            return Self::clarification_answer();
+        }
+
+        if quotes.is_empty() || best < self.config.min_overlap / 2.0 {
+            return DONT_KNOW_REPLY.to_string();
+        }
+
+        // Failure injection, amplified when the context matches poorly.
+        let penalty = if context_is_poor {
+            self.config.poor_context_penalty
+        } else {
+            1.0
+        };
+        if rng.gen::<f64>() < self.config.p_hallucinate * penalty {
+            return Self::hallucinated_answer(question);
+        }
+        let drop_citations = rng.gen::<f64>() < self.config.p_drop_citations * penalty;
+
+        // Compose the extractive answer.
+        let mut seen_sentences: Vec<&str> = Vec::new();
+        let mut parts: Vec<String> = Vec::new();
+        for q in quotes.iter().take(self.config.max_sentences) {
+            if q.coverage < self.config.min_overlap / 2.0 {
+                break;
+            }
+            if seen_sentences.iter().any(|s| *s == q.sentence) {
+                continue; // near-duplicate documents repeat sentences
+            }
+            seen_sentences.push(&q.sentence);
+            let mut sentence = q.sentence.clone();
+            if !sentence.ends_with('.') {
+                sentence.push('.');
+            }
+            if drop_citations {
+                parts.push(sentence);
+            } else {
+                let marker = format_citation(q.chunk_key);
+                // Cite after the sentence body, before the period.
+                sentence.pop();
+                parts.push(format!("{sentence} {marker}."));
+            }
+        }
+        if parts.is_empty() {
+            return DONT_KNOW_REPLY.to_string();
+        }
+        parts.join(" ")
+    }
+
+    /// Answer a question with **no** retrieved context — the paper's
+    /// QGA query-expansion variant asks the LLM "to generate an answer
+    /// for the input query, with no relevant context". The output is
+    /// fluent but generic, which is precisely why QGA adds noise.
+    pub fn answer_without_context(&self, question: &str) -> String {
+        let concepts = self.concepts(question);
+        let topic = concepts.first().cloned().unwrap_or_else(|| "richiesta".to_string());
+        format!(
+            "Per {topic} seguire la procedura standard indicata nel manuale \
+             operativo e contattare l'assistenza in caso di anomalia."
+        )
+    }
+
+    /// Generate `k` queries related to the input question (the MQ1/MQ2
+    /// expansion variants). The variants are deterministic paraphrase
+    /// skeletons around subsets of the question's concepts.
+    pub fn related_queries(&self, question: &str, k: usize) -> Vec<String> {
+        let concepts = self.concepts(question);
+        if concepts.is_empty() {
+            return Vec::new();
+        }
+        let templates = [
+            "come funziona {}",
+            "procedura per {}",
+            "informazioni su {}",
+            "requisiti per {}",
+            "errori frequenti {}",
+        ];
+        // Related queries generated by an LLM drift: they emphasize a
+        // subset of the original concepts and drag in an adjacent topic
+        // the model associates with it. The drift is what made MQ1/MQ2
+        // a slight net negative in the paper's experiments.
+        const DRIFT: [&str; 5] = ["commissioni", "scadenze", "assistenza", "modulistica", "abilitazioni"];
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            // Each related query keeps a sliding window of two of the
+            // original concepts (as LLM-generated "related questions"
+            // do) and adds its drift topic.
+            let n = concepts.len();
+            let body = if n <= 2 {
+                concepts.join(" ")
+            } else {
+                format!("{} {}", concepts[i % n], concepts[(i + 1) % n])
+            };
+            let drift = DRIFT[(i + fnv1a(question) as usize) % DRIFT.len()];
+            out.push(format!(
+                "{} {drift}",
+                templates[i % templates.len()].replace("{}", &body)
+            ));
+        }
+        out
+    }
+}
+
+impl ChatModel for SimLlm {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let prompt_tokens = request.prompt_tokens();
+        if prompt_tokens > self.config.context_window {
+            return Err(LlmError::ContextTooLong {
+                got: prompt_tokens,
+                limit: self.config.context_window,
+            });
+        }
+        let system = request
+            .messages
+            .iter()
+            .find(|m| m.role == Role::System)
+            .map(|m| m.content.as_str())
+            .unwrap_or("");
+        let question = request
+            .messages
+            .iter()
+            .rev()
+            .find(|m| m.role == Role::User)
+            .map(|m| m.content.as_str())
+            .unwrap_or("");
+        let chunks = Self::parse_context(system);
+        let answer = self.answer(question, &chunks, request.temperature);
+        let completion_tokens = uniask_text::approx_token_count(&answer);
+        let finish_reason = if completion_tokens >= request.max_tokens {
+            FinishReason::Length
+        } else {
+            FinishReason::Stop
+        };
+        Ok(ChatResponse {
+            message: ChatMessage::assistant(answer),
+            finish_reason,
+            usage: Usage {
+                prompt_tokens,
+                completion_tokens,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citation::extract_citations;
+    use crate::prompt::PromptBuilder;
+
+    fn chunks() -> Vec<ContextChunk> {
+        vec![
+            ContextChunk {
+                key: 1,
+                title: "Bonifico SEPA".into(),
+                content: "Il bonifico SEPA si esegue dalla sezione pagamenti del portale. \
+                          Il limite giornaliero per il bonifico è di 5000 euro."
+                    .into(),
+            },
+            ContextChunk {
+                key: 2,
+                title: "Carte".into(),
+                content: "La carta di credito si blocca dal numero verde.".into(),
+            },
+        ]
+    }
+
+    fn no_failures() -> SimLlmConfig {
+        SimLlmConfig {
+            p_drop_citations: 0.0,
+            p_hallucinate: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn ask(model: &SimLlm, question: &str) -> String {
+        let req = PromptBuilder::default().build(question, &chunks());
+        model.complete(&req).unwrap().message.content
+    }
+
+    #[test]
+    fn grounded_question_gets_cited_answer() {
+        let m = SimLlm::new(no_failures());
+        let a = ask(&m, "Qual è il limite giornaliero del bonifico SEPA?");
+        assert!(a.contains("5000"), "answer should quote the limit: {a}");
+        assert_eq!(extract_citations(&a), vec![1]);
+    }
+
+    #[test]
+    fn off_context_question_gets_dont_know() {
+        let m = SimLlm::new(no_failures());
+        let a = ask(&m, "Quali sono le festività aziendali del prossimo anno solare?");
+        assert_eq!(a, DONT_KNOW_REPLY);
+        assert!(extract_citations(&a).is_empty());
+    }
+
+    #[test]
+    fn generic_question_requests_clarification() {
+        let m = SimLlm::new(no_failures());
+        let a = ask(&m, "informazioni");
+        assert!(a.ends_with(CLARIFICATION_SUFFIX), "got: {a}");
+    }
+
+    #[test]
+    fn deterministic_at_temperature_zero() {
+        let m = SimLlm::new(SimLlmConfig::default());
+        let q = "Come si blocca la carta di credito?";
+        assert_eq!(ask(&m, q), ask(&m, q));
+    }
+
+    #[test]
+    fn citation_dropping_failure_mode() {
+        let m = SimLlm::new(SimLlmConfig {
+            p_drop_citations: 1.0,
+            p_hallucinate: 0.0,
+            ..Default::default()
+        });
+        let a = ask(&m, "Qual è il limite giornaliero del bonifico SEPA?");
+        assert!(a.contains("5000"));
+        assert!(extract_citations(&a).is_empty(), "citations must be dropped: {a}");
+    }
+
+    #[test]
+    fn hallucination_failure_mode() {
+        let m = SimLlm::new(SimLlmConfig {
+            p_drop_citations: 0.0,
+            p_hallucinate: 1.0,
+            ..Default::default()
+        });
+        let a = ask(&m, "Qual è il limite giornaliero del bonifico SEPA?");
+        assert!(a.contains("normativa generale"), "hallucinated template: {a}");
+        assert!(extract_citations(&a).is_empty());
+    }
+
+    #[test]
+    fn context_window_is_enforced() {
+        let m = SimLlm::new(SimLlmConfig {
+            context_window: 10,
+            ..no_failures()
+        });
+        let req = PromptBuilder::default().build("domanda", &chunks());
+        assert!(matches!(
+            m.complete(&req),
+            Err(LlmError::ContextTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn usage_is_reported() {
+        let m = SimLlm::new(no_failures());
+        let req = PromptBuilder::default().build("Qual è il limite del bonifico?", &chunks());
+        let resp = m.complete(&req).unwrap();
+        assert!(resp.usage.prompt_tokens > 0);
+        assert!(resp.usage.completion_tokens > 0);
+        assert_eq!(resp.finish_reason, FinishReason::Stop);
+    }
+
+    #[test]
+    fn parse_context_roundtrip() {
+        let b = PromptBuilder::default();
+        let p = b.system_prompt(&chunks());
+        let parsed = SimLlm::parse_context(&p);
+        assert_eq!(parsed, chunks());
+    }
+
+    #[test]
+    fn parse_context_handles_missing_marker() {
+        assert!(SimLlm::parse_context("prompt senza contesto").is_empty());
+        assert!(SimLlm::parse_context("CONTESTO: niente json").is_empty());
+    }
+
+    #[test]
+    fn answer_without_context_is_generic() {
+        let m = SimLlm::new(no_failures());
+        let a = m.answer_without_context("come richiedere il mutuo prima casa");
+        assert!(a.contains("procedura standard"));
+    }
+
+    #[test]
+    fn related_queries_produce_k_variants() {
+        let m = SimLlm::new(no_failures());
+        let qs = m.related_queries("bonifico estero commissioni", 3);
+        assert_eq!(qs.len(), 3);
+        // Every variant keeps at least one original concept.
+        for q in &qs {
+            assert!(
+                q.contains("bonific") || q.contains("ester") || q.contains("commission"),
+                "variant lost all concepts: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn related_queries_on_empty_question() {
+        let m = SimLlm::new(no_failures());
+        assert!(m.related_queries("", 3).is_empty());
+    }
+
+    #[test]
+    fn temperature_adds_nondeterminism_potential() {
+        // With temperature > 0 the nonce advances; the *failure draw*
+        // may change across runs. We only assert the call succeeds and
+        // remains well-formed.
+        let m = SimLlm::new(SimLlmConfig {
+            p_drop_citations: 0.5,
+            ..Default::default()
+        });
+        let mut req = PromptBuilder::default().build("Qual è il limite del bonifico?", &chunks());
+        req.temperature = 0.7;
+        for _ in 0..5 {
+            let resp = m.complete(&req).unwrap();
+            assert!(!resp.message.content.is_empty());
+        }
+    }
+}
+
+/// A scripted chat model for tests and downstream integration work:
+/// replies are served from a queue, falling back to a fixed default.
+/// This is the standard test double users need when wiring UniAsk's
+/// generation module to their own orchestration.
+#[derive(Debug, Default)]
+pub struct MockChatModel {
+    replies: parking_lot::Mutex<std::collections::VecDeque<Result<String, LlmError>>>,
+    /// Reply used when the queue is empty.
+    pub default_reply: String,
+    calls: AtomicU64,
+}
+
+impl MockChatModel {
+    /// A mock with a default reply.
+    pub fn new(default_reply: impl Into<String>) -> Self {
+        MockChatModel {
+            replies: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            default_reply: default_reply.into(),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue the next reply.
+    pub fn push_reply(&self, reply: impl Into<String>) {
+        self.replies.lock().push_back(Ok(reply.into()));
+    }
+
+    /// Queue the next call to fail.
+    pub fn push_error(&self, error: LlmError) {
+        self.replies.lock().push_back(Err(error));
+    }
+
+    /// Number of completions served so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl ChatModel for MockChatModel {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let reply = self
+            .replies
+            .lock()
+            .pop_front()
+            .unwrap_or_else(|| Ok(self.default_reply.clone()));
+        let content = reply?;
+        let completion_tokens = uniask_text::approx_token_count(&content);
+        Ok(ChatResponse {
+            message: ChatMessage::assistant(content),
+            finish_reason: FinishReason::Stop,
+            usage: Usage {
+                prompt_tokens: request.prompt_tokens(),
+                completion_tokens,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod mock_tests {
+    use super::*;
+
+    #[test]
+    fn mock_serves_queued_then_default() {
+        let mock = MockChatModel::new("default");
+        mock.push_reply("prima");
+        mock.push_error(LlmError::ServiceUnavailable);
+        let req = ChatRequest::new(vec![ChatMessage::user("x")]);
+        assert_eq!(mock.complete(&req).unwrap().message.content, "prima");
+        assert_eq!(mock.complete(&req).unwrap_err(), LlmError::ServiceUnavailable);
+        assert_eq!(mock.complete(&req).unwrap().message.content, "default");
+        assert_eq!(mock.calls(), 3);
+    }
+
+    #[test]
+    fn mock_reports_usage() {
+        let mock = MockChatModel::new("due parole");
+        let req = ChatRequest::new(vec![ChatMessage::user("domanda di prova")]);
+        let resp = mock.complete(&req).unwrap();
+        assert!(resp.usage.prompt_tokens > 0);
+        assert_eq!(resp.usage.completion_tokens, uniask_text::approx_token_count("due parole"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Prompt construction (Section 5 of the paper).
+//!
+//! The production prompt is assembled from four parts:
+//!
+//! 1. **General background context** — the model is a virtual assistant
+//!    for the bank's employees and must answer based on the provided
+//!    context only.
+//! 2. **Specific context** — the top *m* retrieved chunks, formatted as
+//!    "a JSON list where each document is represented as a dictionary,
+//!    containing a key identifier, the title and the content".
+//! 3. **Input-format instructions** explaining the JSON layout.
+//! 4. **Recommendations** for a valid answer — cite sources in the
+//!    `[doc_N]` format, answer in Italian, say you do not know when the
+//!    context is insufficient — with the citation rules **repeated**
+//!    ("repetition of important instructions helps the LLM not to
+//!    forget the requirements").
+
+use serde::{Deserialize, Serialize};
+
+use crate::chat::{ChatMessage, ChatRequest};
+
+/// One retrieved chunk as it appears in the JSON context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextChunk {
+    /// 1-based key the model must cite as `[doc_key]`.
+    pub key: usize,
+    /// Document title.
+    pub title: String,
+    /// Chunk content.
+    pub content: String,
+}
+
+/// Builds UniAsk's production prompt.
+#[derive(Debug, Clone)]
+pub struct PromptBuilder {
+    /// Number of context chunks the prompt carries (paper: m = 4).
+    pub max_context_chunks: usize,
+}
+
+impl Default for PromptBuilder {
+    fn default() -> Self {
+        PromptBuilder {
+            max_context_chunks: 4,
+        }
+    }
+}
+
+/// The sentence the model is told to reply with when the context does
+/// not ground an answer. The clarification guardrail also looks for the
+/// trailing question.
+pub const DONT_KNOW_REPLY: &str =
+    "Mi dispiace, non sono in grado di rispondere alla domanda sulla base delle informazioni disponibili.";
+
+impl PromptBuilder {
+    /// Create a builder carrying `m` context chunks.
+    pub fn new(max_context_chunks: usize) -> Self {
+        PromptBuilder {
+            max_context_chunks,
+        }
+    }
+
+    /// Serialize the context chunks exactly as the paper describes.
+    pub fn context_json(&self, chunks: &[ContextChunk]) -> String {
+        let limited: Vec<&ContextChunk> =
+            chunks.iter().take(self.max_context_chunks).collect();
+        serde_json::to_string(&limited).expect("context serialization cannot fail")
+    }
+
+    /// Build the system prompt.
+    pub fn system_prompt(&self, chunks: &[ContextChunk]) -> String {
+        let mut p = String::with_capacity(2048);
+        // 1. General background context.
+        p.push_str(
+            "Sei un assistente virtuale per i dipendenti di una banca. \
+             Il tuo compito è rispondere alla domanda dell'utente basandoti \
+             esclusivamente sul contesto fornito, estratto dalla base di \
+             conoscenza interna.\n\n",
+        );
+        // 2-3. Specific context with input-format instructions.
+        p.push_str(
+            "Il contesto è una lista JSON di documenti; ogni documento è un \
+             dizionario con i campi `key` (identificatore), `title` (titolo) \
+             e `content` (contenuto).\n\nCONTESTO:\n",
+        );
+        p.push_str(&self.context_json(chunks));
+        p.push_str("\n\n");
+        // 4. Recommendations for a valid answer.
+        p.push_str(
+            "REGOLE PER UNA RISPOSTA VALIDA:\n\
+             1. Ogni frase della risposta deve citare il documento del \
+             contesto da cui proviene, nel formato [doc_key] (esempio: [doc_2]).\n\
+             2. Rispondi sempre in italiano.\n\
+             3. Se il contesto non contiene le informazioni necessarie, \
+             rispondi che non sei in grado di rispondere.\n\
+             4. Non inventare informazioni non presenti nel contesto.\n\n",
+        );
+        // Repetition of the critical instructions (the paper repeats the
+        // citation requirements more than once).
+        p.push_str(
+            "IMPORTANTE, RIPETIZIONE DELLE REGOLE FONDAMENTALI: includi \
+             SEMPRE almeno una citazione nel formato [doc_key]; le citazioni \
+             devono usare ESATTAMENTE il formato [doc_key], ad esempio [doc_1].",
+        );
+        p
+    }
+
+    /// Build the full chat request for a question + retrieved context.
+    pub fn build(&self, question: &str, chunks: &[ContextChunk]) -> ChatRequest {
+        ChatRequest::new(vec![
+            ChatMessage::system(self.system_prompt(chunks)),
+            ChatMessage::user(question.to_string()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks() -> Vec<ContextChunk> {
+        vec![
+            ContextChunk {
+                key: 1,
+                title: "Bonifico SEPA".into(),
+                content: "Il bonifico SEPA si esegue dalla sezione pagamenti.".into(),
+            },
+            ContextChunk {
+                key: 2,
+                title: "Limiti".into(),
+                content: "Il limite giornaliero è 5000 euro.".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn context_is_json_list_of_dicts() {
+        let b = PromptBuilder::default();
+        let json = b.context_json(&chunks());
+        let parsed: Vec<ContextChunk> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].key, 1);
+        assert_eq!(parsed[1].title, "Limiti");
+    }
+
+    #[test]
+    fn context_is_limited_to_m_chunks() {
+        let b = PromptBuilder::new(1);
+        let json = b.context_json(&chunks());
+        let parsed: Vec<ContextChunk> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn prompt_contains_all_four_parts() {
+        let b = PromptBuilder::default();
+        let p = b.system_prompt(&chunks());
+        assert!(p.contains("assistente virtuale"), "background context");
+        assert!(p.contains("CONTESTO"), "specific context");
+        assert!(p.contains("lista JSON"), "input-format instructions");
+        assert!(p.contains("REGOLE"), "recommendations");
+    }
+
+    #[test]
+    fn citation_rules_are_repeated() {
+        let b = PromptBuilder::default();
+        let p = b.system_prompt(&chunks());
+        let occurrences = p.matches("[doc_key]").count();
+        assert!(occurrences >= 2, "citation format must be stated more than once");
+    }
+
+    #[test]
+    fn build_produces_system_then_user() {
+        let b = PromptBuilder::default();
+        let req = b.build("Qual è il limite del bonifico?", &chunks());
+        assert_eq!(req.messages.len(), 2);
+        assert_eq!(req.messages[0].role, crate::chat::Role::System);
+        assert_eq!(req.messages[1].content, "Qual è il limite del bonifico?");
+    }
+
+    #[test]
+    fn empty_context_still_builds() {
+        let b = PromptBuilder::default();
+        let req = b.build("domanda", &[]);
+        assert!(req.messages[0].content.contains("[]"));
+    }
+}

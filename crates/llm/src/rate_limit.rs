@@ -1,0 +1,124 @@
+//! Token-bucket rate limiting.
+//!
+//! The paper sizes the LLM resource with a token rate limit derived
+//! from load tests ("we use simple calculations based on the load test
+//! results to empirically set the token rate limit for the LLM
+//! resource"). The [`TokenBucket`] models that limit on a simulated
+//! clock: capacity in tokens, refilled at a constant rate; a request
+//! consuming more tokens than are available is rejected.
+
+/// A token bucket on an externally supplied clock (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    /// Maximum tokens the bucket can hold.
+    pub capacity: f64,
+    /// Tokens added per second.
+    pub refill_per_sec: f64,
+    tokens: f64,
+    last_refill: f64,
+}
+
+impl TokenBucket {
+    /// Create a full bucket with time origin 0.
+    ///
+    /// ```
+    /// use uniask_llm::rate_limit::TokenBucket;
+    ///
+    /// let mut bucket = TokenBucket::new(1000.0, 100.0);
+    /// assert!(bucket.try_acquire(900.0, 0.0).is_ok());
+    /// // 500 tokens at t=1s: only 200 available (100 left + 100 refilled).
+    /// let wait = bucket.try_acquire(500.0, 1.0).unwrap_err();
+    /// assert!((wait - 3.0).abs() < 1e-9);
+    /// ```
+    pub fn new(capacity: f64, refill_per_sec: f64) -> Self {
+        assert!(capacity > 0.0 && refill_per_sec > 0.0, "bucket parameters must be positive");
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            tokens: capacity,
+            last_refill: 0.0,
+        }
+    }
+
+    fn refill(&mut self, now: f64) {
+        if now > self.last_refill {
+            self.tokens = (self.tokens + (now - self.last_refill) * self.refill_per_sec)
+                .min(self.capacity);
+            self.last_refill = now;
+        }
+    }
+
+    /// Current available tokens at `now`.
+    pub fn available(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Try to take `n` tokens at time `now`. On failure returns the
+    /// seconds to wait before the request could succeed.
+    pub fn try_acquire(&mut self, n: f64, now: f64) -> Result<(), f64> {
+        self.refill(now);
+        if n <= self.tokens {
+            self.tokens -= n;
+            Ok(())
+        } else {
+            let deficit = n - self.tokens;
+            Err(deficit / self.refill_per_sec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        assert_eq!(b.available(0.0), 100.0);
+    }
+
+    #[test]
+    fn acquire_consumes() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        assert!(b.try_acquire(60.0, 0.0).is_ok());
+        assert!((b.available(0.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_when_empty_and_reports_wait() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        b.try_acquire(100.0, 0.0).unwrap();
+        let wait = b.try_acquire(50.0, 0.0).unwrap_err();
+        assert!((wait - 5.0).abs() < 1e-9, "50 tokens at 10/s = 5s, got {wait}");
+    }
+
+    #[test]
+    fn refills_over_time_up_to_capacity() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        b.try_acquire(100.0, 0.0).unwrap();
+        assert!((b.available(4.0) - 40.0).abs() < 1e-9);
+        assert!((b.available(1000.0) - 100.0).abs() < 1e-9, "capped at capacity");
+    }
+
+    #[test]
+    fn succeeding_after_wait() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        b.try_acquire(100.0, 0.0).unwrap();
+        assert!(b.try_acquire(50.0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn time_going_backwards_is_ignored() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        b.try_acquire(50.0, 10.0).unwrap();
+        // A stale timestamp must not mint tokens.
+        assert!((b.available(5.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = TokenBucket::new(0.0, 1.0);
+    }
+}

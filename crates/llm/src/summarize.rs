@@ -1,0 +1,146 @@
+//! LLM-backed metadata enrichment.
+//!
+//! The indexing service "augments the metadata generating via LLM a
+//! summary of the whole document and a list of keywords". The simulated
+//! equivalents are deterministic: the summary is a lead-biased extract
+//! (first sentence plus the most information-dense follow-up), and the
+//! keywords are the highest-signal content terms.
+
+use std::collections::HashMap;
+
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+use uniask_text::tokenizer::split_sentences;
+
+/// Summarize `text` into at most `max_sentences` sentences.
+///
+/// Lead-biased extractive summary: the first sentence is always kept
+/// (KB pages open with their purpose), then sentences are added by
+/// descending information density (distinct content terms per token).
+pub fn summarize(text: &str, max_sentences: usize) -> String {
+    let sentences = split_sentences(text);
+    if sentences.is_empty() || max_sentences == 0 {
+        return String::new();
+    }
+    let analyzer = ItalianAnalyzer::new();
+    let mut picked: Vec<usize> = vec![0];
+    let mut scored: Vec<(usize, f64)> = sentences
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, s)| {
+            let terms = analyzer.analyze(s);
+            let distinct: std::collections::HashSet<&String> = terms.iter().collect();
+            let density = if terms.is_empty() {
+                0.0
+            } else {
+                distinct.len() as f64 / (terms.len() as f64).sqrt()
+            };
+            (i, density)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    for (i, _) in scored {
+        if picked.len() >= max_sentences {
+            break;
+        }
+        picked.push(i);
+    }
+    picked.sort_unstable();
+    picked
+        .into_iter()
+        .map(|i| {
+            let mut s = sentences[i].to_string();
+            if !s.ends_with('.') {
+                s.push('.');
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Extract up to `k` keywords from `text`.
+///
+/// Terms are ranked by `tf · len`, favouring repeated domain jargon
+/// over short function-like words; surface forms are the stemmed terms
+/// the index uses, so keyword filters match query analysis.
+pub fn extract_keywords(text: &str, k: usize) -> Vec<String> {
+    let analyzer = ItalianAnalyzer::new();
+    let terms = analyzer.analyze(text);
+    let mut tf: HashMap<&str, usize> = HashMap::new();
+    for t in &terms {
+        *tf.entry(t.as_str()).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(&str, f64)> = tf
+        .into_iter()
+        .map(|(t, c)| (t, c as f64 * t.chars().count() as f64))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(b.0))
+    });
+    ranked.into_iter().take(k).map(|(t, _)| t.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "La procedura di apertura conto richiede il documento di identità. \
+                       Il cliente deve firmare il modulo contrattuale presso la filiale. \
+                       In caso di anomalia contattare l'assistenza. \
+                       La firma digitale sostituisce il modulo cartaceo per i clienti online.";
+
+    #[test]
+    fn summary_keeps_lead_sentence() {
+        let s = summarize(DOC, 2);
+        assert!(s.starts_with("La procedura di apertura conto"));
+    }
+
+    #[test]
+    fn summary_respects_sentence_budget() {
+        let s = summarize(DOC, 2);
+        let n = s.matches('.').count();
+        assert!(n <= 2, "got {n} sentences: {s}");
+    }
+
+    #[test]
+    fn summary_of_empty_text_is_empty() {
+        assert!(summarize("", 3).is_empty());
+        assert!(summarize(DOC, 0).is_empty());
+    }
+
+    #[test]
+    fn summary_of_short_text_is_whole_text() {
+        let s = summarize("Frase unica", 3);
+        assert_eq!(s, "Frase unica.");
+    }
+
+    #[test]
+    fn keywords_prefer_repeated_long_terms() {
+        let kws = extract_keywords(
+            "bonifico bonifico bonifico istantaneo commissione commissione su",
+            2,
+        );
+        assert_eq!(kws[0], "bonific");
+        assert!(kws.contains(&"commission".to_string()));
+    }
+
+    #[test]
+    fn keywords_respect_k() {
+        let kws = extract_keywords(DOC, 3);
+        assert_eq!(kws.len(), 3);
+    }
+
+    #[test]
+    fn keywords_empty_input() {
+        assert!(extract_keywords("", 5).is_empty());
+        assert!(extract_keywords("il la per", 5).is_empty());
+    }
+
+    #[test]
+    fn keywords_are_deterministic() {
+        assert_eq!(extract_keywords(DOC, 4), extract_keywords(DOC, 4));
+    }
+}

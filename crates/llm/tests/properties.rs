@@ -1,0 +1,101 @@
+//! Property-based tests of the generation substrate.
+
+use proptest::prelude::*;
+use uniask_llm::chat::{ChatMessage, ChatRequest};
+use uniask_llm::citation::{extract_citations, format_citation, strip_citations};
+use uniask_llm::model::{ChatModel, SimLlm, SimLlmConfig};
+use uniask_llm::prompt::{ContextChunk, PromptBuilder};
+use uniask_llm::rate_limit::TokenBucket;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn citations_roundtrip(keys in proptest::collection::vec(1usize..50, 0..8)) {
+        let mut text = String::from("Risposta");
+        for k in &keys {
+            text.push(' ');
+            text.push_str(&format_citation(*k));
+        }
+        let extracted = extract_citations(&text);
+        // Every formatted key is recovered (deduplicated, in order).
+        let mut expected = Vec::new();
+        for k in &keys {
+            if !expected.contains(k) {
+                expected.push(*k);
+            }
+        }
+        prop_assert_eq!(extracted, expected);
+    }
+
+    #[test]
+    fn strip_removes_every_wellformed_marker(body in "[a-z .]{0,60}", keys in proptest::collection::vec(1usize..30, 0..6)) {
+        let mut text = body.clone();
+        for k in &keys {
+            text.push_str(&format_citation(*k));
+            text.push(' ');
+        }
+        let stripped = strip_citations(&text);
+        prop_assert!(extract_citations(&stripped).is_empty(), "markers survived: {}", stripped);
+    }
+
+    #[test]
+    fn strip_is_idempotent(text in "[a-z \\[\\]_0-9doc]{0,80}") {
+        let once = strip_citations(&text);
+        let twice = strip_citations(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn context_roundtrips_through_the_prompt(
+        titles in proptest::collection::vec("[a-zA-Z ]{1,30}", 1..5),
+    ) {
+        let chunks: Vec<ContextChunk> = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ContextChunk {
+                key: i + 1,
+                title: t.trim().to_string(),
+                content: format!("contenuto {i}"),
+            })
+            .collect();
+        let prompt = PromptBuilder::default().system_prompt(&chunks);
+        let parsed = SimLlm::parse_context(&prompt);
+        prop_assert_eq!(parsed, chunks);
+    }
+
+    #[test]
+    fn completion_never_panics_and_respects_window(question in ".{0,200}") {
+        let llm = SimLlm::new(SimLlmConfig::default());
+        let request = ChatRequest::new(vec![ChatMessage::user(question)]);
+        // Either a response or a typed error; never a panic.
+        let _ = llm.complete(&request);
+    }
+
+    #[test]
+    fn token_bucket_never_goes_negative_or_above_capacity(
+        ops in proptest::collection::vec((0.0f64..500.0, 0.0f64..50.0), 1..40),
+    ) {
+        let mut bucket = TokenBucket::new(1000.0, 100.0);
+        let mut now = 0.0;
+        for (tokens, dt) in ops {
+            now += dt;
+            let _ = bucket.try_acquire(tokens, now);
+            let available = bucket.available(now);
+            prop_assert!((0.0..=1000.0 + 1e-9).contains(&available), "available {available}");
+        }
+    }
+
+    #[test]
+    fn rate_limit_wait_estimate_is_sufficient(first in 100.0f64..1000.0, second in 1.0f64..1000.0) {
+        let mut bucket = TokenBucket::new(1000.0, 50.0);
+        bucket.try_acquire(first.min(1000.0), 0.0).expect("bucket starts full");
+        match bucket.try_acquire(second, 0.0) {
+            Ok(()) => {}
+            Err(wait) => {
+                // Retrying after the advertised wait must succeed.
+                prop_assert!(bucket.try_acquire(second, wait + 1e-6).is_ok());
+            }
+        }
+    }
+}

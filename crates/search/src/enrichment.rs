@@ -1,0 +1,106 @@
+//! LLM keyword enrichment of the index (Table 4).
+//!
+//! "We also tried to enrich the index with keywords extracted by the
+//! LLM from the title of documents (HSS-KT), or from title and content
+//! (HSS-KTC)." The extracted keywords are appended to the chunk's
+//! searchable `summary` field, so full-text search can match them.
+
+use uniask_llm::summarize::extract_keywords;
+
+use crate::hybrid::ChunkRecord;
+
+/// Index enrichment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enrichment {
+    /// Plain HSS index.
+    None,
+    /// Keywords extracted from the title (HSS-KT).
+    KeywordsFromTitle {
+        /// Keywords extracted per chunk.
+        k: usize,
+    },
+    /// Keywords extracted from title + content (HSS-KTC).
+    KeywordsFromTitleAndContent {
+        /// Keywords extracted per chunk.
+        k: usize,
+    },
+}
+
+/// Apply an enrichment strategy to a chunk before indexing.
+pub fn enrich_chunk(record: &mut ChunkRecord, enrichment: Enrichment) {
+    let extracted = match enrichment {
+        Enrichment::None => return,
+        Enrichment::KeywordsFromTitle { k } => extract_keywords(&record.title, k),
+        Enrichment::KeywordsFromTitleAndContent { k } => {
+            let combined = format!("{} {}", record.title, record.content);
+            extract_keywords(&combined, k)
+        }
+    };
+    if extracted.is_empty() {
+        return;
+    }
+    // Append to the searchable summary field and the keyword tags.
+    if !record.summary.is_empty() {
+        record.summary.push(' ');
+    }
+    record.summary.push_str(&extracted.join(" "));
+    record.keywords.extend(extracted);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ChunkRecord {
+        ChunkRecord {
+            parent_doc: "kb/1".into(),
+            ordinal: 0,
+            title: "Bonifico estero istantaneo".into(),
+            content: "Il bonifico estero richiede il codice BIC e la valuta di destinazione."
+                .into(),
+            summary: "Sintesi della pagina.".into(),
+            domain: "Pagamenti".into(),
+            topic: "Bonifici".into(),
+            section: "Procedure".into(),
+            keywords: vec!["bonifico".into()],
+        }
+    }
+
+    #[test]
+    fn none_is_a_noop() {
+        let mut r = record();
+        let before = r.clone();
+        enrich_chunk(&mut r, Enrichment::None);
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn kt_appends_title_keywords() {
+        let mut r = record();
+        enrich_chunk(&mut r, Enrichment::KeywordsFromTitle { k: 2 });
+        assert!(r.summary.contains("bonific") || r.summary.contains("ister") || r.summary.contains("istantane"),
+            "summary got: {}", r.summary);
+        assert!(r.keywords.len() > 1);
+    }
+
+    #[test]
+    fn ktc_uses_content_too() {
+        let mut r = record();
+        enrich_chunk(&mut r, Enrichment::KeywordsFromTitleAndContent { k: 5 });
+        // "richiede" and "destinazione" only appear in the content
+        // (stems: "richied", "destin").
+        let all = r.keywords.join(" ");
+        assert!(all.contains("richied") || all.contains("destin") || all.contains("valut"),
+            "keywords got: {all}");
+    }
+
+    #[test]
+    fn empty_chunk_is_untouched() {
+        let mut r = record();
+        r.title.clear();
+        r.content.clear();
+        r.summary.clear();
+        enrich_chunk(&mut r, Enrichment::KeywordsFromTitle { k: 3 });
+        assert!(r.summary.is_empty());
+    }
+}

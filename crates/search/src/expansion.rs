@@ -1,0 +1,201 @@
+//! Query-expansion variants (Table 3A).
+//!
+//! Three LLM-based expansions the team evaluated and rejected:
+//!
+//! * **QGA** — "asks the LLM to generate an answer for the input query,
+//!   with no relevant context, and then performs the retrieval step on
+//!   the query expanded with the generated answer";
+//! * **MQ1** — "asks the LLM to generate multiple queries related to
+//!   the input query, and then performs a multi-query hybrid search";
+//! * **MQ2** — generates the related queries but "performs a standard
+//!   hybrid search on the text concatenation and the average embedding
+//!   of all queries".
+
+use uniask_llm::model::SimLlm;
+use uniask_vector::distance::normalize;
+
+use crate::hybrid::{HybridConfig, SearchHit, SearchIndex};
+
+/// The expansion strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryExpansion {
+    /// No expansion: plain HSS.
+    None,
+    /// Query + generated answer.
+    Qga,
+    /// Multi-query hybrid search with RRF fusion of the result lists.
+    Mq1 {
+        /// Number of related queries to generate.
+        k: usize,
+    },
+    /// Single hybrid search on concatenated text + averaged embedding.
+    Mq2 {
+        /// Number of related queries to generate.
+        k: usize,
+    },
+}
+
+/// Runs hybrid search under a query-expansion strategy.
+pub struct ExpandedSearch<'a> {
+    /// The chunk index.
+    pub index: &'a SearchIndex,
+    /// The LLM used for expansion.
+    pub llm: &'a SimLlm,
+}
+
+impl<'a> ExpandedSearch<'a> {
+    /// Create an expanded-search runner.
+    pub fn new(index: &'a SearchIndex, llm: &'a SimLlm) -> Self {
+        ExpandedSearch { index, llm }
+    }
+
+    /// Execute `query` under `expansion`, returning chunk hits.
+    pub fn search(
+        &self,
+        query: &str,
+        expansion: QueryExpansion,
+        config: &HybridConfig,
+    ) -> Vec<SearchHit> {
+        match expansion {
+            QueryExpansion::None => self.index.search(query, config),
+            QueryExpansion::Qga => {
+                let answer = self.llm.answer_without_context(query);
+                let expanded = format!("{query} {answer}");
+                self.index.search(&expanded, config)
+            }
+            QueryExpansion::Mq1 { k } => {
+                let mut queries = vec![query.to_string()];
+                queries.extend(self.llm.related_queries(query, k));
+                self.index.multi_query_search(&queries, config)
+            }
+            QueryExpansion::Mq2 { k } => {
+                let mut queries = vec![query.to_string()];
+                queries.extend(self.llm.related_queries(query, k));
+                let concatenated = queries.join(" ");
+                // Average of the individual embeddings, re-normalized.
+                let dim = self.index.embedder().dim();
+                let mut avg = vec![0.0f32; dim];
+                let mut contributing = 0usize;
+                for q in &queries {
+                    let v = self.index.embedder().embed(q);
+                    if v.iter().any(|&x| x != 0.0) {
+                        for (a, b) in avg.iter_mut().zip(&v) {
+                            *a += b;
+                        }
+                        contributing += 1;
+                    }
+                }
+                if contributing > 0 {
+                    for a in avg.iter_mut() {
+                        *a /= contributing as f32;
+                    }
+                    normalize(&mut avg);
+                }
+                self.index.search_with_vector(&concatenated, Some(&avg), config)
+            }
+        }
+    }
+
+    /// Document-level (deduplicated) variant of [`Self::search`].
+    pub fn search_documents(
+        &self,
+        query: &str,
+        expansion: QueryExpansion,
+        config: &HybridConfig,
+    ) -> Vec<SearchHit> {
+        let mut seen = std::collections::HashSet::new();
+        self.search(query, expansion, config)
+            .into_iter()
+            .filter(|h| seen.insert(h.parent_doc.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::ChunkRecord;
+    use crate::reranker::SemanticReranker;
+    use std::sync::Arc;
+    use uniask_llm::model::{SimLlm, SimLlmConfig};
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn setup() -> (SearchIndex, SimLlm) {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 5));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        for (i, (t, c)) in [
+            ("Bonifico estero", "istruzioni per il bonifico verso banche estere"),
+            ("Blocco carta", "come bloccare la carta smarrita dal portale"),
+            ("Mutuo giovani", "requisiti del mutuo agevolato per i giovani"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            idx.add_chunk(&ChunkRecord {
+                parent_doc: format!("kb/{i}"),
+                ordinal: 0,
+                title: t.to_string(),
+                content: c.to_string(),
+                summary: String::new(),
+                domain: "D".into(),
+                topic: "T".into(),
+                section: "S".into(),
+                keywords: vec![],
+            });
+        }
+        (idx, SimLlm::new(SimLlmConfig::default()))
+    }
+
+    #[test]
+    fn none_equals_plain_search() {
+        let (idx, llm) = setup();
+        let runner = ExpandedSearch::new(&idx, &llm);
+        let cfg = HybridConfig::default();
+        let plain = idx.search("bonifico estero", &cfg);
+        let none = runner.search("bonifico estero", QueryExpansion::None, &cfg);
+        assert_eq!(plain, none);
+    }
+
+    #[test]
+    fn qga_appends_generated_answer() {
+        let (idx, llm) = setup();
+        let runner = ExpandedSearch::new(&idx, &llm);
+        let cfg = HybridConfig::default();
+        let hits = runner.search("bonifico estero", QueryExpansion::Qga, &cfg);
+        // Expansion adds generic noise but the target should survive
+        // near the top on this tiny corpus.
+        assert!(hits.iter().take(2).any(|h| h.parent_doc == "kb/0"));
+    }
+
+    #[test]
+    fn mq1_returns_fused_results() {
+        let (idx, llm) = setup();
+        let runner = ExpandedSearch::new(&idx, &llm);
+        let cfg = HybridConfig::default();
+        let hits = runner.search("bloccare carta smarrita", QueryExpansion::Mq1 { k: 3 }, &cfg);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].parent_doc, "kb/1");
+    }
+
+    #[test]
+    fn mq2_uses_average_embedding() {
+        let (idx, llm) = setup();
+        let runner = ExpandedSearch::new(&idx, &llm);
+        let cfg = HybridConfig::default();
+        let hits = runner.search("mutuo per giovani", QueryExpansion::Mq2 { k: 3 }, &cfg);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].parent_doc, "kb/2");
+    }
+
+    #[test]
+    fn document_dedup_variant() {
+        let (idx, llm) = setup();
+        let runner = ExpandedSearch::new(&idx, &llm);
+        let cfg = HybridConfig::default();
+        let hits = runner.search_documents("carta", QueryExpansion::Mq1 { k: 2 }, &cfg);
+        let mut parents: Vec<&str> = hits.iter().map(|h| h.parent_doc.as_str()).collect();
+        let before = parents.len();
+        parents.dedup();
+        assert_eq!(parents.len(), before, "parents must be unique");
+    }
+}

@@ -1,0 +1,907 @@
+//! Hybrid Search with Semantic reranking (HSS).
+//!
+//! The production retrieval algorithm: full-text BM25 over the chunk
+//! index (n = 50) in parallel with vector search over *two* vector
+//! fields — the title embedding and the content embedding (K = 15
+//! each) — merged with Reciprocal Rank Fusion (c = 60) and re-scored
+//! with the semantic reranker. Component flags expose the Table 2
+//! ablations (text-only / vector-only).
+
+use std::sync::Arc;
+
+use uniask_index::doc::{DocId, IndexDocument};
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{ScoringProfile, Searcher};
+use uniask_index::store::DocumentStore;
+use uniask_vector::embedding::Embedder;
+use uniask_vector::hnsw::{Hnsw, HnswParams};
+use uniask_vector::VectorIndex;
+
+use crate::reranker::SemanticReranker;
+use crate::rrf::rrf_fuse;
+
+/// A chunk ready for indexing (output of the indexing service).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRecord {
+    /// Id of the source KB document.
+    pub parent_doc: String,
+    /// Chunk ordinal within the document.
+    pub ordinal: usize,
+    /// Document title.
+    pub title: String,
+    /// Chunk text.
+    pub content: String,
+    /// LLM-generated summary of the whole document.
+    pub summary: String,
+    /// Editor domain tag.
+    pub domain: String,
+    /// Editor topic tag.
+    pub topic: String,
+    /// Editor section tag.
+    pub section: String,
+    /// Keywords (editor tags plus any LLM enrichment).
+    pub keywords: Vec<String>,
+}
+
+/// Hybrid-search configuration (paper defaults).
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Documents retrieved by the text component (paper: n = 50).
+    pub text_n: usize,
+    /// Neighbours per vector field (paper: K = 15).
+    pub vector_k: usize,
+    /// RRF constant (Azure default 60).
+    pub rrf_c: f64,
+    /// Size of the final fused ranking (paper: 50).
+    pub final_n: usize,
+    /// Enable the full-text component.
+    pub use_text: bool,
+    /// Enable the vector components.
+    pub use_vector: bool,
+    /// Enable semantic reranking.
+    pub use_reranker: bool,
+    /// Scoring profile for the text component (title boosting).
+    pub profile: ScoringProfile,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            text_n: 50,
+            vector_k: 15,
+            rrf_c: 60.0,
+            final_n: 50,
+            use_text: true,
+            use_vector: true,
+            use_reranker: true,
+            profile: ScoringProfile::neutral(),
+        }
+    }
+}
+
+impl HybridConfig {
+    /// Text-search-only ablation (Table 2).
+    pub fn text_only() -> Self {
+        HybridConfig {
+            use_vector: false,
+            use_reranker: false,
+            ..Default::default()
+        }
+    }
+
+    /// Vector-search-only ablation (Table 2).
+    pub fn vector_only() -> Self {
+        HybridConfig {
+            use_text: false,
+            use_reranker: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// A retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Internal chunk id.
+    pub chunk: DocId,
+    /// Source KB document id.
+    pub parent_doc: String,
+    /// Document title.
+    pub title: String,
+    /// Chunk content.
+    pub content: String,
+    /// Final relevance score (RRF + weighted semantic score).
+    pub score: f64,
+}
+
+/// Per-chunk metadata kept alongside the indexes.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkMeta {
+    pub(crate) parent_doc: String,
+    pub(crate) title: String,
+    pub(crate) content: String,
+}
+
+/// The chunk search index: inverted index + two vector fields + store.
+pub struct SearchIndex {
+    pub(crate) inverted: InvertedIndex,
+    pub(crate) store: DocumentStore,
+    pub(crate) title_vectors: Hnsw,
+    pub(crate) content_vectors: Hnsw,
+    pub(crate) embedder: Arc<dyn Embedder>,
+    pub(crate) reranker: SemanticReranker,
+    pub(crate) chunks: Vec<ChunkMeta>,
+    pub(crate) searcher: Searcher,
+    /// Live flags per chunk (tombstones for updated/removed documents;
+    /// HNSW has no hard delete, so vector hits are filtered).
+    pub(crate) live: Vec<bool>,
+    /// parent document id → chunk ids (for document replacement).
+    pub(crate) by_parent: std::collections::HashMap<String, Vec<u32>>,
+    pub(crate) tombstones: usize,
+}
+
+impl std::fmt::Debug for SearchIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchIndex")
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}
+
+impl SearchIndex {
+    /// Create an empty index using the UniAsk chunk schema.
+    pub fn new(embedder: Arc<dyn Embedder>, reranker: SemanticReranker) -> Self {
+        Self::with_hnsw_params(embedder, reranker, HnswParams::default())
+    }
+
+    /// Create with custom ANN parameters (K-sweep experiments).
+    pub fn with_hnsw_params(
+        embedder: Arc<dyn Embedder>,
+        reranker: SemanticReranker,
+        params: HnswParams,
+    ) -> Self {
+        SearchIndex {
+            inverted: InvertedIndex::new(Schema::uniask_chunk_schema()),
+            store: DocumentStore::new(),
+            title_vectors: Hnsw::new(params),
+            content_vectors: Hnsw::new(HnswParams {
+                seed: params.seed ^ 0x5EED,
+                ..params
+            }),
+            embedder,
+            reranker,
+            chunks: Vec::new(),
+            searcher: Searcher::new(),
+            live: Vec::new(),
+            by_parent: std::collections::HashMap::new(),
+            tombstones: 0,
+        }
+    }
+
+    /// Number of live (non-removed) chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len() - self.tombstones
+    }
+
+    /// Remove every chunk of `parent_doc` (document update/deletion in
+    /// the ingestion flow). Returns the number of chunks removed.
+    pub fn remove_document(&mut self, parent_doc: &str) -> usize {
+        let Some(chunk_ids) = self.by_parent.remove(parent_doc) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for id in chunk_ids {
+            if self.live.get(id as usize).copied().unwrap_or(false) {
+                self.live[id as usize] = false;
+                let _ = self.inverted.delete(DocId(id));
+                self.store.remove(DocId(id));
+                self.tombstones += 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// The embedder (query side must reuse it).
+    pub fn embedder(&self) -> &Arc<dyn Embedder> {
+        &self.embedder
+    }
+
+    /// Add a chunk whose embeddings were computed externally (the
+    /// parallel bulk-ingest path: workers embed, one writer indexes).
+    /// The vectors must come from this index's embedder.
+    pub fn add_chunk_with_vectors(
+        &mut self,
+        record: &ChunkRecord,
+        title_vector: Vec<f32>,
+        content_vector: Vec<f32>,
+    ) -> DocId {
+        let doc = IndexDocument::new()
+            .with_text("title", record.title.clone())
+            .with_text("content", record.content.clone())
+            .with_text("summary", record.summary.clone())
+            .with_tags("domain", vec![record.domain.clone()])
+            .with_tags("topic", vec![record.topic.clone()])
+            .with_tags("section", vec![record.section.clone()])
+            .with_tags("keywords", record.keywords.clone());
+        let id = self
+            .inverted
+            .add(&doc)
+            .expect("chunk schema fields are always valid");
+        self.store.put(self.inverted.schema(), id, &doc);
+        debug_assert_eq!(id.as_usize(), self.chunks.len(), "ids are dense");
+        if title_vector.iter().any(|&x| x != 0.0) {
+            self.title_vectors.add(id.0, title_vector);
+        }
+        if content_vector.iter().any(|&x| x != 0.0) {
+            self.content_vectors.add(id.0, content_vector);
+        }
+        self.chunks.push(ChunkMeta {
+            parent_doc: record.parent_doc.clone(),
+            title: record.title.clone(),
+            content: record.content.clone(),
+        });
+        self.live.push(true);
+        self.by_parent
+            .entry(record.parent_doc.clone())
+            .or_default()
+            .push(id.0);
+        id
+    }
+
+    /// Add a chunk to all index structures.
+    pub fn add_chunk(&mut self, record: &ChunkRecord) -> DocId {
+        let doc = IndexDocument::new()
+            .with_text("title", record.title.clone())
+            .with_text("content", record.content.clone())
+            .with_text("summary", record.summary.clone())
+            .with_tags("domain", vec![record.domain.clone()])
+            .with_tags("topic", vec![record.topic.clone()])
+            .with_tags("section", vec![record.section.clone()])
+            .with_tags("keywords", record.keywords.clone());
+        let id = self
+            .inverted
+            .add(&doc)
+            .expect("chunk schema fields are always valid");
+        self.store.put(self.inverted.schema(), id, &doc);
+        debug_assert_eq!(id.as_usize(), self.chunks.len(), "ids are dense");
+        let title_vec = self.embedder.embed(&record.title);
+        if title_vec.iter().any(|&x| x != 0.0) {
+            self.title_vectors.add(id.0, title_vec);
+        }
+        let content_vec = self.embedder.embed(&record.content);
+        if content_vec.iter().any(|&x| x != 0.0) {
+            self.content_vectors.add(id.0, content_vec);
+        }
+        self.chunks.push(ChunkMeta {
+            parent_doc: record.parent_doc.clone(),
+            title: record.title.clone(),
+            content: record.content.clone(),
+        });
+        self.live.push(true);
+        self.by_parent
+            .entry(record.parent_doc.clone())
+            .or_default()
+            .push(id.0);
+        id
+    }
+
+    /// Run hybrid search for `query`.
+    pub fn search(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        let query_vector = if config.use_vector {
+            Some(self.embedder.embed(query))
+        } else {
+            None
+        };
+        self.search_with_vector(query, query_vector.as_deref(), config)
+    }
+
+    /// Hybrid search with an externally supplied query vector (used by
+    /// the MQ2 expansion variant, which averages several embeddings).
+    pub fn search_with_vector(
+        &self,
+        text_query: &str,
+        query_vector: Option<&[f32]>,
+        config: &HybridConfig,
+    ) -> Vec<SearchHit> {
+        let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
+        if config.use_text {
+            let hits = self
+                .searcher
+                .search(&self.inverted, text_query, config.text_n, &config.profile, None)
+                .unwrap_or_default();
+            rankings.push(hits.into_iter().map(|h| h.doc.0).collect());
+        }
+        if config.use_vector {
+            if let Some(qv) = query_vector {
+                if qv.iter().any(|&x| x != 0.0) {
+                    // Over-fetch to compensate for tombstoned chunks.
+                    let fetch = config.vector_k + self.tombstones.min(config.vector_k * 3);
+                    for field in [&self.title_vectors, &self.content_vectors] {
+                        rankings.push(
+                            field
+                                .search(qv, fetch)
+                                .into_iter()
+                                .filter(|n| self.live[n.id as usize])
+                                .take(config.vector_k)
+                                .map(|n| n.id)
+                                .collect(),
+                        );
+                    }
+                }
+            }
+        }
+        let fused = rrf_fuse(&rankings, config.rrf_c);
+        let mut hits: Vec<SearchHit> = fused
+            .into_iter()
+            .take(config.final_n)
+            .map(|f| {
+                let meta = &self.chunks[f.id as usize];
+                let mut score = f.score;
+                if config.use_reranker {
+                    score += self.reranker.weight
+                        * self.reranker.score(text_query, &meta.title, &meta.content);
+                }
+                SearchHit {
+                    chunk: DocId(f.id),
+                    parent_doc: meta.parent_doc.clone(),
+                    title: meta.title.clone(),
+                    content: meta.content.clone(),
+                    score,
+                }
+            })
+            .collect();
+        if config.use_reranker {
+            hits.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.chunk.cmp(&b.chunk))
+            });
+        }
+        hits
+    }
+
+    /// Hybrid search deduplicated to source documents: each parent
+    /// document appears once, at the rank of its best chunk. This is
+    /// the ranking the IR metrics evaluate (ground truth is per
+    /// document).
+    pub fn search_documents(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        let mut seen = std::collections::HashSet::new();
+        self.search(query, config)
+            .into_iter()
+            .filter(|h| seen.insert(h.parent_doc.clone()))
+            .collect()
+    }
+
+    /// Fuse several per-query chunk rankings into one (MQ1 multi-query
+    /// search).
+    pub fn multi_query_search(&self, queries: &[String], config: &HybridConfig) -> Vec<SearchHit> {
+        let per_query: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| {
+                self.search(q, config)
+                    .into_iter()
+                    .map(|h| h.chunk.0)
+                    .collect()
+            })
+            .collect();
+        let fused = rrf_fuse(&per_query, config.rrf_c);
+        fused
+            .into_iter()
+            .take(config.final_n)
+            .map(|f| {
+                let meta = &self.chunks[f.id as usize];
+                SearchHit {
+                    chunk: DocId(f.id),
+                    parent_doc: meta.parent_doc.clone(),
+                    title: meta.title.clone(),
+                    content: meta.content.clone(),
+                    score: f.score,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn chunk(parent: &str, title: &str, content: &str) -> ChunkRecord {
+        ChunkRecord {
+            parent_doc: parent.to_string(),
+            ordinal: 0,
+            title: title.to_string(),
+            content: content.to_string(),
+            summary: String::new(),
+            domain: "D".into(),
+            topic: "T".into(),
+            section: "S".into(),
+            keywords: vec![],
+        }
+    }
+
+    fn index() -> SearchIndex {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        idx.add_chunk(&chunk(
+            "kb/1",
+            "Bonifico estero",
+            "Il bonifico verso paesi esteri richiede il codice BIC della banca beneficiaria.",
+        ));
+        idx.add_chunk(&chunk(
+            "kb/2",
+            "Mutuo prima casa",
+            "Il mutuo prima casa prevede un tasso agevolato per i clienti giovani.",
+        ));
+        idx.add_chunk(&chunk(
+            "kb/3",
+            "Blocco carta",
+            "La carta smarrita si blocca immediatamente dal numero verde.",
+        ));
+        idx
+    }
+
+    #[test]
+    fn relevant_chunk_ranks_first() {
+        let idx = index();
+        let hits = idx.search("bonifico estero", &HybridConfig::default());
+        assert_eq!(hits[0].parent_doc, "kb/1");
+    }
+
+    #[test]
+    fn text_only_and_vector_only_both_work() {
+        let idx = index();
+        let t = idx.search("mutuo casa", &HybridConfig::text_only());
+        let v = idx.search("mutuo casa", &HybridConfig::vector_only());
+        assert_eq!(t[0].parent_doc, "kb/2");
+        assert_eq!(v[0].parent_doc, "kb/2");
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let idx = SearchIndex::new(embedder, SemanticReranker::default());
+        assert!(idx.search("qualsiasi", &HybridConfig::default()).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn final_n_limits_results() {
+        let idx = index();
+        let cfg = HybridConfig {
+            final_n: 1,
+            ..Default::default()
+        };
+        assert_eq!(idx.search("carta bonifico mutuo", &cfg).len(), 1);
+    }
+
+    #[test]
+    fn document_dedup_keeps_best_chunk() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        idx.add_chunk(&chunk("kb/1", "Bonifico", "il bonifico è descritto qui"));
+        idx.add_chunk(&chunk("kb/1", "Bonifico", "seconda parte della pagina sul bonifico"));
+        idx.add_chunk(&chunk("kb/2", "Altro", "testo senza relazione"));
+        let doc_hits = idx.search_documents("bonifico", &HybridConfig::default());
+        let parents: Vec<&str> = doc_hits.iter().map(|h| h.parent_doc.as_str()).collect();
+        assert_eq!(parents.iter().filter(|p| **p == "kb/1").count(), 1);
+    }
+
+    #[test]
+    fn reranker_promotes_semantic_matches() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        // Chunk A: repeats the term (wins pure BM25 tf). Chunk B: covers
+        // both query concepts exactly once.
+        idx.add_chunk(&chunk(
+            "kb/a",
+            "Carta",
+            "carta carta carta carta carta informazioni varie generiche",
+        ));
+        idx.add_chunk(&chunk(
+            "kb/b",
+            "Blocco carta",
+            "per bloccare la carta chiamare il numero verde",
+        ));
+        let without = HybridConfig {
+            use_reranker: false,
+            ..Default::default()
+        };
+        let with = HybridConfig::default();
+        let plain = idx.search("bloccare carta", &without);
+        let reranked = idx.search("bloccare carta", &with);
+        // With reranking, full-coverage kb/b must be first.
+        assert_eq!(reranked[0].parent_doc, "kb/b");
+        // Scores strictly increase when reranker adds signal.
+        assert!(reranked[0].score >= plain[0].score);
+    }
+
+    #[test]
+    fn multi_query_search_fuses_rankings() {
+        let idx = index();
+        let queries = vec!["bonifico estero".to_string(), "carta smarrita".to_string()];
+        let hits = idx.multi_query_search(&queries, &HybridConfig::default());
+        let parents: Vec<&str> = hits.iter().map(|h| h.parent_doc.as_str()).collect();
+        assert!(parents.contains(&"kb/1"));
+        assert!(parents.contains(&"kb/3"));
+    }
+
+    #[test]
+    fn stopword_only_query_yields_empty() {
+        let idx = index();
+        let hits = idx.search("il la per di", &HybridConfig::default());
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let idx = index();
+        let a = idx.search("bonifico", &HybridConfig::default());
+        let b = idx.search("bonifico", &HybridConfig::default());
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod removal_tests {
+    use super::*;
+    use crate::reranker::SemanticReranker;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn record(parent: &str, title: &str, content: &str) -> ChunkRecord {
+        ChunkRecord {
+            parent_doc: parent.to_string(),
+            ordinal: 0,
+            title: title.to_string(),
+            content: content.to_string(),
+            summary: String::new(),
+            domain: "D".into(),
+            topic: "T".into(),
+            section: "S".into(),
+            keywords: vec![],
+        }
+    }
+
+    #[test]
+    fn removed_document_disappears_from_results() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        idx.add_chunk(&record("kb/old", "Bonifico estero", "istruzioni bonifico estero"));
+        idx.add_chunk(&record("kb/other", "Mutuo", "istruzioni mutuo"));
+        assert_eq!(idx.len(), 2);
+        let before = idx.search("bonifico estero", &HybridConfig::default());
+        assert_eq!(before[0].parent_doc, "kb/old");
+        assert_eq!(idx.remove_document("kb/old"), 1);
+        assert_eq!(idx.len(), 1);
+        let after = idx.search("bonifico estero", &HybridConfig::default());
+        assert!(after.iter().all(|h| h.parent_doc != "kb/old"));
+    }
+
+    #[test]
+    fn replacing_a_document_serves_new_content() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        idx.add_chunk(&record("kb/x", "Vecchio titolo", "contenuto originale della pagina"));
+        idx.remove_document("kb/x");
+        idx.add_chunk(&record("kb/x", "Nuovo titolo", "contenuto aggiornato della pagina"));
+        let hits = idx.search("contenuto aggiornato", &HybridConfig::default());
+        assert_eq!(hits[0].title, "Nuovo titolo");
+    }
+
+    #[test]
+    fn removing_unknown_document_is_zero() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        assert_eq!(idx.remove_document("kb/none"), 0);
+    }
+}
+
+impl SearchIndex {
+    /// Facet counts of `hits` over a filterable field (the frontend's
+    /// domain/topic/section navigation).
+    pub fn facets(
+        &self,
+        hits: &[SearchHit],
+        field: &str,
+    ) -> Result<uniask_index::facets::FacetCounts, uniask_index::error::IndexError> {
+        let ids: Vec<DocId> = hits.iter().map(|h| h.chunk).collect();
+        uniask_index::facets::facet_counts(&self.inverted, &ids, field)
+    }
+}
+
+#[cfg(test)]
+mod facet_tests {
+    use super::*;
+    use crate::reranker::SemanticReranker;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    #[test]
+    fn facets_over_search_hits() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        for (i, domain) in ["Pagamenti", "Pagamenti", "Carte"].iter().enumerate() {
+            idx.add_chunk(&ChunkRecord {
+                parent_doc: format!("kb/{i}"),
+                ordinal: 0,
+                title: "Bonifico".into(),
+                content: "testo sul bonifico condiviso".into(),
+                summary: String::new(),
+                domain: domain.to_string(),
+                topic: "T".into(),
+                section: "S".into(),
+                keywords: vec![],
+            });
+        }
+        let hits = idx.search("bonifico", &HybridConfig::default());
+        let facets = idx.facets(&hits, "domain").unwrap();
+        assert_eq!(facets.counts["Pagamenti"], 2);
+        assert_eq!(facets.counts["Carte"], 1);
+        assert!(idx.facets(&hits, "title").is_err(), "non-filterable field");
+    }
+}
+
+impl SearchIndex {
+    /// Parse the search-box syntax (`domain:Pagamenti bonifico`) and
+    /// run a filtered hybrid search: the text component applies the
+    /// filter natively, the vector components over-fetch and filter
+    /// their hits against the chunk tags.
+    pub fn search_box(&self, input: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        let parsed = uniask_index::query_parser::parse_query(input);
+        let Some(filter) = parsed.filter else {
+            return self.search(input, config);
+        };
+        let text_query = if parsed.text.is_empty() {
+            input
+        } else {
+            &parsed.text
+        };
+
+        let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
+        if config.use_text {
+            let hits = self
+                .searcher
+                .search(
+                    &self.inverted,
+                    text_query,
+                    config.text_n,
+                    &config.profile,
+                    Some(&filter),
+                )
+                .unwrap_or_default();
+            rankings.push(hits.into_iter().map(|h| h.doc.0).collect());
+        }
+        if config.use_vector {
+            let qv = self.embedder.embed(text_query);
+            if qv.iter().any(|&x| x != 0.0) {
+                let fetch = config.vector_k * 4 + self.tombstones.min(config.vector_k * 3);
+                for field in [&self.title_vectors, &self.content_vectors] {
+                    rankings.push(
+                        field
+                            .search(&qv, fetch)
+                            .into_iter()
+                            .filter(|n| {
+                                self.live[n.id as usize]
+                                    && filter
+                                        .matches(&self.inverted, DocId(n.id))
+                                        .unwrap_or(false)
+                            })
+                            .take(config.vector_k)
+                            .map(|n| n.id)
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let fused = crate::rrf::rrf_fuse(&rankings, config.rrf_c);
+        let mut hits: Vec<SearchHit> = fused
+            .into_iter()
+            .take(config.final_n)
+            .map(|f| {
+                let meta = &self.chunks[f.id as usize];
+                let mut score = f.score;
+                if config.use_reranker {
+                    score += self.reranker.weight
+                        * self.reranker.score(text_query, &meta.title, &meta.content);
+                }
+                SearchHit {
+                    chunk: DocId(f.id),
+                    parent_doc: meta.parent_doc.clone(),
+                    title: meta.title.clone(),
+                    content: meta.content.clone(),
+                    score,
+                }
+            })
+            .collect();
+        if config.use_reranker {
+            hits.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.chunk.cmp(&b.chunk))
+            });
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod search_box_tests {
+    use super::*;
+    use crate::reranker::SemanticReranker;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn index() -> SearchIndex {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        for (i, (domain, content)) in [
+            ("Pagamenti", "il bonifico estero richiede il codice bic"),
+            ("Carte", "il bonifico da carta prepagata ha limiti dedicati"),
+            ("Pagamenti", "la domiciliazione si attiva dal portale"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            idx.add_chunk(&ChunkRecord {
+                parent_doc: format!("kb/{i}"),
+                ordinal: 0,
+                title: format!("Documento {i}"),
+                content: content.to_string(),
+                summary: String::new(),
+                domain: domain.to_string(),
+                topic: "T".into(),
+                section: "S".into(),
+                keywords: vec![],
+            });
+        }
+        idx
+    }
+
+    #[test]
+    fn filter_restricts_both_components() {
+        let idx = index();
+        let all = idx.search_box("bonifico", &HybridConfig::default());
+        assert!(all.iter().any(|h| h.parent_doc == "kb/1"));
+        let filtered = idx.search_box("domain:Pagamenti bonifico", &HybridConfig::default());
+        assert!(!filtered.is_empty());
+        for h in &filtered {
+            assert_ne!(h.parent_doc, "kb/1", "Carte document must be filtered out");
+        }
+    }
+
+    #[test]
+    fn negated_filter_works() {
+        let idx = index();
+        let hits = idx.search_box("-domain:Pagamenti bonifico", &HybridConfig::default());
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.parent_doc == "kb/1"));
+    }
+
+    #[test]
+    fn no_filter_falls_back_to_plain_search() {
+        let idx = index();
+        let a = idx.search_box("bonifico estero", &HybridConfig::default());
+        let b = idx.search("bonifico estero", &HybridConfig::default());
+        assert_eq!(a, b);
+    }
+}
+
+// ------------------------------------------------------------------
+// Accessors used by the explain module (crate-public surface kept
+// minimal: read-only views of the component structures).
+impl SearchIndex {
+    /// Parent document of `chunk`, if the id is valid.
+    pub(crate) fn chunk_meta(&self, chunk: DocId) -> Option<String> {
+        self.chunks.get(chunk.as_usize()).map(|m| m.parent_doc.clone())
+    }
+
+    /// The raw text-component ranking (chunk ids, best first).
+    pub(crate) fn text_ranking(&self, query: &str, config: &HybridConfig) -> Vec<u32> {
+        self.searcher
+            .search(&self.inverted, query, config.text_n, &config.profile, None)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|h| h.doc.0)
+            .collect()
+    }
+
+    /// The title-vector component.
+    pub(crate) fn title_vector_index(&self) -> &dyn uniask_vector::VectorIndex {
+        &self.title_vectors
+    }
+
+    /// The content-vector component.
+    pub(crate) fn content_vector_index(&self) -> &dyn uniask_vector::VectorIndex {
+        &self.content_vectors
+    }
+
+    /// Raw semantic-reranker score for (query, chunk).
+    pub(crate) fn reranker_score(&self, query: &str, chunk: DocId) -> Option<f64> {
+        let meta = self.chunks.get(chunk.as_usize())?;
+        Some(self.reranker.score(query, &meta.title, &meta.content))
+    }
+
+    /// The reranker's calibration weight.
+    pub(crate) fn reranker_weight(&self) -> f64 {
+        self.reranker.weight
+    }
+}
+
+/// Size/health statistics of a [`SearchIndex`] (the numbers an
+/// operations dashboard tracks per partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Live chunks.
+    pub live_chunks: usize,
+    /// Tombstoned chunks awaiting compaction.
+    pub tombstones: usize,
+    /// Distinct source documents.
+    pub documents: usize,
+    /// Vectors stored in the title field.
+    pub title_vectors: usize,
+    /// Vectors stored in the content field.
+    pub content_vectors: usize,
+    /// Embedding dimension.
+    pub embedding_dim: usize,
+}
+
+impl SearchIndex {
+    /// Current size/health statistics.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            live_chunks: self.len(),
+            tombstones: self.tombstones,
+            documents: self.by_parent.len(),
+            title_vectors: self.title_vectors.len(),
+            content_vectors: self.content_vectors.len(),
+            embedding_dim: self.embedder.dim(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::reranker::SemanticReranker;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    #[test]
+    fn stats_track_additions_and_removals() {
+        let embedder = Arc::new(SyntheticEmbedder::new(32, 3));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        for i in 0..3 {
+            idx.add_chunk(&ChunkRecord {
+                parent_doc: format!("kb/{i}"),
+                ordinal: 0,
+                title: format!("Documento {i}"),
+                content: "contenuto della pagina".into(),
+                summary: String::new(),
+                domain: "D".into(),
+                topic: "T".into(),
+                section: "S".into(),
+                keywords: vec![],
+            });
+        }
+        let s = idx.stats();
+        assert_eq!(s.live_chunks, 3);
+        assert_eq!(s.documents, 3);
+        assert_eq!(s.tombstones, 0);
+        assert_eq!(s.embedding_dim, 32);
+        assert_eq!(s.title_vectors, 3);
+        idx.remove_document("kb/0");
+        let s = idx.stats();
+        assert_eq!(s.live_chunks, 2);
+        assert_eq!(s.tombstones, 1);
+        assert_eq!(s.documents, 2);
+        // HNSW keeps the vector (tombstone-filtered at search time).
+        assert_eq!(s.title_vectors, 3);
+    }
+}

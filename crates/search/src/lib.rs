@@ -1,0 +1,25 @@
+//! # uniask-search
+//!
+//! UniAsk's retrieval module (Section 4): the hybrid search algorithm
+//! that combines full-text BM25 search (n = 50) with vector search over
+//! the title and content embeddings (K = 15 per field), merges the
+//! rankings with Reciprocal Rank Fusion (c = 60) and adds a semantic
+//! reranking score — plus the retrieval variants evaluated in Tables
+//! 2–4: component ablations, query expansion (QGA / MQ1 / MQ2), title
+//! boosting, and LLM keyword enrichment of the index.
+
+pub mod enrichment;
+pub mod explain;
+pub mod expansion;
+pub mod hybrid;
+pub mod persistence;
+pub mod reranker;
+pub mod rrf;
+
+pub use enrichment::{enrich_chunk, Enrichment};
+pub use explain::{Explanation, RankContribution};
+pub use expansion::{ExpandedSearch, QueryExpansion};
+pub use hybrid::{ChunkRecord, HybridConfig, IndexStats, SearchHit, SearchIndex};
+pub use persistence::PersistError;
+pub use reranker::SemanticReranker;
+pub use rrf::{rrf_fuse, RrfFused};

@@ -1,0 +1,133 @@
+//! Semantic reranking.
+//!
+//! Azure AI Search adds "a semantic reranking score, obtained with a
+//! proprietary multi-lingual, deep-learning model from Bing and
+//! Microsoft Research, based on multi-task learning". The model is
+//! closed; this simulated cross-encoder preserves its role: an
+//! *interaction* score computed on the (query, chunk) pair — concept
+//! coverage of the query in the chunk, with a title-affinity bonus —
+//! rather than a similarity of independent encodings. Scores are in
+//! `[0, 1]` and are added to the RRF score with a calibration weight.
+
+use std::sync::Arc;
+
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+use uniask_text::concepts::{IdentityNormalizer, TermNormalizer};
+
+/// Simulated multi-task cross-encoder.
+pub struct SemanticReranker {
+    analyzer: ItalianAnalyzer,
+    normalizer: Arc<dyn TermNormalizer>,
+    /// Weight of the reranker score when added to the RRF score. The
+    /// RRF top score is ≈ `3/(1+c)` ≈ 0.05 for c = 60, so the default
+    /// keeps the two signals comparable.
+    pub weight: f64,
+}
+
+impl std::fmt::Debug for SemanticReranker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticReranker").field("weight", &self.weight).finish()
+    }
+}
+
+impl Default for SemanticReranker {
+    fn default() -> Self {
+        Self::new(Arc::new(IdentityNormalizer))
+    }
+}
+
+impl SemanticReranker {
+    /// Create a reranker with a concept normalizer (the production
+    /// system passes the corpus synonym table).
+    pub fn new(normalizer: Arc<dyn TermNormalizer>) -> Self {
+        SemanticReranker {
+            analyzer: ItalianAnalyzer::new(),
+            normalizer,
+            weight: 0.05,
+        }
+    }
+
+    fn concepts(&self, text: &str) -> Vec<String> {
+        self.analyzer
+            .analyze(text)
+            .into_iter()
+            .map(|t| self.normalizer.normalize(&t))
+            .collect()
+    }
+
+    /// Score a (query, title, content) pair in `[0, 1]`.
+    ///
+    /// 0.75 · (fraction of query concepts covered by the chunk) +
+    /// 0.25 · (fraction covered by the title alone).
+    pub fn score(&self, query: &str, title: &str, content: &str) -> f64 {
+        let q = self.concepts(query);
+        if q.is_empty() {
+            return 0.0;
+        }
+        let t = self.concepts(title);
+        let c = self.concepts(content);
+        let covered_any = q
+            .iter()
+            .filter(|qc| t.iter().any(|x| x == *qc) || c.iter().any(|x| x == *qc))
+            .count() as f64;
+        let covered_title = q.iter().filter(|qc| t.iter().any(|x| x == *qc)).count() as f64;
+        let n = q.len() as f64;
+        0.75 * covered_any / n + 0.25 * covered_title / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_coverage_scores_one() {
+        let r = SemanticReranker::default();
+        let s = r.score("bonifico estero", "Bonifico estero", "come eseguire il bonifico estero");
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn no_coverage_scores_zero() {
+        let r = SemanticReranker::default();
+        assert_eq!(r.score("mutuo casa", "Stampanti", "configurazione periferiche"), 0.0);
+    }
+
+    #[test]
+    fn title_match_beats_content_only_match() {
+        let r = SemanticReranker::default();
+        let title_hit = r.score("bonifico", "Bonifico SEPA", "testo generico della pagina");
+        let content_hit = r.score("bonifico", "Pagina generica", "il bonifico si esegue così");
+        assert!(title_hit > content_hit);
+    }
+
+    #[test]
+    fn partial_coverage_is_fractional() {
+        let r = SemanticReranker::default();
+        let s = r.score("bonifico estero urgente", "Bonifico", "bonifico verso estero");
+        assert!(s > 0.3 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let r = SemanticReranker::default();
+        assert_eq!(r.score("", "t", "c"), 0.0);
+        assert_eq!(r.score("il la di", "t", "c"), 0.0);
+    }
+
+    #[test]
+    fn synonym_normalizer_bridges_paraphrase() {
+        struct Syn;
+        impl TermNormalizer for Syn {
+            fn normalize(&self, term: &str) -> String {
+                if term == "massimal" { "limit".into() } else { term.into() }
+            }
+        }
+        let plain = SemanticReranker::default();
+        let syn = SemanticReranker::new(Arc::new(Syn));
+        let q = "massimale carta";
+        let title = "Limite carta";
+        let content = "il limite della carta è fissato";
+        assert!(syn.score(q, title, content) > plain.score(q, title, content));
+    }
+}

@@ -1,0 +1,121 @@
+//! Reciprocal Rank Fusion (the hybrid-search merge step).
+//!
+//! "The rankings produced by text search (a single ranking) and vector
+//! search (one ranking for each vector field) are merged by the
+//! Reciprocal Rank Fusion algorithm, which … assign\[s\] to each
+//! document/ranking pair a reciprocal-rank score calculated as
+//! `1/(rank + c)` … The final relevance score … is obtained as the sum
+//! of the various reciprocal rank scores." Azure's default `c` is 60.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A fused item: id plus its summed reciprocal-rank score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrfFused<T> {
+    /// The item.
+    pub id: T,
+    /// Summed `1/(rank + c)` over the rankings containing the item.
+    pub score: f64,
+}
+
+/// Fuse multiple rankings. `rankings[i]` is an ordered best-first list;
+/// rank is 1-based as in the Azure formulation. Ties in the fused score
+/// are broken by the order of first appearance across rankings, which
+/// keeps the output deterministic.
+///
+/// ```
+/// use uniask_search::rrf::rrf_fuse;
+///
+/// // "b" appears in both rankings and wins the fusion.
+/// let fused = rrf_fuse(&[vec!["a", "b"], vec!["b", "c"]], 60.0);
+/// assert_eq!(fused[0].id, "b");
+/// assert!((fused[0].score - (1.0 / 62.0 + 1.0 / 61.0)).abs() < 1e-12);
+/// ```
+pub fn rrf_fuse<T: Clone + Eq + Hash>(rankings: &[Vec<T>], c: f64) -> Vec<RrfFused<T>> {
+    let mut scores: HashMap<T, f64> = HashMap::new();
+    let mut first_seen: HashMap<T, usize> = HashMap::new();
+    let mut counter = 0usize;
+    for ranking in rankings {
+        for (i, item) in ranking.iter().enumerate() {
+            let rank = (i + 1) as f64;
+            *scores.entry(item.clone()).or_insert(0.0) += 1.0 / (rank + c);
+            first_seen.entry(item.clone()).or_insert_with(|| {
+                counter += 1;
+                counter
+            });
+        }
+    }
+    let mut fused: Vec<RrfFused<T>> = scores
+        .into_iter()
+        .map(|(id, score)| RrfFused { id, score })
+        .collect();
+    fused.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| first_seen[&a.id].cmp(&first_seen[&b.id]))
+    });
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_in_multiple_rankings_wins() {
+        let fused = rrf_fuse(&[vec!["a", "b", "c"], vec!["b", "d"]], 60.0);
+        assert_eq!(fused[0].id, "b", "b appears in both rankings");
+    }
+
+    #[test]
+    fn scores_match_the_formula() {
+        let fused = rrf_fuse(&[vec!["a", "b"]], 60.0);
+        let a = fused.iter().find(|f| f.id == "a").unwrap();
+        let b = fused.iter().find(|f| f.id == "b").unwrap();
+        assert!((a.score - 1.0 / 61.0).abs() < 1e-12);
+        assert!((b.score - 1.0 / 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let fused: Vec<RrfFused<u32>> = rrf_fuse(&[], 60.0);
+        assert!(fused.is_empty());
+        let fused: Vec<RrfFused<u32>> = rrf_fuse(&[vec![], vec![]], 60.0);
+        assert!(fused.is_empty());
+    }
+
+    #[test]
+    fn single_ranking_preserves_order() {
+        let fused = rrf_fuse(&[vec![10u32, 20, 30]], 60.0);
+        let ids: Vec<u32> = fused.iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_first_appearance() {
+        // "a" at rank 1 of ranking 1, "b" at rank 1 of ranking 2: equal
+        // score; "a" was seen first.
+        let fused = rrf_fuse(&[vec!["a"], vec!["b"]], 60.0);
+        assert_eq!(fused[0].id, "a");
+        assert_eq!(fused[1].id, "b");
+    }
+
+    #[test]
+    fn smaller_c_sharpens_top_ranks() {
+        let big = rrf_fuse(&[vec!["a", "b"]], 600.0);
+        let small = rrf_fuse(&[vec!["a", "b"]], 6.0);
+        let gap_big = big[0].score - big[1].score;
+        let gap_small = small[0].score - small[1].score;
+        assert!(gap_small > gap_big);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let r = vec![vec![1u32, 2, 3], vec![3, 1, 4], vec![4, 4, 2]];
+        let a: Vec<u32> = rrf_fuse(&r, 60.0).into_iter().map(|f| f.id).collect();
+        let b: Vec<u32> = rrf_fuse(&r, 60.0).into_iter().map(|f| f.id).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Analysis chains.
+//!
+//! An [`Analyzer`] turns raw text into a sequence of normalized terms for
+//! indexing and querying. Two implementations are provided:
+//!
+//! * [`ItalianAnalyzer`] — the chain UniAsk uses for searchable fields,
+//!   equivalent to the paper's `it-analyzer-lucene-full`: tokenization,
+//!   lower-casing, Italian stop-word removal and light Italian stemming.
+//! * [`KeywordAnalyzer`] — lower-cases and tokenizes but performs no
+//!   stop-word removal or stemming; used for `filterable` fields that
+//!   need exact matching (domain, topic, section, keywords) and by the
+//!   previous-generation search engine, which matched raw keywords.
+
+use crate::stemmer::italian_stem;
+use crate::stopwords::is_stopword;
+use crate::tokenizer::tokenize;
+
+/// A text-analysis chain producing normalized index/query terms.
+pub trait Analyzer: Send + Sync {
+    /// Analyze `text` into terms, appending them to `out`.
+    ///
+    /// Using an out-parameter lets hot indexing loops reuse one buffer
+    /// across documents (see the Rust Performance Book on collection
+    /// reuse).
+    fn analyze_into(&self, text: &str, out: &mut Vec<String>);
+
+    /// Convenience wrapper allocating a fresh vector.
+    fn analyze(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.analyze_into(text, &mut out);
+        out
+    }
+}
+
+/// Full Italian analysis chain: lower-case → stop-words → light stem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ItalianAnalyzer;
+
+impl ItalianAnalyzer {
+    /// Create a new analyzer (stateless; `Default` works too).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Normalize a single token: lower-case, drop stop words, stem.
+    /// Returns `None` when the token is filtered out.
+    pub fn normalize_token(&self, raw: &str) -> Option<String> {
+        let lower = raw.to_lowercase();
+        if is_stopword(&lower) {
+            return None;
+        }
+        Some(italian_stem(&lower))
+    }
+}
+
+impl Analyzer for ItalianAnalyzer {
+    fn analyze_into(&self, text: &str, out: &mut Vec<String>) {
+        for tok in tokenize(text) {
+            if let Some(term) = self.normalize_token(tok.text) {
+                out.push(term);
+            }
+        }
+    }
+}
+
+/// Exact-match analyzer: lower-cased tokens, no stop-words, no stemming.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeywordAnalyzer;
+
+impl KeywordAnalyzer {
+    /// Create a new analyzer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Analyzer for KeywordAnalyzer {
+    fn analyze_into(&self, text: &str, out: &mut Vec<String>) {
+        for tok in tokenize(text) {
+            out.push(tok.text.to_lowercase());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn italian_chain_filters_stopwords_and_stems() {
+        let a = ItalianAnalyzer::new();
+        let terms = a.analyze("Come posso aprire il conto corrente per la filiale?");
+        // "il", "per", "la" are stop words; remaining words stemmed.
+        assert!(terms.contains(&"cont".to_string()));
+        assert!(terms.contains(&"corrent".to_string()));
+        assert!(terms.contains(&"filial".to_string()));
+        assert!(!terms.iter().any(|t| t == "il" || t == "per" || t == "la"));
+    }
+
+    #[test]
+    fn plural_query_matches_singular_document_terms() {
+        let a = ItalianAnalyzer::new();
+        let doc = a.analyze("bonifico istantaneo");
+        let query = a.analyze("bonifici istantanei");
+        assert_eq!(doc, query);
+    }
+
+    #[test]
+    fn keyword_chain_preserves_surface_forms() {
+        let a = KeywordAnalyzer::new();
+        let terms = a.analyze("Errore E4521 del POS");
+        assert_eq!(terms, vec!["errore", "e4521", "del", "pos"]);
+    }
+
+    #[test]
+    fn analyze_into_appends() {
+        let a = ItalianAnalyzer::new();
+        let mut buf = vec!["pre".to_string()];
+        a.analyze_into("carta", &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0], "pre");
+    }
+
+    #[test]
+    fn empty_text_produces_no_terms() {
+        assert!(ItalianAnalyzer::new().analyze("").is_empty());
+        assert!(KeywordAnalyzer::new().analyze("   ").is_empty());
+    }
+
+    #[test]
+    fn analysis_is_idempotent_for_italian_chain() {
+        // Re-analyzing the joined output must give the same terms: the
+        // index and query sides share one analyzer, so this guarantees a
+        // term indexed from a document matches itself as a query.
+        let a = ItalianAnalyzer::new();
+        let once = a.analyze("apertura dei conti correnti aziendali");
+        let joined = once.join(" ");
+        let twice = a.analyze(&joined);
+        assert_eq!(once, twice);
+    }
+}

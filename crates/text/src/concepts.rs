@@ -1,0 +1,40 @@
+//! Concept normalization.
+//!
+//! A [`TermNormalizer`] maps analyzed terms to canonical *concept ids*.
+//! The corpus crate supplies an implementation backed by its synonym
+//! table; the synthetic embedder and the simulated LLM both use it so
+//! that paraphrased questions connect to the documents that express the
+//! same concepts — the behaviour a real embedding model/LLM provides.
+
+/// Maps an analyzed (lower-cased, stemmed) term to its canonical
+/// concept form.
+pub trait TermNormalizer: Send + Sync {
+    /// Normalize one term (e.g. collapse synonyms to a concept id).
+    fn normalize(&self, term: &str) -> String;
+
+    /// Whether the term is a known domain concept. Defaults to
+    /// `false`: normalizers without a vocabulary recognize nothing.
+    fn recognizes(&self, _term: &str) -> bool {
+        false
+    }
+}
+
+/// The identity normalizer: terms are their own concepts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityNormalizer;
+
+impl TermNormalizer for IdentityNormalizer {
+    fn normalize(&self, term: &str) -> String {
+        term.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_returns_input() {
+        assert_eq!(IdentityNormalizer.normalize("bonific"), "bonific");
+    }
+}

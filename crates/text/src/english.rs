@@ -1,0 +1,187 @@
+//! English analysis chain (§11 multi-language support).
+//!
+//! "We plan to capitalize on the success of UniAsk … to adapt our
+//! system to other languages." The pipeline is language-parametric:
+//! this module provides the English equivalent of the Italian chain —
+//! a stop-word list and a light English stemmer (an S-stemmer extended
+//! with the common inflectional endings, in the spirit of Harman's
+//! work and Lucune's `EnglishMinimalStemFilter`), wrapped in an
+//! [`EnglishAnalyzer`].
+
+use crate::analyzer::Analyzer;
+use crate::tokenizer::tokenize;
+
+/// English stop words, lower-case, sorted (binary-searchable).
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "am", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "before", "being", "between", "both", "but", "by", "can", "could", "did",
+    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had",
+    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
+    "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own", "s",
+    "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their", "theirs",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "would", "you", "your", "yours",
+];
+
+/// Whether `word` (already lower-cased) is an English stop word.
+pub fn is_english_stopword(word: &str) -> bool {
+    ENGLISH_STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Light English stemmer: plural and common inflectional endings.
+///
+/// Words shorter than four characters or containing digits are left
+/// unchanged (codes and acronyms must stay stable, exactly as in the
+/// Italian chain).
+pub fn english_stem(word: &str) -> String {
+    let w = word.to_string();
+    let n = w.chars().count();
+    if n < 4 || w.chars().any(|c| c.is_ascii_digit()) {
+        return w;
+    }
+    // Order matters: longest suffixes first.
+    if n > 6 {
+        if let Some(stem) = w.strip_suffix("ations") {
+            return format!("{stem}ate");
+        }
+        if let Some(stem) = w.strip_suffix("ation") {
+            return format!("{stem}ate");
+        }
+    }
+    if n > 5 {
+        if let Some(stem) = w.strip_suffix("ingly") {
+            return stem.to_string();
+        }
+        if let Some(stem) = w.strip_suffix("edly") {
+            return stem.to_string();
+        }
+    }
+    if n > 4 {
+        if let Some(stem) = w.strip_suffix("ies") {
+            return format!("{stem}y");
+        }
+        if let Some(stem) = w.strip_suffix("ing") {
+            // keep a 3+ character stem ("sing" stays "sing")
+            if stem.chars().count() >= 3 {
+                return stem.to_string();
+            }
+        }
+        if let Some(stem) = w.strip_suffix("ed") {
+            if stem.chars().count() >= 3 {
+                return stem.to_string();
+            }
+        }
+        if let Some(stem) = w.strip_suffix("es") {
+            // -ches, -shes, -xes, -sses drop "es"; otherwise drop "s".
+            if stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('x') || stem.ends_with("ss") {
+                return stem.to_string();
+            }
+            return format!("{stem}e");
+        }
+    }
+    if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
+        let mut stem = w.clone();
+        stem.pop();
+        return stem;
+    }
+    w
+}
+
+/// The English analysis chain: lower-case → stop words → light stem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnglishAnalyzer;
+
+impl EnglishAnalyzer {
+    /// Create a new analyzer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Analyzer for EnglishAnalyzer {
+    fn analyze_into(&self, text: &str, out: &mut Vec<String>) {
+        for tok in tokenize(text) {
+            let lower = tok.text.to_lowercase();
+            if is_english_stopword(&lower) {
+                continue;
+            }
+            out.push(english_stem(&lower));
+        }
+    }
+}
+
+/// The languages the analysis pipeline supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Language {
+    /// Italian (the deployed configuration).
+    #[default]
+    Italian,
+    /// English (§11 expansion target).
+    English,
+}
+
+impl Language {
+    /// Build the analyzer for this language.
+    pub fn analyzer(self) -> std::sync::Arc<dyn Analyzer> {
+        match self {
+            Language::Italian => std::sync::Arc::new(crate::analyzer::ItalianAnalyzer::new()),
+            Language::English => std::sync::Arc::new(EnglishAnalyzer::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted() {
+        for w in ENGLISH_STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        assert!(is_english_stopword("the"));
+        assert!(!is_english_stopword("transfer"));
+    }
+
+    #[test]
+    fn plural_and_singular_share_a_stem() {
+        assert_eq!(english_stem("transfers"), english_stem("transfer"));
+        assert_eq!(english_stem("accounts"), english_stem("account"));
+        assert_eq!(english_stem("policies"), english_stem("policy"));
+        assert_eq!(english_stem("branches"), english_stem("branch"));
+    }
+
+    #[test]
+    fn inflections_are_stripped() {
+        assert_eq!(english_stem("blocked"), "block");
+        assert_eq!(english_stem("blocking"), "block");
+        assert_eq!(english_stem("authorization"), "authorizate"); // light-stem artefact, consistent both sides
+        assert_eq!(english_stem("authorizations"), "authorizate");
+    }
+
+    #[test]
+    fn short_words_and_codes_unchanged() {
+        assert_eq!(english_stem("is"), "is");
+        assert_eq!(english_stem("e4521"), "e4521");
+        assert_eq!(english_stem("its"), "its");
+    }
+
+    #[test]
+    fn analyzer_chain_matches_query_and_document() {
+        let a = EnglishAnalyzer::new();
+        let doc = a.analyze("the daily limit for wire transfers");
+        let query = a.analyze("daily limits for a wire transfer");
+        assert_eq!(doc, query);
+    }
+
+    #[test]
+    fn language_selector_builds_both_chains() {
+        let it = Language::Italian.analyzer();
+        let en = Language::English.analyzer();
+        assert_eq!(it.analyze("i bonifici"), vec!["bonific"]);
+        assert_eq!(en.analyze("the transfers"), vec!["transfer"]);
+        assert_eq!(Language::default(), Language::Italian);
+    }
+}

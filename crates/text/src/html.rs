@@ -1,0 +1,262 @@
+//! Minimal HTML parsing.
+//!
+//! The knowledge base consists of HTML pages written by employees. The
+//! ingestion service needs only three things from them: the title, the
+//! visible text, and the paragraph structure (the production chunker
+//! "extracts non-overlapping text chunks from a document by using the
+//! start offsets of html paragraphs as splitting points"). This module
+//! implements a small, robust tag scanner sufficient for that purpose —
+//! no scripting, CSS or entity edge cases beyond the common few.
+
+/// A block-level paragraph extracted from an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlParagraph {
+    /// The tag that produced this block (`p`, `h1`, `li`, ...).
+    pub tag: String,
+    /// The visible text content, whitespace-normalized.
+    pub text: String,
+}
+
+/// A parsed HTML document: title plus ordered block paragraphs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HtmlDocument {
+    /// Content of `<title>` (or the first `<h1>` when no title is set).
+    pub title: String,
+    /// Block-level paragraphs in document order.
+    pub paragraphs: Vec<HtmlParagraph>,
+}
+
+impl HtmlDocument {
+    /// All visible text, paragraphs joined by newlines.
+    pub fn body_text(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.paragraphs.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&p.text);
+        }
+        out
+    }
+}
+
+/// Tags treated as block-level paragraph boundaries.
+const BLOCK_TAGS: &[&str] = &["p", "h1", "h2", "h3", "h4", "li", "td", "div", "pre"];
+
+fn is_block_tag(tag: &str) -> bool {
+    BLOCK_TAGS.contains(&tag)
+}
+
+/// Decode the handful of entities that appear in the KB.
+fn decode_entities(s: &str) -> String {
+    // Fast path: no ampersand, no allocation beyond the copy.
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&apos;", "'")
+        .replace("&nbsp;", " ")
+        .replace("&egrave;", "è")
+        .replace("&agrave;", "à")
+        .replace("&ograve;", "ò")
+        .replace("&ugrave;", "ù")
+        .replace("&igrave;", "ì")
+}
+
+/// Collapse whitespace runs to single spaces and trim.
+fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Parse an HTML string into an [`HtmlDocument`].
+///
+/// The parser is tolerant: unknown tags are ignored (their text is
+/// attributed to the enclosing block), unclosed tags do not error, and
+/// plain text outside any block becomes its own paragraph.
+pub fn parse_html(input: &str) -> HtmlDocument {
+    let mut doc = HtmlDocument::default();
+    let mut current_tag = String::from("p");
+    let mut current_text = String::new();
+    let mut in_title = false;
+    let mut title = String::new();
+    let mut chars = input.char_indices().peekable();
+
+    let flush = |doc: &mut HtmlDocument, tag: &str, text: &mut String| {
+        let normalized = normalize_ws(&decode_entities(text));
+        if !normalized.is_empty() {
+            doc.paragraphs.push(HtmlParagraph {
+                tag: tag.to_string(),
+                text: normalized,
+            });
+        }
+        text.clear();
+    };
+
+    while let Some((i, c)) = chars.next() {
+        if c == '<' {
+            // Scan the tag.
+            let rest = &input[i + 1..];
+            let close = rest.find('>');
+            let Some(close) = close else {
+                // Malformed trailing '<': treat as text.
+                current_text.push(c);
+                continue;
+            };
+            let tag_body = &rest[..close];
+            // Advance the iterator past the tag.
+            let skip_to = i + 1 + close; // index of '>'
+            while let Some(&(j, _)) = chars.peek() {
+                if j > skip_to {
+                    break;
+                }
+                chars.next();
+            }
+            let is_closing = tag_body.starts_with('/');
+            let name: String = tag_body
+                .trim_start_matches('/')
+                .chars()
+                .take_while(|ch| ch.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            match name.as_str() {
+                "title" => {
+                    if is_closing {
+                        in_title = false;
+                    } else {
+                        in_title = true;
+                        title.clear();
+                    }
+                }
+                "br" => current_text.push(' '),
+                "script" | "style" => {
+                    // Skip until the matching close tag.
+                    let close_marker = format!("</{name}");
+                    if let Some(pos) = input[skip_to..].to_ascii_lowercase().find(&close_marker) {
+                        let target = skip_to + pos;
+                        while let Some(&(j, _)) = chars.peek() {
+                            if j >= target {
+                                break;
+                            }
+                            chars.next();
+                        }
+                    }
+                }
+                n if is_block_tag(n) => {
+                    flush(&mut doc, &current_tag, &mut current_text);
+                    if !is_closing {
+                        current_tag = name;
+                    }
+                }
+                _ => {} // inline or unknown tag: ignore
+            }
+        } else if in_title {
+            title.push(c);
+        } else {
+            current_text.push(c);
+        }
+    }
+    flush(&mut doc, &current_tag, &mut current_text);
+
+    doc.title = normalize_ws(&decode_entities(&title));
+    if doc.title.is_empty() {
+        if let Some(h1) = doc.paragraphs.iter().find(|p| p.tag == "h1") {
+            doc.title = h1.text.clone();
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_title_and_paragraphs() {
+        let doc = parse_html(
+            "<html><head><title>Bonifico SEPA</title></head>\
+             <body><h1>Bonifico SEPA</h1><p>Primo paragrafo.</p><p>Secondo.</p></body></html>",
+        );
+        assert_eq!(doc.title, "Bonifico SEPA");
+        let texts: Vec<_> = doc.paragraphs.iter().map(|p| p.text.as_str()).collect();
+        assert_eq!(texts, vec!["Bonifico SEPA", "Primo paragrafo.", "Secondo."]);
+    }
+
+    #[test]
+    fn falls_back_to_h1_for_title() {
+        let doc = parse_html("<h1>Titolo</h1><p>testo</p>");
+        assert_eq!(doc.title, "Titolo");
+    }
+
+    #[test]
+    fn inline_tags_do_not_split_paragraphs() {
+        let doc = parse_html("<p>testo <b>importante</b> qui</p>");
+        assert_eq!(doc.paragraphs.len(), 1);
+        assert_eq!(doc.paragraphs[0].text, "testo importante qui");
+    }
+
+    #[test]
+    fn entities_are_decoded() {
+        let doc = parse_html("<p>attivit&agrave; &amp; conti</p>");
+        assert_eq!(doc.paragraphs[0].text, "attività & conti");
+    }
+
+    #[test]
+    fn list_items_become_paragraphs() {
+        let doc = parse_html("<ul><li>uno</li><li>due</li></ul>");
+        assert_eq!(doc.paragraphs.len(), 2);
+        assert_eq!(doc.paragraphs[1].tag, "li");
+    }
+
+    #[test]
+    fn script_content_is_skipped() {
+        let doc = parse_html("<p>visibile</p><script>var x = 'nascosto';</script><p>dopo</p>");
+        let texts: Vec<_> = doc.paragraphs.iter().map(|p| p.text.as_str()).collect();
+        assert_eq!(texts, vec!["visibile", "dopo"]);
+    }
+
+    #[test]
+    fn tolerates_malformed_html() {
+        let doc = parse_html("<p>aperto ma mai chiuso <");
+        assert_eq!(doc.paragraphs.len(), 1);
+        assert!(doc.paragraphs[0].text.starts_with("aperto"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let doc = parse_html("");
+        assert!(doc.title.is_empty());
+        assert!(doc.paragraphs.is_empty());
+    }
+
+    #[test]
+    fn body_text_joins_paragraphs() {
+        let doc = parse_html("<p>a</p><p>b</p>");
+        assert_eq!(doc.body_text(), "a\nb");
+    }
+
+    #[test]
+    fn whitespace_is_normalized() {
+        let doc = parse_html("<p>  molto \n\t spazio   </p>");
+        assert_eq!(doc.paragraphs[0].text, "molto spazio");
+    }
+}

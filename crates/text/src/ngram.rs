@@ -1,0 +1,74 @@
+//! Word n-gram extraction.
+//!
+//! Used by the synthetic embedder (`uniask-vector`) to mix local word
+//! order into embeddings, and by the keyword extractor in `uniask-llm`.
+
+/// Produce all contiguous word `n`-grams of `terms`, joined by a single
+/// space. Returns an empty vector when `terms.len() < n` or `n == 0`.
+pub fn word_ngrams(terms: &[String], n: usize) -> Vec<String> {
+    if n == 0 || terms.len() < n {
+        return Vec::new();
+    }
+    terms
+        .windows(n)
+        .map(|w| w.join(" "))
+        .collect()
+}
+
+/// Character `n`-grams of a single word, including it unchanged when it
+/// is shorter than `n`. Operates on chars, not bytes, so accented Italian
+/// text is handled correctly.
+pub fn char_ngrams(word: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![word.to_string()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn bigrams() {
+        assert_eq!(
+            word_ngrams(&s(&["a", "b", "c"]), 2),
+            vec!["a b".to_string(), "b c".to_string()]
+        );
+    }
+
+    #[test]
+    fn n_larger_than_input_is_empty() {
+        assert!(word_ngrams(&s(&["a"]), 2).is_empty());
+        assert!(word_ngrams(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn n_zero_is_empty() {
+        assert!(word_ngrams(&s(&["a", "b"]), 0).is_empty());
+        assert!(char_ngrams("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn unigrams_are_identity() {
+        assert_eq!(word_ngrams(&s(&["x", "y"]), 1), s(&["x", "y"]));
+    }
+
+    #[test]
+    fn char_ngrams_respect_unicode() {
+        assert_eq!(char_ngrams("però", 3), vec!["per".to_string(), "erò".to_string()]);
+    }
+
+    #[test]
+    fn short_word_returned_whole() {
+        assert_eq!(char_ngrams("ab", 3), vec!["ab".to_string()]);
+    }
+}

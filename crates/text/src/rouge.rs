@@ -1,0 +1,166 @@
+//! ROUGE-L similarity.
+//!
+//! UniAsk's primary topical guardrail compares each generated answer to
+//! the retrieved context chunks with ROUGE-L (Lin, 2004) and invalidates
+//! answers scoring below a threshold (0.15 in production). ROUGE-L is
+//! based on the longest common subsequence (LCS) of the two token
+//! sequences.
+
+use crate::tokenizer::token_texts;
+
+/// Precision / recall / F-measure triple produced by ROUGE-L.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RougeScore {
+    /// LCS length divided by candidate length.
+    pub precision: f64,
+    /// LCS length divided by reference length.
+    pub recall: f64,
+    /// Harmonic-style F-measure (the score UniAsk thresholds on).
+    pub f_measure: f64,
+}
+
+impl RougeScore {
+    /// The all-zero score, returned for empty inputs.
+    pub const ZERO: RougeScore = RougeScore {
+        precision: 0.0,
+        recall: 0.0,
+        f_measure: 0.0,
+    };
+}
+
+/// Length of the longest common subsequence of two slices.
+///
+/// Classic O(n·m) dynamic program with a two-row rolling buffer, so the
+/// memory footprint is O(min-side) regardless of input size.
+pub fn lcs_length<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Iterate the longer sequence in the outer loop so rows are short.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut prev = vec![0usize; inner.len() + 1];
+    let mut curr = vec![0usize; inner.len() + 1];
+    for x in outer {
+        for (j, y) in inner.iter().enumerate() {
+            curr[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[inner.len()]
+}
+
+/// ROUGE-L between a candidate and a reference token sequence.
+///
+/// Uses the standard F-measure with `beta = 1.2` weighting recall, as in
+/// the original ROUGE package.
+pub fn rouge_l_tokens<T: PartialEq>(candidate: &[T], reference: &[T]) -> RougeScore {
+    if candidate.is_empty() || reference.is_empty() {
+        return RougeScore::ZERO;
+    }
+    let lcs = lcs_length(candidate, reference) as f64;
+    let precision = lcs / candidate.len() as f64;
+    let recall = lcs / reference.len() as f64;
+    let beta2 = 1.2f64 * 1.2;
+    let denom = recall + beta2 * precision;
+    let f_measure = if denom > 0.0 {
+        (1.0 + beta2) * precision * recall / denom
+    } else {
+        0.0
+    };
+    RougeScore {
+        precision,
+        recall,
+        f_measure,
+    }
+}
+
+/// ROUGE-L between two raw texts. Tokenization is the plain word
+/// tokenizer with lower-casing (no stemming — the guardrail measures
+/// *syntactic* overlap, as the paper specifies).
+///
+/// ```
+/// use uniask_text::rouge::rouge_l;
+///
+/// let s = rouge_l("il limite è 5.000 euro", "il limite del bonifico è 5.000 euro");
+/// assert!((s.precision - 1.0).abs() < 1e-12); // candidate fully supported
+/// assert!(s.recall < 1.0);                    // reference says more
+/// ```
+pub fn rouge_l(candidate: &str, reference: &str) -> RougeScore {
+    let c: Vec<String> = token_texts(candidate).iter().map(|t| t.to_lowercase()).collect();
+    let r: Vec<String> = token_texts(reference).iter().map(|t| t.to_lowercase()).collect();
+    rouge_l_tokens(&c, &r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        let s = rouge_l("il bonifico è stato eseguito", "il bonifico è stato eseguito");
+        assert!((s.precision - 1.0).abs() < 1e-12);
+        assert!((s.recall - 1.0).abs() < 1e-12);
+        assert!((s.f_measure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        let s = rouge_l("alfa beta gamma", "delta epsilon zeta");
+        assert_eq!(s, RougeScore::ZERO);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        assert_eq!(rouge_l("", "qualcosa"), RougeScore::ZERO);
+        assert_eq!(rouge_l("qualcosa", ""), RougeScore::ZERO);
+    }
+
+    #[test]
+    fn lcs_is_order_sensitive() {
+        // "a b c" vs "c b a": LCS length is 1.
+        assert_eq!(lcs_length(&["a", "b", "c"], &["c", "b", "a"]), 1);
+        // Subsequence need not be contiguous.
+        assert_eq!(lcs_length(&["a", "x", "b", "y", "c"], &["a", "b", "c"]), 3);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let s = rouge_l("Bonifico SEPA", "bonifico sepa");
+        assert!((s.f_measure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_in_unit_interval() {
+        let s = rouge_l(
+            "per aprire il conto serve il documento",
+            "il documento serve per chiudere il conto",
+        );
+        assert!(s.f_measure > 0.0 && s.f_measure < 1.0);
+        assert!(s.precision <= 1.0 && s.recall <= 1.0);
+    }
+
+    #[test]
+    fn lcs_reference_oracle() {
+        // Compare rolling-buffer implementation against a full-matrix DP.
+        fn oracle(a: &[&str], b: &[&str]) -> usize {
+            let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+            for i in 0..a.len() {
+                for j in 0..b.len() {
+                    dp[i + 1][j + 1] = if a[i] == b[j] {
+                        dp[i][j] + 1
+                    } else {
+                        dp[i][j + 1].max(dp[i + 1][j])
+                    };
+                }
+            }
+            dp[a.len()][b.len()]
+        }
+        let a = ["x", "a", "b", "c", "x", "d"];
+        let b = ["a", "y", "b", "d", "c"];
+        assert_eq!(lcs_length(&a, &b), oracle(&a, &b));
+    }
+}

@@ -1,0 +1,90 @@
+//! Set-based lexical similarity measures.
+//!
+//! Jaccard similarity over non-stop terms is used by the paper to select
+//! the UAT questions "more similar to frequent queries in the log of the
+//! previous system" (Section 8, Phase 3).
+
+use std::collections::HashSet;
+
+use crate::analyzer::{Analyzer, ItalianAnalyzer};
+
+/// Jaccard similarity between two term sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Returns 0.0 when both sets are empty.
+pub fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Jaccard similarity between two texts over their non-stop, stemmed
+/// terms (the paper's "Jaccard similarity of non-stop terms").
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let an = ItalianAnalyzer::new();
+    let sa: HashSet<String> = an.analyze(a).into_iter().collect();
+    let sb: HashSet<String> = an.analyze(b).into_iter().collect();
+    jaccard_sets(&sa, &sb)
+}
+
+/// Containment: fraction of `a`'s terms that also appear in `b`.
+///
+/// Asymmetric variant used by the duplicate-content analysis of the
+/// corpus generator (procedure/error documents that are near-identical).
+pub fn containment(a: &str, b: &str) -> f64 {
+    let an = ItalianAnalyzer::new();
+    let sa: HashSet<String> = an.analyze(a).into_iter().collect();
+    if sa.is_empty() {
+        return 0.0;
+    }
+    let sb: HashSet<String> = an.analyze(b).into_iter().collect();
+    sa.intersection(&sb).count() as f64 / sa.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_jaccard_one() {
+        assert!((jaccard("bonifico estero", "bonifico estero") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_texts_have_jaccard_zero() {
+        assert_eq!(jaccard("bonifico", "mutuo"), 0.0);
+    }
+
+    #[test]
+    fn both_empty_is_zero() {
+        assert_eq!(jaccard("", ""), 0.0);
+    }
+
+    #[test]
+    fn stopwords_do_not_count() {
+        // Only content terms matter: "il" and "per" are ignored.
+        assert!((jaccard("il bonifico", "bonifico per") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric() {
+        let a = "apertura conto corrente filiale";
+        let b = "chiusura conto corrente online";
+        assert!((jaccard(a, b) - jaccard(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_is_asymmetric() {
+        let short = "errore pos";
+        let long = "errore pos terminale pagamento carta";
+        assert!((containment(short, long) - 1.0).abs() < 1e-12);
+        assert!(containment(long, short) < 1.0);
+    }
+
+    #[test]
+    fn morphological_variants_match_via_stemming() {
+        assert!(jaccard("bonifici esteri", "bonifico estero") > 0.99);
+    }
+}

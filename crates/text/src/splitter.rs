@@ -1,0 +1,280 @@
+//! Document chunking strategies.
+//!
+//! Building the index requires splitting long documents into chunks of at
+//! most 512 (approximate) tokens — the size at which the embedding model
+//! performs well. The paper evaluated two strategies:
+//!
+//! * [`RecursiveCharacterTextSplitter`] — a port of LangChain's generic
+//!   splitter: split on a cascade of separators (paragraph break, line
+//!   break, sentence end, space, character) until chunks are small
+//!   enough. The paper found it produced *noisy* chunks on the KB.
+//! * [`HtmlParagraphSplitter`] — the production strategy: use the start
+//!   offsets of HTML paragraphs as splitting points, so chunks follow
+//!   the structure the human editor designed, and recursively merge
+//!   consecutive small chunks until the desired length is reached.
+
+use crate::html::HtmlDocument;
+use crate::tokens::approx_token_count;
+
+/// A chunk of document text ready for indexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Chunk text.
+    pub text: String,
+    /// Ordinal of the chunk within its document (0-based).
+    pub ordinal: usize,
+}
+
+/// Strategy interface for splitting plain text into chunks.
+pub trait TextSplitter {
+    /// Split `text` into chunks of at most the configured token budget
+    /// (a single unsplittable unit longer than the budget is emitted
+    /// as-is rather than truncated — retrieval must never lose content).
+    fn split(&self, text: &str) -> Vec<Chunk>;
+}
+
+/// Port of LangChain's `RecursiveCharacterTextSplitter`.
+///
+/// Tries separators in order; whenever a piece still exceeds the budget
+/// it is re-split with the next separator in the cascade. Adjacent small
+/// pieces are greedily packed back together up to the budget.
+#[derive(Debug, Clone)]
+pub struct RecursiveCharacterTextSplitter {
+    /// Maximum chunk size, in approximate tokens.
+    pub max_tokens: usize,
+    /// Separator cascade, coarsest first.
+    pub separators: Vec<String>,
+}
+
+impl RecursiveCharacterTextSplitter {
+    /// Create a splitter with the default LangChain separator cascade.
+    pub fn new(max_tokens: usize) -> Self {
+        Self {
+            max_tokens,
+            separators: vec!["\n\n".into(), "\n".into(), ". ".into(), " ".into()],
+        }
+    }
+
+    fn split_rec(&self, text: &str, sep_idx: usize, out: &mut Vec<String>) {
+        if approx_token_count(text) <= self.max_tokens || sep_idx >= self.separators.len() {
+            if !text.trim().is_empty() {
+                out.push(text.trim().to_string());
+            }
+            return;
+        }
+        let sep = &self.separators[sep_idx];
+        let pieces: Vec<&str> = text.split(sep.as_str()).collect();
+        if pieces.len() == 1 {
+            // Separator absent; try the next one.
+            self.split_rec(text, sep_idx + 1, out);
+            return;
+        }
+        for piece in pieces {
+            self.split_rec(piece, sep_idx + 1, out);
+        }
+    }
+}
+
+impl TextSplitter for RecursiveCharacterTextSplitter {
+    fn split(&self, text: &str) -> Vec<Chunk> {
+        let mut pieces = Vec::new();
+        self.split_rec(text, 0, &mut pieces);
+        pack_pieces(&pieces, self.max_tokens)
+    }
+}
+
+/// Greedily merge consecutive pieces while staying within `max_tokens`.
+fn pack_pieces(pieces: &[String], max_tokens: usize) -> Vec<Chunk> {
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut current = String::new();
+    let mut current_tokens = 0usize;
+    for piece in pieces {
+        let t = approx_token_count(piece);
+        if current_tokens > 0 && current_tokens + t > max_tokens {
+            chunks.push(Chunk {
+                text: std::mem::take(&mut current),
+                ordinal: chunks.len(),
+            });
+            current_tokens = 0;
+        }
+        if !current.is_empty() {
+            current.push('\n');
+        }
+        current.push_str(piece);
+        current_tokens += t;
+    }
+    if !current.is_empty() {
+        chunks.push(Chunk {
+            text: current,
+            ordinal: chunks.len(),
+        });
+    }
+    chunks
+}
+
+/// The production chunker: HTML paragraph offsets as splitting points,
+/// with recursive merging of consecutive small chunks.
+#[derive(Debug, Clone)]
+pub struct HtmlParagraphSplitter {
+    /// Maximum chunk size, in approximate tokens.
+    pub max_tokens: usize,
+    /// Merge threshold: paragraphs shorter than this keep merging with
+    /// their successor (defaults to `max_tokens`, i.e. merge as long as
+    /// the budget allows).
+    pub min_tokens: usize,
+}
+
+impl HtmlParagraphSplitter {
+    /// Create a splitter with the given token budget.
+    pub fn new(max_tokens: usize) -> Self {
+        Self {
+            max_tokens,
+            min_tokens: max_tokens / 4,
+        }
+    }
+
+    /// Split a parsed HTML document along its paragraph boundaries.
+    pub fn split_document(&self, doc: &HtmlDocument) -> Vec<Chunk> {
+        let paragraphs: Vec<String> = doc.paragraphs.iter().map(|p| p.text.clone()).collect();
+        self.split_paragraphs(&paragraphs)
+    }
+
+    /// Core merging loop over pre-extracted paragraph texts.
+    pub fn split_paragraphs(&self, paragraphs: &[String]) -> Vec<Chunk> {
+        // First pass: any single paragraph above the budget is split with
+        // the recursive splitter (rare: the KB averages 7.6 paragraphs of
+        // modest size, but robustness requires it).
+        let mut units: Vec<String> = Vec::with_capacity(paragraphs.len());
+        let fallback = RecursiveCharacterTextSplitter::new(self.max_tokens);
+        for p in paragraphs {
+            if approx_token_count(p) > self.max_tokens {
+                units.extend(fallback.split(p).into_iter().map(|c| c.text));
+            } else if !p.trim().is_empty() {
+                units.push(p.trim().to_string());
+            }
+        }
+        // Second pass: recursively merge consecutive small chunks until
+        // the desired length is obtained.
+        pack_pieces(&units, self.max_tokens)
+    }
+}
+
+impl TextSplitter for HtmlParagraphSplitter {
+    fn split(&self, text: &str) -> Vec<Chunk> {
+        let paragraphs: Vec<String> = text
+            .split('\n')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        self.split_paragraphs(&paragraphs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse_html;
+
+    fn words(n: usize, tag: &str) -> String {
+        (0..n).map(|i| format!("{tag}{i}")).collect::<Vec<_>>().join(" ")
+    }
+
+    #[test]
+    fn short_text_is_one_chunk() {
+        let s = RecursiveCharacterTextSplitter::new(512);
+        let chunks = s.split("breve testo di prova");
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].ordinal, 0);
+    }
+
+    #[test]
+    fn empty_text_yields_no_chunks() {
+        let s = RecursiveCharacterTextSplitter::new(512);
+        assert!(s.split("").is_empty());
+        let h = HtmlParagraphSplitter::new(512);
+        assert!(h.split("").is_empty());
+    }
+
+    #[test]
+    fn long_text_is_split_within_budget() {
+        let s = RecursiveCharacterTextSplitter::new(50);
+        let text = format!("{}\n\n{}\n\n{}", words(60, "a"), words(60, "b"), words(60, "c"));
+        let chunks = s.split(&text);
+        assert!(chunks.len() >= 3);
+        for c in &chunks {
+            assert!(
+                approx_token_count(&c.text) <= 60,
+                "chunk exceeds budget: {} tokens",
+                approx_token_count(&c.text)
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_all_words() {
+        let s = RecursiveCharacterTextSplitter::new(40);
+        let text = format!("{}. {}. {}", words(30, "x"), words(30, "y"), words(30, "z"));
+        let chunks = s.split(&text);
+        let rejoined: String = chunks.iter().map(|c| c.text.clone()).collect::<Vec<_>>().join(" ");
+        for i in 0..30 {
+            for t in ["x", "y", "z"] {
+                assert!(rejoined.contains(&format!("{t}{i}")), "lost word {t}{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn html_splitter_respects_paragraph_boundaries() {
+        let html = format!(
+            "<p>{}</p><p>{}</p>",
+            words(40, "p"),
+            words(40, "q")
+        );
+        let doc = parse_html(&html);
+        let s = HtmlParagraphSplitter::new(45);
+        let chunks = s.split_document(&doc);
+        // Budget fits one paragraph but not two: each paragraph intact.
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].text.contains("p0") && !chunks[0].text.contains("q0"));
+        assert!(chunks[1].text.contains("q0"));
+    }
+
+    #[test]
+    fn html_splitter_merges_small_paragraphs() {
+        let html = "<p>uno</p><p>due</p><p>tre</p>";
+        let doc = parse_html(html);
+        let s = HtmlParagraphSplitter::new(512);
+        let chunks = s.split_document(&doc);
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].text.contains("uno") && chunks[0].text.contains("tre"));
+    }
+
+    #[test]
+    fn oversized_single_paragraph_falls_back_to_recursive() {
+        let html = format!("<p>{}</p>", words(200, "w"));
+        let doc = parse_html(&html);
+        let s = HtmlParagraphSplitter::new(50);
+        let chunks = s.split_document(&doc);
+        assert!(chunks.len() > 1);
+    }
+
+    #[test]
+    fn ordinals_are_sequential() {
+        let s = RecursiveCharacterTextSplitter::new(30);
+        let chunks = s.split(&words(200, "n"));
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.ordinal, i);
+        }
+    }
+
+    #[test]
+    fn unsplittable_unit_is_emitted_not_truncated() {
+        // One giant "word" with no separators cannot be split; we keep it.
+        let s = RecursiveCharacterTextSplitter::new(2);
+        let giant = "x".repeat(100);
+        let chunks = s.split(&giant);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].text, giant);
+    }
+}

@@ -1,0 +1,130 @@
+//! Light Italian stemmer.
+//!
+//! An implementation of the *Italian light stemmer* in the spirit of
+//! Savoy's algorithm (the variant Lucene ships as
+//! `ItalianLightStemFilter`): it removes final vowels marking gender and
+//! number, normalizes plural/singular suffix pairs, and strips a small
+//! set of derivational endings. Light stemming is preferable to the full
+//! Snowball stemmer for short, jargon-heavy banking documents because it
+//! never over-stems codes or acronyms.
+//!
+//! The stemmer operates on lower-cased words. Words shorter than four
+//! characters, or containing digits, are returned unchanged — this keeps
+//! error codes (`e4521`) and acronyms stable.
+
+/// Replace accented vowels with their plain form (Lucene does the same
+/// normalization before stemming Italian).
+fn normalize_accents(word: &str) -> String {
+    word.chars()
+        .map(|c| match c {
+            'à' | 'á' | 'â' => 'a',
+            'è' | 'é' | 'ê' => 'e',
+            'ì' | 'í' | 'î' => 'i',
+            'ò' | 'ó' | 'ô' => 'o',
+            'ù' | 'ú' | 'û' => 'u',
+            other => other,
+        })
+        .collect()
+}
+
+/// Stem a single lower-cased Italian word.
+///
+/// Returns the stemmed form; the input is returned unchanged (modulo
+/// accent normalization) when no rule applies.
+pub fn italian_stem(word: &str) -> String {
+    let w = normalize_accents(word);
+    if w.chars().count() < 4 || w.chars().any(|c| c.is_ascii_digit()) {
+        return w;
+    }
+    let chars: Vec<char> = w.chars().collect();
+    let n = chars.len();
+
+    // Derivational suffixes, longest first. Only strip when a stem of at
+    // least three characters remains.
+    const SUFFIXES: &[&str] = &[
+        "azione", "azioni", "amento", "amenti", "imento", "imenti", "mente", "abile", "abili",
+        "ibile", "ibili", "atore", "atori", "atrice", "atrici", "ista", "iste", "isti", "oso",
+        "osa", "osi", "ose",
+    ];
+    for suf in SUFFIXES {
+        let sl = suf.chars().count();
+        if n > sl + 2 && w.ends_with(suf) {
+            let stem: String = chars[..n - sl].iter().collect();
+            return stem;
+        }
+    }
+
+    // Inflectional endings: map plural endings to a canonical stem by
+    // dropping the final vowel(s). Handles the common -e/-i plurals and
+    // the -ch-/-gh- insertion of -co/-ca plurals (banche → banc).
+    let last = chars[n - 1];
+    match last {
+        'e' | 'i' | 'a' | 'o' => {
+            let mut end = n - 1;
+            // "-ie"/"-ii" style double vowels: drop both.
+            if end >= 1 && matches!(chars[end - 1], 'i') && matches!(last, 'e' | 'i') && end > 3 {
+                end -= 1;
+            }
+            let mut stem: String = chars[..end].iter().collect();
+            // Normalize the "h" inserted before e/i in -che/-chi, -ghe/-ghi.
+            if stem.ends_with("ch") || stem.ends_with("gh") {
+                stem.pop();
+            }
+            stem
+        }
+        _ => w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_and_singular_share_a_stem() {
+        assert_eq!(italian_stem("conto"), italian_stem("conti"));
+        assert_eq!(italian_stem("bonifico"), italian_stem("bonifici"));
+        assert_eq!(italian_stem("carta"), italian_stem("carte"));
+        assert_eq!(italian_stem("mutuo"), italian_stem("mutui"));
+    }
+
+    #[test]
+    fn ch_gh_plurals_match() {
+        assert_eq!(italian_stem("banca"), italian_stem("banche"));
+        assert_eq!(italian_stem("riga"), italian_stem("righe"));
+    }
+
+    #[test]
+    fn derivational_suffixes_are_stripped() {
+        assert_eq!(italian_stem("autorizzazione"), "autorizz");
+        assert_eq!(italian_stem("autorizzazioni"), "autorizz");
+        assert_eq!(italian_stem("pagamento"), "pag");
+        assert_eq!(italian_stem("pagamenti"), "pag");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(italian_stem("no"), "no");
+        assert_eq!(italian_stem("iban"), "iban");
+    }
+
+    #[test]
+    fn codes_with_digits_unchanged() {
+        assert_eq!(italian_stem("e4521"), "e4521");
+        assert_eq!(italian_stem("05034"), "05034");
+    }
+
+    #[test]
+    fn accents_normalized() {
+        assert_eq!(italian_stem("attività"), italian_stem("attivita"));
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_samples() {
+        for w in ["bonifico", "autorizzazione", "banche", "operativo", "filiale"] {
+            let once = italian_stem(w);
+            let twice = italian_stem(&once);
+            assert_eq!(once, twice, "stem of {w} not idempotent");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Italian stop-word list.
+//!
+//! The list replicates the function of the stop set used by Lucene's
+//! Italian analyzer (`it-analyzer-lucene-full` in the paper): articles,
+//! prepositions, pronouns, common auxiliaries and conjunctions. Matching
+//! is performed on lower-cased tokens *before* stemming.
+
+/// The Italian stop words, lower-case, sorted (binary-searchable).
+pub const ITALIAN_STOPWORDS: &[&str] = &[
+    "a", "abbia", "abbiamo", "abbiano", "ad", "agli", "ai", "al", "alla", "alle", "allo", "anche",
+    "avere", "avete", "aveva", "avevano", "avevo", "c", "che", "chi", "ci", "coi", "col", "come",
+    "con", "contro", "cui", "d", "da", "dagli", "dai", "dal", "dalla", "dalle", "dallo", "degli",
+    "dei", "del", "dell", "della", "delle", "dello", "di", "dove", "e", "ed", "era", "erano",
+    "essere", "fra", "gli", "ha", "hanno", "ho", "i", "il", "in", "io", "l", "la", "le", "lei",
+    "li", "lo", "loro", "lui", "ma", "mi", "mia", "mie", "miei", "mio", "ne", "negli", "nei",
+    "nel", "nella", "nelle", "nello", "noi", "non", "nostra", "nostre", "nostri", "nostro", "o",
+    "per", "perché", "però", "più", "può", "qual", "quale", "quali", "quando", "quanto", "quella",
+    "quelle", "quelli", "quello", "questa", "queste", "questi", "questo", "se", "sei", "si", "sia",
+    "siamo", "siano", "sono", "sopra", "sotto", "sta", "stata", "state", "stati", "stato", "su",
+    "sua", "sue", "sugli", "sui", "sul", "sulla", "sulle", "sullo", "suo", "suoi", "te", "ti",
+    "tra", "tu", "tua", "tue", "tuo", "tuoi", "un", "una", "uno", "vi", "voi", "vostra", "vostre",
+    "vostri", "vostro", "è",
+];
+
+/// Returns `true` if `word` (already lower-cased) is an Italian stop word.
+pub fn is_stopword(word: &str) -> bool {
+    ITALIAN_STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduplicated() {
+        for w in ITALIAN_STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn recognizes_common_stopwords() {
+        for w in ["il", "la", "di", "che", "è", "per", "non", "una"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn rejects_content_words() {
+        for w in ["bonifico", "conto", "mutuo", "errore", "carta"] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn matching_is_case_sensitive_lowercase_contract() {
+        // The contract is lower-cased input; upper-case forms are not found.
+        assert!(!is_stopword("IL"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Unicode-aware word tokenizer.
+//!
+//! The tokenizer mirrors what Lucene's standard tokenizer does for
+//! Italian text closely enough for retrieval purposes: it emits maximal
+//! runs of alphanumeric characters, treating apostrophes as separators
+//! (Italian elision: `l'estratto` → `l`, `estratto`) and keeping digits
+//! inside tokens so error codes like `E4521` survive intact.
+
+/// A token with its byte offsets into the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, as a slice of the input.
+    pub text: &'a str,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+/// Iterator over the tokens of a string.
+pub struct Tokens<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        let bytes = self.input.as_bytes();
+        let len = bytes.len();
+        // Skip non-token characters.
+        let mut start = self.pos;
+        while start < len {
+            let ch = next_char(self.input, start);
+            if is_token_char(ch) {
+                break;
+            }
+            start += ch.len_utf8();
+        }
+        if start >= len {
+            self.pos = len;
+            return None;
+        }
+        let mut end = start;
+        while end < len {
+            let ch = next_char(self.input, end);
+            if !is_token_char(ch) {
+                break;
+            }
+            end += ch.len_utf8();
+        }
+        self.pos = end;
+        Some(Token {
+            text: &self.input[start..end],
+            start,
+            end,
+        })
+    }
+}
+
+#[inline]
+fn next_char(s: &str, at: usize) -> char {
+    // `at` is always on a char boundary by construction.
+    s[at..].chars().next().expect("offset within bounds")
+}
+
+/// Whether a character is part of a token.
+#[inline]
+pub fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// Tokenize `input`, returning an iterator of [`Token`]s.
+pub fn tokenize(input: &str) -> Tokens<'_> {
+    Tokens { input, pos: 0 }
+}
+
+/// Tokenize and collect token texts (convenience for tests and callers
+/// that do not need offsets).
+pub fn token_texts(input: &str) -> Vec<&str> {
+    tokenize(input).map(|t| t.text).collect()
+}
+
+/// Split text into sentences on `.`, `!`, `?`, `;` and newlines.
+///
+/// Used by the analyzer's sentence-splitting stage and by the extractive
+/// generator in `uniask-llm`. Returns non-empty trimmed sentence slices.
+pub fn split_sentences(input: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let bytes = input.as_bytes();
+    for (i, c) in input.char_indices() {
+        if matches!(c, '.' | '!' | '?' | ';' | '\n') {
+            // A '.' between two digits is a thousands/decimal separator
+            // ("2.500 euro"), not a sentence boundary.
+            if c == '.'
+                && i > 0
+                && bytes[i - 1].is_ascii_digit()
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                continue;
+            }
+            let s = input[start..i].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            start = i + c.len_utf8();
+        }
+    }
+    let tail = input[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_has_no_tokens() {
+        assert!(token_texts("").is_empty());
+        assert!(token_texts("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            token_texts("Apertura conto: il bonifico, SEPA."),
+            vec!["Apertura", "conto", "il", "bonifico", "SEPA"]
+        );
+    }
+
+    #[test]
+    fn apostrophe_separates_elision() {
+        assert_eq!(token_texts("l'estratto conto"), vec!["l", "estratto", "conto"]);
+    }
+
+    #[test]
+    fn keeps_error_codes_intact() {
+        assert_eq!(token_texts("errore E4521 su ABI-05034"), vec!["errore", "E4521", "su", "ABI", "05034"]);
+    }
+
+    #[test]
+    fn handles_accented_italian() {
+        assert_eq!(token_texts("è già attività"), vec!["è", "già", "attività"]);
+    }
+
+    #[test]
+    fn offsets_are_correct() {
+        let input = "uno due";
+        let toks: Vec<_> = tokenize(input).collect();
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[0].end, 3);
+        assert_eq!(toks[1].start, 4);
+        assert_eq!(toks[1].end, 7);
+        assert_eq!(&input[toks[1].start..toks[1].end], "due");
+    }
+
+    #[test]
+    fn sentences_split_on_terminators() {
+        let s = split_sentences("Prima frase. Seconda frase! Terza; quarta\nquinta");
+        assert_eq!(s, vec!["Prima frase", "Seconda frase", "Terza", "quarta", "quinta"]);
+    }
+
+    #[test]
+    fn sentences_on_empty() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("...").is_empty());
+    }
+}
+
+#[cfg(test)]
+mod decimal_tests {
+    use super::split_sentences;
+
+    #[test]
+    fn thousands_separators_do_not_split_sentences() {
+        let s = split_sentences("Il limite è pari a 2.500 euro. Fine.");
+        assert_eq!(s, vec!["Il limite è pari a 2.500 euro", "Fine"]);
+    }
+
+    #[test]
+    fn trailing_number_period_still_terminates() {
+        let s = split_sentences("Il limite è 500. Il resto segue");
+        assert_eq!(s, vec!["Il limite è 500", "Il resto segue"]);
+    }
+}

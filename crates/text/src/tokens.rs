@@ -1,0 +1,89 @@
+//! Approximate LLM-token counting.
+//!
+//! The indexing service limits chunks to 512 tokens because the paper's
+//! embedding model works best at that size, and the LLM service bills
+//! and rate-limits by token. We approximate a BPE tokenizer's count the
+//! way practitioners do for Italian text: roughly one token per four
+//! characters of a word, with a floor of one token per word, plus one
+//! token per punctuation run.
+
+/// Approximate the number of LLM (BPE) tokens in `text`.
+pub fn approx_token_count(text: &str) -> usize {
+    let mut count = 0usize;
+    let mut word_chars = 0usize;
+    let mut in_punct_run = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            word_chars += 1;
+            in_punct_run = false;
+        } else {
+            if word_chars > 0 {
+                count += word_tokens(word_chars);
+                word_chars = 0;
+            }
+            if !c.is_whitespace() && !in_punct_run {
+                count += 1;
+                in_punct_run = true;
+            }
+            if c.is_whitespace() {
+                in_punct_run = false;
+            }
+        }
+    }
+    if word_chars > 0 {
+        count += word_tokens(word_chars);
+    }
+    count
+}
+
+/// Tokens attributed to a word of `chars` characters: ceil(chars / 4),
+/// minimum one.
+#[inline]
+fn word_tokens(chars: usize) -> usize {
+    chars.div_ceil(4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(approx_token_count(""), 0);
+        assert_eq!(approx_token_count("   "), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(approx_token_count("il re"), 2);
+    }
+
+    #[test]
+    fn long_words_cost_more() {
+        // "amministrazione" = 15 chars -> ceil(15/4) = 4 tokens.
+        assert_eq!(approx_token_count("amministrazione"), 4);
+    }
+
+    #[test]
+    fn punctuation_counts_once_per_run() {
+        assert_eq!(approx_token_count("ciao..."), 2 + 1 - 1); // "ciao" (1) + "..." (1)
+    }
+
+    #[test]
+    fn grows_roughly_linearly() {
+        let one = approx_token_count("parola distinta qui presente");
+        let two = approx_token_count("parola distinta qui presente parola distinta qui presente");
+        assert_eq!(two, one * 2);
+    }
+
+    #[test]
+    fn count_is_monotone_in_concatenation() {
+        let a = "apertura del conto corrente";
+        let b = "bonifico istantaneo verso estero";
+        let joined = format!("{a} {b}");
+        assert_eq!(
+            approx_token_count(&joined),
+            approx_token_count(a) + approx_token_count(b)
+        );
+    }
+}

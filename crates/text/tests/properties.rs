@@ -1,0 +1,156 @@
+//! Property-based tests of the text substrate.
+
+use proptest::prelude::*;
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer, KeywordAnalyzer};
+use uniask_text::html::parse_html;
+use uniask_text::rouge::{lcs_length, rouge_l, rouge_l_tokens};
+use uniask_text::splitter::{RecursiveCharacterTextSplitter, TextSplitter};
+use uniask_text::stemmer::italian_stem;
+use uniask_text::tokenizer::{split_sentences, tokenize};
+use uniask_text::tokens::approx_token_count;
+
+/// Arbitrary Italian-ish text: words over a small alphabet with
+/// accents, punctuation and digits mixed in.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zàèìòù]{1,12}|[0-9]{1,5}|[.,;!?]", 0..60)
+        .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tokenizer_offsets_are_consistent(text in text_strategy()) {
+        for tok in tokenize(&text) {
+            prop_assert_eq!(&text[tok.start..tok.end], tok.text);
+            prop_assert!(tok.start < tok.end);
+            prop_assert!(tok.text.chars().all(char::is_alphanumeric));
+        }
+    }
+
+    #[test]
+    fn tokens_never_overlap_and_are_ordered(text in text_strategy()) {
+        let mut last_end = 0usize;
+        for tok in tokenize(&text) {
+            prop_assert!(tok.start >= last_end);
+            last_end = tok.end;
+        }
+    }
+
+    #[test]
+    fn stemming_never_grows_words(word in "[a-zàèìòù]{1,20}") {
+        let stem = italian_stem(&word);
+        prop_assert!(stem.chars().count() <= word.chars().count() + 1,
+            "stem `{}` longer than `{}`", stem, word);
+        prop_assert!(!stem.is_empty());
+    }
+
+    #[test]
+    fn analysis_is_case_invariant(text in text_strategy()) {
+        // Index/query symmetry: the same content typed in any casing
+        // produces the same terms (the UAT "special cases" rely on it).
+        let analyzer = ItalianAnalyzer::new();
+        prop_assert_eq!(
+            analyzer.analyze(&text),
+            analyzer.analyze(&text.to_uppercase())
+        );
+    }
+
+    #[test]
+    fn keyword_analyzer_is_lossless_lowercase(text in text_strategy()) {
+        let analyzer = KeywordAnalyzer::new();
+        let terms = analyzer.analyze(&text);
+        let raw: Vec<String> = tokenize(&text).map(|t| t.text.to_lowercase()).collect();
+        prop_assert_eq!(terms, raw);
+    }
+
+    #[test]
+    fn rouge_is_bounded_and_self_identical(a in text_strategy(), b in text_strategy()) {
+        let s = rouge_l(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.precision));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.recall));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.f_measure));
+        if !a.trim().is_empty() && tokenize(&a).next().is_some() {
+            let self_score = rouge_l(&a, &a);
+            prop_assert!((self_score.f_measure - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lcs_is_symmetric_and_bounded(
+        a in proptest::collection::vec(0u8..5, 0..30),
+        b in proptest::collection::vec(0u8..5, 0..30),
+    ) {
+        let l = lcs_length(&a, &b);
+        prop_assert_eq!(l, lcs_length(&b, &a));
+        prop_assert!(l <= a.len().min(b.len()));
+        // LCS against itself is the full length.
+        prop_assert_eq!(lcs_length(&a, &a), a.len());
+    }
+
+    #[test]
+    fn rouge_tokens_subsequence_has_full_recall(
+        reference in proptest::collection::vec(0u8..6, 1..25),
+        mask in proptest::collection::vec(any::<bool>(), 1..25),
+    ) {
+        // Any subsequence of the reference achieves precision 1.
+        let candidate: Vec<u8> = reference
+            .iter()
+            .zip(mask.iter().chain(std::iter::repeat(&true)))
+            .filter(|(_, keep)| **keep)
+            .map(|(v, _)| *v)
+            .collect();
+        if !candidate.is_empty() {
+            let s = rouge_l_tokens(&candidate, &reference);
+            prop_assert!((s.precision - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn splitter_preserves_all_tokens(text in text_strategy(), budget in 8usize..64) {
+        let splitter = RecursiveCharacterTextSplitter::new(budget);
+        let chunks = splitter.split(&text);
+        let original: Vec<String> = tokenize(&text).map(|t| t.text.to_string()).collect();
+        let mut rejoined: Vec<String> = Vec::new();
+        for c in &chunks {
+            rejoined.extend(tokenize(&c.text).map(|t| t.text.to_string()));
+        }
+        // Chunking is lossless at the token level (order preserved).
+        prop_assert_eq!(original, rejoined);
+    }
+
+    #[test]
+    fn splitter_ordinals_are_dense(text in text_strategy(), budget in 8usize..64) {
+        let splitter = RecursiveCharacterTextSplitter::new(budget);
+        for (i, c) in splitter.split(&text).iter().enumerate() {
+            prop_assert_eq!(c.ordinal, i);
+        }
+    }
+
+    #[test]
+    fn token_count_is_subadditive_under_concat(a in text_strategy(), b in text_strategy()) {
+        let joined = format!("{a} {b}");
+        let total = approx_token_count(&joined);
+        prop_assert!(total <= approx_token_count(&a) + approx_token_count(&b) + 1);
+    }
+
+    #[test]
+    fn sentences_cover_all_words(text in text_strategy()) {
+        let words: usize = tokenize(&text).count();
+        let in_sentences: usize = split_sentences(&text)
+            .iter()
+            .map(|s| tokenize(s).count())
+            .sum();
+        prop_assert_eq!(words, in_sentences);
+    }
+
+    #[test]
+    fn html_parser_never_panics_and_strips_tags(raw in "[a-z<>/&;p ]{0,200}") {
+        let doc = parse_html(&raw);
+        for p in &doc.paragraphs {
+            prop_assert!(!p.text.contains('<') || raw.contains("<"),
+                "visible text should not invent angle brackets");
+            prop_assert!(!p.text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Embedding adapters (the paper's §11 future work).
+//!
+//! "We will test further improvements for the retrieval module, e.g.
+//! fine tuning the embedding model with internal data, or by using
+//! embedding adapters." An adapter re-weights the frozen embedding
+//! space with a learned diagonal transform: cheap to train on the
+//! validation datasets' (query, relevant-document) pairs, cheap to
+//! apply at both index and query time, and reversible.
+//!
+//! Training minimizes a pairwise hinge loss over triples
+//! `(query, positive, negative)`:
+//!
+//! ```text
+//! s(a, b) = Σ_i w_i² · a_i · b_i          (diagonal re-weighting)
+//! L = max(0, margin − s(q, p) + s(q, n))
+//! ```
+//!
+//! with plain SGD on `w` (initialized at 1 so the untrained adapter is
+//! the identity).
+
+use std::sync::Arc;
+
+use crate::distance::normalize;
+use crate::embedding::Embedder;
+
+/// A trained diagonal adapter over an embedding space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingAdapter {
+    weights: Vec<f32>,
+}
+
+impl EmbeddingAdapter {
+    /// The identity adapter for dimension `dim`.
+    pub fn identity(dim: usize) -> Self {
+        EmbeddingAdapter {
+            weights: vec![1.0; dim],
+        }
+    }
+
+    /// Wrap explicit weights.
+    pub fn from_weights(weights: Vec<f32>) -> Self {
+        EmbeddingAdapter { weights }
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Dimension the adapter operates on.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Apply the adapter to a raw embedding and re-normalize.
+    pub fn apply(&self, vector: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(vector.len(), self.weights.len(), "dimension mismatch");
+        let mut out: Vec<f32> = vector
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, w)| x * w)
+            .collect();
+        normalize(&mut out);
+        out
+    }
+}
+
+/// A training triple: query, relevant document, irrelevant document
+/// (all raw, unadapted embeddings).
+#[derive(Debug, Clone)]
+pub struct Triple {
+    /// Query embedding.
+    pub query: Vec<f32>,
+    /// Embedding of a ground-truth relevant document.
+    pub positive: Vec<f32>,
+    /// Embedding of an irrelevant document.
+    pub negative: Vec<f32>,
+}
+
+/// SGD trainer for [`EmbeddingAdapter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdapterTrainer {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Passes over the training triples.
+    pub epochs: usize,
+    /// Hinge margin.
+    pub margin: f32,
+    /// L2 pull of the weights back toward 1 (keeps the adapter close
+    /// to the identity, as production adapters are regularized).
+    pub identity_reg: f32,
+}
+
+impl Default for AdapterTrainer {
+    fn default() -> Self {
+        AdapterTrainer {
+            learning_rate: 0.05,
+            epochs: 12,
+            margin: 0.10,
+            identity_reg: 1e-3,
+        }
+    }
+}
+
+impl AdapterTrainer {
+    /// Train an adapter of dimension `dim` on `triples`.
+    pub fn train(&self, dim: usize, triples: &[Triple]) -> EmbeddingAdapter {
+        let mut w = vec![1.0f32; dim];
+        for _ in 0..self.epochs {
+            for t in triples {
+                debug_assert_eq!(t.query.len(), dim);
+                // s(q, d) = Σ w_i² q_i d_i
+                let mut s_pos = 0.0f32;
+                let mut s_neg = 0.0f32;
+                for (((wi, q), p), n) in w.iter().zip(&t.query).zip(&t.positive).zip(&t.negative) {
+                    let w2 = wi * wi;
+                    s_pos += w2 * q * p;
+                    s_neg += w2 * q * n;
+                }
+                let violation = self.margin - s_pos + s_neg;
+                if violation > 0.0 {
+                    // ∂L/∂w_i = −2 w_i q_i (p_i − n_i)
+                    for (((wi, q), p), n) in
+                        w.iter_mut().zip(&t.query).zip(&t.positive).zip(&t.negative)
+                    {
+                        let grad = -2.0 * *wi * q * (p - n);
+                        *wi -= self.learning_rate * grad;
+                    }
+                }
+                // Identity regularization.
+                for wi in w.iter_mut() {
+                    *wi -= self.learning_rate * self.identity_reg * (*wi - 1.0) * 2.0;
+                }
+            }
+        }
+        // Weights must stay positive: a sign flip would invert the
+        // dimension's meaning for already-indexed vectors.
+        for wi in w.iter_mut() {
+            *wi = wi.max(0.01);
+        }
+        EmbeddingAdapter { weights: w }
+    }
+}
+
+/// An [`Embedder`] that applies an adapter on top of a frozen base.
+pub struct AdaptedEmbedder {
+    base: Arc<dyn Embedder>,
+    adapter: EmbeddingAdapter,
+}
+
+impl AdaptedEmbedder {
+    /// Wrap `base` with `adapter`.
+    ///
+    /// # Panics
+    /// Panics when the adapter dimension does not match the base.
+    pub fn new(base: Arc<dyn Embedder>, adapter: EmbeddingAdapter) -> Self {
+        assert_eq!(base.dim(), adapter.dim(), "adapter/base dimension mismatch");
+        AdaptedEmbedder { base, adapter }
+    }
+
+    /// The adapter in use.
+    pub fn adapter(&self) -> &EmbeddingAdapter {
+        &self.adapter
+    }
+}
+
+impl Embedder for AdaptedEmbedder {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let raw = self.base.embed(text);
+        if raw.iter().all(|&x| x == 0.0) {
+            return raw;
+        }
+        self.adapter.apply(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{cosine_similarity, dot};
+    use crate::embedding::SyntheticEmbedder;
+
+    #[test]
+    fn identity_adapter_is_a_noop_up_to_normalization() {
+        let a = EmbeddingAdapter::identity(4);
+        let v = {
+            let mut v = vec![0.5f32, -0.5, 0.5, -0.5];
+            normalize(&mut v);
+            v
+        };
+        let out = a.apply(&v);
+        assert!((cosine_similarity(&v, &out) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_separates_positive_from_negative() {
+        // Synthetic geometry: dimension 0 carries the relevance signal,
+        // dimension 1 carries noise shared with the negative.
+        let triples: Vec<Triple> = (0..20)
+            .map(|_| Triple {
+                query: vec![0.7, 0.7, 0.0, 0.0],
+                positive: vec![0.9, 0.1, 0.0, 0.0],
+                negative: vec![0.1, 0.9, 0.0, 0.0],
+            })
+            .collect();
+        let adapter = AdapterTrainer::default().train(4, &triples);
+        let w = adapter.weights();
+        assert!(
+            w[0] > w[1],
+            "signal dimension must be up-weighted: {w:?}"
+        );
+        // After adaptation the query is closer to the positive.
+        let q = adapter.apply(&triples[0].query);
+        let p = adapter.apply(&triples[0].positive);
+        let n = adapter.apply(&triples[0].negative);
+        assert!(dot(&q, &p) > dot(&q, &n));
+    }
+
+    #[test]
+    fn untrained_is_identity_and_weights_stay_positive() {
+        let adapter = AdapterTrainer::default().train(3, &[]);
+        for w in adapter.weights() {
+            assert!((w - 1.0).abs() < 1e-6);
+        }
+        let hostile = AdapterTrainer {
+            learning_rate: 10.0,
+            ..Default::default()
+        }
+        .train(
+            2,
+            &[Triple {
+                query: vec![1.0, 0.0],
+                positive: vec![-1.0, 0.0],
+                negative: vec![1.0, 0.0],
+            }],
+        );
+        for w in hostile.weights() {
+            assert!(*w > 0.0, "weights must remain positive: {w}");
+        }
+    }
+
+    #[test]
+    fn adapted_embedder_preserves_zero_vectors() {
+        let base = Arc::new(SyntheticEmbedder::new(16, 3));
+        let adapted = AdaptedEmbedder::new(base, EmbeddingAdapter::identity(16));
+        assert!(adapted.embed("il la per").iter().all(|&x| x == 0.0));
+        assert_eq!(adapted.dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let base = Arc::new(SyntheticEmbedder::new(16, 3));
+        let _ = AdaptedEmbedder::new(base, EmbeddingAdapter::identity(8));
+    }
+
+    #[test]
+    fn apply_renormalizes() {
+        let adapter = EmbeddingAdapter::from_weights(vec![3.0, 0.5]);
+        let out = adapter.apply(&[0.6, 0.8]);
+        let n = dot(&out, &out).sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,273 @@
+//! Deterministic synthetic text embeddings.
+//!
+//! UniAsk embeds document titles, chunk contents and queries with
+//! `text-embedding-ada-002`. That model is closed; we substitute a
+//! deterministic embedder that preserves the property the system
+//! actually relies on: *texts expressing the same concepts land close in
+//! the vector space even when their surface forms differ* (synonyms,
+//! plural/singular, paraphrase), while unrelated texts stay far apart.
+//!
+//! Construction:
+//! 1. analyze the text with the Italian chain (lower-case, stop-words,
+//!    light stem);
+//! 2. map each term through a pluggable [`TermNormalizer`] — the corpus
+//!    crate supplies one backed by its synonym table, collapsing all
+//!    surface forms of a domain concept to a single canonical id;
+//! 3. hash each normalized term to a stable pseudo-random Gaussian
+//!    direction in `dim` dimensions (seeded ChaCha8, so embeddings are
+//!    identical across runs and platforms);
+//! 4. sum directions weighted by `sqrt(tf)` plus lightly-weighted word
+//!    bigrams, and L2-normalize.
+//!
+//! Random directions in high dimension are near-orthogonal, so the
+//! cosine between two embeddings approximates the weighted overlap of
+//! their concept multisets — a faithful, cheap analogue of what a real
+//! sentence embedder provides for this retrieval workload.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+use uniask_text::ngram::word_ngrams;
+
+use crate::distance::normalize;
+
+pub use uniask_text::concepts::{IdentityNormalizer, TermNormalizer};
+
+/// Something that can embed text into a fixed-dimension vector.
+pub trait Embedder: Send + Sync {
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+    /// Embed `text` into an L2-normalized vector (zero vector for empty
+    /// or all-stop-word text).
+    fn embed(&self, text: &str) -> Vec<f32>;
+}
+
+/// The deterministic concept-hashing embedder described above.
+pub struct SyntheticEmbedder {
+    dim: usize,
+    seed: u64,
+    normalizer: Arc<dyn TermNormalizer>,
+    analyzer: ItalianAnalyzer,
+    /// Per-term direction cache; embedding a corpus re-uses directions.
+    cache: RwLock<HashMap<String, Arc<Vec<f32>>>>,
+    /// Weight of word-bigram directions relative to unigrams.
+    bigram_weight: f32,
+}
+
+impl std::fmt::Debug for SyntheticEmbedder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyntheticEmbedder")
+            .field("dim", &self.dim)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl SyntheticEmbedder {
+    /// Default production dimension (configurable; ada-002 uses 1536,
+    /// we default to 256 which preserves near-orthogonality at a
+    /// fraction of the memory).
+    pub const DEFAULT_DIM: usize = 256;
+
+    /// Create an embedder with the identity normalizer.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self::with_normalizer(dim, seed, Arc::new(IdentityNormalizer))
+    }
+
+    /// Create an embedder with a custom concept normalizer.
+    pub fn with_normalizer(dim: usize, seed: u64, normalizer: Arc<dyn TermNormalizer>) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        SyntheticEmbedder {
+            dim,
+            seed,
+            normalizer,
+            analyzer: ItalianAnalyzer::new(),
+            cache: RwLock::new(HashMap::new()),
+            bigram_weight: 0.25,
+        }
+    }
+
+    /// Stable Gaussian-ish direction for a term.
+    fn direction(&self, term: &str) -> Arc<Vec<f32>> {
+        if let Some(v) = self.cache.read().get(term) {
+            return Arc::clone(v);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ fnv1a(term));
+        let mut v: Vec<f32> = Vec::with_capacity(self.dim);
+        for _ in 0..self.dim {
+            // Sum of three uniforms ≈ Gaussian (Irwin–Hall), cheap and
+            // deterministic without extra dependencies.
+            let g: f32 =
+                rng.gen::<f32>() + rng.gen::<f32>() + rng.gen::<f32>() - 1.5;
+            v.push(g);
+        }
+        normalize(&mut v);
+        let v = Arc::new(v);
+        self.cache.write().insert(term.to_string(), Arc::clone(&v));
+        v
+    }
+}
+
+/// FNV-1a hash of a string (stable across platforms and runs).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Embedder for SyntheticEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let raw_terms = self.analyzer.analyze(text);
+        let terms: Vec<String> = raw_terms
+            .iter()
+            .map(|t| self.normalizer.normalize(t))
+            .collect();
+        let mut out = vec![0.0f32; self.dim];
+        if terms.is_empty() {
+            return out;
+        }
+        // Unigram contributions weighted by sqrt(tf). A BTreeMap keeps
+        // the floating-point accumulation order stable, so embeddings
+        // are bit-identical across embedder instances and runs.
+        let mut tf: std::collections::BTreeMap<&str, f32> = std::collections::BTreeMap::new();
+        for t in &terms {
+            *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
+        }
+        for (term, count) in &tf {
+            let dir = self.direction(term);
+            let w = count.sqrt();
+            for (o, d) in out.iter_mut().zip(dir.iter()) {
+                *o += w * d;
+            }
+        }
+        // Bigram contributions mix in word order.
+        if self.bigram_weight > 0.0 {
+            for bg in word_ngrams(&terms, 2) {
+                let dir = self.direction(&bg);
+                for (o, d) in out.iter_mut().zip(dir.iter()) {
+                    *o += self.bigram_weight * d;
+                }
+            }
+        }
+        normalize(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::cosine_similarity;
+
+    fn embedder() -> SyntheticEmbedder {
+        SyntheticEmbedder::new(128, 7)
+    }
+
+    #[test]
+    fn embeddings_are_unit_length() {
+        let e = embedder();
+        let v = e.embed("apertura del conto corrente");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = embedder();
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+        // All-stopword text also has no concepts.
+        assert!(e.embed("il la per che").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let a = SyntheticEmbedder::new(64, 42).embed("bonifico estero");
+        let b = SyntheticEmbedder::new(64, 42).embed("bonifico estero");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_spaces() {
+        let a = SyntheticEmbedder::new(64, 1).embed("bonifico estero");
+        let b = SyntheticEmbedder::new(64, 2).embed("bonifico estero");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn morphological_variants_are_close() {
+        let e = embedder();
+        let sing = e.embed("bonifico estero");
+        let plur = e.embed("bonifici esteri");
+        assert!(cosine_similarity(&sing, &plur) > 0.9);
+    }
+
+    #[test]
+    fn unrelated_texts_are_far() {
+        let e = embedder();
+        let a = e.embed("richiesta mutuo prima casa tasso fisso");
+        let b = e.embed("errore terminale pos pagamento carta");
+        assert!(cosine_similarity(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn shared_concepts_raise_similarity() {
+        let e = embedder();
+        let a = e.embed("blocco della carta di credito smarrita");
+        let b = e.embed("carta di credito bloccata dopo smarrimento");
+        let c = e.embed("calendario festività filiali");
+        assert!(
+            cosine_similarity(&a, &b) > cosine_similarity(&a, &c),
+            "overlapping text must be closer than unrelated text"
+        );
+    }
+
+    #[test]
+    fn synonym_normalizer_collapses_terms() {
+        struct Syn;
+        impl TermNormalizer for Syn {
+            fn normalize(&self, term: &str) -> String {
+                // Toy synonym table: "assegno" and "cheque" same concept.
+                // Terms arrive already stemmed by the Italian chain.
+                if term == "chequ" { "assegn".to_string() } else { term.to_string() }
+            }
+        }
+        let plain = SyntheticEmbedder::new(128, 7);
+        let syn = SyntheticEmbedder::with_normalizer(128, 7, Arc::new(Syn));
+        let a = syn.embed("incasso cheque circolare");
+        let b = syn.embed("incasso assegno circolare");
+        let pa = plain.embed("incasso cheque circolare");
+        let pb = plain.embed("incasso assegno circolare");
+        assert!(cosine_similarity(&a, &b) > 0.99, "synonyms collapse with normalizer");
+        assert!(cosine_similarity(&pa, &pb) < 0.9, "without normalizer they differ");
+    }
+
+    #[test]
+    fn dim_is_reported() {
+        assert_eq!(embedder().dim(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = SyntheticEmbedder::new(0, 1);
+    }
+
+    #[test]
+    fn direction_cache_is_consistent() {
+        let e = embedder();
+        let first = e.embed("parola rara");
+        let second = e.embed("parola rara");
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,119 @@
+//! Exhaustive (flat) k-nearest-neighbour index.
+//!
+//! The exact baseline against which HNSW recall is measured. The paper
+//! notes that "HNSW and exhaustive k-Nearest Neighbors yield similar
+//! retrieval performance" on the UniAsk workload; integration tests
+//! reproduce that observation.
+
+use crate::distance::{dot, normalize};
+use crate::{Neighbor, VectorIndex};
+
+/// A brute-force vector index storing normalized vectors contiguously.
+#[derive(Debug, Default)]
+pub struct FlatIndex {
+    ids: Vec<u32>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl FlatIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, id: u32, mut vector: Vec<f32>) {
+        normalize(&mut vector);
+        self.ids.push(id);
+        self.vectors.push(vector);
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let mut hits: Vec<Neighbor> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, v)| Neighbor {
+                id,
+                similarity: dot(query, v),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(mut v: Vec<f32>) -> Vec<f32> {
+        normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn finds_exact_nearest() {
+        let mut idx = FlatIndex::new();
+        idx.add(0, vec![1.0, 0.0]);
+        idx.add(1, vec![0.0, 1.0]);
+        idx.add(2, unit(vec![1.0, 1.0]));
+        let hits = idx.search(&unit(vec![1.0, 0.1]), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new();
+        assert!(idx.search(&[1.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let mut idx = FlatIndex::new();
+        idx.add(0, vec![1.0, 0.0]);
+        assert!(idx.search(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let mut idx = FlatIndex::new();
+        idx.add(0, vec![1.0, 0.0]);
+        idx.add(1, vec![0.0, 1.0]);
+        assert_eq!(idx.search(&[1.0, 0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn input_vectors_are_normalized_on_add() {
+        let mut idx = FlatIndex::new();
+        idx.add(0, vec![10.0, 0.0]); // not unit length
+        let hits = idx.search(&[1.0, 0.0], 1);
+        assert!((hits[0].similarity - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut idx = FlatIndex::new();
+        idx.add(5, vec![1.0, 0.0]);
+        idx.add(3, vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 5);
+    }
+}

@@ -1,0 +1,611 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2018).
+//!
+//! The approximate nearest-neighbour algorithm UniAsk's vector-search
+//! module runs inside Azure AI Search, implemented from scratch:
+//!
+//! * nodes are inserted at a geometrically distributed maximum layer
+//!   (`ml = 1/ln(M)`);
+//! * each layer is a navigable proximity graph with at most `M`
+//!   neighbours per node (`2M` on layer 0);
+//! * queries greedily descend from the top layer's entry point and run
+//!   a best-first beam search (`ef_search`) on layer 0.
+//!
+//! Similarity is the dot product of L2-normalized vectors, i.e. cosine.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::distance::{dot, normalize};
+use crate::{Neighbor, VectorIndex};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswParams {
+    /// Max neighbours per node on layers ≥ 1 (layer 0 allows `2·m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search (raised to `k` when smaller).
+    pub ef_search: usize,
+    /// RNG seed for layer assignment (determinism).
+    pub seed: u64,
+    /// Use the diversity heuristic of Malkov & Yashunin's Algorithm 4
+    /// when selecting neighbours (instead of plain nearest-M). The
+    /// heuristic keeps a candidate only when it is closer to the base
+    /// point than to every already-selected neighbour, which spreads
+    /// edges across clusters and improves recall on clustered data.
+    pub heuristic_selection: bool,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 128,
+            ef_search: 64,
+            seed: 0x9e37_79b9,
+            heuristic_selection: false,
+        }
+    }
+}
+
+/// Internal node: vector, external id, per-layer adjacency.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) id: u32,
+    pub(crate) vector: Vec<f32>,
+    /// `neighbors[l]` = adjacency at layer `l`; `len() == level + 1`.
+    pub(crate) neighbors: Vec<Vec<u32>>,
+}
+
+/// Max-heap entry ordered by similarity.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    sim: f32,
+    node: u32,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry (reverse ordering) for the result set.
+#[derive(Debug, PartialEq)]
+struct RevCandidate(Candidate);
+
+impl Eq for RevCandidate {}
+
+impl Ord for RevCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for RevCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An HNSW approximate nearest-neighbour index.
+///
+/// ```
+/// use uniask_vector::{Hnsw, HnswParams, VectorIndex};
+///
+/// let mut index = Hnsw::new(HnswParams::default());
+/// index.add(7, vec![1.0, 0.0]);
+/// index.add(9, vec![0.0, 1.0]);
+/// let hits = index.search(&[0.9, 0.1], 1);
+/// assert_eq!(hits[0].id, 7);
+/// ```
+#[derive(Debug)]
+pub struct Hnsw {
+    pub(crate) params: HnswParams,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) entry_point: Option<u32>,
+    pub(crate) max_level: usize,
+    pub(crate) rng: ChaCha8Rng,
+    /// `1 / ln(M)` — the level-assignment multiplier from the paper.
+    pub(crate) ml: f64,
+}
+
+impl Hnsw {
+    /// Create an empty index.
+    pub fn new(params: HnswParams) -> Self {
+        let ml = 1.0 / (params.m.max(2) as f64).ln();
+        Hnsw {
+            rng: ChaCha8Rng::seed_from_u64(params.seed),
+            params,
+            nodes: Vec::new(),
+            entry_point: None,
+            max_level: 0,
+            ml,
+        }
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    fn sample_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        (-u.ln() * self.ml).floor() as usize
+    }
+
+    #[inline]
+    fn sim(&self, a: usize, q: &[f32]) -> f32 {
+        dot(&self.nodes[a].vector, q)
+    }
+
+    /// Greedy best-first beam search on one layer. Returns up to `ef`
+    /// candidates, best first.
+    fn search_layer(&self, query: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Candidate> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
+        let mut results: BinaryHeap<RevCandidate> = BinaryHeap::new();
+        let entry_sim = self.sim(entry as usize, query);
+        visited[entry as usize] = true;
+        candidates.push(Candidate {
+            sim: entry_sim,
+            node: entry,
+        });
+        results.push(RevCandidate(Candidate {
+            sim: entry_sim,
+            node: entry,
+        }));
+        while let Some(best) = candidates.pop() {
+            let worst_result = results.peek().map(|r| r.0.sim).unwrap_or(f32::MIN);
+            if best.sim < worst_result && results.len() >= ef {
+                break;
+            }
+            let node = &self.nodes[best.node as usize];
+            if layer < node.neighbors.len() {
+                for &nb in &node.neighbors[layer] {
+                    if visited[nb as usize] {
+                        continue;
+                    }
+                    visited[nb as usize] = true;
+                    let s = self.sim(nb as usize, query);
+                    let worst = results.peek().map(|r| r.0.sim).unwrap_or(f32::MIN);
+                    if results.len() < ef || s > worst {
+                        candidates.push(Candidate { sim: s, node: nb });
+                        results.push(RevCandidate(Candidate { sim: s, node: nb }));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Candidate> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Simple neighbour selection: keep the `m` most similar candidates.
+    fn select_neighbors(mut cands: Vec<Candidate>, m: usize) -> Vec<u32> {
+        cands.sort_by(|a, b| b.cmp(a));
+        cands.truncate(m);
+        cands.into_iter().map(|c| c.node).collect()
+    }
+
+    /// Algorithm 4: diversity-aware neighbour selection. A candidate is
+    /// selected only when it is more similar to the query point than to
+    /// any neighbour selected so far.
+    fn select_neighbors_heuristic(&self, mut cands: Vec<Candidate>, m: usize) -> Vec<u32> {
+        cands.sort_by(|a, b| b.cmp(a));
+        let mut selected: Vec<u32> = Vec::with_capacity(m);
+        for cand in &cands {
+            if selected.len() >= m {
+                break;
+            }
+            let cand_vec = &self.nodes[cand.node as usize].vector;
+            let dominated = selected.iter().any(|&sel| {
+                dot(&self.nodes[sel as usize].vector, cand_vec) > cand.sim
+            });
+            if !dominated {
+                selected.push(cand.node);
+            }
+        }
+        // Backfill with the nearest skipped candidates when the
+        // diversity rule under-fills (keeps connectivity).
+        if selected.len() < m {
+            for cand in &cands {
+                if selected.len() >= m {
+                    break;
+                }
+                if !selected.contains(&cand.node) {
+                    selected.push(cand.node);
+                }
+            }
+        }
+        selected
+    }
+
+    fn select(&self, cands: Vec<Candidate>, m: usize) -> Vec<u32> {
+        if self.params.heuristic_selection {
+            self.select_neighbors_heuristic(cands, m)
+        } else {
+            Self::select_neighbors(cands, m)
+        }
+    }
+
+    fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// Prune `node`'s adjacency at `layer` back to the degree bound,
+    /// keeping the most similar neighbours.
+    fn shrink_neighbors(&mut self, node: u32, layer: usize) {
+        let bound = self.max_degree(layer);
+        let current = self.nodes[node as usize].neighbors[layer].clone();
+        if current.len() <= bound {
+            return;
+        }
+        let base = self.nodes[node as usize].vector.clone();
+        let cands: Vec<Candidate> = current
+            .iter()
+            .map(|&nb| Candidate {
+                sim: dot(&self.nodes[nb as usize].vector, &base),
+                node: nb,
+            })
+            .collect();
+        self.nodes[node as usize].neighbors[layer] = self.select(cands, bound);
+    }
+}
+
+impl VectorIndex for Hnsw {
+    fn add(&mut self, id: u32, mut vector: Vec<f32>) {
+        normalize(&mut vector);
+        let level = self.sample_level();
+        let internal = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            id,
+            vector,
+            neighbors: vec![Vec::new(); level + 1],
+        });
+        let Some(mut ep) = self.entry_point else {
+            self.entry_point = Some(internal);
+            self.max_level = level;
+            return;
+        };
+        let query = self.nodes[internal as usize].vector.clone();
+        // Phase 1: greedy descent through layers above `level`.
+        let mut layer = self.max_level;
+        while layer > level {
+            let best = self.search_layer(&query, ep, 1, layer);
+            if let Some(b) = best.first() {
+                ep = b.node;
+            }
+            layer -= 1;
+        }
+        // Phase 2: connect on layers min(level, max_level)..=0.
+        let mut l = level.min(self.max_level);
+        loop {
+            let cands = self.search_layer(&query, ep, self.params.ef_construction, l);
+            if let Some(b) = cands.first() {
+                ep = b.node;
+            }
+            let selected = self.select(
+                cands
+                    .into_iter()
+                    .filter(|c| c.node != internal)
+                    .collect(),
+                self.params.m,
+            );
+            for &nb in &selected {
+                self.nodes[internal as usize].neighbors[l].push(nb);
+                if l < self.nodes[nb as usize].neighbors.len() {
+                    self.nodes[nb as usize].neighbors[l].push(internal);
+                    self.shrink_neighbors(nb, l);
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry_point = Some(internal);
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let Some(mut ep) = self.entry_point else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut layer = self.max_level;
+        while layer > 0 {
+            let best = self.search_layer(&q, ep, 1, layer);
+            if let Some(b) = best.first() {
+                ep = b.node;
+            }
+            layer -= 1;
+        }
+        let ef = self.params.ef_search.max(k);
+        let cands = self.search_layer(&q, ep, ef, 0);
+        cands
+            .into_iter()
+            .take(k)
+            .map(|c| Neighbor {
+                id: self.nodes[c.node as usize].id,
+                similarity: c.sim,
+            })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = Hnsw::new(HnswParams::default());
+        assert!(idx.search(&[1.0, 0.0], 3).is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = Hnsw::new(HnswParams::default());
+        idx.add(42, vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 42);
+        assert!((hits[0].similarity - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finds_the_true_nearest_on_small_sets() {
+        let vectors = random_vectors(200, 16, 11);
+        let mut hnsw = Hnsw::new(HnswParams::default());
+        let mut flat = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.add(i as u32, v.clone());
+            flat.add(i as u32, v.clone());
+        }
+        let queries = random_vectors(20, 16, 99);
+        for q in &queries {
+            let exact = flat.search(q, 1)[0].id;
+            let approx = hnsw.search(q, 1)[0].id;
+            assert_eq!(exact, approx, "top-1 must match exhaustive search");
+        }
+    }
+
+    #[test]
+    fn recall_at_10_is_high() {
+        let vectors = random_vectors(1000, 24, 5);
+        let mut hnsw = Hnsw::new(HnswParams::default());
+        let mut flat = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.add(i as u32, v.clone());
+            flat.add(i as u32, v.clone());
+        }
+        let queries = random_vectors(50, 24, 123);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let exact: Vec<u32> = flat.search(q, 10).into_iter().map(|n| n.id).collect();
+            let approx: Vec<u32> = hnsw.search(q, 10).into_iter().map(|n| n.id).collect();
+            total += exact.len();
+            hit += approx.iter().filter(|id| exact.contains(id)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.9, "recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn results_are_sorted_by_similarity() {
+        let vectors = random_vectors(100, 8, 3);
+        let mut hnsw = Hnsw::new(HnswParams::default());
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.add(i as u32, v.clone());
+        }
+        let hits = hnsw.search(&vectors[0], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let vectors = random_vectors(150, 8, 77);
+        let build = || {
+            let mut h = Hnsw::new(HnswParams::default());
+            for (i, v) in vectors.iter().enumerate() {
+                h.add(i as u32, v.clone());
+            }
+            h.search(&vectors[3], 5)
+                .into_iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn external_ids_are_preserved() {
+        let mut hnsw = Hnsw::new(HnswParams::default());
+        hnsw.add(1000, vec![1.0, 0.0]);
+        hnsw.add(2000, vec![0.0, 1.0]);
+        let hits = hnsw.search(&[0.0, 1.0], 1);
+        assert_eq!(hits[0].id, 2000);
+    }
+
+    #[test]
+    fn degree_bounds_are_respected() {
+        let vectors = random_vectors(300, 8, 9);
+        let params = HnswParams {
+            m: 4,
+            ..Default::default()
+        };
+        let mut hnsw = Hnsw::new(params);
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.add(i as u32, v.clone());
+        }
+        for node in &hnsw.nodes {
+            for (l, nbs) in node.neighbors.iter().enumerate() {
+                let bound = if l == 0 { 8 } else { 4 };
+                assert!(nbs.len() <= bound, "layer {l} degree {} > {bound}", nbs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_vectors_are_all_findable() {
+        let mut hnsw = Hnsw::new(HnswParams::default());
+        for i in 0..5 {
+            hnsw.add(i, vec![1.0, 0.0, 0.0]);
+        }
+        let hits = hnsw.search(&[1.0, 0.0, 0.0], 5);
+        assert_eq!(hits.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod heuristic_tests {
+    use super::*;
+    use crate::distance::normalize;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+
+    /// Clustered data: the regime where Algorithm 4's diversity rule
+    /// pays off (plain nearest-M gets trapped inside one cluster).
+    fn clustered_vectors(n: usize, dim: usize, clusters: usize) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| {
+                let mut c: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+                normalize(&mut c);
+                c
+            })
+            .collect();
+        (0..n)
+            .map(|i| {
+                let mut v: Vec<f32> = centers[i % clusters]
+                    .iter()
+                    .map(|x| x + 0.08 * (rng.gen::<f32>() - 0.5))
+                    .collect();
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    fn recall_at_10(params: HnswParams, vectors: &[Vec<f32>], queries: &[Vec<f32>]) -> f64 {
+        let mut hnsw = Hnsw::new(params);
+        let mut flat = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.add(i as u32, v.clone());
+            flat.add(i as u32, v.clone());
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in queries {
+            let exact: Vec<u32> = flat.search(q, 10).into_iter().map(|n| n.id).collect();
+            let approx: Vec<u32> = hnsw.search(q, 10).into_iter().map(|n| n.id).collect();
+            total += exact.len();
+            hit += approx.iter().filter(|id| exact.contains(id)).count();
+        }
+        hit as f64 / total as f64
+    }
+
+    #[test]
+    fn heuristic_selection_does_not_hurt_recall_on_clustered_data() {
+        let vectors = clustered_vectors(800, 16, 8);
+        let queries = clustered_vectors(40, 16, 8);
+        // Stress the graph with a small M so selection policy matters.
+        let base = HnswParams {
+            m: 4,
+            ef_construction: 32,
+            ef_search: 24,
+            ..Default::default()
+        };
+        let plain = recall_at_10(base, &vectors, &queries);
+        let heuristic = recall_at_10(
+            HnswParams {
+                heuristic_selection: true,
+                ..base
+            },
+            &vectors,
+            &queries,
+        );
+        assert!(
+            heuristic + 0.03 >= plain,
+            "heuristic selection regressed recall: {heuristic} vs {plain}"
+        );
+        assert!(heuristic > 0.6, "recall floor: {heuristic}");
+    }
+
+    #[test]
+    fn heuristic_graphs_respect_degree_bounds_and_roundtrip() {
+        let vectors = clustered_vectors(200, 8, 4);
+        let params = HnswParams {
+            m: 4,
+            heuristic_selection: true,
+            ..Default::default()
+        };
+        let mut h = Hnsw::new(params);
+        for (i, v) in vectors.iter().enumerate() {
+            h.add(i as u32, v.clone());
+        }
+        for node in &h.nodes {
+            for (l, nbs) in node.neighbors.iter().enumerate() {
+                let bound = if l == 0 { 8 } else { 4 };
+                assert!(nbs.len() <= bound);
+            }
+        }
+        // The flag survives a snapshot round trip.
+        let restored = crate::snapshot::decode(&crate::snapshot::encode(&h)).unwrap();
+        assert!(restored.params().heuristic_selection);
+        let q = &vectors[3];
+        assert_eq!(
+            h.search(q, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
+            restored.search(q, 5).iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+}

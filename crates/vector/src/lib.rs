@@ -1,0 +1,49 @@
+//! # uniask-vector
+//!
+//! Vector-search substrate: a deterministic synthetic text embedder
+//! standing in for `text-embedding-ada-002`, distance functions, a
+//! from-scratch Hierarchical Navigable Small World (HNSW) approximate
+//! nearest-neighbour index, and an exhaustive flat index used as the
+//! exact baseline (the paper reports HNSW and exhaustive k-NN "yield
+//! similar retrieval performance"; our tests verify the same).
+
+pub mod adapter;
+pub mod distance;
+pub mod embedding;
+pub mod flat;
+pub mod hnsw;
+pub mod snapshot;
+
+pub use adapter::{AdaptedEmbedder, AdapterTrainer, EmbeddingAdapter, Triple};
+pub use distance::{cosine_similarity, dot, euclidean, normalize};
+pub use embedding::{Embedder, IdentityNormalizer, SyntheticEmbedder, TermNormalizer};
+pub use flat::FlatIndex;
+pub use hnsw::{Hnsw, HnswParams};
+pub use snapshot::SnapshotError;
+
+/// A vector index hit: external id plus similarity (higher is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Caller-assigned id of the stored vector.
+    pub id: u32,
+    /// Cosine similarity to the query.
+    pub similarity: f32,
+}
+
+/// Common interface of the flat and HNSW indexes.
+pub trait VectorIndex {
+    /// Insert a vector under `id`. Vectors are expected L2-normalized
+    /// (the embedder guarantees it); they are normalized defensively.
+    fn add(&mut self, id: u32, vector: Vec<f32>);
+
+    /// Return up to `k` most similar stored vectors, most similar first.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the vector substrate.
+
+use proptest::prelude::*;
+use uniask_vector::distance::{cosine_similarity, dot, euclidean, normalize};
+use uniask_vector::embedding::{Embedder, SyntheticEmbedder};
+use uniask_vector::flat::FlatIndex;
+use uniask_vector::hnsw::{Hnsw, HnswParams};
+use uniask_vector::VectorIndex;
+
+fn vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0f32..1.0, dim..=dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalize_yields_unit_or_zero(mut v in vector(16)) {
+        normalize(&mut v);
+        let n = dot(&v, &v).sqrt();
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm {n}");
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in vector(12), b in vector(12)) {
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn euclidean_satisfies_identity_and_symmetry(a in vector(10), b in vector(10)) {
+        prop_assert!(euclidean(&a, &a) < 1e-6);
+        prop_assert!((euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-5);
+        prop_assert!(euclidean(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn flat_index_returns_sorted_unique_ids(vectors in proptest::collection::vec(vector(8), 1..30), k in 1usize..10) {
+        let mut idx = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            idx.add(i as u32, v.clone());
+        }
+        let hits = idx.search(&vectors[0], k);
+        prop_assert!(hits.len() <= k.min(vectors.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].similarity >= w[1].similarity);
+        }
+        let mut ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len(), "duplicate ids in results");
+    }
+
+    #[test]
+    fn hnsw_returns_subset_of_inserted_ids(vectors in proptest::collection::vec(vector(8), 1..40), k in 1usize..10) {
+        let mut idx = Hnsw::new(HnswParams::default());
+        for (i, v) in vectors.iter().enumerate() {
+            idx.add(i as u32 + 100, v.clone());
+        }
+        let hits = idx.search(&vectors[0], k);
+        prop_assert!(!hits.is_empty());
+        for h in &hits {
+            prop_assert!((100..100 + vectors.len() as u32).contains(&h.id));
+        }
+        for w in hits.windows(2) {
+            prop_assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn hnsw_top1_matches_flat_on_small_sets(vectors in proptest::collection::vec(vector(8), 2..40)) {
+        // Skip degenerate all-zero query vectors.
+        prop_assume!(vectors[0].iter().any(|&x| x.abs() > 1e-3));
+        let mut hnsw = Hnsw::new(HnswParams::default());
+        let mut flat = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.add(i as u32, v.clone());
+            flat.add(i as u32, v.clone());
+        }
+        let exact = flat.search(&vectors[0], 1)[0];
+        let approx = hnsw.search(&vectors[0], 1)[0];
+        // Allow similarity ties with different ids.
+        prop_assert!(
+            approx.id == exact.id || (approx.similarity - exact.similarity).abs() < 1e-5,
+            "hnsw top-1 {:?} vs flat {:?}",
+            approx,
+            exact
+        );
+    }
+
+    #[test]
+    fn embedder_is_deterministic_and_unit(text in "[a-z ]{0,80}", seed in 0u64..1000) {
+        let e1 = SyntheticEmbedder::new(32, seed);
+        let e2 = SyntheticEmbedder::new(32, seed);
+        let a = e1.embed(&text);
+        let b = e2.embed(&text);
+        prop_assert_eq!(&a, &b);
+        let n = dot(&a, &a).sqrt();
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn embedding_similarity_is_permutation_sensitive_but_bag_dominated(
+        words in proptest::collection::vec("[a-z]{4,8}", 2..8),
+    ) {
+        let e = SyntheticEmbedder::new(64, 3);
+        let original = words.join(" ");
+        let mut reversed_words = words.clone();
+        reversed_words.reverse();
+        let reversed = reversed_words.join(" ");
+        let a = e.embed(&original);
+        let b = e.embed(&reversed);
+        // Same bag of words: similarity stays high even reversed
+        // (bigram component perturbs but does not dominate).
+        prop_assert!(cosine_similarity(&a, &b) > 0.5, "bag similarity lost");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_decode_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = uniask_vector::snapshot::decode(&data);
+    }
+}

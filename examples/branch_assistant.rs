@@ -1,0 +1,67 @@
+//! A branch-employee session: the Phase-2 scenario of the paper.
+//!
+//! A retail-branch employee serves customers all day and queries UniAsk
+//! for procedures, limits and error codes, leaving granular feedback;
+//! the monitoring dashboard summarizes the session at the end.
+//!
+//! ```bash
+//! cargo run --release --example branch_assistant
+//! ```
+
+use uniask::core::app::{GenerationOutcome, UniAsk};
+use uniask::core::backend::{Backend, Feedback};
+use uniask::core::config::UniAskConfig;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::questions::QuestionGenerator;
+use uniask::corpus::scale::CorpusScale;
+use uniask::corpus::vocab::Vocabulary;
+
+fn main() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 7).generate();
+    let vocab = Vocabulary::new();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    let backend = Backend::new(app);
+
+    // The employee's questions: a mix of generated realistic queries.
+    let generated = QuestionGenerator::new(&kb, &vocab, 99).human_dataset(6);
+    println!("=== Sessione sportello — filiale di Bologna ===\n");
+    for (i, q) in generated.queries.iter().enumerate() {
+        println!("[{}] Q: {}", i + 1, q.text);
+        let response = backend.handle_ask("branch-user-042", &q.text);
+        let (summary, helpful, rating) = match &response.generation {
+            GenerationOutcome::Answer { text, .. } => {
+                let hit = response
+                    .documents
+                    .iter()
+                    .take(4)
+                    .any(|d| q.relevant.contains(&d.parent_doc));
+                (format!("A: {text}"), hit, if hit { 5 } else { 2 })
+            }
+            GenerationOutcome::GuardrailBlocked { message, .. } => {
+                (format!("A: {message}"), false, 2)
+            }
+            GenerationOutcome::ServiceError { error } => (format!("A: errore {error}"), false, 1),
+        };
+        println!("    {summary}");
+        // Granular feedback, as the pilot users were asked to leave.
+        backend.handle_feedback(Feedback {
+            user: "branch-user-042".into(),
+            question: q.text.clone(),
+            answer_helpful: Some(helpful),
+            docs_relevant: Some(helpful),
+            rating,
+            relevant_links: if helpful { vec![] } else { q.relevant.clone() },
+            comments: String::new(),
+        });
+        println!();
+    }
+
+    println!("=== Dashboard di fine giornata ===");
+    println!("{}", backend.app().monitoring.snapshot().render());
+    println!(
+        "\nFeedback positivi: {:.0}%  |  link raccolti per il ground truth: {}",
+        100.0 * backend.feedback.positive_rate(),
+        backend.feedback.harvested_links().len()
+    );
+}

@@ -1,0 +1,83 @@
+//! The live ingestion flow of Figure 1: ingestion service → message
+//! queue → indexing service, with the 15-minute polling cadence on a
+//! simulated clock, running on separate threads like the deployed
+//! microservices.
+//!
+//! ```bash
+//! cargo run --release --example live_ingestion
+//! ```
+
+use std::sync::Arc;
+
+use uniask::core::app::UniAsk;
+use uniask::core::clock::SimClock;
+use uniask::core::config::UniAskConfig;
+use uniask::core::ingestion::{IngestMessage, IngestionService, POLL_INTERVAL_SECS};
+use uniask::core::queue::MessageQueue;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::scale::CorpusScale;
+
+fn main() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 11).generate();
+    let clock = Arc::new(SimClock::new());
+    let queue: MessageQueue<IngestMessage> = MessageQueue::new(1024);
+    let mut ingestion = IngestionService::new();
+    let mut app = UniAsk::new(UniAskConfig::default());
+
+    // --- poll 1: the initial crawl picks up the whole KB. ---
+    let mut source = kb.documents.clone();
+    let changes = ingestion.poll(&source, &queue, clock.now());
+    println!("poll @ t={:>6.0}s: {changes} change(s) detected", clock.now());
+
+    // The indexing service consumes from the queue on its own thread;
+    // messages are shipped to the application thread for the index
+    // mutation (the index is single-writer, like a real search service
+    // partition).
+    let receiver = queue.receiver();
+    let consumer = std::thread::spawn(move || {
+        let mut batch = Vec::new();
+        while let Ok(message) = receiver.recv() {
+            batch.push(message);
+        }
+        batch
+    });
+    drop(queue); // close the channel so the consumer drains and exits
+    let batch = consumer.join().expect("consumer thread");
+    println!("indexing service received {} message(s)", batch.len());
+    for message in batch {
+        app.apply_update(message);
+    }
+    println!("index now serves {} chunks\n", app.index().len());
+
+    // --- an editor updates one page and publishes a new one. ---
+    let queue: MessageQueue<IngestMessage> = MessageQueue::new(1024);
+    source[0].html = "<h1>Pagina aggiornata</h1><p>Il nuovo massimale zkqv è di 9.999 euro.</p>".into();
+    source[0].last_modified += 3600;
+    let mut fresh = source[1].clone();
+    fresh.id = "kb/nuova/pagina".into();
+    fresh.title = "Novità operative zkqv".into();
+    fresh.html = "<p>Nuove istruzioni operative zkqv per le filiali.</p>".into();
+    source.push(fresh);
+
+    // Too early: the cron has not fired yet.
+    clock.advance(300.0);
+    assert!(!ingestion.poll_due(clock.now()));
+    println!("t={:>6.0}s: cron not due yet (15-minute cadence)", clock.now());
+
+    // --- poll 2, after the 15-minute cadence. ---
+    clock.advance(POLL_INTERVAL_SECS);
+    assert!(ingestion.poll_due(clock.now()));
+    let changes = ingestion.poll(&source, &queue, clock.now());
+    println!("poll @ t={:>6.0}s: {changes} change(s) detected", clock.now());
+    while let Some(message) = queue.try_receive() {
+        app.apply_update(message);
+    }
+
+    // The updated content is immediately searchable.
+    let hits = app.search("massimale zkqv");
+    println!(
+        "\nsearch `massimale zkqv` → {} hit(s); first: {}",
+        hits.len(),
+        hits.first().map(|h| h.title.as_str()).unwrap_or("-")
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a small knowledge base, ingest it, ask a question.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use uniask::core::app::{GenerationOutcome, UniAsk};
+use uniask::core::config::UniAskConfig;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::scale::CorpusScale;
+
+fn main() {
+    // 1. A synthetic Italian banking knowledge base (the real one is
+    //    proprietary; the generator reproduces its statistics).
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 42).generate();
+    println!("Knowledge base: {} documents", kb.documents.len());
+
+    // 2. Assemble UniAsk with production defaults (HSS retrieval with
+    //    n = 50 / K = 15 / RRF c = 60, m = 4 context chunks, ROUGE-L
+    //    guardrail at 0.15) and ingest the KB.
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    println!("Index: {} chunks\n", app.index().len());
+
+    // 3. Ask a question in natural language.
+    let question = "Qual è il massimale previsto per il trasferimento estero?";
+    println!("Q: {question}");
+    let response = app.ask(question);
+    match &response.generation {
+        GenerationOutcome::Answer { text, citations } => {
+            println!("A: {text}");
+            println!("   (cites context chunk(s) {citations:?})");
+        }
+        GenerationOutcome::GuardrailBlocked { kind, message } => {
+            println!("A: [guardrail: {kind}] {message}");
+        }
+        GenerationOutcome::ServiceError { error } => println!("A: [error] {error}"),
+    }
+
+    // 4. The retrieved document list is always available.
+    println!("\nTop documents:");
+    for (i, doc) in response.documents.iter().take(4).enumerate() {
+        println!("  {}. {} ({})", i + 1, doc.title, doc.parent_doc);
+    }
+}

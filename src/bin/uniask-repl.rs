@@ -1,0 +1,164 @@
+//! Interactive UniAsk console.
+//!
+//! Boots a synthetic knowledge base, assembles the full system and
+//! drops into a read–ask loop — the closest thing to the deployed
+//! frontend that fits in a terminal.
+//!
+//! ```bash
+//! cargo run --release --bin uniask-repl            # 300-doc KB
+//! cargo run --release --bin uniask-repl -- --docs 4000 --seed 7
+//! ```
+//!
+//! Commands: plain text asks a question; `:docs` re-prints the last
+//! result list; `:facets` shows the domain facets of the last search;
+//! `:dashboard` prints the monitoring page; `:save <file>` /
+//! `:load <file>` snapshot and restore the index; `:quit` exits.
+
+use std::io::{BufRead, Write};
+
+use uniask::core::app::{GenerationOutcome, UniAsk};
+use uniask::core::config::UniAskConfig;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::scale::CorpusScale;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let docs: usize = arg_value("--docs").and_then(|v| v.parse().ok()).unwrap_or(300);
+    let seed: u64 = arg_value("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let scale = CorpusScale {
+        documents: docs,
+        human_questions: 1,
+        keyword_queries: 1,
+        embedding_dim: 128,
+    };
+    eprintln!("uniask-repl: generating {docs}-document knowledge base (seed {seed})...");
+    let kb = CorpusGenerator::new(scale, seed).generate();
+    let config = UniAskConfig {
+        embedding_dim: scale.embedding_dim,
+        seed,
+        enable_fact_check: true,
+        ..Default::default()
+    };
+    let mut app = UniAsk::new(config.clone());
+    app.ingest_parallel(&kb, 0);
+    eprintln!(
+        "uniask-repl: ready — {} chunks, {} mined facts. Type a question in Italian, or :help.",
+        app.index().len(),
+        app.fact_store().map(|s| s.len()).unwrap_or(0)
+    );
+
+    let stdin = std::io::stdin();
+    let mut last_response = None;
+    print!("ask> ");
+    let _ = std::io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        match line {
+            "" => {}
+            ":quit" | ":q" | ":exit" => break,
+            ":help" => {
+                println!(
+                    ":docs — last result list | :facets — domain facets | \
+                     :explain N — score breakdown of result N | :stats — index stats | \
+                     :dashboard — monitoring | :save <f> / :load <f> — snapshot | :quit"
+                );
+            }
+            ":docs" => match &last_response {
+                Some(r) => print_docs(r),
+                None => println!("(no search yet)"),
+            },
+            ":facets" => match &last_response {
+                Some(r) => {
+                    let uniask::core::app::AskResponse { documents, .. } = r;
+                    match app.index().facets(documents, "domain") {
+                        Ok(f) => {
+                            for (value, count) in f.top(8) {
+                                println!("{count:>4}  {value}");
+                            }
+                        }
+                        Err(e) => println!("facet error: {e}"),
+                    }
+                }
+                None => println!("(no search yet)"),
+            },
+            ":dashboard" => println!("{}", app.monitoring.snapshot().render()),
+            ":stats" => {
+                let s = app.index().stats();
+                println!(
+                    "chunks: {} live / {} tombstoned | documents: {} | vectors: {}+{} ({}d)",
+                    s.live_chunks, s.tombstones, s.documents,
+                    s.title_vectors, s.content_vectors, s.embedding_dim
+                );
+            }
+            _ if line.starts_with(":explain") => match &last_response {
+                Some(r) => {
+                    let n: usize = line
+                        .trim_start_matches(":explain")
+                        .trim()
+                        .parse()
+                        .unwrap_or(1);
+                    match r.documents.get(n.saturating_sub(1)) {
+                        Some(hit) => {
+                            let config = app.config().hybrid.clone();
+                            match app.index().explain(&r.question, hit.chunk, &config) {
+                                Some(ex) => println!("{}", ex.render()),
+                                None => println!("(chunk not explainable)"),
+                            }
+                        }
+                        None => println!("(no result #{n})"),
+                    }
+                }
+                None => println!("(no search yet)"),
+            },
+            _ if line.starts_with(":save ") => {
+                let path = line.trim_start_matches(":save ").trim();
+                match std::fs::write(path, app.save_index()) {
+                    Ok(()) => println!("index snapshot written to {path}"),
+                    Err(e) => println!("save failed: {e}"),
+                }
+            }
+            _ if line.starts_with(":load ") => {
+                let path = line.trim_start_matches(":load ").trim();
+                match std::fs::read(path) {
+                    Ok(bytes) => match UniAsk::from_snapshot(config.clone(), &bytes) {
+                        Ok(restored) => {
+                            app = restored;
+                            println!("index restored ({} chunks)", app.index().len());
+                        }
+                        Err(e) => println!("load failed: {e}"),
+                    },
+                    Err(e) => println!("load failed: {e}"),
+                }
+            }
+            question => {
+                let response = app.ask(question);
+                match &response.generation {
+                    GenerationOutcome::Answer { text, .. } => println!("{text}"),
+                    GenerationOutcome::GuardrailBlocked { kind, message } => {
+                        println!("[{kind}] {message}")
+                    }
+                    GenerationOutcome::ServiceError { error } => println!("[errore] {error}"),
+                }
+                print_docs(&response);
+                last_response = Some(response);
+            }
+        }
+        print!("ask> ");
+        let _ = std::io::stdout().flush();
+    }
+    eprintln!("\narrivederci.");
+}
+
+fn print_docs(response: &uniask::core::app::AskResponse) {
+    for (i, doc) in response.documents.iter().take(4).enumerate() {
+        println!("  {}. {} — {}", i + 1, doc.title, doc.parent_doc);
+    }
+}

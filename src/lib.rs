@@ -1,0 +1,30 @@
+//! # UniAsk
+//!
+//! A from-scratch Rust reproduction of *"UniAsk: AI-powered search for
+//! banking knowledge bases"* (EDBT 2025): an end-to-end enterprise
+//! Retrieval-Augmented-Generation search system — hybrid BM25 + HNSW
+//! retrieval with Reciprocal Rank Fusion and semantic reranking, an
+//! extractive chat model behind the paper's citation-forcing prompt, a
+//! four-stage guardrail stack, the serverless-style ingestion/indexing
+//! pipeline, and the full evaluation harness (automatic IR metrics,
+//! pilot-phase simulation, load tests, monitoring).
+//!
+//! This facade crate re-exports every subsystem crate under one roof so
+//! downstream users can depend on `uniask` alone:
+//!
+//! ```
+//! use uniask::corpus::{CorpusGenerator, CorpusScale};
+//!
+//! let kb = CorpusGenerator::new(CorpusScale::tiny(), 42).generate();
+//! assert!(!kb.documents.is_empty());
+//! ```
+
+pub use uniask_core as core;
+pub use uniask_corpus as corpus;
+pub use uniask_eval as eval;
+pub use uniask_guardrails as guardrails;
+pub use uniask_index as index;
+pub use uniask_llm as llm;
+pub use uniask_search as search;
+pub use uniask_text as text;
+pub use uniask_vector as vector;

@@ -1,0 +1,70 @@
+//! Cross-run determinism: the whole experiment stack — corpus,
+//! datasets, index, retrieval, generation, metrics — is a pure
+//! function of the seed. Two independent builds must agree exactly.
+
+use uniask::core::app::UniAsk;
+use uniask::core::config::UniAskConfig;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::questions::QuestionGenerator;
+use uniask::corpus::scale::CorpusScale;
+use uniask::corpus::vocab::Vocabulary;
+use uniask::eval::runner::{EvalQuery, EvalRunner};
+
+fn build(seed: u64) -> (UniAsk, Vec<EvalQuery>) {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), seed).generate();
+    let vocab = Vocabulary::new();
+    let ds = QuestionGenerator::new(&kb, &vocab, seed ^ 0x0DD).human_dataset(30);
+    let mut app = UniAsk::new(UniAskConfig {
+        seed,
+        ..Default::default()
+    });
+    app.ingest(&kb);
+    let queries = ds
+        .queries
+        .iter()
+        .map(|q| EvalQuery {
+            text: q.text.clone(),
+            relevant: q.relevant.clone(),
+        })
+        .collect();
+    (app, queries)
+}
+
+#[test]
+fn independent_builds_agree_on_everything() {
+    let (app_a, queries_a) = build(42);
+    let (app_b, queries_b) = build(42);
+
+    // Datasets identical.
+    assert_eq!(queries_a.len(), queries_b.len());
+    for (a, b) in queries_a.iter().zip(&queries_b) {
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.relevant, b.relevant);
+    }
+    // Index snapshots byte-identical.
+    assert_eq!(app_a.save_index(), app_b.save_index());
+    // Metrics identical.
+    let runner = EvalRunner::new();
+    let m_a = runner
+        .run(&queries_a, |q| {
+            app_a.search(q).into_iter().map(|h| h.parent_doc).collect()
+        })
+        .metrics;
+    let m_b = runner
+        .run(&queries_b, |q| {
+            app_b.search(q).into_iter().map(|h| h.parent_doc).collect()
+        })
+        .metrics;
+    assert_eq!(m_a, m_b);
+    // Answers identical.
+    for q in queries_a.iter().take(10) {
+        assert_eq!(app_a.ask(&q.text).generation, app_b.ask(&q.text).generation);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let (app_a, _) = build(1);
+    let (app_b, _) = build(2);
+    assert_ne!(app_a.save_index(), app_b.save_index());
+}

@@ -1,0 +1,180 @@
+//! End-to-end integration: corpus generation → ingestion pipeline
+//! (queue + indexing service) → query flow → evaluation.
+
+use uniask::core::app::UniAsk;
+use uniask::core::config::UniAskConfig;
+use uniask::core::indexing::IndexingService;
+use uniask::core::ingestion::{IngestMessage, IngestionService};
+use uniask::core::queue::MessageQueue;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::questions::QuestionGenerator;
+use uniask::corpus::scale::CorpusScale;
+use uniask::corpus::vocab::Vocabulary;
+use uniask::eval::runner::{EvalQuery, EvalRunner};
+use uniask::search::enrichment::Enrichment;
+
+#[test]
+fn full_pipeline_from_polling_to_answers() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 21).generate();
+
+    // Ingestion service polls the KB and posts to the queue…
+    let queue: MessageQueue<IngestMessage> = MessageQueue::new(4096);
+    let mut ingestion = IngestionService::new();
+    let changes = ingestion.poll(&kb.documents, &queue, 0.0);
+    assert_eq!(changes, kb.documents.len());
+
+    // …the indexing service drains it into the application's index.
+    let mut app = UniAsk::new(UniAskConfig::default());
+    let mut indexing = IndexingService::new(512, Enrichment::None, 2);
+    let mut processed = 0;
+    while let Some(message) = queue.try_receive() {
+        app.apply_update(message);
+        processed += 1;
+    }
+    assert_eq!(processed, kb.documents.len());
+    assert!(app.index().len() >= kb.documents.len());
+    let _ = &mut indexing; // the service is exercised via app internals
+
+    // A real question gets an answer grounded in the KB.
+    let vocab = Vocabulary::new();
+    let questions = QuestionGenerator::new(&kb, &vocab, 33).human_dataset(25);
+    let mut answered = 0;
+    for q in &questions.queries {
+        let response = app.ask(&q.text);
+        assert!(
+            !response.documents.is_empty(),
+            "retrieval must always return documents for {}",
+            q.text
+        );
+        if response.generation.answered() {
+            answered += 1;
+        }
+    }
+    assert!(
+        answered as f64 / questions.queries.len() as f64 > 0.7,
+        "answer rate too low: {answered}/25"
+    );
+}
+
+#[test]
+fn evaluation_pipeline_produces_consistent_metrics() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 5).generate();
+    let vocab = Vocabulary::new();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+
+    let ds = QuestionGenerator::new(&kb, &vocab, 5).human_dataset(30);
+    let queries: Vec<EvalQuery> = ds
+        .queries
+        .iter()
+        .map(|q| EvalQuery {
+            text: q.text.clone(),
+            relevant: q.relevant.clone(),
+        })
+        .collect();
+    let metrics = EvalRunner::new()
+        .run(&queries, |q| {
+            app.search(q).into_iter().map(|h| h.parent_doc).collect()
+        })
+        .metrics;
+
+    // Structural invariants of the metric family.
+    assert!(metrics.coverage > 0.99, "UniAsk serves every query");
+    assert!(metrics.hit_at[&1] <= metrics.hit_at[&4]);
+    assert!(metrics.hit_at[&4] <= metrics.hit_at[&50]);
+    assert!(metrics.r_at[&1] <= metrics.r_at[&4]);
+    assert!(metrics.r_at[&4] <= metrics.r_at[&50]);
+    assert!(metrics.p_at[&1] >= metrics.p_at[&50], "precision decays with depth");
+    assert!(metrics.mrr >= metrics.hit_at[&1] * 0.99, "MRR ≥ hit@1 by definition");
+    assert!(metrics.mrr > 0.4, "retrieval quality floor");
+}
+
+#[test]
+fn live_update_round_trip() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 77).generate();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+
+    // Update an existing page through the ingestion message path.
+    let mut page = kb.documents[3].clone();
+    page.html = "<h1>Titolo nuovo</h1><p>Il codice wxyzq sostituisce la vecchia procedura.</p>".into();
+    page.last_modified += 1;
+    app.apply_update(IngestMessage::Upsert(page.clone()));
+    let hits = app.search("wxyzq");
+    assert_eq!(hits[0].parent_doc, page.id);
+
+    // Delete it: it disappears from results.
+    app.apply_update(IngestMessage::Delete(page.id.clone()));
+    let hits = app.search("wxyzq");
+    assert!(hits.iter().all(|h| h.parent_doc != page.id));
+}
+
+#[test]
+fn snapshot_persistence_round_trip_through_the_facade() {
+    use uniask::core::app::UniAsk as App;
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 52).generate();
+    let config = UniAskConfig::default();
+    let mut app = App::new(config.clone());
+    app.ingest(&kb);
+    let question = "qual è il limite previsto per la carta aziendale?";
+    let before = app.ask(question);
+    let snapshot = app.save_index();
+    let restored = App::from_snapshot(config, &snapshot).expect("snapshot loads");
+    let after = restored.ask(question);
+    assert_eq!(before.generation, after.generation);
+}
+
+#[test]
+fn uat_special_cases_are_casing_invariant() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 63).generate();
+    let vocab = Vocabulary::new();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    let ds = QuestionGenerator::new(&kb, &vocab, 63).human_dataset(10);
+    for q in &ds.queries {
+        let lower: Vec<String> = app.search(&q.text.to_lowercase()).into_iter().map(|h| h.parent_doc).collect();
+        let upper: Vec<String> = app.search(&q.text.to_uppercase()).into_iter().map(|h| h.parent_doc).collect();
+        assert_eq!(lower, upper, "casing must not change retrieval for {}", q.text);
+    }
+}
+
+#[test]
+fn search_box_filters_flow_through_the_app_index() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 21).generate();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    let config = app.config().hybrid.clone();
+    let all = app.index().search_box("errore", &config);
+    assert!(!all.is_empty());
+    let filtered = app.index().search_box("domain:Tecnologia errore", &config);
+    // The filtered set is a (possibly reordered) subset by domain.
+    for hit in &filtered {
+        let doc = kb.get(&hit.parent_doc).expect("doc exists");
+        assert_eq!(doc.domain, "Tecnologia");
+    }
+}
+
+#[test]
+fn pipeline_survives_a_noisy_corpus() {
+    // 20% junk pages: empty bodies, unclosed markup, megaparagraph
+    // dumps, entity soup. Nothing may panic; clean pages stay findable.
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 77)
+        .with_noise(0.2)
+        .generate();
+    assert!(kb.documents.iter().any(|d| d.id.starts_with("kb/junk/")));
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    // The system still answers questions about the clean part.
+    let vocab = Vocabulary::new();
+    let ds = QuestionGenerator::new(&kb, &vocab, 77).human_dataset(15);
+    let mut answered = 0;
+    for q in &ds.queries {
+        let r = app.ask(&q.text);
+        if r.generation.answered() {
+            answered += 1;
+        }
+    }
+    assert!(answered >= 9, "noisy corpus broke answering: {answered}/15");
+    // Junk pages are searchable without crashing the chunker/embedder.
+    let _ = app.search("dato esportazione grezza");
+}

@@ -1,0 +1,104 @@
+//! Concurrency integration: the ingestion → queue → indexing flow runs
+//! across threads; searches proceed while feedback and monitoring are
+//! recorded concurrently.
+
+use std::sync::Arc;
+
+use uniask::core::app::UniAsk;
+use uniask::core::backend::{Backend, Feedback};
+use uniask::core::config::UniAskConfig;
+use uniask::core::ingestion::{IngestMessage, IngestionService};
+use uniask::core::queue::MessageQueue;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::scale::CorpusScale;
+
+#[test]
+fn producer_consumer_ingestion_across_threads() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 3).generate();
+    let queue: MessageQueue<IngestMessage> = MessageQueue::new(64);
+
+    // Producer thread: the ingestion service's poll cycle.
+    let docs = kb.documents.clone();
+    let sender_queue = queue.clone();
+    let producer = std::thread::spawn(move || {
+        let mut svc = IngestionService::new();
+        svc.poll(&docs, &sender_queue, 0.0)
+    });
+
+    // Consumer: drain into the app (single-writer index).
+    let mut app = UniAsk::new(UniAskConfig::default());
+    let mut received = 0usize;
+    while received < kb.documents.len() {
+        if let Some(message) = queue.receive() {
+            app.apply_update(message);
+            received += 1;
+        }
+    }
+    let produced = producer.join().expect("producer");
+    assert_eq!(produced, kb.documents.len());
+    assert!(app.index().len() >= kb.documents.len());
+}
+
+#[test]
+fn concurrent_queries_and_feedback_are_consistent() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 13).generate();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    let backend = Arc::new(Backend::new(app));
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let backend = Arc::clone(&backend);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..25 {
+                let user = format!("user-{t}");
+                let _ = backend.handle_ask(&user, "come posso aprire un conto corrente?");
+                if i % 5 == 0 {
+                    backend.handle_feedback(Feedback {
+                        user: user.clone(),
+                        question: "q".into(),
+                        answer_helpful: Some(true),
+                        docs_relevant: Some(true),
+                        rating: 4,
+                        relevant_links: vec![],
+                        comments: String::new(),
+                    });
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let snap = backend.app().monitoring.snapshot();
+    assert_eq!(snap.queries, 100);
+    assert_eq!(snap.users, 4);
+    assert_eq!(snap.feedbacks, 20);
+    assert_eq!(backend.feedback.len(), 20);
+}
+
+#[test]
+fn searches_are_stable_while_monitoring_mutates() {
+    let kb = CorpusGenerator::new(CorpusScale::tiny(), 2).generate();
+    let mut app = UniAsk::new(UniAskConfig::default());
+    app.ingest(&kb);
+    let app = Arc::new(app);
+
+    let baseline = app.search("limite bonifico");
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let app = Arc::clone(&app);
+        handles.push(std::thread::spawn(move || {
+            let mut all_equal = true;
+            for _ in 0..20 {
+                let hits = app.search("limite bonifico");
+                all_equal &= !hits.is_empty();
+            }
+            all_equal
+        }));
+    }
+    for h in handles {
+        assert!(h.join().expect("reader"));
+    }
+    assert_eq!(app.search("limite bonifico"), baseline, "search is a pure read");
+}

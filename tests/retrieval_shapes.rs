@@ -1,0 +1,195 @@
+//! Shape tests: the qualitative findings of the paper's evaluation
+//! must hold at test scale — who wins, where, and roughly how.
+
+use std::sync::OnceLock;
+
+use uniask::core::app::UniAsk;
+use uniask::core::config::UniAskConfig;
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::kb::KnowledgeBase;
+use uniask::corpus::prev_engine::PrevEngine;
+use uniask::corpus::questions::{DatasetSplit, QuestionGenerator};
+use uniask::corpus::scale::CorpusScale;
+use uniask::corpus::vocab::Vocabulary;
+use uniask::eval::metrics::RetrievalMetrics;
+use uniask::eval::runner::{EvalQuery, EvalRunner};
+use uniask::search::hybrid::HybridConfig;
+
+struct Env {
+    kb: KnowledgeBase,
+    app: UniAsk,
+    prev: PrevEngine,
+    human: DatasetSplit,
+    keyword: DatasetSplit,
+}
+
+fn env() -> &'static Env {
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let scale = CorpusScale {
+            documents: 800,
+            human_questions: 150,
+            keyword_queries: 80,
+            embedding_dim: 64,
+        };
+        let kb = CorpusGenerator::new(scale, 42).generate();
+        let vocab = Vocabulary::new();
+        let qgen = QuestionGenerator::new(&kb, &vocab, 42);
+        let human = qgen.human_dataset(scale.human_questions).split(9);
+        let keyword = qgen.keyword_dataset(scale.keyword_queries).split(9);
+        let mut app = UniAsk::new(UniAskConfig {
+            embedding_dim: scale.embedding_dim,
+            ..Default::default()
+        });
+        app.ingest(&kb);
+        let prev = PrevEngine::build(&kb);
+        Env {
+            kb,
+            app,
+            prev,
+            human,
+            keyword,
+        }
+    })
+}
+
+fn queries(split: &DatasetSplit) -> Vec<EvalQuery> {
+    split
+        .test
+        .queries
+        .iter()
+        .map(|q| EvalQuery {
+            text: q.text.clone(),
+            relevant: q.relevant.clone(),
+        })
+        .collect()
+}
+
+fn run_uniask(qs: &[EvalQuery]) -> RetrievalMetrics {
+    let e = env();
+    EvalRunner::new()
+        .run(qs, |q| {
+            e.app.search(q).into_iter().map(|h| h.parent_doc).collect()
+        })
+        .metrics
+}
+
+fn run_prev(qs: &[EvalQuery]) -> RetrievalMetrics {
+    let e = env();
+    EvalRunner::new().run(qs, |q| e.prev.search(q, 50)).metrics
+}
+
+fn run_config(qs: &[EvalQuery], config: &HybridConfig) -> RetrievalMetrics {
+    let e = env();
+    EvalRunner::new()
+        .run(qs, |q| {
+            e.app
+                .index()
+                .search_documents(q, config)
+                .into_iter()
+                .map(|h| h.parent_doc)
+                .collect()
+        })
+        .metrics
+}
+
+// ---------------------------------------------------------- Table 1
+
+#[test]
+fn prev_engine_fails_most_natural_language_questions() {
+    let qs = queries(&env().human);
+    let prev = run_prev(&qs);
+    // Paper: Prev returned results for only 19.1% of human questions.
+    assert!(
+        prev.coverage < 0.45,
+        "Prev NL coverage {} too high",
+        prev.coverage
+    );
+}
+
+#[test]
+fn uniask_serves_every_query_in_both_datasets() {
+    for split in [&env().human, &env().keyword] {
+        let m = run_uniask(&queries(split));
+        assert!(m.coverage > 0.99, "coverage {}", m.coverage);
+    }
+}
+
+#[test]
+fn uniask_dominates_on_human_questions() {
+    let qs = queries(&env().human);
+    let prev = run_prev(&qs);
+    let uni = run_uniask(&qs);
+    // UniAsk wins on the averaged metrics even though Prev is averaged
+    // only over its own served subset.
+    assert!(uni.mrr > prev.mrr, "MRR {} vs {}", uni.mrr, prev.mrr);
+    assert!(uni.hit_at[&4] > prev.hit_at[&4]);
+    assert!(uni.r_at[&50] > prev.r_at[&50]);
+}
+
+#[test]
+fn keyword_dataset_is_near_parity() {
+    let qs = queries(&env().keyword);
+    let prev = run_prev(&qs);
+    let uni = run_uniask(&qs);
+    // Paper: comparable, with losses mostly below 10%; we allow ±40%
+    // at this reduced scale.
+    let ratio = uni.mrr / prev.mrr.max(1e-9);
+    assert!(
+        (0.6..=1.6).contains(&ratio),
+        "keyword MRR ratio {ratio} out of parity band"
+    );
+}
+
+// ---------------------------------------------------------- Table 2
+
+#[test]
+fn both_components_lose_to_hybrid_on_human_questions() {
+    let qs = queries(&env().human);
+    let hss = run_config(&qs, &HybridConfig::default());
+    let text = run_config(&qs, &HybridConfig::text_only());
+    let vector = run_config(&qs, &HybridConfig::vector_only());
+    assert!(text.mrr < hss.mrr, "text-only must lose: {} vs {}", text.mrr, hss.mrr);
+    assert!(vector.mrr < hss.mrr, "vector-only must lose: {} vs {}", vector.mrr, hss.mrr);
+    // Paper: the loss is larger for text search on the human dataset.
+    assert!(
+        text.mrr < vector.mrr,
+        "text-only should lose more than vector-only on NL questions: {} vs {}",
+        text.mrr,
+        vector.mrr
+    );
+}
+
+#[test]
+fn text_search_holds_up_better_on_keyword_queries() {
+    let qs = queries(&env().keyword);
+    let text = run_config(&qs, &HybridConfig::text_only());
+    let vector = run_config(&qs, &HybridConfig::vector_only());
+    // Paper: "Text Search yields lower loss on all metrics for the
+    // keyword queries".
+    assert!(
+        text.mrr > vector.mrr,
+        "text {} should beat vector {} on keyword queries",
+        text.mrr,
+        vector.mrr
+    );
+}
+
+// ---------------------------------------------------------- corpus
+
+#[test]
+fn corpus_has_content_replication() {
+    let kb = &env().kb;
+    let mut per_fact = std::collections::HashMap::new();
+    for d in &kb.documents {
+        *per_fact.entry(d.fact_id).or_insert(0usize) += 1;
+    }
+    // Fraction of *documents* that share their fact with another
+    // document (the paper's near-duplicate pages).
+    let replicated_docs: usize = per_fact.values().filter(|&&c| c > 1).copied().sum();
+    assert!(
+        replicated_docs * 10 >= kb.documents.len(),
+        "at least 10% of documents should be near-duplicates ({replicated_docs}/{})",
+        kb.documents.len()
+    );
+}
