@@ -1,0 +1,141 @@
+//! Concurrency benchmarks for the hybrid query engine:
+//!
+//! * sequential vs. parallel-leg single-query latency,
+//! * batch throughput (QPS) at 1/2/4/8 worker threads,
+//! * cache-hit latency against a cold query.
+//!
+//! Acceptance targets (ISSUE 1): batch QPS at 4 threads ≥ 2× the
+//! 1-thread batch, and a cached repeat query ≥ 10× faster than cold.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use uniask_core::app::UniAsk;
+use uniask_core::config::UniAskConfig;
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::questions::QuestionGenerator;
+use uniask_corpus::scale::CorpusScale;
+use uniask_corpus::vocab::Vocabulary;
+use uniask_search::cache::CacheConfig;
+use uniask_search::hybrid::HybridConfig;
+
+const DOCS: usize = 1500;
+const BATCH: usize = 64;
+
+fn system(query_cache: Option<CacheConfig>) -> UniAsk {
+    let kb = CorpusGenerator::new(
+        CorpusScale {
+            documents: DOCS,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 64,
+        },
+        11,
+    )
+    .generate();
+    let mut app = UniAsk::new(UniAskConfig {
+        embedding_dim: 64,
+        query_cache,
+        ..Default::default()
+    });
+    app.ingest(&kb);
+    app
+}
+
+fn query_batch() -> Vec<String> {
+    let kb = CorpusGenerator::new(
+        CorpusScale {
+            documents: DOCS,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 64,
+        },
+        11,
+    )
+    .generate();
+    let vocab = Vocabulary::new();
+    let gen = QuestionGenerator::new(&kb, &vocab, 17);
+    let mut queries: Vec<String> = gen
+        .human_dataset(BATCH / 2)
+        .queries
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    queries.extend(
+        gen.keyword_dataset(BATCH - queries.len())
+            .queries
+            .into_iter()
+            .map(|q| q.text),
+    );
+    queries
+}
+
+/// Single-query latency: sequential legs vs. scoped-thread legs.
+fn bench_single_query(c: &mut Criterion) {
+    let app = system(None);
+    let query = "come posso bloccare la tessera smarrita di un correntista";
+    let sequential = HybridConfig::default();
+    let parallel = HybridConfig {
+        parallel: true,
+        ..Default::default()
+    };
+    c.bench_function("hybrid_concurrency/single_query_sequential", |b| {
+        b.iter(|| black_box(app.index().search(black_box(query), &sequential).len()))
+    });
+    c.bench_function("hybrid_concurrency/single_query_parallel_legs", |b| {
+        b.iter(|| black_box(app.index().search(black_box(query), &parallel).len()))
+    });
+}
+
+/// Batch throughput: a fixed query batch fanned over 1/2/4/8 threads,
+/// each thread searching a slice of the batch against the shared index.
+fn bench_batch_qps(c: &mut Criterion) {
+    let app = system(None);
+    let queries = query_batch();
+    let config = HybridConfig::default();
+    let mut group = c.benchmark_group("hybrid_concurrency/batch_qps");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                let chunk = queries.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = queries
+                        .chunks(chunk)
+                        .map(|slice| {
+                            let index = app.index();
+                            let config = &config;
+                            scope.spawn(move || {
+                                let mut total = 0usize;
+                                for q in slice {
+                                    total += index.search(q, config).len();
+                                }
+                                total
+                            })
+                        })
+                        .collect();
+                    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                    black_box(total)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cache-hit latency: a warmed cache entry vs. the cold compute path.
+fn bench_cache_hit(c: &mut Criterion) {
+    let cold = system(None);
+    let warm = system(Some(CacheConfig::default()));
+    let query = "limite del bonifico verso un paese estero";
+    let config = HybridConfig::default();
+    // Prime the cache entry once.
+    let _ = warm.index().search(query, &config);
+    c.bench_function("hybrid_concurrency/query_cold", |b| {
+        b.iter(|| black_box(cold.index().search(black_box(query), &config).len()))
+    });
+    c.bench_function("hybrid_concurrency/query_cached", |b| {
+        b.iter(|| black_box(warm.index().search(black_box(query), &config).len()))
+    });
+}
+
+criterion_group!(benches, bench_single_query, bench_batch_qps, bench_cache_hit);
+criterion_main!(benches);

@@ -117,7 +117,10 @@ impl UniAsk {
             normalizer.clone(),
         ));
         let reranker = SemanticReranker::new(normalizer.clone());
-        let index = SearchIndex::new(embedder, reranker);
+        let mut index = SearchIndex::new(embedder, reranker);
+        if let Some(cache) = config.query_cache {
+            index.enable_cache(cache);
+        }
         let llm = Arc::new(SimLlm::with_normalizer(config.llm, normalizer));
         let service = config
             .llm_service
@@ -175,6 +178,21 @@ impl UniAsk {
         self.indexing.apply(&mut self.index, message);
     }
 
+    /// Apply a batch of incremental ingest messages with the embedding
+    /// work fanned out over `workers` threads (0 = all CPUs). The
+    /// resulting index is identical to calling
+    /// [`UniAsk::apply_update`] per message in order.
+    pub fn apply_updates_parallel(&mut self, messages: Vec<IngestMessage>, workers: usize) -> usize {
+        if let Some(fc) = &mut self.fact_check {
+            for message in &messages {
+                if let IngestMessage::Upsert(doc) = message {
+                    fc.store.ingest(&doc.body_text());
+                }
+            }
+        }
+        crate::bulk::apply_messages_parallel(&mut self.indexing, &mut self.index, messages, workers)
+    }
+
     /// The fact-check knowledge store, when enabled.
     pub fn fact_store(&self) -> Option<&FactStore> {
         self.fact_check.as_ref().map(|fc| &fc.store)
@@ -222,10 +240,10 @@ impl UniAsk {
         // list is document-level.
         let chunk_hits = self.index.search(question, &self.config.hybrid);
         let documents = {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
             chunk_hits
                 .iter()
-                .filter(|h| seen.insert(h.parent_doc.clone()))
+                .filter(|h| seen.insert(h.parent_doc.as_str()))
                 .cloned()
                 .collect::<Vec<_>>()
         };
@@ -441,7 +459,10 @@ impl UniAsk {
             normalizer.clone(),
         ));
         let reranker = SemanticReranker::new(normalizer.clone());
-        let index = SearchIndex::load(snapshot, embedder, reranker)?;
+        let mut index = SearchIndex::load(snapshot, embedder, reranker)?;
+        if let Some(cache) = config.query_cache {
+            index.enable_cache(cache);
+        }
         let llm = Arc::new(SimLlm::with_normalizer(config.llm, normalizer));
         let service = config
             .llm_service

@@ -134,6 +134,9 @@ impl Backend {
         };
         let response_time = 0.4 + 0.012 * answer_tokens as f64;
         self.app.monitoring.record_query(user, response_time);
+        if let Some(stats) = self.app.index().cache_stats() {
+            self.app.monitoring.record_cache(stats);
+        }
         self.query_log
             .record(question, user, !response.documents.is_empty());
         response
@@ -183,6 +186,24 @@ mod tests {
         assert_eq!(snap.queries, 1);
         assert_eq!(snap.users, 1);
         assert!(snap.avg_response_time_secs > 0.0);
+    }
+
+    #[test]
+    fn repeat_questions_surface_as_cache_hits() {
+        let b = backend();
+        let q = "come apro un conto corrente?";
+        let first = b.handle_ask("mario", q);
+        let second = b.handle_ask("anna", q);
+        assert_eq!(
+            first.documents, second.documents,
+            "cached repeat serves identical documents"
+        );
+        let snap = b.app().monitoring.snapshot();
+        assert!(
+            snap.cache_hits >= 1,
+            "dashboard shows cache hits: {snap:?}"
+        );
+        assert!(snap.cache_misses >= 1);
     }
 
     #[test]

@@ -23,11 +23,12 @@
 use std::sync::Arc;
 
 use crossbeam::channel::bounded;
-use uniask_corpus::kb::KnowledgeBase;
+use uniask_corpus::kb::{KbDocument, KnowledgeBase};
 use uniask_search::hybrid::{ChunkRecord, SearchIndex};
 use uniask_vector::embedding::Embedder;
 
 use crate::indexing::IndexingService;
+use crate::ingestion::IngestMessage;
 
 /// One document's prepared chunks with their embeddings.
 struct Prepared {
@@ -114,6 +115,106 @@ pub fn bulk_ingest(
     written
 }
 
+/// Apply a batch of incremental ingest messages with `workers`
+/// preparation threads (0 = all CPUs). Returns the number of messages
+/// processed.
+///
+/// Upserts are chunked, enriched and embedded in parallel; the index
+/// replay then runs single-writer in the **original message order**, so
+/// interleaved upsert/delete semantics, service counters and the
+/// resulting index are identical to calling
+/// [`IndexingService::apply`] per message.
+pub fn apply_messages_parallel(
+    indexing: &mut IndexingService,
+    index: &mut SearchIndex,
+    messages: Vec<IngestMessage>,
+    workers: usize,
+) -> usize {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        workers
+    };
+    let embedder: Arc<dyn Embedder> = Arc::clone(index.embedder());
+    let total = messages.len();
+
+    // Phase 1: prepare every upsert in parallel, keyed by its message
+    // position so the replay below can find it in order.
+    let mut prepared: Vec<Option<Vec<(ChunkRecord, Vec<f32>, Vec<f32>)>>> =
+        (0..total).map(|_| None).collect();
+    {
+        let svc: &IndexingService = indexing;
+        let upserts: Vec<(usize, &KbDocument)> = messages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| match m {
+                IngestMessage::Upsert(doc) => Some((i, doc)),
+                IngestMessage::Delete(_) => None,
+            })
+            .collect();
+        if !upserts.is_empty() {
+            let results: Vec<(usize, Vec<(ChunkRecord, Vec<f32>, Vec<f32>)>)> =
+                crossbeam::scope(|scope| {
+                    let (work_tx, work_rx) = bounded::<(usize, &KbDocument)>(upserts.len());
+                    let (done_tx, done_rx) = bounded(workers * 4);
+                    for _ in 0..workers {
+                        let work_rx = work_rx.clone();
+                        let done_tx = done_tx.clone();
+                        let embedder = Arc::clone(&embedder);
+                        scope.spawn(move |_| {
+                            while let Ok((pos, doc)) = work_rx.recv() {
+                                let chunks: Vec<(ChunkRecord, Vec<f32>, Vec<f32>)> = svc
+                                    .chunk_document(doc)
+                                    .into_iter()
+                                    .map(|record| {
+                                        let title_vec = embedder.embed(&record.title);
+                                        let content_vec = embedder.embed(&record.content);
+                                        (record, title_vec, content_vec)
+                                    })
+                                    .collect();
+                                if done_tx.send((pos, chunks)).is_err() {
+                                    return;
+                                }
+                            }
+                        });
+                    }
+                    drop(done_tx);
+                    for item in upserts {
+                        work_tx.send(item).expect("queue sized to fit all work");
+                    }
+                    drop(work_tx);
+                    done_rx.iter().collect()
+                })
+                .expect("message preparation workers must not panic");
+            for (pos, chunks) in results {
+                prepared[pos] = Some(chunks);
+            }
+        }
+    }
+
+    // Phase 2: single-writer replay in message order.
+    for (pos, message) in messages.into_iter().enumerate() {
+        match message {
+            IngestMessage::Upsert(doc) => {
+                if index.remove_document(&doc.id) > 0 {
+                    indexing.documents_removed += 1;
+                }
+                let chunks = prepared[pos].take().expect("every upsert was prepared");
+                for (record, title_vec, content_vec) in chunks {
+                    index.add_chunk_with_vectors(&record, title_vec, content_vec);
+                    indexing.chunks_indexed += 1;
+                }
+            }
+            IngestMessage::Delete(id) => {
+                if index.remove_document(&id) > 0 {
+                    indexing.documents_removed += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +272,56 @@ mod tests {
         let kb = kb();
         let written = a.ingest_parallel(&kb, 1);
         assert!(written >= kb.documents.len());
+    }
+
+    #[test]
+    fn parallel_message_batch_matches_sequential_apply() {
+        let kb = kb();
+        // An interleaved batch: upserts, a replacement of an earlier
+        // document, and a delete in the middle.
+        let mut messages: Vec<IngestMessage> = kb
+            .documents
+            .iter()
+            .take(8)
+            .cloned()
+            .map(IngestMessage::Upsert)
+            .collect();
+        let mut replaced = kb.documents[2].clone();
+        replaced.html = "<p>versione aggiornata del documento</p>".into();
+        messages.push(IngestMessage::Upsert(replaced));
+        messages.insert(5, IngestMessage::Delete(kb.documents[0].id.clone()));
+
+        let mut seq_app = app();
+        for m in messages.clone() {
+            seq_app.apply_update(m);
+        }
+        let mut par_app = app();
+        let processed = par_app.apply_updates_parallel(messages.clone(), 4);
+        assert_eq!(processed, messages.len());
+
+        // Snapshots are byte-identical: the strongest determinism check.
+        assert_eq!(seq_app.save_index(), par_app.save_index());
+        for query in ["limite bonifico", "versione aggiornata", "badge"] {
+            let a: Vec<String> = seq_app
+                .index()
+                .search_documents(query, &HybridConfig::default())
+                .into_iter()
+                .map(|h| h.parent_doc)
+                .collect();
+            let b: Vec<String> = par_app
+                .index()
+                .search_documents(query, &HybridConfig::default())
+                .into_iter()
+                .map(|h| h.parent_doc)
+                .collect();
+            assert_eq!(a, b, "parallel batch diverged on `{query}`");
+        }
+    }
+
+    #[test]
+    fn empty_message_batch_is_a_no_op() {
+        let mut a = app();
+        assert_eq!(a.apply_updates_parallel(Vec::new(), 4), 0);
+        assert_eq!(a.index().len(), 0);
     }
 }

@@ -3,6 +3,7 @@
 use uniask_index::searcher::ScoringProfile;
 use uniask_llm::model::SimLlmConfig;
 use uniask_llm::service::LlmServiceConfig;
+use uniask_search::cache::CacheConfig;
 use uniask_search::enrichment::Enrichment;
 use uniask_search::hybrid::HybridConfig;
 
@@ -32,6 +33,9 @@ pub struct UniAskConfig {
     /// (token bucket + latency model, with one bounded retry). `None`
     /// calls the model directly — the evaluation configuration.
     pub llm_service: Option<LlmServiceConfig>,
+    /// Query-result cache sizing; `None` disables the cache. Results
+    /// are identical either way — the cache only changes latency.
+    pub query_cache: Option<CacheConfig>,
     /// Global seed.
     pub seed: u64,
 }
@@ -49,6 +53,7 @@ impl Default for UniAskConfig {
             summary_sentences: 2,
             enable_fact_check: false,
             llm_service: None,
+            query_cache: Some(CacheConfig::default()),
             seed: 0xBA5E_BA11,
         }
     }

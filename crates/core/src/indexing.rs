@@ -107,6 +107,23 @@ impl IndexingService {
         }
         processed
     }
+
+    /// Like [`IndexingService::drain`], but chunking and embedding of
+    /// the queued upserts fan out over `workers` threads (0 = all CPUs)
+    /// before a single-writer replay in queue order. The index and the
+    /// service counters end up identical to a sequential drain.
+    pub fn drain_parallel(
+        &mut self,
+        index: &mut SearchIndex,
+        queue: &MessageQueue<IngestMessage>,
+        workers: usize,
+    ) -> usize {
+        let mut messages = Vec::new();
+        while let Some(message) = queue.try_receive() {
+            messages.push(message);
+        }
+        crate::bulk::apply_messages_parallel(self, index, messages, workers)
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use parking_lot::Mutex;
 use uniask_guardrails::verdict::GuardrailKind;
+use uniask_search::cache::CacheStats;
 
 /// Thread-safe monitoring collector.
 #[derive(Debug, Default)]
@@ -28,6 +29,9 @@ struct Inner {
     guardrail_content_filter: usize,
     response_time_sum: f64,
     response_time_count: usize,
+    /// Latest query-result cache counters observed (cumulative since
+    /// the cache was created; see `uniask_search::cache`).
+    cache: CacheStats,
     /// Response-time histogram: fixed 50 ms buckets up to 10 s, plus an
     /// overflow bucket — enough resolution for p50/p95/p99 on a
     /// dashboard without unbounded memory.
@@ -90,6 +94,14 @@ pub struct DashboardSnapshot {
     pub p50_response_time_secs: f64,
     /// 95th-percentile response time, seconds.
     pub p95_response_time_secs: f64,
+    /// Query-cache lookups served from the cache.
+    pub cache_hits: u64,
+    /// Query-cache lookups that recomputed.
+    pub cache_misses: u64,
+    /// Query-cache entries evicted under capacity pressure.
+    pub cache_evictions: u64,
+    /// Query-cache entries dropped after an index mutation.
+    pub cache_invalidations: u64,
 }
 
 impl Monitoring {
@@ -116,6 +128,12 @@ impl Monitoring {
     /// Record a failed request (LLM/service error).
     pub fn record_failure(&self) {
         self.inner.lock().failed_requests += 1;
+    }
+
+    /// Record the current query-cache counters. `CacheStats` values are
+    /// cumulative, so the latest observation wins.
+    pub fn record_cache(&self, stats: CacheStats) {
+        self.inner.lock().cache = stats;
     }
 
     /// Record a guardrail trigger.
@@ -152,6 +170,10 @@ impl Monitoring {
             },
             p50_response_time_secs: inner.percentile(0.50),
             p95_response_time_secs: inner.percentile(0.95),
+            cache_hits: inner.cache.hits,
+            cache_misses: inner.cache.misses,
+            cache_evictions: inner.cache.evictions,
+            cache_invalidations: inner.cache.invalidations,
         }
     }
 }
@@ -172,6 +194,9 @@ impl DashboardSnapshot {
              │   · rouge                {:>8}           │\n\
              │   · clarification        {:>8}           │\n\
              │   · content filter       {:>8}           │\n\
+             │ cache hits               {:>8}           │\n\
+             │ cache misses             {:>8}           │\n\
+             │ cache evictions          {:>8}           │\n\
              └─────────────────────────────────────────────┘",
             self.users,
             self.queries,
@@ -185,6 +210,9 @@ impl DashboardSnapshot {
             self.guardrail_rouge,
             self.guardrail_clarification,
             self.guardrail_content_filter,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
         )
     }
 }
@@ -243,6 +271,26 @@ mod tests {
         assert!(page.contains("users"));
         assert!(page.contains("guardrails triggered"));
         assert!(page.contains("content filter"));
+    }
+
+    #[test]
+    fn cache_counters_surface_on_the_dashboard() {
+        let m = Monitoring::new();
+        m.record_cache(CacheStats {
+            hits: 5,
+            misses: 3,
+            evictions: 1,
+            invalidations: 2,
+            entries: 4,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 5);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.cache_evictions, 1);
+        assert_eq!(s.cache_invalidations, 2);
+        let page = s.render();
+        assert!(page.contains("cache hits"));
+        assert!(page.contains("cache evictions"));
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Sharded LRU query-result cache.
+//!
+//! Repeat queries dominate production search traffic (the paper's query
+//! log mined its keyword dataset from exactly this redundancy), yet the
+//! hybrid path recomputes BM25, two HNSW walks and the reranker on
+//! every call. This cache gives repeat queries an O(1) fast path:
+//!
+//! * **Sharded** — the key `(query, config fingerprint)` hashes to one
+//!   of N shards, each guarded by its own `parking_lot::Mutex`, so
+//!   concurrent readers on different shards never contend.
+//! * **LRU per shard** — every get/put advances a shard-local tick;
+//!   inserting into a full shard evicts the entry with the smallest
+//!   last-used tick (ticks are unique within a shard, so the victim is
+//!   deterministic).
+//! * **Generation-invalidated** — the owning [`SearchIndex`] bumps a
+//!   generation counter on every `add_chunk`/`remove_document`; an
+//!   entry recorded under an older generation is dropped at lookup
+//!   time instead of serving ghost results. Stale entries that are
+//!   never touched again are recycled by ordinary LRU eviction.
+//!
+//! Hit/miss/eviction/invalidation counters are exposed via
+//! [`QueryCache::stats`] and surface on the monitoring dashboard
+//! (`uniask-core::monitoring`).
+//!
+//! [`SearchIndex`]: crate::hybrid::SearchIndex
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::hybrid::SearchHit;
+
+/// Sizing of the query-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independently locked shards.
+    pub shards: usize,
+    /// Maximum entries held per shard.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 128,
+        }
+    }
+}
+
+/// Point-in-time cache counters (monotonic since construction, except
+/// `entries` which is the current population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including invalidated entries).
+    pub misses: u64,
+    /// Entries evicted by LRU capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because the index mutated after they were cached.
+    pub invalidations: u64,
+    /// Entries currently cached across all shards.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Index generation at the time the result was computed.
+    generation: u64,
+    /// Shard tick of the last touch (LRU ordering; unique per shard).
+    last_used: u64,
+    hits: Vec<SearchHit>,
+}
+
+/// One shard: `config fingerprint → query text → entry`. The nested
+/// map lets lookups borrow the query as `&str` without allocating a
+/// composite key.
+#[derive(Debug, Default)]
+struct Shard {
+    by_config: HashMap<u64, HashMap<String, Entry>>,
+    len: usize,
+    tick: u64,
+}
+
+/// The sharded, generation-invalidated LRU cache.
+#[derive(Debug)]
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+fn key_hash(query: &str, fingerprint: u64) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    query.hash(&mut h);
+    fingerprint.hash(&mut h);
+    h.finish()
+}
+
+impl QueryCache {
+    /// Create an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        QueryCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, query: &str, fingerprint: u64) -> &Mutex<Shard> {
+        &self.shards[(key_hash(query, fingerprint) as usize) % self.shards.len()]
+    }
+
+    /// Look up a cached result. `generation` is the owning index's
+    /// current generation; an entry cached under an older generation is
+    /// dropped and reported as a miss plus an invalidation.
+    pub fn get(&self, query: &str, fingerprint: u64, generation: u64) -> Option<Vec<SearchHit>> {
+        let mut guard = self.shard(query, fingerprint).lock();
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        let mut stale = false;
+        if let Some(entry) = shard
+            .by_config
+            .get_mut(&fingerprint)
+            .and_then(|m| m.get_mut(query))
+        {
+            if entry.generation == generation {
+                entry.last_used = tick;
+                let hits = entry.hits.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(hits);
+            }
+            stale = true;
+        }
+        if stale {
+            if let Some(m) = shard.by_config.get_mut(&fingerprint) {
+                if m.remove(query).is_some() {
+                    shard.len -= 1;
+                }
+                if m.is_empty() {
+                    shard.by_config.remove(&fingerprint);
+                }
+            }
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert (or refresh) a result computed under `generation`.
+    pub fn put(&self, query: &str, fingerprint: u64, generation: u64, hits: &[SearchHit]) {
+        let mut guard = self.shard(query, fingerprint).lock();
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        let exists = shard
+            .by_config
+            .get(&fingerprint)
+            .is_some_and(|m| m.contains_key(query));
+        if !exists && shard.len >= self.capacity_per_shard {
+            // LRU victim: smallest last-used tick. Ticks are unique per
+            // shard, so the scan is deterministic despite map order.
+            let mut victim: Option<(u64, u64, &String)> = None;
+            for (fp, m) in &shard.by_config {
+                for (q, e) in m {
+                    if victim.is_none_or(|(lu, _, _)| e.last_used < lu) {
+                        victim = Some((e.last_used, *fp, q));
+                    }
+                }
+            }
+            let victim = victim.map(|(_, fp, q)| (fp, q.clone()));
+            if let Some((fp, q)) = victim {
+                if let Some(m) = shard.by_config.get_mut(&fp) {
+                    if m.remove(&q).is_some() {
+                        shard.len -= 1;
+                    }
+                    if m.is_empty() {
+                        shard.by_config.remove(&fp);
+                    }
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let entry = Entry {
+            generation,
+            last_used: tick,
+            hits: hits.to_vec(),
+        };
+        if shard
+            .by_config
+            .entry(fingerprint)
+            .or_default()
+            .insert(query.to_string(), entry)
+            .is_none()
+        {
+            shard.len += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len).sum(),
+        }
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut guard = s.lock();
+            guard.by_config.clear();
+            guard.len = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_index::doc::DocId;
+
+    fn hit(id: u32, score: f64) -> SearchHit {
+        SearchHit {
+            chunk: DocId(id),
+            parent_doc: format!("kb/{id}"),
+            title: format!("t{id}"),
+            content: format!("c{id}"),
+            score,
+        }
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let cache = QueryCache::new(CacheConfig::default());
+        let hits = vec![hit(1, 0.5), hit(2, 0.25)];
+        cache.put("bonifico", 7, 0, &hits);
+        assert_eq!(cache.get("bonifico", 7, 0), Some(hits));
+        assert_eq!(cache.get("mutuo", 7, 0), None);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn different_fingerprints_are_distinct_entries() {
+        let cache = QueryCache::new(CacheConfig::default());
+        cache.put("q", 1, 0, &[hit(1, 0.1)]);
+        cache.put("q", 2, 0, &[hit(2, 0.2)]);
+        assert_eq!(cache.get("q", 1, 0).unwrap()[0].chunk, DocId(1));
+        assert_eq!(cache.get("q", 2, 0).unwrap()[0].chunk, DocId(2));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn stale_generation_invalidates() {
+        let cache = QueryCache::new(CacheConfig::default());
+        cache.put("q", 1, 0, &[hit(1, 0.1)]);
+        // The index mutated: generation advanced past the entry's.
+        assert_eq!(cache.get("q", 1, 1), None);
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 0, "stale entry is dropped eagerly");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        cache.put("a", 0, 0, &[hit(1, 0.1)]);
+        cache.put("b", 0, 0, &[hit(2, 0.2)]);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.get("a", 0, 0).is_some());
+        cache.put("c", 0, 0, &[hit(3, 0.3)]);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get("a", 0, 0).is_some(), "recently used survives");
+        assert!(cache.get("b", 0, 0).is_none(), "LRU entry evicted");
+        assert!(cache.get("c", 0, 0).is_some());
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_grow() {
+        let cache = QueryCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 4,
+        });
+        for generation in 0..10 {
+            cache.put("q", 0, generation, &[hit(1, 0.1)]);
+        }
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get("q", 0, 9).is_some(), "latest generation wins");
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let cache = QueryCache::new(CacheConfig::default());
+        for i in 0..32 {
+            cache.put(&format!("q{i}"), 0, 0, &[hit(i, 0.1)]);
+        }
+        assert_eq!(cache.stats().entries, 32);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(QueryCache::new(CacheConfig::default()));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let cache = std::sync::Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let q = format!("q{}", i % 50);
+                    cache.put(&q, u64::from(t), 0, &[hit(i, 0.1)]);
+                    let _ = cache.get(&q, u64::from(t), 0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.entries > 0);
+    }
+}

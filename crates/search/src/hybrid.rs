@@ -7,6 +7,7 @@
 //! with the semantic reranker. Component flags expose the Table 2
 //! ablations (text-only / vector-only).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use uniask_index::doc::{DocId, IndexDocument};
@@ -18,8 +19,9 @@ use uniask_vector::embedding::Embedder;
 use uniask_vector::hnsw::{Hnsw, HnswParams};
 use uniask_vector::VectorIndex;
 
+use crate::cache::{CacheConfig, CacheStats, QueryCache};
 use crate::reranker::SemanticReranker;
-use crate::rrf::rrf_fuse;
+use crate::rrf::{rrf_fuse, RrfFused};
 
 /// A chunk ready for indexing (output of the indexing service).
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +65,13 @@ pub struct HybridConfig {
     pub use_reranker: bool,
     /// Scoring profile for the text component (title boosting).
     pub profile: ScoringProfile,
+    /// Run the retrieval legs (BM25 + the two vector fields) and the
+    /// reranker scoring on scoped worker threads. The results are
+    /// byte-identical to the sequential path: each leg is
+    /// deterministic, fusion order is fixed by leg index, and reranker
+    /// scores are computed per candidate with no cross-candidate
+    /// accumulation.
+    pub parallel: bool,
 }
 
 impl Default for HybridConfig {
@@ -76,6 +85,7 @@ impl Default for HybridConfig {
             use_vector: true,
             use_reranker: true,
             profile: ScoringProfile::neutral(),
+            parallel: false,
         }
     }
 }
@@ -97,6 +107,25 @@ impl HybridConfig {
             use_reranker: false,
             ..Default::default()
         }
+    }
+
+    /// Stable 64-bit fingerprint over every result-affecting field,
+    /// used as part of the query-cache key. `parallel` is deliberately
+    /// excluded: the parallel path returns byte-identical results, so
+    /// both execution modes share cache entries.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.text_n.hash(&mut h);
+        self.vector_k.hash(&mut h);
+        self.rrf_c.to_bits().hash(&mut h);
+        self.final_n.hash(&mut h);
+        (self.use_text, self.use_vector, self.use_reranker).hash(&mut h);
+        for (field, weight) in &self.profile.weights {
+            field.hash(&mut h);
+            weight.to_bits().hash(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -139,6 +168,12 @@ pub struct SearchIndex {
     /// parent document id → chunk ids (for document replacement).
     pub(crate) by_parent: std::collections::HashMap<String, Vec<u32>>,
     pub(crate) tombstones: usize,
+    /// Optional query-result cache (see [`crate::cache`]).
+    pub(crate) cache: Option<QueryCache>,
+    /// Mutation counter: bumped on every add/remove so cached results
+    /// computed against an older index state are invalidated instead of
+    /// served as ghosts.
+    pub(crate) generation: AtomicU64,
 }
 
 impl std::fmt::Debug for SearchIndex {
@@ -176,7 +211,35 @@ impl SearchIndex {
             live: Vec::new(),
             by_parent: std::collections::HashMap::new(),
             tombstones: 0,
+            cache: None,
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// Enable the sharded query-result cache (disabled by default).
+    /// Safe to call on a populated index; an existing cache is
+    /// replaced, dropping its entries and counters.
+    pub fn enable_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(QueryCache::new(config));
+    }
+
+    /// Drop the query-result cache.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Cache counters, when the cache is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(QueryCache::stats)
+    }
+
+    /// The current mutation generation (cache-invalidation epoch).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    fn bump_generation(&mut self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of live (non-removed) chunks.
@@ -199,6 +262,9 @@ impl SearchIndex {
                 self.tombstones += 1;
                 removed += 1;
             }
+        }
+        if removed > 0 {
+            self.bump_generation();
         }
         removed
     }
@@ -252,6 +318,7 @@ impl SearchIndex {
             .entry(record.parent_doc.clone())
             .or_default()
             .push(id.0);
+        self.bump_generation();
         id
     }
 
@@ -289,11 +356,30 @@ impl SearchIndex {
             .entry(record.parent_doc.clone())
             .or_default()
             .push(id.0);
+        self.bump_generation();
         id
     }
 
     /// Run hybrid search for `query`.
+    ///
+    /// When the query-result cache is enabled, this is the cached entry
+    /// point: a repeat `(query, config)` pair under an unchanged index
+    /// is served from the cache without touching the component indexes.
     pub fn search(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        if let Some(cache) = &self.cache {
+            let generation = self.generation.load(Ordering::Relaxed);
+            let fingerprint = config.fingerprint();
+            if let Some(hits) = cache.get(query, fingerprint, generation) {
+                return hits;
+            }
+            let hits = self.search_uncached(query, config);
+            cache.put(query, fingerprint, generation, &hits);
+            return hits;
+        }
+        self.search_uncached(query, config)
+    }
+
+    fn search_uncached(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
         let query_vector = if config.use_vector {
             Some(self.embedder.embed(query))
         } else {
@@ -304,59 +390,151 @@ impl SearchIndex {
 
     /// Hybrid search with an externally supplied query vector (used by
     /// the MQ2 expansion variant, which averages several embeddings).
+    /// Never consults the query cache: the supplied vector need not be
+    /// the embedding of `text_query`.
     pub fn search_with_vector(
         &self,
         text_query: &str,
         query_vector: Option<&[f32]>,
         config: &HybridConfig,
     ) -> Vec<SearchHit> {
+        let rankings = self.collect_rankings(text_query, query_vector, config);
+        let fused = rrf_fuse(&rankings, config.rrf_c);
+        self.finalize_hits(text_query, fused, config)
+    }
+
+    /// The BM25 leg: chunk ids, best first.
+    fn text_leg(&self, text_query: &str, config: &HybridConfig) -> Vec<u32> {
+        self.searcher
+            .search(&self.inverted, text_query, config.text_n, &config.profile, None)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|h| h.doc.0)
+            .collect()
+    }
+
+    /// One vector-field leg: live chunk ids, best first.
+    fn vector_leg(&self, field: &Hnsw, query_vector: &[f32], config: &HybridConfig) -> Vec<u32> {
+        // Over-fetch to compensate for tombstoned chunks.
+        let fetch = config.vector_k + self.tombstones.min(config.vector_k * 3);
+        field
+            .search(query_vector, fetch)
+            .into_iter()
+            .filter(|n| self.live[n.id as usize])
+            .take(config.vector_k)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Run the enabled retrieval legs, sequentially or on scoped
+    /// threads. The returned rankings are always in the fixed order
+    /// text, title-vector, content-vector, so RRF fusion is identical
+    /// regardless of execution mode.
+    fn collect_rankings(
+        &self,
+        text_query: &str,
+        query_vector: Option<&[f32]>,
+        config: &HybridConfig,
+    ) -> Vec<Vec<u32>> {
+        let vector_active = config.use_vector
+            && query_vector.is_some_and(|qv| qv.iter().any(|&x| x != 0.0));
+        let legs = usize::from(config.use_text) + 2 * usize::from(vector_active);
         let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
-        if config.use_text {
-            let hits = self
-                .searcher
-                .search(&self.inverted, text_query, config.text_n, &config.profile, None)
-                .unwrap_or_default();
-            rankings.push(hits.into_iter().map(|h| h.doc.0).collect());
-        }
-        if config.use_vector {
-            if let Some(qv) = query_vector {
-                if qv.iter().any(|&x| x != 0.0) {
-                    // Over-fetch to compensate for tombstoned chunks.
-                    let fetch = config.vector_k + self.tombstones.min(config.vector_k * 3);
-                    for field in [&self.title_vectors, &self.content_vectors] {
-                        rankings.push(
-                            field
-                                .search(qv, fetch)
-                                .into_iter()
-                                .filter(|n| self.live[n.id as usize])
-                                .take(config.vector_k)
-                                .map(|n| n.id)
-                                .collect(),
-                        );
-                    }
-                }
+        if config.parallel && legs > 1 {
+            let (text_hits, title_hits, content_hits) = std::thread::scope(|scope| {
+                let text_handle = config
+                    .use_text
+                    .then(|| scope.spawn(|| self.text_leg(text_query, config)));
+                let title_handle = vector_active.then(|| {
+                    let qv = query_vector.expect("vector_active implies a query vector");
+                    scope.spawn(move || self.vector_leg(&self.title_vectors, qv, config))
+                });
+                // Run the content leg on the calling thread: with three
+                // legs we only need two extra threads.
+                let content_hits = vector_active.then(|| {
+                    let qv = query_vector.expect("vector_active implies a query vector");
+                    self.vector_leg(&self.content_vectors, qv, config)
+                });
+                (
+                    text_handle.map(|h| h.join().expect("text leg must not panic")),
+                    title_handle.map(|h| h.join().expect("title leg must not panic")),
+                    content_hits,
+                )
+            });
+            rankings.extend(text_hits);
+            rankings.extend(title_hits);
+            rankings.extend(content_hits);
+        } else {
+            if config.use_text {
+                rankings.push(self.text_leg(text_query, config));
+            }
+            if vector_active {
+                let qv = query_vector.expect("vector_active implies a query vector");
+                rankings.push(self.vector_leg(&self.title_vectors, qv, config));
+                rankings.push(self.vector_leg(&self.content_vectors, qv, config));
             }
         }
-        let fused = rrf_fuse(&rankings, config.rrf_c);
-        let mut hits: Vec<SearchHit> = fused
-            .into_iter()
-            .take(config.final_n)
-            .map(|f| {
-                let meta = &self.chunks[f.id as usize];
-                let mut score = f.score;
-                if config.use_reranker {
-                    score += self.reranker.weight
-                        * self.reranker.score(text_query, &meta.title, &meta.content);
-                }
-                SearchHit {
-                    chunk: DocId(f.id),
-                    parent_doc: meta.parent_doc.clone(),
-                    title: meta.title.clone(),
-                    content: meta.content.clone(),
-                    score,
-                }
+        rankings
+    }
+
+    /// Score one fused candidate (RRF score plus weighted reranker).
+    fn scored_hit(&self, text_query: &str, fused: &RrfFused<u32>, rerank: bool) -> SearchHit {
+        let meta = &self.chunks[fused.id as usize];
+        let mut score = fused.score;
+        if rerank {
+            score += self.reranker.weight
+                * self.reranker.score(text_query, &meta.title, &meta.content);
+        }
+        SearchHit {
+            chunk: DocId(fused.id),
+            parent_doc: meta.parent_doc.clone(),
+            title: meta.title.clone(),
+            content: meta.content.clone(),
+            score,
+        }
+    }
+
+    /// Truncate the fused ranking to `final_n`, apply (optionally
+    /// parallel) semantic reranking, and sort. Reranker scores are
+    /// computed per candidate with no cross-candidate state, and the
+    /// chunked fan-out preserves candidate order before the sort, so
+    /// the parallel path is byte-identical to the sequential one.
+    fn finalize_hits(
+        &self,
+        text_query: &str,
+        fused: Vec<RrfFused<u32>>,
+        config: &HybridConfig,
+    ) -> Vec<SearchHit> {
+        let top: Vec<RrfFused<u32>> = fused.into_iter().take(config.final_n).collect();
+        let mut hits: Vec<SearchHit> = if config.use_reranker && config.parallel && top.len() >= 8 {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+                .min(top.len());
+            let chunk_size = top.len().div_ceil(workers.max(1));
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = top
+                    .chunks(chunk_size)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|f| self.scored_hit(text_query, f, true))
+                                .collect::<Vec<SearchHit>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("rerank worker must not panic"))
+                    .collect()
             })
-            .collect();
+        } else {
+            top.iter()
+                .map(|f| self.scored_hit(text_query, f, config.use_reranker))
+                .collect()
+        };
         if config.use_reranker {
             hits.sort_by(|a, b| {
                 b.score
@@ -371,27 +549,42 @@ impl SearchIndex {
     /// Hybrid search deduplicated to source documents: each parent
     /// document appears once, at the rank of its best chunk. This is
     /// the ranking the IR metrics evaluate (ground truth is per
-    /// document).
+    /// document). Deduplication borrows the parent-doc ids from the
+    /// chunk table instead of cloning a `String` per hit.
     pub fn search_documents(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
         self.search(query, config)
             .into_iter()
-            .filter(|h| seen.insert(h.parent_doc.clone()))
+            .filter(|h| seen.insert(self.chunks[h.chunk.as_usize()].parent_doc.as_str()))
             .collect()
     }
 
     /// Fuse several per-query chunk rankings into one (MQ1 multi-query
-    /// search).
+    /// search). With `config.parallel` the per-query searches fan out
+    /// over scoped threads; rankings are joined in query order, so the
+    /// fusion is identical to the sequential path.
     pub fn multi_query_search(&self, queries: &[String], config: &HybridConfig) -> Vec<SearchHit> {
-        let per_query: Vec<Vec<u32>> = queries
-            .iter()
-            .map(|q| {
-                self.search(q, config)
+        let collect_ids = |q: &String| -> Vec<u32> {
+            self.search(q, config)
+                .into_iter()
+                .map(|h| h.chunk.0)
+                .collect()
+        };
+        let per_query: Vec<Vec<u32>> = if config.parallel && queries.len() > 1 {
+            std::thread::scope(|scope| {
+                let collect_ids = &collect_ids;
+                let handles: Vec<_> = queries
+                    .iter()
+                    .map(|q| scope.spawn(move || collect_ids(q)))
+                    .collect();
+                handles
                     .into_iter()
-                    .map(|h| h.chunk.0)
+                    .map(|h| h.join().expect("query worker must not panic"))
                     .collect()
             })
-            .collect();
+        } else {
+            queries.iter().map(collect_ids).collect()
+        };
         let fused = rrf_fuse(&per_query, config.rrf_c);
         fused
             .into_iter()
@@ -702,34 +895,7 @@ impl SearchIndex {
             }
         }
         let fused = crate::rrf::rrf_fuse(&rankings, config.rrf_c);
-        let mut hits: Vec<SearchHit> = fused
-            .into_iter()
-            .take(config.final_n)
-            .map(|f| {
-                let meta = &self.chunks[f.id as usize];
-                let mut score = f.score;
-                if config.use_reranker {
-                    score += self.reranker.weight
-                        * self.reranker.score(text_query, &meta.title, &meta.content);
-                }
-                SearchHit {
-                    chunk: DocId(f.id),
-                    parent_doc: meta.parent_doc.clone(),
-                    title: meta.title.clone(),
-                    content: meta.content.clone(),
-                    score,
-                }
-            })
-            .collect();
-        if config.use_reranker {
-            hits.sort_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.chunk.cmp(&b.chunk))
-            });
-        }
-        hits
+        self.finalize_hits(text_query, fused, config)
     }
 }
 
@@ -903,5 +1069,183 @@ mod stats_tests {
         assert_eq!(s.documents, 2);
         // HNSW keeps the vector (tombstone-filtered at search time).
         assert_eq!(s.title_vectors, 3);
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use crate::reranker::SemanticReranker;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn chunk(parent: &str, title: &str, content: &str) -> ChunkRecord {
+        ChunkRecord {
+            parent_doc: parent.to_string(),
+            ordinal: 0,
+            title: title.to_string(),
+            content: content.to_string(),
+            summary: String::new(),
+            domain: "D".into(),
+            topic: "T".into(),
+            section: "S".into(),
+            keywords: vec![],
+        }
+    }
+
+    fn seeded_index(n: usize) -> SearchIndex {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        let topics = [
+            ("bonifico", "Il bonifico richiede il codice IBAN del beneficiario"),
+            ("mutuo", "Il mutuo prima casa prevede un tasso agevolato"),
+            ("carta", "La carta smarrita si blocca dal numero verde"),
+            ("conto", "Il conto corrente si apre online con lo SPID"),
+            ("prestito", "Il prestito personale copre spese impreviste"),
+        ];
+        for i in 0..n {
+            let (term, body) = topics[i % topics.len()];
+            idx.add_chunk(&chunk(
+                &format!("kb/{i}"),
+                &format!("Scheda {term} {i}"),
+                &format!("{body} (variante {i})"),
+            ));
+        }
+        idx
+    }
+
+    fn sample_queries() -> Vec<&'static str> {
+        vec![
+            "bonifico estero iban",
+            "mutuo tasso agevolato",
+            "carta smarrita blocco",
+            "conto corrente online",
+            "prestito personale",
+            "bonifico mutuo carta",
+        ]
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let idx = seeded_index(40);
+        let sequential = HybridConfig::default();
+        let parallel = HybridConfig {
+            parallel: true,
+            ..Default::default()
+        };
+        for q in sample_queries() {
+            assert_eq!(
+                idx.search(q, &sequential),
+                idx.search(q, &parallel),
+                "parallel results must be byte-identical for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rerank_over_many_candidates_matches_sequential() {
+        let idx = seeded_index(60);
+        // final_n large enough to trigger the chunked parallel rerank.
+        let sequential = HybridConfig {
+            final_n: 30,
+            text_n: 60,
+            vector_k: 30,
+            ..Default::default()
+        };
+        let parallel = HybridConfig {
+            parallel: true,
+            ..sequential.clone()
+        };
+        for q in sample_queries() {
+            assert_eq!(idx.search(q, &sequential), idx.search(q, &parallel));
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_results_and_counts_hits() {
+        let mut cached = seeded_index(30);
+        cached.enable_cache(CacheConfig::default());
+        let plain = seeded_index(30);
+        let cfg = HybridConfig::default();
+        for q in sample_queries() {
+            let first = cached.search(q, &cfg);
+            let second = cached.search(q, &cfg);
+            assert_eq!(first, second, "cached repeat must be identical");
+            assert_eq!(first, plain.search(q, &cfg), "cache on/off must agree");
+        }
+        let stats = cached.cache_stats().expect("cache enabled");
+        assert_eq!(stats.hits, sample_queries().len() as u64);
+        assert_eq!(stats.misses, sample_queries().len() as u64);
+    }
+
+    #[test]
+    fn cache_invalidated_by_add_and_remove() {
+        let mut idx = seeded_index(10);
+        idx.enable_cache(CacheConfig::default());
+        let cfg = HybridConfig::default();
+        let before = idx.search("bonifico", &cfg);
+        assert!(!before.is_empty());
+
+        idx.add_chunk(&chunk(
+            "kb/new",
+            "Bonifico istantaneo bonifico",
+            "Il bonifico istantaneo accredita il bonifico in pochi secondi",
+        ));
+        let after_add = idx.search("bonifico", &cfg);
+        assert!(
+            after_add.iter().any(|h| h.parent_doc == "kb/new"),
+            "new document must be visible after add_chunk"
+        );
+        assert_ne!(before, after_add);
+
+        idx.remove_document("kb/new");
+        let after_remove = idx.search("bonifico", &cfg);
+        assert!(
+            after_remove.iter().all(|h| h.parent_doc != "kb/new"),
+            "removed document must not be served from the cache"
+        );
+        assert!(idx.cache_stats().expect("cache enabled").invalidations >= 1);
+    }
+
+    #[test]
+    fn concurrent_searches_are_stable() {
+        let mut idx = seeded_index(30);
+        idx.enable_cache(CacheConfig::default());
+        let queries = sample_queries();
+        let cfg = HybridConfig {
+            parallel: true,
+            ..Default::default()
+        };
+        let expected: Vec<Vec<SearchHit>> =
+            queries.iter().map(|q| idx.search(q, &cfg)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let idx = &idx;
+                let queries = &queries;
+                let cfg = &cfg;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        for (q, want) in queries.iter().zip(expected) {
+                            assert_eq!(&idx.search(q, cfg), want);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn generation_advances_only_on_mutation() {
+        let mut idx = seeded_index(5);
+        let g0 = idx.generation();
+        let _ = idx.search("bonifico", &HybridConfig::default());
+        assert_eq!(idx.generation(), g0, "search must not bump the generation");
+        idx.add_chunk(&chunk("kb/x", "Nuovo", "contenuto nuovo"));
+        assert!(idx.generation() > g0);
+        let g1 = idx.generation();
+        assert_eq!(idx.remove_document("kb/assente"), 0);
+        assert_eq!(idx.generation(), g1, "no-op removal must not bump");
+        assert!(idx.remove_document("kb/x") > 0);
+        assert!(idx.generation() > g1);
     }
 }

@@ -8,6 +8,7 @@
 //! 2–4: component ablations, query expansion (QGA / MQ1 / MQ2), title
 //! boosting, and LLM keyword enrichment of the index.
 
+pub mod cache;
 pub mod enrichment;
 pub mod explain;
 pub mod expansion;
@@ -16,6 +17,7 @@ pub mod persistence;
 pub mod reranker;
 pub mod rrf;
 
+pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use enrichment::{enrich_chunk, Enrichment};
 pub use explain::{Explanation, RankContribution};
 pub use expansion::{ExpandedSearch, QueryExpansion};

@@ -205,6 +205,8 @@ impl SearchIndex {
             live,
             by_parent,
             tombstones,
+            cache: None,
+            generation: std::sync::atomic::AtomicU64::new(0),
         })
     }
 }

@@ -8,20 +8,23 @@
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-    // Manual 4-way unrolled accumulation: lets LLVM vectorize without
-    // changing summation order between calls (determinism).
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
+    // 8 independent accumulator lanes over `chunks_exact`: wide enough
+    // to fill a 256-bit SIMD register, and the summation order is fixed
+    // between calls (determinism).
+    let mut acc = [0.0f32; 8];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for lane in 0..8 {
+            acc[lane] += ca[lane] * cb[lane];
+        }
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for j in chunks * 4..a.len() {
-        sum += a[j] * b[j];
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3]))
+        + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in a_rem.iter().zip(b_rem) {
+        sum += x * y;
     }
     sum
 }

@@ -22,6 +22,16 @@ proptest! {
     }
 
     #[test]
+    fn dot_agrees_with_naive_sum(pair in (1usize..96).prop_flat_map(|d| (vector(d), vector(d)))) {
+        // The 8-lane kernel changes accumulation order vs. a sequential
+        // sum; f32 rounding must stay within tolerance at any length
+        // (exercising both the chunks_exact body and the remainder).
+        let (a, b) = pair;
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((dot(&a, &b) - naive).abs() < 1e-3, "dot {} vs naive {}", dot(&a, &b), naive);
+    }
+
+    #[test]
     fn cosine_is_bounded_and_symmetric(a in vector(12), b in vector(12)) {
         let ab = cosine_similarity(&a, &b);
         let ba = cosine_similarity(&b, &a);

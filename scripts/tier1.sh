@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must pass (see ROADMAP.md).
+#
+#   ./scripts/tier1.sh
+#
+# Builds the workspace in release mode, runs the full test suite, and
+# lints the crates touched by the concurrency work with clippy at
+# -D warnings.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -D warnings (search, vector, core, bench)"
+cargo clippy -p uniask-search -p uniask-vector -p uniask-core -p uniask-bench \
+    --all-targets -- -D warnings
+
+echo "tier1: OK"
