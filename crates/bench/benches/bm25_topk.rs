@@ -1,0 +1,124 @@
+//! Pruned vs exhaustive BM25 top-k evaluation.
+//!
+//! Measures the MaxScore engine against the exhaustive reference on a
+//! corpus-scale index, at k=10 and k=50, with and without filter
+//! push-down and tombstones. The two paths return byte-identical
+//! results (asserted once at setup), so the delta is pure evaluation
+//! cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::scale::CorpusScale;
+use uniask_index::doc::{DocId, IndexDocument};
+use uniask_index::filter::Filter;
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{ScoringProfile, Searcher};
+
+const QUERIES: &[&str] = &[
+    "limite bonifico estero",
+    "carta di credito smarrita",
+    "mutuo prima casa requisiti",
+    "errore pos pagamento",
+    "apertura conto online",
+];
+
+fn build_index(n: usize) -> InvertedIndex {
+    let kb = CorpusGenerator::new(
+        CorpusScale {
+            documents: n,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 8,
+        },
+        7,
+    )
+    .generate();
+    let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+    for d in &kb.documents {
+        idx.add(
+            &IndexDocument::new()
+                .with_text("title", d.title.clone())
+                .with_text("content", d.body_text())
+                .with_tags("domain", vec![d.domain.clone()]),
+        )
+        .expect("valid schema");
+    }
+    // Tombstone a slice of the corpus so the candidate set is realistic.
+    for id in (0..n as u32).step_by(10) {
+        idx.delete(DocId(id)).expect("delete ok");
+    }
+    idx
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let idx = build_index(4000);
+    let searcher = Searcher::new();
+    let profile = ScoringProfile::neutral();
+    let filter = Filter::eq("domain", "Pagamenti");
+
+    // The benchmark is only meaningful if both engines agree.
+    for q in QUERIES {
+        for k in [10, 50] {
+            let pruned = searcher.search(&idx, q, k, &profile, None).unwrap();
+            let exhaustive = searcher.search_exhaustive(&idx, q, k, &profile, None).unwrap();
+            assert_eq!(pruned, exhaustive, "engines diverged on `{q}` k={k}");
+        }
+    }
+
+    let mut group = c.benchmark_group("bm25_topk");
+    for k in [10usize, 50] {
+        group.bench_function(format!("pruned/k{k}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in QUERIES {
+                    total += searcher
+                        .search(&idx, black_box(q), k, &profile, None)
+                        .expect("search ok")
+                        .len();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_function(format!("exhaustive/k{k}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in QUERIES {
+                    total += searcher
+                        .search_exhaustive(&idx, black_box(q), k, &profile, None)
+                        .expect("search ok")
+                        .len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.bench_function("pruned/k10_filtered", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in QUERIES {
+                total += searcher
+                    .search(&idx, black_box(q), 10, &profile, Some(&filter))
+                    .expect("search ok")
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("exhaustive/k10_filtered", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in QUERIES {
+                total += searcher
+                    .search_exhaustive(&idx, black_box(q), 10, &profile, Some(&filter))
+                    .expect("search ok")
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

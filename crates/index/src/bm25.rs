@@ -32,6 +32,33 @@ pub fn idf(doc_count: usize, doc_freq: usize) -> f64 {
     ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
 }
 
+/// Relative safety padding applied to cached per-term upper bounds.
+///
+/// The MaxScore pruning invariant is `actual contribution ≤ bound` for
+/// every live posting. In exact arithmetic the bound computed from
+/// `(max_tf, min_len)` dominates every `(tf, doc_len)` contribution
+/// because [`term_score`] is monotone in both arguments; the padding
+/// absorbs the few ulps of floating-point rounding so the invariant
+/// also holds bit-for-bit, keeping the pruned engine byte-identical to
+/// exhaustive evaluation. 1e-12 is ~4 decimal orders above accumulated
+/// rounding error for realistic query widths and far too small to cost
+/// measurable pruning power.
+pub const UPPER_BOUND_PAD: f64 = 1e-12;
+
+/// Upper bound on any live document's [`term_score`] for a term whose
+/// postings have maximum term frequency `max_tf` and minimum field
+/// length `min_len`.
+#[inline]
+pub fn term_upper_bound(
+    params: Bm25Params,
+    idf: f64,
+    max_tf: f64,
+    min_len: f64,
+    avg_doc_len: f64,
+) -> f64 {
+    term_score(params, idf, max_tf, min_len, avg_doc_len) * (1.0 + UPPER_BOUND_PAD)
+}
+
 /// Per-term, per-document BM25 contribution.
 #[inline]
 pub fn term_score(params: Bm25Params, idf: f64, tf: f64, doc_len: f64, avg_doc_len: f64) -> f64 {
@@ -98,5 +125,21 @@ mod tests {
     fn degenerate_avg_len_is_safe() {
         let s = term_score(P, 1.0, 1.0, 5.0, 0.0);
         assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_every_contribution() {
+        let i = idf(5000, 37);
+        let (max_tf, min_len) = (9u32, 4u32);
+        let ub = term_upper_bound(P, i, f64::from(max_tf), f64::from(min_len), 80.0);
+        for tf in 1..=max_tf {
+            for dl in min_len..200 {
+                let s = term_score(P, i, f64::from(tf), f64::from(dl), 80.0);
+                assert!(s <= ub, "tf={tf} dl={dl}: {s} > {ub}");
+            }
+        }
+        // The extreme posting itself sits strictly under the padded bound.
+        let extreme = term_score(P, i, f64::from(max_tf), f64::from(min_len), 80.0);
+        assert!(extreme < ub);
     }
 }

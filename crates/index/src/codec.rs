@@ -5,39 +5,52 @@
 //! format so a deployment can snapshot after a bulk ingest and restore
 //! at startup instead of re-analyzing the whole KB.
 //!
-//! Layout (all integers little-endian; `v` = LEB128 varint):
+//! Version 2 layout (all integers little-endian; `v` = LEB128 varint):
 //!
 //! ```text
 //! "UAIX" | version:u16 | next_id:v | live_docs:v
 //! schema: nfields:v, then per field: name, attr-bits:u8
 //! deleted: count:v, sorted ids delta-encoded:v…
 //! fields:  count:v, then per searchable field:
-//!          name | total_len:v | doc_len: count:v (id-delta:v, len:v)…
-//!          postings: nterms:v, per term: term | npostings:v
-//!                    (doc-delta:v, tf:v)…
+//!          name | nlens:v (id-delta:v, len:v)…   ← non-zero doc lengths
+//!          postings: nterms:v, per term:
+//!                    term | live_df:v | max_tf:v | min_len:v
+//!                    npostings:v (doc-delta:v, tf:v)…
 //! tags:    ndocs:v, per doc: id:v, nvalues:v,
 //!          per value: field-name | kind:u8 | payload
 //! fnv64 checksum of everything above
 //! ```
 //!
+//! v2 persists each posting list's incrementally maintained statistics
+//! (`live_df`, `max_tf`, `min_len`) so a restored index answers queries
+//! at full pruning power without a warm-up rescan. `total_len` and
+//! `docs_with_field` are recomputed from the doc-length table during
+//! decode rather than stored.
+//!
+//! Version 1 snapshots (no per-term statistics, map-style doc lengths,
+//! stored `total_len`) are still readable: [`decode`] migrates them by
+//! rescanning postings once against the deleted set to rebuild the
+//! statistics the old format never carried.
+//!
 //! Strings are length-prefixed (varint) UTF-8. Field and term tables
 //! are written in sorted order so snapshots are byte-identical for
 //! equal indexes (deterministic builds remain deterministic on disk).
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use uniask_text::analyzer::Analyzer;
 
-use crate::doc::{DocId, FieldValue};
-use crate::inverted::InvertedIndex;
+use crate::doc::{DocId, DocSet, FieldValue};
+use crate::inverted::{InvertedIndex, PostingList};
 use crate::schema::{FieldAttributes, Schema};
 
 /// Magic bytes of the snapshot format.
 pub const MAGIC: &[u8; 4] = b"UAIX";
 /// Current format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
+/// Oldest readable format version.
+pub const MIN_VERSION: u16 = 1;
 
 /// Errors raised while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,7 +140,7 @@ fn fnv64(data: &[u8]) -> u64 {
 
 // ------------------------------------------------------------ encode
 
-/// Serialize an index into a snapshot buffer.
+/// Serialize an index into a snapshot buffer (current version).
 pub fn encode(index: &InvertedIndex) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 * 1024);
     buf.put_slice(MAGIC);
@@ -146,14 +159,12 @@ pub fn encode(index: &InvertedIndex) -> Bytes {
         buf.put_u8(bits);
     }
 
-    // Deleted set, delta-encoded over sorted ids.
-    let mut deleted: Vec<u32> = index.deleted.iter().map(|d| d.0).collect();
-    deleted.sort_unstable();
-    put_varint(&mut buf, deleted.len() as u64);
+    // Deleted set ([`DocSet::iter`] is already ascending).
+    put_varint(&mut buf, index.deleted.len() as u64);
     let mut prev = 0u32;
-    for id in deleted {
-        put_varint(&mut buf, u64::from(id - prev));
-        prev = id;
+    for doc in index.deleted.iter() {
+        put_varint(&mut buf, u64::from(doc.0 - prev));
+        prev = doc.0;
     }
 
     // Searchable field structures, sorted by name for determinism.
@@ -163,10 +174,14 @@ pub fn encode(index: &InvertedIndex) -> Bytes {
     for name in field_names {
         let field = &index.fields[name];
         put_str(&mut buf, name);
-        put_varint(&mut buf, field.total_len);
-        // doc_len map.
-        let mut lens: Vec<(u32, u32)> = field.doc_len.iter().map(|(d, l)| (d.0, *l)).collect();
-        lens.sort_unstable();
+        // Non-zero entries of the dense doc-length array.
+        let lens: Vec<(u32, u32)> = field
+            .doc_len
+            .iter()
+            .enumerate()
+            .filter(|(_, &len)| len != 0)
+            .map(|(id, &len)| (id as u32, len))
+            .collect();
         put_varint(&mut buf, lens.len() as u64);
         let mut prev = 0u32;
         for (id, len) in lens {
@@ -174,19 +189,26 @@ pub fn encode(index: &InvertedIndex) -> Bytes {
             prev = id;
             put_varint(&mut buf, u64::from(len));
         }
-        // Postings.
-        let mut terms: Vec<&String> = field.postings.keys().collect();
-        terms.sort();
+        // Postings with cached statistics, sorted by term string.
+        let mut terms: Vec<(&str, u32)> = field
+            .postings
+            .keys()
+            .map(|&tid| (index.dict.term(tid), tid))
+            .collect();
+        terms.sort_unstable();
         put_varint(&mut buf, terms.len() as u64);
-        for term in terms {
+        for (term, tid) in terms {
+            let list = &field.postings[&tid];
             put_str(&mut buf, term);
-            let postings = &field.postings[term];
-            put_varint(&mut buf, postings.len() as u64);
+            put_varint(&mut buf, u64::from(list.live_df));
+            put_varint(&mut buf, u64::from(list.max_tf));
+            put_varint(&mut buf, u64::from(list.min_len));
+            put_varint(&mut buf, list.docs.len() as u64);
             let mut prev = 0u32;
-            for (doc, tf) in postings {
-                put_varint(&mut buf, u64::from(doc.0 - prev));
-                prev = doc.0;
-                put_varint(&mut buf, u64::from(*tf));
+            for (&doc, &tf) in list.docs.iter().zip(&list.tfs) {
+                put_varint(&mut buf, u64::from(doc - prev));
+                prev = doc;
+                put_varint(&mut buf, u64::from(tf));
             }
         }
     }
@@ -225,7 +247,7 @@ pub fn encode(index: &InvertedIndex) -> Bytes {
 
 // ------------------------------------------------------------ decode
 
-/// Restore an index from a snapshot buffer.
+/// Restore an index from a snapshot buffer (any supported version).
 ///
 /// The analyzer is not serialized (it is a code artefact, not data);
 /// the caller supplies the same chain used at indexing time.
@@ -245,7 +267,7 @@ pub fn decode(snapshot: &[u8], analyzer: Arc<dyn Analyzer>) -> Result<InvertedIn
         return Err(CodecError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let next_id = get_varint(&mut buf)? as u32;
@@ -275,7 +297,7 @@ pub fn decode(snapshot: &[u8], analyzer: Arc<dyn Analyzer>) -> Result<InvertedIn
 
     // Deleted set.
     let ndeleted = get_varint(&mut buf)? as usize;
-    let mut deleted = HashSet::with_capacity(ndeleted);
+    let mut deleted = DocSet::new();
     let mut prev = 0u32;
     for _ in 0..ndeleted {
         prev += get_varint(&mut buf)? as u32;
@@ -287,32 +309,107 @@ pub fn decode(snapshot: &[u8], analyzer: Arc<dyn Analyzer>) -> Result<InvertedIn
     let nsearchable = get_varint(&mut buf)? as usize;
     for _ in 0..nsearchable {
         let name = get_str(&mut buf)?;
-        let total_len = get_varint(&mut buf)?;
-        let field = index
-            .fields
-            .entry(name)
-            .or_default();
-        field.total_len = total_len;
+        if version == 1 {
+            // v1 stored total_len explicitly; it is recomputed below.
+            let _stored_total_len = get_varint(&mut buf)?;
+        }
         let nlens = get_varint(&mut buf)? as usize;
+        let mut doc_len: Vec<u32> = vec![0; next_id as usize];
         let mut prev = 0u32;
         for _ in 0..nlens {
             prev += get_varint(&mut buf)? as u32;
             let len = get_varint(&mut buf)? as u32;
-            field.doc_len.insert(DocId(prev), len);
+            if doc_len.len() <= prev as usize {
+                doc_len.resize(prev as usize + 1, 0);
+            }
+            doc_len[prev as usize] = len;
         }
+        // v1 kept doc lengths for tombstoned documents; the dense array
+        // holds zero there.
+        if version == 1 {
+            for doc in index.deleted.iter() {
+                if let Some(slot) = doc_len.get_mut(doc.as_usize()) {
+                    *slot = 0;
+                }
+            }
+        }
+        let mut total_len = 0u64;
+        let mut docs_with_field = 0u32;
+        for &len in &doc_len {
+            if len != 0 {
+                total_len += u64::from(len);
+                docs_with_field += 1;
+            }
+        }
+
         let nterms = get_varint(&mut buf)? as usize;
+        let mut postings = std::collections::HashMap::with_capacity(nterms);
+        let mut doc_terms: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for _ in 0..nterms {
             let term = get_str(&mut buf)?;
+            let tid = index.dict.intern(&term);
+            let (live_df, max_tf, min_len) = if version >= 2 {
+                (
+                    get_varint(&mut buf)? as u32,
+                    get_varint(&mut buf)? as u32,
+                    get_varint(&mut buf)? as u32,
+                )
+            } else {
+                (0, 0, 0) // rebuilt below from postings + deleted set
+            };
+            let mut list = PostingList {
+                docs: Vec::new(),
+                tfs: Vec::new(),
+                live_df,
+                max_tf,
+                min_len,
+            };
             let npostings = get_varint(&mut buf)? as usize;
-            let mut postings = Vec::with_capacity(npostings);
+            list.docs.reserve_exact(npostings);
+            list.tfs.reserve_exact(npostings);
             let mut prev = 0u32;
             for _ in 0..npostings {
                 prev += get_varint(&mut buf)? as u32;
                 let tf = get_varint(&mut buf)? as u32;
-                postings.push((DocId(prev), tf));
+                list.docs.push(prev);
+                list.tfs.push(tf);
             }
-            field.postings.insert(term, postings);
+            // Migration: v1 carried no statistics; rebuild them from the
+            // postings and the deleted set.
+            if version == 1 {
+                let mut live_df = 0u32;
+                let mut max_tf = 0u32;
+                let mut min_len = 0u32;
+                for (&doc, &tf) in list.docs.iter().zip(&list.tfs) {
+                    max_tf = max_tf.max(tf);
+                    if !index.deleted.contains(DocId(doc)) {
+                        live_df += 1;
+                        let len = doc_len.get(doc as usize).copied().unwrap_or(0);
+                        if len != 0 && (min_len == 0 || len < min_len) {
+                            min_len = len;
+                        }
+                    }
+                }
+                list.live_df = live_df;
+                list.max_tf = max_tf;
+                list.min_len = min_len;
+            }
+            // Forward index: live documents only (tombstoned documents
+            // already had theirs removed before the snapshot).
+            for &doc in &list.docs {
+                if !index.deleted.contains(DocId(doc)) {
+                    doc_terms.entry(doc).or_default().push(tid);
+                }
+            }
+            postings.insert(tid, list);
         }
+        let field = index.fields.entry(name).or_default();
+        field.postings = postings;
+        field.doc_len = doc_len;
+        field.doc_terms = doc_terms;
+        field.total_len = total_len;
+        field.docs_with_field = docs_with_field;
     }
 
     // Tags.
@@ -370,6 +467,99 @@ mod tests {
         idx
     }
 
+    /// Serialize `index` in the legacy v1 layout (no per-term stats,
+    /// `total_len` stored, map-style doc lengths). Only used to test
+    /// the migration path.
+    fn encode_v1(index: &InvertedIndex) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64 * 1024);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(1);
+        put_varint(&mut buf, u64::from(index.next_id));
+        put_varint(&mut buf, index.live_docs as u64);
+        let fields = index.schema().fields();
+        put_varint(&mut buf, fields.len() as u64);
+        for spec in fields {
+            put_str(&mut buf, &spec.name);
+            let bits = (spec.attributes.searchable as u8)
+                | ((spec.attributes.retrievable as u8) << 1)
+                | ((spec.attributes.filterable as u8) << 2);
+            buf.put_u8(bits);
+        }
+        put_varint(&mut buf, index.deleted.len() as u64);
+        let mut prev = 0u32;
+        for doc in index.deleted.iter() {
+            put_varint(&mut buf, u64::from(doc.0 - prev));
+            prev = doc.0;
+        }
+        let mut field_names: Vec<&String> = index.fields.keys().collect();
+        field_names.sort();
+        put_varint(&mut buf, field_names.len() as u64);
+        for name in field_names {
+            let field = &index.fields[name];
+            put_str(&mut buf, name);
+            put_varint(&mut buf, field.total_len);
+            let lens: Vec<(u32, u32)> = field
+                .doc_len
+                .iter()
+                .enumerate()
+                .filter(|(_, &len)| len != 0)
+                .map(|(id, &len)| (id as u32, len))
+                .collect();
+            put_varint(&mut buf, lens.len() as u64);
+            let mut prev = 0u32;
+            for (id, len) in lens {
+                put_varint(&mut buf, u64::from(id - prev));
+                prev = id;
+                put_varint(&mut buf, u64::from(len));
+            }
+            let mut terms: Vec<(&str, u32)> = field
+                .postings
+                .keys()
+                .map(|&tid| (index.dict.term(tid), tid))
+                .collect();
+            terms.sort_unstable();
+            put_varint(&mut buf, terms.len() as u64);
+            for (term, tid) in terms {
+                let list = &field.postings[&tid];
+                put_str(&mut buf, term);
+                put_varint(&mut buf, list.docs.len() as u64);
+                let mut prev = 0u32;
+                for (&doc, &tf) in list.docs.iter().zip(&list.tfs) {
+                    put_varint(&mut buf, u64::from(doc - prev));
+                    prev = doc;
+                    put_varint(&mut buf, u64::from(tf));
+                }
+            }
+        }
+        let mut tagged: Vec<(u32, &Vec<(String, FieldValue)>)> =
+            index.tags.iter().map(|(d, v)| (d.0, v)).collect();
+        tagged.sort_by_key(|(d, _)| *d);
+        put_varint(&mut buf, tagged.len() as u64);
+        for (doc, values) in tagged {
+            put_varint(&mut buf, u64::from(doc));
+            put_varint(&mut buf, values.len() as u64);
+            for (field, value) in values {
+                put_str(&mut buf, field);
+                match value {
+                    FieldValue::Text(t) => {
+                        buf.put_u8(0);
+                        put_str(&mut buf, t);
+                    }
+                    FieldValue::Tags(tags) => {
+                        buf.put_u8(1);
+                        put_varint(&mut buf, tags.len() as u64);
+                        for t in tags {
+                            put_str(&mut buf, t);
+                        }
+                    }
+                }
+            }
+        }
+        let checksum = fnv64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
     #[test]
     fn roundtrip_preserves_search_behaviour() {
         let original = sample_index();
@@ -396,6 +586,80 @@ mod tests {
         assert!(restored.matches_filter(DocId(0), "domain", "pagamenti").unwrap());
         assert!(!restored.is_live(DocId(2)), "tombstone lost");
         assert!(restored.is_live(DocId(1)));
+    }
+
+    #[test]
+    fn roundtrip_preserves_cached_statistics() {
+        let original = sample_index();
+        let restored = decode(&encode(&original), Arc::new(ItalianAnalyzer::new())).unwrap();
+        // df of terms both live ("bonific") and fully tombstoned ("mutu").
+        assert_eq!(restored.term_df("content", "bonific"), 1);
+        assert_eq!(restored.term_df("content", "mutu"), 0);
+        for (name, field) in &original.fields {
+            let restored_field = &restored.fields[name];
+            for (&tid, list) in &field.postings {
+                let term = original.dict.term(tid);
+                let rtid = restored.dict.lookup(term).unwrap();
+                let rlist = &restored_field.postings[&rtid];
+                assert_eq!(rlist.live_df, list.live_df, "{name}/{term} live_df");
+                assert_eq!(rlist.max_tf, list.max_tf, "{name}/{term} max_tf");
+                assert_eq!(rlist.min_len, list.min_len, "{name}/{term} min_len");
+                assert_eq!(rlist.docs, list.docs, "{name}/{term} docs");
+                assert_eq!(rlist.tfs, list.tfs, "{name}/{term} tfs");
+            }
+            assert_eq!(restored_field.total_len, field.total_len, "{name} total_len");
+            assert_eq!(
+                restored_field.docs_with_field, field.docs_with_field,
+                "{name} docs_with_field"
+            );
+        }
+    }
+
+    #[test]
+    fn restored_index_supports_further_deletes() {
+        let mut restored =
+            decode(&encode(&sample_index()), Arc::new(ItalianAnalyzer::new())).unwrap();
+        // The migrated forward index must support the delete path.
+        assert_eq!(restored.term_df("content", "cart"), 1);
+        restored.delete(DocId(1)).unwrap();
+        assert_eq!(restored.term_df("content", "cart"), 0);
+        assert_eq!(restored.doc_count(), 1);
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_migrates() {
+        let original = sample_index();
+        let v1 = encode_v1(&original);
+        let migrated = decode(&v1, Arc::new(ItalianAnalyzer::new())).unwrap();
+        assert_eq!(migrated.doc_count(), original.doc_count());
+        // Rebuilt statistics match the incrementally maintained ones.
+        for (name, field) in &original.fields {
+            let mfield = &migrated.fields[name];
+            assert_eq!(mfield.total_len, field.total_len, "{name} total_len");
+            assert_eq!(mfield.docs_with_field, field.docs_with_field);
+            for (&tid, list) in &field.postings {
+                let term = original.dict.term(tid);
+                let mtid = migrated.dict.lookup(term).unwrap();
+                let mlist = &mfield.postings[&mtid];
+                assert_eq!(mlist.live_df, list.live_df, "{name}/{term} live_df");
+                assert_eq!(mlist.max_tf, list.max_tf, "{name}/{term} max_tf");
+            }
+        }
+        // Same search results as the v2 roundtrip.
+        let searcher = Searcher::new();
+        for query in ["bonifico estero", "carta smarrita", "mutuo"] {
+            let a = searcher
+                .search(&original, query, 10, &ScoringProfile::neutral(), None)
+                .unwrap();
+            let b = searcher
+                .search(&migrated, query, 10, &ScoringProfile::neutral(), None)
+                .unwrap();
+            assert_eq!(a, b, "divergence on `{query}` after migration");
+        }
+        // And further mutation works on the migrated forward index.
+        let mut migrated = migrated;
+        migrated.delete(DocId(0)).unwrap();
+        assert_eq!(migrated.term_df("content", "bonific"), 0);
     }
 
     #[test]

@@ -17,6 +17,100 @@ impl DocId {
     }
 }
 
+/// A dense bitset keyed by [`DocId`].
+///
+/// The query engine uses one of these as the *candidate set*: liveness
+/// and filter predicates are folded into the set once per query, so the
+/// scoring loops test a single bit instead of consulting tombstones and
+/// re-evaluating filter trees per posting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocSet {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl DocSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full set `{0, 1, …, n-1}`.
+    pub fn full(n: u32) -> Self {
+        let n = n as usize;
+        let words = n.div_ceil(64);
+        let mut bits = vec![u64::MAX; words];
+        if n % 64 != 0 {
+            if let Some(last) = bits.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        DocSet { bits, count: n }
+    }
+
+    /// Insert `doc`; returns `true` if it was not already present.
+    pub fn insert(&mut self, doc: DocId) -> bool {
+        let (word, bit) = (doc.as_usize() / 64, doc.as_usize() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            return false;
+        }
+        self.bits[word] |= mask;
+        self.count += 1;
+        true
+    }
+
+    /// Remove `doc`; returns `true` if it was present.
+    pub fn remove(&mut self, doc: DocId) -> bool {
+        let (word, bit) = (doc.as_usize() / 64, doc.as_usize() % 64);
+        if word >= self.bits.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            return false;
+        }
+        self.bits[word] &= !mask;
+        self.count -= 1;
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, doc: DocId) -> bool {
+        let (word, bit) = (doc.as_usize() / 64, doc.as_usize() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Members in ascending [`DocId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(DocId((wi * 64) as u32 + bit))
+            })
+        })
+    }
+}
+
 /// A field value: free text or a tag list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldValue {
@@ -137,5 +231,45 @@ mod tests {
     #[test]
     fn doc_id_roundtrip() {
         assert_eq!(DocId(5).as_usize(), 5);
+    }
+
+    #[test]
+    fn doc_set_insert_remove_contains() {
+        let mut s = DocSet::new();
+        assert!(s.insert(DocId(3)));
+        assert!(!s.insert(DocId(3)), "double insert reports absence");
+        assert!(s.insert(DocId(200)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(DocId(3)) && s.contains(DocId(200)));
+        assert!(!s.contains(DocId(4)));
+        assert!(s.remove(DocId(3)));
+        assert!(!s.remove(DocId(3)));
+        assert!(!s.remove(DocId(999)), "out-of-range remove is a no-op");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn doc_set_full_and_iter() {
+        let s = DocSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(DocId(0)) && s.contains(DocId(66)));
+        assert!(!s.contains(DocId(67)));
+        let ids: Vec<u32> = s.iter().map(|d| d.0).collect();
+        assert_eq!(ids, (0..67).collect::<Vec<u32>>());
+        assert!(DocSet::full(0).is_empty());
+        // A multiple of 64 must not leave a stray word mask.
+        let s64 = DocSet::full(64);
+        assert_eq!(s64.len(), 64);
+        assert!(!s64.contains(DocId(64)));
+    }
+
+    #[test]
+    fn doc_set_iter_is_ascending_and_sparse() {
+        let mut s = DocSet::new();
+        for id in [500u32, 2, 65, 64, 63] {
+            s.insert(DocId(id));
+        }
+        let ids: Vec<u32> = s.iter().map(|d| d.0).collect();
+        assert_eq!(ids, vec![2, 63, 64, 65, 500]);
     }
 }

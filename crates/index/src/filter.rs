@@ -7,6 +7,7 @@
 use crate::doc::DocId;
 use crate::error::IndexError;
 use crate::inverted::InvertedIndex;
+use crate::schema::Schema;
 
 /// A filter expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +33,36 @@ impl Filter {
         Filter::Eq {
             field: field.to_string(),
             tag: tag.to_string(),
+        }
+    }
+
+    /// Check every `field = tag` atom against `schema` without touching
+    /// any document: fields must exist and be filterable.
+    ///
+    /// The query engine validates filters once per query before building
+    /// its candidate set, so schema violations surface deterministically
+    /// instead of depending on which documents happen to score.
+    pub fn validate(&self, schema: &Schema) -> Result<(), IndexError> {
+        match self {
+            Filter::Eq { field, .. } => {
+                let spec = schema
+                    .field(field)
+                    .ok_or_else(|| IndexError::UnknownField(field.clone()))?;
+                if !spec.attributes.filterable {
+                    return Err(IndexError::AttributeViolation {
+                        field: field.clone(),
+                        required: "filterable",
+                    });
+                }
+                Ok(())
+            }
+            Filter::And(subs) | Filter::Or(subs) => {
+                for s in subs {
+                    s.validate(schema)?;
+                }
+                Ok(())
+            }
+            Filter::Not(sub) => sub.validate(schema),
         }
     }
 
@@ -107,5 +138,31 @@ mod tests {
         let (idx, id) = setup();
         let f = Filter::And(vec![Filter::eq("title", "x")]);
         assert!(f.matches(&idx, id).is_err());
+    }
+
+    #[test]
+    fn validate_checks_every_atom() {
+        let (idx, _) = setup();
+        let schema = idx.schema();
+        assert!(Filter::eq("domain", "pagamenti").validate(schema).is_ok());
+        assert!(Filter::And(vec![
+            Filter::eq("domain", "x"),
+            Filter::Not(Box::new(Filter::eq("topic", "y"))),
+        ])
+        .validate(schema)
+        .is_ok());
+        // Unknown field.
+        assert!(matches!(
+            Filter::eq("nope", "x").validate(schema),
+            Err(IndexError::UnknownField(_))
+        ));
+        // Searchable-but-not-filterable field, nested under Or/Not.
+        assert!(matches!(
+            Filter::Or(vec![Filter::Not(Box::new(Filter::eq("title", "x")))]).validate(schema),
+            Err(IndexError::AttributeViolation { .. })
+        ));
+        // Empty conjunction/disjunction are trivially valid.
+        assert!(Filter::And(vec![]).validate(schema).is_ok());
+        assert!(Filter::Or(vec![]).validate(schema).is_ok());
     }
 }

@@ -4,49 +4,170 @@
 //! built for each searchable field"), document length statistics for
 //! BM25, filterable tag storage for exact-match filters, and tombstone
 //! deletion so the ingestion service can replace updated documents.
+//!
+//! ## Compact layout
+//!
+//! Terms are interned once per index into a [`TermDict`] (`term →
+//! TermId`); every field keys its postings by the 4-byte [`TermId`]
+//! instead of owning a copy of the string. A posting list is a
+//! struct-of-arrays pair of sorted doc ids and parallel term
+//! frequencies (`Vec<u32>` + `Vec<u32>`), and per-document field
+//! lengths live in a dense `Vec<u32>` indexed by [`DocId`]. Each list
+//! also carries incrementally maintained statistics — live document
+//! frequency, maximum term frequency and minimum field length — so the
+//! query engine can compute BM25 IDFs and MaxScore upper bounds without
+//! ever rescanning postings or tombstones at query time.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use uniask_text::analyzer::{Analyzer, ItalianAnalyzer, KeywordAnalyzer};
 
-use crate::doc::{DocId, FieldValue, IndexDocument};
+use crate::doc::{DocId, DocSet, FieldValue, IndexDocument};
 use crate::error::IndexError;
 use crate::schema::Schema;
+
+/// Interned identifier of a term (index-wide, shared across fields).
+pub type TermId = u32;
+
+/// The term dictionary: a bidirectional `term ↔ TermId` intern table.
+#[derive(Debug, Default)]
+pub(crate) struct TermDict {
+    map: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl TermDict {
+    /// Intern `term`, returning its stable id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.map.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        id
+    }
+
+    /// Look up an already-interned term.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.map.get(term).copied()
+    }
+
+    /// The surface form of `id`.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A struct-of-arrays posting list with incrementally maintained
+/// statistics.
+///
+/// `docs` is sorted ascending (ids are assigned monotonically and each
+/// document posts a term at most once), `tfs[i]` is the term frequency
+/// of `docs[i]`. Tombstoned documents stay in the arrays and are
+/// skipped through the query-time candidate set; `live_df` tracks the
+/// live count exactly, while `max_tf`/`min_len` are upper/lower bounds
+/// over *all* postings ever added (deletion may leave them stale, which
+/// only loosens — never invalidates — the derived MaxScore bound).
+#[derive(Debug, Default)]
+pub(crate) struct PostingList {
+    /// Sorted document ids.
+    pub docs: Vec<u32>,
+    /// Term frequency of the document at the same position in `docs`.
+    pub tfs: Vec<u32>,
+    /// Live (non-tombstoned) document frequency.
+    pub live_df: u32,
+    /// Maximum term frequency over all postings.
+    pub max_tf: u32,
+    /// Minimum field length over all posted documents.
+    pub min_len: u32,
+}
+
+impl PostingList {
+    fn push(&mut self, doc: u32, tf: u32, field_len: u32) {
+        debug_assert!(
+            self.docs.last().is_none_or(|&d| d < doc),
+            "postings must be appended in ascending doc order"
+        );
+        if self.docs.is_empty() || field_len < self.min_len {
+            self.min_len = field_len;
+        }
+        if tf > self.max_tf {
+            self.max_tf = tf;
+        }
+        self.docs.push(doc);
+        self.tfs.push(tf);
+        self.live_df += 1;
+    }
+}
 
 /// Postings and statistics for one searchable field.
 #[derive(Debug, Default)]
 pub(crate) struct FieldIndex {
-    /// term → list of (doc, term frequency), in insertion (DocId) order.
-    pub postings: HashMap<String, Vec<(DocId, u32)>>,
-    /// Per-document field length in terms.
-    pub doc_len: HashMap<DocId, u32>,
-    /// Sum of all field lengths (for the BM25 average).
+    /// Term id → posting list.
+    pub postings: HashMap<TermId, PostingList>,
+    /// Dense per-document field length in terms (0 = field absent or
+    /// document deleted).
+    pub doc_len: Vec<u32>,
+    /// Forward index: doc → terms it posted, for O(|doc|) deletes.
+    pub doc_terms: HashMap<u32, Vec<TermId>>,
+    /// Sum of all live field lengths (for the BM25 average).
     pub total_len: u64,
+    /// Number of live documents that have this field.
+    pub docs_with_field: u32,
 }
 
 impl FieldIndex {
-    fn add(&mut self, doc: DocId, terms: &[String]) {
+    fn add(&mut self, dict: &mut TermDict, doc: DocId, terms: &[String]) {
         if terms.is_empty() {
             return;
         }
-        let mut tf: HashMap<&str, u32> = HashMap::with_capacity(terms.len());
+        let field_len = terms.len() as u32;
+        let mut tf: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
         for t in terms {
-            *tf.entry(t.as_str()).or_insert(0) += 1;
+            *tf.entry(dict.intern(t)).or_insert(0) += 1;
         }
-        for (term, freq) in tf {
-            self.postings.entry(term.to_string()).or_default().push((doc, freq));
+        let mut posted: Vec<TermId> = Vec::with_capacity(tf.len());
+        for (&tid, &freq) in &tf {
+            self.postings.entry(tid).or_default().push(doc.0, freq, field_len);
+            posted.push(tid);
         }
-        self.doc_len.insert(doc, terms.len() as u32);
-        self.total_len += terms.len() as u64;
+        self.doc_terms.insert(doc.0, posted);
+        if self.doc_len.len() <= doc.as_usize() {
+            self.doc_len.resize(doc.as_usize() + 1, 0);
+        }
+        self.doc_len[doc.as_usize()] = field_len;
+        self.total_len += u64::from(field_len);
+        self.docs_with_field += 1;
     }
 
-    /// Average field length over documents that have this field.
+    fn delete(&mut self, doc: DocId) {
+        let Some(tids) = self.doc_terms.remove(&doc.0) else {
+            return;
+        };
+        for tid in tids {
+            if let Some(list) = self.postings.get_mut(&tid) {
+                list.live_df -= 1;
+            }
+        }
+        let len = self.doc_len[doc.as_usize()];
+        self.doc_len[doc.as_usize()] = 0;
+        self.total_len -= u64::from(len);
+        self.docs_with_field -= 1;
+    }
+
+    /// Average field length over live documents that have this field.
     pub fn avg_len(&self) -> f64 {
-        if self.doc_len.is_empty() {
+        if self.docs_with_field == 0 {
             0.0
         } else {
-            self.total_len as f64 / self.doc_len.len() as f64
+            self.total_len as f64 / f64::from(self.docs_with_field)
         }
     }
 }
@@ -56,10 +177,11 @@ pub struct InvertedIndex {
     schema: Schema,
     analyzer: Arc<dyn Analyzer>,
     tag_analyzer: KeywordAnalyzer,
+    pub(crate) dict: TermDict,
     pub(crate) fields: HashMap<String, FieldIndex>,
     /// Filterable field values per document.
     pub(crate) tags: HashMap<DocId, Vec<(String, FieldValue)>>,
-    pub(crate) deleted: HashSet<DocId>,
+    pub(crate) deleted: DocSet,
     pub(crate) next_id: u32,
     pub(crate) live_docs: usize,
 }
@@ -68,6 +190,7 @@ impl std::fmt::Debug for InvertedIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InvertedIndex")
             .field("docs", &self.live_docs)
+            .field("terms", &self.dict.len())
             .field("fields", &self.fields.keys().collect::<Vec<_>>())
             .finish()
     }
@@ -91,9 +214,10 @@ impl InvertedIndex {
             schema,
             analyzer,
             tag_analyzer: KeywordAnalyzer::new(),
+            dict: TermDict::default(),
             fields,
             tags: HashMap::new(),
-            deleted: HashSet::new(),
+            deleted: DocSet::new(),
             next_id: 0,
             live_docs: 0,
         }
@@ -114,9 +238,28 @@ impl InvertedIndex {
         self.live_docs
     }
 
+    /// Number of distinct interned terms across all fields.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
     /// Whether `doc` exists and has not been deleted.
     pub fn is_live(&self, doc: DocId) -> bool {
-        doc.0 < self.next_id && !self.deleted.contains(&doc)
+        doc.0 < self.next_id && !self.deleted.contains(doc)
+    }
+
+    /// Live document frequency of `term` in `field` (0 when the term or
+    /// field is unknown). Maintained incrementally on add/delete — this
+    /// is the cached value the query engine uses, exposed for tests and
+    /// diagnostics.
+    pub fn term_df(&self, field: &str, term: &str) -> u32 {
+        let Some(tid) = self.dict.lookup(term) else {
+            return 0;
+        };
+        self.fields
+            .get(field)
+            .and_then(|f| f.postings.get(&tid))
+            .map_or(0, |p| p.live_df)
     }
 
     /// Add a document, returning its assigned [`DocId`].
@@ -143,7 +286,7 @@ impl InvertedIndex {
                 self.fields
                     .get_mut(name)
                     .expect("searchable fields pre-created")
-                    .add(id, &term_buf);
+                    .add(&mut self.dict, id, &term_buf);
             }
             if spec.attributes.filterable {
                 self.tags.entry(id).or_default().push((name.to_string(), value.clone()));
@@ -153,25 +296,20 @@ impl InvertedIndex {
     }
 
     /// Tombstone-delete a document. Postings remain but are skipped at
-    /// search time; statistics are adjusted.
+    /// search time; statistics — including every affected term's cached
+    /// live document frequency — are adjusted here, so queries never
+    /// rescan tombstones.
     pub fn delete(&mut self, doc: DocId) -> Result<(), IndexError> {
-        if doc.0 >= self.next_id || self.deleted.contains(&doc) {
+        if doc.0 >= self.next_id || self.deleted.contains(doc) {
             return Err(IndexError::DocNotFound(doc.0));
         }
         self.deleted.insert(doc);
         self.live_docs -= 1;
         for field in self.fields.values_mut() {
-            if let Some(len) = field.doc_len.remove(&doc) {
-                field.total_len -= u64::from(len);
-            }
+            field.delete(doc);
         }
         self.tags.remove(&doc);
         Ok(())
-    }
-
-    /// Whether a deleted set contains `doc` (search-time skip).
-    pub(crate) fn is_deleted(&self, doc: DocId) -> bool {
-        self.deleted.contains(&doc)
     }
 
     /// Analyze a query string with this index's analyzer.
@@ -271,12 +409,13 @@ mod tests {
         let mut idx = InvertedIndex::new(schema());
         idx.add(&doc("Bonifici esteri", "come inviare il bonifico")).unwrap();
         // The Italian chain stems "bonifici"/"bonifico" to the same term.
-        let title_index = idx.fields.get("title").unwrap();
-        let content_index = idx.fields.get("content").unwrap();
-        assert!(title_index.postings.contains_key("bonific"));
-        assert!(content_index.postings.contains_key("bonific"));
+        assert_eq!(idx.term_df("title", "bonific"), 1);
+        assert_eq!(idx.term_df("content", "bonific"), 1);
         // Stop word "il" never indexed.
-        assert!(!content_index.postings.contains_key("il"));
+        assert_eq!(idx.term_df("content", "il"), 0);
+        // The term is interned once and shared by both fields.
+        let tid = idx.dict.lookup("bonific").unwrap();
+        assert_eq!(idx.dict.term(tid), "bonific");
     }
 
     #[test]
@@ -298,5 +437,52 @@ mod tests {
         let d = IndexDocument::new().with_tags("only_tag", vec!["a".into()]);
         let id = idx.add(&d).unwrap();
         assert!(idx.matches_filter(id, "only_tag", "a").unwrap());
+    }
+
+    #[test]
+    fn df_is_maintained_across_add_and_delete() {
+        let mut idx = InvertedIndex::new(schema());
+        let a = idx.add(&doc("t", "parola rara condivisa")).unwrap();
+        let b = idx.add(&doc("t", "parola condivisa")).unwrap();
+        assert_eq!(idx.term_df("content", "parol"), 2);
+        assert_eq!(idx.term_df("content", "rar"), 1);
+        idx.delete(a).unwrap();
+        assert_eq!(idx.term_df("content", "parol"), 1);
+        assert_eq!(idx.term_df("content", "rar"), 0, "df of a fully tombstoned term");
+        idx.delete(b).unwrap();
+        assert_eq!(idx.term_df("content", "parol"), 0);
+    }
+
+    #[test]
+    fn df_survives_replace_cycles() {
+        let mut idx = InvertedIndex::new(schema());
+        let mut id = idx.add(&doc("t", "bonifico estero")).unwrap();
+        // Replace the same logical document several times (delete + add),
+        // the ingestion service's update pattern.
+        for _ in 0..3 {
+            idx.delete(id).unwrap();
+            id = idx.add(&doc("t", "bonifico estero")).unwrap();
+            assert_eq!(idx.term_df("content", "bonific"), 1);
+            assert_eq!(idx.term_df("content", "ester"), 1);
+        }
+        assert_eq!(idx.doc_count(), 1);
+        // Tombstoned postings pile up but df stays exact.
+        let tid = idx.dict.lookup("bonific").unwrap();
+        let list = &idx.fields["content"].postings[&tid];
+        assert_eq!(list.docs.len(), 4);
+        assert_eq!(list.live_df, 1);
+    }
+
+    #[test]
+    fn posting_bounds_are_maintained_on_add() {
+        let mut idx = InvertedIndex::new(schema());
+        idx.add(&doc("t", "gatto gatto gatto cane")).unwrap();
+        idx.add(&doc("t", "gatto")).unwrap();
+        let tid = idx.dict.lookup("gatt").unwrap();
+        let list = &idx.fields["content"].postings[&tid];
+        assert_eq!(list.max_tf, 3);
+        assert_eq!(list.min_len, 1, "second doc has a single-term field");
+        assert!(list.docs.windows(2).all(|w| w[0] < w[1]), "docs sorted");
+        assert_eq!(list.docs.len(), list.tfs.len(), "parallel arrays");
     }
 }

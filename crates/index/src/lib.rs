@@ -11,6 +11,13 @@
 //! the [`Searcher`] executes analyzed full-text queries against every
 //! searchable field, combining per-field BM25 scores under a
 //! [`ScoringProfile`].
+//!
+//! Query evaluation is top-k pruned by default: terms are interned into
+//! a compact dictionary, posting lists carry incrementally maintained
+//! statistics (live document frequency, MaxScore upper bounds), and the
+//! document-at-a-time engine skips documents that provably cannot reach
+//! the top-k — while returning results byte-identical to the exhaustive
+//! reference path ([`Searcher::search_exhaustive`]).
 
 pub mod bm25;
 pub mod codec;
@@ -26,11 +33,11 @@ pub mod store;
 
 pub use bm25::Bm25Params;
 pub use codec::{decode as decode_index, encode as encode_index, CodecError};
-pub use doc::{DocId, FieldValue, IndexDocument};
+pub use doc::{DocId, DocSet, FieldValue, IndexDocument};
 pub use error::IndexError;
 pub use facets::{facet_counts, FacetCounts};
 pub use filter::Filter;
-pub use inverted::InvertedIndex;
+pub use inverted::{InvertedIndex, TermId};
 pub use query_parser::{parse_query, ParsedQuery};
 pub use schema::{FieldAttributes, FieldSpec, Schema};
 pub use searcher::{ScoredDoc, ScoringProfile, Searcher};

@@ -5,14 +5,41 @@
 //! combining the per-field scores under a [`ScoringProfile`] — the
 //! mechanism behind the paper's title-boost experiments (Table 3B,
 //! multiplicative weight `T ∈ {5, 50, 500}` on title matches).
+//!
+//! ## Top-k pruned evaluation
+//!
+//! [`Searcher::search`] runs a document-at-a-time engine with
+//! MaxScore-style pruning: every `(field, term)` pair becomes a scorer
+//! carrying a cached BM25 upper bound, candidates are drawn only from
+//! *essential* posting lists (those whose bounds could still lift a
+//! document into the current top-k), and per-document scoring abandons
+//! early once the remaining bounds cannot beat the k-th best score.
+//! Liveness and filters are folded into one pre-computed [`DocSet`], so
+//! tombstoned or filtered-out documents are never scored at all.
+//!
+//! [`Searcher::search_exhaustive`] keeps the straightforward
+//! term-at-a-time path as the reference implementation; the pruned
+//! engine returns **byte-identical** hits (same `(doc, score)` pairs in
+//! the same score-desc / doc-asc order). Two invariants make this hold
+//! bit-for-bit rather than merely approximately:
+//!
+//! 1. every candidate document accumulates contributions in the same
+//!    canonical scorer order (schema field order × query term order)
+//!    that the exhaustive path uses, so surviving documents see the
+//!    identical sequence of floating-point additions, and
+//! 2. pruning decisions only ever compare against *padded* upper
+//!    bounds ([`crate::bm25::UPPER_BOUND_PAD`]), so rounding can never
+//!    abandon a document that exhaustive evaluation would keep.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
-use crate::bm25::{idf, term_score, Bm25Params};
-use crate::doc::DocId;
+use crate::bm25::{idf, term_score, term_upper_bound, Bm25Params};
+use crate::doc::{DocId, DocSet};
 use crate::error::IndexError;
 use crate::filter::Filter;
 use crate::inverted::InvertedIndex;
+use crate::schema::Schema;
 
 /// Relative weights of searchable fields when combining BM25 scores.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +71,16 @@ impl ScoringProfile {
             .map(|(_, w)| *w)
             .unwrap_or(1.0)
     }
+
+    /// Resolve the weight of every searchable field once, in schema
+    /// declaration order. The query engine calls this a single time per
+    /// query instead of scanning `weights` per field.
+    pub fn resolve<'a>(&self, schema: &'a Schema) -> Vec<(&'a str, f64)> {
+        schema
+            .searchable_fields()
+            .map(|f| (f, self.weight(f)))
+            .collect()
+    }
 }
 
 /// A search hit: document id plus relevance score.
@@ -53,6 +90,101 @@ pub struct ScoredDoc {
     pub doc: DocId,
     /// Combined BM25 relevance score.
     pub score: f64,
+}
+
+/// One `(field, term)` scoring stream: a borrowed posting list plus the
+/// per-query constants needed to turn a `(tf, doc_len)` posting into a
+/// weighted BM25 contribution, and the cached upper bound on that
+/// contribution over all live documents.
+struct Scorer<'a> {
+    docs: &'a [u32],
+    tfs: &'a [u32],
+    doc_len: &'a [u32],
+    cursor: usize,
+    weight: f64,
+    /// Query frequency of the term (duplicate query terms accumulate
+    /// here instead of spawning duplicate scorers).
+    qf: f64,
+    idf: f64,
+    avg_len: f64,
+    ub: f64,
+}
+
+impl Scorer<'_> {
+    #[inline]
+    fn current(&self) -> Option<u32> {
+        self.docs.get(self.cursor).copied()
+    }
+
+    /// The weighted contribution of the posting at `pos`. Both engines
+    /// call exactly this, so their per-posting arithmetic is identical.
+    #[inline]
+    fn contribution(&self, params: Bm25Params, pos: usize) -> f64 {
+        let tf = f64::from(self.tfs[pos]);
+        let dl = f64::from(self.doc_len.get(self.docs[pos] as usize).copied().unwrap_or(0));
+        self.weight * term_score(params, self.idf, tf, dl, self.avg_len) * self.qf
+    }
+
+    /// Advance the cursor to the first posting with doc id ≥ `target`
+    /// (galloping search; amortized linear over a full query).
+    fn seek(&mut self, target: u32) {
+        let docs = self.docs;
+        let len = docs.len();
+        let mut lo = self.cursor;
+        if lo >= len || docs[lo] >= target {
+            return;
+        }
+        let mut step = 1usize;
+        let mut hi = lo + 1;
+        while hi < len && docs[hi] < target {
+            lo = hi;
+            hi += step;
+            step <<= 1;
+        }
+        let hi = hi.min(len);
+        self.cursor = lo + 1 + docs[lo + 1..hi].partition_point(|&d| d < target);
+    }
+}
+
+/// Bounded top-k heap entry, ordered so the heap's maximum is the
+/// *worst* current hit: lowest score first, then largest doc id (a tie
+/// on score is lost by the later — larger — document, matching the
+/// score-desc / doc-asc result order).
+#[derive(Debug, Clone, Copy)]
+struct WorstFirst {
+    score: f64,
+    doc: u32,
+}
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then(self.doc.cmp(&other.doc))
+    }
+}
+
+/// The scorers whose bounds exceed the maximal non-essential prefix:
+/// documents appearing only in the other (non-essential) lists cannot
+/// beat `theta` and are never even surfaced as candidates.
+fn essential_after(by_ub: &[usize], prefix_ub: &[f64], theta: f64) -> Vec<usize> {
+    let skip = prefix_ub.partition_point(|&cum| cum <= theta);
+    by_ub[skip..].to_vec()
 }
 
 /// Executes full-text queries against an [`InvertedIndex`].
@@ -72,7 +204,7 @@ impl Searcher {
 
     /// Search `index` for `query`, returning at most `n` hits sorted by
     /// descending score (ties broken by ascending [`DocId`] so results
-    /// are fully deterministic).
+    /// are fully deterministic). Runs the top-k pruned engine.
     pub fn search(
         &self,
         index: &InvertedIndex,
@@ -85,7 +217,20 @@ impl Searcher {
         self.search_terms(index, &terms, n, profile, filter)
     }
 
-    /// Search with pre-analyzed query terms.
+    /// [`Searcher::search`] with the exhaustive reference engine.
+    pub fn search_exhaustive(
+        &self,
+        index: &InvertedIndex,
+        query: &str,
+        n: usize,
+        profile: &ScoringProfile,
+        filter: Option<&Filter>,
+    ) -> Result<Vec<ScoredDoc>, IndexError> {
+        let terms = index.analyze_query(query);
+        self.search_terms_exhaustive(index, &terms, n, profile, filter)
+    }
+
+    /// Search with pre-analyzed query terms (top-k pruned engine).
     pub fn search_terms(
         &self,
         index: &InvertedIndex,
@@ -94,64 +239,275 @@ impl Searcher {
         profile: &ScoringProfile,
         filter: Option<&Filter>,
     ) -> Result<Vec<ScoredDoc>, IndexError> {
-        if terms.is_empty() || n == 0 {
+        let Some(scorers) = self.prepare(index, terms, n, profile) else {
             return Ok(Vec::new());
+        };
+        let candidates = Self::candidates(index, filter)?;
+        // Negative field weights make contributions non-monotone, which
+        // breaks the MaxScore bound; take the reference path instead.
+        if scorers.iter().any(|s| s.weight < 0.0) {
+            return Ok(self.evaluate_exhaustive(scorers, &candidates, n));
+        }
+        Ok(self.evaluate_pruned(scorers, &candidates, n))
+    }
+
+    /// Search with pre-analyzed query terms, scoring every matching
+    /// live document (the reference engine the pruned path is proven
+    /// against).
+    pub fn search_terms_exhaustive(
+        &self,
+        index: &InvertedIndex,
+        terms: &[String],
+        n: usize,
+        profile: &ScoringProfile,
+        filter: Option<&Filter>,
+    ) -> Result<Vec<ScoredDoc>, IndexError> {
+        let Some(scorers) = self.prepare(index, terms, n, profile) else {
+            return Ok(Vec::new());
+        };
+        let candidates = Self::candidates(index, filter)?;
+        Ok(self.evaluate_exhaustive(scorers, &candidates, n))
+    }
+
+    /// Build the per-query scorer set in canonical order: searchable
+    /// fields in schema order, unique query terms in first-occurrence
+    /// order. Field weights are resolved once, query terms are interned
+    /// once (duplicates fold into a query frequency), and each scorer
+    /// picks up the posting list's incrementally maintained statistics —
+    /// live document frequency for the IDF and `(max_tf, min_len)` for
+    /// the MaxScore upper bound — without touching postings or
+    /// tombstones. Returns `None` when the query trivially has no hits.
+    fn prepare<'a>(
+        &self,
+        index: &'a InvertedIndex,
+        terms: &[String],
+        n: usize,
+        profile: &ScoringProfile,
+    ) -> Option<Vec<Scorer<'a>>> {
+        if terms.is_empty() || n == 0 {
+            return None;
         }
         let doc_count = index.doc_count();
         if doc_count == 0 {
-            return Ok(Vec::new());
+            return None;
         }
-        let mut scores: HashMap<DocId, f64> = HashMap::new();
-        for field_name in index.schema().searchable_fields() {
-            let Some(field) = index.fields.get(field_name) else {
+        let mut qterms: Vec<(u32, f64)> = Vec::with_capacity(terms.len());
+        let mut seen: HashMap<u32, usize> = HashMap::with_capacity(terms.len());
+        for term in terms {
+            // Terms outside the dictionary match nothing in any field.
+            let Some(tid) = index.dict.lookup(term) else {
                 continue;
             };
-            let weight = profile.weight(field_name);
+            match seen.entry(tid) {
+                std::collections::hash_map::Entry::Occupied(e) => qterms[*e.get()].1 += 1.0,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(qterms.len());
+                    qterms.push((tid, 1.0));
+                }
+            }
+        }
+        if qterms.is_empty() {
+            return None;
+        }
+        let weights = profile.resolve(index.schema());
+        let mut scorers = Vec::with_capacity(weights.len() * qterms.len());
+        for (field_name, weight) in weights {
             if weight == 0.0 {
                 continue;
             }
+            let Some(field) = index.fields.get(field_name) else {
+                continue;
+            };
             let avg_len = field.avg_len();
-            for term in terms {
-                let Some(postings) = field.postings.get(term) else {
+            for &(tid, qf) in &qterms {
+                let Some(list) = field.postings.get(&tid) else {
                     continue;
                 };
-                // Live document frequency: tombstoned docs removed their
-                // lengths, so count live postings.
-                let df = postings.iter().filter(|(d, _)| !index.is_deleted(*d)).count();
-                if df == 0 {
+                if list.live_df == 0 {
                     continue;
                 }
-                let term_idf = idf(doc_count, df);
-                for &(doc, tf) in postings {
-                    if index.is_deleted(doc) {
-                        continue;
-                    }
-                    let doc_len = f64::from(*field.doc_len.get(&doc).unwrap_or(&0));
-                    let s = term_score(self.params, term_idf, f64::from(tf), doc_len, avg_len);
-                    *scores.entry(doc).or_insert(0.0) += weight * s;
+                let term_idf = idf(doc_count, list.live_df as usize);
+                let ub = weight
+                    * term_upper_bound(
+                        self.params,
+                        term_idf,
+                        f64::from(list.max_tf),
+                        f64::from(list.min_len),
+                        avg_len,
+                    )
+                    * qf;
+                scorers.push(Scorer {
+                    docs: &list.docs,
+                    tfs: &list.tfs,
+                    doc_len: &field.doc_len,
+                    cursor: 0,
+                    weight,
+                    qf,
+                    idf: term_idf,
+                    avg_len,
+                    ub,
+                });
+            }
+        }
+        Some(scorers)
+    }
+
+    /// The candidate set: live documents passing `filter`. Computed
+    /// once per query so the scoring loops never consult tombstones or
+    /// re-evaluate filter trees (filter push-down).
+    fn candidates(index: &InvertedIndex, filter: Option<&Filter>) -> Result<DocSet, IndexError> {
+        let mut candidates = DocSet::full(index.next_id);
+        for doc in index.deleted.iter() {
+            candidates.remove(doc);
+        }
+        if let Some(f) = filter {
+            f.validate(index.schema())?;
+            for id in 0..index.next_id {
+                let doc = DocId(id);
+                if candidates.contains(doc) && !f.matches(index, doc)? {
+                    candidates.remove(doc);
                 }
             }
         }
-        let mut hits: Vec<ScoredDoc> = Vec::with_capacity(scores.len());
-        for (doc, score) in scores {
-            if score <= 0.0 {
-                continue;
-            }
-            if let Some(f) = filter {
-                if !f.matches(index, doc)? {
+        Ok(candidates)
+    }
+
+    /// Reference engine: score every candidate posting term-at-a-time,
+    /// then sort and truncate.
+    fn evaluate_exhaustive(
+        &self,
+        scorers: Vec<Scorer<'_>>,
+        candidates: &DocSet,
+        n: usize,
+    ) -> Vec<ScoredDoc> {
+        let params = self.params;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for scorer in &scorers {
+            for (pos, &doc) in scorer.docs.iter().enumerate() {
+                if !candidates.contains(DocId(doc)) {
                     continue;
                 }
+                *scores.entry(doc).or_insert(0.0) += scorer.contribution(params, pos);
             }
-            hits.push(ScoredDoc { doc, score });
         }
+        let mut hits: Vec<ScoredDoc> = scores
+            .into_iter()
+            .filter(|&(_, score)| score > 0.0)
+            .map(|(doc, score)| ScoredDoc { doc: DocId(doc), score })
+            .collect();
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
                 .then(a.doc.cmp(&b.doc))
         });
         hits.truncate(n);
-        Ok(hits)
+        hits
+    }
+
+    /// Document-at-a-time evaluation with a bounded top-k heap and
+    /// MaxScore pruning. See the module docs for the two invariants
+    /// that keep this byte-identical to [`Self::evaluate_exhaustive`].
+    fn evaluate_pruned(
+        &self,
+        mut scorers: Vec<Scorer<'_>>,
+        candidates: &DocSet,
+        k: usize,
+    ) -> Vec<ScoredDoc> {
+        let params = self.params;
+        let s_count = scorers.len();
+        // suffix_ub[i] bounds what scorers i.. can still add to a
+        // document's score (canonical order).
+        let mut suffix_ub = vec![0.0f64; s_count + 1];
+        for i in (0..s_count).rev() {
+            suffix_ub[i] = scorers[i].ub + suffix_ub[i + 1];
+        }
+        // Upper-bound-ascending view and its prefix sums, for the
+        // essential/non-essential partition.
+        let mut by_ub: Vec<usize> = (0..s_count).collect();
+        by_ub.sort_by(|&a, &b| scorers[a].ub.total_cmp(&scorers[b].ub).then(a.cmp(&b)));
+        let mut prefix_ub = Vec::with_capacity(s_count);
+        let mut cum = 0.0f64;
+        for &i in &by_ub {
+            cum += scorers[i].ub;
+            prefix_ub.push(cum);
+        }
+
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        // A hit must *strictly* beat theta to enter the top-k: DAAT
+        // visits documents in ascending id, so a score tie is always
+        // lost by the newcomer (larger id). Starts at 0.0 because
+        // zero-score hits are dropped.
+        let mut theta = 0.0f64;
+        let mut essential = essential_after(&by_ub, &prefix_ub, theta);
+
+        loop {
+            // Next candidate: smallest current doc on any essential list.
+            let mut next: Option<u32> = None;
+            for &e in &essential {
+                if let Some(d) = scorers[e].current() {
+                    next = Some(next.map_or(d, |m| m.min(d)));
+                }
+            }
+            let Some(doc) = next else {
+                break;
+            };
+            let full = heap.len() == k;
+            let mut score = 0.0f64;
+            let mut abandoned = false;
+            if candidates.contains(DocId(doc)) {
+                // Canonical-order accumulation with early abandonment:
+                // the moment the score so far plus everything the
+                // remaining scorers could add cannot beat theta, the
+                // document provably misses the top-k.
+                for i in 0..s_count {
+                    if full && score + suffix_ub[i] <= theta {
+                        abandoned = true;
+                        break;
+                    }
+                    let scorer = &mut scorers[i];
+                    scorer.seek(doc);
+                    if scorer.current() == Some(doc) {
+                        score += scorer.contribution(params, scorer.cursor);
+                    }
+                }
+            } else {
+                abandoned = true;
+            }
+            // Consume `doc` on the essential frontier so DAAT advances.
+            for &e in &essential {
+                let scorer = &mut scorers[e];
+                scorer.seek(doc);
+                if scorer.current() == Some(doc) {
+                    scorer.cursor += 1;
+                }
+            }
+            if !abandoned && score > theta && score > 0.0 {
+                if heap.len() == k {
+                    heap.pop();
+                }
+                heap.push(WorstFirst { score, doc });
+                if heap.len() == k {
+                    let worst = heap.peek().expect("heap is non-empty").score;
+                    if worst > theta {
+                        theta = worst;
+                        essential = essential_after(&by_ub, &prefix_ub, theta);
+                    }
+                }
+            }
+        }
+
+        let mut hits: Vec<ScoredDoc> = heap
+            .into_iter()
+            .map(|e| ScoredDoc { doc: DocId(e.doc), score: e.score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits
     }
 }
 
@@ -277,6 +633,19 @@ mod tests {
     }
 
     #[test]
+    fn invalid_filter_is_rejected_up_front() {
+        let idx = index_with(&[("t", "contenuto")]);
+        let f = Filter::eq("title", "t");
+        // Even a query with no matches validates its filter.
+        assert!(Searcher::new()
+            .search(&idx, "contenuto", 10, &ScoringProfile::neutral(), Some(&f))
+            .is_err());
+        assert!(Searcher::new()
+            .search_exhaustive(&idx, "contenuto", 10, &ScoringProfile::neutral(), Some(&f))
+            .is_err());
+    }
+
+    #[test]
     fn results_are_deterministic_under_ties() {
         let idx = index_with(&[("t", "uguale testo"), ("t", "uguale testo")]);
         for _ in 0..5 {
@@ -295,5 +664,153 @@ mod tests {
             .search(&idx, "x", 0, &ScoringProfile::neutral(), None)
             .unwrap();
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn resolve_covers_searchable_fields_in_schema_order() {
+        let schema = Schema::uniask_chunk_schema();
+        let profile = ScoringProfile::title_boost(7.0);
+        let resolved = profile.resolve(&schema);
+        assert_eq!(
+            resolved,
+            vec![("title", 7.0), ("content", 1.0), ("summary", 1.0)]
+        );
+    }
+
+    #[test]
+    fn duplicate_query_terms_fold_into_query_frequency() {
+        let idx = index_with(&[("t", "gatto cane"), ("t", "cane")]);
+        let searcher = Searcher::new();
+        let terms = vec!["gatt".to_string(), "can".to_string(), "gatt".to_string()];
+        let once = searcher
+            .search_terms(&idx, &["gatt".to_string(), "can".to_string()], 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        let twice = searcher
+            .search_terms(&idx, &terms, 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        // The duplicated term doubles its contribution…
+        assert!(twice[0].score > once[0].score);
+        // …identically in both engines.
+        let exhaustive = searcher
+            .search_terms_exhaustive(&idx, &terms, 10, &ScoringProfile::neutral(), None)
+            .unwrap();
+        assert_eq!(twice, exhaustive);
+    }
+
+    #[test]
+    fn negative_weight_falls_back_to_exhaustive() {
+        let idx = index_with(&[
+            ("bonifico", "testo generico"),
+            ("altro", "bonifico bonifico qui"),
+        ]);
+        let profile = ScoringProfile {
+            weights: vec![("title".into(), -1.0)],
+        };
+        let pruned = Searcher::new()
+            .search(&idx, "bonifico", 10, &profile, None)
+            .unwrap();
+        let exhaustive = Searcher::new()
+            .search_exhaustive(&idx, "bonifico", 10, &profile, None)
+            .unwrap();
+        assert_eq!(pruned, exhaustive);
+        // The title-penalized doc 0 keeps only its (positive) content
+        // score if any; hits must all be strictly positive.
+        assert!(pruned.iter().all(|h| h.score > 0.0));
+    }
+
+    /// Tiny deterministic xorshift generator so the randomized
+    /// equivalence sweep below runs with zero dependencies.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+    }
+
+    /// Randomized sweep pinning pruned == exhaustive bit-for-bit over
+    /// corpora with skewed term distributions, deletions, filters,
+    /// boosts and every k in 1..=N+2. A larger proptest version lives
+    /// in `tests/properties.rs`; this one is dependency-free.
+    #[test]
+    fn pruned_matches_exhaustive_on_random_corpora() {
+        let vocab = [
+            "bonifico", "carta", "mutuo", "conto", "prestito", "estero", "limite", "sepa",
+            "prelievo", "ricarica", "tasso", "rata", "blocco", "valuta", "deposito",
+        ];
+        let domains = ["Pagamenti", "Carte", "Crediti"];
+        let searcher = Searcher::new();
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        for round in 0..30 {
+            let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+            let ndocs = 3 + rng.below(25);
+            for _ in 0..ndocs {
+                let title_len = 1 + rng.below(3);
+                let content_len = 1 + rng.below(12);
+                let pick = |rng: &mut XorShift, n: usize| -> String {
+                    // Skew: low vocab ids are much more frequent.
+                    (0..n)
+                        .map(|_| {
+                            let cap = 1 + rng.below(vocab.len());
+                            vocab[rng.below(cap)]
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                let title = pick(&mut rng, title_len);
+                let content = pick(&mut rng, content_len);
+                let domain = domains[rng.below(domains.len())];
+                idx.add(
+                    &IndexDocument::new()
+                        .with_text("title", title)
+                        .with_text("content", content)
+                        .with_tags("domain", vec![domain.to_string()]),
+                )
+                .unwrap();
+            }
+            // Tombstone a random third of the corpus.
+            for id in 0..ndocs {
+                if rng.below(3) == 0 {
+                    idx.delete(DocId(id as u32)).unwrap();
+                }
+            }
+            let profile = match round % 3 {
+                0 => ScoringProfile::neutral(),
+                1 => ScoringProfile::title_boost(50.0),
+                _ => ScoringProfile::title_boost(5.0),
+            };
+            let filter = match round % 4 {
+                0 => None,
+                _ => Some(Filter::eq("domain", domains[rng.below(domains.len())])),
+            };
+            for _ in 0..6 {
+                let qlen = 1 + rng.below(4);
+                let query = (0..qlen)
+                    .map(|_| vocab[rng.below(vocab.len())])
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                for k in 1..=ndocs + 2 {
+                    let pruned = searcher
+                        .search(&idx, &query, k, &profile, filter.as_ref())
+                        .unwrap();
+                    let exhaustive = searcher
+                        .search_exhaustive(&idx, &query, k, &profile, filter.as_ref())
+                        .unwrap();
+                    assert_eq!(
+                        pruned, exhaustive,
+                        "divergence: round {round} query `{query}` k={k}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -133,6 +133,89 @@ proptest! {
     }
 }
 
+/// A small closed vocabulary so query terms actually collide with
+/// document terms (fully random words would almost never match).
+fn vocab_text(max_words: usize) -> impl Strategy<Value = String> {
+    let vocab = prop_oneof![
+        Just("bonifico"), Just("carta"), Just("mutuo"), Just("conto"),
+        Just("prestito"), Just("estero"), Just("limite"), Just("sepa"),
+        Just("prelievo"), Just("ricarica"), Just("tasso"), Just("rata"),
+    ];
+    proptest::collection::vec(vocab, 1..=max_words).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole guarantee: the pruned top-k engine is byte-identical
+    /// to exhaustive evaluation — same hits, same scores, same order —
+    /// across random corpora, deletions, filters, boosts and k.
+    #[test]
+    fn pruned_topk_matches_exhaustive(
+        docs in proptest::collection::vec(
+            (vocab_text(3), vocab_text(14), 0usize..3),
+            1..25,
+        ),
+        delete_mask in proptest::collection::vec(any::<bool>(), 25),
+        query in vocab_text(4),
+        boost in prop_oneof![Just(1.0f64), Just(5.0), Just(50.0)],
+        filter_domain in proptest::option::of(0usize..3),
+        k in 1usize..30,
+    ) {
+        use uniask_index::filter::Filter;
+        let domains = ["Pagamenti", "Carte", "Crediti"];
+        let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+        let mut ids = Vec::new();
+        for (title, content, dom) in &docs {
+            ids.push(index.add(
+                &IndexDocument::new()
+                    .with_text("title", title.clone())
+                    .with_text("content", content.clone())
+                    .with_tags("domain", vec![domains[*dom].to_string()]),
+            ).expect("valid schema"));
+        }
+        for (id, &kill) in ids.iter().zip(&delete_mask) {
+            if kill {
+                index.delete(*id).expect("delete ok");
+            }
+        }
+        let profile = ScoringProfile::title_boost(boost);
+        let filter = filter_domain.map(|d| Filter::eq("domain", domains[d]));
+        let searcher = Searcher::new();
+        let pruned = searcher
+            .search(&index, &query, k, &profile, filter.as_ref())
+            .expect("pruned search ok");
+        let exhaustive = searcher
+            .search_exhaustive(&index, &query, k, &profile, filter.as_ref())
+            .expect("exhaustive search ok");
+        // PartialEq on ScoredDoc compares f64 scores exactly: this is a
+        // bit-for-bit assertion, not an epsilon comparison.
+        prop_assert_eq!(pruned, exhaustive);
+    }
+
+    /// Snapshot-roundtripping an index must not perturb the pruned
+    /// engine: cached statistics survive the codec bit-for-bit.
+    #[test]
+    fn pruned_topk_survives_codec_roundtrip(
+        docs in proptest::collection::vec(vocab_text(10), 1..12),
+        query in vocab_text(3),
+        k in 1usize..15,
+    ) {
+        use std::sync::Arc;
+        use uniask_index::codec::{decode, encode};
+        use uniask_text::analyzer::ItalianAnalyzer;
+        let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+        for t in &docs {
+            index.add(&IndexDocument::new().with_text("content", t.clone())).expect("ok");
+        }
+        let restored = decode(&encode(&index), Arc::new(ItalianAnalyzer::new())).expect("roundtrip");
+        let searcher = Searcher::new();
+        let a = searcher.search(&index, &query, k, &ScoringProfile::neutral(), None).expect("ok");
+        let b = searcher.search(&restored, &query, k, &ScoringProfile::neutral(), None).expect("ok");
+        prop_assert_eq!(a, b);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -1,0 +1,159 @@
+//! Targeted equivalence scenarios for the pruned top-k engine.
+//!
+//! The property sweep in `properties.rs` covers random corpora; these
+//! tests pin the corner cases pruning is most likely to get wrong:
+//! heaps smaller/larger than the match set, everything tombstoned,
+//! filters that exclude all matches, repeated query terms, replace
+//! cycles that pile up tombstoned postings, and tie-heavy corpora.
+
+use uniask_index::doc::{DocId, IndexDocument};
+use uniask_index::filter::Filter;
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{ScoringProfile, Searcher};
+
+fn index_of(docs: &[(&str, &str, &str)]) -> InvertedIndex {
+    let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+    for (title, content, domain) in docs {
+        idx.add(
+            &IndexDocument::new()
+                .with_text("title", *title)
+                .with_text("content", *content)
+                .with_tags("domain", vec![domain.to_string()]),
+        )
+        .unwrap();
+    }
+    idx
+}
+
+fn assert_equivalent(idx: &InvertedIndex, query: &str, profile: &ScoringProfile, filter: Option<&Filter>) {
+    let searcher = Searcher::new();
+    for k in [1, 2, 3, 5, 10, 100] {
+        let pruned = searcher.search(idx, query, k, profile, filter).unwrap();
+        let exhaustive = searcher.search_exhaustive(idx, query, k, profile, filter).unwrap();
+        assert_eq!(pruned, exhaustive, "query `{query}` diverged at k={k}");
+        assert!(pruned.len() <= k);
+    }
+}
+
+fn corpus() -> InvertedIndex {
+    index_of(&[
+        ("Bonifico estero", "come eseguire un bonifico verso banche estere", "Pagamenti"),
+        ("Bonifico SEPA", "bonifico bonifico bonifico istruzioni dettagliate", "Pagamenti"),
+        ("Blocco carta", "la carta smarrita si blocca dal numero verde", "Carte"),
+        ("Carta di credito", "limiti della carta di credito aziendale e bonifico", "Carte"),
+        ("Mutuo giovani", "requisiti del mutuo agevolato per giovani coppie", "Crediti"),
+        ("Prestito personale", "tasso del prestito personale e rata mensile", "Crediti"),
+        ("Conto corrente", "apertura del conto corrente online", "Pagamenti"),
+    ])
+}
+
+#[test]
+fn equivalence_on_small_and_large_k() {
+    let idx = corpus();
+    for query in ["bonifico", "carta credito", "mutuo prestito tasso", "conto"] {
+        assert_equivalent(&idx, query, &ScoringProfile::neutral(), None);
+    }
+}
+
+#[test]
+fn equivalence_under_title_boost() {
+    let idx = corpus();
+    for boost in [5.0, 50.0, 500.0] {
+        assert_equivalent(&idx, "bonifico carta", &ScoringProfile::title_boost(boost), None);
+    }
+}
+
+#[test]
+fn equivalence_with_filters() {
+    let idx = corpus();
+    let by_domain = Filter::eq("domain", "Carte");
+    assert_equivalent(&idx, "bonifico carta", &ScoringProfile::neutral(), Some(&by_domain));
+    // A filter that excludes every scoring document.
+    let none = Filter::eq("domain", "Governance");
+    assert_equivalent(&idx, "bonifico", &ScoringProfile::neutral(), Some(&none));
+    let searcher = Searcher::new();
+    let hits = searcher
+        .search(&idx, "bonifico", 10, &ScoringProfile::neutral(), Some(&none))
+        .unwrap();
+    assert!(hits.is_empty());
+    // Compound filters go through the same push-down path.
+    let compound = Filter::Or(vec![
+        Filter::eq("domain", "Carte"),
+        Filter::Not(Box::new(Filter::eq("domain", "Pagamenti"))),
+    ]);
+    assert_equivalent(&idx, "carta mutuo", &ScoringProfile::neutral(), Some(&compound));
+}
+
+#[test]
+fn equivalence_with_tombstones() {
+    let mut idx = corpus();
+    idx.delete(DocId(1)).unwrap();
+    idx.delete(DocId(3)).unwrap();
+    assert_equivalent(&idx, "bonifico carta", &ScoringProfile::neutral(), None);
+    // Delete everything: both engines must return nothing.
+    for id in [0u32, 2, 4, 5, 6] {
+        idx.delete(DocId(id)).unwrap();
+    }
+    assert_equivalent(&idx, "bonifico", &ScoringProfile::neutral(), None);
+    let hits = Searcher::new()
+        .search(&idx, "bonifico", 10, &ScoringProfile::neutral(), None)
+        .unwrap();
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn equivalence_after_replace_cycles() {
+    let mut idx = corpus();
+    // Replace doc 0 a few times: tombstoned postings accumulate while
+    // live df stays exact; pruning must not resurrect or over-prune.
+    let mut current = DocId(0);
+    for _ in 0..4 {
+        idx.delete(current).unwrap();
+        current = idx.add(
+            &IndexDocument::new()
+                .with_text("title", "Bonifico estero")
+                .with_text("content", "come eseguire un bonifico verso banche estere")
+                .with_tags("domain", vec!["Pagamenti".to_string()]),
+        )
+        .unwrap();
+    }
+    assert_equivalent(&idx, "bonifico estero", &ScoringProfile::neutral(), None);
+    assert_equivalent(&idx, "bonifico", &ScoringProfile::title_boost(50.0), None);
+}
+
+#[test]
+fn equivalence_with_repeated_query_terms() {
+    let idx = corpus();
+    assert_equivalent(&idx, "bonifico bonifico bonifico", &ScoringProfile::neutral(), None);
+    assert_equivalent(&idx, "carta bonifico carta", &ScoringProfile::title_boost(5.0), None);
+}
+
+#[test]
+fn equivalence_on_tie_heavy_corpus() {
+    // Identical documents produce exact score ties; ordering must stay
+    // doc-id-ascending in both engines and across every k.
+    let docs: Vec<(&str, &str, &str)> = (0..12)
+        .map(|_| ("titolo", "parola condivisa identica", "Pagamenti"))
+        .collect();
+    let idx = index_of(&docs);
+    assert_equivalent(&idx, "parola condivisa", &ScoringProfile::neutral(), None);
+    let hits = Searcher::new()
+        .search(&idx, "parola", 5, &ScoringProfile::neutral(), None)
+        .unwrap();
+    let ids: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4], "ties must resolve to the lowest doc ids");
+}
+
+#[test]
+fn pruned_path_rejects_invalid_filters_like_exhaustive() {
+    let idx = corpus();
+    let bad = Filter::eq("title", "Bonifico estero");
+    let searcher = Searcher::new();
+    assert!(searcher
+        .search(&idx, "bonifico", 10, &ScoringProfile::neutral(), Some(&bad))
+        .is_err());
+    assert!(searcher
+        .search_exhaustive(&idx, "bonifico", 10, &ScoringProfile::neutral(), Some(&bad))
+        .is_err());
+}

@@ -404,6 +404,10 @@ impl SearchIndex {
     }
 
     /// The BM25 leg: chunk ids, best first.
+    ///
+    /// `Searcher::search` runs the top-k pruned MaxScore engine; it is
+    /// byte-identical to exhaustive evaluation, so RRF fusion sees the
+    /// exact ranking the 110-query equivalence suite was pinned on.
     fn text_leg(&self, text_query: &str, config: &HybridConfig) -> Vec<u32> {
         self.searcher
             .search(&self.inverted, text_query, config.text_n, &config.profile, None)
@@ -860,6 +864,10 @@ impl SearchIndex {
 
         let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
         if config.use_text {
+            // The filter is pushed down into the query engine's
+            // candidate bitset (and validated against the schema up
+            // front — `unwrap_or_default` maps a filter on a
+            // non-filterable field to an empty text leg).
             let hits = self
                 .searcher
                 .search(

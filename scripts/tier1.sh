@@ -16,8 +16,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy -D warnings (search, vector, core, bench)"
-cargo clippy -p uniask-search -p uniask-vector -p uniask-core -p uniask-bench \
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "==> cargo clippy -D warnings (search, index, vector, core, bench)"
+cargo clippy -p uniask-search -p uniask-index -p uniask-vector -p uniask-core -p uniask-bench \
     --all-targets -- -D warnings
 
 echo "tier1: OK"
