@@ -61,7 +61,9 @@ fn bench_topk(c: &mut Criterion) {
     for q in QUERIES {
         for k in [10, 50] {
             let pruned = searcher.search(&idx, q, k, &profile, None).unwrap();
-            let exhaustive = searcher.search_exhaustive(&idx, q, k, &profile, None).unwrap();
+            let exhaustive = searcher
+                .search_exhaustive(&idx, q, k, &profile, None)
+                .unwrap();
             assert_eq!(pruned, exhaustive, "engines diverged on `{q}` k={k}");
         }
     }

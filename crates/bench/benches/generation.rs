@@ -27,7 +27,13 @@ fn bench_prompt(c: &mut Criterion) {
     let builder = PromptBuilder::default();
     let chunks = context();
     c.bench_function("prompt/build_m4", |b| {
-        b.iter(|| black_box(builder.build(black_box("qual è il limite del conto?"), &chunks).prompt_tokens()))
+        b.iter(|| {
+            black_box(
+                builder
+                    .build(black_box("qual è il limite del conto?"), &chunks)
+                    .prompt_tokens(),
+            )
+        })
     });
 }
 
@@ -37,7 +43,14 @@ fn bench_completion(c: &mut Criterion) {
     let request = builder.build("qual è il limite operativo del conto corrente?", &chunks);
     let llm = SimLlm::new(SimLlmConfig::default());
     c.bench_function("llm/complete_extractive", |b| {
-        b.iter(|| black_box(llm.complete(black_box(&request)).expect("ok").usage.completion_tokens))
+        b.iter(|| {
+            black_box(
+                llm.complete(black_box(&request))
+                    .expect("ok")
+                    .usage
+                    .completion_tokens,
+            )
+        })
     });
 }
 
@@ -66,5 +79,11 @@ fn bench_ask(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_prompt, bench_completion, bench_guardrails, bench_ask);
+criterion_group!(
+    benches,
+    bench_prompt,
+    bench_completion,
+    bench_guardrails,
+    bench_ask
+);
 criterion_main!(benches);

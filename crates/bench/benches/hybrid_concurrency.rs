@@ -137,5 +137,10 @@ fn bench_cache_hit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_query, bench_batch_qps, bench_cache_hit);
+criterion_group!(
+    benches,
+    bench_single_query,
+    bench_batch_qps,
+    bench_cache_hit
+);
 criterion_main!(benches);

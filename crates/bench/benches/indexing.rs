@@ -63,7 +63,13 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 searcher
-                    .search(&idx, black_box("limite bonifico estero"), 50, &profile, None)
+                    .search(
+                        &idx,
+                        black_box("limite bonifico estero"),
+                        50,
+                        &profile,
+                        None,
+                    )
                     .expect("search ok")
                     .len(),
             )

@@ -2,15 +2,15 @@
 //! sequential vs. parallel bulk ingest.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
 use uniask_core::app::UniAsk;
 use uniask_core::config::UniAskConfig;
 use uniask_corpus::generator::CorpusGenerator;
 use uniask_corpus::kb::KnowledgeBase;
 use uniask_corpus::scale::CorpusScale;
-use uniask_search::reranker::SemanticReranker;
 use uniask_search::hybrid::SearchIndex;
+use uniask_search::reranker::SemanticReranker;
 use uniask_vector::embedding::SyntheticEmbedder;
-use std::sync::Arc;
 
 fn kb(n: usize) -> KnowledgeBase {
     CorpusGenerator::new(

@@ -51,11 +51,7 @@ fn bench_hss(c: &mut Criterion) {
 }
 
 fn bench_rrf(c: &mut Criterion) {
-    let rankings: Vec<Vec<u32>> = vec![
-        (0..50).collect(),
-        (25..40).collect(),
-        (10..25).collect(),
-    ];
+    let rankings: Vec<Vec<u32>> = vec![(0..50).collect(), (25..40).collect(), (10..25).collect()];
     c.bench_function("rrf/fuse_50_15_15", |b| {
         b.iter(|| black_box(rrf_fuse(black_box(&rankings), 60.0).len()))
     });

@@ -14,7 +14,8 @@ antiriciclaggio e la sottoscrizione del modulo contrattuale presso la filiale di
 caso di anomalia contattare l'assistenza applicativa aprendo una segnalazione tramite il portale.";
 
 fn long_html() -> String {
-    let mut html = String::from("<html><head><title>Pagina lunga</title></head><body><h1>Pagina lunga</h1>");
+    let mut html =
+        String::from("<html><head><title>Pagina lunga</title></head><body><h1>Pagina lunga</h1>");
     for i in 0..40 {
         html.push_str(&format!("<p>{PARAGRAPH} Paragrafo numero {i}.</p>"));
     }
@@ -63,5 +64,11 @@ fn bench_chunkers(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analyzer, bench_rouge, bench_html_parse, bench_chunkers);
+criterion_group!(
+    benches,
+    bench_analyzer,
+    bench_rouge,
+    bench_html_parse,
+    bench_chunkers
+);
 criterion_main!(benches);

@@ -25,7 +25,8 @@ fn random_vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
 
 fn bench_embedding(c: &mut Criterion) {
     let embedder = SyntheticEmbedder::new(128, 3);
-    let text = "come posso eseguire un bonifico istantaneo verso una banca estera dal portale interno";
+    let text =
+        "come posso eseguire un bonifico istantaneo verso una banca estera dal portale interno";
     // Warm the per-term direction cache as production indexing would.
     let _ = embedder.embed(text);
     c.bench_function("embedding/query_128d_cached", |b| {

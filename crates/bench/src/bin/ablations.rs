@@ -131,7 +131,11 @@ fn m_sweep(exp: &Experiment) {
             let r = app.ask(&q.text);
             if r.generation.answered() {
                 answered += 1;
-                if r.documents.iter().take(4).any(|d| q.relevant.contains(&d.parent_doc)) {
+                if r.documents
+                    .iter()
+                    .take(4)
+                    .any(|d| q.relevant.contains(&d.parent_doc))
+                {
                     correct += 1;
                 }
             }
@@ -144,13 +148,18 @@ fn m_sweep(exp: &Experiment) {
             100.0 * correct as f64 / n
         );
     }
-    println!("(paper ships m = 4: smaller m starves grounding, larger m mostly adds distractors)\n");
+    println!(
+        "(paper ships m = 4: smaller m starves grounding, larger m mostly adds distractors)\n"
+    );
 }
 
 /// 2. The guardrail trade-off that motivates ROUGE-L ≥ 0.15.
 fn rouge_threshold_sweep(exp: &Experiment) {
     println!("== Ablation 2 — ROUGE-L guardrail threshold ==");
-    println!("{:<10}{:>14}{:>18}", "threshold", "answer rate", "blocked-but-good");
+    println!(
+        "{:<10}{:>14}{:>18}",
+        "threshold", "answer rate", "blocked-but-good"
+    );
     let queries = &exp.human.test.queries;
     for threshold in [0.05f64, 0.10, 0.15, 0.25, 0.35, 0.50] {
         let mut app = UniAsk::new(UniAskConfig {
@@ -164,10 +173,17 @@ fn rouge_threshold_sweep(exp: &Experiment) {
         let mut blocked_good = 0usize;
         for q in queries {
             let r = app.ask(&q.text);
-            let hit = r.documents.iter().take(4).any(|d| q.relevant.contains(&d.parent_doc));
+            let hit = r
+                .documents
+                .iter()
+                .take(4)
+                .any(|d| q.relevant.contains(&d.parent_doc));
             if r.generation.answered() {
                 answered += 1;
-            } else if hit && r.generation.guardrail() == Some(uniask_guardrails::verdict::GuardrailKind::Rouge) {
+            } else if hit
+                && r.generation.guardrail()
+                    == Some(uniask_guardrails::verdict::GuardrailKind::Rouge)
+            {
                 // The retrieval was right and the extractive answer was
                 // killed anyway: an over-aggressive threshold.
                 blocked_good += 1;
@@ -206,7 +222,9 @@ fn rrf_c_sweep(exp: &Experiment, runner: &EvalRunner) {
             .metrics;
         println!("{:<8.0}{:>10.4}{:>10.4}", c, m.mrr, m.hit_at[&4]);
     }
-    println!("(flat around the Azure default 60 — RRF is insensitive here, as its authors argue)\n");
+    println!(
+        "(flat around the Azure default 60 — RRF is insensitive here, as its authors argue)\n"
+    );
 }
 
 /// 4. Semantic-reranker weight sweep (0 = pure RRF).

@@ -44,7 +44,10 @@ fn main() {
         "{:<28}{:>10}{:>14}{:>20}",
         "strategy", "chunks", "avg tokens", "misaligned chunks"
     );
-    for (name, use_html) in [("HTML-paragraph (prod)", true), ("RecursiveCharacter", false)] {
+    for (name, use_html) in [
+        ("HTML-paragraph (prod)", true),
+        ("RecursiveCharacter", false),
+    ] {
         let mut chunks = 0usize;
         let mut tokens = 0usize;
         let mut misaligned = 0usize;
@@ -61,7 +64,10 @@ fn main() {
                 // A chunk is "noisy" when it does not begin at a
                 // paragraph boundary the editor designed.
                 let head: String = c.text.chars().take(24).collect();
-                let aligned = parsed.paragraphs.iter().any(|p| p.text.starts_with(head.trim()));
+                let aligned = parsed
+                    .paragraphs
+                    .iter()
+                    .any(|p| p.text.starts_with(head.trim()));
                 if !aligned {
                     misaligned += 1;
                 }
@@ -79,11 +85,19 @@ fn main() {
     // End-to-end retrieval comparison on the human validation set.
     eprintln!("chunking: indexing both variants...");
     let qgen = QuestionGenerator::new(&kb, &vocab, seed ^ 0x0DD);
-    let human = qgen.human_dataset(scale.human_questions).split(seed ^ 0x5917);
+    let human = qgen
+        .human_dataset(scale.human_questions)
+        .split(seed ^ 0x5917);
     let queries = eval_queries(&human.validation);
     let runner = EvalRunner::new();
-    println!("\n{:<28}{:>10}{:>10}{:>10}", "strategy", "MRR", "hit@4", "r@50");
-    for (name, use_html) in [("HTML-paragraph (prod)", true), ("RecursiveCharacter", false)] {
+    println!(
+        "\n{:<28}{:>10}{:>10}{:>10}",
+        "strategy", "MRR", "hit@4", "r@50"
+    );
+    for (name, use_html) in [
+        ("HTML-paragraph (prod)", true),
+        ("RecursiveCharacter", false),
+    ] {
         let embedder = Arc::new(SyntheticEmbedder::with_normalizer(
             scale.embedding_dim,
             seed,

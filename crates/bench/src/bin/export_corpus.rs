@@ -27,7 +27,10 @@ fn main() {
         .unwrap_or_else(|| "corpus-export".to_string());
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
-    eprintln!("export: generating {} documents (seed {seed})...", scale.documents);
+    eprintln!(
+        "export: generating {} documents (seed {seed})...",
+        scale.documents
+    );
     let kb = CorpusGenerator::new(scale, seed).generate();
     let vocab = Vocabulary::new();
     let qgen = QuestionGenerator::new(&kb, &vocab, seed ^ 0x0DD);
@@ -35,8 +38,11 @@ fn main() {
     let keyword = qgen.keyword_dataset(scale.keyword_queries);
 
     let kb_path = format!("{out_dir}/kb.jsonl");
-    write_kb(&kb, BufWriter::new(File::create(&kb_path).expect("create kb file")))
-        .expect("write kb");
+    write_kb(
+        &kb,
+        BufWriter::new(File::create(&kb_path).expect("create kb file")),
+    )
+    .expect("write kb");
     let human_path = format!("{out_dir}/human.jsonl");
     write_dataset(
         &human,

@@ -56,8 +56,7 @@ fn main() {
     for q in exp.human.test.queries.iter().take(150) {
         let honest = exp.uniask.ask(&q.text);
         if let GenerationOutcome::Answer { text, .. } = &honest.generation {
-            let contexts: Vec<String> =
-                honest.context.iter().map(|c| c.content.clone()).collect();
+            let contexts: Vec<String> = honest.context.iter().map(|c| c.content.clone()).collect();
             good_scores.push(groundedness(text, &contexts));
         }
         // The liar produces raw hallucinations; inspect them *before*
@@ -112,8 +111,7 @@ fn main() {
                     other => other,
                 })
                 .collect();
-            let contexts: Vec<String> =
-                honest.context.iter().map(|c| c.content.clone()).collect();
+            let contexts: Vec<String> = honest.context.iter().map(|c| c.content.clone()).collect();
             wrong_value_scores.push(groundedness(&corrupted, &contexts));
         }
     }
@@ -123,7 +121,10 @@ fn main() {
     wrong_value_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
     println!("== Groundedness distributions (lexical formulation) ==");
-    println!("{:<22}{:>8}{:>8}{:>8}{:>8}", "population", "p10", "p50", "p90", "n");
+    println!(
+        "{:<22}{:>8}{:>8}{:>8}{:>8}",
+        "population", "p10", "p50", "p90", "n"
+    );
     println!(
         "{:<22}{:>8.2}{:>8.2}{:>8.2}{:>8}",
         "delivered answers",

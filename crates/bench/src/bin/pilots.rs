@@ -165,7 +165,11 @@ fn main() {
     }
     // 10 out-of-scope corner cases: guardrails must trigger.
     let corners = corner_case_catalogue(30);
-    for c in corners.iter().filter(|c| c.kind == CornerKind::OutOfScope).take(10) {
+    for c in corners
+        .iter()
+        .filter(|c| c.kind == CornerKind::OutOfScope)
+        .take(10)
+    {
         items.push(UatItem {
             record: QueryRecord {
                 id: format!("uat-oos-{}", items.len()),
@@ -183,7 +187,12 @@ fn main() {
         .test
         .queries
         .iter()
-        .filter(|q| q.text.contains('e') && q.text.split_whitespace().any(|t| t.starts_with('e') && t.len() > 2 && t[1..].chars().all(|c| c.is_ascii_digit())))
+        .filter(|q| {
+            q.text.contains('e')
+                && q.text.split_whitespace().any(|t| {
+                    t.starts_with('e') && t.len() > 2 && t[1..].chars().all(|c| c.is_ascii_digit())
+                })
+        })
         .take(20)
         .collect();
     let mut error_count = 0;
@@ -215,7 +224,16 @@ fn main() {
 
     let uat = run_uat(&backend2, &items);
     println!("== §8 — UAT ({} questions) ==", uat.items);
-    println!("correct answers            {:>6.1}%  (paper: 87%)", 100.0 * uat.correct_rate());
-    println!("guardrails ok              {:>6.1}%  (paper: 89%)", 100.0 * uat.guardrail_rate());
-    println!("guardrails improper        {:>6.1}%  (paper: 3%)", 100.0 * uat.improper_rate());
+    println!(
+        "correct answers            {:>6.1}%  (paper: 87%)",
+        100.0 * uat.correct_rate()
+    );
+    println!(
+        "guardrails ok              {:>6.1}%  (paper: 89%)",
+        100.0 * uat.guardrail_rate()
+    );
+    println!(
+        "guardrails improper        {:>6.1}%  (paper: 3%)",
+        100.0 * uat.improper_rate()
+    );
 }

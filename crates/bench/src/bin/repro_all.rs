@@ -33,9 +33,7 @@ fn main() {
     for name in BINARIES {
         println!("\n================ {name} ================\n");
         let path = dir.join(name);
-        let status = Command::new(&path)
-            .args(&forwarded)
-            .status();
+        let status = Command::new(&path).args(&forwarded).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

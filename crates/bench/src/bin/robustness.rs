@@ -75,10 +75,18 @@ fn main() {
         }
     };
     let seeds: [u64; 5] = [42, 7, 1234, 777, 31337];
-    println!("== Shape robustness across seeds ({} docs each) ==", scale.documents);
+    println!(
+        "== Shape robustness across seeds ({} docs each) ==",
+        scale.documents
+    );
     println!(
         "{:<8}{:>14}{:>16}{:>16}{:>18}{:>20}",
-        "seed", "prev fails NL", "uniask wins NL", "keyword parity", "text<vector (NL)", "text>vector (kw)"
+        "seed",
+        "prev fails NL",
+        "uniask wins NL",
+        "keyword parity",
+        "text<vector (NL)",
+        "text>vector (kw)"
     );
     let mut all_hold = 0usize;
     for seed in seeds {
@@ -103,7 +111,10 @@ fn main() {
             all_hold += 1;
         }
     }
-    println!("\nAll five shapes hold on {all_hold}/{} seeds.", seeds.len());
+    println!(
+        "\nAll five shapes hold on {all_hold}/{} seeds.",
+        seeds.len()
+    );
     if all_hold < seeds.len() - 1 {
         std::process::exit(1);
     }

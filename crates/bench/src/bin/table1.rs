@@ -20,9 +20,7 @@ fn main() {
     let mut json_out = serde_json::Map::new();
     for (label, split) in [("Human", &exp.human), ("Keyword", &exp.keyword)] {
         let queries = eval_queries(&split.test);
-        let prev = runner
-            .run(&queries, |q| exp.prev.search(q, 50))
-            .metrics;
+        let prev = runner.run(&queries, |q| exp.prev.search(q, 50)).metrics;
         let uniask = runner
             .run(&queries, |q| {
                 exp.uniask
@@ -62,6 +60,9 @@ fn main() {
             "scale": { "documents": scale.documents, "seed": seed },
             "datasets": json_out,
         });
-        println!("{}", serde_json::to_string_pretty(&record).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&record).expect("serializable")
+        );
     }
 }

@@ -53,13 +53,15 @@ fn main() {
             .metrics;
         expansion_results.push((name, metrics));
     }
-    let refs: Vec<(&str, &uniask_eval::metrics::RetrievalMetrics)> = expansion_results
-        .iter()
-        .map(|(n, m)| (*n, m))
-        .collect();
+    let refs: Vec<(&str, &uniask_eval::metrics::RetrievalMetrics)> =
+        expansion_results.iter().map(|(n, m)| (*n, m)).collect();
     println!(
         "{}",
-        format_variation_table("Table 3A — Query expansion (Human Test Dataset)", &hss, &refs)
+        format_variation_table(
+            "Table 3A — Query expansion (Human Test Dataset)",
+            &hss,
+            &refs
+        )
     );
 
     // (B) title boosting.
@@ -80,10 +82,8 @@ fn main() {
             .metrics;
         boost_results.push((format!("T{t:.0}"), metrics));
     }
-    let refs: Vec<(&str, &uniask_eval::metrics::RetrievalMetrics)> = boost_results
-        .iter()
-        .map(|(n, m)| (n.as_str(), m))
-        .collect();
+    let refs: Vec<(&str, &uniask_eval::metrics::RetrievalMetrics)> =
+        boost_results.iter().map(|(n, m)| (n.as_str(), m)).collect();
     println!(
         "{}",
         format_variation_table(

@@ -35,11 +35,12 @@ fn main() {
     );
     let runner = EvalRunner::new();
 
-    for (label, pick) in [
-        ("Human", 0usize),
-        ("Keyword", 1usize),
-    ] {
-        let split = if pick == 0 { &base.human } else { &base.keyword };
+    for (label, pick) in [("Human", 0usize), ("Keyword", 1usize)] {
+        let split = if pick == 0 {
+            &base.human
+        } else {
+            &base.keyword
+        };
         let queries = eval_queries(&split.test);
         let run_on = |exp: &uniask_bench::Experiment| {
             runner

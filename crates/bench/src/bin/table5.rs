@@ -42,15 +42,42 @@ fn main() {
         }
     }
     let n = queries.len().max(1) as f64;
-    println!("== Table 5 — Answer generation rate on the Human Test Dataset ({} questions) ==", queries.len());
+    println!(
+        "== Table 5 — Answer generation rate on the Human Test Dataset ({} questions) ==",
+        queries.len()
+    );
     println!("{:<38}{:>9}", "Guardrail Type", "# Answers");
-    println!("{:<38}{:>8.1}%", "Generated answers (no guardrails)", 100.0 * generated as f64 / n);
-    println!("{:<38}{:>8.1}%", "Citation guardrail", 100.0 * citation as f64 / n);
-    println!("{:<38}{:>8.1}%", "Rouge guardrail", 100.0 * rouge as f64 / n);
-    println!("{:<38}{:>8.1}%", "Require clarification guardrail", 100.0 * clarification as f64 / n);
-    println!("{:<38}{:>8.1}%", "Content Filter", 100.0 * content_filter as f64 / n);
+    println!(
+        "{:<38}{:>8.1}%",
+        "Generated answers (no guardrails)",
+        100.0 * generated as f64 / n
+    );
+    println!(
+        "{:<38}{:>8.1}%",
+        "Citation guardrail",
+        100.0 * citation as f64 / n
+    );
+    println!(
+        "{:<38}{:>8.1}%",
+        "Rouge guardrail",
+        100.0 * rouge as f64 / n
+    );
+    println!(
+        "{:<38}{:>8.1}%",
+        "Require clarification guardrail",
+        100.0 * clarification as f64 / n
+    );
+    println!(
+        "{:<38}{:>8.1}%",
+        "Content Filter",
+        100.0 * content_filter as f64 / n
+    );
     if errors > 0 {
-        println!("{:<38}{:>8.1}%", "Service errors", 100.0 * errors as f64 / n);
+        println!(
+            "{:<38}{:>8.1}%",
+            "Service errors",
+            100.0 * errors as f64 / n
+        );
     }
     println!(
         "\nPaper: 94.8% generated / 3.5% citation / 1.1% rouge / 0.2% clarification / 0.5% content filter."

@@ -47,8 +47,12 @@ impl Experiment {
         let kb = CorpusGenerator::new(scale, seed).generate();
         let vocab = Arc::new(Vocabulary::new());
         let qgen = QuestionGenerator::new(&kb, &vocab, seed ^ 0x0DD);
-        let human = qgen.human_dataset(scale.human_questions).split(seed ^ 0x5917);
-        let keyword = qgen.keyword_dataset(scale.keyword_queries).split(seed ^ 0x5917);
+        let human = qgen
+            .human_dataset(scale.human_questions)
+            .split(seed ^ 0x5917);
+        let keyword = qgen
+            .keyword_dataset(scale.keyword_queries)
+            .split(seed ^ 0x5917);
         config.embedding_dim = scale.embedding_dim;
         config.seed = seed;
         let mut uniask = UniAsk::new(config);

@@ -8,12 +8,15 @@
 
 use std::sync::Arc;
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use uniask_corpus::kb::KnowledgeBase;
 use uniask_corpus::vocab::{SynonymNormalizer, Vocabulary};
 use uniask_guardrails::chain::{ChainOutcome, GuardrailChain};
 use uniask_guardrails::fact_check::{FactCheckGuardrail, FactStore};
 use uniask_guardrails::rouge_guard::RougeGuardrail;
 use uniask_guardrails::verdict::{GuardrailKind, Verdict};
+use uniask_llm::chat::{ChatRequest, ChatResponse};
 use uniask_llm::error::LlmError;
 use uniask_llm::model::{ChatModel, SimLlm};
 use uniask_llm::prompt::{ContextChunk, PromptBuilder};
@@ -26,6 +29,10 @@ use crate::config::UniAskConfig;
 use crate::indexing::IndexingService;
 use crate::ingestion::IngestMessage;
 use crate::monitoring::Monitoring;
+use crate::resilience::{
+    extractive_fallback, Degradation, FaultPlan, FaultPoint, PlanLlmHook, PlanSearchHook,
+    ResilienceState,
+};
 
 /// What the generation module produced for a question.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +50,15 @@ pub enum GenerationOutcome {
         kind: GuardrailKind,
         /// The user-facing message.
         message: String,
+    },
+    /// The LLM was unavailable; the answer is the guardrail-approved
+    /// extractive fallback built from the retrieved context (the
+    /// bottom rung of the degradation ladder above an error).
+    Fallback {
+        /// The extractive answer text, citation included.
+        text: String,
+        /// Context keys cited.
+        citations: Vec<usize>,
     },
     /// The LLM service failed (rate limit, context overflow).
     ServiceError {
@@ -78,6 +94,9 @@ pub struct AskResponse {
     pub documents: Vec<SearchHit>,
     /// The context chunks that were passed to the LLM.
     pub context: Vec<ContextChunk>,
+    /// Which parts of the pipeline were degraded while serving this
+    /// response (all-false on the non-resilient path).
+    pub degradation: Degradation,
 }
 
 /// The assembled system.
@@ -92,6 +111,9 @@ pub struct UniAsk {
     guardrails: GuardrailChain,
     fact_check: Option<FactCheckGuardrail>,
     indexing: IndexingService,
+    /// Resilience state (breakers, retry seeds, armed fault plan);
+    /// `None` runs the plain fail-fast path.
+    resilience: Option<ResilienceState>,
     /// Monitoring collector (shared with the backend).
     pub monitoring: Arc<Monitoring>,
 }
@@ -137,6 +159,7 @@ impl UniAsk {
         let fact_check = config
             .enable_fact_check
             .then(|| FactCheckGuardrail::new(FactStore::new()));
+        let resilience = config.resilience.clone().map(ResilienceState::new);
         UniAsk {
             prompt: PromptBuilder::new(config.context_chunks),
             config,
@@ -147,6 +170,7 @@ impl UniAsk {
             guardrails,
             fact_check,
             indexing,
+            resilience,
             monitoring: Arc::new(Monitoring::new()),
         }
     }
@@ -182,7 +206,11 @@ impl UniAsk {
     /// work fanned out over `workers` threads (0 = all CPUs). The
     /// resulting index is identical to calling
     /// [`UniAsk::apply_update`] per message in order.
-    pub fn apply_updates_parallel(&mut self, messages: Vec<IngestMessage>, workers: usize) -> usize {
+    pub fn apply_updates_parallel(
+        &mut self,
+        messages: Vec<IngestMessage>,
+        workers: usize,
+    ) -> usize {
         if let Some(fc) = &mut self.fact_check {
             for message in &messages {
                 if let IngestMessage::Upsert(doc) = message {
@@ -218,8 +246,72 @@ impl UniAsk {
         self.index.search_documents(query, &self.config.hybrid)
     }
 
-    /// The full query flow of Sections 4–6.
+    /// The full query flow of Sections 4–6. With a resilience
+    /// configuration attached, retrieval and generation survive partial
+    /// dependency failures through retries, circuit breakers and the
+    /// degradation ladder; without one, dependency errors fail fast.
     pub fn ask(&self, question: &str) -> AskResponse {
+        match &self.resilience {
+            Some(state) => self.ask_resilient(question, state),
+            None => self.ask_direct(question),
+        }
+    }
+
+    /// Deduplicate chunk hits into the displayed document list.
+    fn dedup_documents(&self, chunk_hits: &[SearchHit]) -> Vec<SearchHit> {
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        chunk_hits
+            .iter()
+            .filter(|h| seen.insert(h.parent_doc.as_str()))
+            .cloned()
+            .collect()
+    }
+
+    /// The top *m* chunk hits as the LLM context (keys are 1-based).
+    fn build_context(&self, chunk_hits: &[SearchHit]) -> Vec<ContextChunk> {
+        chunk_hits
+            .iter()
+            .take(self.config.context_chunks)
+            .enumerate()
+            .map(|(i, h)| ContextChunk {
+                key: i + 1,
+                title: h.title.clone(),
+                content: h.content.clone(),
+            })
+            .collect()
+    }
+
+    /// Post-generation guardrails (chain + optional fact check) over a
+    /// generated answer.
+    fn check_generated(&self, answer: &str, context: &[ContextChunk]) -> GenerationOutcome {
+        match self.guardrails.check_answer(answer, context) {
+            ChainOutcome::Delivered { answer } => {
+                // Optional §11 extension: verify value claims against
+                // the mined knowledge store.
+                if let Some(fc) = &self.fact_check {
+                    if let Verdict::Blocked { kind, reason } = fc.check(&answer) {
+                        self.monitoring.record_guardrail(kind);
+                        return GenerationOutcome::GuardrailBlocked {
+                            kind,
+                            message: reason,
+                        };
+                    }
+                }
+                let citations = uniask_llm::citation::extract_citations(&answer);
+                GenerationOutcome::Answer {
+                    text: answer,
+                    citations,
+                }
+            }
+            ChainOutcome::Invalidated { kind, message, .. } => {
+                self.monitoring.record_guardrail(kind);
+                GenerationOutcome::GuardrailBlocked { kind, message }
+            }
+        }
+    }
+
+    /// The fail-fast query flow (no resilience layer).
+    fn ask_direct(&self, question: &str) -> AskResponse {
         // Pre-generation: content filter on the question.
         if let Verdict::Blocked { kind, reason } = self.guardrails.check_question(question) {
             self.monitoring.record_guardrail(kind);
@@ -233,30 +325,15 @@ impl UniAsk {
                 },
                 documents,
                 context: Vec::new(),
+                degradation: Degradation::default(),
             };
         }
 
         // Retrieval: chunk-level hits feed the context; the displayed
         // list is document-level.
         let chunk_hits = self.index.search(question, &self.config.hybrid);
-        let documents = {
-            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
-            chunk_hits
-                .iter()
-                .filter(|h| seen.insert(h.parent_doc.as_str()))
-                .cloned()
-                .collect::<Vec<_>>()
-        };
-        let context: Vec<ContextChunk> = chunk_hits
-            .iter()
-            .take(self.config.context_chunks)
-            .enumerate()
-            .map(|(i, h)| ContextChunk {
-                key: i + 1,
-                title: h.title.clone(),
-                content: h.content.clone(),
-            })
-            .collect();
+        let documents = self.dedup_documents(&chunk_hits);
+        let context = self.build_context(&chunk_hits);
 
         // Generation, through the hosting-service envelope when one is
         // configured: one bounded retry after the advertised wait (the
@@ -271,9 +348,7 @@ impl UniAsk {
                         self.clock.advance(timed.latency_secs);
                         Ok(timed.response)
                     }
-                    Err(LlmError::RateLimited { retry_after_secs })
-                        if retry_after_secs <= 5.0 =>
-                    {
+                    Err(LlmError::RateLimited { retry_after_secs }) if retry_after_secs <= 5.0 => {
                         self.clock.advance(retry_after_secs + 1e-3);
                         service
                             .complete_at(&request, self.clock.now())
@@ -286,52 +361,13 @@ impl UniAsk {
                 }
             }
         };
-        let response = match result {
-            Ok(r) => r,
+        let generation = match result {
+            Ok(response) => self.check_generated(&response.message.content, &context),
             Err(e) => {
                 self.monitoring.record_failure();
-                return AskResponse {
-                    question: question.to_string(),
-                    generation: GenerationOutcome::ServiceError {
-                        error: e.to_string(),
-                    },
-                    documents,
-                    context,
-                };
-            }
-        };
-
-        // Post-generation guardrails.
-        let generation = match self.guardrails.check_answer(&response.message.content, &context) {
-            ChainOutcome::Delivered { answer } => {
-                // Optional §11 extension: verify value claims against
-                // the mined knowledge store.
-                if let Some(fc) = &self.fact_check {
-                    if let uniask_guardrails::verdict::Verdict::Blocked { kind, reason } =
-                        fc.check(&answer)
-                    {
-                        self.monitoring.record_guardrail(kind);
-                        return AskResponse {
-                            question: question.to_string(),
-                            generation: GenerationOutcome::GuardrailBlocked {
-                                kind,
-                                message: reason,
-                            },
-                            documents,
-                            context,
-                        };
-                    }
+                GenerationOutcome::ServiceError {
+                    error: e.to_string(),
                 }
-                let citations =
-                    uniask_llm::citation::extract_citations(&answer);
-                GenerationOutcome::Answer {
-                    text: answer,
-                    citations,
-                }
-            }
-            ChainOutcome::Invalidated { kind, message, .. } => {
-                self.monitoring.record_guardrail(kind);
-                GenerationOutcome::GuardrailBlocked { kind, message }
             }
         };
         AskResponse {
@@ -339,6 +375,219 @@ impl UniAsk {
             generation,
             documents,
             context,
+            degradation: Degradation::default(),
+        }
+    }
+
+    /// One LLM completion attempt, advancing the simulated clock by the
+    /// modelled latency. Without a service envelope the armed fault
+    /// plan (if any) is consulted directly.
+    fn complete_once(
+        &self,
+        state: &ResilienceState,
+        request: &ChatRequest,
+    ) -> Result<ChatResponse, LlmError> {
+        match &self.service {
+            Some(service) => {
+                let timed = service.complete_at(request, self.clock.now())?;
+                self.clock.advance(timed.latency_secs);
+                Ok(timed.response)
+            }
+            None => {
+                if let Some(plan) = state.plan() {
+                    match plan.check(FaultPoint::LlmComplete) {
+                        Err(_) => return Err(LlmError::ServiceUnavailable),
+                        Ok(delay) => {
+                            if delay > 0.0 {
+                                self.clock.advance(delay);
+                            }
+                        }
+                    }
+                }
+                self.llm.complete(request)
+            }
+        }
+    }
+
+    /// The query flow hardened by the resilience layer: breaker-gated
+    /// degraded retrieval, retried generation under a deadline budget,
+    /// and the extractive fallback before any error surfaces.
+    fn ask_resilient(&self, question: &str, state: &ResilienceState) -> AskResponse {
+        let mut degradation = Degradation::default();
+
+        if let Verdict::Blocked { kind, reason } = self.guardrails.check_question(question) {
+            self.monitoring.record_guardrail(kind);
+            let documents = self.search(question);
+            return AskResponse {
+                question: question.to_string(),
+                generation: GenerationOutcome::GuardrailBlocked {
+                    kind,
+                    message: reason,
+                },
+                documents,
+                context: Vec::new(),
+                degradation,
+            };
+        }
+
+        // Retrieval, rung 1 of the ladder: an open vector breaker (or a
+        // vector-leg fault caught by the hook) narrows the pipeline to
+        // the surviving legs instead of failing the query.
+        let mut hybrid = self.config.hybrid.clone();
+        if hybrid.use_vector && !state.vector_breaker.allow(self.clock.now()) {
+            hybrid.use_vector = false;
+            degradation.vector_leg = true;
+        }
+        let result = self.index.search_resilient(question, &hybrid);
+        if hybrid.use_vector {
+            if result.failed.vector() {
+                degradation.vector_leg = true;
+                if state.vector_breaker.record_failure(self.clock.now()) {
+                    self.monitoring.record_breaker_open();
+                }
+            } else {
+                state.vector_breaker.record_success(self.clock.now());
+            }
+        }
+        degradation.text_leg = result.failed.text;
+        degradation.reranker = result.failed.reranker;
+        let chunk_hits = result.hits;
+        let documents = self.dedup_documents(&chunk_hits);
+        let context = self.build_context(&chunk_hits);
+
+        // Generation: jittered-backoff retries on the simulated clock,
+        // under the per-request deadline and the LLM breaker.
+        let request = self.prompt.build(question, &context);
+        let deadline = self.clock.now() + state.config.deadline_secs;
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            state
+                .config
+                .seed
+                .wrapping_add(state.next_request_id().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            if !state.llm_breaker.allow(self.clock.now()) {
+                break Err(LlmError::ServiceUnavailable);
+            }
+            match self.complete_once(state, &request) {
+                Ok(response) => {
+                    state.llm_breaker.record_success(self.clock.now());
+                    break Ok(response);
+                }
+                Err(error) => {
+                    if state.llm_breaker.record_failure(self.clock.now()) {
+                        self.monitoring.record_breaker_open();
+                    }
+                    let retryable = matches!(
+                        error,
+                        LlmError::RateLimited { .. } | LlmError::ServiceUnavailable
+                    );
+                    if !retryable || attempt >= state.config.retry.max_retries {
+                        break Err(error);
+                    }
+                    let hint = match &error {
+                        LlmError::RateLimited { retry_after_secs } => Some(*retry_after_secs),
+                        _ => None,
+                    };
+                    let delay = state.config.retry.delay_secs(attempt, &mut rng, hint);
+                    if self.clock.now() + delay > deadline {
+                        break Err(error);
+                    }
+                    self.clock.advance(delay);
+                    self.monitoring.record_retry();
+                    attempt += 1;
+                }
+            }
+        };
+        degradation.llm_retries = attempt;
+
+        let generation = match outcome {
+            Ok(response) => self.check_generated(&response.message.content, &context),
+            // Rung 2: the LLM is out — serve the guardrail-approved
+            // extractive answer instead of an error while retrieval
+            // still produced context.
+            Err(error) => match extractive_fallback(&context) {
+                Some(text) => match self.guardrails.check_answer(&text, &context) {
+                    ChainOutcome::Delivered { answer } => {
+                        degradation.llm_fallback = true;
+                        self.monitoring.record_llm_fallback();
+                        let citations = uniask_llm::citation::extract_citations(&answer);
+                        GenerationOutcome::Fallback {
+                            text: answer,
+                            citations,
+                        }
+                    }
+                    ChainOutcome::Invalidated { .. } => {
+                        self.monitoring.record_failure();
+                        GenerationOutcome::ServiceError {
+                            error: error.to_string(),
+                        }
+                    }
+                },
+                None => {
+                    self.monitoring.record_failure();
+                    GenerationOutcome::ServiceError {
+                        error: error.to_string(),
+                    }
+                }
+            },
+        };
+        if degradation.is_degraded() {
+            self.monitoring.record_degraded();
+        }
+        AskResponse {
+            question: question.to_string(),
+            generation,
+            documents,
+            context,
+            degradation,
+        }
+    }
+
+    /// The live resilience state, when the layer is enabled.
+    pub fn resilience(&self) -> Option<&ResilienceState> {
+        self.resilience.as_ref()
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Advance the simulated clock (chaos tests drive breaker cooldowns
+    /// and token-bucket refills through this).
+    pub fn advance_clock(&self, secs: f64) {
+        self.clock.advance(secs);
+    }
+
+    /// Arm `plan` across every fault point: the search stages, the LLM
+    /// service envelope, and (via [`UniAsk::resilience`]) the queue and
+    /// ingest paths. Enables the resilience layer with defaults if the
+    /// configuration did not.
+    pub fn inject_faults(&mut self, plan: Arc<FaultPlan>) {
+        if self.resilience.is_none() {
+            self.resilience = Some(ResilienceState::new(
+                self.config.resilience.clone().unwrap_or_default(),
+            ));
+        }
+        let state = self.resilience.as_ref().expect("state just ensured");
+        state.set_plan(Some(Arc::clone(&plan)));
+        self.index
+            .set_fault_hook(Some(Arc::new(PlanSearchHook(Arc::clone(&plan)))));
+        if let Some(service) = &mut self.service {
+            service.set_fault_hook(Some(Arc::new(PlanLlmHook(plan))));
+        }
+    }
+
+    /// Disarm the armed fault plan, if any. The hooks stay installed
+    /// (a disarmed plan keeps counting calls but never faults), so a
+    /// recovered system follows the same code path it degraded on.
+    pub fn clear_faults(&self) {
+        if let Some(state) = &self.resilience {
+            if let Some(plan) = state.plan() {
+                plan.clear();
+            }
         }
     }
 }
@@ -479,6 +728,7 @@ impl UniAsk {
         let fact_check = config
             .enable_fact_check
             .then(|| FactCheckGuardrail::new(FactStore::new()));
+        let resilience = config.resilience.clone().map(ResilienceState::new);
         Ok(UniAsk {
             prompt: PromptBuilder::new(config.context_chunks),
             config,
@@ -489,6 +739,7 @@ impl UniAsk {
             guardrails,
             fact_check,
             indexing,
+            resilience,
             monitoring: Arc::new(Monitoring::new()),
         })
     }
@@ -517,8 +768,16 @@ mod snapshot_tests {
         let after = restored.ask(question);
         assert_eq!(before.generation, after.generation);
         assert_eq!(
-            before.documents.iter().map(|d| &d.parent_doc).collect::<Vec<_>>(),
-            after.documents.iter().map(|d| &d.parent_doc).collect::<Vec<_>>()
+            before
+                .documents
+                .iter()
+                .map(|d| &d.parent_doc)
+                .collect::<Vec<_>>(),
+            after
+                .documents
+                .iter()
+                .map(|d| &d.parent_doc)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -665,7 +924,10 @@ mod service_envelope_tests {
         let q = "come posso aprire un conto corrente aziendale?";
         let mut failures = 0;
         for _ in 0..6 {
-            if matches!(app.ask(q).generation, GenerationOutcome::ServiceError { .. }) {
+            if matches!(
+                app.ask(q).generation,
+                GenerationOutcome::ServiceError { .. }
+            ) {
                 failures += 1;
             }
         }

@@ -199,10 +199,7 @@ mod tests {
             "cached repeat serves identical documents"
         );
         let snap = b.app().monitoring.snapshot();
-        assert!(
-            snap.cache_hits >= 1,
-            "dashboard shows cache hits: {snap:?}"
-        );
+        assert!(snap.cache_hits >= 1, "dashboard shows cache hits: {snap:?}");
         assert!(snap.cache_misses >= 1);
     }
 

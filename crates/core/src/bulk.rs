@@ -47,7 +47,9 @@ pub fn bulk_ingest(
     workers: usize,
 ) -> usize {
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         workers
     };
@@ -94,9 +96,9 @@ pub fn bulk_ingest(
             std::collections::BTreeMap::new();
         let mut next = 0usize;
         let flush = |pending: &mut std::collections::BTreeMap<usize, Prepared>,
-                         next: &mut usize,
-                         written: &mut usize,
-                         index: &mut SearchIndex| {
+                     next: &mut usize,
+                     written: &mut usize,
+                     index: &mut SearchIndex| {
             while let Some(prepared) = pending.remove(next) {
                 for (record, tv, cv) in prepared.chunks {
                     index.add_chunk_with_vectors(&record, tv, cv);
@@ -131,7 +133,9 @@ pub fn apply_messages_parallel(
     workers: usize,
 ) -> usize {
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         workers
     };

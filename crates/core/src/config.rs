@@ -36,6 +36,9 @@ pub struct UniAskConfig {
     /// Query-result cache sizing; `None` disables the cache. Results
     /// are identical either way — the cache only changes latency.
     pub query_cache: Option<CacheConfig>,
+    /// Resilience layer (retries, circuit breakers, degradation
+    /// ladder); `None` keeps the fail-fast query path.
+    pub resilience: Option<crate::resilience::ResilienceConfig>,
     /// Global seed.
     pub seed: u64,
 }
@@ -54,6 +57,7 @@ impl Default for UniAskConfig {
             enable_fact_check: false,
             llm_service: None,
             query_cache: Some(CacheConfig::default()),
+            resilience: None,
             seed: 0xBA5E_BA11,
         }
     }

@@ -24,6 +24,18 @@ pub fn render_response(response: &AskResponse) -> String {
                 out.push_str(&format!("\nFonti citate: {citations:?}\n"));
             }
         }
+        GenerationOutcome::Fallback { text, citations } => {
+            out.push_str("RISPOSTA (servizio ridotto):\n");
+            out.push_str(text);
+            out.push('\n');
+            if !citations.is_empty() {
+                out.push_str(&format!("\nFonti citate: {citations:?}\n"));
+            }
+            out.push_str(
+                "\nNota: l'assistente AI è momentaneamente degradato; \
+                 questa è una sintesi estratta dai documenti trovati.\n",
+            );
+        }
         GenerationOutcome::GuardrailBlocked { message, .. } => {
             out.push_str(message);
             out.push('\n');
@@ -39,7 +51,12 @@ pub fn render_response(response: &AskResponse) -> String {
         out.push_str("  (nessun documento)\n");
     }
     for (i, doc) in response.documents.iter().take(10).enumerate() {
-        out.push_str(&format!("  {}. {} [{}]\n", i + 1, doc.title, doc.parent_doc));
+        out.push_str(&format!(
+            "  {}. {} [{}]\n",
+            i + 1,
+            doc.title,
+            doc.parent_doc
+        ));
     }
     out
 }
@@ -107,6 +124,7 @@ impl FeedbackForm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::Degradation;
     use uniask_guardrails::verdict::GuardrailKind;
     use uniask_index::doc::DocId;
     use uniask_search::hybrid::SearchHit;
@@ -123,6 +141,7 @@ mod tests {
                 score: 1.0,
             }],
             context: vec![],
+            degradation: Degradation::default(),
         }
     }
 
@@ -150,6 +169,18 @@ mod tests {
     }
 
     #[test]
+    fn renders_fallback_with_degradation_notice() {
+        let page = render_response(&response(GenerationOutcome::Fallback {
+            text: "Il limite è 5.000 euro. [doc_1]".into(),
+            citations: vec![1],
+        }));
+        assert!(page.contains("servizio ridotto"));
+        assert!(page.contains("5.000 euro"));
+        assert!(page.contains("momentaneamente degradato"));
+        assert!(page.contains("Limite bonifico"), "documents always shown");
+    }
+
+    #[test]
     fn renders_service_error() {
         let page = render_response(&response(GenerationOutcome::ServiceError {
             error: "rate limited".into(),
@@ -169,7 +200,10 @@ mod tests {
             rating: Some(9),
             ..Default::default()
         };
-        assert_eq!(form.clone().submit("u", "q").unwrap_err(), FormError::InvalidRating(9));
+        assert_eq!(
+            form.clone().submit("u", "q").unwrap_err(),
+            FormError::InvalidRating(9)
+        );
         form.rating = Some(4);
         form.relevant_links = vec!["http://esterno".into()];
         assert!(matches!(

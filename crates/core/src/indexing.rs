@@ -163,7 +163,10 @@ mod tests {
             assert_eq!(c.ordinal, i);
             assert_eq!(c.title, doc.title);
             assert!(!c.summary.is_empty(), "LLM summary must be attached");
-            assert!(c.keywords.len() >= doc.keywords.len(), "LLM keywords appended");
+            assert!(
+                c.keywords.len() >= doc.keywords.len(),
+                "LLM keywords appended"
+            );
         }
     }
 
@@ -223,7 +226,9 @@ mod tests {
         let queue = MessageQueue::new(16);
         let kb = CorpusGenerator::new(CorpusScale::tiny(), 6).generate();
         for d in kb.documents.iter().take(5) {
-            queue.post(IngestMessage::Upsert(d.clone()));
+            queue
+                .post(IngestMessage::Upsert(d.clone()))
+                .expect("queue has capacity");
         }
         let processed = svc.drain(&mut idx, &queue);
         assert_eq!(processed, 5);

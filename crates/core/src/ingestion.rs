@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use uniask_corpus::kb::KbDocument;
 
 use crate::queue::MessageQueue;
+use crate::resilience::{FaultPlan, FaultPoint};
 
 /// The poll interval the paper states (15 minutes).
 pub const POLL_INTERVAL_SECS: f64 = 15.0 * 60.0;
@@ -50,6 +51,11 @@ pub struct IngestionService {
     last_poll: Option<f64>,
     /// Total messages posted (monitoring).
     pub messages_posted: usize,
+    /// Changes that could not be posted (queue full or faulted) and
+    /// were deferred to a later poll (monitoring).
+    pub deferred_posts: usize,
+    /// Poll cycles skipped by an injected fault (monitoring).
+    pub skipped_polls: usize,
 }
 
 impl Default for IngestionService {
@@ -65,6 +71,8 @@ impl IngestionService {
             seen: HashMap::new(),
             last_poll: None,
             messages_posted: 0,
+            deferred_posts: 0,
+            skipped_polls: 0,
         }
     }
 
@@ -77,13 +85,39 @@ impl IngestionService {
     }
 
     /// Run one poll cycle against `source`, posting changes to `queue`.
-    /// Returns the number of changes detected.
+    /// Returns the number of changes successfully posted.
     pub fn poll(
         &mut self,
         source: &dyn KbSource,
         queue: &MessageQueue<IngestMessage>,
         now: f64,
     ) -> usize {
+        self.poll_with_faults(source, queue, now, None)
+    }
+
+    /// [`IngestionService::poll`] under an armed fault plan: an
+    /// [`FaultPoint::IngestPoll`] fault skips the whole cycle (the cron
+    /// job died), a [`FaultPoint::QueuePost`] fault rejects one post.
+    ///
+    /// A rejected post — faulted or backpressured by a full queue —
+    /// does *not* advance that page's watermark, so the change is
+    /// redelivered by the next poll instead of silently lost.
+    pub fn poll_with_faults(
+        &mut self,
+        source: &dyn KbSource,
+        queue: &MessageQueue<IngestMessage>,
+        now: f64,
+        plan: Option<&FaultPlan>,
+    ) -> usize {
+        if let Some(plan) = plan {
+            if plan.check(FaultPoint::IngestPoll).is_err() {
+                // The cron fired into a dead service; the next trigger
+                // is a full interval away, as in production.
+                self.last_poll = Some(now);
+                self.skipped_polls += 1;
+                return 0;
+            }
+        }
         self.last_poll = Some(now);
         let pages = source.pages();
         let mut changes = 0usize;
@@ -95,10 +129,13 @@ impl IngestionService {
                 Some(&seen) => page.last_modified > seen,
             };
             if is_change {
-                self.seen.insert(page.id.clone(), page.last_modified);
-                queue.post(IngestMessage::Upsert(page.clone()));
-                self.messages_posted += 1;
-                changes += 1;
+                if self.try_post(queue, plan, IngestMessage::Upsert(page.clone())) {
+                    self.seen.insert(page.id.clone(), page.last_modified);
+                    self.messages_posted += 1;
+                    changes += 1;
+                } else {
+                    self.deferred_posts += 1;
+                }
             }
         }
         // Deletions: pages we had seen that are gone.
@@ -109,12 +146,31 @@ impl IngestionService {
             .cloned()
             .collect();
         for id in removed {
-            self.seen.remove(&id);
-            queue.post(IngestMessage::Delete(id));
-            self.messages_posted += 1;
-            changes += 1;
+            if self.try_post(queue, plan, IngestMessage::Delete(id.clone())) {
+                self.seen.remove(&id);
+                self.messages_posted += 1;
+                changes += 1;
+            } else {
+                self.deferred_posts += 1;
+            }
         }
         changes
+    }
+
+    /// Post one message unless the plan faults it or the queue pushes
+    /// back. Returns whether the message was enqueued.
+    fn try_post(
+        &self,
+        queue: &MessageQueue<IngestMessage>,
+        plan: Option<&FaultPlan>,
+        message: IngestMessage,
+    ) -> bool {
+        if let Some(plan) = plan {
+            if plan.check(FaultPoint::QueuePost).is_err() {
+                return false;
+            }
+        }
+        queue.post(message).is_ok()
     }
 }
 
@@ -180,6 +236,71 @@ mod tests {
         let changes = svc.poll(&shorter, &queue, POLL_INTERVAL_SECS);
         assert_eq!(changes, 1);
         assert_eq!(queue.try_receive(), Some(IngestMessage::Delete(removed_id)));
+    }
+
+    #[test]
+    fn full_queue_defers_changes_until_the_next_poll() {
+        let docs = sample_docs(5);
+        let queue = MessageQueue::new(3);
+        let mut svc = IngestionService::new();
+        let posted = svc.poll(&docs, &queue, 0.0);
+        assert_eq!(posted, 3, "only three changes fit the queue");
+        assert_eq!(svc.deferred_posts, 2);
+        assert_eq!(queue.len(), 3);
+        // Indexing drains the queue; the deferred pages were never
+        // watermarked, so the next poll redelivers exactly them.
+        while queue.try_receive().is_some() {}
+        let posted = svc.poll(&docs, &queue, POLL_INTERVAL_SECS);
+        assert_eq!(posted, 2, "deferred changes are redelivered");
+        assert_eq!(queue.len(), 2);
+        while queue.try_receive().is_some() {}
+        assert_eq!(svc.poll(&docs, &queue, 2.0 * POLL_INTERVAL_SECS), 0);
+    }
+
+    #[test]
+    fn queue_post_fault_window_defers_then_recovers() {
+        use crate::resilience::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+
+        let docs = sample_docs(4);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        // Fail the second and third queue posts ever made.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            point: FaultPoint::QueuePost,
+            from_call: 1,
+            to_call: 3,
+            kind: FaultKind::Fail,
+        }]);
+        let posted = svc.poll_with_faults(&docs, &queue, 0.0, Some(&plan));
+        assert_eq!(posted, 2, "two posts land inside the fault window");
+        assert_eq!(svc.deferred_posts, 2);
+        while queue.try_receive().is_some() {}
+        // The window has passed; the deferred pages come through.
+        let posted = svc.poll_with_faults(&docs, &queue, POLL_INTERVAL_SECS, Some(&plan));
+        assert_eq!(posted, 2);
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn ingest_poll_fault_skips_the_whole_cycle() {
+        use crate::resilience::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+
+        let docs = sample_docs(3);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        let plan = FaultPlan::new(vec![FaultSpec {
+            point: FaultPoint::IngestPoll,
+            from_call: 0,
+            to_call: 1,
+            kind: FaultKind::Fail,
+        }]);
+        assert_eq!(svc.poll_with_faults(&docs, &queue, 0.0, Some(&plan)), 0);
+        assert_eq!(svc.skipped_polls, 1);
+        assert!(queue.is_empty());
+        assert!(!svc.poll_due(600.0), "a skipped poll still resets cadence");
+        // Next cycle runs clean and catches up in full.
+        let posted = svc.poll_with_faults(&docs, &queue, POLL_INTERVAL_SECS, Some(&plan));
+        assert_eq!(posted, 3);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`backend`] — the REST-layer equivalent: request handling plus the
 //!   granular feedback store of Section 8.
 //! * [`monitoring`] — the dashboard counters of Figure 3.
+//! * [`resilience`] — deterministic fault injection, retries, circuit
+//!   breakers and the graceful-degradation ladder.
 //! * [`loadtest`] — the open-system load test of Figure 2.
 //! * [`pilot`] — the three user-test phases of Section 8.
 //! * [`tickets`] — the post-launch ticket-reduction analysis.
@@ -33,6 +35,7 @@ pub mod monitoring;
 pub mod pilot;
 pub mod querylog;
 pub mod queue;
+pub mod resilience;
 pub mod tickets;
 
 pub use app::{AskResponse, GenerationOutcome, UniAsk};
@@ -47,5 +50,9 @@ pub use loadtest::{LoadTest, LoadTestConfig, LoadTestReport};
 pub use monitoring::{DashboardSnapshot, Monitoring};
 pub use pilot::{PilotConfig, PilotPhase, PilotReport, UatReport};
 pub use querylog::{QueryEvent, QueryLog};
-pub use queue::MessageQueue;
+pub use queue::{MessageQueue, PostError};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, Degradation, FaultKind, FaultPlan, FaultPoint,
+    FaultSpec, ResilienceConfig, ResilienceState, RetryPolicy,
+};
 pub use tickets::{ticket_analysis, TicketReport};

@@ -234,7 +234,10 @@ mod tests {
         // Failures concentrate in the back half of the ramp.
         let first_half: usize = report.minutes[..30].iter().map(|m| m.failures).sum();
         let second_half: usize = report.minutes[30..].iter().map(|m| m.failures).sum();
-        assert!(second_half > first_half * 3, "failures must cluster late: {first_half} vs {second_half}");
+        assert!(
+            second_half > first_half * 3,
+            "failures must cluster late: {first_half} vs {second_half}"
+        );
     }
 
     #[test]
@@ -251,7 +254,10 @@ mod tests {
         assert!((lt.rate_at(0.0) - 1.0).abs() < 1e-9);
         assert!((lt.rate_at(1800.0) - 2.0).abs() < 1e-9);
         assert!((lt.rate_at(3600.0) - 3.0).abs() < 1e-9);
-        assert!((lt.rate_at(7200.0) - 3.0).abs() < 1e-9, "clamped after the ramp");
+        assert!(
+            (lt.rate_at(7200.0) - 3.0).abs() < 1e-9,
+            "clamped after the ramp"
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ struct Inner {
     guardrail_rouge: usize,
     guardrail_clarification: usize,
     guardrail_content_filter: usize,
+    retries: usize,
+    llm_fallbacks: usize,
+    degraded_queries: usize,
+    breaker_opens: usize,
     response_time_sum: f64,
     response_time_count: usize,
     /// Latest query-result cache counters observed (cumulative since
@@ -88,6 +92,14 @@ pub struct DashboardSnapshot {
     pub guardrail_clarification: usize,
     /// Content-filter triggers.
     pub guardrail_content_filter: usize,
+    /// Dependency retries spent (resilience layer).
+    pub retries: usize,
+    /// Answers served by the extractive LLM fallback.
+    pub llm_fallbacks: usize,
+    /// Queries served degraded (reduced retrieval or fallback answer).
+    pub degraded_queries: usize,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_opens: usize,
     /// Average response time over all queries, seconds.
     pub avg_response_time_secs: f64,
     /// Median response time, seconds (50 ms histogram resolution).
@@ -136,6 +148,26 @@ impl Monitoring {
         self.inner.lock().cache = stats;
     }
 
+    /// Record one dependency retry (resilience layer).
+    pub fn record_retry(&self) {
+        self.inner.lock().retries += 1;
+    }
+
+    /// Record an answer served by the extractive LLM fallback.
+    pub fn record_llm_fallback(&self) {
+        self.inner.lock().llm_fallbacks += 1;
+    }
+
+    /// Record a query served degraded.
+    pub fn record_degraded(&self) {
+        self.inner.lock().degraded_queries += 1;
+    }
+
+    /// Record a circuit breaker tripping open.
+    pub fn record_breaker_open(&self) {
+        self.inner.lock().breaker_opens += 1;
+    }
+
     /// Record a guardrail trigger.
     pub fn record_guardrail(&self, kind: GuardrailKind) {
         let mut inner = self.inner.lock();
@@ -163,6 +195,10 @@ impl Monitoring {
             guardrail_rouge: inner.guardrail_rouge,
             guardrail_clarification: inner.guardrail_clarification,
             guardrail_content_filter: inner.guardrail_content_filter,
+            retries: inner.retries,
+            llm_fallbacks: inner.llm_fallbacks,
+            degraded_queries: inner.degraded_queries,
+            breaker_opens: inner.breaker_opens,
             avg_response_time_secs: if inner.response_time_count == 0 {
                 0.0
             } else {
@@ -194,6 +230,10 @@ impl DashboardSnapshot {
              │   · rouge                {:>8}           │\n\
              │   · clarification        {:>8}           │\n\
              │   · content filter       {:>8}           │\n\
+             │ retries                  {:>8}           │\n\
+             │ llm fallbacks            {:>8}           │\n\
+             │ degraded queries         {:>8}           │\n\
+             │ breaker opens            {:>8}           │\n\
              │ cache hits               {:>8}           │\n\
              │ cache misses             {:>8}           │\n\
              │ cache evictions          {:>8}           │\n\
@@ -210,6 +250,10 @@ impl DashboardSnapshot {
             self.guardrail_rouge,
             self.guardrail_clarification,
             self.guardrail_content_filter,
+            self.retries,
+            self.llm_fallbacks,
+            self.degraded_queries,
+            self.breaker_opens,
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
@@ -251,8 +295,16 @@ mod tests {
             m.record_query(&format!("s{i}"), 3.0);
         }
         let s = m.snapshot();
-        assert!((s.p50_response_time_secs - 0.2).abs() < 0.06, "p50 {}", s.p50_response_time_secs);
-        assert!(s.p95_response_time_secs > 2.5, "p95 {}", s.p95_response_time_secs);
+        assert!(
+            (s.p50_response_time_secs - 0.2).abs() < 0.06,
+            "p50 {}",
+            s.p50_response_time_secs
+        );
+        assert!(
+            s.p95_response_time_secs > 2.5,
+            "p95 {}",
+            s.p95_response_time_secs
+        );
         assert!(s.p95_response_time_secs >= s.p50_response_time_secs);
     }
 
@@ -291,6 +343,26 @@ mod tests {
         let page = s.render();
         assert!(page.contains("cache hits"));
         assert!(page.contains("cache evictions"));
+    }
+
+    #[test]
+    fn resilience_counters_surface_on_the_dashboard() {
+        let m = Monitoring::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_llm_fallback();
+        m.record_degraded();
+        m.record_breaker_open();
+        let s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.llm_fallbacks, 1);
+        assert_eq!(s.degraded_queries, 1);
+        assert_eq!(s.breaker_opens, 1);
+        let page = s.render();
+        assert!(page.contains("retries"));
+        assert!(page.contains("llm fallbacks"));
+        assert!(page.contains("degraded queries"));
+        assert!(page.contains("breaker opens"));
     }
 
     #[test]

@@ -313,7 +313,9 @@ mod tests {
     fn backend_and_queries() -> (Backend, Vec<QueryRecord>) {
         let kb = CorpusGenerator::new(CorpusScale::tiny(), 42).generate();
         let vocab = Vocabulary::new();
-        let queries = QuestionGenerator::new(&kb, &vocab, 3).human_dataset(40).queries;
+        let queries = QuestionGenerator::new(&kb, &vocab, 3)
+            .human_dataset(40)
+            .queries;
         let mut app = UniAsk::new(UniAskConfig {
             embedding_dim: 64,
             ..Default::default()
@@ -334,11 +336,25 @@ mod tests {
     #[test]
     fn phase_produces_sane_rates() {
         let (backend, queries) = backend_and_queries();
-        let report = run_phase(&backend, PilotPhase::SmePilot, "release-1", &queries, &config());
+        let report = run_phase(
+            &backend,
+            PilotPhase::SmePilot,
+            "release-1",
+            &queries,
+            &config(),
+        );
         assert_eq!(report.questions, queries.len());
-        assert!(report.answer_rate() > 0.5, "answer rate {}", report.answer_rate());
+        assert!(
+            report.answer_rate() > 0.5,
+            "answer rate {}",
+            report.answer_rate()
+        );
         assert!(report.feedbacks > 0);
-        assert!(report.positive_rate() > 0.4, "positive {}", report.positive_rate());
+        assert!(
+            report.positive_rate() > 0.4,
+            "positive {}",
+            report.positive_rate()
+        );
         // Answers + guardrails account for every question (service
         // errors aside, which the sim does not produce here).
         assert_eq!(
@@ -423,8 +439,15 @@ mod tests {
         assert_eq!(report.items, 22);
         assert_eq!(report.answerable, 20);
         assert_eq!(report.guardrail_expected, 2);
-        assert!(report.guardrail_rate() > 0.4, "guardrails should catch out-of-scope");
-        assert!(report.correct_rate() > 0.4, "correct {}", report.correct_rate());
+        assert!(
+            report.guardrail_rate() > 0.4,
+            "guardrails should catch out-of-scope"
+        );
+        assert!(
+            report.correct_rate() > 0.4,
+            "correct {}",
+            report.correct_rate()
+        );
     }
 
     #[test]

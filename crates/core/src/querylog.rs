@@ -42,7 +42,11 @@ struct Inner {
 /// Normalize a query for frequency aggregation: lower-case, collapsed
 /// whitespace.
 fn normalize(query: &str) -> String {
-    query.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+    query
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
 }
 
 impl QueryLog {

@@ -6,7 +6,35 @@
 //! crossbeam MPMC channel so the two services can run on separate
 //! threads.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+/// Why a [`MessageQueue::post`] was rejected. The message comes back to
+/// the caller, who decides whether to defer, drop or block on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PostError<T> {
+    /// The queue is at capacity (backpressure): retry after draining.
+    Full(T),
+    /// Every receiver is gone; the message can never be delivered.
+    Disconnected(T),
+}
+
+impl<T> PostError<T> {
+    /// The rejected message.
+    pub fn into_message(self) -> T {
+        match self {
+            PostError::Full(message) | PostError::Disconnected(message) => message,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for PostError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PostError::Full(_) => write!(f, "message queue full"),
+            PostError::Disconnected(_) => write!(f, "message queue disconnected"),
+        }
+    }
+}
 
 /// A bounded MPMC message queue.
 #[derive(Debug, Clone)]
@@ -22,9 +50,19 @@ impl<T> MessageQueue<T> {
         MessageQueue { tx, rx }
     }
 
-    /// Post a message (blocks when the queue is full — natural
-    /// backpressure on the ingester).
-    pub fn post(&self, message: T) {
+    /// Post a message. A full queue is a backpressure signal, not a
+    /// silent success: the caller gets the message back in
+    /// [`PostError::Full`] and decides how to shed or defer the load.
+    pub fn post(&self, message: T) -> Result<(), PostError<T>> {
+        self.tx.try_send(message).map_err(|e| match e {
+            TrySendError::Full(message) => PostError::Full(message),
+            TrySendError::Disconnected(message) => PostError::Disconnected(message),
+        })
+    }
+
+    /// Post a message, blocking while the queue is full (producer
+    /// threads that prefer to wait out the backpressure).
+    pub fn post_blocking(&self, message: T) {
         // The queue is only disconnected when both ends are dropped, in
         // which case there is nobody to notify.
         let _ = self.tx.send(message);
@@ -68,12 +106,28 @@ mod tests {
     #[test]
     fn post_and_receive_in_order() {
         let q = MessageQueue::new(8);
-        q.post(1);
-        q.post(2);
+        q.post(1).unwrap();
+        q.post(2).unwrap();
         assert_eq!(q.len(), 2);
         assert_eq!(q.try_receive(), Some(1));
         assert_eq!(q.try_receive(), Some(2));
         assert_eq!(q.try_receive(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_the_message() {
+        let q = MessageQueue::new(2);
+        q.post(1).unwrap();
+        q.post(2).unwrap();
+        let err = q.post(3).unwrap_err();
+        assert_eq!(err, PostError::Full(3));
+        assert_eq!(err.into_message(), 3);
+        assert_eq!(q.len(), 2, "rejected message is not enqueued");
+        // Draining one slot makes the post succeed.
+        assert_eq!(q.try_receive(), Some(1));
+        q.post(3).unwrap();
+        assert_eq!(q.try_receive(), Some(2));
+        assert_eq!(q.try_receive(), Some(3));
     }
 
     #[test]
@@ -82,7 +136,7 @@ mod tests {
         let q2 = q.clone();
         let producer = std::thread::spawn(move || {
             for i in 0..100 {
-                q2.post(i);
+                q2.post_blocking(i);
             }
         });
         let mut got = Vec::new();
@@ -99,7 +153,7 @@ mod tests {
     fn is_empty_reflects_state() {
         let q: MessageQueue<u8> = MessageQueue::new(2);
         assert!(q.is_empty());
-        q.post(1);
+        q.post(1).unwrap();
         assert!(!q.is_empty());
     }
 }

@@ -1,0 +1,218 @@
+//! Per-dependency circuit breaker with half-open probing.
+//!
+//! Classic three-state breaker on the simulated clock: `Closed` counts
+//! consecutive failures and trips at a threshold; `Open` rejects calls
+//! outright until a cooldown elapses; the first call after the cooldown
+//! runs as a `HalfOpen` probe — success (after enough probes) closes
+//! the breaker, failure re-opens it and restarts the cooldown. Keeping
+//! it on [`crate::clock::SimClock`] time makes trip/recover sequences
+//! replayable in the chaos suite.
+
+use parking_lot::Mutex;
+
+/// Breaker tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// Seconds an open breaker rejects calls before probing.
+    pub cooldown_secs: f64,
+    /// Consecutive half-open successes required to close.
+    pub success_threshold: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 30.0,
+            success_threshold: 1,
+        }
+    }
+}
+
+/// The observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; failures are counted.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; probe calls are let through.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    opened_at: f64,
+}
+
+/// A thread-safe circuit breaker on simulated time.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    opens: std::sync::atomic::AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                half_open_successes: 0,
+                opened_at: 0.0,
+            }),
+            opens: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Whether a call may proceed at time `now`. An open breaker whose
+    /// cooldown has elapsed transitions to half-open and admits the
+    /// call as a probe.
+    pub fn allow(&self, now: f64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now - inner.opened_at >= self.config.cooldown_secs {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.half_open_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful call at time `now`.
+    pub fn record_success(&self, _now: f64) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.half_open_successes += 1;
+                if inner.half_open_successes >= self.config.success_threshold {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                }
+            }
+            // A success report while open (an in-flight call that
+            // completed after the trip) does not close the breaker.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed call at time `now`. Returns `true` when this
+    /// failure tripped the breaker open (closed → open or a failed
+    /// half-open probe).
+    pub fn record_failure(&self, now: f64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = now;
+                    self.opens
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = now;
+                self.opens
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// The state an `allow` call at time `now` would see (resolves an
+    /// elapsed cooldown to `HalfOpen` without mutating).
+    pub fn state(&self, now: f64) -> BreakerState {
+        let inner = self.inner.lock();
+        if inner.state == BreakerState::Open && now - inner.opened_at >= self.config.cooldown_secs {
+            BreakerState::HalfOpen
+        } else {
+            inner.state
+        }
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 10.0,
+            success_threshold: 2,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker();
+        assert!(!b.record_failure(0.0));
+        assert!(!b.record_failure(1.0));
+        b.record_success(1.5); // resets the streak
+        assert!(!b.record_failure(2.0));
+        assert!(!b.record_failure(3.0));
+        assert!(b.record_failure(4.0), "third consecutive failure trips");
+        assert_eq!(b.state(4.0), BreakerState::Open);
+        assert!(!b.allow(5.0));
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_after_enough_successes() {
+        let b = breaker();
+        for i in 0..3 {
+            b.record_failure(f64::from(i));
+        }
+        assert!(!b.allow(11.0), "still cooling down");
+        assert!(b.allow(12.0), "cooldown elapsed admits a probe");
+        assert_eq!(b.state(12.0), BreakerState::HalfOpen);
+        b.record_success(12.1);
+        assert_eq!(b.state(12.1), BreakerState::HalfOpen, "needs 2 successes");
+        b.record_success(12.2);
+        assert_eq!(b.state(12.2), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let b = breaker();
+        for i in 0..3 {
+            b.record_failure(f64::from(i));
+        }
+        assert!(b.allow(12.0));
+        assert!(b.record_failure(12.5), "failed probe re-trips");
+        assert!(!b.allow(13.0));
+        assert!(!b.allow(21.0), "cooldown restarted at 12.5");
+        assert!(b.allow(22.6));
+        assert_eq!(b.opens(), 2);
+    }
+}

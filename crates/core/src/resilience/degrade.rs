@@ -1,0 +1,103 @@
+//! The degradation ladder.
+//!
+//! When a dependency is down the system steps down, never sideways into
+//! an error, as long as any rung still stands:
+//!
+//! 1. vector leg or reranker out → hybrid retrieval narrows to the
+//!    surviving legs (worst case BM25-only), flagged in [`Degradation`];
+//! 2. LLM out (breaker open, retries or deadline exhausted) → an
+//!    *extractive* fallback answer built from the retrieved context,
+//!    cited in the canonical `[doc_N]` format and pushed through the
+//!    same guardrail chain as a generated answer;
+//! 3. nothing retrieved → only then does the caller surface an error.
+
+use uniask_llm::citation::format_citation;
+use uniask_llm::prompt::ContextChunk;
+use uniask_llm::summarize::summarize;
+
+/// Which parts of a response came from a reduced pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// At least one vector leg was skipped (outage or open breaker).
+    pub vector_leg: bool,
+    /// The BM25 leg was skipped.
+    pub text_leg: bool,
+    /// Semantic reranking was skipped.
+    pub reranker: bool,
+    /// The answer is the extractive fallback, not LLM-generated.
+    pub llm_fallback: bool,
+    /// LLM retries spent before the outcome (0 on first-try success).
+    pub llm_retries: u32,
+}
+
+impl Degradation {
+    /// Whether anything was degraded (retries alone do not count: the
+    /// response a retry eventually produced is a full-quality one).
+    pub fn is_degraded(&self) -> bool {
+        self.vector_leg || self.text_leg || self.reranker || self.llm_fallback
+    }
+}
+
+/// Build the extractive fallback answer from the retrieved context:
+/// a lead-biased summary of the best-ranked chunk, cited in the
+/// canonical `[doc_N]` format so the citation guardrail can verify it
+/// like any generated answer. `None` when there is no context to
+/// extract from.
+pub fn extractive_fallback(context: &[ContextChunk]) -> Option<String> {
+    let top = context.first()?;
+    let summary = summarize(&top.content, 2);
+    let body = if summary.trim().is_empty() {
+        top.content.trim()
+    } else {
+        summary.trim()
+    };
+    if body.is_empty() {
+        return None;
+    }
+    Some(format!("{} {}", body, format_citation(top.key)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(key: usize, content: &str) -> ContextChunk {
+        ContextChunk {
+            key,
+            title: "Titolo".into(),
+            content: content.into(),
+        }
+    }
+
+    #[test]
+    fn fallback_extracts_and_cites_the_top_chunk() {
+        let context = vec![
+            chunk(
+                1,
+                "Il bonifico estero richiede il codice BIC. La commissione dipende dal paese. \
+                 Altre note minori seguono qui.",
+            ),
+            chunk(2, "Contenuto di un altro documento."),
+        ];
+        let answer = extractive_fallback(&context).unwrap();
+        assert!(answer.contains("bonifico estero"), "{answer}");
+        assert!(answer.ends_with("[doc_1]"), "{answer}");
+        assert_eq!(uniask_llm::citation::extract_citations(&answer), vec![1]);
+    }
+
+    #[test]
+    fn fallback_needs_context() {
+        assert!(extractive_fallback(&[]).is_none());
+        assert!(extractive_fallback(&[chunk(1, "   ")]).is_none());
+    }
+
+    #[test]
+    fn degradation_flags_compose() {
+        let mut d = Degradation::default();
+        assert!(!d.is_degraded());
+        d.llm_retries = 2;
+        assert!(!d.is_degraded(), "a successful retry is not degraded");
+        d.vector_leg = true;
+        assert!(d.is_degraded());
+    }
+}

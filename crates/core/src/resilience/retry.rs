@@ -1,0 +1,107 @@
+//! Retry with jittered exponential backoff.
+//!
+//! The schedule runs entirely on a caller-supplied seeded RNG and the
+//! simulated clock, so a retried request is as deterministic as a
+//! first-try success. Jitter matters even in simulation: it keeps
+//! replayed chaos runs from locking retries of concurrent requests
+//! into the same phase, the same reason production systems jitter.
+
+use rand::Rng;
+
+/// Backoff schedule for retryable dependency errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Delay before the first retry, seconds.
+    pub base_delay_secs: f64,
+    /// Per-attempt growth factor.
+    pub multiplier: f64,
+    /// Ceiling on a single delay, seconds (pre-jitter).
+    pub max_delay_secs: f64,
+    /// Jitter amplitude as a fraction of the delay: the delay is drawn
+    /// uniformly from `[d·(1-j), d·(1+j)]`.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_secs: 0.5,
+            multiplier: 2.0,
+            max_delay_secs: 8.0,
+            jitter_frac: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (0-based), in
+    /// seconds. `hint` is a server-provided minimum (e.g. the
+    /// `retry_after_secs` of a rate-limit error); the returned delay is
+    /// never below it.
+    pub fn delay_secs<R: Rng>(&self, attempt: u32, rng: &mut R, hint: Option<f64>) -> f64 {
+        let exp = self.base_delay_secs * self.multiplier.powi(attempt.min(24) as i32);
+        let capped = exp.min(self.max_delay_secs);
+        let jitter = if self.jitter_frac > 0.0 {
+            rng.gen_range(1.0 - self.jitter_frac..=1.0 + self.jitter_frac)
+        } else {
+            1.0
+        };
+        let delay = capped * jitter;
+        match hint {
+            Some(min) => delay.max(min),
+            None => delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn delays_grow_exponentially_up_to_the_cap() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert!((policy.delay_secs(0, &mut rng, None) - 0.5).abs() < 1e-9);
+        assert!((policy.delay_secs(1, &mut rng, None) - 1.0).abs() < 1e-9);
+        assert!((policy.delay_secs(2, &mut rng, None) - 2.0).abs() < 1e-9);
+        // Attempt 10 would be 512 s un-capped.
+        assert!((policy.delay_secs(10, &mut rng, None) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_band_and_replays() {
+        let policy = RetryPolicy::default();
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for attempt in 0..6 {
+            let da = policy.delay_secs(attempt, &mut a, None);
+            let db = policy.delay_secs(attempt, &mut b, None);
+            assert_eq!(da, db, "same seed, same schedule");
+            let nominal = (policy.base_delay_secs * policy.multiplier.powi(attempt as i32))
+                .min(policy.max_delay_secs);
+            assert!(da >= nominal * (1.0 - policy.jitter_frac) - 1e-9);
+            assert!(da <= nominal * (1.0 + policy.jitter_frac) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn server_hint_is_a_floor() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!((policy.delay_secs(0, &mut rng, Some(4.5)) - 4.5).abs() < 1e-9);
+        // A hint below the schedule does not shorten it.
+        assert!((policy.delay_secs(3, &mut rng, Some(0.1)) - 4.0).abs() < 1e-9);
+    }
+}

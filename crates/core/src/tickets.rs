@@ -35,8 +35,7 @@ impl TicketReport {
         if self.tickets_prev == 0 {
             return 0.0;
         }
-        100.0 * (self.tickets_prev as f64 - self.tickets_uniask as f64)
-            / self.tickets_prev as f64
+        100.0 * (self.tickets_prev as f64 - self.tickets_uniask as f64) / self.tickets_prev as f64
     }
 }
 
@@ -96,7 +95,10 @@ mod tests {
         assert!(r.failures_prev > r.failures_uniask);
         assert!(r.tickets_prev > r.tickets_uniask);
         let red = r.reduction_pct();
-        assert!((40.0..=60.0).contains(&red), "expected ~50% reduction, got {red}");
+        assert!(
+            (40.0..=60.0).contains(&red),
+            "expected ~50% reduction, got {red}"
+        );
     }
 
     #[test]

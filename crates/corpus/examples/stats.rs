@@ -14,8 +14,20 @@ fn main() {
     let stats = kb.stats();
     println!("generated corpus statistics (tiny scale, seed 42):");
     println!("  documents            {:>8}", stats.documents);
-    println!("  avg words            {:>8.1}   (paper: ≈248)", stats.avg_words);
-    println!("  avg paragraphs       {:>8.1}   (paper: ≈7.6)", stats.avg_paragraphs);
-    println!("  docs > 600 tokens    {:>7.1}%   (paper: ≈25%)", 100.0 * stats.frac_over_600_tokens);
-    println!("  short docs           {:>7.1}%   (paper: ≈50%)", 100.0 * stats.frac_short);
+    println!(
+        "  avg words            {:>8.1}   (paper: ≈248)",
+        stats.avg_words
+    );
+    println!(
+        "  avg paragraphs       {:>8.1}   (paper: ≈7.6)",
+        stats.avg_paragraphs
+    );
+    println!(
+        "  docs > 600 tokens    {:>7.1}%   (paper: ≈25%)",
+        100.0 * stats.frac_over_600_tokens
+    );
+    println!(
+        "  short docs           {:>7.1}%   (paper: ≈50%)",
+        100.0 * stats.frac_short
+    );
 }

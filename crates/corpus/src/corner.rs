@@ -143,7 +143,13 @@ pub fn special_case_queries(base: &[QueryRecord], seed: u64) -> Vec<QueryRecord>
         q.text = q
             .text
             .chars()
-            .map(|c| if rng.gen_bool(0.5) { c.to_ascii_uppercase() } else { c })
+            .map(|c| {
+                if rng.gen_bool(0.5) {
+                    c.to_ascii_uppercase()
+                } else {
+                    c
+                }
+            })
             .collect();
         q.id = format!("{}-case{}", q.id, out.len());
         out.push(q);
@@ -205,13 +211,8 @@ mod tests {
         let base = base_queries();
         let out = special_case_queries(&base, 3);
         let missing = out.iter().find(|q| q.id.ends_with("-missing")).unwrap();
-        let original = base
-            .iter()
-            .find(|b| missing.id.starts_with(&b.id))
-            .unwrap();
-        assert!(
-            missing.text.split_whitespace().count() < original.text.split_whitespace().count()
-        );
+        let original = base.iter().find(|b| missing.id.starts_with(&b.id)).unwrap();
+        assert!(missing.text.split_whitespace().count() < original.text.split_whitespace().count());
     }
 
     #[test]

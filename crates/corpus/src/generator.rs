@@ -116,8 +116,17 @@ const STEPS: &[&str] = &[
 
 /// Monetary values used by limit facts.
 const AMOUNTS: &[&str] = &[
-    "100 euro", "250 euro", "500 euro", "1.000 euro", "1.500 euro", "2.500 euro", "5.000 euro",
-    "10.000 euro", "15.000 euro", "25.000 euro", "50.000 euro",
+    "100 euro",
+    "250 euro",
+    "500 euro",
+    "1.000 euro",
+    "1.500 euro",
+    "2.500 euro",
+    "5.000 euro",
+    "10.000 euro",
+    "15.000 euro",
+    "25.000 euro",
+    "50.000 euro",
 ];
 
 /// Day counts used by deadline facts.
@@ -156,7 +165,10 @@ impl CorpusGenerator {
     fn noise_document(&self, rng: &mut ChaCha8Rng, index: usize) -> KbDocument {
         let shape = rng.gen_range(0..4u8);
         let (title, html) = match shape {
-            0 => ("Pagina in costruzione".to_string(), "<html><body></body></html>".to_string()),
+            0 => (
+                "Pagina in costruzione".to_string(),
+                "<html><body></body></html>".to_string(),
+            ),
             1 => (
                 "Bozza non pubblicata".to_string(),
                 "<p>contenuto <b>troncato <i>senza chiusura".to_string(),
@@ -210,13 +222,26 @@ impl CorpusGenerator {
             let archetype: f64 = rng.gen();
             if archetype < 0.35 {
                 // ---- procedure fact (sometimes duplicated) ----
-                let fact = self.procedure_fact(&mut rng, next_fact_id, &actions, &objects, &systems, &qualifiers);
+                let fact = self.procedure_fact(
+                    &mut rng,
+                    next_fact_id,
+                    &actions,
+                    &objects,
+                    &systems,
+                    &qualifiers,
+                );
                 next_fact_id += 1;
                 // Heavy replication: "a significant amount of content
                 // replication, especially among the documents describing
                 // procedures or errors".
                 let roll: f64 = rng.gen();
-                let copies = if roll < 0.15 { 3 } else if roll < 0.40 { 2 } else { 1 };
+                let copies = if roll < 0.15 {
+                    3
+                } else if roll < 0.40 {
+                    2
+                } else {
+                    1
+                };
                 for copy in 0..copies {
                     if documents.len() >= self.scale.documents {
                         break;
@@ -376,15 +401,30 @@ impl CorpusGenerator {
                 system,
                 ..
             } => {
-                let q = qualifier.map(|c| format!(" {}", surf(c))).unwrap_or_default();
+                let q = qualifier
+                    .map(|c| format!(" {}", surf(c)))
+                    .unwrap_or_default();
                 let mut a = surf(action).to_string();
                 if let Some(first) = a.get_mut(0..1) {
                     first.make_ascii_uppercase();
                 }
-                format!("{a} {}{q} su {}{suffix}", surf(object), system.surfaces[0].to_uppercase())
+                format!(
+                    "{a} {}{q} su {}{suffix}",
+                    surf(object),
+                    system.surfaces[0].to_uppercase()
+                )
             }
-            FactKind::ErrorCode { code, system, object, .. } => {
-                format!("Errore {code} {} - {}{suffix}", system.surfaces[0].to_uppercase(), surf(object))
+            FactKind::ErrorCode {
+                code,
+                system,
+                object,
+                ..
+            } => {
+                format!(
+                    "Errore {code} {} - {}{suffix}",
+                    system.surfaces[0].to_uppercase(),
+                    surf(object)
+                )
             }
             FactKind::Limit {
                 object,
@@ -392,7 +432,9 @@ impl CorpusGenerator {
                 attribute,
                 ..
             } => {
-                let q = qualifier.map(|c| format!(" {}", surf(c))).unwrap_or_default();
+                let q = qualifier
+                    .map(|c| format!(" {}", surf(c)))
+                    .unwrap_or_default();
                 let mut a = surf(attribute).to_string();
                 if let Some(first) = a.get_mut(0..1) {
                     first.make_ascii_uppercase();
@@ -400,9 +442,15 @@ impl CorpusGenerator {
                 format!("{a} {}{q}{suffix}", surf(object))
             }
             FactKind::Requirement { action, object, .. } => {
-                format!("Documentazione per {} {}{suffix}", surf(action), surf(object))
+                format!(
+                    "Documentazione per {} {}{suffix}",
+                    surf(action),
+                    surf(object)
+                )
             }
-            FactKind::Policy { object, attribute, .. } => {
+            FactKind::Policy {
+                object, attribute, ..
+            } => {
                 format!("Normativa {}: {}{suffix}", surf(object), surf(attribute))
             }
         }

@@ -211,8 +211,7 @@ mod tests {
             Err(IoError::Parse { line, .. }) => assert_eq!(line, 1), // first line lacks fields
             other => panic!("expected parse error, got {other:?}"),
         }
-        let valid_then_garbage =
-            b"\ngarbage\n" as &[u8];
+        let valid_then_garbage = b"\ngarbage\n" as &[u8];
         match read_dataset("d", valid_then_garbage) {
             Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),

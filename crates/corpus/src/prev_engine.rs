@@ -61,8 +61,23 @@ impl PrevEngine {
     /// no stemming and knows no synonyms.
     pub fn search(&self, query: &str, n: usize) -> Vec<String> {
         const QUERY_IGNORE: &[&str] = &[
-            "come", "cosa", "posso", "devo", "puo", "può", "qual", "quale", "quali", "quando",
-            "dove", "serve", "servono", "fare", "possibile", "procedo", "c'è",
+            "come",
+            "cosa",
+            "posso",
+            "devo",
+            "puo",
+            "può",
+            "qual",
+            "quale",
+            "quali",
+            "quando",
+            "dove",
+            "serve",
+            "servono",
+            "fare",
+            "possibile",
+            "procedo",
+            "c'è",
         ];
         let analyzer = KeywordAnalyzer::new();
         let terms: Vec<String> = analyzer
@@ -141,12 +156,7 @@ mod tests {
         let engine = PrevEngine::build(&kb);
         // Take verbatim title terms from some document.
         let doc = &kb.documents[0];
-        let term = doc
-            .title
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .to_lowercase();
+        let term = doc.title.split_whitespace().next().unwrap().to_lowercase();
         let results = engine.search(&term, 10);
         assert!(!results.is_empty());
     }
@@ -168,7 +178,9 @@ mod tests {
         let with_primary = engine.search("limite", 10);
         assert!(!with_primary.is_empty(), "primary surface is indexed");
         // Nonsense paraphrase no document contains verbatim:
-        assert!(engine.search("limite massimo consentito regolamento", 10).is_empty());
+        assert!(engine
+            .search("limite massimo consentito regolamento", 10)
+            .is_empty());
     }
 
     #[test]
@@ -201,7 +213,10 @@ mod tests {
             .count();
         let rate = served as f64 / ds.queries.len() as f64;
         // Paper: 98.6 % of keyword queries served.
-        assert!(rate > 0.9, "prev engine served only {rate} of keyword queries");
+        assert!(
+            rate > 0.9,
+            "prev engine served only {rate} of keyword queries"
+        );
     }
 
     #[test]

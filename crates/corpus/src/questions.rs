@@ -191,7 +191,10 @@ impl<'a> QuestionGenerator<'a> {
             let r: f64 = rng.gen();
             let text = if r < self.harmful_rate {
                 // Frustrated employee: insult in an otherwise real query.
-                format!("questo stupido sistema non funziona, {}", self.question_text(&mut rng, doc, &fact))
+                format!(
+                    "questo stupido sistema non funziona, {}",
+                    self.question_text(&mut rng, doc, &fact)
+                )
             } else if r < self.harmful_rate + self.generic_rate {
                 // Hopelessly generic single-term question.
                 "informazioni".to_string()
@@ -229,7 +232,12 @@ impl<'a> QuestionGenerator<'a> {
     }
 
     /// Compose a natural-language question for a document.
-    fn question_text(&self, rng: &mut ChaCha8Rng, doc: &KbDocument, fact: &ReconstructedFact) -> String {
+    fn question_text(
+        &self,
+        rng: &mut ChaCha8Rng,
+        doc: &KbDocument,
+        fact: &ReconstructedFact,
+    ) -> String {
         use crate::vocab::ConceptCategory::*;
         let action = fact.concepts.iter().find(|c| c.category == Action);
         let object = fact.concepts.iter().find(|c| c.category == Object);
@@ -237,8 +245,12 @@ impl<'a> QuestionGenerator<'a> {
         let system = fact.concepts.iter().find(|c| c.category == System);
         let qualifier = fact.concepts.iter().find(|c| c.category == Qualifier);
 
-        let obj = object.map(|c| self.surface(rng, c)).unwrap_or_else(|| "servizio".into());
-        let qual = qualifier.map(|c| format!(" {}", self.surface(rng, c))).unwrap_or_default();
+        let obj = object
+            .map(|c| self.surface(rng, c))
+            .unwrap_or_else(|| "servizio".into());
+        let qual = qualifier
+            .map(|c| format!(" {}", self.surface(rng, c)))
+            .unwrap_or_default();
 
         match fact.section.as_str() {
             "Errori" => {
@@ -246,26 +258,48 @@ impl<'a> QuestionGenerator<'a> {
                 let code = doc
                     .title
                     .split_whitespace()
-                    .find(|t| t.starts_with('E') && t.len() > 2 && t[1..].chars().all(|c| c.is_ascii_digit()))
+                    .find(|t| {
+                        t.starts_with('E')
+                            && t.len() > 2
+                            && t[1..].chars().all(|c| c.is_ascii_digit())
+                    })
                     .unwrap_or("E0000")
                     .to_string();
-                let sys = system.map(|c| c.surfaces[0].to_uppercase()).unwrap_or_default();
+                let sys = system
+                    .map(|c| c.surfaces[0].to_uppercase())
+                    .unwrap_or_default();
                 match rng.gen_range(0..3) {
                     0 => format!("Cosa devo fare quando compare l'anomalia {code} su {sys}?"),
-                    1 => format!("Come risolvo l'errore {code} che appare in {sys} mentre lavoro su {obj}?"),
-                    _ => format!("Mi esce il codice {code} durante un'operazione su {obj}, come procedo?"),
+                    1 => format!(
+                        "Come risolvo l'errore {code} che appare in {sys} mentre lavoro su {obj}?"
+                    ),
+                    _ => format!(
+                        "Mi esce il codice {code} durante un'operazione su {obj}, come procedo?"
+                    ),
                 }
             }
             "FAQ" => {
-                let attr = attribute.map(|c| self.surface(rng, c)).unwrap_or_else(|| "limite".into());
+                let attr = attribute
+                    .map(|c| self.surface(rng, c))
+                    .unwrap_or_else(|| "limite".into());
                 match rng.gen_range(0..3) {
                     0 => format!("Qual è {} previsto per {obj}{qual}?", article_for(&attr)),
-                    1 => format!("A quanto ammonta {} {} per {obj}{qual}?", article_for(&attr), attr),
-                    _ => format!("Potete indicarmi {} {} applicato a {obj}{qual}?", article_for(&attr), attr),
+                    1 => format!(
+                        "A quanto ammonta {} {} per {obj}{qual}?",
+                        article_for(&attr),
+                        attr
+                    ),
+                    _ => format!(
+                        "Potete indicarmi {} {} applicato a {obj}{qual}?",
+                        article_for(&attr),
+                        attr
+                    ),
                 }
             }
             "Normativa" => {
-                let attr = attribute.map(|c| self.surface(rng, c)).unwrap_or_else(|| "procedura".into());
+                let attr = attribute
+                    .map(|c| self.surface(rng, c))
+                    .unwrap_or_else(|| "procedura".into());
                 match rng.gen_range(0..2) {
                     0 => format!("Cosa prevede la normativa interna sulla {attr} per {obj}?"),
                     _ => format!("Quali sono le regole aziendali sulla {attr} relativa a {obj}?"),
@@ -273,8 +307,14 @@ impl<'a> QuestionGenerator<'a> {
             }
             _ => {
                 // Procedures and requirements.
-                let act = action.map(|c| self.surface(rng, c)).unwrap_or_else(|| "gestire".into());
-                if attribute.is_some() && action.is_some() && fact.section == "Procedure" && rng.gen_bool(0.3) {
+                let act = action
+                    .map(|c| self.surface(rng, c))
+                    .unwrap_or_else(|| "gestire".into());
+                if attribute.is_some()
+                    && action.is_some()
+                    && fact.section == "Procedure"
+                    && rng.gen_bool(0.3)
+                {
                     let attr = attribute.map(|c| self.surface(rng, c)).unwrap_or_default();
                     return format!("Quali {attr} servono per {act} {obj}{qual}?");
                 }
@@ -285,8 +325,12 @@ impl<'a> QuestionGenerator<'a> {
                 };
                 match rng.gen_range(0..4) {
                     0 => format!("Come posso {act} un {obj}{qual}{sys_part}?"),
-                    1 => format!("Qual è la procedura corretta per {act} il {obj}{qual}{sys_part}?"),
-                    2 => format!("Cosa devo fare per {act} un {obj}{qual} di un cliente{sys_part}?"),
+                    1 => {
+                        format!("Qual è la procedura corretta per {act} il {obj}{qual}{sys_part}?")
+                    }
+                    2 => {
+                        format!("Cosa devo fare per {act} un {obj}{qual} di un cliente{sys_part}?")
+                    }
                     _ => format!("È possibile {act} il {obj}{qual}{sys_part}? Come si procede?"),
                 }
             }
@@ -310,11 +354,17 @@ impl<'a> QuestionGenerator<'a> {
             let title_terms: Vec<String> = doc
                 .title
                 .split_whitespace()
-                .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+                .map(|t| {
+                    t.trim_matches(|c: char| !c.is_alphanumeric())
+                        .to_lowercase()
+                })
                 .filter(|t| t.len() > 2 && t != "per" && t != "su")
                 .collect();
             let text = if title_terms.is_empty() {
-                doc.keywords.first().cloned().unwrap_or_else(|| "conto".into())
+                doc.keywords
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "conto".into())
             } else {
                 let k = rng.gen_range(1..=2usize).min(title_terms.len());
                 let start = rng.gen_range(0..=title_terms.len() - k);
@@ -430,7 +480,11 @@ mod tests {
         let ds = QuestionGenerator::new(&kb, &vocab, 1).keyword_dataset(40);
         assert_eq!(ds.queries.len(), 40);
         for q in &ds.queries {
-            assert!(q.text.split_whitespace().count() <= 3, "too long: {}", q.text);
+            assert!(
+                q.text.split_whitespace().count() <= 3,
+                "too long: {}",
+                q.text
+            );
             assert!(q.answer.is_none());
             assert!(!q.relevant.is_empty());
         }
@@ -447,7 +501,9 @@ mod tests {
             let found = q.relevant.iter().any(|id| {
                 let doc = kb.get(id).expect("relevant doc exists");
                 let haystack = format!("{} {}", doc.title, doc.body_text()).to_lowercase();
-                q.text.split_whitespace().all(|term| haystack.contains(term))
+                q.text
+                    .split_whitespace()
+                    .all(|term| haystack.contains(term))
             });
             assert!(found, "query `{}` not verbatim in any relevant doc", q.text);
         }
@@ -492,8 +548,16 @@ mod tests {
         gen.harmful_rate = 0.2;
         gen.generic_rate = 0.2;
         let ds = gen.human_dataset(200);
-        let harmful = ds.queries.iter().filter(|q| q.text.contains("stupido")).count();
-        let generic = ds.queries.iter().filter(|q| q.text == "informazioni").count();
+        let harmful = ds
+            .queries
+            .iter()
+            .filter(|q| q.text.contains("stupido"))
+            .count();
+        let generic = ds
+            .queries
+            .iter()
+            .filter(|q| q.text == "informazioni")
+            .count();
         assert!(harmful > 10, "harmful {harmful}");
         assert!(generic > 10, "generic {generic}");
     }

@@ -48,101 +48,465 @@ use ConceptCategory::*;
 /// stem-level synonym map stays well-defined.
 pub const CONCEPTS: &[Concept] = &[
     // ------------------------------------------------ actions
-    Concept { id: "aprire", surfaces: &["aprire", "attivare", "accendere"], category: Action },
-    Concept { id: "chiudere", surfaces: &["chiudere", "estinguere", "cessare"], category: Action },
-    Concept { id: "bloccare", surfaces: &["bloccare", "sospendere", "disabilitare"], category: Action },
-    Concept { id: "sbloccare", surfaces: &["sbloccare", "riattivare", "ripristinare"], category: Action },
-    Concept { id: "richiedere", surfaces: &["richiedere", "ottenere", "domandare"], category: Action },
-    Concept { id: "modificare", surfaces: &["modificare", "aggiornare", "variare"], category: Action },
-    Concept { id: "annullare", surfaces: &["annullare", "revocare", "stornare"], category: Action },
-    Concept { id: "eseguire", surfaces: &["eseguire", "effettuare", "disporre"], category: Action },
-    Concept { id: "verificare", surfaces: &["verificare", "controllare", "consultare"], category: Action },
-    Concept { id: "stampare", surfaces: &["stampare", "esportare", "scaricare"], category: Action },
-    Concept { id: "installare", surfaces: &["installare", "configurare", "abilitare"], category: Action },
-    Concept { id: "accedere", surfaces: &["accedere", "entrare", "collegarsi"], category: Action },
-    Concept { id: "rinnovare", surfaces: &["rinnovare", "prorogare", "estendere"], category: Action },
-    Concept { id: "contestare", surfaces: &["contestare", "disconoscere", "reclamare"], category: Action },
-    Concept { id: "autorizzare", surfaces: &["autorizzare", "approvare", "validare"], category: Action },
-    Concept { id: "registrare", surfaces: &["registrare", "censire", "inserire"], category: Action },
+    Concept {
+        id: "aprire",
+        surfaces: &["aprire", "attivare", "accendere"],
+        category: Action,
+    },
+    Concept {
+        id: "chiudere",
+        surfaces: &["chiudere", "estinguere", "cessare"],
+        category: Action,
+    },
+    Concept {
+        id: "bloccare",
+        surfaces: &["bloccare", "sospendere", "disabilitare"],
+        category: Action,
+    },
+    Concept {
+        id: "sbloccare",
+        surfaces: &["sbloccare", "riattivare", "ripristinare"],
+        category: Action,
+    },
+    Concept {
+        id: "richiedere",
+        surfaces: &["richiedere", "ottenere", "domandare"],
+        category: Action,
+    },
+    Concept {
+        id: "modificare",
+        surfaces: &["modificare", "aggiornare", "variare"],
+        category: Action,
+    },
+    Concept {
+        id: "annullare",
+        surfaces: &["annullare", "revocare", "stornare"],
+        category: Action,
+    },
+    Concept {
+        id: "eseguire",
+        surfaces: &["eseguire", "effettuare", "disporre"],
+        category: Action,
+    },
+    Concept {
+        id: "verificare",
+        surfaces: &["verificare", "controllare", "consultare"],
+        category: Action,
+    },
+    Concept {
+        id: "stampare",
+        surfaces: &["stampare", "esportare", "scaricare"],
+        category: Action,
+    },
+    Concept {
+        id: "installare",
+        surfaces: &["installare", "configurare", "abilitare"],
+        category: Action,
+    },
+    Concept {
+        id: "accedere",
+        surfaces: &["accedere", "entrare", "collegarsi"],
+        category: Action,
+    },
+    Concept {
+        id: "rinnovare",
+        surfaces: &["rinnovare", "prorogare", "estendere"],
+        category: Action,
+    },
+    Concept {
+        id: "contestare",
+        surfaces: &["contestare", "disconoscere", "reclamare"],
+        category: Action,
+    },
+    Concept {
+        id: "autorizzare",
+        surfaces: &["autorizzare", "approvare", "validare"],
+        category: Action,
+    },
+    Concept {
+        id: "registrare",
+        surfaces: &["registrare", "censire", "inserire"],
+        category: Action,
+    },
     // ------------------------------------------------ objects
-    Concept { id: "conto", surfaces: &["conto", "rapporto"], category: Object },
-    Concept { id: "bonifico", surfaces: &["bonifico", "trasferimento"], category: Object },
-    Concept { id: "carta", surfaces: &["carta", "tessera"], category: Object },
-    Concept { id: "bancomat", surfaces: &["bancomat", "prelievo"], category: Object },
-    Concept { id: "mutuo", surfaces: &["mutuo", "finanziamento"], category: Object },
-    Concept { id: "prestito", surfaces: &["prestito", "credito"], category: Object },
-    Concept { id: "assegno", surfaces: &["assegno", "cheque"], category: Object },
-    Concept { id: "deposito", surfaces: &["deposito", "giacenza"], category: Object },
-    Concept { id: "investimento", surfaces: &["investimento", "portafoglio"], category: Object },
-    Concept { id: "obbligazione", surfaces: &["obbligazione", "bond"], category: Object },
-    Concept { id: "azione", surfaces: &["azione", "titolo"], category: Object },
-    Concept { id: "polizza", surfaces: &["polizza", "assicurazione"], category: Object },
-    Concept { id: "domiciliazione", surfaces: &["domiciliazione", "addebito"], category: Object },
-    Concept { id: "ricarica", surfaces: &["ricarica", "rifornimento"], category: Object },
-    Concept { id: "pagamento", surfaces: &["pagamento", "versamento"], category: Object },
-    Concept { id: "fattura", surfaces: &["fattura", "ricevuta"], category: Object },
-    Concept { id: "stipendio", surfaces: &["stipendio", "retribuzione"], category: Object },
-    Concept { id: "pensione", surfaces: &["pensione", "previdenza"], category: Object },
-    Concept { id: "delega", surfaces: &["delega", "procura"], category: Object },
-    Concept { id: "garanzia", surfaces: &["garanzia", "fideiussione"], category: Object },
-    Concept { id: "cassetta", surfaces: &["cassetta", "cassaforte"], category: Object },
-    Concept { id: "sportello", surfaces: &["sportello", "cassa"], category: Object },
-    Concept { id: "filiale", surfaces: &["filiale", "agenzia"], category: Object },
-    Concept { id: "cliente", surfaces: &["cliente", "correntista"], category: Object },
-    Concept { id: "dipendente", surfaces: &["dipendente", "collega"], category: Object },
-    Concept { id: "utenza", surfaces: &["utenza", "account"], category: Object },
-    Concept { id: "dispositivo", surfaces: &["dispositivo", "apparato"], category: Object },
-    Concept { id: "smartphone", surfaces: &["smartphone", "cellulare"], category: Object },
-    Concept { id: "stampante", surfaces: &["stampante", "periferica"], category: Object },
-    Concept { id: "badge", surfaces: &["badge", "tesserino"], category: Object },
-    Concept { id: "ticket", surfaces: &["ticket", "segnalazione"], category: Object },
-    Concept { id: "errore", surfaces: &["errore", "anomalia", "malfunzionamento"], category: Object },
-    Concept { id: "procedura", surfaces: &["procedura", "processo", "iter"], category: Object },
-    Concept { id: "libretto", surfaces: &["libretto", "risparmio"], category: Object },
-    Concept { id: "valuta", surfaces: &["valuta", "divisa"], category: Object },
-    Concept { id: "cambio", surfaces: &["cambio", "conversione"], category: Object },
-    Concept { id: "iban", surfaces: &["iban", "coordinate"], category: Object },
+    Concept {
+        id: "conto",
+        surfaces: &["conto", "rapporto"],
+        category: Object,
+    },
+    Concept {
+        id: "bonifico",
+        surfaces: &["bonifico", "trasferimento"],
+        category: Object,
+    },
+    Concept {
+        id: "carta",
+        surfaces: &["carta", "tessera"],
+        category: Object,
+    },
+    Concept {
+        id: "bancomat",
+        surfaces: &["bancomat", "prelievo"],
+        category: Object,
+    },
+    Concept {
+        id: "mutuo",
+        surfaces: &["mutuo", "finanziamento"],
+        category: Object,
+    },
+    Concept {
+        id: "prestito",
+        surfaces: &["prestito", "credito"],
+        category: Object,
+    },
+    Concept {
+        id: "assegno",
+        surfaces: &["assegno", "cheque"],
+        category: Object,
+    },
+    Concept {
+        id: "deposito",
+        surfaces: &["deposito", "giacenza"],
+        category: Object,
+    },
+    Concept {
+        id: "investimento",
+        surfaces: &["investimento", "portafoglio"],
+        category: Object,
+    },
+    Concept {
+        id: "obbligazione",
+        surfaces: &["obbligazione", "bond"],
+        category: Object,
+    },
+    Concept {
+        id: "azione",
+        surfaces: &["azione", "titolo"],
+        category: Object,
+    },
+    Concept {
+        id: "polizza",
+        surfaces: &["polizza", "assicurazione"],
+        category: Object,
+    },
+    Concept {
+        id: "domiciliazione",
+        surfaces: &["domiciliazione", "addebito"],
+        category: Object,
+    },
+    Concept {
+        id: "ricarica",
+        surfaces: &["ricarica", "rifornimento"],
+        category: Object,
+    },
+    Concept {
+        id: "pagamento",
+        surfaces: &["pagamento", "versamento"],
+        category: Object,
+    },
+    Concept {
+        id: "fattura",
+        surfaces: &["fattura", "ricevuta"],
+        category: Object,
+    },
+    Concept {
+        id: "stipendio",
+        surfaces: &["stipendio", "retribuzione"],
+        category: Object,
+    },
+    Concept {
+        id: "pensione",
+        surfaces: &["pensione", "previdenza"],
+        category: Object,
+    },
+    Concept {
+        id: "delega",
+        surfaces: &["delega", "procura"],
+        category: Object,
+    },
+    Concept {
+        id: "garanzia",
+        surfaces: &["garanzia", "fideiussione"],
+        category: Object,
+    },
+    Concept {
+        id: "cassetta",
+        surfaces: &["cassetta", "cassaforte"],
+        category: Object,
+    },
+    Concept {
+        id: "sportello",
+        surfaces: &["sportello", "cassa"],
+        category: Object,
+    },
+    Concept {
+        id: "filiale",
+        surfaces: &["filiale", "agenzia"],
+        category: Object,
+    },
+    Concept {
+        id: "cliente",
+        surfaces: &["cliente", "correntista"],
+        category: Object,
+    },
+    Concept {
+        id: "dipendente",
+        surfaces: &["dipendente", "collega"],
+        category: Object,
+    },
+    Concept {
+        id: "utenza",
+        surfaces: &["utenza", "account"],
+        category: Object,
+    },
+    Concept {
+        id: "dispositivo",
+        surfaces: &["dispositivo", "apparato"],
+        category: Object,
+    },
+    Concept {
+        id: "smartphone",
+        surfaces: &["smartphone", "cellulare"],
+        category: Object,
+    },
+    Concept {
+        id: "stampante",
+        surfaces: &["stampante", "periferica"],
+        category: Object,
+    },
+    Concept {
+        id: "badge",
+        surfaces: &["badge", "tesserino"],
+        category: Object,
+    },
+    Concept {
+        id: "ticket",
+        surfaces: &["ticket", "segnalazione"],
+        category: Object,
+    },
+    Concept {
+        id: "errore",
+        surfaces: &["errore", "anomalia", "malfunzionamento"],
+        category: Object,
+    },
+    Concept {
+        id: "procedura",
+        surfaces: &["procedura", "processo", "iter"],
+        category: Object,
+    },
+    Concept {
+        id: "libretto",
+        surfaces: &["libretto", "risparmio"],
+        category: Object,
+    },
+    Concept {
+        id: "valuta",
+        surfaces: &["valuta", "divisa"],
+        category: Object,
+    },
+    Concept {
+        id: "cambio",
+        surfaces: &["cambio", "conversione"],
+        category: Object,
+    },
+    Concept {
+        id: "iban",
+        surfaces: &["iban", "coordinate"],
+        category: Object,
+    },
     // ------------------------------------------------ attributes
-    Concept { id: "limite", surfaces: &["limite", "massimale", "plafond"], category: Attribute },
-    Concept { id: "commissione", surfaces: &["commissione", "costo", "tariffa"], category: Attribute },
-    Concept { id: "tasso", surfaces: &["tasso", "interesse"], category: Attribute },
-    Concept { id: "scadenza", surfaces: &["scadenza", "termine"], category: Attribute },
-    Concept { id: "requisito", surfaces: &["requisito", "condizione"], category: Attribute },
-    Concept { id: "documento", surfaces: &["documento", "modulo", "modulistica"], category: Attribute },
-    Concept { id: "password", surfaces: &["password", "credenziale"], category: Attribute },
-    Concept { id: "firma", surfaces: &["firma", "sottoscrizione"], category: Attribute },
-    Concept { id: "saldo", surfaces: &["saldo", "disponibilita"], category: Attribute },
-    Concept { id: "estratto", surfaces: &["estratto", "rendiconto"], category: Attribute },
-    Concept { id: "durata", surfaces: &["durata", "periodo"], category: Attribute },
-    Concept { id: "importo", surfaces: &["importo", "ammontare", "somma"], category: Attribute },
-    Concept { id: "autorizzazione", surfaces: &["autorizzazione", "abilitazione", "permesso"], category: Attribute },
-    Concept { id: "rata", surfaces: &["rata", "quota"], category: Attribute },
+    Concept {
+        id: "limite",
+        surfaces: &["limite", "massimale", "plafond"],
+        category: Attribute,
+    },
+    Concept {
+        id: "commissione",
+        surfaces: &["commissione", "costo", "tariffa"],
+        category: Attribute,
+    },
+    Concept {
+        id: "tasso",
+        surfaces: &["tasso", "interesse"],
+        category: Attribute,
+    },
+    Concept {
+        id: "scadenza",
+        surfaces: &["scadenza", "termine"],
+        category: Attribute,
+    },
+    Concept {
+        id: "requisito",
+        surfaces: &["requisito", "condizione"],
+        category: Attribute,
+    },
+    Concept {
+        id: "documento",
+        surfaces: &["documento", "modulo", "modulistica"],
+        category: Attribute,
+    },
+    Concept {
+        id: "password",
+        surfaces: &["password", "credenziale"],
+        category: Attribute,
+    },
+    Concept {
+        id: "firma",
+        surfaces: &["firma", "sottoscrizione"],
+        category: Attribute,
+    },
+    Concept {
+        id: "saldo",
+        surfaces: &["saldo", "disponibilita"],
+        category: Attribute,
+    },
+    Concept {
+        id: "estratto",
+        surfaces: &["estratto", "rendiconto"],
+        category: Attribute,
+    },
+    Concept {
+        id: "durata",
+        surfaces: &["durata", "periodo"],
+        category: Attribute,
+    },
+    Concept {
+        id: "importo",
+        surfaces: &["importo", "ammontare", "somma"],
+        category: Attribute,
+    },
+    Concept {
+        id: "autorizzazione",
+        surfaces: &["autorizzazione", "abilitazione", "permesso"],
+        category: Attribute,
+    },
+    Concept {
+        id: "rata",
+        surfaces: &["rata", "quota"],
+        category: Attribute,
+    },
     // ------------------------------------------------ systems (jargon; exact)
-    Concept { id: "gianos", surfaces: &["gianos"], category: System },
-    Concept { id: "sibec", surfaces: &["sibec"], category: System },
-    Concept { id: "arco", surfaces: &["arco"], category: System },
-    Concept { id: "teseo", surfaces: &["teseo"], category: System },
-    Concept { id: "mobis", surfaces: &["mobis"], category: System },
-    Concept { id: "pos", surfaces: &["pos"], category: System },
-    Concept { id: "atm", surfaces: &["atm"], category: System },
-    Concept { id: "crm04", surfaces: &["crm04"], category: System },
-    Concept { id: "kyc", surfaces: &["kyc"], category: System },
-    Concept { id: "intranet", surfaces: &["intranet"], category: System },
-    Concept { id: "evo", surfaces: &["evo"], category: System },
-    Concept { id: "sportel", surfaces: &["sportel"], category: System },
+    Concept {
+        id: "gianos",
+        surfaces: &["gianos"],
+        category: System,
+    },
+    Concept {
+        id: "sibec",
+        surfaces: &["sibec"],
+        category: System,
+    },
+    Concept {
+        id: "arco",
+        surfaces: &["arco"],
+        category: System,
+    },
+    Concept {
+        id: "teseo",
+        surfaces: &["teseo"],
+        category: System,
+    },
+    Concept {
+        id: "mobis",
+        surfaces: &["mobis"],
+        category: System,
+    },
+    Concept {
+        id: "pos",
+        surfaces: &["pos"],
+        category: System,
+    },
+    Concept {
+        id: "atm",
+        surfaces: &["atm"],
+        category: System,
+    },
+    Concept {
+        id: "crm04",
+        surfaces: &["crm04"],
+        category: System,
+    },
+    Concept {
+        id: "kyc",
+        surfaces: &["kyc"],
+        category: System,
+    },
+    Concept {
+        id: "intranet",
+        surfaces: &["intranet"],
+        category: System,
+    },
+    Concept {
+        id: "evo",
+        surfaces: &["evo"],
+        category: System,
+    },
+    Concept {
+        id: "sportel",
+        surfaces: &["sportel"],
+        category: System,
+    },
     // ------------------------------------------------ qualifiers
-    Concept { id: "aziendale", surfaces: &["aziendale", "business"], category: Qualifier },
-    Concept { id: "estero", surfaces: &["estero", "internazionale"], category: Qualifier },
-    Concept { id: "istantaneo", surfaces: &["istantaneo", "immediato"], category: Qualifier },
-    Concept { id: "cartaceo", surfaces: &["cartaceo", "fisico"], category: Qualifier },
-    Concept { id: "digitale", surfaces: &["digitale", "elettronico", "online"], category: Qualifier },
-    Concept { id: "giornaliero", surfaces: &["giornaliero", "quotidiano"], category: Qualifier },
-    Concept { id: "mensile", surfaces: &["mensile"], category: Qualifier },
-    Concept { id: "cointestato", surfaces: &["cointestato", "condiviso"], category: Qualifier },
-    Concept { id: "minorenne", surfaces: &["minorenne", "minore"], category: Qualifier },
-    Concept { id: "smarrito", surfaces: &["smarrito", "perso", "rubato"], category: Qualifier },
-    Concept { id: "scaduto", surfaces: &["scaduto", "decaduto"], category: Qualifier },
-    Concept { id: "nuovo", surfaces: &["nuovo", "recente"], category: Qualifier },
+    Concept {
+        id: "aziendale",
+        surfaces: &["aziendale", "business"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "estero",
+        surfaces: &["estero", "internazionale"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "istantaneo",
+        surfaces: &["istantaneo", "immediato"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "cartaceo",
+        surfaces: &["cartaceo", "fisico"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "digitale",
+        surfaces: &["digitale", "elettronico", "online"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "giornaliero",
+        surfaces: &["giornaliero", "quotidiano"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "mensile",
+        surfaces: &["mensile"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "cointestato",
+        surfaces: &["cointestato", "condiviso"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "minorenne",
+        surfaces: &["minorenne", "minore"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "smarrito",
+        surfaces: &["smarrito", "perso", "rubato"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "scaduto",
+        surfaces: &["scaduto", "decaduto"],
+        category: Qualifier,
+    },
+    Concept {
+        id: "nuovo",
+        surfaces: &["nuovo", "recente"],
+        category: Qualifier,
+    },
 ];
 
 /// The compiled vocabulary: concept table plus stem → concept map.
@@ -168,7 +532,10 @@ impl Vocabulary {
                 let stem = italian_stem(&surface.to_lowercase());
                 stem_to_concept.insert(stem, concept.id);
             }
-            by_category.entry(concept.category).or_default().push(concept);
+            by_category
+                .entry(concept.category)
+                .or_default()
+                .push(concept);
         }
         Vocabulary {
             stem_to_concept,
@@ -307,7 +674,12 @@ mod tests {
     fn systems_have_single_surface() {
         let v = Vocabulary::new();
         for c in v.concepts(ConceptCategory::System) {
-            assert_eq!(c.surfaces.len(), 1, "system jargon `{}` must be exact", c.id);
+            assert_eq!(
+                c.surfaces.len(),
+                1,
+                "system jargon `{}` must be exact",
+                c.id
+            );
         }
     }
 }
@@ -355,7 +727,10 @@ mod concept_analyzer_tests {
     fn synonyms_analyze_to_the_same_terms() {
         let vocab = Arc::new(Vocabulary::new());
         let a = ConceptAnalyzer::new(vocab);
-        assert_eq!(a.analyze("massimale del bonifico"), a.analyze("limite del trasferimento"));
+        assert_eq!(
+            a.analyze("massimale del bonifico"),
+            a.analyze("limite del trasferimento")
+        );
     }
 
     #[test]

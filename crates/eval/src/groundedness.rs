@@ -26,7 +26,10 @@ pub fn groundedness(answer: &str, contexts: &[String]) -> f64 {
     for c in contexts {
         context_terms.extend(analyzer.analyze(c));
     }
-    let supported = answer_terms.iter().filter(|t| context_terms.contains(*t)).count();
+    let supported = answer_terms
+        .iter()
+        .filter(|t| context_terms.contains(*t))
+        .count();
     supported as f64 / answer_terms.len() as f64
 }
 

@@ -14,6 +14,8 @@ pub mod report;
 pub mod runner;
 
 pub use groundedness::groundedness;
-pub use metrics::{hit_at, ndcg_at, precision_at, recall_at, reciprocal_rank, MetricsAccumulator, RetrievalMetrics};
+pub use metrics::{
+    hit_at, ndcg_at, precision_at, recall_at, reciprocal_rank, MetricsAccumulator, RetrievalMetrics,
+};
 pub use report::{format_metrics_table, format_variation_table, percent_variation};
 pub use runner::{EvalOutcome, EvalRunner};

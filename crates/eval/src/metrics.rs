@@ -30,7 +30,11 @@ pub fn precision_at(ranked: &[String], relevant: &HashSet<String>, n: usize) -> 
     if n == 0 {
         return 0.0;
     }
-    let hits = ranked.iter().take(n).filter(|d| relevant.contains(*d)).count();
+    let hits = ranked
+        .iter()
+        .take(n)
+        .filter(|d| relevant.contains(*d))
+        .count();
     hits as f64 / n as f64
 }
 
@@ -39,7 +43,11 @@ pub fn recall_at(ranked: &[String], relevant: &HashSet<String>, n: usize) -> f64
     if relevant.is_empty() {
         return 0.0;
     }
-    let hits = ranked.iter().take(n).filter(|d| relevant.contains(*d)).count();
+    let hits = ranked
+        .iter()
+        .take(n)
+        .filter(|d| relevant.contains(*d))
+        .count();
     hits as f64 / relevant.len() as f64
 }
 
@@ -271,7 +279,10 @@ mod tests {
         let rel = relevant(&["a", "b"]);
         let early = ndcg_at(&ranked(&["a", "b", "x"]), &rel, 3);
         let late = ndcg_at(&ranked(&["x", "a", "b"]), &rel, 3);
-        assert!((early - 1.0).abs() < 1e-12, "perfect ranking scores 1: {early}");
+        assert!(
+            (early - 1.0).abs() < 1e-12,
+            "perfect ranking scores 1: {early}"
+        );
         assert!(late < early && late > 0.0);
         // Bounded and zero-safe.
         assert_eq!(ndcg_at(&ranked(&["x"]), &rel, 1), 0.0);

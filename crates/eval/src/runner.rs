@@ -124,6 +124,9 @@ mod tests {
             }
         });
         assert_eq!(out.metrics.coverage, 0.5);
-        assert_eq!(out.metrics.hit_at[&1], 1.0, "only answered queries averaged");
+        assert_eq!(
+            out.metrics.hit_at[&1], 1.0,
+            "only answered queries averaged"
+        );
     }
 }

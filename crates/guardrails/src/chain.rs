@@ -195,7 +195,8 @@ mod tests {
         let chain = GuardrailChain::new();
         // No citations AND ends asking for details: must be reported as
         // clarification, not citation.
-        let a = "La domanda è generica. Potresti riformulare la domanda fornendo maggiori dettagli?";
+        let a =
+            "La domanda è generica. Potresti riformulare la domanda fornendo maggiori dettagli?";
         let out = chain.check_answer(a, &context());
         assert_eq!(out.triggered(), Some(GuardrailKind::Clarification));
         match out {

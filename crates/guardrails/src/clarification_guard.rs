@@ -43,10 +43,7 @@ impl ClarificationGuardrail {
         // The final sentence: everything after the last terminator
         // before the trailing '?'.
         let body = &trimmed[..trimmed.len() - 1];
-        let start = body
-            .rfind(['.', '!', '?'])
-            .map(|i| i + 1)
-            .unwrap_or(0);
+        let start = body.rfind(['.', '!', '?']).map(|i| i + 1).unwrap_or(0);
         let last_sentence = body[start..].to_lowercase();
         MARKERS.iter().any(|m| last_sentence.contains(m))
             || self
@@ -75,7 +72,8 @@ mod tests {
     #[test]
     fn detail_request_is_blocked() {
         let g = ClarificationGuardrail::new();
-        let a = "La domanda è generica. Potresti riformulare la domanda fornendo maggiori dettagli?";
+        let a =
+            "La domanda è generica. Potresti riformulare la domanda fornendo maggiori dettagli?";
         assert!(!g.check(a).passed());
     }
 
@@ -96,7 +94,8 @@ mod tests {
     fn marker_in_middle_does_not_trigger() {
         let g = ClarificationGuardrail::new();
         // Mentions details but does not *end* asking for them.
-        let a = "Per maggiori dettagli consultare la pagina dedicata. Il limite è 5000 euro [doc_1].";
+        let a =
+            "Per maggiori dettagli consultare la pagina dedicata. Il limite è 5000 euro [doc_1].";
         assert!(g.check(a).passed());
     }
 
@@ -105,7 +104,9 @@ mod tests {
         let g = ClarificationGuardrail {
             extra_markers: vec!["quale filiale".into()],
         };
-        assert!(!g.check("Dipende dalla sede. Puoi indicare quale filiale?").passed());
+        assert!(!g
+            .check("Dipende dalla sede. Puoi indicare quale filiale?")
+            .passed());
     }
 
     #[test]

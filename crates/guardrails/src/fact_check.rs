@@ -208,8 +208,7 @@ impl FactCheckGuardrail {
 mod tests {
     use super::*;
 
-    const KB_SENTENCE: &str =
-        "Il limite previsto per il bonifico estero è pari a 5.000 euro.";
+    const KB_SENTENCE: &str = "Il limite previsto per il bonifico estero è pari a 5.000 euro.";
 
     #[test]
     fn claims_are_extracted_with_key_and_value() {
@@ -253,7 +252,9 @@ mod tests {
     #[test]
     fn unknown_keys_are_not_enforced() {
         let g = FactCheckGuardrail::new(FactStore::new());
-        assert!(g.check("La commissione del prelievo è pari a 2 euro.").passed());
+        assert!(g
+            .check("La commissione del prelievo è pari a 2 euro.")
+            .passed());
     }
 
     #[test]
@@ -276,7 +277,9 @@ mod tests {
         store.ingest("Il limite previsto per la carta è pari a 1.000 euro.");
         assert_eq!(store.len(), 0, "conflicting keys must not be enforced");
         let g = FactCheckGuardrail::new(store);
-        assert!(g.check("Il limite per la carta è pari a 750 euro.").passed());
+        assert!(g
+            .check("Il limite per la carta è pari a 750 euro.")
+            .passed());
     }
 
     #[test]

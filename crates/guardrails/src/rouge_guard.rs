@@ -84,7 +84,8 @@ mod tests {
     #[test]
     fn grounded_answer_passes() {
         let g = RougeGuardrail::default();
-        let answer = "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno [doc_1].";
+        let answer =
+            "Il bonifico SEPA si esegue dalla sezione pagamenti del portale interno [doc_1].";
         assert!(g.check(answer, &context()).passed());
     }
 

@@ -451,8 +451,16 @@ mod tests {
     fn sample_index() -> InvertedIndex {
         let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
         for (title, content, domain) in [
-            ("Bonifico estero", "come eseguire il bonifico verso banche estere", "Pagamenti"),
-            ("Blocco carta", "la carta smarrita si blocca dal numero verde", "Carte"),
+            (
+                "Bonifico estero",
+                "come eseguire il bonifico verso banche estere",
+                "Pagamenti",
+            ),
+            (
+                "Blocco carta",
+                "la carta smarrita si blocca dal numero verde",
+                "Carte",
+            ),
             ("Mutuo giovani", "requisiti del mutuo agevolato", "Crediti"),
         ] {
             idx.add(
@@ -583,7 +591,9 @@ mod tests {
     fn roundtrip_preserves_tags_and_tombstones() {
         let original = sample_index();
         let restored = decode(&encode(&original), Arc::new(ItalianAnalyzer::new())).unwrap();
-        assert!(restored.matches_filter(DocId(0), "domain", "pagamenti").unwrap());
+        assert!(restored
+            .matches_filter(DocId(0), "domain", "pagamenti")
+            .unwrap());
         assert!(!restored.is_live(DocId(2)), "tombstone lost");
         assert!(restored.is_live(DocId(1)));
     }
@@ -607,7 +617,10 @@ mod tests {
                 assert_eq!(rlist.docs, list.docs, "{name}/{term} docs");
                 assert_eq!(rlist.tfs, list.tfs, "{name}/{term} tfs");
             }
-            assert_eq!(restored_field.total_len, field.total_len, "{name} total_len");
+            assert_eq!(
+                restored_field.total_len, field.total_len,
+                "{name} total_len"
+            );
             assert_eq!(
                 restored_field.docs_with_field, field.docs_with_field,
                 "{name} docs_with_field"
@@ -671,7 +684,8 @@ mod tests {
 
     #[test]
     fn adding_after_restore_continues_ids() {
-        let mut restored = decode(&encode(&sample_index()), Arc::new(ItalianAnalyzer::new())).unwrap();
+        let mut restored =
+            decode(&encode(&sample_index()), Arc::new(ItalianAnalyzer::new())).unwrap();
         let id = restored
             .add(&IndexDocument::new().with_text("title", "nuovo documento"))
             .unwrap();
@@ -734,11 +748,29 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         let mut buf = BytesMut::new();
-        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::from(u32::MAX), u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            1 << 20,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             put_varint(&mut buf, v);
         }
         let mut bytes = buf.freeze();
-        for expected in [0u64, 1, 127, 128, 300, 1 << 20, u64::from(u32::MAX), u64::MAX] {
+        for expected in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            1 << 20,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             assert_eq!(get_varint(&mut bytes).unwrap(), expected);
         }
         assert!(!bytes.has_remaining());

@@ -156,13 +156,15 @@ impl IndexDocument {
 
     /// Builder-style text field.
     pub fn with_text(mut self, field: &str, value: impl Into<String>) -> Self {
-        self.fields.insert(field.to_string(), FieldValue::Text(value.into()));
+        self.fields
+            .insert(field.to_string(), FieldValue::Text(value.into()));
         self
     }
 
     /// Builder-style tag field.
     pub fn with_tags(mut self, field: &str, tags: Vec<String>) -> Self {
-        self.fields.insert(field.to_string(), FieldValue::Tags(tags));
+        self.fields
+            .insert(field.to_string(), FieldValue::Tags(tags));
         self
     }
 
@@ -221,9 +223,7 @@ mod tests {
 
     #[test]
     fn fields_iterate_in_name_order() {
-        let d = IndexDocument::new()
-            .with_text("z", "1")
-            .with_text("a", "2");
+        let d = IndexDocument::new().with_text("z", "1").with_text("a", "2");
         let names: Vec<_> = d.fields().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a", "z"]);
     }

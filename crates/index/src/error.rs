@@ -51,6 +51,9 @@ mod tests {
             .to_string(),
             "field `domain` is not searchable"
         );
-        assert_eq!(IndexError::DocNotFound(7).to_string(), "document 7 not found");
+        assert_eq!(
+            IndexError::DocNotFound(7).to_string(),
+            "document 7 not found"
+        );
     }
 }

@@ -117,7 +117,7 @@ mod tests {
     }
 
     #[test]
-    fn subset_of_docs_counts_subset(){
+    fn subset_of_docs_counts_subset() {
         let (idx, ids) = index();
         let f = facet_counts(&idx, &ids[..1], "domain").unwrap();
         assert_eq!(f.counts.len(), 1);

@@ -119,7 +119,10 @@ mod tests {
         let (idx, id) = setup();
         let f = Filter::And(vec![
             Filter::eq("domain", "pagamenti"),
-            Filter::Or(vec![Filter::eq("topic", "estero"), Filter::eq("topic", "interno")]),
+            Filter::Or(vec![
+                Filter::eq("topic", "estero"),
+                Filter::eq("topic", "interno"),
+            ]),
         ]);
         assert!(f.matches(&idx, id).unwrap());
         let n = Filter::Not(Box::new(Filter::eq("domain", "pagamenti")));

@@ -135,7 +135,10 @@ impl FieldIndex {
         }
         let mut posted: Vec<TermId> = Vec::with_capacity(tf.len());
         for (&tid, &freq) in &tf {
-            self.postings.entry(tid).or_default().push(doc.0, freq, field_len);
+            self.postings
+                .entry(tid)
+                .or_default()
+                .push(doc.0, freq, field_len);
             posted.push(tid);
         }
         self.doc_terms.insert(doc.0, posted);
@@ -289,7 +292,10 @@ impl InvertedIndex {
                     .add(&mut self.dict, id, &term_buf);
             }
             if spec.attributes.filterable {
-                self.tags.entry(id).or_default().push((name.to_string(), value.clone()));
+                self.tags
+                    .entry(id)
+                    .or_default()
+                    .push((name.to_string(), value.clone()));
             }
         }
         Ok(id)
@@ -335,10 +341,7 @@ impl InvertedIndex {
             });
         }
         // Tags are matched on their lower-cased exact surface form.
-        let normalized = self
-            .tag_analyzer
-            .analyze(tag)
-            .join(" ");
+        let normalized = self.tag_analyzer.analyze(tag).join(" ");
         Ok(self
             .doc_tags(doc)
             .iter()
@@ -407,7 +410,8 @@ mod tests {
     #[test]
     fn searchable_fields_are_analyzed() {
         let mut idx = InvertedIndex::new(schema());
-        idx.add(&doc("Bonifici esteri", "come inviare il bonifico")).unwrap();
+        idx.add(&doc("Bonifici esteri", "come inviare il bonifico"))
+            .unwrap();
         // The Italian chain stems "bonifici"/"bonifico" to the same term.
         assert_eq!(idx.term_df("title", "bonific"), 1);
         assert_eq!(idx.term_df("content", "bonific"), 1);
@@ -448,7 +452,11 @@ mod tests {
         assert_eq!(idx.term_df("content", "rar"), 1);
         idx.delete(a).unwrap();
         assert_eq!(idx.term_df("content", "parol"), 1);
-        assert_eq!(idx.term_df("content", "rar"), 0, "df of a fully tombstoned term");
+        assert_eq!(
+            idx.term_df("content", "rar"),
+            0,
+            "df of a fully tombstoned term"
+        );
         idx.delete(b).unwrap();
         assert_eq!(idx.term_df("content", "parol"), 0);
     }

@@ -168,13 +168,22 @@ mod tests {
     #[test]
     fn dangling_quote_swallows_the_rest() {
         let q = parse_query("topic:\"Carte di Pagamento senza chiusura");
-        assert_eq!(q.filter, Some(Filter::eq("topic", "Carte di Pagamento senza chiusura")));
+        assert_eq!(
+            q.filter,
+            Some(Filter::eq("topic", "Carte di Pagamento senza chiusura"))
+        );
         assert!(q.text.is_empty());
     }
 
     #[test]
     fn empty_and_degenerate_inputs() {
-        assert_eq!(parse_query(""), ParsedQuery { text: String::new(), filter: None });
+        assert_eq!(
+            parse_query(""),
+            ParsedQuery {
+                text: String::new(),
+                filter: None
+            }
+        );
         // ":" with no field name: kept as text when a value exists.
         let q = parse_query(":valore parola");
         assert_eq!(q.text, "valore parola");
@@ -187,7 +196,9 @@ mod tests {
 
     #[test]
     fn mixed_everything() {
-        let q = parse_query("domain:Pagamenti -section:Errori topic:\"Bonifici\" come fare un bonifico");
+        let q = parse_query(
+            "domain:Pagamenti -section:Errori topic:\"Bonifici\" come fare un bonifico",
+        );
         assert_eq!(q.text, "come fare un bonifico");
         match q.filter {
             Some(Filter::And(clauses)) => assert_eq!(clauses.len(), 3),

@@ -42,13 +42,11 @@ use crate::inverted::InvertedIndex;
 use crate::schema::Schema;
 
 /// Relative weights of searchable fields when combining BM25 scores.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScoringProfile {
     /// `(field, weight)` pairs; fields not listed get weight 1.0.
     pub weights: Vec<(String, f64)>,
 }
-
 
 impl ScoringProfile {
     /// The neutral profile: every field weighted 1.0.
@@ -121,7 +119,12 @@ impl Scorer<'_> {
     #[inline]
     fn contribution(&self, params: Bm25Params, pos: usize) -> f64 {
         let tf = f64::from(self.tfs[pos]);
-        let dl = f64::from(self.doc_len.get(self.docs[pos] as usize).copied().unwrap_or(0));
+        let dl = f64::from(
+            self.doc_len
+                .get(self.docs[pos] as usize)
+                .copied()
+                .unwrap_or(0),
+        );
         self.weight * term_score(params, self.idf, tf, dl, self.avg_len) * self.qf
     }
 
@@ -188,13 +191,11 @@ fn essential_after(by_ub: &[usize], prefix_ub: &[f64], theta: f64) -> Vec<usize>
 }
 
 /// Executes full-text queries against an [`InvertedIndex`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Searcher {
     /// BM25 parameters (defaults match Lucene/Azure).
     pub params: Bm25Params,
 }
-
 
 impl Searcher {
     /// Create a searcher with default BM25 parameters.
@@ -393,7 +394,10 @@ impl Searcher {
         let mut hits: Vec<ScoredDoc> = scores
             .into_iter()
             .filter(|&(_, score)| score > 0.0)
-            .map(|(doc, score)| ScoredDoc { doc: DocId(doc), score })
+            .map(|(doc, score)| ScoredDoc {
+                doc: DocId(doc),
+                score,
+            })
             .collect();
         hits.sort_by(|a, b| {
             b.score
@@ -499,7 +503,10 @@ impl Searcher {
 
         let mut hits: Vec<ScoredDoc> = heap
             .into_iter()
-            .map(|e| ScoredDoc { doc: DocId(e.doc), score: e.score })
+            .map(|e| ScoredDoc {
+                doc: DocId(e.doc),
+                score: e.score,
+            })
             .collect();
         hits.sort_by(|a, b| {
             b.score
@@ -534,11 +541,23 @@ mod tests {
     fn relevant_document_ranks_first() {
         let idx = index_with(&[
             ("Mutuo casa", "informazioni sul mutuo per la casa e i tassi"),
-            ("Bonifico SEPA", "come eseguire un bonifico SEPA verso estero"),
-            ("Carta di credito", "limiti della carta di credito aziendale"),
+            (
+                "Bonifico SEPA",
+                "come eseguire un bonifico SEPA verso estero",
+            ),
+            (
+                "Carta di credito",
+                "limiti della carta di credito aziendale",
+            ),
         ]);
         let hits = Searcher::new()
-            .search(&idx, "bonifico estero", 10, &ScoringProfile::neutral(), None)
+            .search(
+                &idx,
+                "bonifico estero",
+                10,
+                &ScoringProfile::neutral(),
+                None,
+            )
             .unwrap();
         assert_eq!(hits[0].doc, DocId(1));
     }
@@ -547,7 +566,13 @@ mod tests {
     fn morphological_variants_match() {
         let idx = index_with(&[("Bonifici", "esecuzione dei bonifici esteri")]);
         let hits = Searcher::new()
-            .search(&idx, "bonifico estero", 10, &ScoringProfile::neutral(), None)
+            .search(
+                &idx,
+                "bonifico estero",
+                10,
+                &ScoringProfile::neutral(),
+                None,
+            )
             .unwrap();
         assert_eq!(hits.len(), 1);
     }
@@ -556,7 +581,13 @@ mod tests {
     fn no_match_returns_empty() {
         let idx = index_with(&[("a", "contenuto banale")]);
         let hits = Searcher::new()
-            .search(&idx, "argomento inesistente", 10, &ScoringProfile::neutral(), None)
+            .search(
+                &idx,
+                "argomento inesistente",
+                10,
+                &ScoringProfile::neutral(),
+                None,
+            )
             .unwrap();
         assert!(hits.is_empty());
     }
@@ -586,14 +617,23 @@ mod tests {
     #[test]
     fn title_boost_promotes_title_matches() {
         let idx = index_with(&[
-            ("Altro argomento", "bonifico bonifico bonifico bonifico contenuto dettagliato"),
+            (
+                "Altro argomento",
+                "bonifico bonifico bonifico bonifico contenuto dettagliato",
+            ),
             ("Bonifico", "testo generico senza ripetizioni utili"),
         ]);
         let neutral = Searcher::new()
             .search(&idx, "bonifico", 10, &ScoringProfile::neutral(), None)
             .unwrap();
         let boosted = Searcher::new()
-            .search(&idx, "bonifico", 10, &ScoringProfile::title_boost(50.0), None)
+            .search(
+                &idx,
+                "bonifico",
+                10,
+                &ScoringProfile::title_boost(50.0),
+                None,
+            )
             .unwrap();
         // Without boost, the tf-heavy content doc wins; with a title
         // boost of 50, the title match wins.
@@ -626,7 +666,13 @@ mod tests {
         }
         let f = Filter::eq("domain", "governance");
         let hits = Searcher::new()
-            .search(&idx, "argomento condiviso", 10, &ScoringProfile::neutral(), Some(&f))
+            .search(
+                &idx,
+                "argomento condiviso",
+                10,
+                &ScoringProfile::neutral(),
+                Some(&f),
+            )
             .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].doc, DocId(1));
@@ -683,7 +729,13 @@ mod tests {
         let searcher = Searcher::new();
         let terms = vec!["gatt".to_string(), "can".to_string(), "gatt".to_string()];
         let once = searcher
-            .search_terms(&idx, &["gatt".to_string(), "can".to_string()], 10, &ScoringProfile::neutral(), None)
+            .search_terms(
+                &idx,
+                &["gatt".to_string(), "can".to_string()],
+                10,
+                &ScoringProfile::neutral(),
+                None,
+            )
             .unwrap();
         let twice = searcher
             .search_terms(&idx, &terms, 10, &ScoringProfile::neutral(), None)

@@ -71,20 +71,30 @@ mod tests {
         store.put(&schema, DocId(0), &doc);
         let got = store.get(DocId(0)).unwrap();
         assert_eq!(got.text("title"), Some("Titolo"));
-        assert!(got.get("domain").is_none(), "filterable-only field must not be retrievable");
+        assert!(
+            got.get("domain").is_none(),
+            "filterable-only field must not be retrievable"
+        );
     }
 
     #[test]
     fn missing_doc_is_an_error() {
         let store = DocumentStore::new();
-        assert!(matches!(store.get(DocId(9)), Err(IndexError::DocNotFound(9))));
+        assert!(matches!(
+            store.get(DocId(9)),
+            Err(IndexError::DocNotFound(9))
+        ));
     }
 
     #[test]
     fn remove_then_get_fails() {
         let schema = Schema::uniask_chunk_schema();
         let mut store = DocumentStore::new();
-        store.put(&schema, DocId(1), &IndexDocument::new().with_text("title", "x"));
+        store.put(
+            &schema,
+            DocId(1),
+            &IndexDocument::new().with_text("title", "x"),
+        );
         assert_eq!(store.len(), 1);
         store.remove(DocId(1));
         assert!(store.is_empty());

@@ -137,9 +137,18 @@ proptest! {
 /// document terms (fully random words would almost never match).
 fn vocab_text(max_words: usize) -> impl Strategy<Value = String> {
     let vocab = prop_oneof![
-        Just("bonifico"), Just("carta"), Just("mutuo"), Just("conto"),
-        Just("prestito"), Just("estero"), Just("limite"), Just("sepa"),
-        Just("prelievo"), Just("ricarica"), Just("tasso"), Just("rata"),
+        Just("bonifico"),
+        Just("carta"),
+        Just("mutuo"),
+        Just("conto"),
+        Just("prestito"),
+        Just("estero"),
+        Just("limite"),
+        Just("sepa"),
+        Just("prelievo"),
+        Just("ricarica"),
+        Just("tasso"),
+        Just("rata"),
     ];
     proptest::collection::vec(vocab, 1..=max_words).prop_map(|w| w.join(" "))
 }

@@ -26,11 +26,18 @@ fn index_of(docs: &[(&str, &str, &str)]) -> InvertedIndex {
     idx
 }
 
-fn assert_equivalent(idx: &InvertedIndex, query: &str, profile: &ScoringProfile, filter: Option<&Filter>) {
+fn assert_equivalent(
+    idx: &InvertedIndex,
+    query: &str,
+    profile: &ScoringProfile,
+    filter: Option<&Filter>,
+) {
     let searcher = Searcher::new();
     for k in [1, 2, 3, 5, 10, 100] {
         let pruned = searcher.search(idx, query, k, profile, filter).unwrap();
-        let exhaustive = searcher.search_exhaustive(idx, query, k, profile, filter).unwrap();
+        let exhaustive = searcher
+            .search_exhaustive(idx, query, k, profile, filter)
+            .unwrap();
         assert_eq!(pruned, exhaustive, "query `{query}` diverged at k={k}");
         assert!(pruned.len() <= k);
     }
@@ -38,13 +45,41 @@ fn assert_equivalent(idx: &InvertedIndex, query: &str, profile: &ScoringProfile,
 
 fn corpus() -> InvertedIndex {
     index_of(&[
-        ("Bonifico estero", "come eseguire un bonifico verso banche estere", "Pagamenti"),
-        ("Bonifico SEPA", "bonifico bonifico bonifico istruzioni dettagliate", "Pagamenti"),
-        ("Blocco carta", "la carta smarrita si blocca dal numero verde", "Carte"),
-        ("Carta di credito", "limiti della carta di credito aziendale e bonifico", "Carte"),
-        ("Mutuo giovani", "requisiti del mutuo agevolato per giovani coppie", "Crediti"),
-        ("Prestito personale", "tasso del prestito personale e rata mensile", "Crediti"),
-        ("Conto corrente", "apertura del conto corrente online", "Pagamenti"),
+        (
+            "Bonifico estero",
+            "come eseguire un bonifico verso banche estere",
+            "Pagamenti",
+        ),
+        (
+            "Bonifico SEPA",
+            "bonifico bonifico bonifico istruzioni dettagliate",
+            "Pagamenti",
+        ),
+        (
+            "Blocco carta",
+            "la carta smarrita si blocca dal numero verde",
+            "Carte",
+        ),
+        (
+            "Carta di credito",
+            "limiti della carta di credito aziendale e bonifico",
+            "Carte",
+        ),
+        (
+            "Mutuo giovani",
+            "requisiti del mutuo agevolato per giovani coppie",
+            "Crediti",
+        ),
+        (
+            "Prestito personale",
+            "tasso del prestito personale e rata mensile",
+            "Crediti",
+        ),
+        (
+            "Conto corrente",
+            "apertura del conto corrente online",
+            "Pagamenti",
+        ),
     ])
 }
 
@@ -60,7 +95,12 @@ fn equivalence_on_small_and_large_k() {
 fn equivalence_under_title_boost() {
     let idx = corpus();
     for boost in [5.0, 50.0, 500.0] {
-        assert_equivalent(&idx, "bonifico carta", &ScoringProfile::title_boost(boost), None);
+        assert_equivalent(
+            &idx,
+            "bonifico carta",
+            &ScoringProfile::title_boost(boost),
+            None,
+        );
     }
 }
 
@@ -68,13 +108,24 @@ fn equivalence_under_title_boost() {
 fn equivalence_with_filters() {
     let idx = corpus();
     let by_domain = Filter::eq("domain", "Carte");
-    assert_equivalent(&idx, "bonifico carta", &ScoringProfile::neutral(), Some(&by_domain));
+    assert_equivalent(
+        &idx,
+        "bonifico carta",
+        &ScoringProfile::neutral(),
+        Some(&by_domain),
+    );
     // A filter that excludes every scoring document.
     let none = Filter::eq("domain", "Governance");
     assert_equivalent(&idx, "bonifico", &ScoringProfile::neutral(), Some(&none));
     let searcher = Searcher::new();
     let hits = searcher
-        .search(&idx, "bonifico", 10, &ScoringProfile::neutral(), Some(&none))
+        .search(
+            &idx,
+            "bonifico",
+            10,
+            &ScoringProfile::neutral(),
+            Some(&none),
+        )
         .unwrap();
     assert!(hits.is_empty());
     // Compound filters go through the same push-down path.
@@ -82,7 +133,12 @@ fn equivalence_with_filters() {
         Filter::eq("domain", "Carte"),
         Filter::Not(Box::new(Filter::eq("domain", "Pagamenti"))),
     ]);
-    assert_equivalent(&idx, "carta mutuo", &ScoringProfile::neutral(), Some(&compound));
+    assert_equivalent(
+        &idx,
+        "carta mutuo",
+        &ScoringProfile::neutral(),
+        Some(&compound),
+    );
 }
 
 #[test]
@@ -110,13 +166,14 @@ fn equivalence_after_replace_cycles() {
     let mut current = DocId(0);
     for _ in 0..4 {
         idx.delete(current).unwrap();
-        current = idx.add(
-            &IndexDocument::new()
-                .with_text("title", "Bonifico estero")
-                .with_text("content", "come eseguire un bonifico verso banche estere")
-                .with_tags("domain", vec!["Pagamenti".to_string()]),
-        )
-        .unwrap();
+        current = idx
+            .add(
+                &IndexDocument::new()
+                    .with_text("title", "Bonifico estero")
+                    .with_text("content", "come eseguire un bonifico verso banche estere")
+                    .with_tags("domain", vec!["Pagamenti".to_string()]),
+            )
+            .unwrap();
     }
     assert_equivalent(&idx, "bonifico estero", &ScoringProfile::neutral(), None);
     assert_equivalent(&idx, "bonifico", &ScoringProfile::title_boost(50.0), None);
@@ -125,8 +182,18 @@ fn equivalence_after_replace_cycles() {
 #[test]
 fn equivalence_with_repeated_query_terms() {
     let idx = corpus();
-    assert_equivalent(&idx, "bonifico bonifico bonifico", &ScoringProfile::neutral(), None);
-    assert_equivalent(&idx, "carta bonifico carta", &ScoringProfile::title_boost(5.0), None);
+    assert_equivalent(
+        &idx,
+        "bonifico bonifico bonifico",
+        &ScoringProfile::neutral(),
+        None,
+    );
+    assert_equivalent(
+        &idx,
+        "carta bonifico carta",
+        &ScoringProfile::title_boost(5.0),
+        None,
+    );
 }
 
 #[test]
@@ -142,7 +209,11 @@ fn equivalence_on_tie_heavy_corpus() {
         .search(&idx, "parola", 5, &ScoringProfile::neutral(), None)
         .unwrap();
     let ids: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
-    assert_eq!(ids, vec![0, 1, 2, 3, 4], "ties must resolve to the lowest doc ids");
+    assert_eq!(
+        ids,
+        vec![0, 1, 2, 3, 4],
+        "ties must resolve to the lowest doc ids"
+    );
 }
 
 #[test]

@@ -79,7 +79,10 @@ impl ChatRequest {
 
     /// Total prompt tokens across all messages (approximate).
     pub fn prompt_tokens(&self) -> usize {
-        self.messages.iter().map(|m| approx_token_count(&m.content)).sum()
+        self.messages
+            .iter()
+            .map(|m| approx_token_count(&m.content))
+            .sum()
     }
 }
 
@@ -141,7 +144,8 @@ mod tests {
         ]);
         assert_eq!(
             r.prompt_tokens(),
-            approx_token_count("istruzioni dettagliate del sistema") + approx_token_count("domanda breve")
+            approx_token_count("istruzioni dettagliate del sistema")
+                + approx_token_count("domanda breve")
         );
     }
 

@@ -77,13 +77,20 @@ mod tests {
 
     #[test]
     fn format_roundtrips_through_extract() {
-        let answer = format!("Il limite è 500 euro {}. Serve l'OTP {}.", format_citation(2), format_citation(1));
+        let answer = format!(
+            "Il limite è 500 euro {}. Serve l'OTP {}.",
+            format_citation(2),
+            format_citation(1)
+        );
         assert_eq!(extract_citations(&answer), vec![2, 1]);
     }
 
     #[test]
     fn duplicates_are_removed() {
-        assert_eq!(extract_citations("a [doc_1] b [doc_1] c [doc_3]"), vec![1, 3]);
+        assert_eq!(
+            extract_citations("a [doc_1] b [doc_1] c [doc_3]"),
+            vec![1, 3]
+        );
     }
 
     #[test]
@@ -111,6 +118,9 @@ mod tests {
 
     #[test]
     fn strip_handles_unclosed_marker() {
-        assert_eq!(strip_citations("testo [doc_5 finale"), "testo [doc_5 finale");
+        assert_eq!(
+            strip_citations("testo [doc_5 finale"),
+            "testo [doc_5 finale"
+        );
     }
 }

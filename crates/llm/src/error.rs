@@ -30,7 +30,10 @@ impl fmt::Display for LlmError {
                 write!(f, "rate limited; retry after {retry_after_secs:.1}s")
             }
             LlmError::ContextTooLong { got, limit } => {
-                write!(f, "prompt of {got} tokens exceeds the {limit}-token context window")
+                write!(
+                    f,
+                    "prompt of {got} tokens exceeds the {limit}-token context window"
+                )
             }
             LlmError::ContentFiltered => write!(f, "request blocked by content filter"),
             LlmError::ServiceUnavailable => write!(f, "LLM service unavailable"),
@@ -46,11 +49,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(LlmError::RateLimited { retry_after_secs: 2.0 }
-            .to_string()
-            .contains("rate limited"));
-        assert!(LlmError::ContextTooLong { got: 9000, limit: 4096 }
-            .to_string()
-            .contains("9000"));
+        assert!(LlmError::RateLimited {
+            retry_after_secs: 2.0
+        }
+        .to_string()
+        .contains("rate limited"));
+        assert!(LlmError::ContextTooLong {
+            got: 9000,
+            limit: 4096
+        }
+        .to_string()
+        .contains("9000"));
     }
 }

@@ -34,7 +34,7 @@ use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
 use uniask_text::concepts::{IdentityNormalizer, TermNormalizer};
 use uniask_text::tokenizer::split_sentences;
 
-use crate::chat::{ChatRequest, ChatResponse, ChatMessage, FinishReason, Role, Usage};
+use crate::chat::{ChatMessage, ChatRequest, ChatResponse, FinishReason, Role, Usage};
 use crate::citation::format_citation;
 use crate::error::LlmError;
 use crate::prompt::{ContextChunk, DONT_KNOW_REPLY};
@@ -105,7 +105,9 @@ pub struct SimLlm {
 
 impl std::fmt::Debug for SimLlm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimLlm").field("config", &self.config).finish()
+        f.debug_struct("SimLlm")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -184,7 +186,10 @@ impl SimLlm {
     fn rng_for(&self, question: &str, temperature: f32) -> ChaCha8Rng {
         let mut seed = self.config.seed ^ fnv1a(question);
         if temperature > 0.0 {
-            seed ^= self.nonce.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            seed ^= self
+                .nonce
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         }
         ChaCha8Rng::seed_from_u64(seed)
     }
@@ -317,7 +322,10 @@ impl SimLlm {
     /// fluent but generic, which is precisely why QGA adds noise.
     pub fn answer_without_context(&self, question: &str) -> String {
         let concepts = self.concepts(question);
-        let topic = concepts.first().cloned().unwrap_or_else(|| "richiesta".to_string());
+        let topic = concepts
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "richiesta".to_string());
         format!(
             "Per {topic} seguire la procedura standard indicata nel manuale \
              operativo e contattare l'assistenza in caso di anomalia."
@@ -343,7 +351,13 @@ impl SimLlm {
         // subset of the original concepts and drag in an adjacent topic
         // the model associates with it. The drift is what made MQ1/MQ2
         // a slight net negative in the paper's experiments.
-        const DRIFT: [&str; 5] = ["commissioni", "scadenze", "assistenza", "modulistica", "abilitazioni"];
+        const DRIFT: [&str; 5] = [
+            "commissioni",
+            "scadenze",
+            "assistenza",
+            "modulistica",
+            "abilitazioni",
+        ];
         let mut out = Vec::with_capacity(k);
         for i in 0..k {
             // Each related query keeps a sliding window of two of the
@@ -453,7 +467,10 @@ mod tests {
     #[test]
     fn off_context_question_gets_dont_know() {
         let m = SimLlm::new(no_failures());
-        let a = ask(&m, "Quali sono le festività aziendali del prossimo anno solare?");
+        let a = ask(
+            &m,
+            "Quali sono le festività aziendali del prossimo anno solare?",
+        );
         assert_eq!(a, DONT_KNOW_REPLY);
         assert!(extract_citations(&a).is_empty());
     }
@@ -481,7 +498,10 @@ mod tests {
         });
         let a = ask(&m, "Qual è il limite giornaliero del bonifico SEPA?");
         assert!(a.contains("5000"));
-        assert!(extract_citations(&a).is_empty(), "citations must be dropped: {a}");
+        assert!(
+            extract_citations(&a).is_empty(),
+            "citations must be dropped: {a}"
+        );
     }
 
     #[test]
@@ -492,7 +512,10 @@ mod tests {
             ..Default::default()
         });
         let a = ask(&m, "Qual è il limite giornaliero del bonifico SEPA?");
-        assert!(a.contains("normativa generale"), "hallucinated template: {a}");
+        assert!(
+            a.contains("normativa generale"),
+            "hallucinated template: {a}"
+        );
         assert!(extract_citations(&a).is_empty());
     }
 
@@ -648,7 +671,10 @@ mod mock_tests {
         mock.push_error(LlmError::ServiceUnavailable);
         let req = ChatRequest::new(vec![ChatMessage::user("x")]);
         assert_eq!(mock.complete(&req).unwrap().message.content, "prima");
-        assert_eq!(mock.complete(&req).unwrap_err(), LlmError::ServiceUnavailable);
+        assert_eq!(
+            mock.complete(&req).unwrap_err(),
+            LlmError::ServiceUnavailable
+        );
         assert_eq!(mock.complete(&req).unwrap().message.content, "default");
         assert_eq!(mock.calls(), 3);
     }
@@ -659,6 +685,9 @@ mod mock_tests {
         let req = ChatRequest::new(vec![ChatMessage::user("domanda di prova")]);
         let resp = mock.complete(&req).unwrap();
         assert!(resp.usage.prompt_tokens > 0);
-        assert_eq!(resp.usage.completion_tokens, uniask_text::approx_token_count("due parole"));
+        assert_eq!(
+            resp.usage.completion_tokens,
+            uniask_text::approx_token_count("due parole")
+        );
     }
 }

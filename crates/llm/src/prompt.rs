@@ -54,15 +54,12 @@ pub const DONT_KNOW_REPLY: &str =
 impl PromptBuilder {
     /// Create a builder carrying `m` context chunks.
     pub fn new(max_context_chunks: usize) -> Self {
-        PromptBuilder {
-            max_context_chunks,
-        }
+        PromptBuilder { max_context_chunks }
     }
 
     /// Serialize the context chunks exactly as the paper describes.
     pub fn context_json(&self, chunks: &[ContextChunk]) -> String {
-        let limited: Vec<&ContextChunk> =
-            chunks.iter().take(self.max_context_chunks).collect();
+        let limited: Vec<&ContextChunk> = chunks.iter().take(self.max_context_chunks).collect();
         serde_json::to_string(&limited).expect("context serialization cannot fail")
     }
 
@@ -165,7 +162,10 @@ mod tests {
         let b = PromptBuilder::default();
         let p = b.system_prompt(&chunks());
         let occurrences = p.matches("[doc_key]").count();
-        assert!(occurrences >= 2, "citation format must be stated more than once");
+        assert!(
+            occurrences >= 2,
+            "citation format must be stated more than once"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl TokenBucket {
     /// assert!((wait - 3.0).abs() < 1e-9);
     /// ```
     pub fn new(capacity: f64, refill_per_sec: f64) -> Self {
-        assert!(capacity > 0.0 && refill_per_sec > 0.0, "bucket parameters must be positive");
+        assert!(
+            capacity > 0.0 && refill_per_sec > 0.0,
+            "bucket parameters must be positive"
+        );
         TokenBucket {
             capacity,
             refill_per_sec,
@@ -42,8 +45,8 @@ impl TokenBucket {
 
     fn refill(&mut self, now: f64) {
         if now > self.last_refill {
-            self.tokens = (self.tokens + (now - self.last_refill) * self.refill_per_sec)
-                .min(self.capacity);
+            self.tokens =
+                (self.tokens + (now - self.last_refill) * self.refill_per_sec).min(self.capacity);
             self.last_refill = now;
         }
     }
@@ -90,7 +93,10 @@ mod tests {
         let mut b = TokenBucket::new(100.0, 10.0);
         b.try_acquire(100.0, 0.0).unwrap();
         let wait = b.try_acquire(50.0, 0.0).unwrap_err();
-        assert!((wait - 5.0).abs() < 1e-9, "50 tokens at 10/s = 5s, got {wait}");
+        assert!(
+            (wait - 5.0).abs() < 1e-9,
+            "50 tokens at 10/s = 5s, got {wait}"
+        );
     }
 
     #[test]
@@ -98,7 +104,10 @@ mod tests {
         let mut b = TokenBucket::new(100.0, 10.0);
         b.try_acquire(100.0, 0.0).unwrap();
         assert!((b.available(4.0) - 40.0).abs() < 1e-9);
-        assert!((b.available(1000.0) - 100.0).abs() < 1e-9, "capped at capacity");
+        assert!(
+            (b.available(1000.0) - 100.0).abs() < 1e-9,
+            "capped at capacity"
+        );
     }
 
     #[test]

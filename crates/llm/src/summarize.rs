@@ -38,7 +38,11 @@ pub fn summarize(text: &str, max_sentences: usize) -> String {
             (i, density)
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     for (i, _) in scored {
         if picked.len() >= max_sentences {
             break;
@@ -80,7 +84,11 @@ pub fn extract_keywords(text: &str, k: usize) -> Vec<String> {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.0.cmp(b.0))
     });
-    ranked.into_iter().take(k).map(|(t, _)| t.to_string()).collect()
+    ranked
+        .into_iter()
+        .take(k)
+        .map(|(t, _)| t.to_string())
+        .collect()
 }
 
 #[cfg(test)]

@@ -78,8 +78,13 @@ mod tests {
     fn kt_appends_title_keywords() {
         let mut r = record();
         enrich_chunk(&mut r, Enrichment::KeywordsFromTitle { k: 2 });
-        assert!(r.summary.contains("bonific") || r.summary.contains("ister") || r.summary.contains("istantane"),
-            "summary got: {}", r.summary);
+        assert!(
+            r.summary.contains("bonific")
+                || r.summary.contains("ister")
+                || r.summary.contains("istantane"),
+            "summary got: {}",
+            r.summary
+        );
         assert!(r.keywords.len() > 1);
     }
 
@@ -90,8 +95,10 @@ mod tests {
         // "richiede" and "destinazione" only appear in the content
         // (stems: "richied", "destin").
         let all = r.keywords.join(" ");
-        assert!(all.contains("richied") || all.contains("destin") || all.contains("valut"),
-            "keywords got: {all}");
+        assert!(
+            all.contains("richied") || all.contains("destin") || all.contains("valut"),
+            "keywords got: {all}"
+        );
     }
 
     #[test]

@@ -91,7 +91,8 @@ impl<'a> ExpandedSearch<'a> {
                     }
                     normalize(&mut avg);
                 }
-                self.index.search_with_vector(&concatenated, Some(&avg), config)
+                self.index
+                    .search_with_vector(&concatenated, Some(&avg), config)
             }
         }
     }
@@ -124,9 +125,18 @@ mod tests {
         let embedder = Arc::new(SyntheticEmbedder::new(64, 5));
         let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
         for (i, (t, c)) in [
-            ("Bonifico estero", "istruzioni per il bonifico verso banche estere"),
-            ("Blocco carta", "come bloccare la carta smarrita dal portale"),
-            ("Mutuo giovani", "requisiti del mutuo agevolato per i giovani"),
+            (
+                "Bonifico estero",
+                "istruzioni per il bonifico verso banche estere",
+            ),
+            (
+                "Blocco carta",
+                "come bloccare la carta smarrita dal portale",
+            ),
+            (
+                "Mutuo giovani",
+                "requisiti del mutuo agevolato per i giovani",
+            ),
         ]
         .iter()
         .enumerate()
@@ -172,7 +182,11 @@ mod tests {
         let (idx, llm) = setup();
         let runner = ExpandedSearch::new(&idx, &llm);
         let cfg = HybridConfig::default();
-        let hits = runner.search("bloccare carta smarrita", QueryExpansion::Mq1 { k: 3 }, &cfg);
+        let hits = runner.search(
+            "bloccare carta smarrita",
+            QueryExpansion::Mq1 { k: 3 },
+            &cfg,
+        );
         assert!(!hits.is_empty());
         assert_eq!(hits[0].parent_doc, "kb/1");
     }

@@ -55,7 +55,9 @@ impl Explanation {
         out.push_str(&part("content vector", &self.content_vector));
         out.push_str(&format!(
             "  {:<16} {:.3} × weight {:.2} = {:.5}\n",
-            "semantic", self.semantic_score, self.semantic_weight,
+            "semantic",
+            self.semantic_score,
+            self.semantic_weight,
             self.semantic_score * self.semantic_weight
         ));
         out.push_str(&format!("  {:<16} {:.5}\n", "TOTAL", self.total));
@@ -67,12 +69,7 @@ impl SearchIndex {
     /// Explain how `chunk` scores for `query` under `config`.
     ///
     /// Returns `None` when the chunk id is out of range.
-    pub fn explain(
-        &self,
-        query: &str,
-        chunk: DocId,
-        config: &HybridConfig,
-    ) -> Option<Explanation> {
+    pub fn explain(&self, query: &str, chunk: DocId, config: &HybridConfig) -> Option<Explanation> {
         let meta = self.chunk_meta(chunk)?;
         let contribution = |rank: Option<usize>| RankContribution {
             rank,
@@ -114,10 +111,7 @@ impl SearchIndex {
         let title_vector = contribution(title_rank);
         let content_vector = contribution(content_rank);
         let (semantic_score, semantic_weight) = if config.use_reranker {
-            (
-                self.reranker_score(query, chunk)?,
-                self.reranker_weight(),
-            )
+            (self.reranker_score(query, chunk)?, self.reranker_weight())
         } else {
             (0.0, 0.0)
         };
@@ -181,7 +175,12 @@ mod tests {
         let hits = idx.search("bonifico estero", &config);
         let top = &hits[0];
         let ex = idx.explain("bonifico estero", top.chunk, &config).unwrap();
-        assert!((ex.total - top.score).abs() < 1e-9, "{} vs {}", ex.total, top.score);
+        assert!(
+            (ex.total - top.score).abs() < 1e-9,
+            "{} vs {}",
+            ex.total,
+            top.score
+        );
         assert_eq!(ex.parent_doc, top.parent_doc);
     }
 
@@ -201,14 +200,19 @@ mod tests {
         let idx = index();
         let config = HybridConfig::default();
         let ex = idx.explain("bonifico estero", DocId(1), &config).unwrap();
-        assert_eq!(ex.text.rank, None, "mutuo chunk must not match the text query");
+        assert_eq!(
+            ex.text.rank, None,
+            "mutuo chunk must not match the text query"
+        );
         assert_eq!(ex.text.rrf_score, 0.0);
     }
 
     #[test]
     fn out_of_range_chunk_is_none() {
         let idx = index();
-        assert!(idx.explain("x", DocId(99), &HybridConfig::default()).is_none());
+        assert!(idx
+            .explain("x", DocId(99), &HybridConfig::default())
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Fault-injection surface of the hybrid search path.
+//!
+//! The retrieval pipeline has four stages that can fail independently
+//! in production — the BM25 leg, the two ANN vector legs, and the
+//! semantic reranker. A [`SearchFaultHook`] installed on the index is
+//! consulted once per enabled stage per query; a stage whose probe
+//! fails is skipped and reported in the [`StageMask`], letting the
+//! caller serve degraded (e.g. BM25-only) results instead of an error.
+//!
+//! The hook is a trait so the chaos harness in `uniask-core` can drive
+//! it from a deterministic, seeded fault plan without this crate
+//! depending on the plan's implementation.
+
+use std::fmt;
+
+use crate::hybrid::SearchHit;
+
+/// A named stage of the hybrid retrieval pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchStage {
+    /// The BM25 inverted-index leg.
+    Text,
+    /// The title-embedding ANN leg.
+    TitleVector,
+    /// The content-embedding ANN leg.
+    ContentVector,
+    /// The semantic reranker.
+    Reranker,
+}
+
+impl SearchStage {
+    /// Stable lowercase name (logs, fault reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchStage::Text => "text",
+            SearchStage::TitleVector => "title-vector",
+            SearchStage::ContentVector => "content-vector",
+            SearchStage::Reranker => "reranker",
+        }
+    }
+}
+
+impl fmt::Display for SearchStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A stage probe that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFault {
+    /// The stage that failed.
+    pub stage: SearchStage,
+    /// Human-readable cause (surfaced in logs/tests only).
+    pub reason: String,
+}
+
+impl fmt::Display for StageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stage failed: {}", self.stage, self.reason)
+    }
+}
+
+/// Decides, per query, whether a pipeline stage is currently healthy.
+///
+/// Implementations must be deterministic for a given internal state if
+/// replayed fault plans are to converge (see `tests/chaos.rs` at the
+/// workspace root).
+pub trait SearchFaultHook: Send + Sync {
+    /// Probe `stage` before it runs for `query`. `Err` marks the stage
+    /// as failed for this query; the search proceeds without it.
+    fn before_stage(&self, stage: SearchStage, query: &str) -> Result<(), StageFault>;
+}
+
+/// Which stages failed during one resilient search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMask {
+    /// BM25 leg failed.
+    pub text: bool,
+    /// Title ANN leg failed.
+    pub title_vector: bool,
+    /// Content ANN leg failed.
+    pub content_vector: bool,
+    /// Reranker failed.
+    pub reranker: bool,
+}
+
+impl StageMask {
+    /// Whether any stage failed.
+    pub fn any(self) -> bool {
+        self.text || self.title_vector || self.content_vector || self.reranker
+    }
+
+    /// Whether any vector leg failed.
+    pub fn vector(self) -> bool {
+        self.title_vector || self.content_vector
+    }
+}
+
+/// The outcome of [`crate::hybrid::SearchIndex::search_resilient`]:
+/// hits from the surviving stages plus the mask of failed ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientSearch {
+    /// Hits from the stages that ran. Empty only if every enabled
+    /// retrieval leg failed (the reranker alone cannot empty results).
+    pub hits: Vec<SearchHit>,
+    /// Stages that failed their probe.
+    pub failed: StageMask,
+}
+
+impl ResilientSearch {
+    /// Whether the result came from a reduced pipeline.
+    pub fn is_degraded(&self) -> bool {
+        self.failed.any()
+    }
+}

@@ -20,6 +20,7 @@ use uniask_vector::hnsw::{Hnsw, HnswParams};
 use uniask_vector::VectorIndex;
 
 use crate::cache::{CacheConfig, CacheStats, QueryCache};
+use crate::fault::{ResilientSearch, SearchFaultHook, SearchStage, StageMask};
 use crate::reranker::SemanticReranker;
 use crate::rrf::{rrf_fuse, RrfFused};
 
@@ -174,6 +175,9 @@ pub struct SearchIndex {
     /// computed against an older index state are invalidated instead of
     /// served as ghosts.
     pub(crate) generation: AtomicU64,
+    /// Optional fault hook probed by [`SearchIndex::search_resilient`]
+    /// before each pipeline stage (chaos testing, health checks).
+    pub(crate) fault_hook: Option<Arc<dyn SearchFaultHook>>,
 }
 
 impl std::fmt::Debug for SearchIndex {
@@ -213,7 +217,14 @@ impl SearchIndex {
             tombstones: 0,
             cache: None,
             generation: AtomicU64::new(0),
+            fault_hook: None,
         }
+    }
+
+    /// Install (or replace) the stage fault hook consulted by
+    /// [`SearchIndex::search_resilient`]. `None` removes it.
+    pub fn set_fault_hook(&mut self, hook: Option<Arc<dyn SearchFaultHook>>) {
+        self.fault_hook = hook;
     }
 
     /// Enable the sharded query-result cache (disabled by default).
@@ -403,6 +414,81 @@ impl SearchIndex {
         self.finalize_hits(text_query, fused, config)
     }
 
+    /// Hybrid search that tolerates partial pipeline outages.
+    ///
+    /// Every enabled stage is probed through the installed fault hook
+    /// first. With no hook, or with all probes healthy, this is exactly
+    /// [`SearchIndex::search`] (including the query cache). When probes
+    /// fail, only the surviving legs run and the result carries the
+    /// failure mask — and the query cache is bypassed in *both*
+    /// directions: a degraded ranking must never be served for, or
+    /// stored under, the healthy key.
+    pub fn search_resilient(&self, query: &str, config: &HybridConfig) -> ResilientSearch {
+        let failed = self.probe_stages(query, config);
+        if !failed.any() {
+            return ResilientSearch {
+                hits: self.search(query, config),
+                failed,
+            };
+        }
+        let vector_wanted = config.use_vector && !(failed.title_vector && failed.content_vector);
+        let query_vector = if vector_wanted {
+            Some(self.embedder.embed(query))
+        } else {
+            None
+        };
+        let vector_active = query_vector
+            .as_deref()
+            .is_some_and(|qv| qv.iter().any(|&x| x != 0.0));
+        let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
+        if config.use_text && !failed.text {
+            rankings.push(self.text_leg(query, config));
+        }
+        if vector_active {
+            let qv = query_vector
+                .as_deref()
+                .expect("vector_active implies a query vector");
+            if !failed.title_vector {
+                rankings.push(self.vector_leg(&self.title_vectors, qv, config));
+            }
+            if !failed.content_vector {
+                rankings.push(self.vector_leg(&self.content_vectors, qv, config));
+            }
+        }
+        let fused = rrf_fuse(&rankings, config.rrf_c);
+        let effective = HybridConfig {
+            use_reranker: config.use_reranker && !failed.reranker,
+            ..config.clone()
+        };
+        ResilientSearch {
+            hits: self.finalize_hits(query, fused, &effective),
+            failed,
+        }
+    }
+
+    /// Probe each enabled stage through the fault hook. No hook → all
+    /// healthy. Stages disabled in `config` are not probed (their fault
+    /// counters must not advance for calls that would never run them).
+    fn probe_stages(&self, query: &str, config: &HybridConfig) -> StageMask {
+        let mut failed = StageMask::default();
+        let Some(hook) = &self.fault_hook else {
+            return failed;
+        };
+        if config.use_text {
+            failed.text = hook.before_stage(SearchStage::Text, query).is_err();
+        }
+        if config.use_vector {
+            failed.title_vector = hook.before_stage(SearchStage::TitleVector, query).is_err();
+            failed.content_vector = hook
+                .before_stage(SearchStage::ContentVector, query)
+                .is_err();
+        }
+        if config.use_reranker {
+            failed.reranker = hook.before_stage(SearchStage::Reranker, query).is_err();
+        }
+        failed
+    }
+
     /// The BM25 leg: chunk ids, best first.
     ///
     /// `Searcher::search` runs the top-k pruned MaxScore engine; it is
@@ -410,7 +496,13 @@ impl SearchIndex {
     /// exact ranking the 110-query equivalence suite was pinned on.
     fn text_leg(&self, text_query: &str, config: &HybridConfig) -> Vec<u32> {
         self.searcher
-            .search(&self.inverted, text_query, config.text_n, &config.profile, None)
+            .search(
+                &self.inverted,
+                text_query,
+                config.text_n,
+                &config.profile,
+                None,
+            )
             .unwrap_or_default()
             .into_iter()
             .map(|h| h.doc.0)
@@ -440,8 +532,8 @@ impl SearchIndex {
         query_vector: Option<&[f32]>,
         config: &HybridConfig,
     ) -> Vec<Vec<u32>> {
-        let vector_active = config.use_vector
-            && query_vector.is_some_and(|qv| qv.iter().any(|&x| x != 0.0));
+        let vector_active =
+            config.use_vector && query_vector.is_some_and(|qv| qv.iter().any(|&x| x != 0.0));
         let legs = usize::from(config.use_text) + 2 * usize::from(vector_active);
         let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
         if config.parallel && legs > 1 {
@@ -486,8 +578,8 @@ impl SearchIndex {
         let meta = &self.chunks[fused.id as usize];
         let mut score = fused.score;
         if rerank {
-            score += self.reranker.weight
-                * self.reranker.score(text_query, &meta.title, &meta.content);
+            score +=
+                self.reranker.weight * self.reranker.score(text_query, &meta.title, &meta.content);
         }
         SearchHit {
             chunk: DocId(fused.id),
@@ -686,7 +778,11 @@ mod tests {
         let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
         let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
         idx.add_chunk(&chunk("kb/1", "Bonifico", "il bonifico è descritto qui"));
-        idx.add_chunk(&chunk("kb/1", "Bonifico", "seconda parte della pagina sul bonifico"));
+        idx.add_chunk(&chunk(
+            "kb/1",
+            "Bonifico",
+            "seconda parte della pagina sul bonifico",
+        ));
         idx.add_chunk(&chunk("kb/2", "Altro", "testo senza relazione"));
         let doc_hits = idx.search_documents("bonifico", &HybridConfig::default());
         let parents: Vec<&str> = doc_hits.iter().map(|h| h.parent_doc.as_str()).collect();
@@ -772,7 +868,11 @@ mod removal_tests {
     fn removed_document_disappears_from_results() {
         let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
         let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
-        idx.add_chunk(&record("kb/old", "Bonifico estero", "istruzioni bonifico estero"));
+        idx.add_chunk(&record(
+            "kb/old",
+            "Bonifico estero",
+            "istruzioni bonifico estero",
+        ));
         idx.add_chunk(&record("kb/other", "Mutuo", "istruzioni mutuo"));
         assert_eq!(idx.len(), 2);
         let before = idx.search("bonifico estero", &HybridConfig::default());
@@ -787,9 +887,17 @@ mod removal_tests {
     fn replacing_a_document_serves_new_content() {
         let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
         let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
-        idx.add_chunk(&record("kb/x", "Vecchio titolo", "contenuto originale della pagina"));
+        idx.add_chunk(&record(
+            "kb/x",
+            "Vecchio titolo",
+            "contenuto originale della pagina",
+        ));
         idx.remove_document("kb/x");
-        idx.add_chunk(&record("kb/x", "Nuovo titolo", "contenuto aggiornato della pagina"));
+        idx.add_chunk(&record(
+            "kb/x",
+            "Nuovo titolo",
+            "contenuto aggiornato della pagina",
+        ));
         let hits = idx.search("contenuto aggiornato", &HybridConfig::default());
         assert_eq!(hits[0].title, "Nuovo titolo");
     }
@@ -891,9 +999,7 @@ impl SearchIndex {
                             .into_iter()
                             .filter(|n| {
                                 self.live[n.id as usize]
-                                    && filter
-                                        .matches(&self.inverted, DocId(n.id))
-                                        .unwrap_or(false)
+                                    && filter.matches(&self.inverted, DocId(n.id)).unwrap_or(false)
                             })
                             .take(config.vector_k)
                             .map(|n| n.id)
@@ -974,7 +1080,9 @@ mod search_box_tests {
 impl SearchIndex {
     /// Parent document of `chunk`, if the id is valid.
     pub(crate) fn chunk_meta(&self, chunk: DocId) -> Option<String> {
-        self.chunks.get(chunk.as_usize()).map(|m| m.parent_doc.clone())
+        self.chunks
+            .get(chunk.as_usize())
+            .map(|m| m.parent_doc.clone())
     }
 
     /// The raw text-component ranking (chunk ids, best first).
@@ -1104,7 +1212,10 @@ mod concurrency_tests {
         let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
         let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
         let topics = [
-            ("bonifico", "Il bonifico richiede il codice IBAN del beneficiario"),
+            (
+                "bonifico",
+                "Il bonifico richiede il codice IBAN del beneficiario",
+            ),
             ("mutuo", "Il mutuo prima casa prevede un tasso agevolato"),
             ("carta", "La carta smarrita si blocca dal numero verde"),
             ("conto", "Il conto corrente si apre online con lo SPID"),
@@ -1223,8 +1334,7 @@ mod concurrency_tests {
             parallel: true,
             ..Default::default()
         };
-        let expected: Vec<Vec<SearchHit>> =
-            queries.iter().map(|q| idx.search(q, &cfg)).collect();
+        let expected: Vec<Vec<SearchHit>> = queries.iter().map(|q| idx.search(q, &cfg)).collect();
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let idx = &idx;
@@ -1255,5 +1365,177 @@ mod concurrency_tests {
         assert_eq!(idx.generation(), g1, "no-op removal must not bump");
         assert!(idx.remove_document("kb/x") > 0);
         assert!(idx.generation() > g1);
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    /// Per-stage kill switches, flippable mid-test.
+    #[derive(Debug, Default)]
+    struct ScriptedHook {
+        text: AtomicBool,
+        title: AtomicBool,
+        content: AtomicBool,
+        reranker: AtomicBool,
+    }
+
+    impl SearchFaultHook for ScriptedHook {
+        fn before_stage(&self, stage: SearchStage, _query: &str) -> Result<(), StageFault> {
+            let down = match stage {
+                SearchStage::Text => &self.text,
+                SearchStage::TitleVector => &self.title,
+                SearchStage::ContentVector => &self.content,
+                SearchStage::Reranker => &self.reranker,
+            };
+            if down.load(Ordering::Relaxed) {
+                Err(StageFault {
+                    stage,
+                    reason: "scripted outage".into(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn chunk(parent: &str, title: &str, content: &str) -> ChunkRecord {
+        ChunkRecord {
+            parent_doc: parent.to_string(),
+            ordinal: 0,
+            title: title.to_string(),
+            content: content.to_string(),
+            summary: String::new(),
+            domain: "D".into(),
+            topic: "T".into(),
+            section: "S".into(),
+            keywords: vec![],
+        }
+    }
+
+    fn populated_index() -> SearchIndex {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+        idx.add_chunk(&chunk(
+            "kb/1",
+            "Bonifico estero",
+            "Il bonifico verso paesi esteri richiede il codice BIC della banca beneficiaria.",
+        ));
+        idx.add_chunk(&chunk(
+            "kb/2",
+            "Mutuo prima casa",
+            "Il mutuo prima casa prevede un tasso agevolato per i clienti giovani.",
+        ));
+        idx.add_chunk(&chunk(
+            "kb/3",
+            "Blocco carta",
+            "La carta smarrita si blocca immediatamente dal numero verde.",
+        ));
+        idx
+    }
+
+    #[test]
+    fn healthy_hook_matches_plain_search() {
+        let mut idx = populated_index();
+        let cfg = HybridConfig::default();
+        let plain = idx.search("bonifico estero", &cfg);
+        idx.set_fault_hook(Some(Arc::new(ScriptedHook::default())));
+        let resilient = idx.search_resilient("bonifico estero", &cfg);
+        assert!(!resilient.is_degraded());
+        assert_eq!(resilient.hits, plain);
+    }
+
+    #[test]
+    fn vector_outage_falls_back_to_bm25() {
+        let mut idx = populated_index();
+        let cfg = HybridConfig::default();
+        let bm25_only = idx.search(
+            "mutuo casa",
+            &HybridConfig {
+                use_vector: false,
+                ..cfg.clone()
+            },
+        );
+        let hook = Arc::new(ScriptedHook::default());
+        hook.title.store(true, Ordering::Relaxed);
+        hook.content.store(true, Ordering::Relaxed);
+        idx.set_fault_hook(Some(hook));
+        let degraded = idx.search_resilient("mutuo casa", &cfg);
+        assert!(degraded.failed.vector());
+        assert!(!degraded.failed.text);
+        assert!(!degraded.hits.is_empty(), "BM25 backbone still answers");
+        assert_eq!(
+            degraded.hits, bm25_only,
+            "vector outage degrades to exactly the text-only ranking"
+        );
+    }
+
+    #[test]
+    fn reranker_outage_skips_reranking_only() {
+        let mut idx = populated_index();
+        let cfg = HybridConfig::default();
+        let unreranked = idx.search(
+            "bloccare carta",
+            &HybridConfig {
+                use_reranker: false,
+                ..cfg.clone()
+            },
+        );
+        let hook = Arc::new(ScriptedHook::default());
+        hook.reranker.store(true, Ordering::Relaxed);
+        idx.set_fault_hook(Some(hook));
+        let degraded = idx.search_resilient("bloccare carta", &cfg);
+        assert!(degraded.failed.reranker);
+        assert_eq!(degraded.hits, unreranked);
+    }
+
+    /// The cache-poisoning guard: a degraded (BM25-only) ranking must
+    /// never be stored under — or served for — the healthy hybrid key.
+    #[test]
+    fn degraded_results_bypass_the_query_cache() {
+        let mut idx = populated_index();
+        idx.enable_cache(CacheConfig::default());
+        let cfg = HybridConfig::default();
+        let hook = Arc::new(ScriptedHook::default());
+        idx.set_fault_hook(Some(Arc::clone(&hook) as Arc<dyn SearchFaultHook>));
+
+        // Healthy query populates the cache.
+        let healthy = idx.search_resilient("bonifico estero", &cfg);
+        assert!(!healthy.is_degraded());
+        let after_healthy = idx.cache_stats().unwrap();
+        assert_eq!(after_healthy.misses, 1);
+        assert_eq!(after_healthy.entries, 1);
+
+        // Vector outage: same query, degraded pipeline. The cache must
+        // see no traffic at all — no hit served, nothing stored.
+        hook.title.store(true, Ordering::Relaxed);
+        hook.content.store(true, Ordering::Relaxed);
+        let degraded = idx.search_resilient("bonifico estero", &cfg);
+        assert!(degraded.failed.vector());
+        let after_degraded = idx.cache_stats().unwrap();
+        assert_eq!(
+            after_degraded.hits, 0,
+            "degraded query must not read the cache"
+        );
+        assert_eq!(
+            after_degraded.misses, 1,
+            "degraded query must not count as a miss"
+        );
+        assert_eq!(
+            after_degraded.entries, 1,
+            "degraded result must not be stored"
+        );
+
+        // Back to healthy: the original cached ranking is served intact.
+        hook.title.store(false, Ordering::Relaxed);
+        hook.content.store(false, Ordering::Relaxed);
+        let recovered = idx.search_resilient("bonifico estero", &cfg);
+        assert!(!recovered.is_degraded());
+        assert_eq!(recovered.hits, healthy.hits);
+        assert_eq!(idx.cache_stats().unwrap().hits, 1);
     }
 }

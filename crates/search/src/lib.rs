@@ -10,8 +10,9 @@
 
 pub mod cache;
 pub mod enrichment;
-pub mod explain;
 pub mod expansion;
+pub mod explain;
+pub mod fault;
 pub mod hybrid;
 pub mod persistence;
 pub mod reranker;
@@ -19,8 +20,9 @@ pub mod rrf;
 
 pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use enrichment::{enrich_chunk, Enrichment};
-pub use explain::{Explanation, RankContribution};
 pub use expansion::{ExpandedSearch, QueryExpansion};
+pub use explain::{Explanation, RankContribution};
+pub use fault::{ResilientSearch, SearchFaultHook, SearchStage, StageFault, StageMask};
 pub use hybrid::{ChunkRecord, HybridConfig, IndexStats, SearchHit, SearchIndex};
 pub use persistence::PersistError;
 pub use reranker::SemanticReranker;

@@ -174,7 +174,10 @@ impl SearchIndex {
             let content = get_str(&mut buf)?;
             let summary = get_str(&mut buf)?;
             if is_live {
-                by_parent.entry(parent_doc.clone()).or_default().push(i as u32);
+                by_parent
+                    .entry(parent_doc.clone())
+                    .or_default()
+                    .push(i as u32);
                 store.put(
                     inverted.schema(),
                     DocId(i as u32),
@@ -207,6 +210,7 @@ impl SearchIndex {
             tombstones,
             cache: None,
             generation: std::sync::atomic::AtomicU64::new(0),
+            fault_hook: None,
         })
     }
 }
@@ -237,8 +241,16 @@ mod tests {
 
     fn sample() -> SearchIndex {
         let mut idx = SearchIndex::new(embedder(), SemanticReranker::default());
-        idx.add_chunk(&record("kb/1", "Bonifico estero", "il bonifico estero richiede il bic"));
-        idx.add_chunk(&record("kb/2", "Blocco carta", "la carta si blocca dal numero verde"));
+        idx.add_chunk(&record(
+            "kb/1",
+            "Bonifico estero",
+            "il bonifico estero richiede il bic",
+        ));
+        idx.add_chunk(&record(
+            "kb/2",
+            "Blocco carta",
+            "la carta si blocca dal numero verde",
+        ));
         idx.add_chunk(&record("kb/3", "Mutuo", "requisiti del mutuo agevolato"));
         idx.remove_document("kb/3");
         idx
@@ -268,7 +280,11 @@ mod tests {
         assert!(hits.iter().all(|h| h.parent_doc != "kb/3"));
         // Live updates continue to work.
         restored.remove_document("kb/1");
-        restored.add_chunk(&record("kb/1", "Bonifico nuovo", "istruzioni aggiornate bonifico"));
+        restored.add_chunk(&record(
+            "kb/1",
+            "Bonifico nuovo",
+            "istruzioni aggiornate bonifico",
+        ));
         let hits = restored.search("bonifico", &HybridConfig::default());
         assert_eq!(hits[0].title, "Bonifico nuovo");
     }
@@ -279,9 +295,12 @@ mod tests {
         let mut bad = snapshot.to_vec();
         bad[40] ^= 0xFF;
         assert!(SearchIndex::load(&bad, embedder(), SemanticReranker::default()).is_err());
-        assert!(SearchIndex::load(&snapshot[..30], embedder(), SemanticReranker::default()).is_err());
+        assert!(
+            SearchIndex::load(&snapshot[..30], embedder(), SemanticReranker::default()).is_err()
+        );
         assert_eq!(
-            SearchIndex::load(b"xxxx\x01\x00", embedder(), SemanticReranker::default()).unwrap_err(),
+            SearchIndex::load(b"xxxx\x01\x00", embedder(), SemanticReranker::default())
+                .unwrap_err(),
             PersistError::BadMagic
         );
     }

@@ -26,7 +26,9 @@ pub struct SemanticReranker {
 
 impl std::fmt::Debug for SemanticReranker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SemanticReranker").field("weight", &self.weight).finish()
+        f.debug_struct("SemanticReranker")
+            .field("weight", &self.weight)
+            .finish()
     }
 }
 
@@ -83,14 +85,21 @@ mod tests {
     #[test]
     fn full_coverage_scores_one() {
         let r = SemanticReranker::default();
-        let s = r.score("bonifico estero", "Bonifico estero", "come eseguire il bonifico estero");
+        let s = r.score(
+            "bonifico estero",
+            "Bonifico estero",
+            "come eseguire il bonifico estero",
+        );
         assert!((s - 1.0).abs() < 1e-9, "got {s}");
     }
 
     #[test]
     fn no_coverage_scores_zero() {
         let r = SemanticReranker::default();
-        assert_eq!(r.score("mutuo casa", "Stampanti", "configurazione periferiche"), 0.0);
+        assert_eq!(
+            r.score("mutuo casa", "Stampanti", "configurazione periferiche"),
+            0.0
+        );
     }
 
     #[test]
@@ -104,7 +113,11 @@ mod tests {
     #[test]
     fn partial_coverage_is_fractional() {
         let r = SemanticReranker::default();
-        let s = r.score("bonifico estero urgente", "Bonifico", "bonifico verso estero");
+        let s = r.score(
+            "bonifico estero urgente",
+            "Bonifico",
+            "bonifico verso estero",
+        );
         assert!(s > 0.3 && s < 1.0, "got {s}");
     }
 
@@ -120,7 +133,11 @@ mod tests {
         struct Syn;
         impl TermNormalizer for Syn {
             fn normalize(&self, term: &str) -> String {
-                if term == "massimal" { "limit".into() } else { term.into() }
+                if term == "massimal" {
+                    "limit".into()
+                } else {
+                    term.into()
+                }
             }
         }
         let plain = SemanticReranker::default();

@@ -15,14 +15,14 @@ use crate::tokenizer::tokenize;
 pub const ENGLISH_STOPWORDS: &[&str] = &[
     "a", "about", "after", "all", "also", "am", "an", "and", "any", "are", "as", "at", "be",
     "because", "been", "before", "being", "between", "both", "but", "by", "can", "could", "did",
-    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had",
-    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
-    "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor", "not", "now",
-    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own", "s",
-    "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their", "theirs",
-    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
-    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
-    "whom", "why", "will", "with", "would", "you", "your", "yours",
+    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had", "has",
+    "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into",
+    "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor", "not", "now", "of", "off",
+    "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own", "s", "same", "she",
+    "should", "so", "some", "such", "t", "than", "that", "the", "their", "theirs", "them", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why",
+    "will", "with", "would", "you", "your", "yours",
 ];
 
 /// Whether `word` (already lower-cased) is an English stop word.
@@ -75,7 +75,11 @@ pub fn english_stem(word: &str) -> String {
         }
         if let Some(stem) = w.strip_suffix("es") {
             // -ches, -shes, -xes, -sses drop "es"; otherwise drop "s".
-            if stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('x') || stem.ends_with("ss") {
+            if stem.ends_with("ch")
+                || stem.ends_with("sh")
+                || stem.ends_with('x')
+                || stem.ends_with("ss")
+            {
                 return stem.to_string();
             }
             return format!("{stem}e");

@@ -9,10 +9,7 @@ pub fn word_ngrams(terms: &[String], n: usize) -> Vec<String> {
     if n == 0 || terms.len() < n {
         return Vec::new();
     }
-    terms
-        .windows(n)
-        .map(|w| w.join(" "))
-        .collect()
+    terms.windows(n).map(|w| w.join(" ")).collect()
 }
 
 /// Character `n`-grams of a single word, including it unchanged when it
@@ -64,7 +61,10 @@ mod tests {
 
     #[test]
     fn char_ngrams_respect_unicode() {
-        assert_eq!(char_ngrams("però", 3), vec!["per".to_string(), "erò".to_string()]);
+        assert_eq!(
+            char_ngrams("però", 3),
+            vec!["per".to_string(), "erò".to_string()]
+        );
     }
 
     #[test]

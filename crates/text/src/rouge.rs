@@ -90,8 +90,14 @@ pub fn rouge_l_tokens<T: PartialEq>(candidate: &[T], reference: &[T]) -> RougeSc
 /// assert!(s.recall < 1.0);                    // reference says more
 /// ```
 pub fn rouge_l(candidate: &str, reference: &str) -> RougeScore {
-    let c: Vec<String> = token_texts(candidate).iter().map(|t| t.to_lowercase()).collect();
-    let r: Vec<String> = token_texts(reference).iter().map(|t| t.to_lowercase()).collect();
+    let c: Vec<String> = token_texts(candidate)
+        .iter()
+        .map(|t| t.to_lowercase())
+        .collect();
+    let r: Vec<String> = token_texts(reference)
+        .iter()
+        .map(|t| t.to_lowercase())
+        .collect();
     rouge_l_tokens(&c, &r)
 }
 
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn identical_texts_score_one() {
-        let s = rouge_l("il bonifico è stato eseguito", "il bonifico è stato eseguito");
+        let s = rouge_l(
+            "il bonifico è stato eseguito",
+            "il bonifico è stato eseguito",
+        );
         assert!((s.precision - 1.0).abs() < 1e-12);
         assert!((s.recall - 1.0).abs() < 1e-12);
         assert!((s.f_measure - 1.0).abs() < 1e-12);

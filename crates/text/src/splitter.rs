@@ -177,7 +177,10 @@ mod tests {
     use crate::html::parse_html;
 
     fn words(n: usize, tag: &str) -> String {
-        (0..n).map(|i| format!("{tag}{i}")).collect::<Vec<_>>().join(" ")
+        (0..n)
+            .map(|i| format!("{tag}{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     #[test]
@@ -199,7 +202,12 @@ mod tests {
     #[test]
     fn long_text_is_split_within_budget() {
         let s = RecursiveCharacterTextSplitter::new(50);
-        let text = format!("{}\n\n{}\n\n{}", words(60, "a"), words(60, "b"), words(60, "c"));
+        let text = format!(
+            "{}\n\n{}\n\n{}",
+            words(60, "a"),
+            words(60, "b"),
+            words(60, "c")
+        );
         let chunks = s.split(&text);
         assert!(chunks.len() >= 3);
         for c in &chunks {
@@ -216,7 +224,11 @@ mod tests {
         let s = RecursiveCharacterTextSplitter::new(40);
         let text = format!("{}. {}. {}", words(30, "x"), words(30, "y"), words(30, "z"));
         let chunks = s.split(&text);
-        let rejoined: String = chunks.iter().map(|c| c.text.clone()).collect::<Vec<_>>().join(" ");
+        let rejoined: String = chunks
+            .iter()
+            .map(|c| c.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
         for i in 0..30 {
             for t in ["x", "y", "z"] {
                 assert!(rejoined.contains(&format!("{t}{i}")), "lost word {t}{i}");
@@ -226,11 +238,7 @@ mod tests {
 
     #[test]
     fn html_splitter_respects_paragraph_boundaries() {
-        let html = format!(
-            "<p>{}</p><p>{}</p>",
-            words(40, "p"),
-            words(40, "q")
-        );
+        let html = format!("<p>{}</p><p>{}</p>", words(40, "p"), words(40, "q"));
         let doc = parse_html(&html);
         let s = HtmlParagraphSplitter::new(45);
         let chunks = s.split_document(&doc);

@@ -121,7 +121,13 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_samples() {
-        for w in ["bonifico", "autorizzazione", "banche", "operativo", "filiale"] {
+        for w in [
+            "bonifico",
+            "autorizzazione",
+            "banche",
+            "operativo",
+            "filiale",
+        ] {
             let once = italian_stem(w);
             let twice = italian_stem(&once);
             assert_eq!(once, twice, "stem of {w} not idempotent");

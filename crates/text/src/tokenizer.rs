@@ -135,12 +135,18 @@ mod tests {
 
     #[test]
     fn apostrophe_separates_elision() {
-        assert_eq!(token_texts("l'estratto conto"), vec!["l", "estratto", "conto"]);
+        assert_eq!(
+            token_texts("l'estratto conto"),
+            vec!["l", "estratto", "conto"]
+        );
     }
 
     #[test]
     fn keeps_error_codes_intact() {
-        assert_eq!(token_texts("errore E4521 su ABI-05034"), vec!["errore", "E4521", "su", "ABI", "05034"]);
+        assert_eq!(
+            token_texts("errore E4521 su ABI-05034"),
+            vec!["errore", "E4521", "su", "ABI", "05034"]
+        );
     }
 
     #[test]
@@ -162,7 +168,10 @@ mod tests {
     #[test]
     fn sentences_split_on_terminators() {
         let s = split_sentences("Prima frase. Seconda frase! Terza; quarta\nquinta");
-        assert_eq!(s, vec!["Prima frase", "Seconda frase", "Terza", "quarta", "quinta"]);
+        assert_eq!(
+            s,
+            vec!["Prima frase", "Seconda frase", "Terza", "quarta", "quinta"]
+        );
     }
 
     #[test]

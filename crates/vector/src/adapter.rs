@@ -209,10 +209,7 @@ mod tests {
             .collect();
         let adapter = AdapterTrainer::default().train(4, &triples);
         let w = adapter.weights();
-        assert!(
-            w[0] > w[1],
-            "signal dimension must be up-weighted: {w:?}"
-        );
+        assert!(w[0] > w[1], "signal dimension must be up-weighted: {w:?}");
         // After adaptation the query is closer to the positive.
         let q = adapter.apply(&triples[0].query);
         let p = adapter.apply(&triples[0].positive);

@@ -21,8 +21,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
             acc[lane] += ca[lane] * cb[lane];
         }
     }
-    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3]))
-        + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for (x, y) in a_rem.iter().zip(b_rem) {
         sum += x * y;
     }

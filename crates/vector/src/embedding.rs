@@ -101,8 +101,7 @@ impl SyntheticEmbedder {
         for _ in 0..self.dim {
             // Sum of three uniforms ≈ Gaussian (Irwin–Hall), cheap and
             // deterministic without extra dependencies.
-            let g: f32 =
-                rng.gen::<f32>() + rng.gen::<f32>() + rng.gen::<f32>() - 1.5;
+            let g: f32 = rng.gen::<f32>() + rng.gen::<f32>() + rng.gen::<f32>() - 1.5;
             v.push(g);
         }
         normalize(&mut v);
@@ -239,7 +238,11 @@ mod tests {
             fn normalize(&self, term: &str) -> String {
                 // Toy synonym table: "assegno" and "cheque" same concept.
                 // Terms arrive already stemmed by the Italian chain.
-                if term == "chequ" { "assegn".to_string() } else { term.to_string() }
+                if term == "chequ" {
+                    "assegn".to_string()
+                } else {
+                    term.to_string()
+                }
             }
         }
         let plain = SyntheticEmbedder::new(128, 7);
@@ -248,8 +251,14 @@ mod tests {
         let b = syn.embed("incasso assegno circolare");
         let pa = plain.embed("incasso cheque circolare");
         let pb = plain.embed("incasso assegno circolare");
-        assert!(cosine_similarity(&a, &b) > 0.99, "synonyms collapse with normalizer");
-        assert!(cosine_similarity(&pa, &pb) < 0.9, "without normalizer they differ");
+        assert!(
+            cosine_similarity(&a, &b) > 0.99,
+            "synonyms collapse with normalizer"
+        );
+        assert!(
+            cosine_similarity(&pa, &pb) < 0.9,
+            "without normalizer they differ"
+        );
     }
 
     #[test]

@@ -216,9 +216,9 @@ impl Hnsw {
                 break;
             }
             let cand_vec = &self.nodes[cand.node as usize].vector;
-            let dominated = selected.iter().any(|&sel| {
-                dot(&self.nodes[sel as usize].vector, cand_vec) > cand.sim
-            });
+            let dominated = selected
+                .iter()
+                .any(|&sel| dot(&self.nodes[sel as usize].vector, cand_vec) > cand.sim);
             if !dominated {
                 selected.push(cand.node);
             }
@@ -307,10 +307,7 @@ impl VectorIndex for Hnsw {
                 ep = b.node;
             }
             let selected = self.select(
-                cands
-                    .into_iter()
-                    .filter(|c| c.node != internal)
-                    .collect(),
+                cands.into_iter().filter(|c| c.node != internal).collect(),
                 self.params.m,
             );
             for &nb in &selected {
@@ -490,7 +487,11 @@ mod tests {
         for node in &hnsw.nodes {
             for (l, nbs) in node.neighbors.iter().enumerate() {
                 let bound = if l == 0 { 8 } else { 4 };
-                assert!(nbs.len() <= bound, "layer {l} degree {} > {bound}", nbs.len());
+                assert!(
+                    nbs.len() <= bound,
+                    "layer {l} degree {} > {bound}",
+                    nbs.len()
+                );
             }
         }
     }
@@ -605,7 +606,11 @@ mod heuristic_tests {
         let q = &vectors[3];
         assert_eq!(
             h.search(q, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
-            restored.search(q, 5).iter().map(|n| n.id).collect::<Vec<_>>()
+            restored
+                .search(q, 5)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -38,6 +38,9 @@ fn main() {
                     .any(|d| q.relevant.contains(&d.parent_doc));
                 (format!("A: {text}"), hit, if hit { 5 } else { 2 })
             }
+            GenerationOutcome::Fallback { text, .. } => {
+                (format!("A: (servizio ridotto) {text}"), false, 3)
+            }
             GenerationOutcome::GuardrailBlocked { message, .. } => {
                 (format!("A: {message}"), false, 2)
             }

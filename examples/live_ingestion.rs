@@ -27,7 +27,10 @@ fn main() {
     // --- poll 1: the initial crawl picks up the whole KB. ---
     let mut source = kb.documents.clone();
     let changes = ingestion.poll(&source, &queue, clock.now());
-    println!("poll @ t={:>6.0}s: {changes} change(s) detected", clock.now());
+    println!(
+        "poll @ t={:>6.0}s: {changes} change(s) detected",
+        clock.now()
+    );
 
     // The indexing service consumes from the queue on its own thread;
     // messages are shipped to the application thread for the index
@@ -51,7 +54,8 @@ fn main() {
 
     // --- an editor updates one page and publishes a new one. ---
     let queue: MessageQueue<IngestMessage> = MessageQueue::new(1024);
-    source[0].html = "<h1>Pagina aggiornata</h1><p>Il nuovo massimale zkqv è di 9.999 euro.</p>".into();
+    source[0].html =
+        "<h1>Pagina aggiornata</h1><p>Il nuovo massimale zkqv è di 9.999 euro.</p>".into();
     source[0].last_modified += 3600;
     let mut fresh = source[1].clone();
     fresh.id = "kb/nuova/pagina".into();
@@ -62,13 +66,19 @@ fn main() {
     // Too early: the cron has not fired yet.
     clock.advance(300.0);
     assert!(!ingestion.poll_due(clock.now()));
-    println!("t={:>6.0}s: cron not due yet (15-minute cadence)", clock.now());
+    println!(
+        "t={:>6.0}s: cron not due yet (15-minute cadence)",
+        clock.now()
+    );
 
     // --- poll 2, after the 15-minute cadence. ---
     clock.advance(POLL_INTERVAL_SECS);
     assert!(ingestion.poll_due(clock.now()));
     let changes = ingestion.poll(&source, &queue, clock.now());
-    println!("poll @ t={:>6.0}s: {changes} change(s) detected", clock.now());
+    println!(
+        "poll @ t={:>6.0}s: {changes} change(s) detected",
+        clock.now()
+    );
     while let Some(message) = queue.try_receive() {
         app.apply_update(message);
     }

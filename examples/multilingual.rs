@@ -17,9 +17,18 @@ fn main() {
     let mut index =
         InvertedIndex::with_analyzer(Schema::uniask_chunk_schema(), Language::English.analyzer());
     let pages = [
-        ("Wire transfer limits", "The daily limit for international wire transfers is 5,000 euro."),
-        ("Blocking a lost card", "A lost or stolen card must be blocked immediately from the portal."),
-        ("Mortgage requirements", "First-home mortgages require proof of income and a signed application."),
+        (
+            "Wire transfer limits",
+            "The daily limit for international wire transfers is 5,000 euro.",
+        ),
+        (
+            "Blocking a lost card",
+            "A lost or stolen card must be blocked immediately from the portal.",
+        ),
+        (
+            "Mortgage requirements",
+            "First-home mortgages require proof of income and a signed application.",
+        ),
     ];
     for (title, content) in pages {
         index
@@ -42,7 +51,11 @@ fn main() {
             .expect("search ok");
         println!("Q: {query}");
         match hits.first() {
-            Some(hit) => println!("→ {} (score {:.3})\n", pages[hit.doc.as_usize()].0, hit.score),
+            Some(hit) => println!(
+                "→ {} (score {:.3})\n",
+                pages[hit.doc.as_usize()].0,
+                hit.score
+            ),
             None => println!("→ (no match)\n"),
         }
     }

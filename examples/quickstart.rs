@@ -31,6 +31,9 @@ fn main() {
             println!("A: {text}");
             println!("   (cites context chunk(s) {citations:?})");
         }
+        GenerationOutcome::Fallback { text, .. } => {
+            println!("A: [servizio ridotto] {text}");
+        }
         GenerationOutcome::GuardrailBlocked { kind, message } => {
             println!("A: [guardrail: {kind}] {message}");
         }

@@ -4,8 +4,7 @@
 #   ./scripts/tier1.sh
 #
 # Builds the workspace in release mode, runs the full test suite, and
-# lints the crates touched by the concurrency work with clippy at
-# -D warnings.
+# lints the whole workspace with clippy at -D warnings.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,8 +18,7 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
-echo "==> cargo clippy -D warnings (search, index, vector, core, bench)"
-cargo clippy -p uniask-search -p uniask-index -p uniask-vector -p uniask-core -p uniask-bench \
-    --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"

@@ -30,8 +30,12 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn main() {
-    let docs: usize = arg_value("--docs").and_then(|v| v.parse().ok()).unwrap_or(300);
-    let seed: u64 = arg_value("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let docs: usize = arg_value("--docs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
     let scale = CorpusScale {
         documents: docs,
         human_questions: 1,
@@ -94,8 +98,12 @@ fn main() {
                 let s = app.index().stats();
                 println!(
                     "chunks: {} live / {} tombstoned | documents: {} | vectors: {}+{} ({}d)",
-                    s.live_chunks, s.tombstones, s.documents,
-                    s.title_vectors, s.content_vectors, s.embedding_dim
+                    s.live_chunks,
+                    s.tombstones,
+                    s.documents,
+                    s.title_vectors,
+                    s.content_vectors,
+                    s.embedding_dim
                 );
             }
             _ if line.starts_with(":explain") => match &last_response {
@@ -142,6 +150,9 @@ fn main() {
                 let response = app.ask(question);
                 match &response.generation {
                     GenerationOutcome::Answer { text, .. } => println!("{text}"),
+                    GenerationOutcome::Fallback { text, .. } => {
+                        println!("[servizio ridotto] {text}")
+                    }
                     GenerationOutcome::GuardrailBlocked { kind, message } => {
                         println!("[{kind}] {message}")
                     }

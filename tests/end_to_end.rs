@@ -84,8 +84,14 @@ fn evaluation_pipeline_produces_consistent_metrics() {
     assert!(metrics.hit_at[&4] <= metrics.hit_at[&50]);
     assert!(metrics.r_at[&1] <= metrics.r_at[&4]);
     assert!(metrics.r_at[&4] <= metrics.r_at[&50]);
-    assert!(metrics.p_at[&1] >= metrics.p_at[&50], "precision decays with depth");
-    assert!(metrics.mrr >= metrics.hit_at[&1] * 0.99, "MRR ≥ hit@1 by definition");
+    assert!(
+        metrics.p_at[&1] >= metrics.p_at[&50],
+        "precision decays with depth"
+    );
+    assert!(
+        metrics.mrr >= metrics.hit_at[&1] * 0.99,
+        "MRR ≥ hit@1 by definition"
+    );
     assert!(metrics.mrr > 0.4, "retrieval quality floor");
 }
 
@@ -97,7 +103,8 @@ fn live_update_round_trip() {
 
     // Update an existing page through the ingestion message path.
     let mut page = kb.documents[3].clone();
-    page.html = "<h1>Titolo nuovo</h1><p>Il codice wxyzq sostituisce la vecchia procedura.</p>".into();
+    page.html =
+        "<h1>Titolo nuovo</h1><p>Il codice wxyzq sostituisce la vecchia procedura.</p>".into();
     page.last_modified += 1;
     app.apply_update(IngestMessage::Upsert(page.clone()));
     let hits = app.search("wxyzq");
@@ -132,9 +139,21 @@ fn uat_special_cases_are_casing_invariant() {
     app.ingest(&kb);
     let ds = QuestionGenerator::new(&kb, &vocab, 63).human_dataset(10);
     for q in &ds.queries {
-        let lower: Vec<String> = app.search(&q.text.to_lowercase()).into_iter().map(|h| h.parent_doc).collect();
-        let upper: Vec<String> = app.search(&q.text.to_uppercase()).into_iter().map(|h| h.parent_doc).collect();
-        assert_eq!(lower, upper, "casing must not change retrieval for {}", q.text);
+        let lower: Vec<String> = app
+            .search(&q.text.to_lowercase())
+            .into_iter()
+            .map(|h| h.parent_doc)
+            .collect();
+        let upper: Vec<String> = app
+            .search(&q.text.to_uppercase())
+            .into_iter()
+            .map(|h| h.parent_doc)
+            .collect();
+        assert_eq!(
+            lower, upper,
+            "casing must not change retrieval for {}",
+            q.text
+        );
     }
 }
 

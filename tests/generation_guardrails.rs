@@ -34,7 +34,10 @@ fn most_questions_get_proper_cited_answers() {
         let response = app.ask(&q.text);
         if let GenerationOutcome::Answer { text, citations } = &response.generation {
             delivered += 1;
-            assert!(!citations.is_empty(), "delivered answers always carry citations");
+            assert!(
+                !citations.is_empty(),
+                "delivered answers always carry citations"
+            );
             assert_eq!(*citations, extract_citations(text));
             // Citations resolve to supplied context keys.
             for c in citations {
@@ -63,7 +66,11 @@ fn answers_quote_the_retrieved_context() {
                 .iter()
                 .map(|c| uniask::text::rouge::rouge_l(text, &c.content).f_measure)
                 .fold(0.0, f64::max);
-            assert!(best >= 0.10, "answer drifted from context: {best} for {}", q.text);
+            assert!(
+                best >= 0.10,
+                "answer drifted from context: {best} for {}",
+                q.text
+            );
         }
     }
 }

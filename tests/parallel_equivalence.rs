@@ -34,12 +34,7 @@ fn queries() -> Vec<String> {
         .into_iter()
         .map(|q| q.text)
         .collect();
-    queries.extend(
-        gen.keyword_dataset(40)
-            .queries
-            .into_iter()
-            .map(|q| q.text),
-    );
+    queries.extend(gen.keyword_dataset(40).queries.into_iter().map(|q| q.text));
     assert!(queries.len() >= 100, "equivalence needs 100+ queries");
     queries
 }

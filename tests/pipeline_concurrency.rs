@@ -100,5 +100,9 @@ fn searches_are_stable_while_monitoring_mutates() {
     for h in handles {
         assert!(h.join().expect("reader"));
     }
-    assert_eq!(app.search("limite bonifico"), baseline, "search is a pure read");
+    assert_eq!(
+        app.search("limite bonifico"),
+        baseline,
+        "search is a pure read"
+    );
 }

@@ -149,8 +149,18 @@ fn both_components_lose_to_hybrid_on_human_questions() {
     let hss = run_config(&qs, &HybridConfig::default());
     let text = run_config(&qs, &HybridConfig::text_only());
     let vector = run_config(&qs, &HybridConfig::vector_only());
-    assert!(text.mrr < hss.mrr, "text-only must lose: {} vs {}", text.mrr, hss.mrr);
-    assert!(vector.mrr < hss.mrr, "vector-only must lose: {} vs {}", vector.mrr, hss.mrr);
+    assert!(
+        text.mrr < hss.mrr,
+        "text-only must lose: {} vs {}",
+        text.mrr,
+        hss.mrr
+    );
+    assert!(
+        vector.mrr < hss.mrr,
+        "vector-only must lose: {} vs {}",
+        vector.mrr,
+        hss.mrr
+    );
     // Paper: the loss is larger for text search on the human dataset.
     assert!(
         text.mrr < vector.mrr,
