@@ -1,0 +1,104 @@
+//! Cold-start benchmarks for the durability layer: restoring retrieval
+//! state from the latest checkpoint plus a WAL-tail replay versus
+//! re-ingesting the whole corpus from scratch — the number that
+//! justifies checkpointing at all (the paper's KB is ~60 k pages; we
+//! measure the same shape at 1k and 10k documents).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use uniask_core::app::UniAsk;
+use uniask_core::config::UniAskConfig;
+use uniask_core::durability::{Durability, DurabilityConfig};
+use uniask_core::ingestion::IngestMessage;
+use uniask_corpus::generator::CorpusGenerator;
+use uniask_corpus::kb::KnowledgeBase;
+use uniask_corpus::scale::CorpusScale;
+use uniask_store::vfs::MemVfs;
+
+/// Messages left in the WAL tail past the last checkpoint.
+const WAL_TAIL: usize = 50;
+
+/// Manual checkpointing only: the automatic cadence would serialize
+/// the full index ~150 times while populating the 10k store.
+fn durability_config() -> DurabilityConfig {
+    DurabilityConfig {
+        checkpoint_every: 0,
+        ..DurabilityConfig::default()
+    }
+}
+
+fn kb(n: usize) -> KnowledgeBase {
+    CorpusGenerator::new(
+        CorpusScale {
+            documents: n,
+            human_questions: 1,
+            keyword_queries: 1,
+            embedding_dim: 64,
+        },
+        23,
+    )
+    .generate()
+}
+
+fn config() -> UniAskConfig {
+    UniAskConfig {
+        embedding_dim: 64,
+        ..Default::default()
+    }
+}
+
+/// Build a durable store holding `n` documents: everything up to the
+/// last `WAL_TAIL` messages is captured by a checkpoint, the rest
+/// lives only in the log — the steady-state shape of a deployment
+/// that checkpoints periodically.
+fn populated_store(n: usize) -> Arc<MemVfs> {
+    let vfs = Arc::new(MemVfs::new());
+    let (mut app, mut durability, _) =
+        Durability::recover(config(), Arc::clone(&vfs), durability_config()).expect("blank store");
+    let corpus = kb(n);
+    let cut = corpus.documents.len().saturating_sub(WAL_TAIL);
+    for doc in &corpus.documents[..cut] {
+        durability
+            .log_and_apply(&mut app, IngestMessage::Upsert(doc.clone()))
+            .expect("no faults armed");
+    }
+    durability.checkpoint(&mut app).expect("checkpoint");
+    for doc in &corpus.documents[cut..] {
+        durability
+            .log_and_apply(&mut app, IngestMessage::Upsert(doc.clone()))
+            .expect("no faults armed");
+    }
+    vfs
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    for n in [1_000usize, 10_000] {
+        let vfs = populated_store(n);
+        let corpus = kb(n);
+        let mut group = c.benchmark_group(format!("cold_start_{n}_docs"));
+        group.sample_size(10);
+        group.bench_function("checkpoint_plus_wal_tail", |b| {
+            b.iter(|| {
+                let (app, _, report) =
+                    Durability::recover(config(), Arc::clone(&vfs), durability_config())
+                        .expect("clean store");
+                assert!(report.wal_records_replayed as usize >= WAL_TAIL.min(n));
+                black_box(app.index().len())
+            })
+        });
+        group.bench_function("full_reingest", |b| {
+            b.iter_batched(
+                || UniAsk::new(config()),
+                |mut app| {
+                    app.ingest(&corpus);
+                    black_box(app.index().len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -16,8 +16,43 @@ use uniask_search::hybrid::{ChunkRecord, SearchIndex};
 use uniask_text::html::parse_html;
 use uniask_text::splitter::HtmlParagraphSplitter;
 
+use std::collections::HashMap;
+
 use crate::ingestion::IngestMessage;
+use crate::monitoring::Monitoring;
 use crate::queue::MessageQueue;
+
+/// Why an ingest message could not be applied to the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The message carries an empty document id.
+    EmptyDocId,
+    /// The upserted page produced no indexable chunks (empty or
+    /// unparsable body).
+    NoChunks(String),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::EmptyDocId => write!(f, "ingest message has an empty document id"),
+            ApplyError::NoChunks(id) => write!(f, "document {id:?} produced no chunks"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// A poison message quarantined after exhausting its attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The offending message.
+    pub message: IngestMessage,
+    /// Delivery attempts consumed before quarantine.
+    pub attempts: usize,
+    /// The last apply failure.
+    pub reason: ApplyError,
+}
 
 /// The indexing service: consumes ingest messages, feeds the index.
 #[derive(Debug)]
@@ -30,6 +65,8 @@ pub struct IndexingService {
     pub chunks_indexed: usize,
     /// Documents removed/replaced since start.
     pub documents_removed: usize,
+    /// Poison messages quarantined by the dead-letter drain.
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 impl IndexingService {
@@ -42,6 +79,7 @@ impl IndexingService {
             keywords_per_doc: 6,
             chunks_indexed: 0,
             documents_removed: 0,
+            dead_letters: Vec::new(),
         }
     }
 
@@ -76,25 +114,50 @@ impl IndexingService {
             .collect()
     }
 
-    /// Apply one ingest message to the index.
-    pub fn apply(&mut self, index: &mut SearchIndex, message: IngestMessage) {
+    /// Apply one ingest message to the index, validating it first.
+    /// The index is untouched when `Err` is returned.
+    pub fn try_apply(
+        &mut self,
+        index: &mut SearchIndex,
+        message: IngestMessage,
+    ) -> Result<(), ApplyError> {
         match message {
             IngestMessage::Upsert(doc) => {
+                if doc.id.is_empty() {
+                    return Err(ApplyError::EmptyDocId);
+                }
+                let records = self.chunk_document(&doc);
+                if records.is_empty() {
+                    return Err(ApplyError::NoChunks(doc.id));
+                }
                 let removed = index.remove_document(&doc.id);
                 if removed > 0 {
                     self.documents_removed += 1;
                 }
-                for record in self.chunk_document(&doc) {
+                for record in records {
                     index.add_chunk(&record);
                     self.chunks_indexed += 1;
                 }
             }
             IngestMessage::Delete(id) => {
+                if id.is_empty() {
+                    return Err(ApplyError::EmptyDocId);
+                }
+                // Deleting an absent document is idempotent, not poison.
                 if index.remove_document(&id) > 0 {
                     self.documents_removed += 1;
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Apply one ingest message to the index, silently dropping
+    /// messages that fail validation (the historical behaviour; use
+    /// [`IndexingService::drain_with_dead_letter`] to quarantine them
+    /// instead).
+    pub fn apply(&mut self, index: &mut SearchIndex, message: IngestMessage) {
+        let _ = self.try_apply(index, message);
     }
 
     /// Drain every message currently in the queue into the index.
@@ -106,6 +169,52 @@ impl IndexingService {
             processed += 1;
         }
         processed
+    }
+
+    /// Drain the queue with poison-message quarantine. A message that
+    /// fails [`IndexingService::try_apply`] is requeued (at the tail)
+    /// and retried on subsequent deliveries; after `max_attempts`
+    /// failures it is moved to [`IndexingService::dead_letters`] and
+    /// counted on the monitoring dashboard instead of poisoning the
+    /// pipeline forever. Returns the number of messages applied.
+    pub fn drain_with_dead_letter(
+        &mut self,
+        index: &mut SearchIndex,
+        queue: &MessageQueue<IngestMessage>,
+        max_attempts: usize,
+        monitoring: &Monitoring,
+    ) -> usize {
+        let max_attempts = max_attempts.max(1);
+        let mut attempts: HashMap<String, usize> = HashMap::new();
+        let mut applied = 0;
+        while let Some(message) = queue.try_receive() {
+            let key = match &message {
+                IngestMessage::Upsert(doc) => format!("U:{}", doc.id),
+                IngestMessage::Delete(id) => format!("D:{id}"),
+            };
+            match self.try_apply(index, message.clone()) {
+                Ok(()) => {
+                    applied += 1;
+                    attempts.remove(&key);
+                }
+                Err(reason) => {
+                    let count = attempts.entry(key).or_insert(0);
+                    *count += 1;
+                    if *count >= max_attempts || queue.post(message.clone()).is_err() {
+                        // Exhausted its attempts — or the queue is too
+                        // full to requeue: quarantine immediately
+                        // rather than drop silently.
+                        self.dead_letters.push(DeadLetter {
+                            message,
+                            attempts: *count,
+                            reason,
+                        });
+                        monitoring.record_dead_letter();
+                    }
+                }
+            }
+        }
+        applied
     }
 
     /// Like [`IndexingService::drain`], but chunking and embedding of
@@ -217,6 +326,60 @@ mod tests {
         svc.apply(&mut idx, IngestMessage::Upsert(doc.clone()));
         svc.apply(&mut idx, IngestMessage::Delete(doc.id.clone()));
         assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn try_apply_rejects_poison_without_touching_the_index() {
+        let mut svc = service();
+        let mut idx = index();
+        let doc = sample_doc();
+        svc.try_apply(&mut idx, IngestMessage::Upsert(doc.clone()))
+            .unwrap();
+        let before = idx.len();
+        assert_eq!(
+            svc.try_apply(&mut idx, IngestMessage::Delete(String::new())),
+            Err(ApplyError::EmptyDocId)
+        );
+        let mut empty = doc.clone();
+        empty.id = String::new();
+        assert_eq!(
+            svc.try_apply(&mut idx, IngestMessage::Upsert(empty)),
+            Err(ApplyError::EmptyDocId)
+        );
+        let mut blank = doc;
+        blank.id = "kb/blank/1".into();
+        blank.html = String::new();
+        assert!(matches!(
+            svc.try_apply(&mut idx, IngestMessage::Upsert(blank)),
+            Err(ApplyError::NoChunks(_))
+        ));
+        assert_eq!(idx.len(), before, "failed applies must not mutate");
+    }
+
+    #[test]
+    fn poison_message_is_quarantined_after_max_attempts() {
+        let mut svc = service();
+        let mut idx = index();
+        let queue = MessageQueue::new(16);
+        let monitoring = Monitoring::new();
+        let kb = CorpusGenerator::new(CorpusScale::tiny(), 6).generate();
+        queue
+            .post(IngestMessage::Upsert(kb.documents[0].clone()))
+            .unwrap();
+        queue.post(IngestMessage::Delete(String::new())).unwrap();
+        queue
+            .post(IngestMessage::Upsert(kb.documents[1].clone()))
+            .unwrap();
+
+        let applied = svc.drain_with_dead_letter(&mut idx, &queue, 3, &monitoring);
+
+        assert_eq!(applied, 2, "healthy neighbours still apply");
+        assert!(queue.is_empty(), "drain must terminate with poison input");
+        assert_eq!(svc.dead_letters.len(), 1);
+        assert_eq!(svc.dead_letters[0].attempts, 3);
+        assert_eq!(svc.dead_letters[0].reason, ApplyError::EmptyDocId);
+        assert_eq!(monitoring.snapshot().dead_letters, 1);
+        assert!(idx.len() >= 2, "good documents are indexed");
     }
 
     #[test]

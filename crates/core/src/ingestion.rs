@@ -10,7 +10,7 @@
 //! `last_modified` watermark per page, and posts upsert/delete messages
 //! to the queue for the indexing service.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use uniask_corpus::kb::KbDocument;
 
@@ -42,11 +42,31 @@ impl KbSource for Vec<KbDocument> {
     }
 }
 
+/// What kind of change was deferred for a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeferredKind {
+    Upsert,
+    Delete,
+}
+
+/// A change that could not be posted and is owed to the queue, in the
+/// order it was first observed.
+#[derive(Debug, Clone)]
+struct DeferredChange {
+    id: String,
+    kind: DeferredKind,
+}
+
 /// The poll-based ingestion service.
 #[derive(Debug)]
 pub struct IngestionService {
     /// Watermarks: page id → last_modified seen.
     seen: HashMap<String, u64>,
+    /// Changes owed from earlier polls, FIFO in original observation
+    /// order. Replayed *before* the current poll's scan so a deferred
+    /// change can never be reordered after a newer change it precedes
+    /// (and is superseded in place when the page moved on meanwhile).
+    deferred: VecDeque<DeferredChange>,
     /// Simulated time of the last poll.
     last_poll: Option<f64>,
     /// Total messages posted (monitoring).
@@ -69,6 +89,7 @@ impl IngestionService {
     pub fn new() -> Self {
         IngestionService {
             seen: HashMap::new(),
+            deferred: VecDeque::new(),
             last_poll: None,
             messages_posted: 0,
             deferred_posts: 0,
@@ -121,9 +142,59 @@ impl IngestionService {
         self.last_poll = Some(now);
         let pages = source.pages();
         let mut changes = 0usize;
-        let mut current_ids: HashMap<&str, ()> = HashMap::with_capacity(pages.len());
+        let by_id: HashMap<&str, &KbDocument> = pages.iter().map(|p| (p.id.as_str(), p)).collect();
+        // Ids already settled this cycle (posted, re-deferred, or
+        // superseded) — the scan below must not emit them again.
+        let mut handled: HashSet<String> = HashSet::new();
+
+        // 1. Replay the backlog first, FIFO, so changes deferred by an
+        //    earlier poll keep their place ahead of anything observed
+        //    later. A page that moved on meanwhile is superseded in
+        //    place: we post its *current* state at the deferred
+        //    change's position rather than a stale version.
+        let backlog: Vec<DeferredChange> = self.deferred.drain(..).collect();
+        for change in backlog {
+            match (change.kind, by_id.get(change.id.as_str())) {
+                (DeferredKind::Upsert, Some(page)) => {
+                    handled.insert(change.id.clone());
+                    if self.try_post(queue, plan, IngestMessage::Upsert((*page).clone())) {
+                        self.seen.insert(page.id.clone(), page.last_modified);
+                        self.messages_posted += 1;
+                        changes += 1;
+                    } else {
+                        self.deferred_posts += 1;
+                        self.deferred.push_back(change);
+                    }
+                }
+                (DeferredKind::Upsert, None) => {
+                    // The page came and went before we ever indexed it;
+                    // nothing to upsert and nothing to delete.
+                    handled.insert(change.id);
+                }
+                (DeferredKind::Delete, None) => {
+                    handled.insert(change.id.clone());
+                    if self.try_post(queue, plan, IngestMessage::Delete(change.id.clone())) {
+                        self.seen.remove(&change.id);
+                        self.messages_posted += 1;
+                        changes += 1;
+                    } else {
+                        self.deferred_posts += 1;
+                        self.deferred.push_back(change);
+                    }
+                }
+                (DeferredKind::Delete, Some(_)) => {
+                    // The page reappeared: the pending delete is void.
+                    // If it reappeared modified, the scan below posts
+                    // the upsert — never a delete *after* it.
+                }
+            }
+        }
+
+        // 2. Scan the current snapshot for new/modified pages.
         for page in &pages {
-            current_ids.insert(page.id.as_str(), ());
+            if handled.contains(&page.id) {
+                continue;
+            }
             let is_change = match self.seen.get(&page.id) {
                 None => true,
                 Some(&seen) => page.last_modified > seen,
@@ -135,16 +206,23 @@ impl IngestionService {
                     changes += 1;
                 } else {
                     self.deferred_posts += 1;
+                    self.deferred.push_back(DeferredChange {
+                        id: page.id.clone(),
+                        kind: DeferredKind::Upsert,
+                    });
                 }
             }
         }
-        // Deletions: pages we had seen that are gone.
-        let removed: Vec<String> = self
+
+        // 3. Deletions: pages we had seen that are gone, in sorted id
+        //    order so redelivery is deterministic.
+        let mut removed: Vec<String> = self
             .seen
             .keys()
-            .filter(|id| !current_ids.contains_key(id.as_str()))
+            .filter(|id| !by_id.contains_key(id.as_str()) && !handled.contains(id.as_str()))
             .cloned()
             .collect();
+        removed.sort_unstable();
         for id in removed {
             if self.try_post(queue, plan, IngestMessage::Delete(id.clone())) {
                 self.seen.remove(&id);
@@ -152,9 +230,18 @@ impl IngestionService {
                 changes += 1;
             } else {
                 self.deferred_posts += 1;
+                self.deferred.push_back(DeferredChange {
+                    id,
+                    kind: DeferredKind::Delete,
+                });
             }
         }
         changes
+    }
+
+    /// Changes currently owed to the queue from earlier polls.
+    pub fn deferred_backlog(&self) -> usize {
+        self.deferred.len()
     }
 
     /// Post one message unless the plan faults it or the queue pushes
@@ -279,6 +366,100 @@ mod tests {
         let posted = svc.poll_with_faults(&docs, &queue, POLL_INTERVAL_SECS, Some(&plan));
         assert_eq!(posted, 2);
         assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn superseded_deferred_upsert_emits_exactly_one_current_version() {
+        let mut docs = sample_docs(2);
+        let queue = MessageQueue::new(1);
+        let mut svc = IngestionService::new();
+        let posted = svc.poll(&docs, &queue, 0.0);
+        assert_eq!(posted, 1, "capacity one: the second page is deferred");
+        assert_eq!(svc.deferred_backlog(), 1);
+        while queue.try_receive().is_some() {}
+        // The deferred page is edited again before the next poll.
+        docs[1].last_modified += 100;
+        docs[1].html = "<p>versione due</p>".into();
+        let posted = svc.poll(&docs, &queue, POLL_INTERVAL_SECS);
+        assert_eq!(posted, 1);
+        assert_eq!(svc.deferred_backlog(), 0);
+        match queue.try_receive().unwrap() {
+            IngestMessage::Upsert(d) => {
+                assert_eq!(d.id, docs[1].id);
+                assert_eq!(d.html, docs[1].html, "current version, not the stale one");
+            }
+            other => panic!("expected upsert, got {other:?}"),
+        }
+        assert!(queue.is_empty(), "exactly one message for the page");
+        // And the page is properly watermarked: nothing on the next poll.
+        assert_eq!(svc.poll(&docs, &queue, 2.0 * POLL_INTERVAL_SECS), 0);
+    }
+
+    #[test]
+    fn deferred_change_keeps_its_place_ahead_of_newer_changes() {
+        use crate::resilience::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+
+        let mut docs = sample_docs(2);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        // Fail only the second post ever made (page B on the first poll).
+        let plan = FaultPlan::new(vec![FaultSpec {
+            point: FaultPoint::QueuePost,
+            from_call: 1,
+            to_call: 2,
+            kind: FaultKind::Fail,
+        }]);
+        let posted = svc.poll_with_faults(&docs, &queue, 0.0, Some(&plan));
+        assert_eq!(posted, 1);
+        while queue.try_receive().is_some() {}
+        // Page A (which precedes B in page order) is modified afterwards.
+        docs[0].last_modified += 100;
+        let posted = svc.poll_with_faults(&docs, &queue, POLL_INTERVAL_SECS, Some(&plan));
+        assert_eq!(posted, 2);
+        // B's change was observed first, so B must be delivered first
+        // even though A comes first in the current page scan.
+        match queue.try_receive().unwrap() {
+            IngestMessage::Upsert(d) => assert_eq!(d.id, docs[1].id, "deferred change first"),
+            other => panic!("expected upsert, got {other:?}"),
+        }
+        match queue.try_receive().unwrap() {
+            IngestMessage::Upsert(d) => assert_eq!(d.id, docs[0].id),
+            other => panic!("expected upsert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reappeared_page_voids_the_deferred_delete() {
+        use crate::resilience::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+
+        let mut docs = sample_docs(3);
+        let queue = MessageQueue::new(64);
+        let mut svc = IngestionService::new();
+        // Fail the fourth post ever made: the delete on the second poll.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            point: FaultPoint::QueuePost,
+            from_call: 3,
+            to_call: 4,
+            kind: FaultKind::Fail,
+        }]);
+        svc.poll_with_faults(&docs, &queue, 0.0, Some(&plan));
+        while queue.try_receive().is_some() {}
+        // The page disappears; its delete is deferred by the fault.
+        let shorter = docs[..2].to_vec();
+        let posted = svc.poll_with_faults(&shorter, &queue, POLL_INTERVAL_SECS, Some(&plan));
+        assert_eq!(posted, 0);
+        assert_eq!(svc.deferred_backlog(), 1);
+        // The page reappears, modified, before the next poll: the stale
+        // delete must not be delivered after (or instead of) the upsert.
+        docs[2].last_modified += 100;
+        let posted = svc.poll_with_faults(&docs, &queue, 2.0 * POLL_INTERVAL_SECS, Some(&plan));
+        assert_eq!(posted, 1);
+        assert_eq!(svc.deferred_backlog(), 0);
+        match queue.try_receive().unwrap() {
+            IngestMessage::Upsert(d) => assert_eq!(d.id, docs[2].id),
+            other => panic!("expected upsert for the reappeared page, got {other:?}"),
+        }
+        assert!(queue.is_empty(), "no stale delete may follow");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`monitoring`] — the dashboard counters of Figure 3.
 //! * [`resilience`] — deterministic fault injection, retries, circuit
 //!   breakers and the graceful-degradation ladder.
+//! * [`durability`] — crash-safe persistence: write-ahead ingest log,
+//!   atomic checkpoints and startup recovery over `uniask-store`.
 //! * [`loadtest`] — the open-system load test of Figure 2.
 //! * [`pilot`] — the three user-test phases of Section 8.
 //! * [`tickets`] — the post-launch ticket-reduction analysis.
@@ -27,6 +29,7 @@ pub mod backend;
 pub mod bulk;
 pub mod clock;
 pub mod config;
+pub mod durability;
 pub mod frontend;
 pub mod indexing;
 pub mod ingestion;
@@ -43,8 +46,9 @@ pub use backend::{Backend, Feedback, FeedbackStore};
 pub use bulk::bulk_ingest;
 pub use clock::SimClock;
 pub use config::UniAskConfig;
+pub use durability::{Durability, DurabilityConfig, DurabilityError, RecoveryReport};
 pub use frontend::{render_response, FeedbackForm, FormError};
-pub use indexing::IndexingService;
+pub use indexing::{ApplyError, DeadLetter, IndexingService};
 pub use ingestion::{IngestMessage, IngestionService, KbSource};
 pub use loadtest::{LoadTest, LoadTestConfig, LoadTestReport};
 pub use monitoring::{DashboardSnapshot, Monitoring};

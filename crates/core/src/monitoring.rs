@@ -40,6 +40,12 @@ struct Inner {
     /// overflow bucket — enough resolution for p50/p95/p99 on a
     /// dashboard without unbounded memory.
     response_time_buckets: Vec<u64>,
+    wal_appends: usize,
+    wal_replays: usize,
+    checkpoints_written: usize,
+    corrupt_wal_records: usize,
+    dead_letters: usize,
+    recovery_generation: u64,
 }
 
 /// 50 ms buckets, 10 s span (200 buckets + overflow).
@@ -114,6 +120,18 @@ pub struct DashboardSnapshot {
     pub cache_evictions: u64,
     /// Query-cache entries dropped after an index mutation.
     pub cache_invalidations: u64,
+    /// Ingest messages appended to the write-ahead log.
+    pub wal_appends: usize,
+    /// WAL records replayed during the last startup recovery.
+    pub wal_replays: usize,
+    /// Atomic checkpoints written.
+    pub checkpoints_written: usize,
+    /// Corrupt or torn WAL records discarded during log repair.
+    pub corrupt_wal_records: usize,
+    /// Poison ingest messages quarantined to the dead-letter list.
+    pub dead_letters: usize,
+    /// Checkpoint generation restored at startup (0 = cold start).
+    pub recovery_generation: u64,
 }
 
 impl Monitoring {
@@ -168,6 +186,36 @@ impl Monitoring {
         self.inner.lock().breaker_opens += 1;
     }
 
+    /// Record one ingest message durably appended to the WAL.
+    pub fn record_wal_append(&self) {
+        self.inner.lock().wal_appends += 1;
+    }
+
+    /// Record WAL records replayed during startup recovery.
+    pub fn record_wal_replays(&self, count: usize) {
+        self.inner.lock().wal_replays += count;
+    }
+
+    /// Record one checkpoint written.
+    pub fn record_checkpoint(&self) {
+        self.inner.lock().checkpoints_written += 1;
+    }
+
+    /// Record corrupt WAL records discarded during log repair.
+    pub fn record_corrupt_wal_records(&self, count: usize) {
+        self.inner.lock().corrupt_wal_records += count;
+    }
+
+    /// Record one poison message quarantined to the dead-letter list.
+    pub fn record_dead_letter(&self) {
+        self.inner.lock().dead_letters += 1;
+    }
+
+    /// Record the checkpoint generation restored at startup.
+    pub fn record_recovery(&self, generation: u64) {
+        self.inner.lock().recovery_generation = generation;
+    }
+
     /// Record a guardrail trigger.
     pub fn record_guardrail(&self, kind: GuardrailKind) {
         let mut inner = self.inner.lock();
@@ -210,6 +258,12 @@ impl Monitoring {
             cache_misses: inner.cache.misses,
             cache_evictions: inner.cache.evictions,
             cache_invalidations: inner.cache.invalidations,
+            wal_appends: inner.wal_appends,
+            wal_replays: inner.wal_replays,
+            checkpoints_written: inner.checkpoints_written,
+            corrupt_wal_records: inner.corrupt_wal_records,
+            dead_letters: inner.dead_letters,
+            recovery_generation: inner.recovery_generation,
         }
     }
 }
@@ -237,6 +291,12 @@ impl DashboardSnapshot {
              │ cache hits               {:>8}           │\n\
              │ cache misses             {:>8}           │\n\
              │ cache evictions          {:>8}           │\n\
+             │ wal appends              {:>8}           │\n\
+             │ wal replays              {:>8}           │\n\
+             │ checkpoints written      {:>8}           │\n\
+             │ corrupt records skipped  {:>8}           │\n\
+             │ dead letters             {:>8}           │\n\
+             │ recovery generation      {:>8}           │\n\
              └─────────────────────────────────────────────┘",
             self.users,
             self.queries,
@@ -257,6 +317,12 @@ impl DashboardSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
+            self.wal_appends,
+            self.wal_replays,
+            self.checkpoints_written,
+            self.corrupt_wal_records,
+            self.dead_letters,
+            self.recovery_generation,
         )
     }
 }
@@ -363,6 +429,31 @@ mod tests {
         assert!(page.contains("llm fallbacks"));
         assert!(page.contains("degraded queries"));
         assert!(page.contains("breaker opens"));
+    }
+
+    #[test]
+    fn durability_counters_surface_on_the_dashboard() {
+        let m = Monitoring::new();
+        m.record_wal_append();
+        m.record_wal_append();
+        m.record_wal_replays(3);
+        m.record_checkpoint();
+        m.record_corrupt_wal_records(1);
+        m.record_dead_letter();
+        m.record_recovery(7);
+        let s = m.snapshot();
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_replays, 3);
+        assert_eq!(s.checkpoints_written, 1);
+        assert_eq!(s.corrupt_wal_records, 1);
+        assert_eq!(s.dead_letters, 1);
+        assert_eq!(s.recovery_generation, 7);
+        let page = s.render();
+        assert!(page.contains("wal appends"));
+        assert!(page.contains("checkpoints written"));
+        assert!(page.contains("corrupt records skipped"));
+        assert!(page.contains("dead letters"));
+        assert!(page.contains("recovery generation"));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Exhaustive corruption fuzzing of the `UAIX` codec.
+//!
+//! Flipping any single byte of a snapshot, or truncating it at any
+//! offset, must yield a decode `Err` — never a panic and never a
+//! silently accepted index. The checksum trailer is verified before
+//! any length field is trusted, so every mutation is caught up front.
+
+use std::sync::Arc;
+
+use uniask_index::codec::{decode, encode};
+use uniask_index::doc::IndexDocument;
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_text::analyzer::ItalianAnalyzer;
+
+fn sample_snapshot() -> Vec<u8> {
+    let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
+    for (title, content) in [
+        (
+            "Bonifico estero",
+            "il bonifico estero richiede il codice bic",
+        ),
+        (
+            "Blocco carta",
+            "la carta smarrita si blocca dal numero verde",
+        ),
+        (
+            "Mutuo agevolato",
+            "requisiti e documenti del mutuo agevolato",
+        ),
+        ("Conto deposito", "tassi e vincoli del conto deposito"),
+    ] {
+        let doc = IndexDocument::new()
+            .with_text("title", title.to_string())
+            .with_text("content", content.to_string());
+        index.add(&doc).expect("valid schema");
+    }
+    encode(&index).to_vec()
+}
+
+fn analyzer() -> Arc<ItalianAnalyzer> {
+    Arc::new(ItalianAnalyzer::new())
+}
+
+#[test]
+fn baseline_snapshot_decodes() {
+    let snapshot = sample_snapshot();
+    decode(&snapshot, analyzer()).expect("pristine snapshot must decode");
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let snapshot = sample_snapshot();
+    let analyzer = analyzer();
+    for offset in 0..snapshot.len() {
+        let mut bad = snapshot.clone();
+        bad[offset] ^= 0xFF;
+        assert!(
+            decode(&bad, Arc::clone(&analyzer)).is_err(),
+            "flip at byte {offset} must not decode"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let snapshot = sample_snapshot();
+    let analyzer = analyzer();
+    for cut in 0..snapshot.len() {
+        assert!(
+            decode(&snapshot[..cut], Arc::clone(&analyzer)).is_err(),
+            "truncation at byte {cut} must not decode"
+        );
+    }
+}

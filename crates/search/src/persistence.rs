@@ -24,8 +24,21 @@ use crate::reranker::SemanticReranker;
 
 /// Magic bytes of the composite format.
 pub const MAGIC: &[u8; 4] = b"UASX";
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version. Version 2 appends an FNV-1a checksum
+/// trailer over the whole body so torn or bit-rotted snapshots are
+/// rejected up front instead of half-parsing; version 1 (no checksum)
+/// is no longer accepted.
+pub const VERSION: u16 = 2;
+
+/// FNV-1a over `data` — same checksum the sibling codecs use.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Errors raised while restoring a search-index snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +55,9 @@ pub enum PersistError {
     Vectors(vector_snapshot::SnapshotError),
     /// A string field held invalid UTF-8.
     InvalidUtf8,
+    /// The checksum trailer does not match the body: the snapshot is
+    /// torn or bit-rotted.
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for PersistError {
@@ -53,6 +69,9 @@ impl std::fmt::Display for PersistError {
             PersistError::Index(e) => write!(f, "inverted-index section: {e}"),
             PersistError::Vectors(e) => write!(f, "vector section: {e}"),
             PersistError::InvalidUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            PersistError::ChecksumMismatch => {
+                write!(f, "snapshot checksum mismatch (torn or corrupted)")
+            }
         }
     }
 }
@@ -116,6 +135,8 @@ impl SearchIndex {
                 .unwrap_or_default();
             put_str(&mut buf, &summary);
         }
+        let checksum = fnv64(&buf);
+        buf.put_u64_le(checksum);
         buf.freeze()
     }
 
@@ -141,6 +162,17 @@ impl SearchIndex {
         if version != VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
+        // Verify the trailer before trusting any length field below:
+        // a torn write must fail here, not mid-parse.
+        if snapshot.len() < 6 + 8 {
+            return Err(PersistError::Truncated);
+        }
+        let body_len = snapshot.len() - 8;
+        let stored = u64::from_le_bytes(snapshot[body_len..].try_into().expect("8-byte trailer"));
+        if fnv64(&snapshot[..body_len]) != stored {
+            return Err(PersistError::ChecksumMismatch);
+        }
+        buf.truncate(body_len - 6);
         let index_section = get_section(&mut buf)?;
         let title_section = get_section(&mut buf)?;
         let content_section = get_section(&mut buf)?;
@@ -308,5 +340,26 @@ mod tests {
     #[test]
     fn save_is_deterministic() {
         assert_eq!(sample().save(), sample().save());
+    }
+
+    #[test]
+    fn body_corruption_reports_checksum_mismatch() {
+        let snapshot = sample().save();
+        let mut bad = snapshot.to_vec();
+        // Flip one payload byte (past magic+version): the trailer must
+        // catch it before any section parsing happens.
+        bad[64] ^= 0xFF;
+        assert_eq!(
+            SearchIndex::load(&bad, embedder(), SemanticReranker::default()).unwrap_err(),
+            PersistError::ChecksumMismatch
+        );
+        // Flipping the trailer itself is equally fatal.
+        let last = snapshot.len() - 1;
+        let mut bad = snapshot.to_vec();
+        bad[last] ^= 0xFF;
+        assert_eq!(
+            SearchIndex::load(&bad, embedder(), SemanticReranker::default()).unwrap_err(),
+            PersistError::ChecksumMismatch
+        );
     }
 }

@@ -1,0 +1,553 @@
+//! Simulated, fault-injectable filesystem.
+//!
+//! The durability layer never touches the host filesystem: everything is
+//! written through the [`Vfs`] trait so crash-recovery tests can inject
+//! process death at any mutating operation, retain torn (partially
+//! persisted) writes across a restart, and flip bytes to model bit rot.
+//!
+//! [`MemVfs`] models the page cache explicitly. Every file carries two
+//! images: `durable` (what survives a crash) and `view` (what readers of
+//! the live process observe). Writes and appends mutate only the view;
+//! [`Vfs::sync`] promotes the view to durable. On [`MemVfs::restart`] the
+//! unsynced tail of each file survives only as a seeded-random prefix —
+//! the torn-write model — so code that skips an fsync before a rename is
+//! caught by the checksum layer above, exactly as on a real disk.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Small deterministic PRNG (SplitMix64). `uniask-store` sits below
+/// `uniask-core` and carries no dependencies, so it brings its own
+/// seeded generator instead of `rand_chacha`; determinism is all the
+/// fault model needs, statistical quality is irrelevant here.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (`0` when `n == 0`).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Errors surfaced by VFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The file does not exist.
+    NotFound(String),
+    /// A scheduled crash fired: the simulated process is dead and every
+    /// subsequent operation fails until [`MemVfs::restart`] is called.
+    Crashed,
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(path) => write!(f, "vfs: file not found: {path}"),
+            VfsError::Crashed => write!(f, "vfs: simulated process crash"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Minimal filesystem surface the durability layer needs.
+///
+/// All paths are flat strings; directories are implicit prefixes.
+pub trait Vfs: Send + Sync {
+    /// Replace the file's contents.
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<(), VfsError>;
+    /// Append to the file, creating it if absent.
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError>;
+    /// Read the whole file as the live process sees it.
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError>;
+    /// Make the file's current contents crash-durable.
+    fn sync(&self, path: &str) -> Result<(), VfsError>;
+    /// Atomically rename `from` to `to`, replacing any existing file.
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError>;
+    /// Delete the file. Deleting a missing file is not an error.
+    fn remove(&self, path: &str) -> Result<(), VfsError>;
+    /// True if the file exists in the live view.
+    fn exists(&self, path: &str) -> bool;
+    /// All live paths with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+}
+
+/// How much of a crashed mutating operation takes effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CrashEffect {
+    /// The operation is lost entirely.
+    Before,
+    /// A prefix of the written bytes lands (torn write). The fraction is
+    /// applied to the length of the data being written.
+    Torn(f64),
+    /// The operation completes, then the process dies.
+    After,
+}
+
+/// A scheduled crash: fire at the `at_op`-th mutating operation
+/// (0-based, counted across the whole [`MemVfs`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPlan {
+    at_op: u64,
+    effect: CrashEffect,
+}
+
+impl CrashPlan {
+    /// Crash before the `at_op`-th mutating operation takes effect.
+    pub fn before(at_op: u64) -> Self {
+        Self {
+            at_op,
+            effect: CrashEffect::Before,
+        }
+    }
+
+    /// Crash mid-write: a `frac` prefix of the data lands.
+    pub fn torn(at_op: u64, frac: f64) -> Self {
+        Self {
+            at_op,
+            effect: CrashEffect::Torn(frac.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Crash immediately after the `at_op`-th mutating operation.
+    pub fn after(at_op: u64) -> Self {
+        Self {
+            at_op,
+            effect: CrashEffect::After,
+        }
+    }
+
+    /// Derive a crash plan from a seed and an operation ordinal, cycling
+    /// through the three effect shapes deterministically.
+    pub fn seeded(seed: u64, at_op: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ at_op.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match rng.below(3) {
+            0 => Self::before(at_op),
+            1 => Self::torn(at_op, rng.below(1000) as f64 / 1000.0),
+            _ => Self::after(at_op),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct FileState {
+    /// Crash-durable image.
+    durable: Vec<u8>,
+    /// Live-process image (page cache). `sync` copies view -> durable.
+    view: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MemVfsInner {
+    files: BTreeMap<String, FileState>,
+    plan: Option<CrashPlan>,
+    crashed: bool,
+}
+
+/// In-memory [`Vfs`] with crash scheduling, torn-write retention and
+/// bit-rot injection. Cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    inner: Arc<Mutex<MemVfsInner>>,
+    ops: Arc<AtomicU64>,
+}
+
+impl MemVfs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MemVfsInner> {
+        // Simulated-crash errors propagate as Err, never as panics while
+        // the lock is held, so poisoning is unreachable in practice.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Schedule a crash; replaces any previously scheduled plan.
+    pub fn schedule_crash(&self, plan: CrashPlan) {
+        self.lock().plan = Some(plan);
+    }
+
+    /// Remove any scheduled crash.
+    pub fn clear_crash(&self) {
+        self.lock().plan = None;
+    }
+
+    /// Number of mutating operations performed so far (crashed attempts
+    /// included). A fault-free run's final count bounds the crash matrix.
+    pub fn mutating_ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// True once a scheduled crash has fired and `restart` has not run.
+    pub fn is_crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Simulate process restart after a crash. For every file, the
+    /// durable image survives plus a seeded-random prefix of the unsynced
+    /// tail (torn-write model); the rest of the page cache is lost.
+    pub fn restart(&self, seed: u64) {
+        let mut inner = self.lock();
+        let mut rng = SplitMix64::new(seed);
+        for state in inner.files.values_mut() {
+            if state.view != state.durable {
+                let common = state
+                    .durable
+                    .iter()
+                    .zip(state.view.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                // Bytes past the durable image (or diverging from it) are
+                // in flight: keep a random prefix of them.
+                let in_flight = state.view.len().saturating_sub(common);
+                let kept = rng.below(in_flight as u64 + 1) as usize;
+                let mut survived = state.view[..common + kept].to_vec();
+                // Divergent durable bytes past the common prefix still hold
+                // their old contents where the new write did not land.
+                if state.durable.len() > survived.len() {
+                    survived.extend_from_slice(&state.durable[survived.len()..]);
+                }
+                state.durable = survived.clone();
+                state.view = survived;
+            }
+        }
+        inner.crashed = false;
+        inner.plan = None;
+    }
+
+    /// Flip one byte of a file in both the durable and live images —
+    /// bit rot. Returns false if the file is missing or too short.
+    pub fn flip_byte(&self, path: &str, offset: usize) -> bool {
+        let mut inner = self.lock();
+        match inner.files.get_mut(path) {
+            Some(state) if offset < state.view.len() => {
+                state.view[offset] ^= 0xFF;
+                if offset < state.durable.len() {
+                    state.durable[offset] ^= 0xFF;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Length of a file's live image, if present.
+    pub fn len(&self, path: &str) -> Option<usize> {
+        self.lock().files.get(path).map(|s| s.view.len())
+    }
+
+    /// True if no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.lock().files.is_empty()
+    }
+
+    /// Check a scheduled crash against the op about to run, returning the
+    /// effect to apply if it fires. Increments the op counter either way.
+    fn arm(&self, inner: &mut MemVfsInner) -> Result<Option<CrashEffect>, VfsError> {
+        if inner.crashed {
+            return Err(VfsError::Crashed);
+        }
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        if let Some(plan) = inner.plan {
+            if op == plan.at_op {
+                inner.crashed = true;
+                return Ok(Some(plan.effect));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Vfs for MemVfs {
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        let effect = self.arm(&mut inner)?;
+        if matches!(effect, Some(CrashEffect::Before)) {
+            return Err(VfsError::Crashed);
+        }
+        let state = inner.files.entry(path.to_string()).or_default();
+        match effect {
+            Some(CrashEffect::Before) => unreachable!("handled above"),
+            Some(CrashEffect::Torn(frac)) => {
+                let n = ((data.len() as f64) * frac).floor() as usize;
+                let mut torn = data[..n.min(data.len())].to_vec();
+                if state.view.len() > torn.len() {
+                    torn.extend_from_slice(&state.view[torn.len()..]);
+                }
+                state.view = torn;
+                Err(VfsError::Crashed)
+            }
+            Some(CrashEffect::After) => {
+                state.view = data.to_vec();
+                Err(VfsError::Crashed)
+            }
+            None => {
+                state.view = data.to_vec();
+                Ok(())
+            }
+        }
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        let effect = self.arm(&mut inner)?;
+        if matches!(effect, Some(CrashEffect::Before)) {
+            return Err(VfsError::Crashed);
+        }
+        let state = inner.files.entry(path.to_string()).or_default();
+        match effect {
+            Some(CrashEffect::Before) => unreachable!("handled above"),
+            Some(CrashEffect::Torn(frac)) => {
+                let n = ((data.len() as f64) * frac).floor() as usize;
+                state.view.extend_from_slice(&data[..n.min(data.len())]);
+                Err(VfsError::Crashed)
+            }
+            Some(CrashEffect::After) => {
+                state.view.extend_from_slice(data);
+                Err(VfsError::Crashed)
+            }
+            None => {
+                state.view.extend_from_slice(data);
+                Ok(())
+            }
+        }
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        let inner = self.lock();
+        if inner.crashed {
+            return Err(VfsError::Crashed);
+        }
+        inner
+            .files
+            .get(path)
+            .map(|s| s.view.clone())
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))
+    }
+
+    fn sync(&self, path: &str) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        let effect = self.arm(&mut inner)?;
+        let state = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        match effect {
+            // A torn sync is indistinguishable from a pre-sync crash at
+            // this granularity: treat both as "nothing promoted".
+            Some(CrashEffect::Before) | Some(CrashEffect::Torn(_)) => Err(VfsError::Crashed),
+            Some(CrashEffect::After) => {
+                state.durable = state.view.clone();
+                Err(VfsError::Crashed)
+            }
+            None => {
+                state.durable = state.view.clone();
+                Ok(())
+            }
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        let effect = self.arm(&mut inner)?;
+        if !inner.files.contains_key(from) {
+            return Err(VfsError::NotFound(from.to_string()));
+        }
+        match effect {
+            // Rename is atomic: it either happened or it did not.
+            Some(CrashEffect::Before) | Some(CrashEffect::Torn(_)) => Err(VfsError::Crashed),
+            Some(CrashEffect::After) => {
+                let state = inner.files.remove(from).expect("checked above");
+                inner.files.insert(to.to_string(), state);
+                Err(VfsError::Crashed)
+            }
+            None => {
+                let state = inner.files.remove(from).expect("checked above");
+                inner.files.insert(to.to_string(), state);
+                Ok(())
+            }
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        let effect = self.arm(&mut inner)?;
+        match effect {
+            Some(CrashEffect::Before) | Some(CrashEffect::Torn(_)) => Err(VfsError::Crashed),
+            Some(CrashEffect::After) => {
+                inner.files.remove(path);
+                Err(VfsError::Crashed)
+            }
+            None => {
+                inner.files.remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.lock().files.contains_key(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.lock()
+            .files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let vfs = MemVfs::new();
+        vfs.write_all("a", b"hello").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"hello");
+        assert!(vfs.exists("a"));
+        assert!(!vfs.exists("b"));
+    }
+
+    #[test]
+    fn append_extends_view() {
+        let vfs = MemVfs::new();
+        vfs.append("log", b"ab").unwrap();
+        vfs.append("log", b"cd").unwrap();
+        assert_eq!(vfs.read("log").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn unsynced_writes_may_be_lost_on_restart() {
+        let vfs = MemVfs::new();
+        vfs.write_all("f", b"durable").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.append("f", b"-tail").unwrap();
+        // Crash without syncing the tail.
+        vfs.schedule_crash(CrashPlan::before(u64::MAX));
+        vfs.restart(7);
+        let data = vfs.read("f").unwrap();
+        assert!(data.starts_with(b"durable"));
+        assert!(data.len() <= b"durable-tail".len());
+    }
+
+    #[test]
+    fn synced_writes_survive_restart() {
+        let vfs = MemVfs::new();
+        vfs.write_all("f", b"payload").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.restart(1);
+        assert_eq!(vfs.read("f").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn crash_fires_at_scheduled_op_and_blocks_io() {
+        let vfs = MemVfs::new();
+        vfs.write_all("a", b"1").unwrap(); // op 0
+        vfs.schedule_crash(CrashPlan::before(1));
+        assert_eq!(vfs.write_all("b", b"2"), Err(VfsError::Crashed));
+        assert!(vfs.is_crashed());
+        assert_eq!(vfs.read("a"), Err(VfsError::Crashed));
+        vfs.restart(3);
+        assert_eq!(vfs.read("a").unwrap(), b"1");
+        assert!(!vfs.exists("b"));
+    }
+
+    #[test]
+    fn torn_append_keeps_prefix() {
+        let vfs = MemVfs::new();
+        vfs.append("log", b"AAAA").unwrap();
+        vfs.sync("log").unwrap();
+        vfs.schedule_crash(CrashPlan::torn(2, 0.5));
+        assert_eq!(vfs.append("log", b"BBBB"), Err(VfsError::Crashed));
+        vfs.restart(9);
+        let data = vfs.read("log").unwrap();
+        assert!(data.starts_with(b"AAAA"));
+        assert!(data.len() <= 6, "torn write kept at most half: {data:?}");
+    }
+
+    #[test]
+    fn rename_is_atomic_across_crash() {
+        let vfs = MemVfs::new();
+        vfs.write_all("tmp", b"x").unwrap();
+        vfs.sync("tmp").unwrap();
+        vfs.schedule_crash(CrashPlan::before(2));
+        assert_eq!(vfs.rename("tmp", "final"), Err(VfsError::Crashed));
+        vfs.restart(5);
+        assert!(vfs.exists("tmp"));
+        assert!(!vfs.exists("final"));
+
+        vfs.schedule_crash(CrashPlan::after(vfs.mutating_ops()));
+        assert_eq!(vfs.rename("tmp", "final"), Err(VfsError::Crashed));
+        vfs.restart(5);
+        assert!(!vfs.exists("tmp"));
+        assert!(vfs.exists("final"));
+        assert_eq!(vfs.read("final").unwrap(), b"x");
+    }
+
+    #[test]
+    fn unsynced_rename_target_can_tear_after_restart() {
+        // Rename moves the unsynced page cache with the file: if the temp
+        // was never synced, the renamed file can still lose its tail.
+        let vfs = MemVfs::new();
+        vfs.write_all("tmp", b"0123456789").unwrap(); // no sync
+        vfs.rename("tmp", "final").unwrap();
+        vfs.schedule_crash(CrashPlan::before(u64::MAX));
+        vfs.restart(2);
+        let data = vfs.read("final").unwrap();
+        assert!(data.len() < 10 || data == b"0123456789");
+    }
+
+    #[test]
+    fn flip_byte_corrupts_both_images() {
+        let vfs = MemVfs::new();
+        vfs.write_all("f", b"abc").unwrap();
+        vfs.sync("f").unwrap();
+        assert!(vfs.flip_byte("f", 1));
+        assert_eq!(vfs.read("f").unwrap(), vec![b'a', b'b' ^ 0xFF, b'c']);
+        vfs.restart(0);
+        assert_eq!(vfs.read("f").unwrap(), vec![b'a', b'b' ^ 0xFF, b'c']);
+        assert!(!vfs.flip_byte("f", 99));
+        assert!(!vfs.flip_byte("missing", 0));
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let vfs = MemVfs::new();
+        vfs.write_all("wal/2.seg", b"").unwrap();
+        vfs.write_all("wal/1.seg", b"").unwrap();
+        vfs.write_all("ckpt/1", b"").unwrap();
+        assert_eq!(vfs.list("wal/"), vec!["wal/1.seg", "wal/2.seg"]);
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let a = CrashPlan::seeded(42, 7);
+        let b = CrashPlan::seeded(42, 7);
+        assert_eq!(a.at_op, b.at_op);
+        assert_eq!(a.effect, b.effect);
+    }
+}

@@ -1,0 +1,53 @@
+//! Exhaustive corruption fuzzing of the `UAVX` snapshot codec.
+//!
+//! Flipping any single byte of a snapshot, or truncating it at any
+//! offset, must yield a decode `Err` — never a panic and never a
+//! silently accepted graph.
+
+use uniask_vector::hnsw::{Hnsw, HnswParams};
+use uniask_vector::snapshot::{decode, encode};
+use uniask_vector::VectorIndex;
+
+fn sample_snapshot() -> Vec<u8> {
+    let mut hnsw = Hnsw::new(HnswParams {
+        m: 4,
+        ef_construction: 16,
+        ef_search: 8,
+        ..HnswParams::default()
+    });
+    for id in 0..6u32 {
+        let vector: Vec<f32> = (0..8).map(|d| ((id * 8 + d) as f32).sin()).collect();
+        hnsw.add(id, vector);
+    }
+    encode(&hnsw).to_vec()
+}
+
+#[test]
+fn baseline_snapshot_decodes() {
+    let snapshot = sample_snapshot();
+    decode(&snapshot).expect("pristine snapshot must decode");
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let snapshot = sample_snapshot();
+    for offset in 0..snapshot.len() {
+        let mut bad = snapshot.clone();
+        bad[offset] ^= 0xFF;
+        assert!(
+            decode(&bad).is_err(),
+            "flip at byte {offset} must not decode"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let snapshot = sample_snapshot();
+    for cut in 0..snapshot.len() {
+        assert!(
+            decode(&snapshot[..cut]).is_err(),
+            "truncation at byte {cut} must not decode"
+        );
+    }
+}

@@ -26,5 +26,6 @@ pub use uniask_guardrails as guardrails;
 pub use uniask_index as index;
 pub use uniask_llm as llm;
 pub use uniask_search as search;
+pub use uniask_store as store;
 pub use uniask_text as text;
 pub use uniask_vector as vector;
