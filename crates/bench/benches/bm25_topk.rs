@@ -1,12 +1,21 @@
 //! Pruned vs exhaustive BM25 top-k evaluation.
 //!
-//! Measures the MaxScore engine against the exhaustive reference on a
-//! corpus-scale index, at k=10 and k=50, with and without filter
-//! push-down and tombstones. The two paths return byte-identical
-//! results (asserted once at setup), so the delta is pure evaluation
-//! cost.
+//! Measures the Block-Max MaxScore engine against the exhaustive
+//! reference on a corpus-scale index, at k=10 and k=50, with and
+//! without filter push-down and tombstones. The two paths return
+//! byte-identical results (asserted once at setup), so the delta is
+//! pure evaluation cost.
+//!
+//! Two modes:
+//! - default: criterion micro-benchmarks (`cargo bench`);
+//! - `BENCH_JSON=<path>`: a self-timed comparison written as a JSON
+//!   report (mean/min latency per engine and k, speedups, and the
+//!   packed-vs-logical memory footprint). `scripts/bench_report.sh`
+//!   drives this mode.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
 use uniask_corpus::generator::CorpusGenerator;
 use uniask_corpus::scale::CorpusScale;
 use uniask_index::doc::{DocId, IndexDocument};
@@ -122,5 +131,127 @@ fn bench_topk(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mean and min duration (µs) of `iters` runs of `f` after `warmup`
+/// discarded runs.
+fn time_loop<F: FnMut() -> usize>(warmup: usize, iters: usize, mut f: F) -> (f64, f64) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        total += micros;
+        min = min.min(micros);
+    }
+    (total / iters as f64, min)
+}
+
+fn object(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (key, value) in entries {
+        map.insert(key.to_string(), value);
+    }
+    serde_json::Value::Object(map)
+}
+
+fn json_report(path: &str) {
+    use serde_json::Value;
+
+    let idx = build_index(4000);
+    let searcher = Searcher::new();
+    let profile = ScoringProfile::neutral();
+
+    let mut engines = serde_json::Map::new();
+    let mut speedups = serde_json::Map::new();
+    for k in [10usize, 50] {
+        for q in QUERIES {
+            assert_eq!(
+                searcher.search(&idx, q, k, &profile, None).unwrap(),
+                searcher
+                    .search_exhaustive(&idx, q, k, &profile, None)
+                    .unwrap(),
+                "engines diverged on `{q}` k={k}"
+            );
+        }
+        let (pruned_mean, pruned_min) = time_loop(5, 40, || {
+            QUERIES
+                .iter()
+                .map(|q| searcher.search(&idx, q, k, &profile, None).unwrap().len())
+                .sum()
+        });
+        let (ex_mean, ex_min) = time_loop(5, 40, || {
+            QUERIES
+                .iter()
+                .map(|q| {
+                    searcher
+                        .search_exhaustive(&idx, q, k, &profile, None)
+                        .unwrap()
+                        .len()
+                })
+                .sum()
+        });
+        engines.insert(
+            format!("k{k}"),
+            object(vec![
+                ("pruned_mean_us", Value::from(pruned_mean)),
+                ("pruned_min_us", Value::from(pruned_min)),
+                ("exhaustive_mean_us", Value::from(ex_mean)),
+                ("exhaustive_min_us", Value::from(ex_min)),
+            ]),
+        );
+        speedups.insert(format!("k{k}"), Value::from(ex_mean / pruned_mean));
+    }
+
+    let stats = idx.memory_stats();
+    let report = object(vec![
+        ("bench", Value::from("bm25_topk")),
+        ("corpus_documents", Value::from(4000u32)),
+        (
+            "queries",
+            Value::Array(QUERIES.iter().map(|q| Value::from(*q)).collect()),
+        ),
+        ("iterations", Value::from(40u32)),
+        ("latency", Value::Object(engines)),
+        ("speedup_exhaustive_over_pruned", Value::Object(speedups)),
+        (
+            "memory",
+            object(vec![
+                ("posting_entries", Value::from(stats.posting_entries)),
+                (
+                    "postings_packed_bytes",
+                    Value::from(stats.postings_packed_bytes),
+                ),
+                (
+                    "postings_logical_bytes",
+                    Value::from(stats.postings_logical_bytes),
+                ),
+                (
+                    "compression_ratio",
+                    Value::from(
+                        stats.postings_logical_bytes as f64
+                            / stats.postings_packed_bytes.max(1) as f64,
+                    ),
+                ),
+                ("doc_len_bytes", Value::from(stats.doc_len_bytes)),
+                ("dict_bytes", Value::from(stats.dict_bytes)),
+            ]),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, rendered).expect("report written");
+    println!("bm25_topk report written to {path}");
+}
+
 criterion_group!(benches, bench_topk);
-criterion_main!(benches);
+
+fn main() {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        json_report(&path);
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

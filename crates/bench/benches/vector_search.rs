@@ -2,8 +2,17 @@
 //! construction/search, and the exhaustive baseline for comparison
 //! (the paper notes HNSW ≈ exhaustive k-NN in quality; here we show
 //! the latency gap that justifies ANN).
+//!
+//! Two modes:
+//! - default: criterion micro-benchmarks (`cargo bench`);
+//! - `BENCH_JSON=<path>`: a self-timed SQ8-vs-f32-vs-flat comparison
+//!   written as a JSON report (latency, recall@10 against the exact
+//!   baseline, and the code-arena compression ratio).
+//!   `scripts/bench_report.sh` drives this mode.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BatchSize, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use uniask_vector::distance::normalize;
@@ -68,5 +77,145 @@ fn bench_search(c: &mut Criterion) {
     });
 }
 
+/// Mean and min duration (µs) of `iters` runs of `f` after `warmup`
+/// discarded runs.
+fn time_loop<F: FnMut() -> usize>(warmup: usize, iters: usize, mut f: F) -> (f64, f64) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        total += micros;
+        min = min.min(micros);
+    }
+    (total / iters as f64, min)
+}
+
+fn object(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (key, value) in entries {
+        map.insert(key.to_string(), value);
+    }
+    serde_json::Value::Object(map)
+}
+
+fn json_report(path: &str) {
+    use serde_json::Value;
+
+    const N: usize = 5000;
+    const DIM: usize = 64;
+    const K: usize = 10;
+    let vectors = random_vectors(N, DIM);
+    let mut quantized = Hnsw::new(HnswParams::default());
+    let mut full = Hnsw::new(HnswParams {
+        sq8: false,
+        ..HnswParams::default()
+    });
+    let mut flat = FlatIndex::new();
+    for (i, v) in vectors.iter().enumerate() {
+        quantized.add(i as u32, v.clone());
+        full.add(i as u32, v.clone());
+        flat.add(i as u32, v.clone());
+    }
+    assert!(quantized.is_quantized());
+
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let queries: Vec<Vec<f32>> = (0..40)
+        .map(|_| {
+            let mut q: Vec<f32> = (0..DIM).map(|_| rng.gen::<f32>() - 0.5).collect();
+            normalize(&mut q);
+            q
+        })
+        .collect();
+
+    let (mut hit_q, mut hit_f, mut total) = (0usize, 0usize, 0usize);
+    for q in &queries {
+        let exact: Vec<u32> = flat.search(q, K).into_iter().map(|n| n.id).collect();
+        for id in &exact {
+            total += 1;
+            if quantized.search(q, K).iter().any(|n| n.id == *id) {
+                hit_q += 1;
+            }
+            if full.search(q, K).iter().any(|n| n.id == *id) {
+                hit_f += 1;
+            }
+        }
+    }
+
+    let (quant_mean, quant_min) = time_loop(5, 40, || {
+        queries.iter().map(|q| quantized.search(q, K).len()).sum()
+    });
+    let (full_mean, full_min) = time_loop(5, 40, || {
+        queries.iter().map(|q| full.search(q, K).len()).sum()
+    });
+    let (flat_mean, flat_min) = time_loop(2, 10, || {
+        queries.iter().map(|q| flat.search(q, K).len()).sum()
+    });
+
+    let stats = quantized.memory_stats();
+    let report = object(vec![
+        ("bench", Value::from("vector_search")),
+        ("vectors", Value::from(N)),
+        ("dim", Value::from(DIM)),
+        ("k", Value::from(K)),
+        ("queries", Value::from(queries.len())),
+        ("iterations", Value::from(40u32)),
+        (
+            "latency",
+            object(vec![
+                ("sq8_hnsw_mean_us", Value::from(quant_mean)),
+                ("sq8_hnsw_min_us", Value::from(quant_min)),
+                ("f32_hnsw_mean_us", Value::from(full_mean)),
+                ("f32_hnsw_min_us", Value::from(full_min)),
+                ("flat_mean_us", Value::from(flat_mean)),
+                ("flat_min_us", Value::from(flat_min)),
+            ]),
+        ),
+        (
+            "speedup_flat_over_sq8_hnsw",
+            Value::from(flat_mean / quant_mean),
+        ),
+        (
+            "recall_at_10",
+            object(vec![
+                ("sq8_hnsw", Value::from(hit_q as f64 / total as f64)),
+                ("f32_hnsw", Value::from(hit_f as f64 / total as f64)),
+            ]),
+        ),
+        (
+            "memory",
+            object(vec![
+                ("vectors_f32_bytes", Value::from(stats.vectors_f32_bytes)),
+                ("codes_bytes", Value::from(stats.codes_bytes)),
+                ("graph_bytes", Value::from(stats.graph_bytes)),
+                ("compression_ratio", Value::from(stats.compression_ratio())),
+                (
+                    "traversal_bytes_quantized",
+                    Value::from(stats.traversal_bytes()),
+                ),
+                (
+                    "traversal_bytes_f32",
+                    Value::from(stats.vectors_f32_bytes + stats.graph_bytes),
+                ),
+            ]),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, rendered).expect("report written");
+    println!("vector_search report written to {path}");
+}
+
 criterion_group!(benches, bench_embedding, bench_hnsw_build, bench_search);
-criterion_main!(benches);
+
+fn main() {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        json_report(&path);
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -5,7 +5,7 @@
 //! format so a deployment can snapshot after a bulk ingest and restore
 //! at startup instead of re-analyzing the whole KB.
 //!
-//! Version 2 layout (all integers little-endian; `v` = LEB128 varint):
+//! Version 3 layout (all integers little-endian; `v` = LEB128 varint):
 //!
 //! ```text
 //! "UAIX" | version:u16 | next_id:v | live_docs:v
@@ -15,22 +15,35 @@
 //!          name | nlens:v (id-delta:v, len:v)…   ← non-zero doc lengths
 //!          postings: nterms:v, per term:
 //!                    term | live_df:v | max_tf:v | min_len:v
-//!                    npostings:v (doc-delta:v, tf:v)…
+//!                    nblocks:v, per sealed block:
+//!                      count:v | first-doc-delta:v | span:v
+//!                      max_tf:v | min_len:v | doc_bits:u8 | tf_bits:u8
+//!                      nwords:v | packed words:u64…
+//!                    ntail:v (doc-delta:v, tf:v)…
+//!                    [tail_max_tf:v | tail_min_len:v]   ← iff ntail > 0
 //! tags:    ndocs:v, per doc: id:v, nvalues:v,
 //!          per value: field-name | kind:u8 | payload
 //! fnv64 checksum of everything above
 //! ```
 //!
-//! v2 persists each posting list's incrementally maintained statistics
-//! (`live_df`, `max_tf`, `min_len`) so a restored index answers queries
-//! at full pruning power without a warm-up rescan. `total_len` and
-//! `docs_with_field` are recomputed from the doc-length table during
-//! decode rather than stored.
+//! v3 persists the block-compressed posting layout *verbatim*: sealed
+//! blocks keep their bit-packed words and per-block `max_tf`/`min_len`
+//! bounds, so a restored index resumes Block-Max pruning with zero
+//! re-packing work (and the snapshot stays as small as the in-memory
+//! form). The per-list statistics (`live_df`, `max_tf`, `min_len`)
+//! carried since v2 are still stored so queries run at full pruning
+//! power without a warm-up rescan. `total_len` and `docs_with_field`
+//! are recomputed from the doc-length table during decode rather than
+//! stored.
 //!
-//! Version 1 snapshots (no per-term statistics, map-style doc lengths,
-//! stored `total_len`) are still readable: [`decode`] migrates them by
-//! rescanning postings once against the deleted set to rebuild the
-//! statistics the old format never carried.
+//! Older snapshots remain readable. Version 2 stored flat
+//! `(doc-delta, tf)` varint pairs: [`decode`] migrates them forward by
+//! replaying each list through the block packer (the per-document field
+//! length feeding the block bounds is read from the doc-length table —
+//! zero for tombstoned documents, which only *loosens* the resulting
+//! block bounds and therefore never invalidates pruning). Version 1
+//! additionally lacked per-term statistics; those are rebuilt by
+//! rescanning postings against the deleted set, exactly as before.
 //!
 //! Strings are length-prefixed (varint) UTF-8. Field and term tables
 //! are written in sorted order so snapshots are byte-identical for
@@ -42,13 +55,13 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use uniask_text::analyzer::Analyzer;
 
 use crate::doc::{DocId, DocSet, FieldValue};
-use crate::inverted::{InvertedIndex, PostingList};
+use crate::inverted::{InvertedIndex, PostingBlock, PostingList, BLOCK_SIZE};
 use crate::schema::{FieldAttributes, Schema};
 
 /// Magic bytes of the snapshot format.
 pub const MAGIC: &[u8; 4] = b"UAIX";
 /// Current format version.
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 /// Oldest readable format version.
 pub const MIN_VERSION: u16 = 1;
 
@@ -203,12 +216,35 @@ pub fn encode(index: &InvertedIndex) -> Bytes {
             put_varint(&mut buf, u64::from(list.live_df));
             put_varint(&mut buf, u64::from(list.max_tf));
             put_varint(&mut buf, u64::from(list.min_len));
-            put_varint(&mut buf, list.docs.len() as u64);
-            let mut prev = 0u32;
-            for (&doc, &tf) in list.docs.iter().zip(&list.tfs) {
+            // Sealed blocks travel packed: header fields plus the raw
+            // bit-packed words.
+            put_varint(&mut buf, list.blocks.len() as u64);
+            let mut prev_last = 0u32;
+            for block in &list.blocks {
+                put_varint(&mut buf, u64::from(block.count));
+                put_varint(&mut buf, u64::from(block.first_doc - prev_last));
+                put_varint(&mut buf, u64::from(block.last_doc - block.first_doc));
+                put_varint(&mut buf, u64::from(block.max_tf));
+                put_varint(&mut buf, u64::from(block.min_len));
+                buf.put_u8(block.doc_bits);
+                buf.put_u8(block.tf_bits);
+                put_varint(&mut buf, block.words.len() as u64);
+                for &w in block.words.iter() {
+                    buf.put_u64_le(w);
+                }
+                prev_last = block.last_doc;
+            }
+            // Tail postings as plain varint pairs (< BLOCK_SIZE of them).
+            put_varint(&mut buf, list.tail_docs.len() as u64);
+            let mut prev = prev_last;
+            for (&doc, &tf) in list.tail_docs.iter().zip(&list.tail_tfs) {
                 put_varint(&mut buf, u64::from(doc - prev));
                 prev = doc;
                 put_varint(&mut buf, u64::from(tf));
+            }
+            if !list.tail_docs.is_empty() {
+                put_varint(&mut buf, u64::from(list.tail_max_tf));
+                put_varint(&mut buf, u64::from(list.tail_min_len));
             }
         }
     }
@@ -358,30 +394,44 @@ pub fn decode(snapshot: &[u8], analyzer: Arc<dyn Analyzer>) -> Result<InvertedIn
             } else {
                 (0, 0, 0) // rebuilt below from postings + deleted set
             };
-            let mut list = PostingList {
-                docs: Vec::new(),
-                tfs: Vec::new(),
-                live_df,
-                max_tf,
-                min_len,
+            let mut list = if version >= 3 {
+                decode_blocked_list(&mut buf)?
+            } else {
+                // v1/v2 migration: flat varint pairs are replayed
+                // through the block packer. The per-document field
+                // length is read from the (already materialized)
+                // doc-length table; tombstoned documents read zero,
+                // which only loosens the derived block bounds.
+                let npostings = get_varint(&mut buf)? as usize;
+                let mut list = PostingList::default();
+                let mut prev = 0u32;
+                for i in 0..npostings {
+                    let delta = get_varint(&mut buf)? as u32;
+                    // Reject malformed (checksum-colliding) pair streams
+                    // instead of feeding the packer out-of-order docs.
+                    if i > 0 && delta == 0 {
+                        return Err(CodecError::Truncated);
+                    }
+                    prev = prev.checked_add(delta).ok_or(CodecError::Truncated)?;
+                    let tf = get_varint(&mut buf)? as u32;
+                    if tf == 0 {
+                        return Err(CodecError::Truncated);
+                    }
+                    let len = doc_len.get(prev as usize).copied().unwrap_or(0);
+                    list.push(prev, tf, len);
+                }
+                list
             };
-            let npostings = get_varint(&mut buf)? as usize;
-            list.docs.reserve_exact(npostings);
-            list.tfs.reserve_exact(npostings);
-            let mut prev = 0u32;
-            for _ in 0..npostings {
-                prev += get_varint(&mut buf)? as u32;
-                let tf = get_varint(&mut buf)? as u32;
-                list.docs.push(prev);
-                list.tfs.push(tf);
-            }
+            list.live_df = live_df;
+            list.max_tf = max_tf;
+            list.min_len = min_len;
             // Migration: v1 carried no statistics; rebuild them from the
             // postings and the deleted set.
             if version == 1 {
                 let mut live_df = 0u32;
                 let mut max_tf = 0u32;
                 let mut min_len = 0u32;
-                for (&doc, &tf) in list.docs.iter().zip(&list.tfs) {
+                list.for_each(|doc, tf| {
                     max_tf = max_tf.max(tf);
                     if !index.deleted.contains(DocId(doc)) {
                         live_df += 1;
@@ -390,18 +440,18 @@ pub fn decode(snapshot: &[u8], analyzer: Arc<dyn Analyzer>) -> Result<InvertedIn
                             min_len = len;
                         }
                     }
-                }
+                });
                 list.live_df = live_df;
                 list.max_tf = max_tf;
                 list.min_len = min_len;
             }
             // Forward index: live documents only (tombstoned documents
             // already had theirs removed before the snapshot).
-            for &doc in &list.docs {
+            list.for_each(|doc, _| {
                 if !index.deleted.contains(DocId(doc)) {
                     doc_terms.entry(doc).or_default().push(tid);
                 }
-            }
+            });
             postings.insert(tid, list);
         }
         let field = index.fields.entry(name).or_default();
@@ -439,6 +489,88 @@ pub fn decode(snapshot: &[u8], analyzer: Arc<dyn Analyzer>) -> Result<InvertedIn
         index.tags.insert(doc, values);
     }
     Ok(index)
+}
+
+/// Read one v3 block-compressed posting list (blocks verbatim, tail as
+/// varint pairs). Statistics are filled in by the caller.
+fn decode_blocked_list(buf: &mut Bytes) -> Result<PostingList, CodecError> {
+    let mut list = PostingList::default();
+    let nblocks = get_varint(buf)? as usize;
+    let mut prev_last = 0u32;
+    for i in 0..nblocks {
+        let count = get_varint(buf)?;
+        if count == 0 || count > BLOCK_SIZE as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let first_delta = get_varint(buf)? as u32;
+        if i > 0 && first_delta == 0 {
+            return Err(CodecError::Truncated);
+        }
+        let first_doc = prev_last
+            .checked_add(first_delta)
+            .ok_or(CodecError::Truncated)?;
+        let span = get_varint(buf)? as u32;
+        let last_doc = first_doc.checked_add(span).ok_or(CodecError::Truncated)?;
+        let max_tf = get_varint(buf)? as u32;
+        let min_len = get_varint(buf)? as u32;
+        if buf.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let doc_bits = buf.get_u8();
+        let tf_bits = buf.get_u8();
+        if doc_bits > 32 || tf_bits > 32 {
+            return Err(CodecError::Truncated);
+        }
+        let nwords = get_varint(buf)? as usize;
+        if buf.remaining() < nwords * 8 {
+            return Err(CodecError::Truncated);
+        }
+        // The packed payload must hold exactly the bits the header
+        // promises (tolerating the one partially used trailing word).
+        let need_bits =
+            (count as usize - 1) * usize::from(doc_bits) + count as usize * usize::from(tf_bits);
+        if nwords != need_bits.div_ceil(64) {
+            return Err(CodecError::Truncated);
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(buf.get_u64_le());
+        }
+        list.blocks.push(PostingBlock {
+            first_doc,
+            last_doc,
+            count: count as u16,
+            doc_bits,
+            tf_bits,
+            max_tf,
+            min_len,
+            words: words.into_boxed_slice(),
+        });
+        prev_last = last_doc;
+    }
+    let ntail = get_varint(buf)? as usize;
+    if ntail >= BLOCK_SIZE {
+        return Err(CodecError::Truncated);
+    }
+    let mut prev = prev_last;
+    for i in 0..ntail {
+        let delta = get_varint(buf)? as u32;
+        if (i > 0 || nblocks > 0) && delta == 0 {
+            return Err(CodecError::Truncated);
+        }
+        prev = prev.checked_add(delta).ok_or(CodecError::Truncated)?;
+        let tf = get_varint(buf)? as u32;
+        if tf == 0 {
+            return Err(CodecError::Truncated);
+        }
+        list.tail_docs.push(prev);
+        list.tail_tfs.push(tf);
+    }
+    if ntail > 0 {
+        list.tail_max_tf = get_varint(buf)? as u32;
+        list.tail_min_len = get_varint(buf)? as u32;
+    }
+    Ok(list)
 }
 
 #[cfg(test)]
@@ -530,9 +662,106 @@ mod tests {
             for (term, tid) in terms {
                 let list = &field.postings[&tid];
                 put_str(&mut buf, term);
-                put_varint(&mut buf, list.docs.len() as u64);
+                let (docs, tfs) = list.decoded();
+                put_varint(&mut buf, docs.len() as u64);
                 let mut prev = 0u32;
-                for (&doc, &tf) in list.docs.iter().zip(&list.tfs) {
+                for (&doc, &tf) in docs.iter().zip(&tfs) {
+                    put_varint(&mut buf, u64::from(doc - prev));
+                    prev = doc;
+                    put_varint(&mut buf, u64::from(tf));
+                }
+            }
+        }
+        let mut tagged: Vec<(u32, &Vec<(String, FieldValue)>)> =
+            index.tags.iter().map(|(d, v)| (d.0, v)).collect();
+        tagged.sort_by_key(|(d, _)| *d);
+        put_varint(&mut buf, tagged.len() as u64);
+        for (doc, values) in tagged {
+            put_varint(&mut buf, u64::from(doc));
+            put_varint(&mut buf, values.len() as u64);
+            for (field, value) in values {
+                put_str(&mut buf, field);
+                match value {
+                    FieldValue::Text(t) => {
+                        buf.put_u8(0);
+                        put_str(&mut buf, t);
+                    }
+                    FieldValue::Tags(tags) => {
+                        buf.put_u8(1);
+                        put_varint(&mut buf, tags.len() as u64);
+                        for t in tags {
+                            put_str(&mut buf, t);
+                        }
+                    }
+                }
+            }
+        }
+        let checksum = fnv64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
+    /// Serialize `index` in the legacy v2 layout (flat varint posting
+    /// pairs with per-term statistics). Only used to test the forward
+    /// migration into the v3 block format.
+    fn encode_v2(index: &InvertedIndex) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64 * 1024);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(2);
+        put_varint(&mut buf, u64::from(index.next_id));
+        put_varint(&mut buf, index.live_docs as u64);
+        let fields = index.schema().fields();
+        put_varint(&mut buf, fields.len() as u64);
+        for spec in fields {
+            put_str(&mut buf, &spec.name);
+            let bits = (spec.attributes.searchable as u8)
+                | ((spec.attributes.retrievable as u8) << 1)
+                | ((spec.attributes.filterable as u8) << 2);
+            buf.put_u8(bits);
+        }
+        put_varint(&mut buf, index.deleted.len() as u64);
+        let mut prev = 0u32;
+        for doc in index.deleted.iter() {
+            put_varint(&mut buf, u64::from(doc.0 - prev));
+            prev = doc.0;
+        }
+        let mut field_names: Vec<&String> = index.fields.keys().collect();
+        field_names.sort();
+        put_varint(&mut buf, field_names.len() as u64);
+        for name in field_names {
+            let field = &index.fields[name];
+            put_str(&mut buf, name);
+            let lens: Vec<(u32, u32)> = field
+                .doc_len
+                .iter()
+                .enumerate()
+                .filter(|(_, &len)| len != 0)
+                .map(|(id, &len)| (id as u32, len))
+                .collect();
+            put_varint(&mut buf, lens.len() as u64);
+            let mut prev = 0u32;
+            for (id, len) in lens {
+                put_varint(&mut buf, u64::from(id - prev));
+                prev = id;
+                put_varint(&mut buf, u64::from(len));
+            }
+            let mut terms: Vec<(&str, u32)> = field
+                .postings
+                .keys()
+                .map(|&tid| (index.dict.term(tid), tid))
+                .collect();
+            terms.sort_unstable();
+            put_varint(&mut buf, terms.len() as u64);
+            for (term, tid) in terms {
+                let list = &field.postings[&tid];
+                put_str(&mut buf, term);
+                put_varint(&mut buf, u64::from(list.live_df));
+                put_varint(&mut buf, u64::from(list.max_tf));
+                put_varint(&mut buf, u64::from(list.min_len));
+                let (docs, tfs) = list.decoded();
+                put_varint(&mut buf, docs.len() as u64);
+                let mut prev = 0u32;
+                for (&doc, &tf) in docs.iter().zip(&tfs) {
                     put_varint(&mut buf, u64::from(doc - prev));
                     prev = doc;
                     put_varint(&mut buf, u64::from(tf));
@@ -614,8 +843,8 @@ mod tests {
                 assert_eq!(rlist.live_df, list.live_df, "{name}/{term} live_df");
                 assert_eq!(rlist.max_tf, list.max_tf, "{name}/{term} max_tf");
                 assert_eq!(rlist.min_len, list.min_len, "{name}/{term} min_len");
-                assert_eq!(rlist.docs, list.docs, "{name}/{term} docs");
-                assert_eq!(rlist.tfs, list.tfs, "{name}/{term} tfs");
+                assert_eq!(rlist.decoded(), list.decoded(), "{name}/{term} postings");
+                assert_eq!(rlist.blocks, list.blocks, "{name}/{term} packed blocks");
             }
             assert_eq!(
                 restored_field.total_len, field.total_len,
@@ -673,6 +902,96 @@ mod tests {
         let mut migrated = migrated;
         migrated.delete(DocId(0)).unwrap();
         assert_eq!(migrated.term_df("content", "bonific"), 0);
+    }
+
+    #[test]
+    fn legacy_v2_snapshot_migrates() {
+        let original = sample_index();
+        let v2 = encode_v2(&original);
+        let migrated = decode(&v2, Arc::new(ItalianAnalyzer::new())).unwrap();
+        assert_eq!(migrated.doc_count(), original.doc_count());
+        // Stored statistics survive the replay through the block packer.
+        for (name, field) in &original.fields {
+            let mfield = &migrated.fields[name];
+            assert_eq!(mfield.total_len, field.total_len, "{name} total_len");
+            assert_eq!(mfield.docs_with_field, field.docs_with_field);
+            for (&tid, list) in &field.postings {
+                let term = original.dict.term(tid);
+                let mtid = migrated.dict.lookup(term).unwrap();
+                let mlist = &mfield.postings[&mtid];
+                assert_eq!(mlist.live_df, list.live_df, "{name}/{term} live_df");
+                assert_eq!(mlist.max_tf, list.max_tf, "{name}/{term} max_tf");
+                assert_eq!(mlist.min_len, list.min_len, "{name}/{term} min_len");
+                assert_eq!(mlist.decoded(), list.decoded(), "{name}/{term} postings");
+            }
+        }
+        let searcher = Searcher::new();
+        for query in ["bonifico estero", "carta smarrita", "mutuo"] {
+            let a = searcher
+                .search(&original, query, 10, &ScoringProfile::neutral(), None)
+                .unwrap();
+            let b = searcher
+                .search(&migrated, query, 10, &ScoringProfile::neutral(), None)
+                .unwrap();
+            assert_eq!(a, b, "divergence on `{query}` after v2 migration");
+        }
+        let mut migrated = migrated;
+        migrated.delete(DocId(0)).unwrap();
+        assert_eq!(migrated.term_df("content", "bonific"), 0);
+    }
+
+    #[test]
+    fn multi_block_lists_roundtrip_verbatim() {
+        // Enough repetitions of a shared term to seal posting blocks, so
+        // the packed-block persistence path is actually exercised.
+        let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+        for i in 0..(3 * BLOCK_SIZE + 17) {
+            idx.add(
+                &IndexDocument::new()
+                    .with_text("title", &format!("filiale {i}"))
+                    .with_text("content", &format!("orari sportello filiale numero {i}")),
+            )
+            .unwrap();
+        }
+        idx.delete(DocId(5)).unwrap();
+        idx.delete(DocId(200)).unwrap();
+        let tid = idx.dict.lookup("filial").unwrap();
+        let list = &idx.fields["content"].postings[&tid];
+        assert!(list.blocks.len() >= 3, "expected sealed blocks");
+
+        let restored = decode(&encode(&idx), Arc::new(ItalianAnalyzer::new())).unwrap();
+        let rtid = restored.dict.lookup("filial").unwrap();
+        let rlist = &restored.fields["content"].postings[&rtid];
+        assert_eq!(
+            rlist.blocks, list.blocks,
+            "sealed blocks must travel verbatim"
+        );
+        assert_eq!(rlist.decoded(), list.decoded());
+        assert_eq!(rlist.tail_docs, list.tail_docs);
+        assert_eq!(rlist.tail_tfs, list.tail_tfs);
+        assert_eq!(rlist.tail_max_tf, list.tail_max_tf);
+        assert_eq!(rlist.tail_min_len, list.tail_min_len);
+
+        let searcher = Searcher::new();
+        let a = searcher
+            .search(
+                &idx,
+                "sportello filiale",
+                10,
+                &ScoringProfile::neutral(),
+                None,
+            )
+            .unwrap();
+        let b = searcher
+            .search(
+                &restored,
+                "sportello filiale",
+                10,
+                &ScoringProfile::neutral(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

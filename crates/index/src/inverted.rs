@@ -9,11 +9,16 @@
 //!
 //! Terms are interned once per index into a [`TermDict`] (`term →
 //! TermId`); every field keys its postings by the 4-byte [`TermId`]
-//! instead of owning a copy of the string. A posting list is a
-//! struct-of-arrays pair of sorted doc ids and parallel term
-//! frequencies (`Vec<u32>` + `Vec<u32>`), and per-document field
-//! lengths live in a dense `Vec<u32>` indexed by [`DocId`]. Each list
-//! also carries incrementally maintained statistics — live document
+//! instead of owning a copy of the string. A posting list is a sequence
+//! of delta-encoded, bit-packed [`PostingBlock`]s of up to
+//! [`BLOCK_SIZE`] postings each, closed by a small uncompressed tail
+//! that absorbs appends until it fills and is sealed into the next
+//! block. Every block carries its own `max_tf`/`min_len`/`last_doc`
+//! metadata, which is what lets the query engine compute *per-block*
+//! BM25 upper bounds and skip whole blocks without decoding them
+//! (Block-Max MaxScore — see `searcher.rs`). Per-document field lengths
+//! live in a dense `Vec<u32>` indexed by [`DocId`]. Each list also
+//! carries incrementally maintained global statistics — live document
 //! frequency, maximum term frequency and minimum field length — so the
 //! query engine can compute BM25 IDFs and MaxScore upper bounds without
 //! ever rescanning postings or tombstones at query time.
@@ -29,6 +34,11 @@ use crate::schema::Schema;
 
 /// Interned identifier of a term (index-wide, shared across fields).
 pub type TermId = u32;
+
+/// Postings per sealed block. 128 keeps a block within two cache lines
+/// even at full 32-bit widths and matches the granularity used by
+/// block-max evaluation in the literature.
+pub(crate) const BLOCK_SIZE: usize = 128;
 
 /// The term dictionary: a bidirectional `term ↔ TermId` intern table.
 #[derive(Debug, Default)]
@@ -63,24 +73,179 @@ impl TermDict {
     pub fn len(&self) -> usize {
         self.terms.len()
     }
+
+    /// Approximate heap bytes held by the intern table.
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.terms.iter().map(|t| t.capacity()).sum();
+        // Each term is stored twice (map key + table) plus the map/vec
+        // entry overhead; 48 bytes/entry approximates the HashMap slot.
+        2 * strings + self.terms.len() * (std::mem::size_of::<String>() + 48)
+    }
 }
 
-/// A struct-of-arrays posting list with incrementally maintained
+/// Number of bits needed to represent `max` (0 for `max == 0`).
+#[inline]
+fn bits_for(max: u32) -> u8 {
+    (32 - max.leading_zeros()) as u8
+}
+
+/// LSB-first bit packer over `u64` words.
+#[derive(Default)]
+struct BitWriter {
+    words: Vec<u64>,
+    bit: usize,
+}
+
+impl BitWriter {
+    /// Append the low `bits` bits of `value`.
+    fn push(&mut self, value: u64, bits: u8) {
+        if bits == 0 {
+            return;
+        }
+        debug_assert!(bits <= 32 && (bits == 64 || value < (1u64 << bits)));
+        let word = self.bit / 64;
+        let off = self.bit % 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        if off + usize::from(bits) > 64 {
+            self.words.push(value >> (64 - off));
+        }
+        self.bit += usize::from(bits);
+    }
+}
+
+/// Read `bits` bits starting at bit offset `bit` (LSB-first layout).
+#[inline]
+fn read_bits(words: &[u64], bit: usize, bits: u8) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let word = bit / 64;
+    let off = bit % 64;
+    let mut v = words[word] >> off;
+    if off + usize::from(bits) > 64 {
+        v |= words[word + 1] << (64 - off);
+    }
+    v & ((1u64 << bits) - 1)
+}
+
+/// A sealed, immutable run of up to [`BLOCK_SIZE`] postings.
+///
+/// Documents are stored as bit-packed gaps — `(doc[i] − doc[i−1] − 1)`
+/// in `doc_bits` bits each (the first document lives in the header) —
+/// followed by the term frequencies as `(tf − 1)` in `tf_bits` bits
+/// each. The header keeps everything block-max evaluation needs without
+/// decoding: the doc-id range, the block-local maximum term frequency
+/// and minimum field length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PostingBlock {
+    /// First document id in the block.
+    pub first_doc: u32,
+    /// Last document id in the block (the skip key).
+    pub last_doc: u32,
+    /// Number of postings (1..=[`BLOCK_SIZE`]).
+    pub count: u16,
+    /// Bit width of each packed doc gap.
+    pub doc_bits: u8,
+    /// Bit width of each packed `tf − 1`.
+    pub tf_bits: u8,
+    /// Maximum term frequency inside this block.
+    pub max_tf: u32,
+    /// Minimum field length over documents posted in this block.
+    pub min_len: u32,
+    /// The packed payload.
+    pub words: Box<[u64]>,
+}
+
+impl PostingBlock {
+    /// Pack parallel `docs`/`tfs` slices (sorted ascending, same length,
+    /// `tfs[i] ≥ 1`) into a sealed block carrying the given bounds.
+    pub fn pack(docs: &[u32], tfs: &[u32], max_tf: u32, min_len: u32) -> PostingBlock {
+        debug_assert!(!docs.is_empty() && docs.len() <= BLOCK_SIZE);
+        debug_assert_eq!(docs.len(), tfs.len());
+        let max_gap = docs.windows(2).map(|w| w[1] - w[0] - 1).max().unwrap_or(0);
+        let doc_bits = bits_for(max_gap);
+        let max_tf_m1 = tfs.iter().map(|&t| t - 1).max().unwrap_or(0);
+        let tf_bits = bits_for(max_tf_m1);
+        let total_bits =
+            (docs.len() - 1) * usize::from(doc_bits) + docs.len() * usize::from(tf_bits);
+        let mut w = BitWriter {
+            words: Vec::with_capacity(total_bits.div_ceil(64)),
+            bit: 0,
+        };
+        for pair in docs.windows(2) {
+            w.push(u64::from(pair[1] - pair[0] - 1), doc_bits);
+        }
+        for &tf in tfs {
+            w.push(u64::from(tf - 1), tf_bits);
+        }
+        PostingBlock {
+            first_doc: docs[0],
+            last_doc: *docs.last().expect("non-empty block"),
+            count: docs.len() as u16,
+            doc_bits,
+            tf_bits,
+            max_tf,
+            min_len,
+            words: w.words.into_boxed_slice(),
+        }
+    }
+
+    /// Decode the full block into the scratch buffers.
+    pub fn decode_into(&self, docs: &mut Vec<u32>, tfs: &mut Vec<u32>) {
+        docs.clear();
+        tfs.clear();
+        let count = usize::from(self.count);
+        docs.reserve(count);
+        tfs.reserve(count);
+        docs.push(self.first_doc);
+        let mut bit = 0;
+        let mut prev = self.first_doc;
+        for _ in 1..count {
+            let gap = read_bits(&self.words, bit, self.doc_bits) as u32;
+            bit += usize::from(self.doc_bits);
+            prev = prev.wrapping_add(gap).wrapping_add(1);
+            docs.push(prev);
+        }
+        for _ in 0..count {
+            tfs.push(read_bits(&self.words, bit, self.tf_bits) as u32 + 1);
+            bit += usize::from(self.tf_bits);
+        }
+    }
+
+    /// Heap bytes of the packed payload.
+    pub fn payload_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// A block-compressed posting list with incrementally maintained
 /// statistics.
 ///
-/// `docs` is sorted ascending (ids are assigned monotonically and each
-/// document posts a term at most once), `tfs[i]` is the term frequency
-/// of `docs[i]`. Tombstoned documents stay in the arrays and are
-/// skipped through the query-time candidate set; `live_df` tracks the
-/// live count exactly, while `max_tf`/`min_len` are upper/lower bounds
-/// over *all* postings ever added (deletion may leave them stale, which
-/// only loosens — never invalidates — the derived MaxScore bound).
+/// Sealed [`PostingBlock`]s hold exactly [`BLOCK_SIZE`] postings when
+/// built through [`PostingList::push`] (the codec may reconstruct
+/// shorter blocks); the uncompressed tail buffers at most
+/// `BLOCK_SIZE − 1` trailing postings together with its own running
+/// `max_tf`/`min_len`, so the tail participates in block-max pruning
+/// exactly like a sealed block. Tombstoned documents stay packed and
+/// are skipped through the query-time candidate set; `live_df` tracks
+/// the live count exactly, while `max_tf`/`min_len` are bounds over
+/// *all* postings ever added (deletion may leave them stale, which only
+/// loosens — never invalidates — the derived MaxScore bound).
 #[derive(Debug, Default)]
 pub(crate) struct PostingList {
-    /// Sorted document ids.
-    pub docs: Vec<u32>,
-    /// Term frequency of the document at the same position in `docs`.
-    pub tfs: Vec<u32>,
+    /// Sealed compressed blocks, ascending doc-id ranges.
+    pub blocks: Vec<PostingBlock>,
+    /// Uncompressed tail doc ids (all greater than any sealed doc).
+    pub tail_docs: Vec<u32>,
+    /// Term frequencies parallel to `tail_docs`.
+    pub tail_tfs: Vec<u32>,
+    /// Maximum term frequency within the tail.
+    pub tail_max_tf: u32,
+    /// Minimum field length within the tail.
+    pub tail_min_len: u32,
     /// Live (non-tombstoned) document frequency.
     pub live_df: u32,
     /// Maximum term frequency over all postings.
@@ -90,20 +255,272 @@ pub(crate) struct PostingList {
 }
 
 impl PostingList {
-    fn push(&mut self, doc: u32, tf: u32, field_len: u32) {
+    pub(crate) fn push(&mut self, doc: u32, tf: u32, field_len: u32) {
         debug_assert!(
-            self.docs.last().is_none_or(|&d| d < doc),
+            self.last_doc().is_none_or(|d| d < doc),
             "postings must be appended in ascending doc order"
         );
-        if self.docs.is_empty() || field_len < self.min_len {
+        debug_assert!(tf >= 1, "a posted term occurs at least once");
+        let empty = self.blocks.is_empty() && self.tail_docs.is_empty();
+        if empty || field_len < self.min_len {
             self.min_len = field_len;
         }
         if tf > self.max_tf {
             self.max_tf = tf;
         }
-        self.docs.push(doc);
-        self.tfs.push(tf);
+        if self.tail_docs.is_empty() || field_len < self.tail_min_len {
+            self.tail_min_len = field_len;
+        }
+        if tf > self.tail_max_tf {
+            self.tail_max_tf = tf;
+        }
+        self.tail_docs.push(doc);
+        self.tail_tfs.push(tf);
         self.live_df += 1;
+        if self.tail_docs.len() == BLOCK_SIZE {
+            self.seal_tail();
+        }
+    }
+
+    /// Compress the tail into a sealed block.
+    fn seal_tail(&mut self) {
+        self.blocks.push(PostingBlock::pack(
+            &self.tail_docs,
+            &self.tail_tfs,
+            self.tail_max_tf,
+            self.tail_min_len,
+        ));
+        self.tail_docs.clear();
+        self.tail_tfs.clear();
+        self.tail_max_tf = 0;
+        self.tail_min_len = 0;
+    }
+
+    /// Greatest document id in the list.
+    pub fn last_doc(&self) -> Option<u32> {
+        self.tail_docs
+            .last()
+            .copied()
+            .or_else(|| self.blocks.last().map(|b| b.last_doc))
+    }
+
+    /// Total number of postings (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| usize::from(b.count))
+            .sum::<usize>()
+            + self.tail_docs.len()
+    }
+
+    /// Visit every `(doc, tf)` pair in ascending doc order.
+    pub fn for_each(&self, mut f: impl FnMut(u32, u32)) {
+        let mut docs = Vec::with_capacity(BLOCK_SIZE);
+        let mut tfs = Vec::with_capacity(BLOCK_SIZE);
+        for b in &self.blocks {
+            b.decode_into(&mut docs, &mut tfs);
+            for (&d, &t) in docs.iter().zip(&tfs) {
+                f(d, t);
+            }
+        }
+        for (&d, &t) in self.tail_docs.iter().zip(&self.tail_tfs) {
+            f(d, t);
+        }
+    }
+
+    /// Fully decode into `(docs, tfs)` — tests, codec and diagnostics.
+    #[cfg(test)]
+    pub fn decoded(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut docs = Vec::with_capacity(self.len());
+        let mut tfs = Vec::with_capacity(self.len());
+        self.for_each(|d, t| {
+            docs.push(d);
+            tfs.push(t);
+        });
+        (docs, tfs)
+    }
+
+    /// Open a read cursor positioned before the first posting.
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        PostingCursor {
+            list: self,
+            block: 0,
+            pos: 0,
+            decoded: usize::MAX,
+            docs: Vec::new(),
+            tfs: Vec::new(),
+        }
+    }
+
+    /// Heap bytes of the compressed representation.
+    pub fn packed_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| std::mem::size_of::<PostingBlock>() + b.payload_bytes())
+            .sum::<usize>()
+            + self.tail_docs.capacity() * 4
+            + self.tail_tfs.capacity() * 4
+    }
+
+    /// Bytes the former uncompressed `u32`/`u32` struct-of-arrays
+    /// layout would occupy for the same postings.
+    pub fn logical_bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+/// A forward-only read cursor over one [`PostingList`].
+///
+/// The cursor walks sealed blocks lazily: a block is bit-unpacked into
+/// the cursor's scratch buffers only when a document *inside* it (past
+/// the header-resident `first_doc`) must be inspected. [`Self::shallow_seek`]
+/// moves across whole blocks using only the `last_doc` header keys,
+/// which is what lets Block-Max MaxScore skip runs of documents without
+/// ever paying the decode cost.
+#[derive(Debug)]
+pub(crate) struct PostingCursor<'a> {
+    list: &'a PostingList,
+    /// Current block index; `list.blocks.len()` means the tail.
+    block: usize,
+    /// Position inside the current block/tail.
+    pos: usize,
+    /// Which block index the scratch buffers currently hold.
+    decoded: usize,
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+}
+
+impl PostingCursor<'_> {
+    #[inline]
+    fn in_tail(&self) -> bool {
+        self.block == self.list.blocks.len()
+    }
+
+    #[inline]
+    fn ensure_decoded(&mut self) {
+        if self.decoded != self.block {
+            self.list.blocks[self.block].decode_into(&mut self.docs, &mut self.tfs);
+            self.decoded = self.block;
+        }
+    }
+
+    /// Smallest not-yet-consumed document id, `None` when exhausted.
+    #[inline]
+    pub fn current(&mut self) -> Option<u32> {
+        if self.in_tail() {
+            return self.list.tail_docs.get(self.pos).copied();
+        }
+        if self.pos == 0 {
+            return Some(self.list.blocks[self.block].first_doc);
+        }
+        self.ensure_decoded();
+        Some(self.docs[self.pos])
+    }
+
+    /// Term frequency at the cursor. Must not be exhausted.
+    #[inline]
+    pub fn current_tf(&mut self) -> u32 {
+        if self.in_tail() {
+            return self.list.tail_tfs[self.pos];
+        }
+        self.ensure_decoded();
+        self.tfs[self.pos]
+    }
+
+    /// Consume the current document.
+    #[inline]
+    pub fn advance(&mut self) {
+        if self.in_tail() {
+            self.pos += 1;
+            return;
+        }
+        self.pos += 1;
+        if self.pos >= usize::from(self.list.blocks[self.block].count) {
+            self.block += 1;
+            self.pos = 0;
+        }
+    }
+
+    /// `(max_tf, min_len, last_doc)` of the block the cursor sits in
+    /// (the tail counts as a block), or `None` when exhausted.
+    #[inline]
+    pub fn block_info(&self) -> Option<(u32, u32, u32)> {
+        if self.in_tail() {
+            if self.pos >= self.list.tail_docs.len() {
+                return None;
+            }
+            return Some((
+                self.list.tail_max_tf,
+                self.list.tail_min_len,
+                *self.list.tail_docs.last().expect("non-empty tail"),
+            ));
+        }
+        let b = &self.list.blocks[self.block];
+        Some((b.max_tf, b.min_len, b.last_doc))
+    }
+
+    /// Stable identity of the current block — cache key for per-block
+    /// score bounds (the tail maps to `blocks.len()`).
+    #[inline]
+    pub fn block_key(&self) -> usize {
+        self.block
+    }
+
+    /// Gallop over block headers: leave `self.block` at the first block
+    /// (from the current one) whose `last_doc ≥ target`, resetting the
+    /// in-block position when the block changes. Skipped blocks are
+    /// never decoded. Safe to discard a mid-block position here: every
+    /// remaining doc in a skipped block is `< target`.
+    fn gallop_blocks(&mut self, target: u32) {
+        let blocks = &self.list.blocks;
+        if self.in_tail() || blocks[self.block].last_doc >= target {
+            return;
+        }
+        let mut lo = self.block; // invariant: blocks[lo].last_doc < target
+        let mut step = 1usize;
+        let mut hi = lo + step;
+        while hi < blocks.len() && blocks[hi].last_doc < target {
+            lo = hi;
+            step <<= 1;
+            hi = lo + step;
+        }
+        let hi = hi.min(blocks.len());
+        let idx = lo + 1 + blocks[lo + 1..hi].partition_point(|b| b.last_doc < target);
+        self.block = idx;
+        self.pos = 0;
+    }
+
+    /// Move at block granularity until the current block may contain
+    /// `target` (its `last_doc ≥ target`) without decoding anything.
+    /// After the call the cursor's block bounds dominate every document
+    /// in `[current, block last_doc]`.
+    #[inline]
+    pub fn shallow_seek(&mut self, target: u32) {
+        self.gallop_blocks(target);
+    }
+
+    /// Position the cursor at the first document `≥ target` (no-op when
+    /// already there; exhausts when none exists).
+    pub fn seek(&mut self, target: u32) {
+        match self.current() {
+            None => return,
+            Some(d) if d >= target => return,
+            _ => {}
+        }
+        self.gallop_blocks(target);
+        if self.in_tail() {
+            let td = &self.list.tail_docs;
+            self.pos += td[self.pos..].partition_point(|&d| d < target);
+            return;
+        }
+        let b = &self.list.blocks[self.block];
+        if self.pos == 0 && b.first_doc >= target {
+            return;
+        }
+        let count = usize::from(b.count);
+        self.ensure_decoded();
+        self.pos += self.docs[self.pos..count].partition_point(|&d| d < target);
+        debug_assert!(self.pos < count, "last_doc >= target implies in-block hit");
     }
 }
 
@@ -171,6 +588,33 @@ impl FieldIndex {
             0.0
         } else {
             self.total_len as f64 / f64::from(self.docs_with_field)
+        }
+    }
+}
+
+/// Resident-memory accounting for an [`InvertedIndex`] — the counters
+/// the tier-1 footprint gate and `BENCH_topk.json` report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexMemoryStats {
+    /// Total postings across all fields (tombstones included).
+    pub posting_entries: usize,
+    /// Heap bytes of the block-compressed posting storage.
+    pub postings_packed_bytes: usize,
+    /// Bytes the uncompressed `u32`/`u32` layout would need.
+    pub postings_logical_bytes: usize,
+    /// Bytes of the dense per-document field-length arrays.
+    pub doc_len_bytes: usize,
+    /// Approximate bytes of the term intern table.
+    pub dict_bytes: usize,
+}
+
+impl IndexMemoryStats {
+    /// Compression ratio of posting storage (logical / packed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.postings_packed_bytes == 0 {
+            1.0
+        } else {
+            self.postings_logical_bytes as f64 / self.postings_packed_bytes as f64
         }
     }
 }
@@ -263,6 +707,24 @@ impl InvertedIndex {
             .get(field)
             .and_then(|f| f.postings.get(&tid))
             .map_or(0, |p| p.live_df)
+    }
+
+    /// Resident-bytes accounting over posting storage, field lengths
+    /// and the term dictionary.
+    pub fn memory_stats(&self) -> IndexMemoryStats {
+        let mut stats = IndexMemoryStats {
+            dict_bytes: self.dict.heap_bytes(),
+            ..IndexMemoryStats::default()
+        };
+        for field in self.fields.values() {
+            for list in field.postings.values() {
+                stats.posting_entries += list.len();
+                stats.postings_packed_bytes += list.packed_bytes();
+                stats.postings_logical_bytes += list.logical_bytes();
+            }
+            stats.doc_len_bytes += field.doc_len.capacity() * 4;
+        }
+        stats
     }
 
     /// Add a document, returning its assigned [`DocId`].
@@ -477,7 +939,7 @@ mod tests {
         // Tombstoned postings pile up but df stays exact.
         let tid = idx.dict.lookup("bonific").unwrap();
         let list = &idx.fields["content"].postings[&tid];
-        assert_eq!(list.docs.len(), 4);
+        assert_eq!(list.len(), 4);
         assert_eq!(list.live_df, 1);
     }
 
@@ -490,7 +952,223 @@ mod tests {
         let list = &idx.fields["content"].postings[&tid];
         assert_eq!(list.max_tf, 3);
         assert_eq!(list.min_len, 1, "second doc has a single-term field");
-        assert!(list.docs.windows(2).all(|w| w[0] < w[1]), "docs sorted");
-        assert_eq!(list.docs.len(), list.tfs.len(), "parallel arrays");
+        let (docs, tfs) = list.decoded();
+        assert!(docs.windows(2).all(|w| w[0] < w[1]), "docs sorted");
+        assert_eq!(docs.len(), tfs.len(), "parallel arrays");
+    }
+
+    #[test]
+    fn lists_seal_into_blocks_and_decode_identically() {
+        let mut list = PostingList::default();
+        let n = 3 * BLOCK_SIZE + 17;
+        let mut docs = Vec::new();
+        let mut tfs = Vec::new();
+        let mut doc = 0u32;
+        for i in 0..n {
+            doc += 1 + (i as u32 % 37) * (i as u32 % 3);
+            let tf = 1 + (i as u32 % 9);
+            docs.push(doc);
+            tfs.push(tf);
+            list.push(doc, tf, 10 + (i as u32 % 5));
+        }
+        assert_eq!(list.blocks.len(), 3, "three sealed blocks");
+        assert_eq!(list.tail_docs.len(), 17, "remainder stays in the tail");
+        assert_eq!(list.len(), n);
+        assert_eq!(list.decoded(), (docs.clone(), tfs.clone()));
+        // Block metadata is exact per block.
+        for b in &list.blocks {
+            let mut bd = Vec::new();
+            let mut bt = Vec::new();
+            b.decode_into(&mut bd, &mut bt);
+            assert_eq!(bd.len(), usize::from(b.count));
+            assert_eq!(b.first_doc, bd[0]);
+            assert_eq!(b.last_doc, *bd.last().unwrap());
+            assert_eq!(b.max_tf, bt.iter().copied().max().unwrap());
+        }
+        // Compression actually bites on this distribution.
+        assert!(
+            list.packed_bytes() < list.logical_bytes(),
+            "packed {} >= logical {}",
+            list.packed_bytes(),
+            list.logical_bytes()
+        );
+        // Cursor iteration matches the full decode.
+        let mut cur = list.cursor();
+        for (i, &d) in docs.iter().enumerate() {
+            assert_eq!(cur.current(), Some(d));
+            assert_eq!(cur.current_tf(), tfs[i]);
+            cur.advance();
+        }
+        assert_eq!(cur.current(), None);
+    }
+
+    #[test]
+    fn cursor_seek_matches_linear_scan() {
+        let mut list = PostingList::default();
+        let docs: Vec<u32> = (0..500u32).map(|i| i * 3 + (i % 2)).collect();
+        for (i, &d) in docs.iter().enumerate() {
+            list.push(d, 1 + (i as u32 % 4), 8);
+        }
+        for target in [0u32, 1, 2, 3, 100, 381, 382, 383, 1200, 1495, 1496, 5000] {
+            let mut cur = list.cursor();
+            cur.seek(target);
+            let expect = docs.iter().copied().find(|&d| d >= target);
+            assert_eq!(cur.current(), expect, "seek({target})");
+        }
+        // Monotone multi-seek on one cursor.
+        let mut cur = list.cursor();
+        for target in [5u32, 5, 130, 384, 384, 385, 1400] {
+            cur.seek(target);
+            let expect = docs.iter().copied().find(|&d| d >= target);
+            assert_eq!(cur.current(), expect, "monotone seek({target})");
+        }
+    }
+
+    #[test]
+    fn shallow_seek_skips_blocks_without_decoding() {
+        let mut list = PostingList::default();
+        for i in 0..(4 * BLOCK_SIZE as u32) {
+            list.push(i * 2, 1, 8);
+        }
+        let mut cur = list.cursor();
+        // Jump into the third block: only header comparisons happen.
+        let target = list.blocks[2].first_doc + 2;
+        cur.shallow_seek(target);
+        assert_eq!(cur.block_key(), 2);
+        assert_eq!(cur.decoded, usize::MAX, "no block was decoded");
+        let (max_tf, _min_len, last) = cur.block_info().unwrap();
+        assert_eq!(max_tf, 1);
+        assert!(last >= target);
+        // A deep seek afterwards lands exactly.
+        cur.seek(target);
+        assert_eq!(cur.current(), Some(target));
+    }
+
+    #[test]
+    fn single_posting_list_stays_in_tail() {
+        let mut list = PostingList::default();
+        list.push(42, 7, 3);
+        assert!(list.blocks.is_empty());
+        assert_eq!(list.decoded(), (vec![42], vec![7]));
+        let mut cur = list.cursor();
+        assert_eq!(cur.block_info(), Some((7, 3, 42)));
+        assert_eq!(cur.current(), Some(42));
+        cur.advance();
+        assert_eq!(cur.current(), None);
+        assert_eq!(cur.block_info(), None, "exhausted tail has no bounds");
+    }
+
+    #[test]
+    fn max_width_block_roundtrips() {
+        // Gaps and tfs that need the full 32 bits.
+        let docs = vec![0u32, u32::MAX - 1, u32::MAX];
+        let tfs = vec![u32::MAX, 1, u32::MAX - 3];
+        let block = PostingBlock::pack(&docs, &tfs, u32::MAX, 1);
+        assert_eq!(block.doc_bits, 32);
+        assert_eq!(block.tf_bits, 32);
+        let mut rd = Vec::new();
+        let mut rt = Vec::new();
+        block.decode_into(&mut rd, &mut rt);
+        assert_eq!(rd, docs);
+        assert_eq!(rt, tfs);
+    }
+
+    #[test]
+    fn single_doc_block_roundtrips() {
+        let block = PostingBlock::pack(&[9], &[4], 4, 12);
+        assert_eq!(block.doc_bits, 0, "no gaps to store");
+        let mut rd = Vec::new();
+        let mut rt = Vec::new();
+        block.decode_into(&mut rd, &mut rt);
+        assert_eq!((rd, rt), (vec![9], vec![4]));
+    }
+}
+
+#[cfg(test)]
+mod block_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Sorted unique doc ids with gap control: small dense gaps, large
+    /// sparse gaps, and occasional near-max gaps all appear.
+    fn docs_and_tfs() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+        (1usize..=BLOCK_SIZE).prop_flat_map(|n| {
+            (
+                prop::collection::vec(
+                    prop_oneof![1u64..16, 1u64..4096, 1u64..=u64::from(u32::MAX / 256)],
+                    n,
+                ),
+                prop::collection::vec(
+                    prop_oneof![1u32..4, 1u32..1000, Just(u32::MAX), Just(u32::MAX - 1)],
+                    n,
+                ),
+            )
+                .prop_map(|(gaps, tfs)| {
+                    let mut docs = Vec::with_capacity(gaps.len());
+                    let mut cur = 0u64;
+                    for g in gaps {
+                        cur = (cur + g).min(u64::from(u32::MAX));
+                        docs.push(cur as u32);
+                    }
+                    docs.dedup();
+                    let n = docs.len();
+                    (docs, tfs[..n].to_vec())
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn pack_decode_is_identity((docs, tfs) in docs_and_tfs()) {
+            let max_tf = tfs.iter().copied().max().unwrap();
+            let block = PostingBlock::pack(&docs, &tfs, max_tf, 7);
+            let mut rd = Vec::new();
+            let mut rt = Vec::new();
+            block.decode_into(&mut rd, &mut rt);
+            prop_assert_eq!(&rd, &docs);
+            prop_assert_eq!(&rt, &tfs);
+            prop_assert_eq!(block.first_doc, docs[0]);
+            prop_assert_eq!(block.last_doc, *docs.last().unwrap());
+            prop_assert_eq!(usize::from(block.count), docs.len());
+        }
+
+        #[test]
+        fn list_push_decode_is_identity(
+            (docs, tfs) in docs_and_tfs(),
+            lens in prop::collection::vec(1u32..100, BLOCK_SIZE),
+        ) {
+            let mut list = PostingList::default();
+            for (i, (&d, &t)) in docs.iter().zip(&tfs).enumerate() {
+                list.push(d, t, lens[i]);
+            }
+            prop_assert_eq!(list.decoded(), (docs.clone(), tfs.clone()));
+            prop_assert_eq!(list.len(), docs.len());
+            prop_assert_eq!(list.max_tf, tfs.iter().copied().max().unwrap());
+        }
+
+        #[test]
+        fn cursor_seek_agrees_with_reference(
+            (docs, tfs) in docs_and_tfs(),
+            targets in prop::collection::vec(0u32.., 8),
+        ) {
+            let mut list = PostingList::default();
+            for (&d, &t) in docs.iter().zip(&tfs) {
+                list.push(d, t, 5);
+            }
+            let mut sorted = targets.clone();
+            sorted.sort_unstable();
+            let mut cur = list.cursor();
+            for target in sorted {
+                cur.seek(target);
+                let expect = docs.iter().copied().find(|&d| d >= target);
+                prop_assert_eq!(cur.current(), expect);
+                if expect.is_some() {
+                    let pos = docs.iter().position(|&d| Some(d) == expect).unwrap();
+                    prop_assert_eq!(cur.current_tf(), tfs[pos]);
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! mechanism behind the paper's title-boost experiments (Table 3B,
 //! multiplicative weight `T ∈ {5, 50, 500}` on title matches).
 //!
-//! ## Top-k pruned evaluation
+//! ## Top-k pruned evaluation (Block-Max MaxScore)
 //!
 //! [`Searcher::search`] runs a document-at-a-time engine with
 //! MaxScore-style pruning: every `(field, term)` pair becomes a scorer
@@ -16,6 +16,20 @@
 //! early once the remaining bounds cannot beat the k-th best score.
 //! Liveness and filters are folded into one pre-computed [`DocSet`], so
 //! tombstoned or filtered-out documents are never scored at all.
+//!
+//! On top of the global bounds, the engine exploits the per-block
+//! metadata of the compressed posting layout (see `inverted.rs`): once
+//! the heap is full, each candidate is first bounded by the sum of its
+//! scorers' *current-block* upper bounds (block `max_tf` / `min_len`
+//! reached by a shallow, decode-free seek). When even that refined sum
+//! cannot beat `theta`, every document up to the nearest block boundary
+//! (the minimum `last_doc` over the scorers' current blocks) is
+//! provably outside the top-k, and the essential cursors jump straight
+//! past the boundary — galloping over block headers instead of
+//! documents, never decoding the skipped blocks. When the block-level
+//! sum *can* beat `theta`, the per-scorer block bounds still replace
+//! the global ones in the early-abandonment test, which is strictly
+//! tighter.
 //!
 //! [`Searcher::search_exhaustive`] keeps the straightforward
 //! term-at-a-time path as the reference implementation; the pruned
@@ -38,7 +52,7 @@ use crate::bm25::{idf, term_score, term_upper_bound, Bm25Params};
 use crate::doc::{DocId, DocSet};
 use crate::error::IndexError;
 use crate::filter::Filter;
-use crate::inverted::InvertedIndex;
+use crate::inverted::{InvertedIndex, PostingCursor};
 use crate::schema::Schema;
 
 /// Relative weights of searchable fields when combining BM25 scores.
@@ -90,15 +104,13 @@ pub struct ScoredDoc {
     pub score: f64,
 }
 
-/// One `(field, term)` scoring stream: a borrowed posting list plus the
-/// per-query constants needed to turn a `(tf, doc_len)` posting into a
-/// weighted BM25 contribution, and the cached upper bound on that
-/// contribution over all live documents.
+/// One `(field, term)` scoring stream: a cursor over a block-compressed
+/// posting list plus the per-query constants needed to turn a
+/// `(tf, doc_len)` posting into a weighted BM25 contribution, and the
+/// cached upper bound on that contribution over all live documents.
 struct Scorer<'a> {
-    docs: &'a [u32],
-    tfs: &'a [u32],
+    cursor: PostingCursor<'a>,
     doc_len: &'a [u32],
-    cursor: usize,
     weight: f64,
     /// Query frequency of the term (duplicate query terms accumulate
     /// here instead of spawning duplicate scorers).
@@ -106,46 +118,48 @@ struct Scorer<'a> {
     idf: f64,
     avg_len: f64,
     ub: f64,
+    /// Cache key of the block `cached_block_ub` was computed for.
+    cached_block: usize,
+    /// Padded upper bound over the cached block.
+    cached_block_ub: f64,
 }
 
 impl Scorer<'_> {
+    /// The weighted contribution of the posting under the cursor. Both
+    /// engines call exactly this, so per-posting arithmetic is
+    /// identical. The cursor must be positioned on a document.
     #[inline]
-    fn current(&self) -> Option<u32> {
-        self.docs.get(self.cursor).copied()
-    }
-
-    /// The weighted contribution of the posting at `pos`. Both engines
-    /// call exactly this, so their per-posting arithmetic is identical.
-    #[inline]
-    fn contribution(&self, params: Bm25Params, pos: usize) -> f64 {
-        let tf = f64::from(self.tfs[pos]);
-        let dl = f64::from(
-            self.doc_len
-                .get(self.docs[pos] as usize)
-                .copied()
-                .unwrap_or(0),
-        );
+    fn contribution(&mut self, params: Bm25Params) -> f64 {
+        let doc = self.cursor.current().expect("cursor is positioned");
+        let tf = f64::from(self.cursor.current_tf());
+        let dl = f64::from(self.doc_len.get(doc as usize).copied().unwrap_or(0));
         self.weight * term_score(params, self.idf, tf, dl, self.avg_len) * self.qf
     }
 
-    /// Advance the cursor to the first posting with doc id ≥ `target`
-    /// (galloping search; amortized linear over a full query).
-    fn seek(&mut self, target: u32) {
-        let docs = self.docs;
-        let len = docs.len();
-        let mut lo = self.cursor;
-        if lo >= len || docs[lo] >= target {
-            return;
+    /// Padded upper bound on this scorer's contribution anywhere inside
+    /// the cursor's current block (0.0 when exhausted). Because the
+    /// block's `max_tf`/`min_len` dominate every posting in the block
+    /// and [`term_score`] is monotone in `tf` and antitone in `doc_len`,
+    /// this dominates — and is never larger than — the global `ub`.
+    #[inline]
+    fn block_ub(&mut self, params: Bm25Params) -> f64 {
+        let Some((max_tf, min_len, _)) = self.cursor.block_info() else {
+            return 0.0;
+        };
+        let key = self.cursor.block_key();
+        if key != self.cached_block {
+            self.cached_block = key;
+            self.cached_block_ub = self.weight
+                * term_upper_bound(
+                    params,
+                    self.idf,
+                    f64::from(max_tf),
+                    f64::from(min_len),
+                    self.avg_len,
+                )
+                * self.qf;
         }
-        let mut step = 1usize;
-        let mut hi = lo + 1;
-        while hi < len && docs[hi] < target {
-            lo = hi;
-            hi += step;
-            step <<= 1;
-        }
-        let hi = hi.min(len);
-        self.cursor = lo + 1 + docs[lo + 1..hi].partition_point(|&d| d < target);
+        self.cached_block_ub
     }
 }
 
@@ -338,15 +352,15 @@ impl Searcher {
                     )
                     * qf;
                 scorers.push(Scorer {
-                    docs: &list.docs,
-                    tfs: &list.tfs,
+                    cursor: list.cursor(),
                     doc_len: &field.doc_len,
-                    cursor: 0,
                     weight,
                     qf,
                     idf: term_idf,
                     avg_len,
                     ub,
+                    cached_block: usize::MAX,
+                    cached_block_ub: 0.0,
                 });
             }
         }
@@ -377,18 +391,18 @@ impl Searcher {
     /// then sort and truncate.
     fn evaluate_exhaustive(
         &self,
-        scorers: Vec<Scorer<'_>>,
+        mut scorers: Vec<Scorer<'_>>,
         candidates: &DocSet,
         n: usize,
     ) -> Vec<ScoredDoc> {
         let params = self.params;
         let mut scores: HashMap<u32, f64> = HashMap::new();
-        for scorer in &scorers {
-            for (pos, &doc) in scorer.docs.iter().enumerate() {
-                if !candidates.contains(DocId(doc)) {
-                    continue;
+        for scorer in &mut scorers {
+            while let Some(doc) = scorer.cursor.current() {
+                if candidates.contains(DocId(doc)) {
+                    *scores.entry(doc).or_insert(0.0) += scorer.contribution(params);
                 }
-                *scores.entry(doc).or_insert(0.0) += scorer.contribution(params, pos);
+                scorer.cursor.advance();
             }
         }
         let mut hits: Vec<ScoredDoc> = scores
@@ -410,8 +424,9 @@ impl Searcher {
     }
 
     /// Document-at-a-time evaluation with a bounded top-k heap and
-    /// MaxScore pruning. See the module docs for the two invariants
-    /// that keep this byte-identical to [`Self::evaluate_exhaustive`].
+    /// Block-Max MaxScore pruning. See the module docs for the two
+    /// invariants that keep this byte-identical to
+    /// [`Self::evaluate_exhaustive`].
     fn evaluate_pruned(
         &self,
         mut scorers: Vec<Scorer<'_>>,
@@ -444,12 +459,15 @@ impl Searcher {
         // zero-score hits are dropped.
         let mut theta = 0.0f64;
         let mut essential = essential_after(&by_ub, &prefix_ub, theta);
+        // blk_suffix[i] = Σ_{j ≥ i} current-block bound of scorer j,
+        // recomputed per candidate while the heap is full.
+        let mut blk_suffix = vec![0.0f64; s_count + 1];
 
         loop {
             // Next candidate: smallest current doc on any essential list.
             let mut next: Option<u32> = None;
             for &e in &essential {
-                if let Some(d) = scorers[e].current() {
+                if let Some(d) = scorers[e].cursor.current() {
                     next = Some(next.map_or(d, |m| m.min(d)));
                 }
             }
@@ -457,22 +475,52 @@ impl Searcher {
                 break;
             };
             let full = heap.len() == k;
+            if full {
+                // Block-Max step. Shallow-seek every scorer to the block
+                // that could contain `doc` (header comparisons only) and
+                // sum the per-block bounds. For any document d in
+                // [doc, boundary] — boundary being the smallest current
+                // block `last_doc` — each scorer's posting for d, if
+                // any, still lies in that same block, so blk_suffix[0]
+                // dominates d's full score.
+                let mut boundary = u32::MAX;
+                for i in (0..s_count).rev() {
+                    let scorer = &mut scorers[i];
+                    scorer.cursor.shallow_seek(doc);
+                    blk_suffix[i] = blk_suffix[i + 1] + scorer.block_ub(params);
+                    if let Some((_, _, last)) = scorer.cursor.block_info() {
+                        boundary = boundary.min(last);
+                    }
+                }
+                if blk_suffix[0] <= theta {
+                    // The whole range [doc, boundary] misses the top-k:
+                    // jump every essential cursor past the boundary
+                    // without decoding the skipped blocks.
+                    let jump = boundary.max(doc).saturating_add(1);
+                    for &e in &essential {
+                        scorers[e].cursor.seek(jump);
+                    }
+                    continue;
+                }
+            }
             let mut score = 0.0f64;
             let mut abandoned = false;
             if candidates.contains(DocId(doc)) {
                 // Canonical-order accumulation with early abandonment:
                 // the moment the score so far plus everything the
                 // remaining scorers could add cannot beat theta, the
-                // document provably misses the top-k.
+                // document provably misses the top-k. With a full heap
+                // the per-block suffix bounds just computed for `doc`
+                // replace the global ones — strictly tighter.
                 for i in 0..s_count {
-                    if full && score + suffix_ub[i] <= theta {
+                    if full && score + blk_suffix[i] <= theta {
                         abandoned = true;
                         break;
                     }
                     let scorer = &mut scorers[i];
-                    scorer.seek(doc);
-                    if scorer.current() == Some(doc) {
-                        score += scorer.contribution(params, scorer.cursor);
+                    scorer.cursor.seek(doc);
+                    if scorer.cursor.current() == Some(doc) {
+                        score += scorer.contribution(params);
                     }
                 }
             } else {
@@ -481,9 +529,9 @@ impl Searcher {
             // Consume `doc` on the essential frontier so DAAT advances.
             for &e in &essential {
                 let scorer = &mut scorers[e];
-                scorer.seek(doc);
-                if scorer.current() == Some(doc) {
-                    scorer.cursor += 1;
+                scorer.cursor.seek(doc);
+                if scorer.cursor.current() == Some(doc) {
+                    scorer.cursor.advance();
                 }
             }
             if !abandoned && score > theta && score > 0.0 {

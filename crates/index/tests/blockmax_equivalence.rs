@@ -1,0 +1,211 @@
+//! Block-Max pruning equivalence on multi-block posting lists.
+//!
+//! `topk_equivalence.rs` pins small-corpus corner cases where every
+//! posting list fits in the unsealed tail. These scenarios force lists
+//! across several sealed 128-posting blocks, where the Block-Max engine
+//! actually skips whole blocks and gallops across block boundaries —
+//! and asserts the result stays identical to the exhaustive oracle,
+//! including under deletes, filters, boosts, and a codec round-trip
+//! mid-way through a mutation sequence.
+
+use std::sync::Arc;
+
+use uniask_index::codec::{decode, encode};
+use uniask_index::doc::{DocId, IndexDocument};
+use uniask_index::filter::Filter;
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{ScoringProfile, Searcher};
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
+
+fn analyzer() -> Arc<dyn Analyzer> {
+    Arc::new(ItalianAnalyzer::new())
+}
+
+/// Deterministic corpus large enough that common terms span multiple
+/// sealed blocks (>3 × 128 postings), with skewed tf distributions so
+/// per-block max_tf bounds differ meaningfully between blocks.
+fn large_corpus(n: usize) -> InvertedIndex {
+    let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+    let domains = ["Pagamenti", "Carte", "Crediti", "Governance"];
+    for i in 0..n {
+        // "bonifico" appears everywhere (long list); "carta" in half;
+        // "mutuo" sparsely with spiky tf so late blocks carry the max.
+        let mut content = String::from("bonifico istruzioni operative");
+        if i % 2 == 0 {
+            content.push_str(" carta di credito");
+        }
+        if i % 7 == 0 {
+            let reps = 1 + (i / 7) % 9;
+            for _ in 0..reps {
+                content.push_str(" mutuo");
+            }
+        }
+        if i % 31 == 0 {
+            content.push_str(" bonifico bonifico bonifico bonifico");
+        }
+        let title = match i % 3 {
+            0 => "Disposizioni di bonifico",
+            1 => "Gestione carta",
+            _ => "Pratiche di mutuo",
+        };
+        idx.add(
+            &IndexDocument::new()
+                .with_text("title", title)
+                .with_text("content", &content)
+                .with_tags("domain", vec![domains[i % domains.len()].to_string()]),
+        )
+        .unwrap();
+    }
+    idx
+}
+
+fn assert_equivalent(
+    idx: &InvertedIndex,
+    query: &str,
+    profile: &ScoringProfile,
+    filter: Option<&Filter>,
+) {
+    let searcher = Searcher::new();
+    for k in [1, 3, 10, 50, 200, 1000] {
+        let pruned = searcher.search(idx, query, k, profile, filter).unwrap();
+        let exhaustive = searcher
+            .search_exhaustive(idx, query, k, profile, filter)
+            .unwrap();
+        assert_eq!(pruned, exhaustive, "query `{query}` diverged at k={k}");
+        assert!(pruned.len() <= k);
+    }
+}
+
+#[test]
+fn multi_block_lists_match_exhaustive() {
+    let idx = large_corpus(700);
+    for query in [
+        "bonifico",
+        "carta",
+        "mutuo",
+        "bonifico carta",
+        "bonifico mutuo carta",
+        "bonifico bonifico mutuo",
+    ] {
+        assert_equivalent(&idx, query, &ScoringProfile::neutral(), None);
+    }
+}
+
+#[test]
+fn multi_block_lists_match_under_boost() {
+    let idx = large_corpus(500);
+    for boost in [3.0, 40.0, 400.0] {
+        assert_equivalent(
+            &idx,
+            "bonifico mutuo",
+            &ScoringProfile::title_boost(boost),
+            None,
+        );
+    }
+}
+
+#[test]
+fn multi_block_lists_match_with_filters() {
+    let idx = large_corpus(600);
+    // Selective filter: pruning must not skip blocks whose only
+    // surviving candidates are filter-admitted.
+    let carte = Filter::eq("domain", "Carte");
+    assert_equivalent(
+        &idx,
+        "bonifico carta",
+        &ScoringProfile::neutral(),
+        Some(&carte),
+    );
+    let compound = Filter::Or(vec![
+        Filter::eq("domain", "Crediti"),
+        Filter::Not(Box::new(Filter::eq("domain", "Pagamenti"))),
+    ]);
+    assert_equivalent(
+        &idx,
+        "mutuo bonifico",
+        &ScoringProfile::neutral(),
+        Some(&compound),
+    );
+}
+
+#[test]
+fn block_skips_stay_correct_under_scattered_deletes() {
+    let mut idx = large_corpus(640);
+    // Tombstone a scatter of docs including whole-block stretches, so
+    // some sealed blocks are fully dead and must be skipped without
+    // contributing bounds.
+    for i in (0..640u32).step_by(3) {
+        idx.delete(DocId(i)).unwrap();
+    }
+    for i in 128..256u32 {
+        let _ = idx.delete(DocId(i));
+    }
+    assert_equivalent(&idx, "bonifico", &ScoringProfile::neutral(), None);
+    assert_equivalent(
+        &idx,
+        "bonifico carta mutuo",
+        &ScoringProfile::neutral(),
+        None,
+    );
+    assert_equivalent(
+        &idx,
+        "mutuo",
+        &ScoringProfile::title_boost(25.0),
+        Some(&Filter::eq("domain", "Governance")),
+    );
+}
+
+#[test]
+fn codec_roundtrip_mid_mutation_preserves_equivalence() {
+    let mut idx = large_corpus(400);
+    for i in (0..400u32).step_by(5) {
+        idx.delete(DocId(i)).unwrap();
+    }
+    // Round-trip through the v3 codec mid-way, then keep mutating the
+    // restored index: sealed blocks travel verbatim, the tail re-seals
+    // as new docs arrive.
+    let mut idx = decode(&encode(&idx), analyzer()).expect("roundtrip");
+    for i in 0..150 {
+        let content = if i % 2 == 0 {
+            "bonifico urgente con carta"
+        } else {
+            "mutuo a tasso fisso e bonifico"
+        };
+        idx.add(
+            &IndexDocument::new()
+                .with_text("title", "Aggiornamento post-ripristino")
+                .with_text("content", content)
+                .with_tags("domain", vec!["Pagamenti".to_string()]),
+        )
+        .unwrap();
+    }
+    assert_equivalent(&idx, "bonifico carta", &ScoringProfile::neutral(), None);
+    assert_equivalent(
+        &idx,
+        "mutuo bonifico",
+        &ScoringProfile::title_boost(10.0),
+        None,
+    );
+    // And a second round-trip right after still agrees.
+    let idx = decode(&encode(&idx), analyzer()).expect("second roundtrip");
+    assert_equivalent(
+        &idx,
+        "bonifico carta mutuo",
+        &ScoringProfile::neutral(),
+        None,
+    );
+}
+
+#[test]
+fn packed_blocks_report_compression() {
+    let idx = large_corpus(1000);
+    let stats = idx.memory_stats();
+    assert!(stats.posting_entries > 0);
+    assert!(
+        stats.postings_packed_bytes * 2 <= stats.postings_logical_bytes,
+        "packed postings ({} B) should be at most half the logical u32 layout ({} B)",
+        stats.postings_packed_bytes,
+        stats.postings_logical_bytes
+    );
+}

@@ -11,7 +11,7 @@ use uniask_index::codec::{decode, encode};
 use uniask_index::doc::IndexDocument;
 use uniask_index::inverted::InvertedIndex;
 use uniask_index::schema::Schema;
-use uniask_text::analyzer::ItalianAnalyzer;
+use uniask_text::analyzer::{Analyzer, ItalianAnalyzer};
 
 fn sample_snapshot() -> Vec<u8> {
     let mut index = InvertedIndex::new(Schema::uniask_chunk_schema());
@@ -38,7 +38,7 @@ fn sample_snapshot() -> Vec<u8> {
     encode(&index).to_vec()
 }
 
-fn analyzer() -> Arc<ItalianAnalyzer> {
+fn analyzer() -> Arc<dyn Analyzer> {
     Arc::new(ItalianAnalyzer::new())
 }
 

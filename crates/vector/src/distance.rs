@@ -1,4 +1,61 @@
 //! Distance and similarity functions over dense vectors.
+//!
+//! Every float kernel runs on the same 8-lane layout: independent
+//! accumulator lanes over `chunks_exact(8)` (wide enough to fill a
+//! 256-bit SIMD register), folded by a fixed reduction tree, with the
+//! scalar remainder added last. The summation order is therefore fixed
+//! between calls *and between kernels* — `cosine_similarity`'s fused
+//! single pass produces bit-identical norms to calling [`dot`] three
+//! times, which is what lets quantized search re-rank against the
+//! full-precision path without tolerance windows.
+//!
+//! With the `nightly-simd` cargo feature (nightly toolchains only) the
+//! per-chunk multiply-accumulate is expressed through `std::simd`
+//! vectors; the lane contents and the fold are unchanged, so results
+//! stay bit-identical to the portable build. On stable, the 8-lane
+//! scalar form auto-vectorizes on any target with 256-bit registers.
+//!
+//! [`dot_i32_u8`] is the integer kernel behind SQ8 quantized HNSW
+//! traversal: `i64` lane accumulators make it exact (associative), so
+//! no feature gating is needed for determinism there.
+
+/// Fold the 8 accumulator lanes with a fixed-shape reduction tree.
+#[inline(always)]
+fn fold8(acc: [f32; 8]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// `acc[lane] += ca[lane] * cb[lane]` for one 8-wide chunk.
+#[inline(always)]
+fn mul_add_lanes(acc: &mut [f32; 8], ca: &[f32], cb: &[f32]) {
+    #[cfg(feature = "nightly-simd")]
+    {
+        use std::simd::prelude::*;
+        let va = f32x8::from_slice(ca);
+        let vb = f32x8::from_slice(cb);
+        *acc = (f32x8::from_array(*acc) + va * vb).to_array();
+    }
+    #[cfg(not(feature = "nightly-simd"))]
+    for lane in 0..8 {
+        acc[lane] += ca[lane] * cb[lane];
+    }
+}
+
+/// `acc[lane] += (ca[lane] - cb[lane])^2` for one 8-wide chunk.
+#[inline(always)]
+fn diff_sq_lanes(acc: &mut [f32; 8], ca: &[f32], cb: &[f32]) {
+    #[cfg(feature = "nightly-simd")]
+    {
+        use std::simd::prelude::*;
+        let d = f32x8::from_slice(ca) - f32x8::from_slice(cb);
+        *acc = (f32x8::from_array(*acc) + d * d).to_array();
+    }
+    #[cfg(not(feature = "nightly-simd"))]
+    for lane in 0..8 {
+        let d = ca[lane] - cb[lane];
+        acc[lane] += d * d;
+    }
+}
 
 /// Dot product of two equal-length vectors.
 ///
@@ -8,32 +65,35 @@
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-    // 8 independent accumulator lanes over `chunks_exact`: wide enough
-    // to fill a 256-bit SIMD register, and the summation order is fixed
-    // between calls (determinism).
     let mut acc = [0.0f32; 8];
     let a_chunks = a.chunks_exact(8);
     let b_chunks = b.chunks_exact(8);
     let a_rem = a_chunks.remainder();
     let b_rem = b_chunks.remainder();
     for (ca, cb) in a_chunks.zip(b_chunks) {
-        for lane in 0..8 {
-            acc[lane] += ca[lane] * cb[lane];
-        }
+        mul_add_lanes(&mut acc, ca, cb);
     }
-    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    let mut sum = fold8(acc);
     for (x, y) in a_rem.iter().zip(b_rem) {
         sum += x * y;
     }
     sum
 }
 
-/// Euclidean (L2) distance.
+/// Euclidean (L2) distance, on the shared 8-lane kernel.
 #[inline]
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-    let mut sum = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
+    let mut acc = [0.0f32; 8];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        diff_sq_lanes(&mut acc, ca, cb);
+    }
+    let mut sum = fold8(acc);
+    for (x, y) in a_rem.iter().zip(b_rem) {
         let d = x - y;
         sum += d * d;
     }
@@ -41,14 +101,66 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Cosine similarity in `[-1, 1]`; 0.0 when either vector is zero.
+///
+/// Fused single pass: `a·b`, `a·a` and `b·b` accumulate side by side
+/// over one traversal. Each accumulation follows the exact lane/fold
+/// sequence of [`dot`], so the result is bit-identical to the
+/// three-call formula while touching each input once.
 #[inline]
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
-    let na = dot(a, a).sqrt();
-    let nb = dot(b, b).sqrt();
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc_ab = [0.0f32; 8];
+    let mut acc_aa = [0.0f32; 8];
+    let mut acc_bb = [0.0f32; 8];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        mul_add_lanes(&mut acc_ab, ca, cb);
+        mul_add_lanes(&mut acc_aa, ca, ca);
+        mul_add_lanes(&mut acc_bb, cb, cb);
+    }
+    let mut ab = fold8(acc_ab);
+    let mut aa = fold8(acc_aa);
+    let mut bb = fold8(acc_bb);
+    for (x, y) in a_rem.iter().zip(b_rem) {
+        ab += x * y;
+        aa += x * x;
+        bb += y * y;
+    }
+    let na = aa.sqrt();
+    let nb = bb.sqrt();
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    (ab / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Integer dot product between fixed-point query weights and `u8`
+/// quantization codes — the inner loop of SQ8 graph traversal.
+///
+/// `i64` lane accumulators cannot overflow (`|w| < 2^31`, code < 2^8,
+/// dimension < 2^24) and integer addition is associative, so the
+/// result is exact regardless of lane count or fold order.
+#[inline]
+pub fn dot_i32_u8(w: &[i32], codes: &[u8]) -> i64 {
+    debug_assert_eq!(w.len(), codes.len(), "dimension mismatch");
+    let mut acc = [0i64; 8];
+    let w_chunks = w.chunks_exact(8);
+    let c_chunks = codes.chunks_exact(8);
+    let w_rem = w_chunks.remainder();
+    let c_rem = c_chunks.remainder();
+    for (cw, cc) in w_chunks.zip(c_chunks) {
+        for lane in 0..8 {
+            acc[lane] += i64::from(cw[lane]) * i64::from(cc[lane]);
+        }
+    }
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in w_rem.iter().zip(c_rem) {
+        sum += i64::from(*x) * i64::from(*y);
+    }
+    sum
 }
 
 /// L2-normalize a vector in place; zero vectors are left unchanged.
@@ -76,6 +188,62 @@ mod tests {
         let b: Vec<f32> = (0..37).map(|i| (37 - i) as f32 * 0.25).collect();
         let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn euclidean_matches_naive_on_longer_vectors() {
+        let a: Vec<f32> = (0..41).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..41).map(|i| (i as f32 * 0.7).cos()).collect();
+        let naive: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
+        assert!((euclidean(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fused_cosine_is_bit_identical_to_three_dots() {
+        for dim in [1usize, 7, 8, 9, 24, 31, 64] {
+            let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.83).cos()).collect();
+            let na = dot(&a, &a).sqrt();
+            let nb = dot(&b, &b).sqrt();
+            let reference = if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                (dot(&a, &b) / (na * nb)).clamp(-1.0, 1.0)
+            };
+            assert_eq!(
+                cosine_similarity(&a, &b).to_bits(),
+                reference.to_bits(),
+                "fused cosine diverged at dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_kernel_matches_naive_exactly() {
+        let w: Vec<i32> = (0..43).map(|i| (i * 37_991 - 800_000) as i32).collect();
+        let c: Vec<u8> = (0..43).map(|i| (i * 53 % 256) as u8).collect();
+        let naive: i64 = w
+            .iter()
+            .zip(&c)
+            .map(|(&x, &y)| i64::from(x) * i64::from(y))
+            .sum();
+        assert_eq!(dot_i32_u8(&w, &c), naive);
+    }
+
+    #[test]
+    fn integer_kernel_handles_extremes() {
+        let w = vec![i32::MAX; 16];
+        let c = vec![u8::MAX; 16];
+        let expected = i64::from(i32::MAX) * i64::from(u8::MAX) * 16;
+        assert_eq!(dot_i32_u8(&w, &c), expected);
+        let w = vec![i32::MIN; 16];
+        let expected = i64::from(i32::MIN) * i64::from(u8::MAX) * 16;
+        assert_eq!(dot_i32_u8(&w, &c), expected);
     }
 
     #[test]

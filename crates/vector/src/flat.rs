@@ -4,6 +4,11 @@
 //! notes that "HNSW and exhaustive k-Nearest Neighbors yield similar
 //! retrieval performance" on the UniAsk workload; integration tests
 //! reproduce that observation.
+//!
+//! Vectors live in one contiguous `f32` arena (row `i` at
+//! `data[i*dim..(i+1)*dim]`) rather than a `Vec<Vec<f32>>`: the scan is
+//! a single forward pass over memory, which is what the 8-lane kernel
+//! in [`crate::distance`] wants to stream.
 
 use crate::distance::{dot, normalize};
 use crate::{Neighbor, VectorIndex};
@@ -12,7 +17,8 @@ use crate::{Neighbor, VectorIndex};
 #[derive(Debug, Default)]
 pub struct FlatIndex {
     ids: Vec<u32>,
-    vectors: Vec<Vec<f32>>,
+    data: Vec<f32>,
+    dim: usize,
 }
 
 impl FlatIndex {
@@ -20,23 +26,42 @@ impl FlatIndex {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Stored vector of row `i` (test/diagnostic accessor).
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Resident bytes of the vector arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+            + self.ids.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 impl VectorIndex for FlatIndex {
     fn add(&mut self, id: u32, mut vector: Vec<f32>) {
         normalize(&mut vector);
+        if self.ids.is_empty() {
+            self.dim = vector.len();
+        }
+        assert_eq!(
+            vector.len(),
+            self.dim,
+            "flat index requires a fixed dimension"
+        );
         self.ids.push(id);
-        self.vectors.push(vector);
+        self.data.extend_from_slice(&vector);
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.ids.is_empty() {
+        if k == 0 || self.ids.is_empty() || self.dim == 0 {
             return Vec::new();
         }
         let mut hits: Vec<Neighbor> = self
             .ids
             .iter()
-            .zip(&self.vectors)
+            .zip(self.data.chunks_exact(self.dim))
             .map(|(&id, v)| Neighbor {
                 id,
                 similarity: dot(query, v),
@@ -115,5 +140,22 @@ mod tests {
         let hits = idx.search(&[1.0, 0.0], 2);
         assert_eq!(hits[0].id, 3);
         assert_eq!(hits[1].id, 5);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let mut idx = FlatIndex::new();
+        idx.add(7, vec![1.0, 0.0, 0.0]);
+        idx.add(8, vec![0.0, 1.0, 0.0]);
+        assert_eq!(idx.row(1), &[0.0, 1.0, 0.0]);
+        assert!(idx.arena_bytes() >= 6 * std::mem::size_of::<f32>());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed dimension")]
+    fn mixed_dimensions_panic() {
+        let mut idx = FlatIndex::new();
+        idx.add(0, vec![1.0, 0.0]);
+        idx.add(1, vec![1.0, 0.0, 0.0]);
     }
 }

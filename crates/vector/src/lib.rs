@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 //! # uniask-vector
 //!
 //! Vector-search substrate: a deterministic synthetic text embedder
@@ -15,10 +16,10 @@ pub mod hnsw;
 pub mod snapshot;
 
 pub use adapter::{AdaptedEmbedder, AdapterTrainer, EmbeddingAdapter, Triple};
-pub use distance::{cosine_similarity, dot, euclidean, normalize};
+pub use distance::{cosine_similarity, dot, dot_i32_u8, euclidean, normalize};
 pub use embedding::{Embedder, IdentityNormalizer, SyntheticEmbedder, TermNormalizer};
 pub use flat::FlatIndex;
-pub use hnsw::{Hnsw, HnswParams};
+pub use hnsw::{Hnsw, HnswParams, VectorMemoryStats};
 pub use snapshot::SnapshotError;
 
 /// A vector index hit: external id plus similarity (higher is better).

@@ -10,17 +10,27 @@
 //! restored from a snapshot keeps inserting with the *same* level
 //! sequence it would have produced uninterrupted — snapshots are
 //! transparent to determinism.
+//!
+//! Version 2 adds the SQ8 quantization state: the `sq8` parameter
+//! flag, and (when active) the per-dimension codebook plus the code
+//! arena verbatim, so a restored index resumes quantized traversal
+//! with the exact codes the live index held. Version 1 snapshots are
+//! migrated forward by replaying the stored vectors through the
+//! insert-time quantization path (deterministic, identical to an
+//! uninterrupted build over the same insertion order).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::hnsw::{Hnsw, HnswParams, Node};
+use crate::hnsw::{Hnsw, HnswParams, Node, Sq8Codebook, Sq8State};
 
 /// Magic bytes of the vector-snapshot format.
 pub const MAGIC: &[u8; 4] = b"UAVX";
 /// Current format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
+/// Oldest readable format version.
+pub const MIN_VERSION: u16 = 1;
 
 /// Errors raised while decoding a vector snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +79,7 @@ pub fn encode(index: &Hnsw) -> Bytes {
     buf.put_u32_le(p.ef_search as u32);
     buf.put_u64_le(p.seed);
     buf.put_u8(u8::from(p.heuristic_selection));
+    buf.put_u8(u8::from(p.sq8));
     // Graph metadata.
     buf.put_u32_le(index.max_level as u32);
     match index.entry_point {
@@ -97,6 +108,21 @@ pub fn encode(index: &Hnsw) -> Bytes {
                 buf.put_u32_le(nb);
             }
         }
+    }
+    // SQ8 quantization state (v2): codebook + code arena verbatim.
+    match &index.sq8 {
+        Some(state) => {
+            buf.put_u8(1);
+            buf.put_u32_le(state.dim as u32);
+            for &m in &state.codebook.min {
+                buf.put_f32_le(m);
+            }
+            for &st in &state.codebook.step {
+                buf.put_f32_le(st);
+            }
+            buf.put_slice(&state.codes);
+        }
+        None => buf.put_u8(0),
     }
     let checksum = fnv64(&buf);
     buf.put_u64_le(checksum);
@@ -128,17 +154,23 @@ pub fn decode(snapshot: &[u8]) -> Result<Hnsw, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     need!(buf, 4 * 3 + 8 + 1 + 4 + 1);
-    let params = HnswParams {
+    let mut params = HnswParams {
         m: buf.get_u32_le() as usize,
         ef_construction: buf.get_u32_le() as usize,
         ef_search: buf.get_u32_le() as usize,
         seed: buf.get_u64_le(),
         heuristic_selection: buf.get_u8() == 1,
+        // v1 predates quantization; default on, rebuilt by replay below.
+        sq8: true,
     };
+    if version >= 2 {
+        need!(buf, 1);
+        params.sq8 = buf.get_u8() == 1;
+    }
     let max_level = buf.get_u32_le() as usize;
     let entry_point = if buf.get_u8() == 1 {
         need!(buf, 4);
@@ -177,17 +209,55 @@ pub fn decode(snapshot: &[u8]) -> Result<Hnsw, SnapshotError> {
             neighbors,
         });
     }
+    // SQ8 state: verbatim in v2, rebuilt by replay for v1.
+    let sq8 = if version >= 2 {
+        need!(buf, 1);
+        if buf.get_u8() == 1 {
+            need!(buf, 4);
+            let dim = buf.get_u32_le() as usize;
+            if dim > (1 << 24) {
+                return Err(SnapshotError::Truncated);
+            }
+            need!(buf, dim * 8);
+            let mut min = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                min.push(buf.get_f32_le());
+            }
+            let mut step = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                step.push(buf.get_f32_le());
+            }
+            let ncodes = nodes.len() * dim;
+            need!(buf, ncodes);
+            let mut codes = vec![0u8; ncodes];
+            buf.copy_to_slice(&mut codes);
+            Some(Sq8State {
+                codebook: Sq8Codebook { min, step },
+                dim,
+                codes,
+            })
+        } else {
+            None
+        }
+    } else {
+        None
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
     rng.set_word_pos(word_pos);
     let ml = 1.0 / (params.m.max(2) as f64).ln();
-    Ok(Hnsw {
+    let mut index = Hnsw {
         params,
         nodes,
         entry_point,
         max_level,
         rng,
         ml,
-    })
+        sq8,
+    };
+    if version < 2 {
+        index.sq8_rebuild_by_replay();
+    }
+    Ok(index)
 }
 
 #[cfg(test)]
@@ -269,5 +339,83 @@ mod tests {
     #[test]
     fn encoding_is_deterministic() {
         assert_eq!(encode(&sample(100)), encode(&sample(100)));
+    }
+
+    /// Serialize in the legacy v1 layout (no quantization section).
+    /// Only used to test the forward migration.
+    fn encode_v1(index: &Hnsw) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(4096 + index.nodes.len() * 64);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(1);
+        let p = index.params;
+        buf.put_u32_le(p.m as u32);
+        buf.put_u32_le(p.ef_construction as u32);
+        buf.put_u32_le(p.ef_search as u32);
+        buf.put_u64_le(p.seed);
+        buf.put_u8(u8::from(p.heuristic_selection));
+        buf.put_u32_le(index.max_level as u32);
+        match index.entry_point {
+            Some(ep) => {
+                buf.put_u8(1);
+                buf.put_u32_le(ep);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u128_le(index.rng.get_word_pos());
+        buf.put_u32_le(index.nodes.len() as u32);
+        for node in &index.nodes {
+            buf.put_u32_le(node.id);
+            buf.put_u32_le(node.vector.len() as u32);
+            for &x in &node.vector {
+                buf.put_f32_le(x);
+            }
+            buf.put_u16_le(node.neighbors.len() as u16);
+            for layer in &node.neighbors {
+                buf.put_u32_le(layer.len() as u32);
+                for &nb in layer {
+                    buf.put_u32_le(nb);
+                }
+            }
+        }
+        let checksum = fnv64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_migrates_and_enables_quantization() {
+        let original = sample(200);
+        let migrated = decode(&encode_v1(&original)).unwrap();
+        assert_eq!(migrated.len(), original.len());
+        // Migration rebuilds the quantization state by replay, so it
+        // matches the state the live (default-params) build holds.
+        assert!(migrated.is_quantized());
+        assert_eq!(migrated.sq8, original.sq8, "replayed state must match");
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..10 {
+            let mut q: Vec<f32> = (0..16).map(|_| rng.gen::<f32>() - 0.5).collect();
+            normalize(&mut q);
+            let a: Vec<u32> = original.search(&q, 10).into_iter().map(|n| n.id).collect();
+            let b: Vec<u32> = migrated.search(&q, 10).into_iter().map(|n| n.id).collect();
+            assert_eq!(a, b, "divergence after v1 migration");
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_quantization_state_verbatim() {
+        let original = sample(150);
+        assert!(original.is_quantized(), "sample should quantize");
+        let restored = decode(&encode(&original)).unwrap();
+        assert_eq!(restored.sq8, original.sq8, "codes must travel verbatim");
+        assert!(restored.params().sq8);
+        // A non-quantized index roundtrips too.
+        let mut plain = Hnsw::new(HnswParams {
+            sq8: false,
+            ..Default::default()
+        });
+        plain.add(0, vec![1.0, 0.0]);
+        let restored = decode(&encode(&plain)).unwrap();
+        assert!(!restored.is_quantized());
+        assert!(restored.sq8.is_none());
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests of the vector substrate.
 
 use proptest::prelude::*;
-use uniask_vector::distance::{cosine_similarity, dot, euclidean, normalize};
+use uniask_vector::distance::{cosine_similarity, dot, dot_i32_u8, euclidean, normalize};
 use uniask_vector::embedding::{Embedder, SyntheticEmbedder};
 use uniask_vector::flat::FlatIndex;
 use uniask_vector::hnsw::{Hnsw, HnswParams};
@@ -29,6 +29,37 @@ proptest! {
         let (a, b) = pair;
         let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         prop_assert!((dot(&a, &b) - naive).abs() < 1e-3, "dot {} vs naive {}", dot(&a, &b), naive);
+    }
+
+    #[test]
+    fn euclidean_agrees_with_naive_sum(pair in (1usize..96).prop_flat_map(|d| (vector(d), vector(d)))) {
+        // Same lane-reassociation tolerance argument as the dot kernel,
+        // for the shared squared-difference path.
+        let (a, b) = pair;
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+        prop_assert!((euclidean(&a, &b) - naive).abs() < 1e-3, "euclidean {} vs naive {}", euclidean(&a, &b), naive);
+    }
+
+    #[test]
+    fn fused_cosine_agrees_with_three_dot_formula(pair in (1usize..96).prop_flat_map(|d| (vector(d), vector(d)))) {
+        // The one-pass kernel must match the composed formula exactly:
+        // it folds the same lane arrays in the same order.
+        let (a, b) = pair;
+        let denom = (dot(&a, &a) * dot(&b, &b)).sqrt();
+        let expected = if denom > 0.0 { dot(&a, &b) / denom } else { 0.0 };
+        prop_assert_eq!(cosine_similarity(&a, &b).to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn integer_kernel_is_exact_at_any_length(pair in (1usize..200).prop_flat_map(|d| (
+        proptest::collection::vec(any::<i32>(), d..=d),
+        proptest::collection::vec(any::<u8>(), d..=d),
+    ))) {
+        // i64 accumulation over i32×u8 products can never overflow or
+        // round: the widened kernel must equal the naive sum exactly.
+        let (w, c) = pair;
+        let naive: i64 = w.iter().zip(&c).map(|(&x, &y)| i64::from(x) * i64::from(y)).sum();
+        prop_assert_eq!(dot_i32_u8(&w, &c), naive);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! SQ8 quantized-traversal equivalence against the full-precision path.
+//!
+//! The contract: quantization may only change *which* candidates the
+//! beam visits (recall, bounded below), never the similarity values or
+//! the ordering of the returned hits — `search` re-ranks the beam with
+//! exact f32 dots, so every returned `(id, similarity)` is bit-identical
+//! to what the full-precision scorer assigns that id.
+
+use std::cmp::Ordering;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use uniask_vector::distance::normalize;
+use uniask_vector::flat::FlatIndex;
+use uniask_vector::hnsw::{Hnsw, HnswParams};
+use uniask_vector::snapshot::{decode, encode};
+use uniask_vector::{Neighbor, VectorIndex};
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+            normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+fn build(vectors: &[Vec<f32>], sq8: bool) -> Hnsw {
+    let mut h = Hnsw::new(HnswParams {
+        sq8,
+        ..HnswParams::default()
+    });
+    for (i, v) in vectors.iter().enumerate() {
+        h.add(i as u32, v.clone());
+    }
+    h
+}
+
+#[test]
+fn quantized_hits_carry_exact_full_precision_similarities() {
+    let vectors = random_vectors(400, 16, 11);
+    let h = build(&vectors, true);
+    assert!(h.is_quantized());
+    // Exact similarity of every node, via the full-precision path over
+    // the whole index (the graph is connected at this scale).
+    for q in random_vectors(8, 16, 99) {
+        let all = h.search_full_precision(&q, vectors.len());
+        assert_eq!(all.len(), vectors.len(), "graph must be fully reachable");
+        let exact_sim = |id: u32| {
+            all.iter()
+                .find(|n| n.id == id)
+                .expect("id present")
+                .similarity
+        };
+        for hit in h.search(&q, 10) {
+            assert_eq!(
+                hit.similarity.to_bits(),
+                exact_sim(hit.id).to_bits(),
+                "id {} must surface the exact f32 similarity",
+                hit.id
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_top_k_is_exact_rerank_of_the_beam() {
+    let vectors = random_vectors(350, 24, 5);
+    let h = build(&vectors, true);
+    assert!(h.is_quantized());
+    let k = 10;
+    for q in random_vectors(6, 24, 77) {
+        let all = h.search_full_precision(&q, vectors.len());
+        assert_eq!(all.len(), vectors.len());
+        let exact_sim = |id: u32| {
+            all.iter()
+                .find(|n| n.id == id)
+                .expect("id present")
+                .similarity
+        };
+        let ef = h.params().ef_search.max(k);
+        let mut expected: Vec<Neighbor> = h
+            .traversal_beam(&q, ef)
+            .into_iter()
+            .map(|n| Neighbor {
+                id: n.id,
+                similarity: exact_sim(n.id),
+            })
+            .collect();
+        expected.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        expected.truncate(k);
+        assert_eq!(
+            h.search(&q, k),
+            expected,
+            "top-k must be the exact re-rank of the traversal beam"
+        );
+    }
+}
+
+#[test]
+fn quantized_recall_floor_against_exhaustive() {
+    let vectors = random_vectors(800, 24, 9);
+    let quantized = build(&vectors, true);
+    let full = build(&vectors, false);
+    assert!(quantized.is_quantized());
+    assert!(!full.is_quantized());
+    let mut flat = FlatIndex::new();
+    for (i, v) in vectors.iter().enumerate() {
+        flat.add(i as u32, v.clone());
+    }
+    let queries = random_vectors(30, 24, 4321);
+    let (mut hit_q, mut hit_f, mut total) = (0usize, 0usize, 0usize);
+    for q in &queries {
+        let exact: Vec<u32> = flat.search(q, 10).into_iter().map(|n| n.id).collect();
+        for id in &exact {
+            total += 1;
+            if quantized.search(q, 10).iter().any(|n| n.id == *id) {
+                hit_q += 1;
+            }
+            if full.search(q, 10).iter().any(|n| n.id == *id) {
+                hit_f += 1;
+            }
+        }
+    }
+    let recall_q = hit_q as f64 / total as f64;
+    let recall_f = hit_f as f64 / total as f64;
+    assert!(
+        recall_q >= 0.85,
+        "quantized recall@10 {recall_q} below floor"
+    );
+    assert!(
+        recall_q >= recall_f - 0.05,
+        "quantized recall {recall_q} trails full-precision {recall_f} by more than 5 points"
+    );
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_quantized_results_bitwise() {
+    let vectors = random_vectors(300, 16, 21);
+    let h = build(&vectors, true);
+    let restored = decode(&encode(&h)).expect("roundtrip");
+    assert!(restored.is_quantized());
+    for q in random_vectors(10, 16, 55) {
+        assert_eq!(
+            h.search(&q, 10),
+            restored.search(&q, 10),
+            "restored index must answer identically"
+        );
+    }
+}
+
+#[test]
+fn inserts_after_restore_keep_quantized_state_in_sync() {
+    // 200 inserts, snapshot, 100 more on the restored index: both the
+    // graph and the SQ8 arena must equal a straight 300-insert build.
+    let vectors = random_vectors(300, 16, 8);
+    let uninterrupted = build(&vectors, true);
+    let mut restored = decode(&encode(&build(&vectors[..200], true))).expect("roundtrip");
+    for (i, v) in vectors.iter().enumerate().skip(200) {
+        restored.add(i as u32, v.clone());
+    }
+    assert!(restored.is_quantized());
+    for q in random_vectors(10, 16, 91) {
+        assert_eq!(
+            uninterrupted.search(&q, 10),
+            restored.search(&q, 10),
+            "snapshot must be transparent to quantized determinism"
+        );
+    }
+}
+
+#[test]
+fn quantization_reports_memory_compression() {
+    let vectors = random_vectors(500, 32, 3);
+    let h = build(&vectors, true);
+    let stats = h.memory_stats();
+    assert!(stats.quantized);
+    assert!(
+        stats.compression_ratio() >= 2.0,
+        "codes should be at least 2x smaller than f32 vectors, got {}",
+        stats.compression_ratio()
+    );
+    assert!(stats.traversal_bytes() < stats.vectors_f32_bytes + stats.graph_bytes);
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Generate the machine-readable benchmark reports:
+#
+#   ./scripts/bench_report.sh
+#
+# Runs the bm25_topk and vector_search benches in self-timing mode
+# (BENCH_JSON) and writes BENCH_topk.json / BENCH_vector.json at the
+# repo root: pruned-vs-exhaustive and SQ8-vs-f32 latency, recall@10,
+# and the compression ratios of the packed postings and the SQ8 code
+# arena. Criterion micro-benches remain available via `cargo bench`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> bm25_topk -> BENCH_topk.json"
+BENCH_JSON="$PWD/BENCH_topk.json" cargo bench -q -p uniask-bench --bench bm25_topk
+
+echo "==> vector_search -> BENCH_vector.json"
+BENCH_JSON="$PWD/BENCH_vector.json" cargo bench -q -p uniask-bench --bench vector_search
+
+echo "bench_report: OK"

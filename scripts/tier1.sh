@@ -18,6 +18,9 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> memory footprint floors (10k-doc corpus)"
+cargo test --release -q --test memory_footprint -- --ignored --nocapture
+
 echo "==> cargo clippy -D warnings (workspace)"
 cargo clippy --workspace --all-targets -- -D warnings
 

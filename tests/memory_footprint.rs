@@ -1,0 +1,101 @@
+//! Memory-footprint floor on a 10k-document corpus.
+//!
+//! Measures the resident bytes of the block-compressed inverted index
+//! and the SQ8-quantized HNSW arena and asserts the compression floors
+//! the design promises: packed postings at most half the uncompressed
+//! `u32`-pair layout, and SQ8 codes at least 2× smaller than the f32
+//! vectors they stand in for. Run by `scripts/tier1.sh` in release mode
+//! (ignored by default — building a 10k-doc index is seconds of work,
+//! not milliseconds).
+//!
+//! ```text
+//! cargo test --release --test memory_footprint -- --ignored --nocapture
+//! ```
+
+use uniask::corpus::generator::CorpusGenerator;
+use uniask::corpus::scale::CorpusScale;
+use uniask::index::doc::IndexDocument;
+use uniask::index::inverted::InvertedIndex;
+use uniask::index::schema::Schema;
+use uniask::vector::embedding::{Embedder, SyntheticEmbedder};
+use uniask::vector::hnsw::{Hnsw, HnswParams};
+use uniask::vector::VectorIndex;
+
+fn footprint_scale() -> CorpusScale {
+    CorpusScale {
+        documents: 10_000,
+        human_questions: 10,
+        keyword_queries: 10,
+        embedding_dim: 64,
+    }
+}
+
+#[test]
+#[ignore = "10k-doc build; run via scripts/tier1.sh in release mode"]
+fn postings_blocks_halve_the_logical_layout() {
+    let kb = CorpusGenerator::new(footprint_scale(), 17).generate();
+    let mut idx = InvertedIndex::new(Schema::uniask_chunk_schema());
+    for doc in &kb.documents {
+        idx.add(
+            &IndexDocument::new()
+                .with_text("title", &doc.title)
+                .with_text("content", &doc.html)
+                .with_tags("domain", vec![doc.domain.clone()]),
+        )
+        .unwrap();
+    }
+    let stats = idx.memory_stats();
+    println!(
+        "inverted index over {} docs: {} postings, packed {} B, logical {} B ({:.2}x), doc-len {} B, dict {} B",
+        kb.documents.len(),
+        stats.posting_entries,
+        stats.postings_packed_bytes,
+        stats.postings_logical_bytes,
+        stats.postings_logical_bytes as f64 / stats.postings_packed_bytes.max(1) as f64,
+        stats.doc_len_bytes,
+        stats.dict_bytes,
+    );
+    assert!(
+        stats.posting_entries > 100_000,
+        "corpus should be non-trivial"
+    );
+    assert!(
+        stats.postings_packed_bytes * 2 <= stats.postings_logical_bytes,
+        "packed postings ({} B) must be at most half the logical layout ({} B)",
+        stats.postings_packed_bytes,
+        stats.postings_logical_bytes
+    );
+}
+
+#[test]
+#[ignore = "10k-vector build; run via scripts/tier1.sh in release mode"]
+fn sq8_codes_halve_the_traversal_arena() {
+    let scale = footprint_scale();
+    let kb = CorpusGenerator::new(scale, 17).generate();
+    let embedder = SyntheticEmbedder::new(scale.embedding_dim, 7);
+    let mut hnsw = Hnsw::new(HnswParams::default());
+    for (i, doc) in kb.documents.iter().enumerate() {
+        hnsw.add(i as u32, embedder.embed(&doc.title));
+    }
+    let stats = hnsw.memory_stats();
+    println!(
+        "hnsw over {} vectors (dim {}): f32 {} B, codes {} B ({:.2}x), graph {} B, traversal {} B",
+        hnsw.len(),
+        scale.embedding_dim,
+        stats.vectors_f32_bytes,
+        stats.codes_bytes,
+        stats.compression_ratio(),
+        stats.graph_bytes,
+        stats.traversal_bytes(),
+    );
+    assert!(stats.quantized, "default build must be quantized");
+    assert!(
+        stats.compression_ratio() >= 2.0,
+        "SQ8 arena must be at least 2x smaller than the f32 vectors (got {:.2}x)",
+        stats.compression_ratio()
+    );
+    assert!(
+        stats.traversal_bytes() < stats.vectors_f32_bytes + stats.graph_bytes,
+        "quantized traversal must touch fewer bytes than the f32 path"
+    );
+}
