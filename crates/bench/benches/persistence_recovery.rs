@@ -13,7 +13,7 @@ use uniask_core::ingestion::IngestMessage;
 use uniask_corpus::generator::CorpusGenerator;
 use uniask_corpus::kb::KnowledgeBase;
 use uniask_corpus::scale::CorpusScale;
-use uniask_store::vfs::MemVfs;
+use uniask_store::vfs::{MemVfs, Vfs};
 
 /// Messages left in the WAL tail past the last checkpoint.
 const WAL_TAIL: usize = 50;
@@ -53,8 +53,12 @@ fn config() -> UniAskConfig {
 /// that checkpoints periodically.
 fn populated_store(n: usize) -> Arc<MemVfs> {
     let vfs = Arc::new(MemVfs::new());
-    let (mut app, mut durability, _) =
-        Durability::recover(config(), Arc::clone(&vfs), durability_config()).expect("blank store");
+    let (mut app, mut durability, _) = Durability::recover(
+        config(),
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+        durability_config(),
+    )
+    .expect("blank store");
     let corpus = kb(n);
     let cut = corpus.documents.len().saturating_sub(WAL_TAIL);
     for doc in &corpus.documents[..cut] {
@@ -79,9 +83,12 @@ fn bench_recovery(c: &mut Criterion) {
         group.sample_size(10);
         group.bench_function("checkpoint_plus_wal_tail", |b| {
             b.iter(|| {
-                let (app, _, report) =
-                    Durability::recover(config(), Arc::clone(&vfs), durability_config())
-                        .expect("clean store");
+                let (app, _, report) = Durability::recover(
+                    config(),
+                    Arc::clone(&vfs) as Arc<dyn Vfs>,
+                    durability_config(),
+                )
+                .expect("clean store");
                 assert!(report.wal_records_replayed as usize >= WAL_TAIL.min(n));
                 black_box(app.index().len())
             })

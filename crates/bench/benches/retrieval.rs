@@ -38,7 +38,7 @@ fn bench_hss(c: &mut Criterion) {
         ("vector_only", HybridConfig::vector_only()),
     ] {
         let config = config.clone();
-        c.bench_function(&format!("retrieval/{name}_1500_docs"), |b| {
+        c.bench_function(format!("retrieval/{name}_1500_docs"), |b| {
             b.iter(|| {
                 black_box(
                     app.index()

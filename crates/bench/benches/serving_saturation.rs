@@ -1,0 +1,165 @@
+//! Serving front-end under a saturating arrival ramp.
+//!
+//! Drives `uniask_core::serving::ServingLoadTest` with the hot
+//! `saturation_smoke` ramp (4 → 40 req/s over two minutes of simulated
+//! time — well past the ~22 full-service req/s the default cost model
+//! sustains), exercising every rung of the shed ladder plus queue-full
+//! rejection.
+//!
+//! Two modes:
+//! - default: a criterion micro-benchmark of the simulation itself;
+//! - `BENCH_JSON=<path>`: a self-timed run written as a JSON report.
+//!   Everything under `"deterministic"` comes off the simulated clock
+//!   and must be bit-identical across machines for a given seed
+//!   (`scripts/bench_check.sh` enforces this); only the `*_us` keys
+//!   are wall-clock. `SERVING_SEED` overrides the seed.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+use uniask_core::serving::{ServingLoadTest, ServingLoadTestConfig};
+
+fn smoke_config() -> ServingLoadTestConfig {
+    let mut config = ServingLoadTestConfig::saturation_smoke();
+    if let Ok(seed) = std::env::var("SERVING_SEED") {
+        config.seed = seed
+            .parse()
+            .expect("SERVING_SEED must be an unsigned integer");
+    }
+    config
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let config = smoke_config();
+    let mut group = c.benchmark_group("serving_saturation");
+    group.sample_size(10);
+    group.bench_function("smoke_ramp", |b| {
+        b.iter(|| {
+            let report = ServingLoadTest::new(black_box(config.clone())).run();
+            black_box(report.counters.admitted())
+        })
+    });
+    group.finish();
+}
+
+/// Mean and min duration (µs) of `iters` runs of `f` after `warmup`
+/// discarded runs.
+fn time_loop<F: FnMut() -> u64>(warmup: usize, iters: usize, mut f: F) -> (f64, f64) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        total += micros;
+        min = min.min(micros);
+    }
+    (total / iters as f64, min)
+}
+
+fn object(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (key, value) in entries {
+        map.insert(key.to_string(), value);
+    }
+    serde_json::Value::Object(map)
+}
+
+fn json_report(path: &str) {
+    use serde_json::Value;
+
+    let config = smoke_config();
+    let report = ServingLoadTest::new(config.clone()).run();
+
+    // The contract CI leans on: same seed, same counters — and the run
+    // must shed under this ramp rather than panic or stall.
+    let again = ServingLoadTest::new(config.clone()).run();
+    assert_eq!(
+        report.counters, again.counters,
+        "saturation run must be seed-reproducible"
+    );
+    assert!(report.counters.shed() > 0, "the smoke ramp must shed");
+
+    let (run_mean_us, run_min_us) = time_loop(1, 5, || {
+        ServingLoadTest::new(config.clone())
+            .run()
+            .counters
+            .admitted()
+    });
+
+    let c = &report.counters;
+    let rendered = object(vec![
+        ("bench", Value::from("serving_saturation")),
+        ("seed", Value::from(config.seed)),
+        (
+            "config",
+            object(vec![
+                ("duration_secs", Value::from(config.duration_secs)),
+                ("initial_rate", Value::from(config.initial_rate)),
+                ("target_rate", Value::from(config.target_rate)),
+                ("bulk_fraction", Value::from(config.bulk_fraction)),
+            ]),
+        ),
+        (
+            "deterministic",
+            object(vec![
+                ("arrivals", Value::from(report.total_arrivals)),
+                ("admitted", Value::from(c.admitted())),
+                ("rejected", Value::from(c.rejected())),
+                ("expired", Value::from(c.expired())),
+                (
+                    "completed_full",
+                    Value::from(c.completed_interactive + c.completed_bulk),
+                ),
+                ("shed", Value::from(c.shed())),
+                ("shed_interactive", Value::from(c.shed_interactive)),
+                ("shed_bulk", Value::from(c.shed_bulk)),
+                ("shed_overload", Value::from(c.shed_overload)),
+                ("shed_deadline", Value::from(c.shed_deadline)),
+                ("shed_llm", Value::from(c.shed_llm)),
+                ("batches", Value::from(c.batches)),
+                ("max_batch", Value::from(c.max_batch)),
+                (
+                    "queue_high_water_interactive",
+                    Value::from(c.queue_high_water_interactive),
+                ),
+                (
+                    "queue_high_water_bulk",
+                    Value::from(c.queue_high_water_bulk),
+                ),
+                (
+                    "interactive_p99_latency_secs",
+                    Value::from(report.interactive.p99_latency_secs),
+                ),
+                (
+                    "bulk_p99_latency_secs",
+                    Value::from(report.bulk.p99_latency_secs),
+                ),
+            ]),
+        ),
+        (
+            "latency",
+            object(vec![
+                ("run_mean_us", Value::from(run_mean_us)),
+                ("run_min_us", Value::from(run_min_us)),
+            ]),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&rendered).expect("report serializes");
+    std::fs::write(path, rendered).expect("report written");
+    println!("serving_saturation report written to {path}");
+}
+
+criterion_group!(benches, bench_saturation);
+
+fn main() {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        json_report(&path);
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,153 @@
+//! Compare fresh `BENCH_*.json` reports against committed baselines.
+//!
+//! Usage: `bench_check <baseline.json> <fresh.json> [<baseline> <fresh> ...]`
+//!
+//! The gate is structural, not a micro-benchmark race: wall-clock
+//! numbers vary across machines, so they are only required to *exist*.
+//! What must hold:
+//!
+//! * every key in the baseline exists in the fresh report with the
+//!   same JSON type (a vanished counter or renamed section is a
+//!   regression in the report contract);
+//! * `compression_ratio` values stay above a hard floor of 2.0 —
+//!   the packed postings and SQ8 arena must keep earning their keep;
+//! * `recall*` values stay within 0.05 of the baseline;
+//! * everything under a `"deterministic"` object matches the baseline
+//!   exactly — those values come off the simulated clock and are
+//!   seed-reproducible by contract;
+//! * keys ending in `_us` (wall-clock) are presence-only.
+//!
+//! Exit status is non-zero iff any check fails; every failure is
+//! reported, not just the first.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Hard floor for any `compression_ratio` key.
+const COMPRESSION_FLOOR: f64 = 2.0;
+/// Allowed absolute drop for any `recall*` key.
+const RECALL_SLACK: f64 = 0.05;
+
+fn type_name(v: &Value) -> &'static str {
+    if v.is_null() {
+        "null"
+    } else if v.is_boolean() {
+        "bool"
+    } else if v.is_number() {
+        "number"
+    } else if v.is_string() {
+        "string"
+    } else if v.is_array() {
+        "array"
+    } else {
+        "object"
+    }
+}
+
+/// Recursively walk the baseline, collecting failure messages.
+fn compare(
+    path: &str,
+    baseline: &Value,
+    fresh: &Value,
+    in_deterministic: bool,
+    failures: &mut Vec<String>,
+) {
+    if type_name(baseline) != type_name(fresh) {
+        failures.push(format!(
+            "{path}: type changed ({} -> {})",
+            type_name(baseline),
+            type_name(fresh)
+        ));
+        return;
+    }
+    if let (Some(b), Some(f)) = (baseline.as_object(), fresh.as_object()) {
+        for (key, bv) in b.iter() {
+            let child = if path.is_empty() {
+                key.clone()
+            } else {
+                format!("{path}.{key}")
+            };
+            match f.get(key) {
+                None => failures.push(format!("{child}: missing from fresh report")),
+                Some(fv) => compare(
+                    &child,
+                    bv,
+                    fv,
+                    in_deterministic || key == "deterministic",
+                    failures,
+                ),
+            }
+        }
+    } else if let (Some(b), Some(f)) = (baseline.as_f64(), fresh.as_f64()) {
+        let leaf = path.rsplit('.').next().unwrap_or(path);
+        if leaf.ends_with("_us") {
+            // Wall-clock: presence is the whole contract.
+        } else if leaf == "compression_ratio" {
+            if f < COMPRESSION_FLOOR {
+                failures.push(format!(
+                    "{path}: compression ratio {f:.3} below floor {COMPRESSION_FLOOR}"
+                ));
+            }
+        } else if path.contains("recall") {
+            if f < b - RECALL_SLACK {
+                failures.push(format!(
+                    "{path}: recall regressed {b:.4} -> {f:.4} (slack {RECALL_SLACK})"
+                ));
+            }
+        } else if in_deterministic && (b - f).abs() > 1e-9 {
+            failures.push(format!(
+                "{path}: deterministic value changed {b} -> {f} \
+                 (simulated-clock results must be seed-reproducible)"
+            ));
+        }
+    } else if let (Some(b), Some(f)) = (baseline.as_str(), fresh.as_str()) {
+        if path == "bench" && b != f {
+            failures.push(format!("{path}: bench name changed {b:?} -> {f:?}"));
+        }
+    }
+    // Arrays, bools, nulls: type equality above is enough.
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read ({e})"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON ({e})"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() % 2 == 1 {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json> [<baseline> <fresh> ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for pair in args.chunks(2) {
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
+        let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("bench_check: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let mut failures = Vec::new();
+        compare("", &baseline, &fresh, false, &mut failures);
+        if failures.is_empty() {
+            println!("bench_check: {baseline_path} vs {fresh_path}: OK");
+        } else {
+            failed = true;
+            eprintln!("bench_check: {baseline_path} vs {fresh_path}: FAILED");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

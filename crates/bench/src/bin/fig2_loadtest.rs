@@ -3,29 +3,44 @@
 //! 60-minute open-system run, arrival rate ramping 1 → 3 users/second,
 //! 7 200 tokens per request. The paper observed 267 failed queries out
 //! of 7 200 requests; the simulated service envelope is calibrated to
-//! the same regime.
+//! the same regime. Both reports end with the measured-vs-paper
+//! comparison line rendered by the report itself.
 //!
-//! Usage: `cargo run -p uniask-bench --release --bin fig2_loadtest`
+//! Usage:
+//!   `cargo run -p uniask-bench --release --bin fig2_loadtest`
+//!     — the bare-envelope run (Figure 2 as published);
+//!   `cargo run -p uniask-bench --release --bin fig2_loadtest -- --serving`
+//!     — the same ramp behind the admission-controlled serving
+//!     front-end, where rate-limit failures become degraded answers.
 
 use uniask_core::loadtest::{LoadTest, LoadTestConfig};
+use uniask_core::serving::{ServingLoadTest, ServingLoadTestConfig};
 
 fn main() {
-    let config = LoadTestConfig::default();
-    eprintln!(
-        "fig2: simulating {:.0}-minute load test (ramp {} → {} req/s, {} tokens/request)...",
-        config.duration_secs / 60.0,
-        config.initial_rate,
-        config.target_rate,
-        config.tokens_per_request
-    );
-    let report = LoadTest::new(config).run();
-    println!("== Figure 2 — Load test on the LLM service ==");
-    println!("{}", report.render());
-    println!(
-        "Paper: 267 failed queries out of 7200 requests ({:.1}%). Measured: {} / {} ({:.1}%).",
-        100.0 * 267.0 / 7200.0,
-        report.failed_requests,
-        report.total_requests,
-        100.0 * report.failure_rate()
-    );
+    let serving_mode = std::env::args().any(|a| a == "--serving");
+    if serving_mode {
+        let config = ServingLoadTestConfig::default();
+        eprintln!(
+            "fig2: simulating {:.0}-minute serving run (ramp {} → {} req/s, seed {:#x})...",
+            config.duration_secs / 60.0,
+            config.initial_rate,
+            config.target_rate,
+            config.seed
+        );
+        let report = ServingLoadTest::new(config).run();
+        println!("== Figure 2 — Load test behind the serving front-end ==");
+        println!("{}", report.render());
+    } else {
+        let config = LoadTestConfig::default();
+        eprintln!(
+            "fig2: simulating {:.0}-minute load test (ramp {} → {} req/s, {} tokens/request)...",
+            config.duration_secs / 60.0,
+            config.initial_rate,
+            config.target_rate,
+            config.tokens_per_request
+        );
+        let report = LoadTest::new(config).run();
+        println!("== Figure 2 — Load test on the LLM service ==");
+        println!("{}", report.render());
+    }
 }

@@ -117,6 +117,10 @@ pub fn bulk_ingest(
     written
 }
 
+/// A chunk prepared off-thread: the record plus its title and content
+/// embeddings, ready for single-writer insertion.
+type PreparedChunk = (ChunkRecord, Vec<f32>, Vec<f32>);
+
 /// Apply a batch of incremental ingest messages with `workers`
 /// preparation threads (0 = all CPUs). Returns the number of messages
 /// processed.
@@ -144,8 +148,7 @@ pub fn apply_messages_parallel(
 
     // Phase 1: prepare every upsert in parallel, keyed by its message
     // position so the replay below can find it in order.
-    let mut prepared: Vec<Option<Vec<(ChunkRecord, Vec<f32>, Vec<f32>)>>> =
-        (0..total).map(|_| None).collect();
+    let mut prepared: Vec<Option<Vec<PreparedChunk>>> = (0..total).map(|_| None).collect();
     {
         let svc: &IndexingService = indexing;
         let upserts: Vec<(usize, &KbDocument)> = messages
@@ -157,39 +160,38 @@ pub fn apply_messages_parallel(
             })
             .collect();
         if !upserts.is_empty() {
-            let results: Vec<(usize, Vec<(ChunkRecord, Vec<f32>, Vec<f32>)>)> =
-                crossbeam::scope(|scope| {
-                    let (work_tx, work_rx) = bounded::<(usize, &KbDocument)>(upserts.len());
-                    let (done_tx, done_rx) = bounded(workers * 4);
-                    for _ in 0..workers {
-                        let work_rx = work_rx.clone();
-                        let done_tx = done_tx.clone();
-                        let embedder = Arc::clone(&embedder);
-                        scope.spawn(move |_| {
-                            while let Ok((pos, doc)) = work_rx.recv() {
-                                let chunks: Vec<(ChunkRecord, Vec<f32>, Vec<f32>)> = svc
-                                    .chunk_document(doc)
-                                    .into_iter()
-                                    .map(|record| {
-                                        let title_vec = embedder.embed(&record.title);
-                                        let content_vec = embedder.embed(&record.content);
-                                        (record, title_vec, content_vec)
-                                    })
-                                    .collect();
-                                if done_tx.send((pos, chunks)).is_err() {
-                                    return;
-                                }
+            let results: Vec<(usize, Vec<PreparedChunk>)> = crossbeam::scope(|scope| {
+                let (work_tx, work_rx) = bounded::<(usize, &KbDocument)>(upserts.len());
+                let (done_tx, done_rx) = bounded(workers * 4);
+                for _ in 0..workers {
+                    let work_rx = work_rx.clone();
+                    let done_tx = done_tx.clone();
+                    let embedder = Arc::clone(&embedder);
+                    scope.spawn(move |_| {
+                        while let Ok((pos, doc)) = work_rx.recv() {
+                            let chunks: Vec<PreparedChunk> = svc
+                                .chunk_document(doc)
+                                .into_iter()
+                                .map(|record| {
+                                    let title_vec = embedder.embed(&record.title);
+                                    let content_vec = embedder.embed(&record.content);
+                                    (record, title_vec, content_vec)
+                                })
+                                .collect();
+                            if done_tx.send((pos, chunks)).is_err() {
+                                return;
                             }
-                        });
-                    }
-                    drop(done_tx);
-                    for item in upserts {
-                        work_tx.send(item).expect("queue sized to fit all work");
-                    }
-                    drop(work_tx);
-                    done_rx.iter().collect()
-                })
-                .expect("message preparation workers must not panic");
+                        }
+                    });
+                }
+                drop(done_tx);
+                for item in upserts {
+                    work_tx.send(item).expect("queue sized to fit all work");
+                }
+                drop(work_tx);
+                done_rx.iter().collect()
+            })
+            .expect("message preparation workers must not panic");
             for (pos, chunks) in results {
                 prepared[pos] = Some(chunks);
             }

@@ -449,8 +449,12 @@ mod tests {
         let vfs = Arc::new(MemVfs::new());
         let docs = small_docs(5);
         {
-            let (mut app, mut durability, _) =
-                Durability::recover(config(), Arc::clone(&vfs), durability_config(0)).unwrap();
+            let (mut app, mut durability, _) = Durability::recover(
+                config(),
+                Arc::clone(&vfs) as Arc<dyn Vfs>,
+                durability_config(0),
+            )
+            .unwrap();
             for doc in &docs {
                 durability
                     .log_and_apply(&mut app, IngestMessage::Upsert(doc.clone()))
@@ -474,8 +478,12 @@ mod tests {
         let vfs = Arc::new(MemVfs::new());
         let docs = small_docs(6);
         {
-            let (mut app, mut durability, _) =
-                Durability::recover(config(), Arc::clone(&vfs), durability_config(2)).unwrap();
+            let (mut app, mut durability, _) = Durability::recover(
+                config(),
+                Arc::clone(&vfs) as Arc<dyn Vfs>,
+                durability_config(2),
+            )
+            .unwrap();
             for doc in &docs {
                 durability
                     .log_and_apply(&mut app, IngestMessage::Upsert(doc.clone()))
@@ -505,8 +513,12 @@ mod tests {
         // Durable run, killed after the last message, then recovered.
         let vfs = Arc::new(MemVfs::new());
         {
-            let (mut app, mut durability, _) =
-                Durability::recover(config(), Arc::clone(&vfs), durability_config(4)).unwrap();
+            let (mut app, mut durability, _) = Durability::recover(
+                config(),
+                Arc::clone(&vfs) as Arc<dyn Vfs>,
+                durability_config(4),
+            )
+            .unwrap();
             for doc in &docs {
                 durability
                     .log_and_apply(&mut app, IngestMessage::Upsert(doc.clone()))

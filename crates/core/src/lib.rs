@@ -21,6 +21,9 @@
 //! * [`durability`] — crash-safe persistence: write-ahead ingest log,
 //!   atomic checkpoints and startup recovery over `uniask-store`.
 //! * [`loadtest`] — the open-system load test of Figure 2.
+//! * [`serving`] — the admission-controlled serving front-end: bounded
+//!   priority queues, deadline propagation, batched dispatch and
+//!   graceful load shedding, driven on the simulated clock.
 //! * [`pilot`] — the three user-test phases of Section 8.
 //! * [`tickets`] — the post-launch ticket-reduction analysis.
 
@@ -39,6 +42,7 @@ pub mod pilot;
 pub mod querylog;
 pub mod queue;
 pub mod resilience;
+pub mod serving;
 pub mod tickets;
 
 pub use app::{AskResponse, GenerationOutcome, UniAsk};
@@ -58,5 +62,9 @@ pub use queue::{MessageQueue, PostError};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Degradation, FaultKind, FaultPlan, FaultPoint,
     FaultSpec, ResilienceConfig, ResilienceState, RetryPolicy,
+};
+pub use serving::{
+    AdmitError, ClassPolicy, Priority, ServingConfig, ServingCounters, ServingFrontend,
+    ServingLoadTest, ServingLoadTestConfig, ServingReport,
 };
 pub use tickets::{ticket_analysis, TicketReport};

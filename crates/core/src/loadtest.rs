@@ -32,6 +32,11 @@ pub struct LoadTestConfig {
     pub completion_tokens: usize,
     /// Service envelope under test.
     pub service: LlmServiceConfig,
+    /// The paper's observed failure count, for the report comparison
+    /// (paper: 267).
+    pub paper_failed_queries: usize,
+    /// The paper's total request count (paper: 7 200).
+    pub paper_total_queries: usize,
 }
 
 impl Default for LoadTestConfig {
@@ -48,8 +53,36 @@ impl Default for LoadTestConfig {
                 base_latency_secs: 0.35,
                 per_token_latency_secs: 0.012,
             },
+            paper_failed_queries: 267,
+            paper_total_queries: 7200,
         }
     }
+}
+
+/// The one-line measured-vs-paper comparison every load report ends
+/// with ("Paper: 267 failed queries out of 7200 …"). Shared by the
+/// Figure 2 report and the serving saturation report so the two
+/// harnesses stay comparable.
+pub fn render_paper_comparison(
+    measured_failed: usize,
+    measured_total: usize,
+    paper_failed: usize,
+    paper_total: usize,
+) -> String {
+    let paper_pct = if paper_total == 0 {
+        0.0
+    } else {
+        100.0 * paper_failed as f64 / paper_total as f64
+    };
+    let measured_pct = if measured_total == 0 {
+        0.0
+    } else {
+        100.0 * measured_failed as f64 / measured_total as f64
+    };
+    format!(
+        "Paper: {paper_failed} failed queries out of {paper_total} requests ({paper_pct:.1}%). \
+         Measured: {measured_failed} / {measured_total} ({measured_pct:.1}%)."
+    )
 }
 
 /// Per-minute statistics of the run.
@@ -74,6 +107,10 @@ pub struct LoadTestReport {
     pub failed_requests: usize,
     /// Per-minute series.
     pub minutes: Vec<MinuteStats>,
+    /// The paper's failure count, carried from the config.
+    pub paper_failed_queries: usize,
+    /// The paper's total request count, carried from the config.
+    pub paper_total_queries: usize,
 }
 
 impl LoadTestReport {
@@ -104,14 +141,23 @@ impl LoadTestReport {
                 m.minute, m.requests, m.failures
             ));
         }
+        out.push_str(&render_paper_comparison(
+            self.failed_requests,
+            self.total_requests,
+            self.paper_failed_queries,
+            self.paper_total_queries,
+        ));
+        out.push('\n');
         out
     }
 }
 
 /// A stub model with the paper's request shape: the load test measures
-/// the *service envelope*, not generation quality.
-struct SyntheticModel {
-    completion_tokens: usize,
+/// the *service envelope*, not generation quality. Shared with the
+/// serving front-end, whose generation leg passes through the same
+/// envelope.
+pub(crate) struct SyntheticModel {
+    pub(crate) completion_tokens: usize,
 }
 
 impl ChatModel for SyntheticModel {
@@ -207,6 +253,8 @@ impl LoadTest {
             total_requests: total,
             failed_requests: failed,
             minutes,
+            paper_failed_queries: c.paper_failed_queries,
+            paper_total_queries: c.paper_total_queries,
         }
     }
 }
@@ -282,5 +330,21 @@ mod tests {
         let r = LoadTest::new(config).run().render();
         assert!(r.contains("requests"));
         assert!(r.contains("min |"));
+        assert!(
+            r.contains("Paper: 267 failed queries out of 7200"),
+            "the report owns the paper comparison: {r}"
+        );
+    }
+
+    #[test]
+    fn paper_comparison_line_is_stable() {
+        let line = render_paper_comparison(300, 7000, 267, 7200);
+        assert_eq!(
+            line,
+            "Paper: 267 failed queries out of 7200 requests (3.7%). \
+             Measured: 300 / 7000 (4.3%)."
+        );
+        // Degenerate totals must not divide by zero.
+        assert!(render_paper_comparison(0, 0, 0, 0).contains("0.0%"));
     }
 }

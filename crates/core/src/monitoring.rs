@@ -11,6 +11,8 @@ use parking_lot::Mutex;
 use uniask_guardrails::verdict::GuardrailKind;
 use uniask_search::cache::CacheStats;
 
+use crate::serving::ServingCounters;
+
 /// Thread-safe monitoring collector.
 #[derive(Debug, Default)]
 pub struct Monitoring {
@@ -46,6 +48,9 @@ struct Inner {
     corrupt_wal_records: usize,
     dead_letters: usize,
     recovery_generation: u64,
+    /// Latest serving front-end counters observed (cumulative since the
+    /// front-end was created; latest observation wins, like `cache`).
+    serving: ServingCounters,
 }
 
 /// 50 ms buckets, 10 s span (200 buckets + overflow).
@@ -132,6 +137,30 @@ pub struct DashboardSnapshot {
     pub dead_letters: usize,
     /// Checkpoint generation restored at startup (0 = cold start).
     pub recovery_generation: u64,
+    /// Requests admitted by the serving front-end (both classes).
+    pub serving_admitted: u64,
+    /// Requests rejected at the serving door (queue full).
+    pub serving_rejected: u64,
+    /// Requests whose deadline passed unserved.
+    pub serving_expired: u64,
+    /// Requests answered through the degraded shed path.
+    pub serving_shed: u64,
+    /// Sheds caused by queue depth.
+    pub serving_shed_overload: u64,
+    /// Sheds caused by deadline projection.
+    pub serving_shed_deadline: u64,
+    /// Sheds caused by LLM throttling.
+    pub serving_shed_llm: u64,
+    /// Batches dispatched by the front-end.
+    pub serving_batches: u64,
+    /// Mean dispatched batch size.
+    pub serving_mean_batch: f64,
+    /// Largest batch dispatched.
+    pub serving_max_batch: usize,
+    /// Deepest the interactive queue has been.
+    pub serving_queue_high_water_interactive: usize,
+    /// Deepest the bulk queue has been.
+    pub serving_queue_high_water_bulk: usize,
 }
 
 impl Monitoring {
@@ -216,6 +245,13 @@ impl Monitoring {
         self.inner.lock().recovery_generation = generation;
     }
 
+    /// Record the current serving front-end counters. Like
+    /// [`Monitoring::record_cache`], the counters are cumulative, so
+    /// the latest observation wins.
+    pub fn record_serving(&self, counters: ServingCounters) {
+        self.inner.lock().serving = counters;
+    }
+
     /// Record a guardrail trigger.
     pub fn record_guardrail(&self, kind: GuardrailKind) {
         let mut inner = self.inner.lock();
@@ -264,6 +300,18 @@ impl Monitoring {
             corrupt_wal_records: inner.corrupt_wal_records,
             dead_letters: inner.dead_letters,
             recovery_generation: inner.recovery_generation,
+            serving_admitted: inner.serving.admitted(),
+            serving_rejected: inner.serving.rejected(),
+            serving_expired: inner.serving.expired(),
+            serving_shed: inner.serving.shed(),
+            serving_shed_overload: inner.serving.shed_overload,
+            serving_shed_deadline: inner.serving.shed_deadline,
+            serving_shed_llm: inner.serving.shed_llm,
+            serving_batches: inner.serving.batches,
+            serving_mean_batch: inner.serving.mean_batch(),
+            serving_max_batch: inner.serving.max_batch,
+            serving_queue_high_water_interactive: inner.serving.queue_high_water_interactive,
+            serving_queue_high_water_bulk: inner.serving.queue_high_water_bulk,
         }
     }
 }
@@ -297,6 +345,16 @@ impl DashboardSnapshot {
              │ corrupt records skipped  {:>8}           │\n\
              │ dead letters             {:>8}           │\n\
              │ recovery generation      {:>8}           │\n\
+             │ serving admitted         {:>8}           │\n\
+             │ serving rejected         {:>8}           │\n\
+             │ serving expired          {:>8}           │\n\
+             │ serving shed             {:>8}           │\n\
+             │   · overload             {:>8}           │\n\
+             │   · deadline             {:>8}           │\n\
+             │   · llm pressure         {:>8}           │\n\
+             │ serving batches          {:>8}           │\n\
+             │ batch mean/max        {:>5.2}  /{:>6}      │\n\
+             │ queue hwm int/bulk    {:>5}  /{:>6}      │\n\
              └─────────────────────────────────────────────┘",
             self.users,
             self.queries,
@@ -323,6 +381,18 @@ impl DashboardSnapshot {
             self.corrupt_wal_records,
             self.dead_letters,
             self.recovery_generation,
+            self.serving_admitted,
+            self.serving_rejected,
+            self.serving_expired,
+            self.serving_shed,
+            self.serving_shed_overload,
+            self.serving_shed_deadline,
+            self.serving_shed_llm,
+            self.serving_batches,
+            self.serving_mean_batch,
+            self.serving_max_batch,
+            self.serving_queue_high_water_interactive,
+            self.serving_queue_high_water_bulk,
         )
     }
 }
@@ -454,6 +524,61 @@ mod tests {
         assert!(page.contains("corrupt records skipped"));
         assert!(page.contains("dead letters"));
         assert!(page.contains("recovery generation"));
+    }
+
+    #[test]
+    fn serving_counters_surface_on_the_dashboard() {
+        let m = Monitoring::new();
+        m.record_serving(ServingCounters {
+            admitted_interactive: 10,
+            admitted_bulk: 4,
+            rejected_interactive: 1,
+            rejected_bulk: 2,
+            expired_bulk: 1,
+            shed_bulk: 3,
+            shed_overload: 2,
+            shed_llm: 1,
+            batches: 5,
+            dispatched: 10,
+            max_batch: 4,
+            queue_high_water_interactive: 6,
+            queue_high_water_bulk: 9,
+            ..ServingCounters::default()
+        });
+        // Latest observation wins (cumulative counters, like the cache).
+        m.record_serving(ServingCounters {
+            admitted_interactive: 12,
+            admitted_bulk: 4,
+            rejected_interactive: 1,
+            rejected_bulk: 2,
+            expired_bulk: 1,
+            shed_bulk: 3,
+            shed_overload: 2,
+            shed_llm: 1,
+            batches: 6,
+            dispatched: 12,
+            max_batch: 4,
+            queue_high_water_interactive: 6,
+            queue_high_water_bulk: 9,
+            ..ServingCounters::default()
+        });
+        let s = m.snapshot();
+        assert_eq!(s.serving_admitted, 16);
+        assert_eq!(s.serving_rejected, 3);
+        assert_eq!(s.serving_expired, 1);
+        assert_eq!(s.serving_shed, 3);
+        assert_eq!(s.serving_shed_overload, 2);
+        assert_eq!(s.serving_shed_llm, 1);
+        assert_eq!(s.serving_batches, 6);
+        assert!((s.serving_mean_batch - 2.0).abs() < 1e-9);
+        assert_eq!(s.serving_max_batch, 4);
+        assert_eq!(s.serving_queue_high_water_interactive, 6);
+        assert_eq!(s.serving_queue_high_water_bulk, 9);
+        let page = s.render();
+        assert!(page.contains("serving admitted"));
+        assert!(page.contains("serving shed"));
+        assert!(page.contains("llm pressure"));
+        assert!(page.contains("queue hwm int/bulk"));
     }
 
     #[test]

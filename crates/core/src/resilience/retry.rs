@@ -37,6 +37,20 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Upper bound on the total backoff the schedule can spend before
+    /// giving up: the capped delay of every retry at maximum jitter.
+    /// The serving front-end propagates deadlines from this bound — a
+    /// class that is allowed to wait out the full retry schedule needs
+    /// at least this much budget beyond the service time itself.
+    pub fn worst_case_backoff_secs(&self) -> f64 {
+        (0..self.max_retries)
+            .map(|attempt| {
+                let exp = self.base_delay_secs * self.multiplier.powi(attempt.min(24) as i32);
+                exp.min(self.max_delay_secs) * (1.0 + self.jitter_frac)
+            })
+            .sum()
+    }
+
     /// The jittered delay before retry number `attempt` (0-based), in
     /// seconds. `hint` is a server-provided minimum (e.g. the
     /// `retry_after_secs` of a rate-limit error); the returned delay is

@@ -1,0 +1,262 @@
+//! Bounded priority admission queues.
+//!
+//! Two FIFO queues — interactive and bulk — with per-class capacity
+//! and strict dispatch priority: no bulk request is popped while any
+//! interactive request waits. Overflow is an *explicit* rejection at
+//! the door ([`AdmitError::QueueFull`]); a request whose deadline has
+//! already passed is refused admission outright
+//! ([`AdmitError::DeadlineExpired`]) — queueing it would only waste a
+//! dispatch slot on an answer nobody can use.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use super::Priority;
+
+/// A request waiting for dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// Front-end-assigned id (submission order).
+    pub id: u64,
+    /// Priority class.
+    pub class: Priority,
+    /// The query text.
+    pub query: String,
+    /// Arrival time, simulated seconds.
+    pub arrived_at: f64,
+    /// Absolute deadline, simulated seconds.
+    pub deadline: f64,
+}
+
+impl QueuedRequest {
+    /// Whether the deadline has passed at `now`.
+    pub fn expired(&self, now: f64) -> bool {
+        now > self.deadline
+    }
+}
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The class queue is at capacity.
+    QueueFull {
+        /// The class whose queue overflowed.
+        class: Priority,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// The request's deadline had already passed at submission.
+    DeadlineExpired,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::QueueFull { class, capacity } => {
+                write!(f, "{} queue full (capacity {})", class.label(), capacity)
+            }
+            AdmitError::DeadlineExpired => write!(f, "deadline expired before admission"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// The two-class bounded queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    interactive: VecDeque<QueuedRequest>,
+    bulk: VecDeque<QueuedRequest>,
+    interactive_capacity: usize,
+    bulk_capacity: usize,
+    interactive_high_water: usize,
+    bulk_high_water: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given per-class capacities.
+    pub fn new(interactive_capacity: usize, bulk_capacity: usize) -> Self {
+        AdmissionQueue {
+            interactive: VecDeque::new(),
+            bulk: VecDeque::new(),
+            interactive_capacity,
+            bulk_capacity,
+            interactive_high_water: 0,
+            bulk_high_water: 0,
+        }
+    }
+
+    /// Admit `request` at time `now`, or refuse it. Expiry is checked
+    /// before capacity: an expired request must not consume a slot
+    /// even in an empty queue.
+    pub fn admit(&mut self, request: QueuedRequest, now: f64) -> Result<(), AdmitError> {
+        if request.expired(now) {
+            return Err(AdmitError::DeadlineExpired);
+        }
+        let (queue, capacity, high_water) = match request.class {
+            Priority::Interactive => (
+                &mut self.interactive,
+                self.interactive_capacity,
+                &mut self.interactive_high_water,
+            ),
+            Priority::Bulk => (
+                &mut self.bulk,
+                self.bulk_capacity,
+                &mut self.bulk_high_water,
+            ),
+        };
+        if queue.len() >= capacity {
+            return Err(AdmitError::QueueFull {
+                class: request.class,
+                capacity,
+            });
+        }
+        queue.push_back(request);
+        *high_water = (*high_water).max(queue.len());
+        Ok(())
+    }
+
+    /// Pop the next request: strict priority, interactive before bulk,
+    /// FIFO within a class.
+    pub fn pop(&mut self) -> Option<QueuedRequest> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.bulk.pop_front())
+    }
+
+    /// Total queued requests across both classes.
+    pub fn depth(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    /// Queued requests of one class.
+    pub fn class_depth(&self, class: Priority) -> usize {
+        match class {
+            Priority::Interactive => self.interactive.len(),
+            Priority::Bulk => self.bulk.len(),
+        }
+    }
+
+    /// Earliest arrival time still queued (drives the batch window).
+    pub fn oldest_arrival(&self) -> Option<f64> {
+        let a = self.interactive.front().map(|r| r.arrived_at);
+        let b = self.bulk.front().map(|r| r.arrived_at);
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// Deepest the class queue has ever been.
+    pub fn high_water(&self, class: Priority) -> usize {
+        match class {
+            Priority::Interactive => self.interactive_high_water,
+            Priority::Bulk => self.bulk_high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, class: Priority, deadline: f64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            class,
+            query: format!("query {id}"),
+            arrived_at: 0.0,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn interactive_dispatches_before_earlier_bulk() {
+        let mut q = AdmissionQueue::new(4, 4);
+        q.admit(request(1, Priority::Bulk, 100.0), 0.0).unwrap();
+        q.admit(request(2, Priority::Bulk, 100.0), 0.0).unwrap();
+        q.admit(request(3, Priority::Interactive, 100.0), 0.0)
+            .unwrap();
+        assert_eq!(q.pop().unwrap().id, 3, "interactive jumps the bulk backlog");
+        assert_eq!(q.pop().unwrap().id, 1, "bulk stays FIFO");
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn class_queues_reject_independently_when_full() {
+        let mut q = AdmissionQueue::new(1, 2);
+        q.admit(request(1, Priority::Interactive, 100.0), 0.0)
+            .unwrap();
+        // Interactive is full; bulk still has room — the classes are
+        // isolated so a bulk flood cannot starve interactive admission
+        // and vice versa.
+        assert_eq!(
+            q.admit(request(2, Priority::Interactive, 100.0), 0.0),
+            Err(AdmitError::QueueFull {
+                class: Priority::Interactive,
+                capacity: 1
+            })
+        );
+        q.admit(request(3, Priority::Bulk, 100.0), 0.0).unwrap();
+        q.admit(request(4, Priority::Bulk, 100.0), 0.0).unwrap();
+        assert_eq!(
+            q.admit(request(5, Priority::Bulk, 100.0), 0.0),
+            Err(AdmitError::QueueFull {
+                class: Priority::Bulk,
+                capacity: 2
+            })
+        );
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_even_with_room() {
+        let mut q = AdmissionQueue::new(4, 4);
+        assert_eq!(
+            q.admit(request(1, Priority::Interactive, 5.0), 6.0),
+            Err(AdmitError::DeadlineExpired)
+        );
+        assert_eq!(q.depth(), 0, "no slot consumed");
+        // Exactly at the deadline still admits (deadline is inclusive).
+        q.admit(request(2, Priority::Interactive, 5.0), 5.0)
+            .unwrap();
+    }
+
+    #[test]
+    fn high_water_tracks_the_peak_not_the_present() {
+        let mut q = AdmissionQueue::new(8, 8);
+        for id in 0..5 {
+            q.admit(request(id, Priority::Bulk, 100.0), 0.0).unwrap();
+        }
+        for _ in 0..4 {
+            q.pop();
+        }
+        assert_eq!(q.class_depth(Priority::Bulk), 1);
+        assert_eq!(q.high_water(Priority::Bulk), 5);
+        assert_eq!(q.high_water(Priority::Interactive), 0);
+    }
+
+    #[test]
+    fn oldest_arrival_spans_both_classes() {
+        let mut q = AdmissionQueue::new(4, 4);
+        assert_eq!(q.oldest_arrival(), None);
+        let mut early_bulk = request(1, Priority::Bulk, 100.0);
+        early_bulk.arrived_at = 1.0;
+        let mut late_interactive = request(2, Priority::Interactive, 100.0);
+        late_interactive.arrived_at = 2.0;
+        q.admit(early_bulk, 1.0).unwrap();
+        q.admit(late_interactive, 2.0).unwrap();
+        assert_eq!(q.oldest_arrival(), Some(1.0));
+    }
+
+    #[test]
+    fn errors_render_for_operators() {
+        let full = AdmitError::QueueFull {
+            class: Priority::Bulk,
+            capacity: 7,
+        };
+        assert_eq!(full.to_string(), "bulk queue full (capacity 7)");
+        assert!(AdmitError::DeadlineExpired.to_string().contains("deadline"));
+    }
+}

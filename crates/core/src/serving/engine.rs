@@ -1,0 +1,136 @@
+//! What the front-end dispatches onto.
+//!
+//! [`ServingEngine`] abstracts the retrieval stack behind two calls —
+//! full-quality batched service and the degraded shed path — so the
+//! admission/batch/shed machinery can be exercised against either the
+//! real [`SearchIndex`] or a weightless stand-in for envelope
+//! simulations where only queueing dynamics matter.
+
+use uniask_search::hybrid::{HybridConfig, SearchHit, SearchIndex};
+
+use crate::resilience::Degradation;
+
+/// A served (possibly degraded) retrieval answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedAnswer {
+    /// Ranked hits.
+    pub hits: Vec<SearchHit>,
+    /// Which parts of the pipeline were skipped (PR 3 flagging:
+    /// `degradation.is_degraded()` is true exactly for shed answers).
+    pub degradation: Degradation,
+}
+
+/// The retrieval surface the serving front-end drives.
+pub trait ServingEngine {
+    /// Full-quality answers for a batch of admitted queries, in order.
+    /// Implementations amortize shared work (embedding) across the
+    /// batch but must return byte-identical answers to serving each
+    /// query alone.
+    fn serve_batch(&self, queries: &[String]) -> Vec<ServedAnswer>;
+
+    /// The load-shedding path: a cheap BM25-only answer, flagged
+    /// degraded, bypassing the query cache in both directions.
+    fn serve_shed(&self, query: &str) -> ServedAnswer;
+}
+
+/// A no-op engine for envelope simulations: answers are empty, only
+/// the cost model and queueing dynamics matter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SyntheticEngine;
+
+impl ServingEngine for SyntheticEngine {
+    fn serve_batch(&self, queries: &[String]) -> Vec<ServedAnswer> {
+        queries
+            .iter()
+            .map(|_| ServedAnswer {
+                hits: Vec::new(),
+                degradation: Degradation::default(),
+            })
+            .collect()
+    }
+
+    fn serve_shed(&self, _query: &str) -> ServedAnswer {
+        ServedAnswer {
+            hits: Vec::new(),
+            degradation: shed_degradation(),
+        }
+    }
+}
+
+/// The degradation mask of a shed answer: no vector leg, no reranker,
+/// and no LLM generation (the answer, if any, is extractive).
+pub(crate) fn shed_degradation() -> Degradation {
+    Degradation {
+        vector_leg: true,
+        reranker: true,
+        llm_fallback: true,
+        ..Degradation::default()
+    }
+}
+
+/// The real engine: a [`SearchIndex`] under a fixed [`HybridConfig`].
+pub struct SearchIndexEngine<'a> {
+    index: &'a SearchIndex,
+    hybrid: HybridConfig,
+    /// The shed-path configuration: BM25 only, derived once from
+    /// `hybrid` so per-request shedding allocates nothing.
+    shed: HybridConfig,
+}
+
+impl<'a> SearchIndexEngine<'a> {
+    /// Wrap `index`, serving full requests under `hybrid` and shed
+    /// requests under its BM25-only reduction.
+    pub fn new(index: &'a SearchIndex, hybrid: HybridConfig) -> Self {
+        let shed = HybridConfig {
+            use_vector: false,
+            use_reranker: false,
+            ..hybrid.clone()
+        };
+        SearchIndexEngine {
+            index,
+            hybrid,
+            shed,
+        }
+    }
+}
+
+impl ServingEngine for SearchIndexEngine<'_> {
+    fn serve_batch(&self, queries: &[String]) -> Vec<ServedAnswer> {
+        self.index
+            .search_batch(queries, &self.hybrid)
+            .into_iter()
+            .map(|hits| ServedAnswer {
+                hits,
+                degradation: Degradation::default(),
+            })
+            .collect()
+    }
+
+    fn serve_shed(&self, query: &str) -> ServedAnswer {
+        // `search_with_vector` never consults the query cache (PR 3
+        // discipline): a degraded ranking must not be served for, or
+        // stored under, the healthy key.
+        let hits = self.index.search_with_vector(query, None, &self.shed);
+        ServedAnswer {
+            hits,
+            degradation: shed_degradation(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_engine_flags_shed_answers_degraded() {
+        let engine = SyntheticEngine;
+        let full = engine.serve_batch(&["una domanda".to_string()]);
+        assert_eq!(full.len(), 1);
+        assert!(!full[0].degradation.is_degraded());
+        let shed = engine.serve_shed("una domanda");
+        assert!(shed.degradation.is_degraded());
+        assert!(shed.degradation.vector_leg);
+        assert!(shed.degradation.llm_fallback);
+    }
+}

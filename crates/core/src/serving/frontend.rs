@@ -1,0 +1,576 @@
+//! The dispatch loop: batch, shed, serve.
+//!
+//! [`ServingFrontend`] owns the admission queue and drives batches
+//! through a [`ServingEngine`]. It is deliberately synchronous and
+//! clock-explicit — the caller (the simulation driver, a test, or the
+//! loadtest binary) advances simulated time and asks the front-end
+//! when it next wants to run. That inversion keeps every decision
+//! deterministic and seed-reproducible while still modeling an async
+//! server: queues fill between dispatches, batches form inside a
+//! window, the compute "thread" is busy until `server_free_at`, and
+//! the LLM leg runs against the token-bucket envelope without
+//! occupying the server.
+//!
+//! Shedding ladder, applied per dispatched batch:
+//! 1. queue depth above `shed_depth` → bulk requests in the batch are
+//!    shed to the degraded path (overload shed);
+//! 2. a request whose projected full-service completion would cross
+//!    its deadline is shed regardless of class (deadline shed) — the
+//!    estimate is taken against the batch as popped, conservatively;
+//! 3. a full-service request whose generation hits the LLM rate limit
+//!    is answered extractively instead of failing (LLM-pressure shed).
+//!
+//! Shed answers are still answers: BM25-only hits flagged
+//! [`Degradation`] with `llm_fallback` set. Only rejections and
+//! expiries leave a client empty-handed.
+//!
+//! [`Degradation`]: crate::resilience::Degradation
+
+use uniask_llm::chat::{ChatMessage, ChatRequest};
+use uniask_llm::service::LlmService;
+
+use super::admission::{AdmissionQueue, AdmitError, QueuedRequest};
+use super::engine::{ServedAnswer, ServingEngine};
+use super::{Priority, ServingConfig};
+use crate::loadtest::SyntheticModel;
+
+/// Why an answer was degraded instead of served in full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Queue depth crossed `shed_depth`; bulk traffic sheds first.
+    Overload,
+    /// The projected completion would have crossed the deadline.
+    Deadline,
+    /// The LLM envelope throttled the generation leg.
+    LlmPressure,
+}
+
+/// Cumulative serving counters (the dashboard page and CI assertions
+/// read these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingCounters {
+    /// Requests admitted into the interactive queue.
+    pub admitted_interactive: u64,
+    /// Requests admitted into the bulk queue.
+    pub admitted_bulk: u64,
+    /// Interactive arrivals rejected with a full queue.
+    pub rejected_interactive: u64,
+    /// Bulk arrivals rejected with a full queue.
+    pub rejected_bulk: u64,
+    /// Interactive requests whose deadline passed unserved (at
+    /// admission or dequeue).
+    pub expired_interactive: u64,
+    /// Bulk requests whose deadline passed unserved.
+    pub expired_bulk: u64,
+    /// Interactive requests answered through the degraded path.
+    pub shed_interactive: u64,
+    /// Bulk requests answered through the degraded path.
+    pub shed_bulk: u64,
+    /// Interactive requests served full-quality.
+    pub completed_interactive: u64,
+    /// Bulk requests served full-quality.
+    pub completed_bulk: u64,
+    /// Sheds caused by queue depth (reason breakdown).
+    pub shed_overload: u64,
+    /// Sheds caused by deadline projection.
+    pub shed_deadline: u64,
+    /// Sheds caused by LLM throttling.
+    pub shed_llm: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests dispatched across all batches (shed or full).
+    pub dispatched: u64,
+    /// Largest batch dispatched.
+    pub max_batch: usize,
+    /// Deepest the interactive queue has been.
+    pub queue_high_water_interactive: usize,
+    /// Deepest the bulk queue has been.
+    pub queue_high_water_bulk: usize,
+}
+
+impl ServingCounters {
+    /// Total admitted across classes.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_interactive + self.admitted_bulk
+    }
+
+    /// Total rejected across classes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_interactive + self.rejected_bulk
+    }
+
+    /// Total expired across classes.
+    pub fn expired(&self) -> u64 {
+        self.expired_interactive + self.expired_bulk
+    }
+
+    /// Total shed (degraded but answered) across classes.
+    pub fn shed(&self) -> u64 {
+        self.shed_interactive + self.shed_bulk
+    }
+
+    /// Mean batch size over all dispatches.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.dispatched as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One answered request, as it left the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRequest {
+    /// Submission id.
+    pub id: u64,
+    /// Priority class.
+    pub class: Priority,
+    /// Arrival-to-answer latency, simulated seconds.
+    pub latency_secs: f64,
+    /// The answer (hits + degradation flags).
+    pub answer: ServedAnswer,
+    /// Set when the answer came from the shed path.
+    pub shed: Option<ShedReason>,
+}
+
+/// Result of one `dispatch` call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Requests popped for this batch (answered + expired-at-dequeue).
+    pub dispatched: usize,
+    /// Answered requests with their latencies.
+    pub completed: Vec<CompletedRequest>,
+    /// When the server's compute is free again.
+    pub busy_until: f64,
+}
+
+/// The serving front-end over an engine.
+pub struct ServingFrontend<'a> {
+    config: ServingConfig,
+    queue: AdmissionQueue,
+    engine: &'a dyn ServingEngine,
+    llm: LlmService<SyntheticModel>,
+    generation_request: ChatRequest,
+    counters: ServingCounters,
+    next_id: u64,
+    server_free_at: f64,
+}
+
+impl<'a> ServingFrontend<'a> {
+    /// A fresh front-end at simulated time zero.
+    pub fn new(config: ServingConfig, engine: &'a dyn ServingEngine) -> Self {
+        let model = &config.service;
+        let prompt_tokens = model
+            .tokens_per_request
+            .saturating_sub(model.completion_tokens);
+        let prompt_text = vec!["tok"; prompt_tokens].join(" ");
+        ServingFrontend {
+            queue: AdmissionQueue::new(
+                config.interactive.queue_capacity,
+                config.bulk.queue_capacity,
+            ),
+            engine,
+            llm: LlmService::new(
+                SyntheticModel {
+                    completion_tokens: model.completion_tokens,
+                },
+                model.llm,
+            ),
+            generation_request: ChatRequest::new(vec![ChatMessage::user(prompt_text)]),
+            counters: ServingCounters::default(),
+            next_id: 0,
+            server_free_at: 0.0,
+            config,
+        }
+    }
+
+    /// Submit a request at `now`. Admitted requests get an id and wait
+    /// for dispatch; rejections and pre-expired requests are refused
+    /// explicitly, which is the admission-control contract: the client
+    /// learns *immediately*, not after a timeout.
+    pub fn submit(&mut self, query: &str, class: Priority, now: f64) -> Result<u64, AdmitError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = now + self.config.policy(class).deadline_secs;
+        let request = QueuedRequest {
+            id,
+            class,
+            query: query.to_string(),
+            arrived_at: now,
+            deadline,
+        };
+        match self.queue.admit(request, now) {
+            Ok(()) => {
+                match class {
+                    Priority::Interactive => self.counters.admitted_interactive += 1,
+                    Priority::Bulk => self.counters.admitted_bulk += 1,
+                }
+                Ok(id)
+            }
+            Err(err) => {
+                match (err, class) {
+                    (AdmitError::QueueFull { .. }, Priority::Interactive) => {
+                        self.counters.rejected_interactive += 1
+                    }
+                    (AdmitError::QueueFull { .. }, Priority::Bulk) => {
+                        self.counters.rejected_bulk += 1
+                    }
+                    (AdmitError::DeadlineExpired, Priority::Interactive) => {
+                        self.counters.expired_interactive += 1
+                    }
+                    (AdmitError::DeadlineExpired, Priority::Bulk) => {
+                        self.counters.expired_bulk += 1
+                    }
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// When the dispatcher next wants to run, given the queue state at
+    /// `now`: once a full batch is waiting it runs as soon as the
+    /// server frees up, otherwise it gives co-arrivals a batch window
+    /// from the oldest queued arrival. `None` with an empty queue.
+    pub fn next_dispatch_at(&self, now: f64) -> Option<f64> {
+        let oldest = self.queue.oldest_arrival()?;
+        let ready = if self.queue.depth() >= self.config.max_batch_size {
+            now
+        } else {
+            oldest + self.config.batch_window_secs
+        };
+        Some(ready.max(self.server_free_at).max(now))
+    }
+
+    /// Dispatch one batch at `now`. Pops up to `max_batch_size` live
+    /// requests (expired ones are dropped and counted), applies the
+    /// shedding ladder, runs the engine, and models the LLM leg of
+    /// every full-service answer through the token-bucket envelope.
+    pub fn dispatch(&mut self, now: f64) -> BatchOutcome {
+        let service = self.config.service;
+        let mut batch: Vec<QueuedRequest> = Vec::new();
+        while batch.len() < self.config.max_batch_size {
+            let Some(request) = self.queue.pop() else {
+                break;
+            };
+            if request.expired(now) {
+                match request.class {
+                    Priority::Interactive => self.counters.expired_interactive += 1,
+                    Priority::Bulk => self.counters.expired_bulk += 1,
+                }
+                continue;
+            }
+            batch.push(request);
+        }
+        if batch.is_empty() {
+            return BatchOutcome {
+                busy_until: self.server_free_at,
+                ..BatchOutcome::default()
+            };
+        }
+        self.counters.batches += 1;
+        self.counters.dispatched += batch.len() as u64;
+        self.counters.max_batch = self.counters.max_batch.max(batch.len());
+
+        // Rung 1 — overload: with the system past `shed_depth` (queue
+        // left behind plus this batch), bulk sheds to the cheap path.
+        let overloaded = self.queue.depth() + batch.len() > self.config.shed_depth;
+        let mut shed: Vec<Option<ShedReason>> = batch
+            .iter()
+            .map(|request| {
+                (overloaded && request.class == Priority::Bulk).then_some(ShedReason::Overload)
+            })
+            .collect();
+
+        // Rung 2 — deadline: project the full-service completion
+        // against the batch as popped. The estimate is conservative
+        // (sheds only shrink the batch's compute), which errs toward
+        // shedding early — exactly the contract.
+        let full_count = shed.iter().filter(|s| s.is_none()).count();
+        let full_batch_secs = service.embed_base_secs
+            + full_count as f64 * (service.embed_per_query_secs + service.hybrid_search_secs);
+        let projected_done = now + full_batch_secs;
+        for (request, slot) in batch.iter().zip(shed.iter_mut()) {
+            if slot.is_none() && projected_done > request.deadline {
+                *slot = Some(ShedReason::Deadline);
+            }
+        }
+
+        // Execute: one batched call for the full-service requests, the
+        // cheap path per shed request.
+        let full_queries: Vec<String> = batch
+            .iter()
+            .zip(&shed)
+            .filter(|(_, s)| s.is_none())
+            .map(|(request, _)| request.query.clone())
+            .collect();
+        let mut full_answers = self.engine.serve_batch(&full_queries).into_iter();
+        let n_full = full_queries.len();
+        let n_shed = batch.len() - n_full;
+        let busy_secs = if n_full > 0 {
+            service.embed_base_secs
+                + n_full as f64 * (service.embed_per_query_secs + service.hybrid_search_secs)
+        } else {
+            0.0
+        } + n_shed as f64 * service.degraded_search_secs;
+        let local_done = now + busy_secs;
+        self.server_free_at = local_done;
+
+        let mut completed = Vec::with_capacity(batch.len());
+        for (request, shed_reason) in batch.iter().zip(shed) {
+            let (answer, finished_at, shed_reason) = match shed_reason {
+                Some(reason) => (
+                    self.engine.serve_shed(&request.query),
+                    local_done,
+                    Some(reason),
+                ),
+                None => {
+                    let answer = full_answers
+                        .next()
+                        .expect("engine returns one answer per query");
+                    // Rung 3 — the generation leg. The LLM runs
+                    // concurrently (it does not occupy the server);
+                    // throttling degrades to an extractive answer
+                    // instead of an error.
+                    match self.llm.complete_at(&self.generation_request, local_done) {
+                        Ok(timed) => (answer, local_done + timed.latency_secs, None),
+                        Err(_) => {
+                            let mut degraded = answer;
+                            degraded.degradation.llm_fallback = true;
+                            (degraded, local_done, Some(ShedReason::LlmPressure))
+                        }
+                    }
+                }
+            };
+            match (shed_reason, request.class) {
+                (Some(_), Priority::Interactive) => self.counters.shed_interactive += 1,
+                (Some(_), Priority::Bulk) => self.counters.shed_bulk += 1,
+                (None, Priority::Interactive) => self.counters.completed_interactive += 1,
+                (None, Priority::Bulk) => self.counters.completed_bulk += 1,
+            }
+            match shed_reason {
+                Some(ShedReason::Overload) => self.counters.shed_overload += 1,
+                Some(ShedReason::Deadline) => self.counters.shed_deadline += 1,
+                Some(ShedReason::LlmPressure) => self.counters.shed_llm += 1,
+                None => {}
+            }
+            debug_assert!(
+                shed_reason.is_none() || answer.degradation.is_degraded() || answer.hits.is_empty(),
+                "shed answers must carry degradation flags"
+            );
+            completed.push(CompletedRequest {
+                id: request.id,
+                class: request.class,
+                latency_secs: finished_at - request.arrived_at,
+                answer,
+                shed: shed_reason,
+            });
+        }
+        BatchOutcome {
+            dispatched: batch.len(),
+            completed,
+            busy_until: self.server_free_at,
+        }
+    }
+
+    /// Cumulative counters, including the queue high-water marks.
+    pub fn counters(&self) -> ServingCounters {
+        ServingCounters {
+            queue_high_water_interactive: self.queue.high_water(Priority::Interactive),
+            queue_high_water_bulk: self.queue.high_water(Priority::Bulk),
+            ..self.counters
+        }
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// When the server's compute is next free.
+    pub fn server_free_at(&self) -> f64 {
+        self.server_free_at
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::engine::SyntheticEngine;
+
+    fn config() -> ServingConfig {
+        ServingConfig::default()
+    }
+
+    #[test]
+    fn a_quiet_server_answers_full_quality() {
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(config(), &engine);
+        front
+            .submit("saldo conto", Priority::Interactive, 0.0)
+            .unwrap();
+        let at = front.next_dispatch_at(0.0).unwrap();
+        assert!(
+            (at - config().batch_window_secs).abs() < 1e-9,
+            "waits the window"
+        );
+        let outcome = front.dispatch(at);
+        assert_eq!(outcome.dispatched, 1);
+        assert_eq!(outcome.completed.len(), 1);
+        let done = &outcome.completed[0];
+        assert!(done.shed.is_none());
+        assert!(!done.answer.degradation.is_degraded());
+        assert!(done.latency_secs > 0.0);
+        let counters = front.counters();
+        assert_eq!(counters.completed_interactive, 1);
+        assert_eq!(counters.shed(), 0);
+    }
+
+    #[test]
+    fn full_queue_pops_dispatch_immediately() {
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(config(), &engine);
+        for i in 0..config().max_batch_size {
+            front
+                .submit(&format!("q{i}"), Priority::Interactive, 0.0)
+                .unwrap();
+        }
+        assert_eq!(
+            front.next_dispatch_at(0.0),
+            Some(0.0),
+            "full batch: no window wait"
+        );
+    }
+
+    #[test]
+    fn deep_queue_sheds_bulk_but_not_interactive() {
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(
+            ServingConfig {
+                shed_depth: 4,
+                ..config()
+            },
+            &engine,
+        );
+        for i in 0..4 {
+            front
+                .submit(&format!("i{i}"), Priority::Interactive, 0.0)
+                .unwrap();
+        }
+        for i in 0..4 {
+            front.submit(&format!("b{i}"), Priority::Bulk, 0.0).unwrap();
+        }
+        let outcome = front.dispatch(0.1);
+        // One batch of 8: depth 8 > shed_depth 4 → the bulk half sheds.
+        assert_eq!(outcome.dispatched, 8);
+        for done in &outcome.completed {
+            match done.class {
+                Priority::Interactive => assert!(done.shed.is_none(), "interactive kept full"),
+                Priority::Bulk => {
+                    assert_eq!(done.shed, Some(ShedReason::Overload));
+                    assert!(done.answer.degradation.is_degraded());
+                }
+            }
+        }
+        let counters = front.counters();
+        assert_eq!(counters.shed_bulk, 4);
+        assert_eq!(counters.shed_interactive, 0);
+        assert_eq!(counters.shed_overload, 4);
+    }
+
+    #[test]
+    fn hopeless_deadline_sheds_at_dispatch() {
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(
+            ServingConfig {
+                interactive: super::super::ClassPolicy {
+                    queue_capacity: 8,
+                    // Tighter than one batch of compute.
+                    deadline_secs: 0.01,
+                },
+                ..config()
+            },
+            &engine,
+        );
+        front.submit("fretta", Priority::Interactive, 0.0).unwrap();
+        let outcome = front.dispatch(0.005);
+        assert_eq!(outcome.completed.len(), 1);
+        assert_eq!(outcome.completed[0].shed, Some(ShedReason::Deadline));
+        assert!(outcome.completed[0].answer.degradation.is_degraded());
+    }
+
+    #[test]
+    fn expired_at_dequeue_is_counted_not_answered() {
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(config(), &engine);
+        front.submit("lenta", Priority::Bulk, 0.0).unwrap();
+        let deadline = config().bulk.deadline_secs;
+        let outcome = front.dispatch(deadline + 1.0);
+        assert_eq!(outcome.dispatched, 0);
+        assert!(outcome.completed.is_empty());
+        assert_eq!(front.counters().expired_bulk, 1);
+    }
+
+    #[test]
+    fn llm_pressure_degrades_instead_of_failing() {
+        let engine = SyntheticEngine;
+        let mut service = ServiceModelFixture::tight_llm();
+        service.tokens_per_request = 7200;
+        let mut front = ServingFrontend::new(
+            ServingConfig {
+                service,
+                ..config()
+            },
+            &engine,
+        );
+        // Two full-service requests back-to-back: the first drains the
+        // tiny bucket, the second throttles and must still be answered.
+        front.submit("prima", Priority::Interactive, 0.0).unwrap();
+        let outcome1 = front.dispatch(0.1);
+        assert!(outcome1.completed[0].shed.is_none());
+        front.submit("seconda", Priority::Interactive, 0.2).unwrap();
+        let outcome2 = front.dispatch(0.3);
+        assert_eq!(
+            outcome2.completed.len(),
+            1,
+            "throttled request still answered"
+        );
+        assert_eq!(outcome2.completed[0].shed, Some(ShedReason::LlmPressure));
+        assert!(outcome2.completed[0].answer.degradation.llm_fallback);
+        assert_eq!(front.counters().shed_llm, 1);
+    }
+
+    /// A service model whose LLM bucket fits exactly one request.
+    struct ServiceModelFixture;
+    impl ServiceModelFixture {
+        fn tight_llm() -> super::super::ServiceModel {
+            let mut service = super::super::ServiceModel::default();
+            service.llm.bucket_capacity = 8000.0;
+            service.llm.tokens_per_sec = 10.0;
+            service
+        }
+    }
+
+    #[test]
+    fn counters_expose_batch_shape() {
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(config(), &engine);
+        for i in 0..3 {
+            front
+                .submit(&format!("q{i}"), Priority::Interactive, 0.0)
+                .unwrap();
+        }
+        front.dispatch(0.1);
+        let counters = front.counters();
+        assert_eq!(counters.batches, 1);
+        assert_eq!(counters.dispatched, 3);
+        assert_eq!(counters.max_batch, 3);
+        assert!((counters.mean_batch() - 3.0).abs() < 1e-9);
+        assert_eq!(counters.queue_high_water_interactive, 3);
+    }
+}

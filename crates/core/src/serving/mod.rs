@@ -1,0 +1,218 @@
+//! The serving front-end: admission control under heavy concurrency.
+//!
+//! Figure 2 shows the production bottleneck is the *server*, not
+//! retrieval: once the arrival ramp crosses the LLM envelope's
+//! sustained rate, requests start failing. The resilience layer
+//! (retries, breakers, degradation) protects *dependencies*; this
+//! module protects the server itself with the standard serving-stack
+//! ladder, modeled deterministically on the simulated clock:
+//!
+//! 1. **Admission** ([`admission`]) — two bounded FIFO queues with
+//!    strict priority (interactive before bulk). A full queue rejects
+//!    *explicitly* at the door instead of building unbounded backlog.
+//! 2. **Deadlines** — every admitted request carries an absolute
+//!    deadline derived from the class policy; the bulk budget is
+//!    propagated from [`RetryPolicy::worst_case_backoff_secs`] so a
+//!    request that could legitimately wait out the full retry schedule
+//!    is given that long, and no longer. A request that cannot finish
+//!    in time is shed *early*, not timed out late.
+//! 3. **Batching** ([`frontend`]) — concurrently admitted queries are
+//!    dispatched together after a short batch window, amortizing the
+//!    embedding round trip across the batch
+//!    (`SearchIndex::search_batch` / `Embedder::embed_batch`; batching
+//!    is byte-identical to serving each query alone).
+//! 4. **Shedding** — under overload the front-end degrades bulk
+//!    traffic to BM25-only answers (the PR 3 degradation ladder: the
+//!    result is flagged [`Degradation`] and bypasses the query cache),
+//!    keeping interactive latency bounded while every shed request
+//!    still gets *an* answer.
+//!
+//! [`sim`] drives the whole pipeline with the Figure 2 open-arrival
+//! ramp; every run is seed-reproducible.
+//!
+//! [`RetryPolicy::worst_case_backoff_secs`]:
+//! crate::resilience::RetryPolicy::worst_case_backoff_secs
+//! [`Degradation`]: crate::resilience::Degradation
+
+pub mod admission;
+pub mod engine;
+pub mod frontend;
+pub mod sim;
+
+use uniask_llm::service::LlmServiceConfig;
+
+use crate::resilience::ResilienceConfig;
+
+pub use admission::{AdmissionQueue, AdmitError, QueuedRequest};
+pub use engine::{SearchIndexEngine, ServedAnswer, ServingEngine, SyntheticEngine};
+pub use frontend::{BatchOutcome, CompletedRequest, ServingCounters, ServingFrontend, ShedReason};
+pub use sim::{ClassStats, ServingLoadTest, ServingLoadTestConfig, ServingMinute, ServingReport};
+
+/// Priority class of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// A user is waiting on this answer (chat box, search-as-you-type).
+    Interactive,
+    /// Nobody is watching: re-indexing probes, evaluation sweeps,
+    /// prefetch. First to shed, last to dispatch.
+    Bulk,
+}
+
+impl Priority {
+    /// Stable label for reports and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
+/// Per-class admission policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPolicy {
+    /// Bounded queue capacity; an arrival beyond it is rejected.
+    pub queue_capacity: usize,
+    /// Budget from arrival to answer, seconds. Expired requests are
+    /// shed at admission or dequeue, never serviced.
+    pub deadline_secs: f64,
+}
+
+/// Deterministic cost model of one dispatch, simulated seconds. The
+/// serving layer charges compute through this model instead of wall
+/// time so saturation runs replay identically on any machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Fixed cost of one batched-embedding round trip.
+    pub embed_base_secs: f64,
+    /// Marginal embedding cost per query in the batch (the amortized
+    /// leg: `base + n·per_query` instead of `n·(base + per_query)`).
+    pub embed_per_query_secs: f64,
+    /// Full hybrid search (both legs + rerank), per query.
+    pub hybrid_search_secs: f64,
+    /// Degraded BM25-only search, per query (the shed path).
+    pub degraded_search_secs: f64,
+    /// The downstream LLM envelope full-service answers pass through.
+    pub llm: LlmServiceConfig,
+    /// Tokens per generation request (paper: 7 200).
+    pub tokens_per_request: usize,
+    /// Completion tokens within the total.
+    pub completion_tokens: usize,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            embed_base_secs: 0.040,
+            embed_per_query_secs: 0.010,
+            hybrid_search_secs: 0.030,
+            degraded_search_secs: 0.004,
+            llm: LlmServiceConfig::default(),
+            tokens_per_request: 7200,
+            completion_tokens: 200,
+        }
+    }
+}
+
+/// Serving front-end tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingConfig {
+    /// Interactive-class admission policy.
+    pub interactive: ClassPolicy,
+    /// Bulk-class admission policy.
+    pub bulk: ClassPolicy,
+    /// Most requests dispatched in one batch.
+    pub max_batch_size: usize,
+    /// How long the dispatcher waits for co-arrivals before dispatching
+    /// a partial batch, seconds.
+    pub batch_window_secs: f64,
+    /// Total queue depth beyond which bulk requests are shed to the
+    /// degraded path instead of full service.
+    pub shed_depth: usize,
+    /// Compute cost model.
+    pub service: ServiceModel,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            interactive: ClassPolicy {
+                queue_capacity: 64,
+                deadline_secs: 8.0,
+            },
+            bulk: ClassPolicy {
+                queue_capacity: 128,
+                deadline_secs: 30.0,
+            },
+            max_batch_size: 8,
+            batch_window_secs: 0.05,
+            shed_depth: 32,
+            service: ServiceModel::default(),
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Derive class deadlines from the resilience layer's budgets:
+    /// interactive gets exactly the per-request deadline a resilient
+    /// query path honors, bulk additionally gets the worst-case backoff
+    /// of the full retry schedule (a bulk request is allowed to wait
+    /// out every retry; an interactive one is not).
+    pub fn with_resilience(resilience: &ResilienceConfig) -> Self {
+        let mut config = ServingConfig::default();
+        config.interactive.deadline_secs = resilience.deadline_secs;
+        config.bulk.deadline_secs =
+            resilience.deadline_secs + resilience.retry.worst_case_backoff_secs();
+        config
+    }
+
+    /// The policy of `class`.
+    pub fn policy(&self, class: Priority) -> ClassPolicy {
+        match class {
+            Priority::Interactive => self.interactive,
+            Priority::Bulk => self.bulk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_budgets_propagate_into_deadlines() {
+        let resilience = ResilienceConfig::default();
+        let config = ServingConfig::with_resilience(&resilience);
+        assert!((config.interactive.deadline_secs - resilience.deadline_secs).abs() < 1e-9);
+        let worst = resilience.retry.worst_case_backoff_secs();
+        assert!(worst > 0.0, "default policy retries");
+        assert!(
+            (config.bulk.deadline_secs - (resilience.deadline_secs + worst)).abs() < 1e-9,
+            "bulk budget covers the full retry schedule"
+        );
+        assert!(config.bulk.deadline_secs > config.interactive.deadline_secs);
+    }
+
+    #[test]
+    fn worst_case_backoff_matches_the_schedule() {
+        // Default: 3 retries, 0.5s base, ×2, cap 8s, ±20% jitter.
+        // Delays at max jitter: 0.6 + 1.2 + 2.4.
+        let policy = crate::resilience::RetryPolicy::default();
+        assert!((policy.worst_case_backoff_secs() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_policies_are_addressable() {
+        let config = ServingConfig::default();
+        assert_eq!(
+            config.policy(Priority::Interactive).queue_capacity,
+            config.interactive.queue_capacity
+        );
+        assert_eq!(
+            config.policy(Priority::Bulk).deadline_secs,
+            config.bulk.deadline_secs
+        );
+        assert_eq!(Priority::Interactive.label(), "interactive");
+        assert_eq!(Priority::Bulk.label(), "bulk");
+    }
+}

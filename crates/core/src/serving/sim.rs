@@ -1,0 +1,462 @@
+//! The serving saturation run: Figure 2's arrival ramp against the
+//! admission-controlled front-end.
+//!
+//! Where [`crate::loadtest`] hits the bare LLM envelope and counts
+//! *failures*, this driver routes the same open-arrival process through
+//! [`ServingFrontend`] — so under the paper's regime the 267-ish
+//! rate-limit failures become degraded-but-answered requests, and a
+//! client leaves empty-handed only on an explicit queue-full rejection
+//! or deadline expiry. The whole run executes on the simulated clock:
+//! same seed, same counters, on any machine.
+//!
+//! The discrete-event loop interleaves two event sources:
+//! * **arrivals** — deterministic open arrivals whose rate ramps
+//!   linearly from `initial_rate` to `target_rate`; the priority class
+//!   of each arrival is drawn from a seeded ChaCha8 stream;
+//! * **dispatches** — whenever [`ServingFrontend::next_dispatch_at`]
+//!   says the batch window closed or a full batch is waiting.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use super::engine::SyntheticEngine;
+use super::frontend::{ServingCounters, ServingFrontend};
+use super::{Priority, ServingConfig};
+use crate::loadtest::render_paper_comparison;
+
+/// Saturation-run parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingLoadTestConfig {
+    /// Arrival window, seconds (dispatches drain past it).
+    pub duration_secs: f64,
+    /// Initial arrival rate, users/second.
+    pub initial_rate: f64,
+    /// Target arrival rate at the end of the ramp.
+    pub target_rate: f64,
+    /// Fraction of arrivals in the bulk class.
+    pub bulk_fraction: f64,
+    /// Front-end tunables (queues, deadlines, batching, shed depth).
+    pub serving: ServingConfig,
+    /// Query pool, cycled by arrival index.
+    pub queries: Vec<String>,
+    /// Seed of the class-assignment stream.
+    pub seed: u64,
+    /// The paper's failure count, for the report comparison.
+    pub paper_failed_queries: usize,
+    /// The paper's total request count.
+    pub paper_total_queries: usize,
+}
+
+fn default_queries() -> Vec<String> {
+    [
+        "come blocco la carta di credito",
+        "limite giornaliero bonifico istantaneo",
+        "costi del conto corrente base",
+        "come attivo il token per l'home banking",
+        "documenti per richiedere un mutuo prima casa",
+        "tassi del prestito personale",
+        "come contesto un addebito sconosciuto",
+        "orari delle filiali in agosto",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect()
+}
+
+impl Default for ServingLoadTestConfig {
+    /// The paper's regime (Figure 2: 60 minutes, 1 → 3 users/second)
+    /// behind the default front-end.
+    fn default() -> Self {
+        ServingLoadTestConfig {
+            duration_secs: 3600.0,
+            initial_rate: 1.0,
+            target_rate: 3.0,
+            bulk_fraction: 0.3,
+            serving: ServingConfig::default(),
+            queries: default_queries(),
+            seed: 0xC1A0_5EED,
+            paper_failed_queries: 267,
+            paper_total_queries: 7200,
+        }
+    }
+}
+
+impl ServingLoadTestConfig {
+    /// A short, hot ramp that drives the front-end well past compute
+    /// capacity (~22 full-service requests/second at the default cost
+    /// model), exercising every rung of the shed ladder plus queue-full
+    /// rejection. This is the CI saturation smoke.
+    pub fn saturation_smoke() -> Self {
+        ServingLoadTestConfig {
+            duration_secs: 120.0,
+            initial_rate: 4.0,
+            target_rate: 40.0,
+            ..ServingLoadTestConfig::default()
+        }
+    }
+}
+
+/// Per-class outcome summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassStats {
+    /// Arrivals of this class.
+    pub arrived: usize,
+    /// Admitted into the queue.
+    pub admitted: u64,
+    /// Rejected at the door (queue full).
+    pub rejected: u64,
+    /// Deadline passed unserved (admission or dequeue).
+    pub expired: u64,
+    /// Answered through the degraded path.
+    pub shed: u64,
+    /// Answered full-quality.
+    pub completed: u64,
+    /// Median arrival-to-answer latency, seconds (answered requests).
+    pub p50_latency_secs: f64,
+    /// 95th-percentile latency.
+    pub p95_latency_secs: f64,
+    /// 99th-percentile latency.
+    pub p99_latency_secs: f64,
+    /// Worst answered latency.
+    pub max_latency_secs: f64,
+    /// Deepest the class queue has been.
+    pub queue_high_water: usize,
+}
+
+/// One minute of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServingMinute {
+    /// Minute index (0-based, by arrival/dispatch time).
+    pub minute: usize,
+    /// Arrivals in this minute.
+    pub arrivals: usize,
+    /// Queue-full rejections in this minute.
+    pub rejected: usize,
+    /// Requests answered degraded in this minute.
+    pub shed: usize,
+    /// Requests answered full-quality in this minute.
+    pub completed: usize,
+}
+
+/// Result of a saturation run.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Total arrivals across classes.
+    pub total_arrivals: usize,
+    /// Interactive-class summary.
+    pub interactive: ClassStats,
+    /// Bulk-class summary.
+    pub bulk: ClassStats,
+    /// The front-end's cumulative counters.
+    pub counters: ServingCounters,
+    /// Per-minute series.
+    pub minutes: Vec<ServingMinute>,
+    /// The paper's failure count, carried from the config.
+    pub paper_failed_queries: usize,
+    /// The paper's total request count, carried from the config.
+    pub paper_total_queries: usize,
+}
+
+impl ServingReport {
+    /// Requests that left empty-handed: rejected at the door or expired
+    /// unserved. Shed requests do *not* count — they got an answer.
+    pub fn unanswered(&self) -> u64 {
+        self.counters.rejected() + self.counters.expired()
+    }
+
+    /// Unanswered fraction (the number comparable to the paper's
+    /// failure rate).
+    pub fn failure_rate(&self) -> f64 {
+        if self.total_arrivals == 0 {
+            0.0
+        } else {
+            self.unanswered() as f64 / self.total_arrivals as f64
+        }
+    }
+
+    /// Render the run for operators.
+    pub fn render(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Serving saturation: {} arrivals | {} admitted, {} rejected, {} expired | \
+             {} full, {} shed\n",
+            self.total_arrivals,
+            c.admitted(),
+            c.rejected(),
+            c.expired(),
+            c.completed_interactive + c.completed_bulk,
+            c.shed(),
+        ));
+        for (label, stats) in [("interactive", &self.interactive), ("bulk", &self.bulk)] {
+            out.push_str(&format!(
+                "  {label:<11} arrived {:>5} | full {:>5} shed {:>5} rejected {:>5} expired {:>4} | \
+                 p50 {:.2}s p95 {:.2}s p99 {:.2}s max {:.2}s | queue high-water {}\n",
+                stats.arrived,
+                stats.completed,
+                stats.shed,
+                stats.rejected,
+                stats.expired,
+                stats.p50_latency_secs,
+                stats.p95_latency_secs,
+                stats.p99_latency_secs,
+                stats.max_latency_secs,
+                stats.queue_high_water,
+            ));
+        }
+        out.push_str(&format!(
+            "  sheds by reason: overload {}, deadline {}, llm {}\n",
+            c.shed_overload, c.shed_deadline, c.shed_llm
+        ));
+        out.push_str(&format!(
+            "  batches: {} dispatched {} (mean {:.2}, max {})\n",
+            c.batches,
+            c.dispatched,
+            c.mean_batch(),
+            c.max_batch
+        ));
+        out.push_str("min | arr | rej | shed | chart (#=2 sheds)\n");
+        for m in &self.minutes {
+            let bar = "#".repeat(m.shed / 2);
+            out.push_str(&format!(
+                "{:>3} | {:>4} | {:>3} | {:>4} | {bar}\n",
+                m.minute, m.arrivals, m.rejected, m.shed
+            ));
+        }
+        out.push_str(&render_paper_comparison(
+            self.unanswered() as usize,
+            self.total_arrivals,
+            self.paper_failed_queries,
+            self.paper_total_queries,
+        ));
+        out.push('\n');
+        out
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// The saturation-run driver.
+#[derive(Debug, Clone)]
+pub struct ServingLoadTest {
+    /// Parameters.
+    pub config: ServingLoadTestConfig,
+}
+
+impl ServingLoadTest {
+    /// Create a driver with custom parameters.
+    pub fn new(config: ServingLoadTestConfig) -> Self {
+        ServingLoadTest { config }
+    }
+
+    /// Instantaneous arrival rate at time `t` (the Figure 2 ramp).
+    fn rate_at(&self, t: f64) -> f64 {
+        let c = &self.config;
+        let frac = (t / c.duration_secs).clamp(0.0, 1.0);
+        c.initial_rate + (c.target_rate - c.initial_rate) * frac
+    }
+
+    /// Run the simulation to completion (arrivals plus queue drain).
+    pub fn run(&self) -> ServingReport {
+        let c = &self.config;
+        assert!(!c.queries.is_empty(), "query pool must be non-empty");
+        let engine = SyntheticEngine;
+        let mut front = ServingFrontend::new(c.serving, &engine);
+        let mut rng = ChaCha8Rng::seed_from_u64(c.seed);
+
+        let minutes_len = ((c.duration_secs / 60.0).ceil() as usize).max(1);
+        let mut minutes: Vec<ServingMinute> = (0..minutes_len)
+            .map(|m| ServingMinute {
+                minute: m,
+                ..Default::default()
+            })
+            .collect();
+        let minute_of = |t: f64| ((t / 60.0) as usize).min(minutes_len - 1);
+
+        let mut arrived = [0usize; 2]; // [interactive, bulk]
+        let mut latencies: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        let mut total_arrivals = 0usize;
+        let mut arrival_index = 0usize;
+        let mut next_arrival = 0.0f64;
+        let mut now = 0.0f64;
+
+        loop {
+            let arrivals_open = next_arrival < c.duration_secs;
+            let dispatch_at = front.next_dispatch_at(now);
+            let take_arrival = match (arrivals_open, dispatch_at) {
+                (false, None) => break,
+                (true, None) => true,
+                (true, Some(d)) => next_arrival <= d,
+                (false, Some(_)) => false,
+            };
+            if take_arrival {
+                now = next_arrival;
+                let class = if rng.gen::<f64>() < c.bulk_fraction {
+                    Priority::Bulk
+                } else {
+                    Priority::Interactive
+                };
+                let query = &c.queries[arrival_index % c.queries.len()];
+                let minute = minute_of(now);
+                minutes[minute].arrivals += 1;
+                total_arrivals += 1;
+                arrived[class as usize] += 1;
+                if front.submit(query, class, now).is_err() {
+                    // Admission at `now` can only fail on a full queue:
+                    // a fresh deadline is never already expired.
+                    minutes[minute].rejected += 1;
+                }
+                arrival_index += 1;
+                next_arrival += 1.0 / self.rate_at(next_arrival);
+            } else if let Some(at) = dispatch_at {
+                now = at.max(now);
+                let outcome = front.dispatch(now);
+                let minute = minute_of(now);
+                for done in &outcome.completed {
+                    latencies[done.class as usize].push(done.latency_secs);
+                    if done.shed.is_some() {
+                        minutes[minute].shed += 1;
+                    } else {
+                        minutes[minute].completed += 1;
+                    }
+                }
+            }
+        }
+
+        let counters = front.counters();
+        let class_stats = |class: Priority| {
+            let i = class as usize;
+            let mut sorted = latencies[i].clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            let (admitted, rejected, expired, shed, completed, high_water) = match class {
+                Priority::Interactive => (
+                    counters.admitted_interactive,
+                    counters.rejected_interactive,
+                    counters.expired_interactive,
+                    counters.shed_interactive,
+                    counters.completed_interactive,
+                    counters.queue_high_water_interactive,
+                ),
+                Priority::Bulk => (
+                    counters.admitted_bulk,
+                    counters.rejected_bulk,
+                    counters.expired_bulk,
+                    counters.shed_bulk,
+                    counters.completed_bulk,
+                    counters.queue_high_water_bulk,
+                ),
+            };
+            ClassStats {
+                arrived: arrived[i],
+                admitted,
+                rejected,
+                expired,
+                shed,
+                completed,
+                p50_latency_secs: percentile(&sorted, 50.0),
+                p95_latency_secs: percentile(&sorted, 95.0),
+                p99_latency_secs: percentile(&sorted, 99.0),
+                max_latency_secs: sorted.last().copied().unwrap_or(0.0),
+                queue_high_water: high_water,
+            }
+        };
+
+        ServingReport {
+            total_arrivals,
+            interactive: class_stats(Priority::Interactive),
+            bulk: class_stats(Priority::Bulk),
+            counters,
+            minutes,
+            paper_failed_queries: c.paper_failed_queries,
+            paper_total_queries: c.paper_total_queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ServingLoadTestConfig {
+        ServingLoadTestConfig {
+            duration_secs: 30.0,
+            ..ServingLoadTestConfig::saturation_smoke()
+        }
+    }
+
+    #[test]
+    fn paper_regime_answers_what_figure_2_failed() {
+        // Short slice of the paper ramp at its hot end: arrivals at the
+        // target rate exceed the LLM envelope's sustained rate, so the
+        // bare service of Figure 2 would fail requests. The front-end
+        // answers them degraded instead.
+        let config = ServingLoadTestConfig {
+            duration_secs: 240.0,
+            initial_rate: 3.0,
+            target_rate: 3.0,
+            ..ServingLoadTestConfig::default()
+        };
+        let report = ServingLoadTest::new(config).run();
+        let c = &report.counters;
+        assert_eq!(c.rejected(), 0, "compute keeps up; queues stay shallow");
+        assert_eq!(c.expired(), 0);
+        assert!(c.shed_llm > 0, "the envelope throttles past ~2.4 req/s");
+        assert_eq!(
+            c.completed_interactive + c.completed_bulk + c.shed(),
+            c.admitted(),
+            "every admitted request is answered"
+        );
+        assert_eq!(report.unanswered(), 0);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_runs() {
+        let a = ServingLoadTest::new(quick()).run();
+        let b = ServingLoadTest::new(quick()).run();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.total_arrivals, b.total_arrivals);
+        assert_eq!(a.interactive, b.interactive);
+        assert_eq!(a.bulk, b.bulk);
+        assert_eq!(a.minutes, b.minutes);
+    }
+
+    #[test]
+    fn different_seeds_draw_different_class_mixes() {
+        let a = ServingLoadTest::new(quick()).run();
+        let other = ServingLoadTestConfig { seed: 7, ..quick() };
+        let b = ServingLoadTest::new(other).run();
+        assert_eq!(
+            a.total_arrivals, b.total_arrivals,
+            "arrivals are rate-driven, not seed-driven"
+        );
+        assert_ne!(
+            a.bulk.arrived, b.bulk.arrived,
+            "the class stream is what the seed controls"
+        );
+    }
+
+    #[test]
+    fn render_names_both_classes_and_the_paper() {
+        let r = ServingLoadTest::new(quick()).run().render();
+        assert!(r.contains("interactive"));
+        assert!(r.contains("bulk"));
+        assert!(r.contains("sheds by reason"));
+        assert!(r.contains("Paper: 267 failed queries out of 7200"));
+    }
+}

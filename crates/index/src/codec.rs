@@ -948,8 +948,8 @@ mod tests {
         for i in 0..(3 * BLOCK_SIZE + 17) {
             idx.add(
                 &IndexDocument::new()
-                    .with_text("title", &format!("filiale {i}"))
-                    .with_text("content", &format!("orari sportello filiale numero {i}")),
+                    .with_text("title", format!("filiale {i}"))
+                    .with_text("content", format!("orari sportello filiale numero {i}")),
             )
             .unwrap();
         }

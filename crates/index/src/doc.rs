@@ -40,9 +40,10 @@ impl DocSet {
         let n = n as usize;
         let words = n.div_ceil(64);
         let mut bits = vec![u64::MAX; words];
-        if n % 64 != 0 {
+        let tail = n % 64;
+        if tail != 0 {
             if let Some(last) = bits.last_mut() {
-                *last = (1u64 << (n % 64)) - 1;
+                *last = (1u64 << tail) - 1;
             }
         }
         DocSet { bits, count: n }

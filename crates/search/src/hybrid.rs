@@ -390,6 +390,52 @@ impl SearchIndex {
         self.search_uncached(query, config)
     }
 
+    /// Answer several queries in one call, amortizing the vector leg:
+    /// every cache-missing query is embedded through a single
+    /// [`Embedder::embed_batch`] call before the per-query fusion runs.
+    ///
+    /// Results are byte-identical to issuing [`SearchIndex::search`]
+    /// once per query — the query cache is consulted and filled with
+    /// the same keys, and batched embeddings are bit-identical to
+    /// unbatched ones — so the serving front-end can batch whatever a
+    /// window happens to admit without changing any answer.
+    pub fn search_batch(&self, queries: &[String], config: &HybridConfig) -> Vec<Vec<SearchHit>> {
+        let generation = self.generation.load(Ordering::Relaxed);
+        let fingerprint = config.fingerprint();
+        let mut out: Vec<Option<Vec<SearchHit>>> = vec![None; queries.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        if let Some(cache) = &self.cache {
+            for (i, query) in queries.iter().enumerate() {
+                match cache.get(query, fingerprint, generation) {
+                    Some(hits) => out[i] = Some(hits),
+                    None => misses.push(i),
+                }
+            }
+        } else {
+            misses.extend(0..queries.len());
+        }
+        let vectors: Vec<Option<Vec<f32>>> = if config.use_vector {
+            let texts: Vec<&str> = misses.iter().map(|&i| queries[i].as_str()).collect();
+            self.embedder
+                .embed_batch(&texts)
+                .into_iter()
+                .map(Some)
+                .collect()
+        } else {
+            vec![None; misses.len()]
+        };
+        for (vector, &i) in vectors.iter().zip(&misses) {
+            let hits = self.search_with_vector(&queries[i], vector.as_deref(), config);
+            if let Some(cache) = &self.cache {
+                cache.put(&queries[i], fingerprint, generation, &hits);
+            }
+            out[i] = Some(hits);
+        }
+        out.into_iter()
+            .map(|hits| hits.expect("every query is either a cache hit or a miss"))
+            .collect()
+    }
+
     fn search_uncached(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
         let query_vector = if config.use_vector {
             Some(self.embedder.embed(query))
@@ -1371,6 +1417,7 @@ mod concurrency_tests {
 #[cfg(test)]
 mod resilience_tests {
     use super::*;
+    use crate::fault::StageFault;
     use std::sync::atomic::AtomicBool;
 
     use uniask_vector::embedding::SyntheticEmbedder;

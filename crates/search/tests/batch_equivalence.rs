@@ -1,0 +1,168 @@
+//! `SearchIndex::search_batch` must be an optimization, never a
+//! behavior change: batched serving amortizes the embedding round trip
+//! (`Embedder::embed_batch`) but returns byte-identical hits to issuing
+//! each query alone, and interacts with the query cache exactly like
+//! the single-query path.
+
+use std::sync::Arc;
+
+use uniask_search::cache::CacheConfig;
+use uniask_search::hybrid::{ChunkRecord, HybridConfig, SearchIndex};
+use uniask_search::reranker::SemanticReranker;
+use uniask_vector::embedding::SyntheticEmbedder;
+
+fn chunk(parent: &str, title: &str, content: &str) -> ChunkRecord {
+    ChunkRecord {
+        parent_doc: parent.to_string(),
+        ordinal: 0,
+        title: title.to_string(),
+        content: content.to_string(),
+        summary: String::new(),
+        domain: "D".into(),
+        topic: "T".into(),
+        section: "S".into(),
+        keywords: vec![],
+    }
+}
+
+fn index() -> SearchIndex {
+    let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+    let mut idx = SearchIndex::new(embedder, SemanticReranker::default());
+    idx.add_chunk(&chunk(
+        "kb/1",
+        "Bonifico estero",
+        "Il bonifico verso paesi esteri richiede il codice BIC della banca beneficiaria.",
+    ));
+    idx.add_chunk(&chunk(
+        "kb/2",
+        "Mutuo prima casa",
+        "Il mutuo prima casa prevede un tasso agevolato per i clienti giovani.",
+    ));
+    idx.add_chunk(&chunk(
+        "kb/3",
+        "Blocco carta",
+        "La carta smarrita si blocca immediatamente dal numero verde.",
+    ));
+    idx.add_chunk(&chunk(
+        "kb/4",
+        "Prestito personale",
+        "Il prestito personale ha un tasso fisso per tutta la durata del piano.",
+    ));
+    idx
+}
+
+fn queries() -> Vec<String> {
+    [
+        "bonifico estero bic",
+        "mutuo prima casa tasso",
+        "carta smarrita blocco",
+        "prestito personale tasso",
+        "domanda senza riscontro",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect()
+}
+
+#[test]
+fn batched_search_is_byte_identical_to_sequential() {
+    let idx = index();
+    let queries = queries();
+    for config in [
+        HybridConfig::default(),
+        HybridConfig::text_only(),
+        HybridConfig::vector_only(),
+    ] {
+        let batched = idx.search_batch(&queries, &config);
+        assert_eq!(batched.len(), queries.len());
+        for (q, hits) in queries.iter().zip(&batched) {
+            assert_eq!(
+                hits,
+                &idx.search(q, &config),
+                "batched result diverged on `{q}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_of_one_equals_plain_search() {
+    let idx = index();
+    let config = HybridConfig::default();
+    let one = vec!["mutuo prima casa tasso".to_string()];
+    assert_eq!(
+        idx.search_batch(&one, &config),
+        vec![idx.search(&one[0], &config)]
+    );
+    assert!(
+        idx.search_batch(&[], &config).is_empty(),
+        "empty batch, empty answer"
+    );
+}
+
+#[test]
+fn duplicate_queries_in_one_batch_agree() {
+    let idx = index();
+    let config = HybridConfig::default();
+    let twice = vec![
+        "carta smarrita blocco".to_string(),
+        "bonifico estero bic".to_string(),
+        "carta smarrita blocco".to_string(),
+    ];
+    let batched = idx.search_batch(&twice, &config);
+    assert_eq!(batched[0], batched[2], "same query, same hits");
+    assert_eq!(batched[0], idx.search(&twice[0], &config));
+}
+
+#[test]
+fn batch_reads_and_fills_the_query_cache() {
+    let mut idx = index();
+    idx.enable_cache(CacheConfig::default());
+    let config = HybridConfig::default();
+    let queries = queries();
+
+    // Warm one entry through the single-query path.
+    let warm = idx.search(&queries[0], &config);
+    let after_warm = idx.cache_stats().expect("cache enabled");
+    assert_eq!(after_warm.misses, 1);
+
+    // The batch serves the warm query from the cache and computes the
+    // rest exactly once each.
+    let batched = idx.search_batch(&queries, &config);
+    assert_eq!(batched[0], warm);
+    let after_batch = idx.cache_stats().expect("cache enabled");
+    assert_eq!(after_batch.hits, 1, "warm entry served from cache");
+    assert_eq!(
+        after_batch.misses,
+        queries.len() as u64,
+        "each cold query misses once"
+    );
+
+    // Everything the batch computed is now cached for the single path.
+    for q in &queries {
+        idx.search(q, &config);
+    }
+    let after_repeat = idx.cache_stats().expect("cache enabled");
+    assert_eq!(
+        after_repeat.hits,
+        1 + queries.len() as u64,
+        "batch results must be reusable by later single queries"
+    );
+    assert_eq!(after_repeat.misses, after_batch.misses, "no recomputation");
+}
+
+#[test]
+fn cached_and_uncached_batches_agree() {
+    let mut cached = index();
+    cached.enable_cache(CacheConfig::default());
+    let plain = index();
+    let config = HybridConfig::default();
+    let queries = queries();
+    // Twice through the cached index: second pass is all hits.
+    let first = cached.search_batch(&queries, &config);
+    let second = cached.search_batch(&queries, &config);
+    assert_eq!(first, second);
+    assert_eq!(first, plain.search_batch(&queries, &config));
+    let stats = cached.cache_stats().expect("cache enabled");
+    assert_eq!(stats.hits, queries.len() as u64);
+}

@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn integer_kernel_matches_naive_exactly() {
-        let w: Vec<i32> = (0..43).map(|i| (i * 37_991 - 800_000) as i32).collect();
+        let w: Vec<i32> = (0..43).map(|i| i * 37_991 - 800_000).collect();
         let c: Vec<u8> = (0..43).map(|i| (i * 53 % 256) as u8).collect();
         let naive: i64 = w
             .iter()

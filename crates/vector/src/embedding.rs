@@ -44,6 +44,14 @@ pub trait Embedder: Send + Sync {
     /// Embed `text` into an L2-normalized vector (zero vector for empty
     /// or all-stop-word text).
     fn embed(&self, text: &str) -> Vec<f32>;
+    /// Embed several texts in one call. The default loops over
+    /// [`Embedder::embed`]; implementations may amortize shared work
+    /// across the batch, but the result must stay byte-identical to
+    /// embedding each text alone — callers (the serving front-end's
+    /// batch window) rely on batching being a pure latency optimization.
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        texts.iter().map(|t| self.embed(t)).collect()
+    }
 }
 
 /// The deterministic concept-hashing embedder described above.
@@ -96,6 +104,15 @@ impl SyntheticEmbedder {
         if let Some(v) = self.cache.read().get(term) {
             return Arc::clone(v);
         }
+        let v = Arc::new(self.compute_direction(term));
+        self.cache.write().insert(term.to_string(), Arc::clone(&v));
+        v
+    }
+
+    /// The direction itself, independent of the cache. The value is a
+    /// pure function of `(seed, term)`, so cache hits and fresh
+    /// computations agree bit-for-bit.
+    fn compute_direction(&self, term: &str) -> Vec<f32> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ fnv1a(term));
         let mut v: Vec<f32> = Vec::with_capacity(self.dim);
         for _ in 0..self.dim {
@@ -105,9 +122,52 @@ impl SyntheticEmbedder {
             v.push(g);
         }
         normalize(&mut v);
-        let v = Arc::new(v);
-        self.cache.write().insert(term.to_string(), Arc::clone(&v));
         v
+    }
+
+    /// Analyze and concept-normalize `text` into the term sequence the
+    /// embedding is built from.
+    fn concept_terms(&self, text: &str) -> Vec<String> {
+        self.analyzer
+            .analyze(text)
+            .iter()
+            .map(|t| self.normalizer.normalize(t))
+            .collect()
+    }
+
+    /// Accumulate the embedding of an analyzed term sequence. This is
+    /// the single accumulation path shared by [`Embedder::embed`] and
+    /// [`Embedder::embed_batch`]: a BTreeMap keeps the floating-point
+    /// accumulation order stable, so embeddings are bit-identical
+    /// across embedder instances, runs and batch shapes.
+    fn embed_terms(&self, terms: &[String]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        if terms.is_empty() {
+            return out;
+        }
+        // Unigram contributions weighted by sqrt(tf).
+        let mut tf: std::collections::BTreeMap<&str, f32> = std::collections::BTreeMap::new();
+        for t in terms {
+            *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
+        }
+        for (term, count) in &tf {
+            let dir = self.direction(term);
+            let w = count.sqrt();
+            for (o, d) in out.iter_mut().zip(dir.iter()) {
+                *o += w * d;
+            }
+        }
+        // Bigram contributions mix in word order.
+        if self.bigram_weight > 0.0 {
+            for bg in word_ngrams(terms, 2) {
+                let dir = self.direction(&bg);
+                for (o, d) in out.iter_mut().zip(dir.iter()) {
+                    *o += self.bigram_weight * d;
+                }
+            }
+        }
+        normalize(&mut out);
+        out
     }
 }
 
@@ -127,40 +187,47 @@ impl Embedder for SyntheticEmbedder {
     }
 
     fn embed(&self, text: &str) -> Vec<f32> {
-        let raw_terms = self.analyzer.analyze(text);
-        let terms: Vec<String> = raw_terms
+        self.embed_terms(&self.concept_terms(text))
+    }
+
+    /// Batched embedding: analyze every text first, compute the batch's
+    /// missing term directions without holding any lock, then install
+    /// them under a single write-lock acquisition. Each text is then
+    /// accumulated through the same path as [`Embedder::embed`], so the
+    /// output is byte-identical to unbatched embedding — the batch only
+    /// amortizes direction generation and lock traffic.
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        let all_terms: Vec<Vec<String>> = texts.iter().map(|t| self.concept_terms(t)).collect();
+        let mut keys: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for terms in &all_terms {
+            keys.extend(terms.iter().cloned());
+            if self.bigram_weight > 0.0 {
+                keys.extend(word_ngrams(terms, 2));
+            }
+        }
+        let missing: Vec<String> = {
+            let cache = self.cache.read();
+            keys.into_iter()
+                .filter(|k| !cache.contains_key(k))
+                .collect()
+        };
+        if !missing.is_empty() {
+            let computed: Vec<(String, Arc<Vec<f32>>)> = missing
+                .into_iter()
+                .map(|k| {
+                    let v = Arc::new(self.compute_direction(&k));
+                    (k, v)
+                })
+                .collect();
+            let mut cache = self.cache.write();
+            for (k, v) in computed {
+                cache.entry(k).or_insert(v);
+            }
+        }
+        all_terms
             .iter()
-            .map(|t| self.normalizer.normalize(t))
-            .collect();
-        let mut out = vec![0.0f32; self.dim];
-        if terms.is_empty() {
-            return out;
-        }
-        // Unigram contributions weighted by sqrt(tf). A BTreeMap keeps
-        // the floating-point accumulation order stable, so embeddings
-        // are bit-identical across embedder instances and runs.
-        let mut tf: std::collections::BTreeMap<&str, f32> = std::collections::BTreeMap::new();
-        for t in &terms {
-            *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
-        }
-        for (term, count) in &tf {
-            let dir = self.direction(term);
-            let w = count.sqrt();
-            for (o, d) in out.iter_mut().zip(dir.iter()) {
-                *o += w * d;
-            }
-        }
-        // Bigram contributions mix in word order.
-        if self.bigram_weight > 0.0 {
-            for bg in word_ngrams(&terms, 2) {
-                let dir = self.direction(&bg);
-                for (o, d) in out.iter_mut().zip(dir.iter()) {
-                    *o += self.bigram_weight * d;
-                }
-            }
-        }
-        normalize(&mut out);
-        out
+            .map(|terms| self.embed_terms(terms))
+            .collect()
     }
 }
 
@@ -270,6 +337,33 @@ mod tests {
     #[should_panic(expected = "dimension must be positive")]
     fn zero_dim_panics() {
         let _ = SyntheticEmbedder::new(0, 1);
+    }
+
+    #[test]
+    fn batch_embedding_is_byte_identical_to_unbatched() {
+        let texts = [
+            "apertura del conto corrente",
+            "blocco carta di credito",
+            "bonifico estero urgente",
+            "",
+            "apertura del conto corrente", // duplicate inside the batch
+        ];
+        let refs: Vec<&str> = texts.to_vec();
+        // Fresh instance per side: the batch must not depend on what the
+        // direction cache already holds.
+        let batched = embedder().embed_batch(&refs);
+        let single = embedder();
+        for (text, batch_vec) in texts.iter().zip(&batched) {
+            assert_eq!(&single.embed(text), batch_vec, "diverged on {text:?}");
+        }
+    }
+
+    #[test]
+    fn batch_of_one_equals_plain_embed() {
+        let e = embedder();
+        let via_batch = e.embed_batch(&["estratto conto mensile"]);
+        assert_eq!(via_batch.len(), 1);
+        assert_eq!(via_batch[0], e.embed("estratto conto mensile"));
     }
 
     #[test]

@@ -165,9 +165,9 @@ impl Sq8Query {
         let mut k0 = 0.0f64;
         let mut t = Vec::with_capacity(dim);
         let mut max_abs = 0.0f64;
-        for d in 0..dim {
-            k0 += f64::from(q[d]) * f64::from(codebook.min[d]);
-            let td = f64::from(q[d]) * f64::from(codebook.step[d]);
+        for (d, &qd) in q.iter().enumerate() {
+            k0 += f64::from(qd) * f64::from(codebook.min[d]);
+            let td = f64::from(qd) * f64::from(codebook.step[d]);
             max_abs = max_abs.max(td.abs());
             t.push(td);
         }
@@ -590,7 +590,7 @@ impl Hnsw {
         let score = |i: usize| self.sim(i, &q);
         let ep = self.descend(&score, ep);
         let ef = self.params.ef_search.max(k);
-        let cands = self.search_layer_scored(&score, ep, ef, 0);
+        let cands = self.search_layer_scored(score, ep, ef, 0);
         cands
             .into_iter()
             .take(k)
@@ -616,12 +616,12 @@ impl Hnsw {
                 let sq = Sq8Query::prepare(&state.codebook, &q);
                 let score = |i: usize| sq.sim(state.row(i));
                 let ep = self.descend(&score, ep);
-                self.search_layer_scored(&score, ep, ef.max(1), 0)
+                self.search_layer_scored(score, ep, ef.max(1), 0)
             }
             _ => {
                 let score = |i: usize| self.sim(i, &q);
                 let ep = self.descend(&score, ep);
-                self.search_layer_scored(&score, ep, ef.max(1), 0)
+                self.search_layer_scored(score, ep, ef.max(1), 0)
             }
         };
         cands
@@ -727,13 +727,13 @@ impl VectorIndex for Hnsw {
                 let sq = Sq8Query::prepare(&state.codebook, &q);
                 let score = |i: usize| sq.sim(state.row(i));
                 let ep = self.descend(&score, ep);
-                let beam = self.search_layer_scored(&score, ep, ef, 0);
+                let beam = self.search_layer_scored(score, ep, ef, 0);
                 self.rerank_full_precision(beam, &q, k)
             }
             _ => {
                 let score = |i: usize| self.sim(i, &q);
                 let ep = self.descend(&score, ep);
-                let cands = self.search_layer_scored(&score, ep, ef, 0);
+                let cands = self.search_layer_scored(score, ep, ef, 0);
                 cands
                     .into_iter()
                     .take(k)

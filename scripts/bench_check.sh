@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regression gate over the committed benchmark baselines:
+#
+#   ./scripts/bench_check.sh
+#
+# Regenerates every BENCH_*.json report into target/bench_fresh/ and
+# compares each against the baseline committed at the repo root with
+# the `bench_check` binary. The gate is structural, not a wall-clock
+# race: missing keys, compression ratios below the floor, recall
+# regressions, and any drift in the seed-reproducible serving counters
+# fail the check; raw latency numbers only have to exist. Run by the
+# tier-1 CI job.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH="target/bench_fresh"
+mkdir -p "$FRESH"
+
+echo "==> regenerating reports into $FRESH/"
+BENCH_JSON="$PWD/$FRESH/BENCH_topk.json" cargo bench -q -p uniask-bench --bench bm25_topk
+BENCH_JSON="$PWD/$FRESH/BENCH_vector.json" cargo bench -q -p uniask-bench --bench vector_search
+BENCH_JSON="$PWD/$FRESH/BENCH_serving.json" cargo bench -q -p uniask-bench --bench serving_saturation
+
+echo "==> comparing against committed baselines"
+cargo run -q --release -p uniask-bench --bin bench_check -- \
+  BENCH_topk.json "$FRESH/BENCH_topk.json" \
+  BENCH_vector.json "$FRESH/BENCH_vector.json" \
+  BENCH_serving.json "$FRESH/BENCH_serving.json"
+
+echo "bench_check: OK"

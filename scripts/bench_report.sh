@@ -3,11 +3,16 @@
 #
 #   ./scripts/bench_report.sh
 #
-# Runs the bm25_topk and vector_search benches in self-timing mode
-# (BENCH_JSON) and writes BENCH_topk.json / BENCH_vector.json at the
-# repo root: pruned-vs-exhaustive and SQ8-vs-f32 latency, recall@10,
-# and the compression ratios of the packed postings and the SQ8 code
-# arena. Criterion micro-benches remain available via `cargo bench`.
+# Runs the bm25_topk, vector_search and serving_saturation benches in
+# self-timing mode (BENCH_JSON) and writes BENCH_topk.json /
+# BENCH_vector.json / BENCH_serving.json at the repo root:
+# pruned-vs-exhaustive and SQ8-vs-f32 latency, recall@10, the
+# compression ratios of the packed postings and the SQ8 code arena,
+# and the seed-reproducible counters of the serving saturation run.
+# Criterion micro-benches remain available via `cargo bench`.
+#
+# `scripts/bench_check.sh` compares fresh reports against the
+# committed baselines.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,5 +22,8 @@ BENCH_JSON="$PWD/BENCH_topk.json" cargo bench -q -p uniask-bench --bench bm25_to
 
 echo "==> vector_search -> BENCH_vector.json"
 BENCH_JSON="$PWD/BENCH_vector.json" cargo bench -q -p uniask-bench --bench vector_search
+
+echo "==> serving_saturation -> BENCH_serving.json"
+BENCH_JSON="$PWD/BENCH_serving.json" cargo bench -q -p uniask-bench --bench serving_saturation
 
 echo "bench_report: OK"

@@ -26,7 +26,7 @@ use uniask::corpus::generator::CorpusGenerator;
 use uniask::corpus::kb::KbDocument;
 use uniask::corpus::scale::CorpusScale;
 use uniask::store::checkpoint::CheckpointConfig;
-use uniask::store::vfs::{CrashPlan, MemVfs};
+use uniask::store::vfs::{CrashPlan, MemVfs, Vfs};
 use uniask::store::wal::WalConfig;
 
 /// The seeds every run replays; `CRASH_SEED=<n>` appends one more.
@@ -128,7 +128,7 @@ fn expected_footprints() -> &'static [Footprint] {
 fn run_script(vfs: &Arc<MemVfs>, checkpoint_every: u64) -> usize {
     let (mut app, mut durability, _) = Durability::recover(
         config(),
-        Arc::clone(vfs),
+        Arc::clone(vfs) as Arc<dyn Vfs>,
         durability_config(checkpoint_every),
     )
     .expect("recover on a blank or clean store cannot fail");
@@ -146,7 +146,7 @@ fn recover_and_verify(vfs: &Arc<MemVfs>, checkpoint_every: u64, context: &str) {
     let messages = script();
     let (mut app, mut durability, report) = Durability::recover(
         config(),
-        Arc::clone(vfs),
+        Arc::clone(vfs) as Arc<dyn Vfs>,
         durability_config(checkpoint_every),
     )
     .unwrap_or_else(|e| panic!("recovery failed ({context}): {e}"));
@@ -173,8 +173,12 @@ fn recover_and_verify(vfs: &Arc<MemVfs>, checkpoint_every: u64, context: &str) {
 fn crash_free_durable_run_matches_the_plain_pipeline() {
     let vfs = Arc::new(MemVfs::new());
     assert_eq!(run_script(&vfs, 4), script().len());
-    let (app, _, report) =
-        Durability::recover(config(), Arc::clone(&vfs), durability_config(4)).unwrap();
+    let (app, _, report) = Durability::recover(
+        config(),
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+        durability_config(4),
+    )
+    .unwrap();
     assert_eq!(report.last_lsn as usize, script().len());
     assert_eq!(footprints(&app), expected_footprints());
 }
@@ -189,7 +193,9 @@ fn recovery_is_exact_at_every_crash_point() {
     assert!(total_ops > 20, "expected a rich op trace, got {total_ops}");
 
     for seed in crash_seeds() {
-        for op in 1..=total_ops {
+        // Op ordinals are 0-based: a plan at `total_ops` would sit past
+        // the final mutating operation and never fire.
+        for op in 0..total_ops {
             let vfs = Arc::new(MemVfs::new());
             vfs.schedule_crash(CrashPlan::seeded(seed, op));
             let applied = run_script(&vfs, 4);
@@ -211,7 +217,8 @@ fn named_crash_windows_around_a_checkpoint_recover_exactly() {
     // each offset into the checkpoint sequence: WAL append of the
     // triggering message, snapshot temp-write, temp fsync, atomic
     // rename, manifest temp-write/fsync/rename, and the prune after.
-    let plans: Vec<(&str, fn(u64) -> CrashPlan)> = vec![
+    type PlanAt = fn(u64) -> CrashPlan;
+    let plans: Vec<(&str, PlanAt)> = vec![
         ("power cut before the op", CrashPlan::before),
         ("torn write", |op| CrashPlan::torn(op, 0.5)),
         ("crash just after the op", CrashPlan::after),
@@ -219,8 +226,12 @@ fn named_crash_windows_around_a_checkpoint_recover_exactly() {
     let base_ops = {
         // Ops consumed by the three messages before the checkpoint window.
         let vfs = Arc::new(MemVfs::new());
-        let (mut app, mut durability, _) =
-            Durability::recover(config(), Arc::clone(&vfs), durability_config(4)).unwrap();
+        let (mut app, mut durability, _) = Durability::recover(
+            config(),
+            Arc::clone(&vfs) as Arc<dyn Vfs>,
+            durability_config(4),
+        )
+        .unwrap();
         for message in script().into_iter().take(3) {
             durability.log_and_apply(&mut app, message).unwrap();
         }
@@ -262,8 +273,12 @@ fn torn_final_wal_record_is_discarded_and_refed() {
     vfs.restart(99);
     vfs.clear_crash();
 
-    let (_, _, report) =
-        Durability::recover(config(), Arc::clone(&vfs), durability_config(0)).unwrap();
+    let (_, _, report) = Durability::recover(
+        config(),
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+        durability_config(0),
+    )
+    .unwrap();
     assert!(
         (report.last_lsn as usize) < script().len(),
         "the torn final record must not be recovered as applied"
@@ -289,8 +304,12 @@ fn corrupt_latest_checkpoint_falls_back_one_generation() {
     let len = vfs.len(&newest).expect("checkpoint exists");
     assert!(vfs.flip_byte(&newest, len / 2), "bit rot injected");
 
-    let (app, _, report) =
-        Durability::recover(config(), Arc::clone(&vfs), durability_config(3)).unwrap();
+    let (app, _, report) = Durability::recover(
+        config(),
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+        durability_config(3),
+    )
+    .unwrap();
     assert_eq!(
         report.generations_skipped, 1,
         "the rotted newest generation must be skipped"

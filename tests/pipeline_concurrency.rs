@@ -17,12 +17,27 @@ fn producer_consumer_ingestion_across_threads() {
     let kb = CorpusGenerator::new(CorpusScale::tiny(), 3).generate();
     let queue: MessageQueue<IngestMessage> = MessageQueue::new(64);
 
-    // Producer thread: the ingestion service's poll cycle.
+    // Producer thread: the ingestion service's poll cycle. The corpus
+    // is larger than the queue, so polls hit backpressure and defer;
+    // the service keeps polling until redelivery drains the backlog —
+    // the same contract the production poller follows.
     let docs = kb.documents.clone();
+    let total = kb.documents.len();
     let sender_queue = queue.clone();
     let producer = std::thread::spawn(move || {
         let mut svc = IngestionService::new();
-        svc.poll(&docs, &sender_queue, 0.0)
+        let mut posted = 0usize;
+        let mut now = 0.0;
+        while posted < total {
+            let cycle = svc.poll(&docs, &sender_queue, now);
+            posted += cycle;
+            now += 1.0;
+            if cycle == 0 {
+                // Queue still full: let the consumer drain.
+                std::thread::yield_now();
+            }
+        }
+        posted
     });
 
     // Consumer: drain into the app (single-writer index).
