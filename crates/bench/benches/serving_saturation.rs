@@ -11,13 +11,19 @@
 //! - `BENCH_JSON=<path>`: a self-timed run written as a JSON report.
 //!   Everything under `"deterministic"` comes off the simulated clock
 //!   and must be bit-identical across machines for a given seed
-//!   (`scripts/bench_check.sh` enforces this); only the `*_us` keys
-//!   are wall-clock. `SERVING_SEED` overrides the seed.
+//!   (`scripts/bench_check.sh` enforces this); the `*_us` keys and the
+//!   whole `"wall"` block — a real-thread executor saturation pass on
+//!   the wall clock — are machine-dependent and presence-only.
+//!   `SERVING_SEED` overrides the seed.
 
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, Criterion};
-use uniask_core::serving::{ServingLoadTest, ServingLoadTestConfig};
+use uniask_core::clock::{Clock, WallClock};
+use uniask_core::serving::{
+    ExecutorConfig, ExecutorMode, Priority, ServingConfig, ServingExecutor, ServingLoadTest,
+    ServingLoadTestConfig, SyntheticEngine,
+};
 
 fn smoke_config() -> ServingLoadTestConfig {
     let mut config = ServingLoadTestConfig::saturation_smoke();
@@ -66,6 +72,78 @@ fn object(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
         map.insert(key.to_string(), value);
     }
     serde_json::Value::Object(map)
+}
+
+/// One real-thread saturation pass: the worker-pool executor in
+/// free-running mode on the wall clock, against a cost model scaled so
+/// the pass finishes in well under a second. Every value this produces
+/// depends on machine timing, so the report section it feeds is
+/// presence-only — but the conservation invariant is asserted here,
+/// making the bench itself a real-clock smoke gate.
+fn wall_executor_pass() -> serde_json::Value {
+    use serde_json::Value;
+
+    let mut serving = ServingConfig::default();
+    serving.service.embed_base_secs = 0.002;
+    serving.service.embed_per_query_secs = 0.0005;
+    serving.service.hybrid_search_secs = 0.0015;
+    serving.service.degraded_search_secs = 0.0002;
+    serving.interactive.deadline_secs = 0.5;
+    serving.bulk.deadline_secs = 1.0;
+    serving.batch_window_secs = 0.005;
+    serving.shed_depth = 16;
+    let executor_config = ExecutorConfig::default();
+
+    let engine = SyntheticEngine;
+    let clock = WallClock::new();
+    let started = Instant::now();
+    let executor = ServingExecutor::new(serving, &engine, &clock)
+        .executor(executor_config)
+        .mode(ExecutorMode::FreeRunning);
+    let (admitted, report) = executor.run(|handle| {
+        let mut admitted = 0u64;
+        for i in 0..400u32 {
+            let class = if i % 3 == 0 {
+                Priority::Bulk
+            } else {
+                Priority::Interactive
+            };
+            if handle
+                .submit(&format!("domanda {i}"), class, clock.now())
+                .is_ok()
+            {
+                admitted += 1;
+            }
+            if i % 50 == 49 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        admitted
+    });
+    let run_us = started.elapsed().as_secs_f64() * 1e6;
+    let c = &report.counters;
+    assert_eq!(c.admitted(), admitted);
+    assert_eq!(
+        c.completed() + c.shed() + c.expired(),
+        c.admitted(),
+        "real-thread conservation: every admitted request settles"
+    );
+    object(vec![
+        ("workers", Value::from(executor_config.workers as u64)),
+        ("submitted", Value::from(400u64)),
+        ("admitted", Value::from(c.admitted())),
+        ("completed_full", Value::from(c.completed())),
+        ("shed", Value::from(c.shed())),
+        ("expired", Value::from(c.expired())),
+        ("shed_drain", Value::from(c.shed_drain)),
+        ("hung_workers", Value::from(c.hung_workers)),
+        ("workers_replaced", Value::from(c.workers_replaced)),
+        (
+            "drain_elapsed_us",
+            Value::from(report.drain_elapsed_secs * 1e6),
+        ),
+        ("run_us", Value::from(run_us)),
+    ])
 }
 
 fn json_report(path: &str) {
@@ -147,6 +225,7 @@ fn json_report(path: &str) {
                 ("run_min_us", Value::from(run_min_us)),
             ]),
         ),
+        ("wall", wall_executor_pass()),
     ]);
     let rendered = serde_json::to_string_pretty(&rendered).expect("report serializes");
     std::fs::write(path, rendered).expect("report written");

@@ -15,7 +15,11 @@
 //! * everything under a `"deterministic"` object matches the baseline
 //!   exactly — those values come off the simulated clock and are
 //!   seed-reproducible by contract;
-//! * keys ending in `_us` (wall-clock) are presence-only.
+//! * keys ending in `_us` (wall-clock) are presence-only;
+//! * everything under a `"wall"` object (real-thread, real-clock runs)
+//!   is presence-only: the subtree's shape must match when present,
+//!   its values never have to — and a fresh report produced without a
+//!   real-clock pass may omit the block entirely.
 //!
 //! Exit status is non-zero iff any check fails; every failure is
 //! reported, not just the first.
@@ -51,6 +55,7 @@ fn compare(
     baseline: &Value,
     fresh: &Value,
     in_deterministic: bool,
+    in_wall: bool,
     failures: &mut Vec<String>,
 ) {
     if type_name(baseline) != type_name(fresh) {
@@ -69,19 +74,23 @@ fn compare(
                 format!("{path}.{key}")
             };
             match f.get(key) {
+                // A `wall` block needs a real-clock pass to produce;
+                // a fresh report generated without one may omit it.
+                None if key == "wall" && !in_wall => {}
                 None => failures.push(format!("{child}: missing from fresh report")),
                 Some(fv) => compare(
                     &child,
                     bv,
                     fv,
                     in_deterministic || key == "deterministic",
+                    in_wall || key == "wall",
                     failures,
                 ),
             }
         }
     } else if let (Some(b), Some(f)) = (baseline.as_f64(), fresh.as_f64()) {
         let leaf = path.rsplit('.').next().unwrap_or(path);
-        if leaf.ends_with("_us") {
+        if in_wall || leaf.ends_with("_us") {
             // Wall-clock: presence is the whole contract.
         } else if leaf == "compression_ratio" {
             if f < COMPRESSION_FLOOR {
@@ -134,7 +143,7 @@ fn main() -> ExitCode {
             }
         };
         let mut failures = Vec::new();
-        compare("", &baseline, &fresh, false, &mut failures);
+        compare("", &baseline, &fresh, false, false, &mut failures);
         if failures.is_empty() {
             println!("bench_check: {baseline_path} vs {fresh_path}: OK");
         } else {

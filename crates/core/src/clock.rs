@@ -1,9 +1,31 @@
-//! Simulated clock.
+//! Time sources: the simulated clock and the real one.
 //!
 //! All experiment paths run on simulated time so results are
 //! deterministic and a 60-minute load test completes in milliseconds.
+//! The real-thread serving executor runs the *same* admission and
+//! deadline math against a monotonic [`WallClock`]; the [`Clock`]
+//! trait is the seam that keeps the front-end, retry policy, and
+//! deadline bookkeeping generic over which one is driving.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source, seconds since an arbitrary origin.
+///
+/// Two implementations ship: [`SimClock`] (driver-advanced, fully
+/// deterministic) and [`WallClock`] (monotonic OS time). Code written
+/// against `&dyn Clock` — deadline derivation, admission expiry,
+/// watchdog scans, retry backoff — behaves identically under both; the
+/// only difference is who moves time forward.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current time in seconds.
+    fn now(&self) -> f64;
+
+    /// Let `secs` seconds pass. A wall clock blocks the calling thread;
+    /// the simulated clock advances instantly. Retry backoff waits
+    /// through this so a schedule runs unchanged on either clock.
+    fn wait(&self, secs: f64);
+}
 
 /// A monotonic simulated clock with microsecond resolution.
 #[derive(Debug, Default)]
@@ -47,6 +69,54 @@ impl SimClock {
     }
 }
 
+impl Clock for SimClock {
+    fn now(&self) -> f64 {
+        SimClock::now(self)
+    }
+
+    fn wait(&self, secs: f64) {
+        self.advance(secs);
+    }
+}
+
+/// Monotonic wall-clock time, seconds since the clock was created.
+///
+/// Built on [`Instant`], so it never goes backwards and is immune to
+/// system-time adjustments — exactly the property deadline math needs.
+/// The origin is per-clock; all the serving code compares durations
+/// against a single clock, never absolute epochs.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose time zero is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    fn wait(&self, secs: f64) {
+        if secs > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +138,34 @@ mod tests {
         assert!((c.now() - 10.0).abs() < 1e-6);
         c.set(5.0);
         assert!((c.now() - 10.0).abs() < 1e-6, "stale set ignored");
+    }
+
+    #[test]
+    fn sim_clock_waits_by_advancing() {
+        let c = SimClock::new();
+        let clock: &dyn Clock = &c;
+        clock.wait(2.5);
+        assert!((clock.now() - 2.5).abs() < 1e-6, "wait is instant sim time");
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_waits_for_real() {
+        let c = WallClock::new();
+        let a = c.now();
+        Clock::wait(&c, 0.01);
+        let b = c.now();
+        assert!(b >= a + 0.009, "wait must block for about the duration");
+        assert!(c.now() >= b, "monotonic");
+    }
+
+    #[test]
+    fn both_clocks_erase_to_dyn() {
+        let sim = SimClock::new();
+        let wall = WallClock::new();
+        let clocks: [&dyn Clock; 2] = [&sim, &wall];
+        for clock in clocks {
+            let t = clock.now();
+            assert!(t >= 0.0);
+        }
     }
 }

@@ -239,6 +239,20 @@ impl Durability {
         Ok(generation)
     }
 
+    /// Flush hook for the serving executor's graceful drain: if any
+    /// messages were applied since the last checkpoint, write one and
+    /// return the LSN watermark it covers; `Ok(None)` means the state
+    /// was already durable and no checkpoint was needed. Designed to
+    /// slot into [`crate::serving::FlushHook`] so a drained process
+    /// restarts from a checkpoint instead of a WAL replay.
+    pub fn flush_on_drain(&mut self, app: &mut UniAsk) -> Result<Option<u64>, DurabilityError> {
+        if self.applied_since_checkpoint == 0 {
+            return Ok(None);
+        }
+        self.checkpoint(app)?;
+        Ok(Some(self.last_applied_lsn))
+    }
+
     /// The LSN the next logged message will receive.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
@@ -471,6 +485,37 @@ mod tests {
         assert!(app.index().len() >= 5);
         let snap = app.monitoring.snapshot();
         assert_eq!(snap.wal_replays, 5);
+    }
+
+    #[test]
+    fn flush_on_drain_checkpoints_only_dirty_state() {
+        let vfs = Arc::new(MemVfs::new());
+        let docs = small_docs(3);
+        {
+            let (mut app, mut durability, _) = Durability::recover(
+                config(),
+                Arc::clone(&vfs) as Arc<dyn Vfs>,
+                durability_config(0),
+            )
+            .unwrap();
+            // Clean state: nothing applied, nothing to flush.
+            assert_eq!(durability.flush_on_drain(&mut app).unwrap(), None);
+            for doc in &docs {
+                durability
+                    .log_and_apply(&mut app, IngestMessage::Upsert(doc.clone()))
+                    .unwrap();
+            }
+            let flushed = durability.flush_on_drain(&mut app).unwrap();
+            assert_eq!(flushed, Some(3), "watermark covers every applied LSN");
+            // Immediately draining again finds the state already durable.
+            assert_eq!(durability.flush_on_drain(&mut app).unwrap(), None);
+            assert_eq!(app.monitoring.snapshot().checkpoints_written, 1);
+        }
+        // The drain checkpoint makes restart replay-free.
+        let (_, _, report) = Durability::recover(config(), vfs, durability_config(0)).unwrap();
+        assert_eq!(report.checkpoint_generation, Some(0));
+        assert_eq!(report.wal_records_replayed, 0);
+        assert_eq!(report.last_lsn, 3);
     }
 
     #[test]

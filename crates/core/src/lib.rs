@@ -21,9 +21,11 @@
 //! * [`durability`] — crash-safe persistence: write-ahead ingest log,
 //!   atomic checkpoints and startup recovery over `uniask-store`.
 //! * [`loadtest`] — the open-system load test of Figure 2.
-//! * [`serving`] — the admission-controlled serving front-end: bounded
+//! * [`serving`] — the admission-controlled serving layer: bounded
 //!   priority queues, deadline propagation, batched dispatch and
-//!   graceful load shedding, driven on the simulated clock.
+//!   graceful load shedding, driven on the simulated clock — plus the
+//!   real-thread worker-pool executor with panic isolation,
+//!   cooperative cancellation, watchdog deadlines and graceful drain.
 //! * [`pilot`] — the three user-test phases of Section 8.
 //! * [`tickets`] — the post-launch ticket-reduction analysis.
 
@@ -48,7 +50,7 @@ pub mod tickets;
 pub use app::{AskResponse, GenerationOutcome, UniAsk};
 pub use backend::{Backend, Feedback, FeedbackStore};
 pub use bulk::bulk_ingest;
-pub use clock::SimClock;
+pub use clock::{Clock, SimClock, WallClock};
 pub use config::UniAskConfig;
 pub use durability::{Durability, DurabilityConfig, DurabilityError, RecoveryReport};
 pub use frontend::{render_response, FeedbackForm, FormError};
@@ -64,7 +66,9 @@ pub use resilience::{
     FaultSpec, ResilienceConfig, ResilienceState, RetryPolicy,
 };
 pub use serving::{
-    AdmitError, ClassPolicy, Priority, ServingConfig, ServingCounters, ServingFrontend,
-    ServingLoadTest, ServingLoadTestConfig, ServingReport,
+    AdmitError, CancelToken, Cancelled, ClassPolicy, DrainReport, ExecutorConfig, ExecutorHandle,
+    ExecutorMode, FlushHook, Priority, RequestCancel, ServeStage, ServingArrival, ServingConfig,
+    ServingCounters, ServingExecutor, ServingFrontend, ServingLoadTest, ServingLoadTestConfig,
+    ServingReport, SubmitError,
 };
 pub use tickets::{ticket_analysis, TicketReport};

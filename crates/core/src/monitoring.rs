@@ -151,6 +151,16 @@ pub struct DashboardSnapshot {
     pub serving_shed_deadline: u64,
     /// Sheds caused by LLM throttling.
     pub serving_shed_llm: u64,
+    /// Sheds caused by a worker panic (request degraded, not lost).
+    pub serving_shed_panic: u64,
+    /// Sheds caused by watchdog cancellation of a hung worker.
+    pub serving_shed_cancelled: u64,
+    /// Sheds taken during graceful drain past the drain deadline.
+    pub serving_shed_drain: u64,
+    /// Workers the watchdog observed past deadline + grace.
+    pub serving_hung_workers: u64,
+    /// Worker threads replaced after a panic.
+    pub serving_workers_replaced: u64,
     /// Batches dispatched by the front-end.
     pub serving_batches: u64,
     /// Mean dispatched batch size.
@@ -307,6 +317,11 @@ impl Monitoring {
             serving_shed_overload: inner.serving.shed_overload,
             serving_shed_deadline: inner.serving.shed_deadline,
             serving_shed_llm: inner.serving.shed_llm,
+            serving_shed_panic: inner.serving.shed_panic,
+            serving_shed_cancelled: inner.serving.shed_cancelled,
+            serving_shed_drain: inner.serving.shed_drain,
+            serving_hung_workers: inner.serving.hung_workers,
+            serving_workers_replaced: inner.serving.workers_replaced,
             serving_batches: inner.serving.batches,
             serving_mean_batch: inner.serving.mean_batch(),
             serving_max_batch: inner.serving.max_batch,
@@ -352,6 +367,11 @@ impl DashboardSnapshot {
              │   · overload             {:>8}           │\n\
              │   · deadline             {:>8}           │\n\
              │   · llm pressure         {:>8}           │\n\
+             │   · worker panic         {:>8}           │\n\
+             │   · cancelled            {:>8}           │\n\
+             │   · drain                {:>8}           │\n\
+             │ hung workers             {:>8}           │\n\
+             │ workers replaced         {:>8}           │\n\
              │ serving batches          {:>8}           │\n\
              │ batch mean/max        {:>5.2}  /{:>6}      │\n\
              │ queue hwm int/bulk    {:>5}  /{:>6}      │\n\
@@ -388,6 +408,11 @@ impl DashboardSnapshot {
             self.serving_shed_overload,
             self.serving_shed_deadline,
             self.serving_shed_llm,
+            self.serving_shed_panic,
+            self.serving_shed_cancelled,
+            self.serving_shed_drain,
+            self.serving_hung_workers,
+            self.serving_workers_replaced,
             self.serving_batches,
             self.serving_mean_batch,
             self.serving_max_batch,
@@ -555,6 +580,11 @@ mod tests {
             shed_bulk: 3,
             shed_overload: 2,
             shed_llm: 1,
+            shed_panic: 1,
+            shed_cancelled: 1,
+            shed_drain: 1,
+            hung_workers: 1,
+            workers_replaced: 2,
             batches: 6,
             dispatched: 12,
             max_batch: 4,
@@ -569,6 +599,11 @@ mod tests {
         assert_eq!(s.serving_shed, 3);
         assert_eq!(s.serving_shed_overload, 2);
         assert_eq!(s.serving_shed_llm, 1);
+        assert_eq!(s.serving_shed_panic, 1);
+        assert_eq!(s.serving_shed_cancelled, 1);
+        assert_eq!(s.serving_shed_drain, 1);
+        assert_eq!(s.serving_hung_workers, 1);
+        assert_eq!(s.serving_workers_replaced, 2);
         assert_eq!(s.serving_batches, 6);
         assert!((s.serving_mean_batch - 2.0).abs() < 1e-9);
         assert_eq!(s.serving_max_batch, 4);
@@ -578,6 +613,9 @@ mod tests {
         assert!(page.contains("serving admitted"));
         assert!(page.contains("serving shed"));
         assert!(page.contains("llm pressure"));
+        assert!(page.contains("worker panic"));
+        assert!(page.contains("hung workers"));
+        assert!(page.contains("workers replaced"));
         assert!(page.contains("queue hwm int/bulk"));
     }
 

@@ -39,10 +39,29 @@ pub enum FaultPoint {
     QueuePost,
     /// An ingestion poll cycle.
     IngestPoll,
+    /// A serving-executor worker about to serve a request. Faults here
+    /// model worker crashes: the executor promotes them to panics that
+    /// its isolation layer must absorb.
+    WorkerServe,
 }
 
 /// All fault points, in counter order.
-pub const FAULT_POINTS: [FaultPoint; 6] = [
+pub const FAULT_POINTS: [FaultPoint; 7] = [
+    FaultPoint::LlmComplete,
+    FaultPoint::TitleVector,
+    FaultPoint::ContentVector,
+    FaultPoint::Reranker,
+    FaultPoint::QueuePost,
+    FaultPoint::IngestPoll,
+    FaultPoint::WorkerServe,
+];
+
+/// The points [`FaultPlan::seeded`] draws from: the original dependency
+/// points, *excluding* [`FaultPoint::WorkerServe`]. Worker panics have
+/// their own seeded generator ([`FaultPlan::seeded_worker_panics`]) so
+/// existing seed matrices replay byte-identically and panic injection
+/// is an explicit opt-in.
+const SEEDED_POINTS: [FaultPoint; 6] = [
     FaultPoint::LlmComplete,
     FaultPoint::TitleVector,
     FaultPoint::ContentVector,
@@ -60,6 +79,7 @@ impl FaultPoint {
             FaultPoint::Reranker => 3,
             FaultPoint::QueuePost => 4,
             FaultPoint::IngestPoll => 5,
+            FaultPoint::WorkerServe => 6,
         }
     }
 
@@ -72,6 +92,7 @@ impl FaultPoint {
             FaultPoint::Reranker => "reranker",
             FaultPoint::QueuePost => "queue-post",
             FaultPoint::IngestPoll => "ingest-poll",
+            FaultPoint::WorkerServe => "worker-serve",
         }
     }
 }
@@ -83,6 +104,12 @@ pub enum FaultKind {
     Fail,
     /// The call succeeds after an extra simulated delay (seconds).
     Delay(f64),
+    /// The call panics — [`FaultPlan::check`] unwinds instead of
+    /// returning. Only meaningful at points whose caller runs under
+    /// panic isolation (the serving executor's workers); injecting it
+    /// elsewhere would abort the test, which is the correct loud
+    /// failure for a mis-targeted plan.
+    Panic,
 }
 
 /// One scripted fault: calls `from_call..to_call` (0-based, half-open)
@@ -112,7 +139,7 @@ pub struct InjectedFault {
 #[derive(Debug)]
 pub struct FaultPlan {
     specs: Vec<FaultSpec>,
-    counters: [AtomicU64; 6],
+    counters: [AtomicU64; 7],
     disarmed: AtomicBool,
     injected: AtomicU64,
 }
@@ -141,7 +168,7 @@ impl FaultPlan {
         let count = rng.gen_range(2..=4);
         let mut specs = Vec::with_capacity(count);
         for _ in 0..count {
-            let point = FAULT_POINTS[rng.gen_range(0..FAULT_POINTS.len())];
+            let point = SEEDED_POINTS[rng.gen_range(0..SEEDED_POINTS.len())];
             let from_call = rng.gen_range(0..4);
             let width = rng.gen_range(1..=6);
             let kind = if rng.gen_bool(0.75) {
@@ -154,6 +181,28 @@ impl FaultPlan {
                 from_call,
                 to_call: from_call + width,
                 kind,
+            });
+        }
+        Self::new(specs)
+    }
+
+    /// Derive a worker-panic plan from `seed`: one or two
+    /// [`FaultKind::Panic`] windows at [`FaultPoint::WorkerServe`],
+    /// each one or two calls wide, inside the first dozen serves. The
+    /// chaos suite runs these against the serving executor and asserts
+    /// the pool self-heals with no lost requests.
+    pub fn seeded_worker_panics(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let count = rng.gen_range(1..=2);
+        let mut specs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let from_call = rng.gen_range(0..12);
+            let width = rng.gen_range(1..=2);
+            specs.push(FaultSpec {
+                point: FaultPoint::WorkerServe,
+                from_call,
+                to_call: from_call + width,
+                kind: FaultKind::Panic,
             });
         }
         Self::new(specs)
@@ -192,6 +241,10 @@ impl FaultPlan {
                         return Err(InjectedFault { point, call });
                     }
                     FaultKind::Delay(extra) => delay += extra,
+                    FaultKind::Panic => {
+                        self.injected.fetch_add(1, Ordering::Relaxed);
+                        panic!("injected panic at {} (call {call})", point.name());
+                    }
                 }
             }
         }
@@ -338,6 +391,50 @@ mod tests {
         assert_eq!(plan.calls(FaultPoint::Reranker), 2);
         plan.rearm();
         assert!(plan.check(FaultPoint::Reranker).is_err());
+    }
+
+    #[test]
+    fn panic_windows_unwind_and_count() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            point: FaultPoint::WorkerServe,
+            from_call: 0,
+            to_call: 1,
+            kind: FaultKind::Panic,
+        }]);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = plan.check(FaultPoint::WorkerServe);
+        }));
+        assert!(unwound.is_err(), "the armed window panics");
+        assert_eq!(plan.injected(), 1);
+        assert!(plan.check(FaultPoint::WorkerServe).is_ok(), "window passed");
+        assert_eq!(plan.calls(FaultPoint::WorkerServe), 2);
+    }
+
+    #[test]
+    fn seeded_worker_panic_plans_target_only_the_worker_point() {
+        for seed in 0..16u64 {
+            let a = FaultPlan::seeded_worker_panics(seed);
+            let b = FaultPlan::seeded_worker_panics(seed);
+            assert_eq!(a.specs(), b.specs(), "seed {seed} must replay");
+            assert!(!a.specs().is_empty());
+            for spec in a.specs() {
+                assert_eq!(spec.point, FaultPoint::WorkerServe);
+                assert_eq!(spec.kind, FaultKind::Panic);
+                assert!(spec.to_call > spec.from_call);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_plans_never_draw_the_worker_point() {
+        // The seeded dependency matrix predates panic injection; its
+        // plans must replay byte-identically, so the worker point is
+        // excluded from the draw.
+        for seed in 0..64u64 {
+            for spec in FaultPlan::seeded(seed).specs() {
+                assert_ne!(spec.point, FaultPoint::WorkerServe);
+            }
+        }
     }
 
     #[test]

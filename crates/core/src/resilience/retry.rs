@@ -8,6 +8,8 @@
 
 use rand::Rng;
 
+use crate::clock::Clock;
+
 /// Backoff schedule for retryable dependency errors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
@@ -69,6 +71,27 @@ impl RetryPolicy {
             None => delay,
         }
     }
+
+    /// Draw the delay for retry `attempt` and wait it out on `clock`,
+    /// returning the delay. On a [`SimClock`] the wait advances
+    /// simulated time instantly; on a [`WallClock`] it really sleeps —
+    /// the schedule itself (and the RNG stream) is identical either
+    /// way, which is what lets the real-thread executor share retry
+    /// behavior with the sim.
+    ///
+    /// [`SimClock`]: crate::clock::SimClock
+    /// [`WallClock`]: crate::clock::WallClock
+    pub fn backoff<R: Rng>(
+        &self,
+        attempt: u32,
+        rng: &mut R,
+        hint: Option<f64>,
+        clock: &dyn Clock,
+    ) -> f64 {
+        let delay = self.delay_secs(attempt, rng, hint);
+        clock.wait(delay);
+        delay
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +128,24 @@ mod tests {
             assert!(da >= nominal * (1.0 - policy.jitter_frac) - 1e-9);
             assert!(da <= nominal * (1.0 + policy.jitter_frac) + 1e-9);
         }
+    }
+
+    #[test]
+    fn backoff_waits_the_drawn_delay_on_the_clock() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..Default::default()
+        };
+        let clock = crate::clock::SimClock::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let d0 = policy.backoff(0, &mut rng, None, &clock);
+        let d1 = policy.backoff(1, &mut rng, None, &clock);
+        assert!((d0 - 0.5).abs() < 1e-9);
+        assert!((d1 - 1.0).abs() < 1e-9);
+        assert!(
+            (clock.now() - 1.5).abs() < 1e-6,
+            "the clock advanced by the full schedule"
+        );
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! The batch decision core, shared by the simulated front-end and the
+//! real-thread executor.
+//!
+//! Both execution engines must make *identical* decisions from
+//! identical queue state — that is what the differential harness in
+//! `tests/executor.rs` asserts — so the pop/expire loop, the shedding
+//! ladder, the cost model, and the generation-leg settlement live here
+//! once, as plain functions over `&mut` state. The front-end calls them
+//! from its single-threaded dispatch; the executor calls them under its
+//! state lock and fans the planned work out to worker threads.
+
+use uniask_llm::chat::{ChatMessage, ChatRequest};
+use uniask_llm::service::LlmService;
+
+use super::admission::{AdmissionQueue, AdmitError, QueuedRequest};
+use super::engine::ServedAnswer;
+use super::frontend::{ServingCounters, ShedReason};
+use super::{Priority, ServiceModel, ServingConfig};
+use crate::loadtest::SyntheticModel;
+
+/// Admit one request at `now`: allocate an id (ids advance on
+/// rejection too, so a request's id is its submission ordinal), derive
+/// the class deadline, and record the outcome in the counters. Shared
+/// by the front-end and the executor so admission is decision-identical
+/// in both.
+pub(crate) fn submit_request(
+    queue: &mut AdmissionQueue,
+    config: &ServingConfig,
+    counters: &mut ServingCounters,
+    next_id: &mut u64,
+    query: &str,
+    class: Priority,
+    now: f64,
+) -> Result<u64, AdmitError> {
+    let id = *next_id;
+    *next_id += 1;
+    let deadline = now + config.policy(class).deadline_secs;
+    let request = QueuedRequest {
+        id,
+        class,
+        query: query.to_string(),
+        arrived_at: now,
+        deadline,
+    };
+    match queue.admit(request, now) {
+        Ok(()) => {
+            match class {
+                Priority::Interactive => counters.admitted_interactive += 1,
+                Priority::Bulk => counters.admitted_bulk += 1,
+            }
+            Ok(id)
+        }
+        Err(err) => {
+            match (err, class) {
+                (AdmitError::QueueFull { .. }, Priority::Interactive) => {
+                    counters.rejected_interactive += 1
+                }
+                (AdmitError::QueueFull { .. }, Priority::Bulk) => counters.rejected_bulk += 1,
+                (AdmitError::DeadlineExpired, Priority::Interactive) => {
+                    counters.expired_interactive += 1
+                }
+                (AdmitError::DeadlineExpired, Priority::Bulk) => counters.expired_bulk += 1,
+            }
+            Err(err)
+        }
+    }
+}
+
+/// One planned batch: the popped requests, their shed decisions, and
+/// the modeled compute cost of executing the plan.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedBatch {
+    /// The live requests popped for this batch, dispatch order.
+    pub(crate) requests: Vec<QueuedRequest>,
+    /// Per-request shed decision, parallel to `requests`.
+    pub(crate) shed: Vec<Option<ShedReason>>,
+    /// Modeled server-busy time for the plan, seconds.
+    pub(crate) busy_secs: f64,
+}
+
+impl PlannedBatch {
+    /// The queries of the full-service (non-shed) requests, in order.
+    pub(crate) fn full_queries(&self) -> Vec<String> {
+        self.requests
+            .iter()
+            .zip(&self.shed)
+            .filter(|(_, s)| s.is_none())
+            .map(|(request, _)| request.query.clone())
+            .collect()
+    }
+}
+
+/// Modeled busy time of serving `n_full` full-service and `n_shed`
+/// degraded requests in one batch.
+fn busy_secs(service: &ServiceModel, n_full: usize, n_shed: usize) -> f64 {
+    let full = if n_full > 0 {
+        service.embed_base_secs
+            + n_full as f64 * (service.embed_per_query_secs + service.hybrid_search_secs)
+    } else {
+        0.0
+    };
+    full + n_shed as f64 * service.degraded_search_secs
+}
+
+/// Pop up to `max_batch_size` live requests at `now` (counting expired
+/// ones), apply the shedding ladder, and price the plan. Returns `None`
+/// when nothing live was queued. Counters are updated for expiries and
+/// batch shape; per-request outcomes are recorded later, at settlement.
+pub(crate) fn plan_batch(
+    queue: &mut AdmissionQueue,
+    config: &ServingConfig,
+    now: f64,
+    counters: &mut ServingCounters,
+) -> Option<PlannedBatch> {
+    let service = &config.service;
+    let mut requests: Vec<QueuedRequest> = Vec::new();
+    while requests.len() < config.max_batch_size {
+        let Some(request) = queue.pop() else {
+            break;
+        };
+        if request.expired(now) {
+            match request.class {
+                Priority::Interactive => counters.expired_interactive += 1,
+                Priority::Bulk => counters.expired_bulk += 1,
+            }
+            continue;
+        }
+        requests.push(request);
+    }
+    if requests.is_empty() {
+        return None;
+    }
+    counters.batches += 1;
+    counters.dispatched += requests.len() as u64;
+    counters.max_batch = counters.max_batch.max(requests.len());
+
+    // Rung 1 — overload: with the system past `shed_depth` (queue left
+    // behind plus this batch), bulk sheds to the cheap path.
+    let overloaded = queue.depth() + requests.len() > config.shed_depth;
+    let mut shed: Vec<Option<ShedReason>> = requests
+        .iter()
+        .map(|request| {
+            (overloaded && request.class == Priority::Bulk).then_some(ShedReason::Overload)
+        })
+        .collect();
+
+    // Rung 2 — deadline: project the full-service completion against
+    // the batch as popped. The estimate is conservative (sheds only
+    // shrink the batch's compute), which errs toward shedding early —
+    // exactly the contract.
+    let full_count = shed.iter().filter(|s| s.is_none()).count();
+    let projected_done = now
+        + service.embed_base_secs
+        + full_count as f64 * (service.embed_per_query_secs + service.hybrid_search_secs);
+    for (request, slot) in requests.iter().zip(shed.iter_mut()) {
+        if slot.is_none() && projected_done > request.deadline {
+            *slot = Some(ShedReason::Deadline);
+        }
+    }
+
+    // Rung 2b — the generate-boundary re-check. The rung-2 projection
+    // omits the degraded-path compute the sheds it just created will
+    // cost, so the *actual* completion can still overshoot a deadline.
+    // Re-check against the priced plan before any full-service work
+    // runs: a request that would finish past its deadline is shed here,
+    // never served, and never cached. (Shedding only shrinks the batch
+    // cost, so one pass cannot create new violations.)
+    let n_full = shed.iter().filter(|s| s.is_none()).count();
+    let local_done = now + busy_secs(service, n_full, requests.len() - n_full);
+    for (request, slot) in requests.iter().zip(shed.iter_mut()) {
+        if slot.is_none() && local_done > request.deadline {
+            *slot = Some(ShedReason::Deadline);
+        }
+    }
+
+    let n_full = shed.iter().filter(|s| s.is_none()).count();
+    let busy_secs = busy_secs(service, n_full, requests.len() - n_full);
+    Some(PlannedBatch {
+        requests,
+        shed,
+        busy_secs,
+    })
+}
+
+/// The LLM generation leg every full-service answer passes through: a
+/// synthetic model behind the token-bucket service envelope. Shared by
+/// the front-end and the executor so the bucket arithmetic — and hence
+/// which request hits LLM pressure — is identical in both.
+pub(crate) struct GenerationLeg {
+    llm: LlmService<SyntheticModel>,
+    request: ChatRequest,
+}
+
+impl GenerationLeg {
+    /// A generation leg for `service`'s token budget and envelope.
+    pub(crate) fn new(service: &ServiceModel) -> Self {
+        let prompt_tokens = service
+            .tokens_per_request
+            .saturating_sub(service.completion_tokens);
+        let prompt_text = vec!["tok"; prompt_tokens].join(" ");
+        GenerationLeg {
+            llm: LlmService::new(
+                SyntheticModel {
+                    completion_tokens: service.completion_tokens,
+                },
+                service.llm,
+            ),
+            request: ChatRequest::new(vec![ChatMessage::user(prompt_text)]),
+        }
+    }
+
+    /// Run one generation at model time `now`: `Ok(latency_secs)` or
+    /// `Err(())` when the envelope throttles.
+    pub(crate) fn complete_at(&self, now: f64) -> Result<f64, ()> {
+        self.llm
+            .complete_at(&self.request, now)
+            .map(|timed| timed.latency_secs)
+            .map_err(|_| ())
+    }
+}
+
+/// Settle one full-service answer at model completion time
+/// `local_done`: the generate-boundary deadline re-check, then the LLM
+/// leg (which runs concurrently — it does not occupy the server), with
+/// throttling degraded to an extractive answer instead of an error.
+/// Returns the (possibly degraded) answer, its finish time, and the
+/// shed reason if any.
+pub(crate) fn settle_full(
+    generation: &GenerationLeg,
+    request: &QueuedRequest,
+    answer: ServedAnswer,
+    local_done: f64,
+) -> (ServedAnswer, f64, Option<ShedReason>) {
+    if local_done > request.deadline {
+        // Rung 2b caught this at planning time for the model path; the
+        // check stands here too so any engine overrun still cannot
+        // generate past the deadline.
+        let mut degraded = answer;
+        degraded.degradation.llm_fallback = true;
+        return (degraded, local_done, Some(ShedReason::Deadline));
+    }
+    match generation.complete_at(local_done) {
+        Ok(latency_secs) => (answer, local_done + latency_secs, None),
+        Err(()) => {
+            let mut degraded = answer;
+            degraded.degradation.llm_fallback = true;
+            (degraded, local_done, Some(ShedReason::LlmPressure))
+        }
+    }
+}
+
+/// Record one settled request into the counters: its class outcome and,
+/// when shed, the reason breakdown.
+pub(crate) fn record_outcome(
+    counters: &mut ServingCounters,
+    class: Priority,
+    shed: Option<ShedReason>,
+) {
+    match (shed, class) {
+        (Some(_), Priority::Interactive) => counters.shed_interactive += 1,
+        (Some(_), Priority::Bulk) => counters.shed_bulk += 1,
+        (None, Priority::Interactive) => counters.completed_interactive += 1,
+        (None, Priority::Bulk) => counters.completed_bulk += 1,
+    }
+    match shed {
+        Some(ShedReason::Overload) => counters.shed_overload += 1,
+        Some(ShedReason::Deadline) => counters.shed_deadline += 1,
+        Some(ShedReason::LlmPressure) => counters.shed_llm += 1,
+        Some(ShedReason::WorkerPanic) => counters.shed_panic += 1,
+        Some(ShedReason::Cancelled) => counters.shed_cancelled += 1,
+        Some(ShedReason::Drain) => counters.shed_drain += 1,
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(id: u64, class: Priority, arrived_at: f64, deadline: f64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            class,
+            query: format!("q{id}"),
+            arrived_at,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn empty_queue_plans_nothing() {
+        let config = ServingConfig::default();
+        let mut queue = AdmissionQueue::new(4, 4);
+        let mut counters = ServingCounters::default();
+        assert!(plan_batch(&mut queue, &config, 0.0, &mut counters).is_none());
+        assert_eq!(counters.batches, 0);
+    }
+
+    #[test]
+    fn rung_2b_sheds_what_the_conservative_projection_misses() {
+        // A batch where the rung-2 projection (full-service compute
+        // only) fits the deadline but the actual plan — which also pays
+        // for the overload sheds' degraded searches — does not.
+        let config = ServingConfig {
+            shed_depth: 0,
+            ..ServingConfig::default()
+        };
+        let service = &config.service;
+        let mut queue = AdmissionQueue::new(8, 8);
+        // One full-service interactive request plus bulk overload sheds.
+        let projection =
+            service.embed_base_secs + (service.embed_per_query_secs + service.hybrid_search_secs);
+        // Deadline between the projection and the true completion.
+        let deadline = projection + service.degraded_search_secs;
+        queue
+            .admit(queued(0, Priority::Interactive, 0.0, deadline), 0.0)
+            .unwrap();
+        for id in 1..=2 {
+            queue
+                .admit(queued(id, Priority::Bulk, 0.0, 100.0), 0.0)
+                .unwrap();
+        }
+        let mut counters = ServingCounters::default();
+        let plan = plan_batch(&mut queue, &config, 0.0, &mut counters).unwrap();
+        assert_eq!(plan.shed[0], Some(ShedReason::Deadline), "caught at 2b");
+        assert_eq!(plan.shed[1], Some(ShedReason::Overload));
+        assert_eq!(plan.shed[2], Some(ShedReason::Overload));
+        assert!(plan.full_queries().is_empty(), "never served, never cached");
+    }
+
+    #[test]
+    fn settle_refuses_to_generate_past_the_deadline() {
+        let config = ServingConfig::default();
+        let generation = GenerationLeg::new(&config.service);
+        let request = queued(0, Priority::Interactive, 0.0, 1.0);
+        let answer = ServedAnswer {
+            hits: Vec::new(),
+            degradation: crate::resilience::Degradation::default(),
+        };
+        let (late, finished, reason) = settle_full(&generation, &request, answer.clone(), 1.5);
+        assert_eq!(reason, Some(ShedReason::Deadline));
+        assert!(late.degradation.llm_fallback, "extractive fallback");
+        assert_eq!(finished, 1.5, "no generation latency spent");
+        let (ok, _, reason) = settle_full(&generation, &request, answer, 0.5);
+        assert_eq!(reason, None);
+        assert!(!ok.degradation.is_degraded());
+    }
+
+    #[test]
+    fn record_outcome_maps_every_reason() {
+        let mut counters = ServingCounters::default();
+        record_outcome(&mut counters, Priority::Interactive, None);
+        record_outcome(&mut counters, Priority::Bulk, Some(ShedReason::Overload));
+        record_outcome(&mut counters, Priority::Bulk, Some(ShedReason::Deadline));
+        record_outcome(
+            &mut counters,
+            Priority::Interactive,
+            Some(ShedReason::LlmPressure),
+        );
+        record_outcome(
+            &mut counters,
+            Priority::Interactive,
+            Some(ShedReason::WorkerPanic),
+        );
+        record_outcome(&mut counters, Priority::Bulk, Some(ShedReason::Cancelled));
+        record_outcome(&mut counters, Priority::Bulk, Some(ShedReason::Drain));
+        assert_eq!(counters.completed_interactive, 1);
+        assert_eq!(counters.shed_interactive, 2);
+        assert_eq!(counters.shed_bulk, 4);
+        assert_eq!(counters.shed_overload, 1);
+        assert_eq!(counters.shed_deadline, 1);
+        assert_eq!(counters.shed_llm, 1);
+        assert_eq!(counters.shed_panic, 1);
+        assert_eq!(counters.shed_cancelled, 1);
+        assert_eq!(counters.shed_drain, 1);
+        assert_eq!(counters.shed(), 6);
+    }
+
+    #[test]
+    fn plan_matches_the_documented_cost_model() {
+        let config = ServingConfig::default();
+        let service = &config.service;
+        let mut queue = AdmissionQueue::new(8, 8);
+        for id in 0..3 {
+            queue
+                .admit(queued(id, Priority::Interactive, 0.0, 100.0), 0.0)
+                .unwrap();
+        }
+        let mut counters = ServingCounters::default();
+        let plan = plan_batch(&mut queue, &config, 0.1, &mut counters).unwrap();
+        let expected = service.embed_base_secs
+            + 3.0 * (service.embed_per_query_secs + service.hybrid_search_secs);
+        assert!((plan.busy_secs - expected).abs() < 1e-12);
+        assert_eq!(plan.full_queries().len(), 3);
+        assert_eq!(counters.dispatched, 3);
+        assert_eq!(counters.max_batch, 3);
+    }
+}

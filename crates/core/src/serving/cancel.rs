@@ -1,0 +1,183 @@
+//! Cooperative cancellation for in-flight requests.
+//!
+//! The real-thread executor cannot preempt a worker, so cancellation is
+//! a contract: long-running service paths call
+//! [`RequestCancel::checkpoint`] at each stage boundary
+//! (embed → retrieve → rerank → generate), and the checkpoint refuses
+//! to proceed once the request's [`CancelToken`] has been tripped *or*
+//! its deadline has passed on the governing clock. That gives both
+//! halves of the robustness story a single mechanism: the watchdog
+//! force-cancels a hung request by tripping its token, and a request
+//! that outlives its deadline stops burning CPU at the next boundary
+//! instead of completing uselessly late.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::clock::Clock;
+
+/// A pipeline stage boundary where cancellation is honored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStage {
+    /// Before embedding the query.
+    Embed,
+    /// Before running retrieval (both legs).
+    Retrieve,
+    /// Before (or just after) semantic reranking.
+    Rerank,
+    /// Before the LLM generation leg.
+    Generate,
+}
+
+impl ServeStage {
+    /// Stable lowercase name (logs, errors).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeStage::Embed => "embed",
+            ServeStage::Retrieve => "retrieve",
+            ServeStage::Rerank => "rerank",
+            ServeStage::Generate => "generate",
+        }
+    }
+}
+
+/// A request was cancelled at a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The boundary at which the cancellation was observed.
+    pub stage: ServeStage,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request cancelled at the {} stage", self.stage.label())
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A shared one-way cancellation flag. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-tripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token. Idempotent; never un-trips.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// The per-request cancellation context a worker threads through the
+/// service path: the request's token plus its deadline on the governing
+/// clock.
+pub struct RequestCancel<'a> {
+    token: &'a CancelToken,
+    clock: &'a dyn Clock,
+    deadline: f64,
+}
+
+impl<'a> RequestCancel<'a> {
+    /// A context for one request.
+    pub fn new(token: &'a CancelToken, clock: &'a dyn Clock, deadline: f64) -> Self {
+        RequestCancel {
+            token,
+            clock,
+            deadline,
+        }
+    }
+
+    /// The request's absolute deadline, clock seconds.
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// Whether the token has been tripped (watchdog or drain). A cheap
+    /// atomic load an engine can poll *inside* a long stage, between
+    /// the full checkpoints at stage boundaries.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// Honor cancellation at a stage boundary: refuse to proceed if the
+    /// token was tripped or the deadline has passed. Deadlines are
+    /// re-checked here at *every* boundary, not just at dispatch, so a
+    /// request can never complete (and be cached) long after its
+    /// deadline.
+    pub fn checkpoint(&self, stage: ServeStage) -> Result<(), Cancelled> {
+        if self.token.is_cancelled() || self.clock.now() > self.deadline {
+            return Err(Cancelled { stage });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    #[test]
+    fn fresh_token_passes_checkpoints() {
+        let clock = SimClock::new();
+        let token = CancelToken::new();
+        let cancel = RequestCancel::new(&token, &clock, 10.0);
+        for stage in [
+            ServeStage::Embed,
+            ServeStage::Retrieve,
+            ServeStage::Rerank,
+            ServeStage::Generate,
+        ] {
+            assert!(cancel.checkpoint(stage).is_ok());
+        }
+    }
+
+    #[test]
+    fn tripped_token_fails_at_the_named_stage() {
+        let clock = SimClock::new();
+        let token = CancelToken::new();
+        let shared = token.clone();
+        let cancel = RequestCancel::new(&token, &clock, 10.0);
+        assert!(cancel.checkpoint(ServeStage::Embed).is_ok());
+        shared.cancel();
+        let err = cancel.checkpoint(ServeStage::Retrieve).unwrap_err();
+        assert_eq!(err.stage, ServeStage::Retrieve);
+        assert!(err.to_string().contains("retrieve"));
+        assert!(token.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn deadline_is_rechecked_at_every_boundary() {
+        let clock = SimClock::new();
+        let token = CancelToken::new();
+        let cancel = RequestCancel::new(&token, &clock, 5.0);
+        clock.set(5.0);
+        assert!(
+            cancel.checkpoint(ServeStage::Rerank).is_ok(),
+            "deadline is inclusive, matching admission"
+        );
+        clock.set(5.1);
+        let err = cancel.checkpoint(ServeStage::Generate).unwrap_err();
+        assert_eq!(err.stage, ServeStage::Generate);
+    }
+
+    #[test]
+    fn cancel_is_one_way() {
+        let token = CancelToken::new();
+        token.cancel();
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+}

@@ -8,6 +8,7 @@
 
 use uniask_search::hybrid::{HybridConfig, SearchHit, SearchIndex};
 
+use super::cancel::{Cancelled, RequestCancel, ServeStage};
 use crate::resilience::Degradation;
 
 /// A served (possibly degraded) retrieval answer.
@@ -21,7 +22,11 @@ pub struct ServedAnswer {
 }
 
 /// The retrieval surface the serving front-end drives.
-pub trait ServingEngine {
+///
+/// `Send + Sync` because the real-thread executor shares one engine
+/// across its worker pool; every shipped implementation is immutable
+/// after construction.
+pub trait ServingEngine: Send + Sync {
     /// Full-quality answers for a batch of admitted queries, in order.
     /// Implementations amortize shared work (embedding) across the
     /// batch but must return byte-identical answers to serving each
@@ -31,6 +36,30 @@ pub trait ServingEngine {
     /// The load-shedding path: a cheap BM25-only answer, flagged
     /// degraded, bypassing the query cache in both directions.
     fn serve_shed(&self, query: &str) -> ServedAnswer;
+
+    /// One full-quality answer with cooperative cancellation honored at
+    /// each stage boundary. Must return an answer byte-identical to
+    /// `serve_batch(&[query])` when not cancelled — the differential
+    /// harness holds the executor (which serves through this) to the
+    /// sim front-end (which serves through `serve_batch`).
+    ///
+    /// The default bounds cancellation at batch granularity; engines
+    /// with real stage structure override it to checkpoint between
+    /// stages.
+    fn serve_cancellable(
+        &self,
+        query: &str,
+        cancel: &RequestCancel<'_>,
+    ) -> Result<ServedAnswer, Cancelled> {
+        cancel.checkpoint(ServeStage::Embed)?;
+        let answer = self
+            .serve_batch(std::slice::from_ref(&query.to_string()))
+            .into_iter()
+            .next()
+            .expect("engine returns one answer per query");
+        cancel.checkpoint(ServeStage::Rerank)?;
+        Ok(answer)
+    }
 }
 
 /// A no-op engine for envelope simulations: answers are empty, only
@@ -116,11 +145,58 @@ impl ServingEngine for SearchIndexEngine<'_> {
             degradation: shed_degradation(),
         }
     }
+
+    fn serve_cancellable(
+        &self,
+        query: &str,
+        cancel: &RequestCancel<'_>,
+    ) -> Result<ServedAnswer, Cancelled> {
+        // The staged path: embed, then search (both legs + rerank),
+        // checkpointing between stages. `search_with_vector` with the
+        // precomputed vector ranks byte-identically to `search_batch` —
+        // the vector cache only skips recomputation, never changes the
+        // ranking — so the differential contract holds.
+        cancel.checkpoint(ServeStage::Embed)?;
+        let vector = self
+            .hybrid
+            .use_vector
+            .then(|| self.index.embedder().embed(query));
+        cancel.checkpoint(ServeStage::Retrieve)?;
+        let hits = self
+            .index
+            .search_with_vector(query, vector.as_deref(), &self.hybrid);
+        cancel.checkpoint(ServeStage::Rerank)?;
+        Ok(ServedAnswer {
+            hits,
+            degradation: Degradation::default(),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::SimClock;
+    use crate::serving::cancel::CancelToken;
+
+    #[test]
+    fn cancellable_path_matches_batch_and_honors_the_token() {
+        let engine = SyntheticEngine;
+        let clock = SimClock::new();
+        let token = CancelToken::new();
+        let cancel = RequestCancel::new(&token, &clock, 10.0);
+        let staged = engine.serve_cancellable("una domanda", &cancel).unwrap();
+        let batched = engine
+            .serve_batch(&["una domanda".to_string()])
+            .pop()
+            .unwrap();
+        assert_eq!(staged, batched, "cancellable path is byte-identical");
+        token.cancel();
+        let err = engine
+            .serve_cancellable("una domanda", &cancel)
+            .unwrap_err();
+        assert_eq!(err.stage, ServeStage::Embed, "refused at the first stage");
+    }
 
     #[test]
     fn synthetic_engine_flags_shed_answers_degraded() {

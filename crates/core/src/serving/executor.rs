@@ -1,0 +1,988 @@
+//! The real-thread serving executor.
+//!
+//! Everything up to PR 6 proves the serving contract on the simulated
+//! clock; this module proves it against the operating system. A
+//! [`ServingExecutor`] runs the *same* admission queues, shed ladder,
+//! cost model and LLM settlement (all shared via [`super::batch`])
+//! behind a pool of real worker threads, and adds the four robustness
+//! mechanisms a deterministic sim never exercises:
+//!
+//! * **Panic isolation** — each work item runs under `catch_unwind`;
+//!   a panicking worker records a counted, degradation-flagged
+//!   [`ShedReason::WorkerPanic`] answer for its request, retires, and
+//!   is replaced by a fresh thread. A panic never wedges the batch, the
+//!   queue, or the caller.
+//! * **Cooperative cancellation** — each work item carries a
+//!   [`CancelToken`]; engines honor it (and re-check the deadline) at
+//!   every stage boundary via
+//!   [`ServingEngine::serve_cancellable`]. Cancelled requests settle as
+//!   [`ShedReason::Cancelled`] degraded answers.
+//! * **Watchdog deadlines** — a watchdog thread scans the in-flight
+//!   registry and force-cancels any request running past its deadline
+//!   by a grace factor of its class budget, counting it in
+//!   `hung_workers`. The cancel lands at the hung worker's next
+//!   checkpoint — which is why the engine contract requires
+//!   checkpoints.
+//! * **Graceful drain** — on shutdown the executor stops admitting,
+//!   dispatches the backlog window-free until empty or the (real-time)
+//!   drain deadline, sheds the remainder as [`ShedReason::Drain`]
+//!   answers, cancels stragglers, joins every thread, and finally runs
+//!   the caller's durability flush hook. Every admitted request is
+//!   exactly one of completed / shed / expired — never dropped.
+//!
+//! Two modes pin the executor to the sim. In [`ExecutorMode::Stepped`]
+//! the caller owns a [`SimClock`] and drives dispatch explicitly with
+//! [`ExecutorHandle::step`]; work still runs on real threads, but time
+//! is frozen per step and settlement is sequential in slot order, so
+//! per-request outcomes are *identical* to
+//! [`ServingFrontend::dispatch`] — the differential harness in
+//! `tests/executor.rs` asserts exactly that. In
+//! [`ExecutorMode::FreeRunning`] an internal dispatcher thread runs the
+//! same loop against a [`WallClock`], which is the mode the real-clock
+//! saturation smoke and the ops runbook describe.
+//!
+//! [`SimClock`]: crate::clock::SimClock
+//! [`WallClock`]: crate::clock::WallClock
+//! [`ServingFrontend::dispatch`]: super::frontend::ServingFrontend::dispatch
+//! [`ServingEngine::serve_cancellable`]: super::engine::ServingEngine::serve_cancellable
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::mem;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use super::admission::{AdmissionQueue, AdmitError};
+use super::batch::{
+    plan_batch, record_outcome, settle_full, submit_request, GenerationLeg, PlannedBatch,
+};
+use super::cancel::{CancelToken, RequestCancel};
+use super::engine::{shed_degradation, ServedAnswer, ServingEngine};
+use super::frontend::{BatchOutcome, CompletedRequest, ServingCounters, ShedReason};
+use super::{Priority, ServingConfig};
+use crate::clock::Clock;
+use crate::resilience::{FaultPlan, FaultPoint};
+
+/// Worker-pool and shutdown tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorConfig {
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Real-time budget for the drain phase of shutdown, seconds. When
+    /// it runs out, the remaining backlog is shed ([`ShedReason::Drain`])
+    /// instead of served.
+    pub drain_deadline_secs: f64,
+    /// Grace factor before the watchdog declares a request hung: the
+    /// threshold is `deadline + grace × class_deadline_budget`.
+    pub watchdog_grace: f64,
+    /// Watchdog scan interval, real seconds. `0.0` disables the
+    /// watchdog thread.
+    pub watchdog_poll_secs: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 4,
+            drain_deadline_secs: 5.0,
+            watchdog_grace: 0.5,
+            watchdog_poll_secs: 0.01,
+        }
+    }
+}
+
+/// Who advances the dispatch loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// The caller drives dispatch with [`ExecutorHandle::step`] against
+    /// a clock it owns (typically a [`SimClock`]). Lockstep: each step
+    /// dispatches at most one batch and returns its outcomes. This is
+    /// the differential-testing mode.
+    ///
+    /// [`SimClock`]: crate::clock::SimClock
+    Stepped,
+    /// An internal dispatcher thread runs the batch loop against the
+    /// executor's clock, which must move on its own — use a
+    /// [`WallClock`]. Outcomes accumulate for
+    /// [`ExecutorHandle::take_completed`].
+    ///
+    /// [`WallClock`]: crate::clock::WallClock
+    FreeRunning,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitError {
+    /// Admission control refused the request (full queue or dead on
+    /// arrival); the id was still consumed, matching the front-end.
+    Rejected(AdmitError),
+    /// The executor is draining or stopped; no id was consumed.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Rejected(err) => write!(f, "rejected: {err}"),
+            SubmitError::ShuttingDown => write!(f, "the executor is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What the graceful drain accomplished.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Final cumulative counters (including queue high-water marks).
+    pub counters: ServingCounters,
+    /// Requests settled after the caller's body returned: backlog
+    /// served during the drain window plus the drain-shed remainder,
+    /// and (in free-running mode) any outcomes the caller had not yet
+    /// taken.
+    pub drained: Vec<CompletedRequest>,
+    /// Requests shed with [`ShedReason::Drain`] because the drain
+    /// deadline ran out before they could be served.
+    pub shed_on_drain: u64,
+    /// Real seconds the drain took.
+    pub drain_elapsed_secs: f64,
+    /// LSN reported by the durability flush hook, when one ran.
+    pub flushed_lsn: Option<u64>,
+}
+
+/// A durability hook run after every thread has been joined — flush
+/// the WAL, write a checkpoint — returning the checkpoint LSN if one
+/// was written.
+pub type FlushHook<'a> = Box<dyn FnOnce() -> Option<u64> + 'a>;
+
+/// Lifecycle of the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Draining,
+    Stopped,
+}
+
+/// What a worker produced for one work item.
+enum ItemResult {
+    /// Full-service answer, to be settled through the LLM leg.
+    Answer(ServedAnswer),
+    /// Planned shed, served on the cheap path.
+    Shed(ServedAnswer),
+    /// Cancelled at a stage boundary (watchdog, deadline, or drain).
+    Cancelled,
+    /// The worker panicked mid-serve.
+    Panicked,
+}
+
+/// One unit of worker work: a slot of the in-flight batch.
+struct WorkItem {
+    slot: usize,
+    request_id: u64,
+    query: String,
+    planned_shed: Option<ShedReason>,
+    token: CancelToken,
+    deadline: f64,
+}
+
+/// The batch currently being executed by the pool.
+struct BatchState {
+    results: Vec<Option<ItemResult>>,
+    remaining: usize,
+}
+
+/// A request the watchdog is supervising.
+struct InflightEntry {
+    token: CancelToken,
+    deadline: f64,
+    /// The class deadline budget, for the grace computation.
+    budget: f64,
+    hung: bool,
+}
+
+/// Mutable state under the executor lock.
+struct Core {
+    phase: Phase,
+    queue: AdmissionQueue,
+    counters: ServingCounters,
+    next_id: u64,
+    server_free_at: f64,
+    work: VecDeque<WorkItem>,
+    batch: Option<BatchState>,
+    inflight: HashMap<u64, InflightEntry>,
+    generation: GenerationLeg,
+    /// Outcomes not yet taken by the caller (free-running mode).
+    completed: Vec<CompletedRequest>,
+    dispatcher_parked: bool,
+}
+
+/// Everything the threads share.
+struct Shared<'a> {
+    state: Mutex<Core>,
+    /// Signalled when work items are queued or the phase changes.
+    work_ready: Condvar,
+    /// Signalled when a work item finishes.
+    batch_done: Condvar,
+    /// Signalled on submissions and phase changes (dispatcher, watchdog).
+    queue_cv: Condvar,
+    config: ExecutorConfig,
+    serving: ServingConfig,
+    engine: &'a dyn ServingEngine,
+    clock: &'a dyn Clock,
+    fault: Option<&'a FaultPlan>,
+}
+
+/// The real-thread execution engine behind the admission contract. A
+/// builder: configure, then [`run`](ServingExecutor::run) a body
+/// against the live pool.
+pub struct ServingExecutor<'a> {
+    executor: ExecutorConfig,
+    serving: ServingConfig,
+    engine: &'a dyn ServingEngine,
+    clock: &'a dyn Clock,
+    mode: ExecutorMode,
+    fault: Option<&'a FaultPlan>,
+    flush: Option<FlushHook<'a>>,
+}
+
+impl<'a> ServingExecutor<'a> {
+    /// An executor over `engine`, timed by `clock`, in
+    /// [`ExecutorMode::Stepped`] with default pool tunables.
+    pub fn new(
+        serving: ServingConfig,
+        engine: &'a dyn ServingEngine,
+        clock: &'a dyn Clock,
+    ) -> Self {
+        ServingExecutor {
+            executor: ExecutorConfig::default(),
+            serving,
+            engine,
+            clock,
+            mode: ExecutorMode::Stepped,
+            fault: None,
+            flush: None,
+        }
+    }
+
+    /// Override the pool and shutdown tunables.
+    pub fn executor(mut self, config: ExecutorConfig) -> Self {
+        self.executor = config;
+        self
+    }
+
+    /// Select the dispatch mode.
+    pub fn mode(mut self, mode: ExecutorMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Inject faults: workers consult `plan` at
+    /// [`FaultPoint::WorkerServe`] before serving each item.
+    pub fn fault(mut self, plan: &'a FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Run `hook` after drain has joined every thread (WAL flush /
+    /// checkpoint; see [`Durability::flush_on_drain`]).
+    ///
+    /// [`Durability::flush_on_drain`]: crate::durability::Durability::flush_on_drain
+    pub fn flush(mut self, hook: FlushHook<'a>) -> Self {
+        self.flush = Some(hook);
+        self
+    }
+
+    /// Bring the pool up, run `body` against it, then drain gracefully
+    /// and join every thread. Returns the body's value and the
+    /// [`DrainReport`].
+    pub fn run<T>(self, body: impl FnOnce(&ExecutorHandle<'_>) -> T) -> (T, DrainReport) {
+        let shared = Shared {
+            state: Mutex::new(Core {
+                phase: Phase::Running,
+                queue: AdmissionQueue::new(
+                    self.serving.interactive.queue_capacity,
+                    self.serving.bulk.queue_capacity,
+                ),
+                counters: ServingCounters::default(),
+                next_id: 0,
+                server_free_at: 0.0,
+                work: VecDeque::new(),
+                batch: None,
+                inflight: HashMap::new(),
+                generation: GenerationLeg::new(&self.serving.service),
+                completed: Vec::new(),
+                dispatcher_parked: self.mode == ExecutorMode::Stepped,
+            }),
+            work_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+            queue_cv: Condvar::new(),
+            config: self.executor,
+            serving: self.serving,
+            engine: self.engine,
+            clock: self.clock,
+            fault: self.fault,
+        };
+        let mode = self.mode;
+        let (out, drained, shed_on_drain, drain_elapsed_secs) = std::thread::scope(|scope| {
+            for _ in 0..self.executor.workers.max(1) {
+                spawn_worker(scope, &shared);
+            }
+            if self.executor.watchdog_poll_secs > 0.0 {
+                let watchdog = &shared;
+                scope.spawn(move || watchdog_loop(watchdog));
+            }
+            if mode == ExecutorMode::FreeRunning {
+                let dispatcher = &shared;
+                scope.spawn(move || dispatcher_loop(dispatcher));
+            }
+            let handle = ExecutorHandle { shared: &shared };
+            let out = body(&handle);
+            let (drained, shed_on_drain, elapsed) = drain(&shared);
+            (out, drained, shed_on_drain, elapsed)
+        });
+        let flushed_lsn = self.flush.and_then(|hook| hook());
+        let counters = counters_snapshot(&shared);
+        (
+            out,
+            DrainReport {
+                counters,
+                drained,
+                shed_on_drain,
+                drain_elapsed_secs,
+                flushed_lsn,
+            },
+        )
+    }
+}
+
+/// The caller's view of a live executor.
+pub struct ExecutorHandle<'e> {
+    shared: &'e Shared<'e>,
+}
+
+impl ExecutorHandle<'_> {
+    /// Submit a request at `now`. Identical admission decisions (and id
+    /// allocation) to [`ServingFrontend::submit`]; additionally refuses
+    /// with [`SubmitError::ShuttingDown`] once drain has begun.
+    ///
+    /// [`ServingFrontend::submit`]: super::frontend::ServingFrontend::submit
+    pub fn submit(&self, query: &str, class: Priority, now: f64) -> Result<u64, SubmitError> {
+        let mut core = self.shared.state.lock();
+        if core.phase != Phase::Running {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let Core {
+            queue,
+            counters,
+            next_id,
+            ..
+        } = &mut *core;
+        let outcome = submit_request(
+            queue,
+            &self.shared.serving,
+            counters,
+            next_id,
+            query,
+            class,
+            now,
+        )
+        .map_err(SubmitError::Rejected);
+        self.shared.queue_cv.notify_all();
+        outcome
+    }
+
+    /// When the dispatcher next wants to run, by the same rule as
+    /// [`ServingFrontend::next_dispatch_at`].
+    ///
+    /// [`ServingFrontend::next_dispatch_at`]: super::frontend::ServingFrontend::next_dispatch_at
+    pub fn next_dispatch_at(&self, now: f64) -> Option<f64> {
+        let core = self.shared.state.lock();
+        next_dispatch_at(&core, &self.shared.serving, now)
+    }
+
+    /// Dispatch one batch at `now` and block until the pool has
+    /// executed and settled it ([`ExecutorMode::Stepped`] only).
+    /// Mirrors [`ServingFrontend::dispatch`] outcome-for-outcome.
+    ///
+    /// [`ServingFrontend::dispatch`]: super::frontend::ServingFrontend::dispatch
+    pub fn step(&self, now: f64) -> BatchOutcome {
+        match dispatch_once(self.shared, now, None) {
+            Some(outcome) => outcome,
+            None => BatchOutcome {
+                busy_until: self.shared.state.lock().server_free_at,
+                ..BatchOutcome::default()
+            },
+        }
+    }
+
+    /// Take the outcomes settled since the last call
+    /// ([`ExecutorMode::FreeRunning`]; in stepped mode [`step`] returns
+    /// them directly).
+    ///
+    /// [`step`]: ExecutorHandle::step
+    pub fn take_completed(&self) -> Vec<CompletedRequest> {
+        mem::take(&mut self.shared.state.lock().completed)
+    }
+
+    /// Cumulative counters, including queue high-water marks.
+    pub fn counters(&self) -> ServingCounters {
+        counters_snapshot(self.shared)
+    }
+
+    /// Requests currently queued (not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().queue.depth()
+    }
+
+    /// When the modeled server is next free.
+    pub fn server_free_at(&self) -> f64 {
+        self.shared.state.lock().server_free_at
+    }
+}
+
+fn counters_snapshot(shared: &Shared<'_>) -> ServingCounters {
+    let core = shared.state.lock();
+    ServingCounters {
+        queue_high_water_interactive: core.queue.high_water(Priority::Interactive),
+        queue_high_water_bulk: core.queue.high_water(Priority::Bulk),
+        ..core.counters
+    }
+}
+
+fn next_dispatch_at(core: &Core, serving: &ServingConfig, now: f64) -> Option<f64> {
+    let oldest = core.queue.oldest_arrival()?;
+    let ready = if core.queue.depth() >= serving.max_batch_size {
+        now
+    } else {
+        oldest + serving.batch_window_secs
+    };
+    Some(ready.max(core.server_free_at).max(now))
+}
+
+/// Spawn one worker into `scope`. Re-entrant: a worker that catches a
+/// panic calls this to spawn its own replacement before retiring.
+fn spawn_worker<'scope, 'a>(scope: &'scope Scope<'scope, '_>, shared: &'a Shared<'a>)
+where
+    'a: 'scope,
+{
+    scope.spawn(move || worker_loop(scope, shared));
+}
+
+fn worker_loop<'scope, 'a>(scope: &'scope Scope<'scope, '_>, shared: &'a Shared<'a>)
+where
+    'a: 'scope,
+{
+    loop {
+        let item = {
+            let mut core = shared.state.lock();
+            loop {
+                if let Some(item) = core.work.pop_front() {
+                    break item;
+                }
+                if core.phase == Phase::Stopped {
+                    return;
+                }
+                shared.work_ready.wait(&mut core);
+            }
+        };
+        // Panic isolation: the serve call runs under `catch_unwind`, so
+        // a panicking engine (or an injected worker fault) produces a
+        // recorded result and a replacement thread, never a wedged
+        // batch. `AssertUnwindSafe` is sound here: the closure only
+        // touches `&item` and the engine, and a panicked item's state
+        // is discarded wholesale (its slot settles as `Panicked`).
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_item(shared, &item)));
+        let panicked = outcome.is_err();
+        let result = outcome.unwrap_or(ItemResult::Panicked);
+        {
+            let mut core = shared.state.lock();
+            core.inflight.remove(&item.request_id);
+            let batch = core.batch.as_mut().expect("a batch is in flight");
+            batch.results[item.slot] = Some(result);
+            batch.remaining -= 1;
+            if panicked {
+                core.counters.workers_replaced += 1;
+            }
+            shared.batch_done.notify_all();
+        }
+        if panicked {
+            // This thread's stack just unwound through engine code;
+            // retire it and hand the queue to a fresh replacement.
+            spawn_worker(scope, shared);
+            return;
+        }
+    }
+}
+
+fn execute_item(shared: &Shared<'_>, item: &WorkItem) -> ItemResult {
+    if let Some(plan) = shared.fault {
+        // A `Panic` window at the worker-serve point panics inside
+        // `check` itself; a `Fail` window surfaces as `Err` and is
+        // promoted to a panic here — both model the same failure mode
+        // for a worker. Delay windows have nowhere to surface (serving
+        // is cost-modeled, not wall-timed), mirroring the search hook.
+        if let Err(fault) = plan.check(FaultPoint::WorkerServe) {
+            panic!(
+                "injected worker fault at {} (call {})",
+                fault.point.name(),
+                fault.call
+            );
+        }
+    }
+    if item.planned_shed.is_some() {
+        // The shed path is cheap and cache-bypassing; no checkpoints.
+        return ItemResult::Shed(shared.engine.serve_shed(&item.query));
+    }
+    let cancel = RequestCancel::new(&item.token, shared.clock, item.deadline);
+    match shared.engine.serve_cancellable(&item.query, &cancel) {
+        Ok(answer) => ItemResult::Answer(answer),
+        Err(_) => ItemResult::Cancelled,
+    }
+}
+
+/// Plan, execute and settle one batch at `now`. Blocks until the pool
+/// has finished every item. `None` when nothing live was queued.
+///
+/// Settlement is sequential in slot order under the lock, so the LLM
+/// token bucket sees the same call order as the front-end — that is
+/// what makes per-request outcomes differentially identical.
+fn dispatch_once(
+    shared: &Shared<'_>,
+    now: f64,
+    drain_deadline: Option<Instant>,
+) -> Option<BatchOutcome> {
+    let mut core = shared.state.lock();
+    debug_assert!(core.batch.is_none(), "one batch at a time");
+    let plan = {
+        let Core {
+            queue, counters, ..
+        } = &mut *core;
+        plan_batch(queue, &shared.serving, now, counters)?
+    };
+    let local_done = now + plan.busy_secs;
+    core.server_free_at = local_done;
+    let count = plan.requests.len();
+    for (slot, (request, planned_shed)) in plan.requests.iter().zip(&plan.shed).enumerate() {
+        let token = CancelToken::new();
+        core.inflight.insert(
+            request.id,
+            InflightEntry {
+                token: token.clone(),
+                deadline: request.deadline,
+                budget: shared.serving.policy(request.class).deadline_secs,
+                hung: false,
+            },
+        );
+        core.work.push_back(WorkItem {
+            slot,
+            request_id: request.id,
+            query: request.query.clone(),
+            planned_shed: *planned_shed,
+            token,
+            deadline: request.deadline,
+        });
+    }
+    core.batch = Some(BatchState {
+        results: (0..count).map(|_| None).collect(),
+        remaining: count,
+    });
+    shared.work_ready.notify_all();
+    while core.batch.as_ref().expect("batch in flight").remaining > 0 {
+        match drain_deadline {
+            // During drain, a hung worker must not block shutdown
+            // forever: once the drain deadline passes, cancel whatever
+            // is still in flight each poll, and rely on the engine's
+            // cooperative checkpoints to return.
+            Some(deadline) => {
+                if Instant::now() >= deadline {
+                    for entry in core.inflight.values() {
+                        entry.token.cancel();
+                    }
+                }
+                shared
+                    .batch_done
+                    .wait_for(&mut core, Duration::from_millis(20));
+            }
+            None => shared.batch_done.wait(&mut core),
+        }
+    }
+    let batch = core.batch.take().expect("batch in flight");
+    Some(settle_batch(&mut core, &plan, batch, local_done))
+}
+
+fn settle_batch(
+    core: &mut Core,
+    plan: &PlannedBatch,
+    batch: BatchState,
+    local_done: f64,
+) -> BatchOutcome {
+    let mut completed = Vec::with_capacity(plan.requests.len());
+    let mut results = batch.results;
+    for (slot, (request, planned_shed)) in plan.requests.iter().zip(&plan.shed).enumerate() {
+        let result = results[slot].take().expect("every slot was executed");
+        let (answer, finished_at, shed_reason) = match result {
+            ItemResult::Answer(answer) => {
+                settle_full(&core.generation, request, answer, local_done)
+            }
+            ItemResult::Shed(answer) => (answer, local_done, *planned_shed),
+            ItemResult::Cancelled => (
+                ServedAnswer {
+                    hits: Vec::new(),
+                    degradation: shed_degradation(),
+                },
+                local_done,
+                Some(ShedReason::Cancelled),
+            ),
+            ItemResult::Panicked => (
+                ServedAnswer {
+                    hits: Vec::new(),
+                    degradation: shed_degradation(),
+                },
+                local_done,
+                Some(ShedReason::WorkerPanic),
+            ),
+        };
+        record_outcome(&mut core.counters, request.class, shed_reason);
+        completed.push(CompletedRequest {
+            id: request.id,
+            class: request.class,
+            latency_secs: finished_at - request.arrived_at,
+            answer,
+            shed: shed_reason,
+        });
+    }
+    BatchOutcome {
+        dispatched: plan.requests.len(),
+        completed,
+        busy_until: local_done,
+    }
+}
+
+/// The free-running dispatcher: the front-end's "when do I next run"
+/// loop against a self-moving clock.
+fn dispatcher_loop(shared: &Shared<'_>) {
+    loop {
+        let wait_secs = {
+            let mut core = shared.state.lock();
+            if core.phase != Phase::Running {
+                core.dispatcher_parked = true;
+                shared.queue_cv.notify_all();
+                return;
+            }
+            let now = shared.clock.now();
+            match next_dispatch_at(&core, &shared.serving, now) {
+                None => {
+                    // Idle: sleep until a submission (or shutdown)
+                    // wakes us.
+                    shared.queue_cv.wait(&mut core);
+                    continue;
+                }
+                Some(at) if at > now => at - now,
+                Some(_) => 0.0,
+            }
+        };
+        if wait_secs > 0.0 {
+            // Clock seconds are real seconds in free-running mode; a
+            // submission that completes a batch early wakes us through
+            // the condvar instead.
+            let mut core = shared.state.lock();
+            if core.phase != Phase::Running {
+                continue;
+            }
+            shared
+                .queue_cv
+                .wait_for(&mut core, Duration::from_secs_f64(wait_secs));
+            continue;
+        }
+        if let Some(outcome) = dispatch_once(shared, shared.clock.now(), None) {
+            shared.state.lock().completed.extend(outcome.completed);
+        }
+    }
+}
+
+/// The watchdog: scan the in-flight registry every poll and
+/// force-cancel requests running past `deadline + grace × budget`.
+fn watchdog_loop(shared: &Shared<'_>) {
+    let poll = Duration::from_secs_f64(shared.config.watchdog_poll_secs);
+    let mut core = shared.state.lock();
+    loop {
+        if core.phase == Phase::Stopped {
+            return;
+        }
+        let now = shared.clock.now();
+        let Core {
+            inflight, counters, ..
+        } = &mut *core;
+        for entry in inflight.values_mut() {
+            if !entry.hung && now > entry.deadline + shared.config.watchdog_grace * entry.budget {
+                entry.hung = true;
+                counters.hung_workers += 1;
+                entry.token.cancel();
+            }
+        }
+        // Real sleep, not `clock.wait`: on a SimClock the latter would
+        // advance simulated time out from under the driver.
+        shared.queue_cv.wait_for(&mut core, poll);
+    }
+}
+
+/// Graceful drain: stop admitting, serve the backlog window-free until
+/// empty or the drain deadline, shed the remainder, stop the pool.
+fn drain(shared: &Shared<'_>) -> (Vec<CompletedRequest>, u64, f64) {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(shared.config.drain_deadline_secs.max(0.0));
+    {
+        let mut core = shared.state.lock();
+        core.phase = Phase::Draining;
+        shared.queue_cv.notify_all();
+        // Wait the dispatcher out so drain is the only dispatcher.
+        while !core.dispatcher_parked {
+            shared.queue_cv.wait(&mut core);
+        }
+    }
+    let mut drained = {
+        let mut core = shared.state.lock();
+        mem::take(&mut core.completed)
+    };
+    let mut shed_on_drain = 0u64;
+    loop {
+        let backlog = shared.state.lock().queue.depth();
+        if backlog == 0 || Instant::now() >= deadline {
+            break;
+        }
+        if let Some(outcome) = dispatch_once(shared, shared.clock.now(), Some(deadline)) {
+            drained.extend(outcome.completed);
+        }
+    }
+    {
+        let mut core = shared.state.lock();
+        let now = shared.clock.now();
+        // Whatever the drain window could not serve is answered on the
+        // spot through the cheap path — shed, not dropped.
+        while let Some(request) = core.queue.pop() {
+            if request.expired(now) {
+                match request.class {
+                    Priority::Interactive => core.counters.expired_interactive += 1,
+                    Priority::Bulk => core.counters.expired_bulk += 1,
+                }
+                continue;
+            }
+            let answer = shared.engine.serve_shed(&request.query);
+            record_outcome(&mut core.counters, request.class, Some(ShedReason::Drain));
+            shed_on_drain += 1;
+            drained.push(CompletedRequest {
+                id: request.id,
+                class: request.class,
+                latency_secs: now - request.arrived_at,
+                answer,
+                shed: Some(ShedReason::Drain),
+            });
+        }
+        // Belt and braces: no batch can be in flight here, but any
+        // straggler token is cancelled before the pool stops.
+        for entry in core.inflight.values() {
+            entry.token.cancel();
+        }
+        core.phase = Phase::Stopped;
+        shared.work_ready.notify_all();
+        shared.queue_cv.notify_all();
+    }
+    (drained, shed_on_drain, started.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SimClock, WallClock};
+    use crate::serving::engine::SyntheticEngine;
+
+    fn serving() -> ServingConfig {
+        ServingConfig::default()
+    }
+
+    #[test]
+    fn stepped_executor_serves_a_quiet_request_like_the_frontend() {
+        let engine = SyntheticEngine;
+        let clock = SimClock::new();
+        let executor = ServingExecutor::new(serving(), &engine, &clock);
+        let (outcome, report) = executor.run(|handle| {
+            handle
+                .submit("saldo conto", Priority::Interactive, 0.0)
+                .unwrap();
+            let at = handle.next_dispatch_at(0.0).unwrap();
+            clock.set(at);
+            handle.step(at)
+        });
+        assert_eq!(outcome.dispatched, 1);
+        assert_eq!(outcome.completed.len(), 1);
+        assert!(outcome.completed[0].shed.is_none());
+        assert!(!outcome.completed[0].answer.degradation.is_degraded());
+        assert_eq!(report.counters.completed_interactive, 1);
+        assert!(report.drained.is_empty(), "nothing left to drain");
+        assert_eq!(report.shed_on_drain, 0);
+    }
+
+    #[test]
+    fn drain_settles_the_undispatched_backlog() {
+        let engine = SyntheticEngine;
+        let clock = SimClock::new();
+        let executor = ServingExecutor::new(serving(), &engine, &clock);
+        let ((), report) = executor.run(|handle| {
+            handle.submit("prima", Priority::Bulk, 0.0).unwrap();
+        });
+        // The body's request was admitted but never dispatched: drain
+        // must settle it (here: served, queue was shallow).
+        assert_eq!(report.counters.admitted(), 1);
+        assert_eq!(
+            report.counters.completed() + report.counters.shed() + report.counters.expired(),
+            1,
+            "drain settles the backlog"
+        );
+        assert_eq!(report.drained.len(), 1);
+    }
+
+    #[test]
+    fn panicking_engine_is_isolated_and_the_pool_self_heals() {
+        #[derive(Debug)]
+        struct PanicOnce;
+        impl ServingEngine for PanicOnce {
+            fn serve_batch(&self, queries: &[String]) -> Vec<ServedAnswer> {
+                queries
+                    .iter()
+                    .map(|q| {
+                        if q == "boom" {
+                            panic!("synthetic engine failure");
+                        }
+                        ServedAnswer {
+                            hits: Vec::new(),
+                            degradation: crate::resilience::Degradation::default(),
+                        }
+                    })
+                    .collect()
+            }
+            fn serve_shed(&self, _query: &str) -> ServedAnswer {
+                ServedAnswer {
+                    hits: Vec::new(),
+                    degradation: shed_degradation(),
+                }
+            }
+        }
+        let engine = PanicOnce;
+        let clock = SimClock::new();
+        let executor = ServingExecutor::new(serving(), &engine, &clock);
+        let (outcomes, report) = executor.run(|handle| {
+            handle.submit("boom", Priority::Interactive, 0.0).unwrap();
+            handle.submit("fine", Priority::Interactive, 0.0).unwrap();
+            clock.set(0.1);
+            let first = handle.step(0.1);
+            // The pool must still serve after the panic.
+            handle.submit("dopo", Priority::Interactive, 0.2).unwrap();
+            clock.set(0.4);
+            let second = handle.step(0.4);
+            (first, second)
+        });
+        let (first, second) = outcomes;
+        assert_eq!(first.completed.len(), 2, "panicked request still answered");
+        let boomed = first.completed.iter().find(|c| c.id == 0).unwrap();
+        assert_eq!(boomed.shed, Some(ShedReason::WorkerPanic));
+        assert!(boomed.answer.degradation.is_degraded());
+        let fine = first.completed.iter().find(|c| c.id == 1).unwrap();
+        assert!(fine.shed.is_none());
+        assert_eq!(second.completed.len(), 1, "pool healed");
+        assert!(second.completed[0].shed.is_none());
+        assert_eq!(report.counters.shed_panic, 1);
+        assert_eq!(report.counters.workers_replaced, 1);
+    }
+
+    #[test]
+    fn drain_deadline_sheds_the_backlog_instead_of_dropping_it() {
+        let engine = SyntheticEngine;
+        let clock = SimClock::new();
+        let executor = ServingExecutor::new(serving(), &engine, &clock).executor(ExecutorConfig {
+            drain_deadline_secs: 0.0,
+            ..ExecutorConfig::default()
+        });
+        let (admitted, report) = executor.run(|handle| {
+            let mut admitted = 0u64;
+            for i in 0..20 {
+                if handle.submit(&format!("q{i}"), Priority::Bulk, 0.0).is_ok() {
+                    admitted += 1;
+                }
+            }
+            admitted
+        });
+        assert_eq!(admitted, 20);
+        assert_eq!(report.shed_on_drain, 20, "zero drain budget: all shed");
+        assert!(report
+            .drained
+            .iter()
+            .all(|c| c.shed == Some(ShedReason::Drain)));
+        assert_eq!(
+            report.counters.completed() + report.counters.shed() + report.counters.expired(),
+            20,
+            "conservation across shutdown"
+        );
+    }
+
+    #[test]
+    fn watchdog_cancels_a_hung_worker() {
+        /// An engine stuck inside one stage: it only polls the token
+        /// (never the clock), so nothing but the watchdog's forced
+        /// cancel can unstick it.
+        #[derive(Debug)]
+        struct StallEngine;
+        impl ServingEngine for StallEngine {
+            fn serve_batch(&self, queries: &[String]) -> Vec<ServedAnswer> {
+                queries
+                    .iter()
+                    .map(|_| ServedAnswer {
+                        hits: Vec::new(),
+                        degradation: crate::resilience::Degradation::default(),
+                    })
+                    .collect()
+            }
+            fn serve_shed(&self, _query: &str) -> ServedAnswer {
+                ServedAnswer {
+                    hits: Vec::new(),
+                    degradation: shed_degradation(),
+                }
+            }
+            fn serve_cancellable(
+                &self,
+                _query: &str,
+                cancel: &RequestCancel<'_>,
+            ) -> Result<ServedAnswer, crate::serving::cancel::Cancelled> {
+                while !cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                cancel.checkpoint(crate::serving::cancel::ServeStage::Retrieve)?;
+                unreachable!("the checkpoint above observes the cancel");
+            }
+        }
+        let engine = StallEngine;
+        let clock = WallClock::new();
+        let mut config = serving();
+        // Deadline comfortably above one batch of modeled compute so
+        // the request is planned full-service, but short in real time.
+        config.interactive.deadline_secs = 0.2;
+        let executor = ServingExecutor::new(config, &engine, &clock).executor(ExecutorConfig {
+            watchdog_grace: 0.2,
+            watchdog_poll_secs: 0.005,
+            ..ExecutorConfig::default()
+        });
+        let (outcome, report) = executor.run(|handle| {
+            let now = clock.now();
+            handle
+                .submit("bloccata", Priority::Interactive, now)
+                .unwrap();
+            handle.step(now)
+        });
+        assert_eq!(outcome.completed.len(), 1);
+        assert_eq!(outcome.completed[0].shed, Some(ShedReason::Cancelled));
+        assert_eq!(report.counters.shed_cancelled, 1);
+        assert_eq!(report.counters.hung_workers, 1, "watchdog flagged it");
+    }
+}

@@ -11,12 +11,20 @@
 //! the LLM leg runs against the token-bucket envelope without
 //! occupying the server.
 //!
+//! The batch decisions themselves — the pop/expire loop, the shedding
+//! ladder, the cost model, LLM settlement — live in [`super::batch`],
+//! shared verbatim with the real-thread executor
+//! ([`super::executor`]): the differential harness holds the two to
+//! identical per-request outcomes.
+//!
 //! Shedding ladder, applied per dispatched batch:
 //! 1. queue depth above `shed_depth` → bulk requests in the batch are
 //!    shed to the degraded path (overload shed);
 //! 2. a request whose projected full-service completion would cross
-//!    its deadline is shed regardless of class (deadline shed) — the
-//!    estimate is taken against the batch as popped, conservatively;
+//!    its deadline is shed regardless of class (deadline shed) — first
+//!    against the batch as popped (conservative), then re-checked at
+//!    the generate boundary against the priced plan, so a request can
+//!    never complete past its deadline and be cached;
 //! 3. a full-service request whose generation hits the LLM rate limit
 //!    is answered extractively instead of failing (LLM-pressure shed).
 //!
@@ -26,13 +34,10 @@
 //!
 //! [`Degradation`]: crate::resilience::Degradation
 
-use uniask_llm::chat::{ChatMessage, ChatRequest};
-use uniask_llm::service::LlmService;
-
-use super::admission::{AdmissionQueue, AdmitError, QueuedRequest};
+use super::admission::{AdmissionQueue, AdmitError};
+use super::batch::{plan_batch, record_outcome, settle_full, submit_request, GenerationLeg};
 use super::engine::{ServedAnswer, ServingEngine};
 use super::{Priority, ServingConfig};
-use crate::loadtest::SyntheticModel;
 
 /// Why an answer was degraded instead of served in full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +48,16 @@ pub enum ShedReason {
     Deadline,
     /// The LLM envelope throttled the generation leg.
     LlmPressure,
+    /// The serving worker panicked mid-request; the pool isolated the
+    /// panic and answered degraded (real-thread executor only).
+    WorkerPanic,
+    /// The request was cancelled at a stage boundary — by the watchdog
+    /// after a hung worker, or by a deadline re-check mid-flight
+    /// (real-thread executor only).
+    Cancelled,
+    /// The request was shed by a graceful drain that hit its drain
+    /// deadline (real-thread executor only).
+    Drain,
 }
 
 /// Cumulative serving counters (the dashboard page and CI assertions
@@ -72,10 +87,21 @@ pub struct ServingCounters {
     pub completed_bulk: u64,
     /// Sheds caused by queue depth (reason breakdown).
     pub shed_overload: u64,
-    /// Sheds caused by deadline projection.
+    /// Sheds caused by deadline projection or the generate-boundary
+    /// re-check.
     pub shed_deadline: u64,
     /// Sheds caused by LLM throttling.
     pub shed_llm: u64,
+    /// Sheds caused by a worker panic (the pool self-healed).
+    pub shed_panic: u64,
+    /// Sheds caused by mid-flight cancellation (watchdog or deadline).
+    pub shed_cancelled: u64,
+    /// Sheds caused by a drain deadline at shutdown.
+    pub shed_drain: u64,
+    /// Workers the watchdog flagged as hung (past deadline plus grace).
+    pub hung_workers: u64,
+    /// Panicked workers replaced by fresh threads.
+    pub workers_replaced: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Requests dispatched across all batches (shed or full).
@@ -107,6 +133,11 @@ impl ServingCounters {
     /// Total shed (degraded but answered) across classes.
     pub fn shed(&self) -> u64 {
         self.shed_interactive + self.shed_bulk
+    }
+
+    /// Total answered full-quality across classes.
+    pub fn completed(&self) -> u64 {
+        self.completed_interactive + self.completed_bulk
     }
 
     /// Mean batch size over all dispatches.
@@ -150,8 +181,7 @@ pub struct ServingFrontend<'a> {
     config: ServingConfig,
     queue: AdmissionQueue,
     engine: &'a dyn ServingEngine,
-    llm: LlmService<SyntheticModel>,
-    generation_request: ChatRequest,
+    generation: GenerationLeg,
     counters: ServingCounters,
     next_id: u64,
     server_free_at: f64,
@@ -160,24 +190,13 @@ pub struct ServingFrontend<'a> {
 impl<'a> ServingFrontend<'a> {
     /// A fresh front-end at simulated time zero.
     pub fn new(config: ServingConfig, engine: &'a dyn ServingEngine) -> Self {
-        let model = &config.service;
-        let prompt_tokens = model
-            .tokens_per_request
-            .saturating_sub(model.completion_tokens);
-        let prompt_text = vec!["tok"; prompt_tokens].join(" ");
         ServingFrontend {
             queue: AdmissionQueue::new(
                 config.interactive.queue_capacity,
                 config.bulk.queue_capacity,
             ),
             engine,
-            llm: LlmService::new(
-                SyntheticModel {
-                    completion_tokens: model.completion_tokens,
-                },
-                model.llm,
-            ),
-            generation_request: ChatRequest::new(vec![ChatMessage::user(prompt_text)]),
+            generation: GenerationLeg::new(&config.service),
             counters: ServingCounters::default(),
             next_id: 0,
             server_free_at: 0.0,
@@ -190,42 +209,15 @@ impl<'a> ServingFrontend<'a> {
     /// explicitly, which is the admission-control contract: the client
     /// learns *immediately*, not after a timeout.
     pub fn submit(&mut self, query: &str, class: Priority, now: f64) -> Result<u64, AdmitError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let deadline = now + self.config.policy(class).deadline_secs;
-        let request = QueuedRequest {
-            id,
+        submit_request(
+            &mut self.queue,
+            &self.config,
+            &mut self.counters,
+            &mut self.next_id,
+            query,
             class,
-            query: query.to_string(),
-            arrived_at: now,
-            deadline,
-        };
-        match self.queue.admit(request, now) {
-            Ok(()) => {
-                match class {
-                    Priority::Interactive => self.counters.admitted_interactive += 1,
-                    Priority::Bulk => self.counters.admitted_bulk += 1,
-                }
-                Ok(id)
-            }
-            Err(err) => {
-                match (err, class) {
-                    (AdmitError::QueueFull { .. }, Priority::Interactive) => {
-                        self.counters.rejected_interactive += 1
-                    }
-                    (AdmitError::QueueFull { .. }, Priority::Bulk) => {
-                        self.counters.rejected_bulk += 1
-                    }
-                    (AdmitError::DeadlineExpired, Priority::Interactive) => {
-                        self.counters.expired_interactive += 1
-                    }
-                    (AdmitError::DeadlineExpired, Priority::Bulk) => {
-                        self.counters.expired_bulk += 1
-                    }
-                }
-                Err(err)
-            }
-        }
+            now,
+        )
     }
 
     /// When the dispatcher next wants to run, given the queue state at
@@ -247,113 +239,36 @@ impl<'a> ServingFrontend<'a> {
     /// shedding ladder, runs the engine, and models the LLM leg of
     /// every full-service answer through the token-bucket envelope.
     pub fn dispatch(&mut self, now: f64) -> BatchOutcome {
-        let service = self.config.service;
-        let mut batch: Vec<QueuedRequest> = Vec::new();
-        while batch.len() < self.config.max_batch_size {
-            let Some(request) = self.queue.pop() else {
-                break;
-            };
-            if request.expired(now) {
-                match request.class {
-                    Priority::Interactive => self.counters.expired_interactive += 1,
-                    Priority::Bulk => self.counters.expired_bulk += 1,
-                }
-                continue;
-            }
-            batch.push(request);
-        }
-        if batch.is_empty() {
+        let Some(plan) = plan_batch(&mut self.queue, &self.config, now, &mut self.counters) else {
             return BatchOutcome {
                 busy_until: self.server_free_at,
                 ..BatchOutcome::default()
             };
-        }
-        self.counters.batches += 1;
-        self.counters.dispatched += batch.len() as u64;
-        self.counters.max_batch = self.counters.max_batch.max(batch.len());
-
-        // Rung 1 — overload: with the system past `shed_depth` (queue
-        // left behind plus this batch), bulk sheds to the cheap path.
-        let overloaded = self.queue.depth() + batch.len() > self.config.shed_depth;
-        let mut shed: Vec<Option<ShedReason>> = batch
-            .iter()
-            .map(|request| {
-                (overloaded && request.class == Priority::Bulk).then_some(ShedReason::Overload)
-            })
-            .collect();
-
-        // Rung 2 — deadline: project the full-service completion
-        // against the batch as popped. The estimate is conservative
-        // (sheds only shrink the batch's compute), which errs toward
-        // shedding early — exactly the contract.
-        let full_count = shed.iter().filter(|s| s.is_none()).count();
-        let full_batch_secs = service.embed_base_secs
-            + full_count as f64 * (service.embed_per_query_secs + service.hybrid_search_secs);
-        let projected_done = now + full_batch_secs;
-        for (request, slot) in batch.iter().zip(shed.iter_mut()) {
-            if slot.is_none() && projected_done > request.deadline {
-                *slot = Some(ShedReason::Deadline);
-            }
-        }
+        };
 
         // Execute: one batched call for the full-service requests, the
         // cheap path per shed request.
-        let full_queries: Vec<String> = batch
-            .iter()
-            .zip(&shed)
-            .filter(|(_, s)| s.is_none())
-            .map(|(request, _)| request.query.clone())
-            .collect();
+        let full_queries = plan.full_queries();
         let mut full_answers = self.engine.serve_batch(&full_queries).into_iter();
-        let n_full = full_queries.len();
-        let n_shed = batch.len() - n_full;
-        let busy_secs = if n_full > 0 {
-            service.embed_base_secs
-                + n_full as f64 * (service.embed_per_query_secs + service.hybrid_search_secs)
-        } else {
-            0.0
-        } + n_shed as f64 * service.degraded_search_secs;
-        let local_done = now + busy_secs;
+        let local_done = now + plan.busy_secs;
         self.server_free_at = local_done;
 
-        let mut completed = Vec::with_capacity(batch.len());
-        for (request, shed_reason) in batch.iter().zip(shed) {
-            let (answer, finished_at, shed_reason) = match shed_reason {
+        let mut completed = Vec::with_capacity(plan.requests.len());
+        for (request, planned_shed) in plan.requests.iter().zip(&plan.shed) {
+            let (answer, finished_at, shed_reason) = match planned_shed {
                 Some(reason) => (
                     self.engine.serve_shed(&request.query),
                     local_done,
-                    Some(reason),
+                    Some(*reason),
                 ),
                 None => {
                     let answer = full_answers
                         .next()
                         .expect("engine returns one answer per query");
-                    // Rung 3 — the generation leg. The LLM runs
-                    // concurrently (it does not occupy the server);
-                    // throttling degrades to an extractive answer
-                    // instead of an error.
-                    match self.llm.complete_at(&self.generation_request, local_done) {
-                        Ok(timed) => (answer, local_done + timed.latency_secs, None),
-                        Err(_) => {
-                            let mut degraded = answer;
-                            degraded.degradation.llm_fallback = true;
-                            (degraded, local_done, Some(ShedReason::LlmPressure))
-                        }
-                    }
+                    settle_full(&self.generation, request, answer, local_done)
                 }
             };
-            match (shed_reason, request.class) {
-                (Some(_), Priority::Interactive) => self.counters.shed_interactive += 1,
-                (Some(_), Priority::Bulk) => self.counters.shed_bulk += 1,
-                (None, Priority::Interactive) => self.counters.completed_interactive += 1,
-                (None, Priority::Bulk) => self.counters.completed_bulk += 1,
-            }
-            match shed_reason {
-                Some(ShedReason::Overload) => self.counters.shed_overload += 1,
-                Some(ShedReason::Deadline) => self.counters.shed_deadline += 1,
-                Some(ShedReason::LlmPressure) => self.counters.shed_llm += 1,
-                None => {}
-            }
+            record_outcome(&mut self.counters, request.class, shed_reason);
             debug_assert!(
                 shed_reason.is_none() || answer.degradation.is_degraded() || answer.hits.is_empty(),
                 "shed answers must carry degradation flags"
@@ -367,7 +282,7 @@ impl<'a> ServingFrontend<'a> {
             });
         }
         BatchOutcome {
-            dispatched: batch.len(),
+            dispatched: plan.requests.len(),
             completed,
             busy_until: self.server_free_at,
         }
@@ -505,6 +420,45 @@ mod tests {
     }
 
     #[test]
+    fn generate_boundary_recheck_never_answers_past_the_deadline() {
+        // A deadline that passes the conservative rung-2 projection but
+        // not the priced plan: the request must still be shed, not
+        // served late. The interactive request alone costs
+        // embed_base + per_query + hybrid; the shed bulk traffic adds
+        // degraded searches the projection ignores.
+        let engine = SyntheticEngine;
+        let service = config().service;
+        let projection =
+            service.embed_base_secs + service.embed_per_query_secs + service.hybrid_search_secs;
+        let mut front = ServingFrontend::new(
+            ServingConfig {
+                shed_depth: 0,
+                interactive: super::super::ClassPolicy {
+                    queue_capacity: 8,
+                    deadline_secs: projection + service.degraded_search_secs,
+                },
+                ..config()
+            },
+            &engine,
+        );
+        front.submit("stretta", Priority::Interactive, 0.0).unwrap();
+        for i in 0..2 {
+            front.submit(&format!("b{i}"), Priority::Bulk, 0.0).unwrap();
+        }
+        let outcome = front.dispatch(0.0);
+        let interactive = outcome
+            .completed
+            .iter()
+            .find(|done| done.class == Priority::Interactive)
+            .unwrap();
+        assert_eq!(interactive.shed, Some(ShedReason::Deadline));
+        assert!(
+            interactive.latency_secs <= front.config().interactive.deadline_secs + 1e-9,
+            "the answer must not arrive past the deadline"
+        );
+    }
+
+    #[test]
     fn expired_at_dequeue_is_counted_not_answered() {
         let engine = SyntheticEngine;
         let mut front = ServingFrontend::new(config(), &engine);
@@ -519,11 +473,9 @@ mod tests {
     #[test]
     fn llm_pressure_degrades_instead_of_failing() {
         let engine = SyntheticEngine;
-        let mut service = ServiceModelFixture::tight_llm();
-        service.tokens_per_request = 7200;
         let mut front = ServingFrontend::new(
             ServingConfig {
-                service,
+                service: ServiceModelFixture::tight_llm(),
                 ..config()
             },
             &engine,

@@ -35,7 +35,10 @@
 //! [`Degradation`]: crate::resilience::Degradation
 
 pub mod admission;
+mod batch;
+pub mod cancel;
 pub mod engine;
+pub mod executor;
 pub mod frontend;
 pub mod sim;
 
@@ -44,9 +47,17 @@ use uniask_llm::service::LlmServiceConfig;
 use crate::resilience::ResilienceConfig;
 
 pub use admission::{AdmissionQueue, AdmitError, QueuedRequest};
+pub use cancel::{CancelToken, Cancelled, RequestCancel, ServeStage};
 pub use engine::{SearchIndexEngine, ServedAnswer, ServingEngine, SyntheticEngine};
+pub use executor::{
+    DrainReport, ExecutorConfig, ExecutorHandle, ExecutorMode, FlushHook, ServingExecutor,
+    SubmitError,
+};
 pub use frontend::{BatchOutcome, CompletedRequest, ServingCounters, ServingFrontend, ShedReason};
-pub use sim::{ClassStats, ServingLoadTest, ServingLoadTestConfig, ServingMinute, ServingReport};
+pub use sim::{
+    ClassStats, ServingArrival, ServingLoadTest, ServingLoadTestConfig, ServingMinute,
+    ServingReport,
+};
 
 /// Priority class of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

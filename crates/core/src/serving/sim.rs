@@ -94,6 +94,52 @@ impl ServingLoadTestConfig {
             ..ServingLoadTestConfig::default()
         }
     }
+
+    /// Instantaneous arrival rate at time `t` (the Figure 2 ramp).
+    fn rate_at(&self, t: f64) -> f64 {
+        let frac = (t / self.duration_secs).clamp(0.0, 1.0);
+        self.initial_rate + (self.target_rate - self.initial_rate) * frac
+    }
+
+    /// Materialize the full arrival schedule: times from the linear
+    /// ramp, classes from the seeded ChaCha8 stream, queries cycled
+    /// from the pool. [`ServingLoadTest::run`] consumes exactly this
+    /// schedule, so a differential harness can replay the identical
+    /// workload through the real-thread executor and compare outcomes
+    /// request by request.
+    pub fn arrivals(&self) -> Vec<ServingArrival> {
+        assert!(!self.queries.is_empty(), "query pool must be non-empty");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut next_arrival = 0.0f64;
+        let mut index = 0usize;
+        while next_arrival < self.duration_secs {
+            let class = if rng.gen::<f64>() < self.bulk_fraction {
+                Priority::Bulk
+            } else {
+                Priority::Interactive
+            };
+            out.push(ServingArrival {
+                at: next_arrival,
+                class,
+                query: self.queries[index % self.queries.len()].clone(),
+            });
+            index += 1;
+            next_arrival += 1.0 / self.rate_at(next_arrival);
+        }
+        out
+    }
+}
+
+/// One arrival of the deterministic open-arrival schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingArrival {
+    /// Arrival time, seconds from run start.
+    pub at: f64,
+    /// Priority class drawn from the seeded class stream.
+    pub class: Priority,
+    /// Query text (the pool, cycled by arrival index).
+    pub query: String,
 }
 
 /// Per-class outcome summary.
@@ -256,20 +302,12 @@ impl ServingLoadTest {
         ServingLoadTest { config }
     }
 
-    /// Instantaneous arrival rate at time `t` (the Figure 2 ramp).
-    fn rate_at(&self, t: f64) -> f64 {
-        let c = &self.config;
-        let frac = (t / c.duration_secs).clamp(0.0, 1.0);
-        c.initial_rate + (c.target_rate - c.initial_rate) * frac
-    }
-
     /// Run the simulation to completion (arrivals plus queue drain).
     pub fn run(&self) -> ServingReport {
         let c = &self.config;
-        assert!(!c.queries.is_empty(), "query pool must be non-empty");
         let engine = SyntheticEngine;
         let mut front = ServingFrontend::new(c.serving, &engine);
-        let mut rng = ChaCha8Rng::seed_from_u64(c.seed);
+        let arrivals = c.arrivals();
 
         let minutes_len = ((c.duration_secs / 60.0).ceil() as usize).max(1);
         let mut minutes: Vec<ServingMinute> = (0..minutes_len)
@@ -284,37 +322,29 @@ impl ServingLoadTest {
         let mut latencies: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
         let mut total_arrivals = 0usize;
         let mut arrival_index = 0usize;
-        let mut next_arrival = 0.0f64;
         let mut now = 0.0f64;
 
         loop {
-            let arrivals_open = next_arrival < c.duration_secs;
+            let pending = arrivals.get(arrival_index);
             let dispatch_at = front.next_dispatch_at(now);
-            let take_arrival = match (arrivals_open, dispatch_at) {
-                (false, None) => break,
-                (true, None) => true,
-                (true, Some(d)) => next_arrival <= d,
-                (false, Some(_)) => false,
+            let take_arrival = match (pending, dispatch_at) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (Some(a), Some(d)) => a.at <= d,
+                (None, Some(_)) => false,
             };
-            if take_arrival {
-                now = next_arrival;
-                let class = if rng.gen::<f64>() < c.bulk_fraction {
-                    Priority::Bulk
-                } else {
-                    Priority::Interactive
-                };
-                let query = &c.queries[arrival_index % c.queries.len()];
+            if let (true, Some(arrival)) = (take_arrival, pending) {
+                now = arrival.at;
                 let minute = minute_of(now);
                 minutes[minute].arrivals += 1;
                 total_arrivals += 1;
-                arrived[class as usize] += 1;
-                if front.submit(query, class, now).is_err() {
+                arrived[arrival.class as usize] += 1;
+                if front.submit(&arrival.query, arrival.class, now).is_err() {
                     // Admission at `now` can only fail on a full queue:
                     // a fresh deadline is never already expired.
                     minutes[minute].rejected += 1;
                 }
                 arrival_index += 1;
-                next_arrival += 1.0 / self.rate_at(next_arrival);
             } else if let Some(at) = dispatch_at {
                 now = at.max(now);
                 let outcome = front.dispatch(now);
@@ -449,6 +479,24 @@ mod tests {
             a.bulk.arrived, b.bulk.arrived,
             "the class stream is what the seed controls"
         );
+    }
+
+    #[test]
+    fn the_schedule_is_what_the_run_consumes() {
+        let config = quick();
+        let arrivals = config.arrivals();
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival times are monotone"
+        );
+        let bulk = arrivals
+            .iter()
+            .filter(|a| a.class == Priority::Bulk)
+            .count();
+        let report = ServingLoadTest::new(config).run();
+        assert_eq!(report.total_arrivals, arrivals.len());
+        assert_eq!(report.bulk.arrived, bulk);
+        assert_eq!(report.interactive.arrived, arrivals.len() - bulk);
     }
 
     #[test]

@@ -337,6 +337,85 @@ fn queue_and_ingest_chaos_loses_no_updates() {
 }
 
 #[test]
+fn seeded_worker_panics_self_heal_without_losing_requests() {
+    use uniask::core::clock::SimClock;
+    use uniask::core::serving::{Priority, ServingConfig, ServingExecutor, SyntheticEngine};
+
+    // The serving chaos mode: a seeded plan panics worker threads
+    // mid-serve. The pool must replace every panicked worker, answer
+    // every affected request degraded, and keep serving afterwards.
+    for seed in chaos_seeds() {
+        let plan = FaultPlan::seeded_worker_panics(seed);
+        let engine = SyntheticEngine;
+        let clock = SimClock::new();
+        let executor = ServingExecutor::new(ServingConfig::default(), &engine, &clock).fault(&plan);
+        let (outcomes, report) = executor.run(|handle| {
+            let mut outcomes = Vec::new();
+            let mut now = 0.0;
+            for i in 0..24 {
+                let class = if i % 3 == 0 {
+                    Priority::Bulk
+                } else {
+                    Priority::Interactive
+                };
+                handle.submit(&format!("domanda {i}"), class, now).unwrap();
+                if let Some(at) = handle.next_dispatch_at(now) {
+                    now = at;
+                    clock.set(now);
+                    outcomes.extend(handle.step(now).completed);
+                }
+                // Below the LLM envelope's sustained rate, so the only
+                // sheds in this run come from the injected panics.
+                now += 0.5;
+                clock.set(now);
+            }
+            while let Some(at) = handle.next_dispatch_at(now) {
+                now = at.max(now);
+                clock.set(now);
+                outcomes.extend(handle.step(now).completed);
+            }
+            outcomes
+        });
+        let injected = plan.injected();
+        assert!(
+            injected > 0,
+            "seed {seed}: the seeded windows must fire within 24 requests"
+        );
+        let c = &report.counters;
+        assert_eq!(c.admitted(), 24, "seed {seed}: a quiet queue admits all");
+        assert_eq!(
+            c.workers_replaced, injected,
+            "seed {seed}: one replacement per panic"
+        );
+        assert_eq!(
+            c.shed_panic, injected,
+            "seed {seed}: every panicked request is still answered"
+        );
+        assert_eq!(
+            c.completed() + c.shed() + c.expired(),
+            c.admitted(),
+            "seed {seed}: no request is lost to a panic"
+        );
+        assert_eq!(
+            outcomes.len() + report.drained.len(),
+            24 - c.expired() as usize,
+            "seed {seed}: every admitted request surfaces exactly once"
+        );
+        // The pool keeps serving after the last fault window: the tail
+        // requests land outside every window (they end by call 14) and
+        // must come back full-quality.
+        assert!(
+            outcomes
+                .iter()
+                .rev()
+                .take(4)
+                .all(|done| done.shed.is_none()),
+            "seed {seed}: the healed pool serves full quality"
+        );
+    }
+}
+
+#[test]
 fn breaker_short_circuits_while_open_then_probes_half_open() {
     let state = ResilienceState::new(ResilienceConfig::default());
     let threshold = state.config.llm_breaker.failure_threshold;
