@@ -1,0 +1,347 @@
+//! Segmented-index ingest/read concurrency bench.
+//!
+//! Two modes, like the other harness benches:
+//! - default: criterion micro-benchmarks of segmented search and of a
+//!   full compaction round;
+//! - `BENCH_JSON=<path>`: a self-timed JSON report. The
+//!   `"deterministic"` block holds seed-reproducible engine facts —
+//!   segment/tombstone/merge counts after a scripted ingest-delete
+//!   workload, plus an FNV digest of every query's (chunk id, score
+//!   bits) stream, asserted bit-identical to the single-structure
+//!   oracle before it is written. The `"wall"` block times reads on an
+//!   idle index versus reads racing a live writer thread + background
+//!   merger, proving epoch-pinned reads proceed during ingest; its
+//!   values are machine-dependent and presence-only in
+//!   `scripts/bench_check.sh`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, Criterion};
+use uniask_search::hybrid::{ChunkRecord, HybridConfig};
+use uniask_search::reranker::SemanticReranker;
+use uniask_search::segmented::{
+    spawn_merger, MergePolicy, OracleIndex, SegmentedConfig, SegmentedSearchIndex,
+};
+use uniask_vector::embedding::{Embedder, SyntheticEmbedder};
+
+const DIM: usize = 32;
+const DOCS: usize = 120;
+const SEAL: usize = 8;
+const FANOUT: usize = 4;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+const TERMS: &[&str] = &[
+    "bonifico",
+    "iban",
+    "mutuo",
+    "tasso",
+    "carta",
+    "conto",
+    "prestito",
+    "rata",
+    "saldo",
+    "commissione",
+    "filiale",
+    "estratto",
+];
+
+fn chunk(rng: &mut XorShift, serial: usize) -> ChunkRecord {
+    let t = TERMS[rng.below(TERMS.len())];
+    let a = TERMS[rng.below(TERMS.len())];
+    let b = TERMS[rng.below(TERMS.len())];
+    ChunkRecord {
+        parent_doc: format!("kb/bench/{serial}"),
+        ordinal: 0,
+        title: format!("Scheda {t} {serial}"),
+        content: format!("Il {a} con {b} richiede il {t} (documento {serial})"),
+        summary: format!("{a} {b}"),
+        domain: "retail".into(),
+        topic: "pagamenti".into(),
+        section: "faq".into(),
+        keywords: vec![a.to_string(), b.to_string()],
+    }
+}
+
+fn queries() -> Vec<String> {
+    TERMS.chunks(2).map(|pair| pair.join(" ")).collect()
+}
+
+fn build_engines() -> (SegmentedSearchIndex, OracleIndex) {
+    let embedder = Arc::new(SyntheticEmbedder::new(DIM, 13));
+    let seg = SegmentedSearchIndex::new(
+        Arc::clone(&embedder) as Arc<dyn Embedder>,
+        SemanticReranker::default(),
+        SegmentedConfig {
+            seal_threshold: SEAL,
+            merge_policy: MergePolicy::Tiered { fanout: FANOUT },
+        },
+    );
+    let oracle = OracleIndex::new(embedder, SemanticReranker::default());
+    (seg, oracle)
+}
+
+/// Scripted workload: ingest `DOCS` documents with interleaved deletes.
+fn run_script(seg: &SegmentedSearchIndex, oracle: &mut OracleIndex) {
+    let mut rng = XorShift(0x5EA1_5EA1);
+    for serial in 0..DOCS {
+        let record = chunk(&mut rng, serial);
+        seg.add_chunk(&record);
+        oracle.add_chunk(&record);
+        if serial % 9 == 8 {
+            let victim = format!("kb/bench/{}", serial - rng.below(8));
+            seg.remove_document(&victim);
+            oracle.remove_document(&victim);
+        }
+    }
+    seg.commit();
+}
+
+/// FNV-1a over each hit's chunk id and score bits: a stable digest of
+/// the full ranked answer stream.
+fn answer_digest(seg: &SegmentedSearchIndex, cfg: &HybridConfig) -> (u64, u64) {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut hits_total = 0u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for q in queries() {
+        for hit in seg.search(&q, cfg) {
+            mix(u64::from(hit.chunk.0));
+            mix(hit.score.to_bits());
+            hits_total += 1;
+        }
+    }
+    (digest, hits_total)
+}
+
+fn bench_segmented(c: &mut Criterion) {
+    let (seg, mut oracle) = build_engines();
+    run_script(&seg, &mut oracle);
+    let cfg = HybridConfig::default();
+    let mut group = c.benchmark_group("segment_ingest");
+    group.sample_size(20);
+    group.bench_function("hybrid_query_multi_segment", |b| {
+        b.iter(|| black_box(seg.search(black_box("bonifico iban"), &cfg)).len())
+    });
+    group.bench_function("merge_to_quiescence", |b| {
+        b.iter(|| {
+            let (seg, mut oracle) = build_engines();
+            run_script(&seg, &mut oracle);
+            black_box(seg.merge_to_quiescence())
+        })
+    });
+    group.finish();
+}
+
+fn object(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (key, value) in entries {
+        map.insert(key.to_string(), value);
+    }
+    serde_json::Value::Object(map)
+}
+
+/// Mean and min duration (µs) of `iters` runs of `f`.
+fn time_loop<F: FnMut() -> usize>(warmup: usize, iters: usize, mut f: F) -> (f64, f64) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        total += micros;
+        min = min.min(micros);
+    }
+    (total / iters as f64, min)
+}
+
+/// Reads racing a live writer + background merger: returns
+/// (reads completed, mean read µs, max read µs, writer docs ingested).
+fn under_ingest_pass() -> (u64, f64, f64, u64) {
+    let embedder = Arc::new(SyntheticEmbedder::new(DIM, 13));
+    let seg = Arc::new(SegmentedSearchIndex::new(
+        Arc::clone(&embedder) as Arc<dyn Embedder>,
+        SemanticReranker::default(),
+        SegmentedConfig {
+            seal_threshold: SEAL,
+            merge_policy: MergePolicy::Tiered { fanout: FANOUT },
+        },
+    ));
+    // Pre-load so readers have something to rank from the first query.
+    let mut rng = XorShift(0x5EA1_5EA1);
+    for serial in 0..DOCS {
+        seg.add_chunk(&chunk(&mut rng, serial));
+    }
+    seg.commit();
+
+    let merger = spawn_merger(&seg, Duration::from_millis(1));
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let seg = Arc::clone(&seg);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut rng = XorShift(0xD00D);
+            let mut serial = DOCS;
+            while !done.load(Ordering::Relaxed) {
+                seg.add_chunk(&chunk(&mut rng, serial));
+                if serial.is_multiple_of(7) {
+                    seg.remove_document(&format!("kb/bench/{}", serial - rng.below(DOCS)));
+                }
+                if serial.is_multiple_of(SEAL / 2) {
+                    seg.commit();
+                }
+                serial += 1;
+            }
+            (serial - DOCS) as u64
+        })
+    };
+
+    let cfg = HybridConfig::default();
+    let qs = queries();
+    let mut reads = 0u64;
+    let mut total_us = 0.0f64;
+    let mut max_us = 0.0f64;
+    let deadline = Instant::now() + Duration::from_millis(250);
+    while Instant::now() < deadline {
+        let start = Instant::now();
+        black_box(seg.search(&qs[reads as usize % qs.len()], &cfg));
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        total_us += us;
+        max_us = max_us.max(us);
+        reads += 1;
+    }
+    done.store(true, Ordering::Relaxed);
+    let ingested = writer.join().expect("writer thread");
+    merger.stop();
+    assert!(reads > 0, "reads must proceed while ingest runs");
+    assert!(ingested > 0, "the writer must have made progress");
+    (reads, total_us / reads as f64, max_us, ingested)
+}
+
+fn json_report(path: &str) {
+    use serde_json::Value;
+
+    let (seg, mut oracle) = build_engines();
+    run_script(&seg, &mut oracle);
+    let cfg = HybridConfig::default();
+
+    // Contract: the multi-segment answer stream is bit-identical to
+    // the oracle's, before and after full compaction.
+    for q in queries() {
+        let got = seg.search(&q, &cfg);
+        let want = oracle.search(&q, &cfg);
+        assert_eq!(got.len(), want.len(), "hit count for {q:?}");
+        for (x, y) in got.iter().zip(&want) {
+            assert_eq!(x.chunk, y.chunk, "chunk id for {q:?}");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits for {q:?}");
+        }
+    }
+    let stats_before = seg.stats();
+    let (digest_before, hits_total) = answer_digest(&seg, &cfg);
+    let merges = seg.merge_to_quiescence();
+    let (digest_after, hits_after) = answer_digest(&seg, &cfg);
+    assert_eq!(
+        digest_before, digest_after,
+        "compaction must not change answers"
+    );
+    assert_eq!(hits_total, hits_after);
+    let stats_after = seg.stats();
+    assert!(stats_after.tombstones <= stats_before.tombstones);
+
+    let (idle_mean_us, idle_min_us) = time_loop(3, 30, || seg.search("bonifico iban", &cfg).len());
+    let (reads_under_ingest, under_ingest_mean_us, under_ingest_max_us, ingested) =
+        under_ingest_pass();
+
+    let rendered = object(vec![
+        ("bench", Value::from("segment_ingest")),
+        (
+            "config",
+            object(vec![
+                ("documents", Value::from(DOCS as u64)),
+                ("seal_threshold", Value::from(SEAL as u64)),
+                ("merge_fanout", Value::from(FANOUT as u64)),
+                ("embedding_dim", Value::from(DIM as u64)),
+            ]),
+        ),
+        (
+            "deterministic",
+            object(vec![
+                (
+                    "segments_before_merge",
+                    Value::from(stats_before.segments as u64),
+                ),
+                (
+                    "segments_after_merge",
+                    Value::from(stats_after.segments as u64),
+                ),
+                ("live_chunks", Value::from(stats_after.live_chunks as u64)),
+                (
+                    "tombstones_before_merge",
+                    Value::from(stats_before.tombstones as u64),
+                ),
+                (
+                    "tombstones_after_merge",
+                    Value::from(stats_after.tombstones as u64),
+                ),
+                ("merge_rounds", Value::from(merges)),
+                ("query_hits_total", Value::from(hits_total)),
+                ("answer_digest", Value::from(format!("{digest_after:016x}"))),
+            ]),
+        ),
+        (
+            "wall",
+            object(vec![
+                ("idle_query_mean_us", Value::from(idle_mean_us)),
+                ("idle_query_min_us", Value::from(idle_min_us)),
+                (
+                    "under_ingest_query_mean_us",
+                    Value::from(under_ingest_mean_us),
+                ),
+                (
+                    "under_ingest_query_max_us",
+                    Value::from(under_ingest_max_us),
+                ),
+                ("reads_under_ingest", Value::from(reads_under_ingest)),
+                ("docs_ingested_during_reads", Value::from(ingested)),
+            ]),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&rendered).expect("report serializes");
+    std::fs::write(path, rendered).expect("report written");
+    println!("segment_ingest report written to {path}");
+}
+
+criterion_group!(benches, bench_segmented);
+
+fn main() {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        json_report(&path);
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

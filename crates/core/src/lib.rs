@@ -26,6 +26,9 @@
 //!   graceful load shedding, driven on the simulated clock — plus the
 //!   real-thread worker-pool executor with panic isolation,
 //!   cooperative cancellation, watchdog deadlines and graceful drain.
+//! * [`segments`] — the durable segmented pipeline: WAL + manifest
+//!   checkpoints around the epoch-pinned segment engine of
+//!   `uniask-search`, recovering byte-identical query answers.
 //! * [`pilot`] — the three user-test phases of Section 8.
 //! * [`tickets`] — the post-launch ticket-reduction analysis.
 
@@ -44,6 +47,7 @@ pub mod pilot;
 pub mod querylog;
 pub mod queue;
 pub mod resilience;
+pub mod segments;
 pub mod serving;
 pub mod tickets;
 
@@ -65,6 +69,7 @@ pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Degradation, FaultKind, FaultPlan, FaultPoint,
     FaultSpec, ResilienceConfig, ResilienceState, RetryPolicy,
 };
+pub use segments::{SegmentedService, SegmentedServiceConfig};
 pub use serving::{
     AdmitError, CancelToken, Cancelled, ClassPolicy, DrainReport, ExecutorConfig, ExecutorHandle,
     ExecutorMode, FlushHook, Priority, RequestCancel, ServeStage, ServingArrival, ServingConfig,

@@ -1,0 +1,547 @@
+//! Durable segmented serving: WAL + checkpointed segment manifest
+//! around [`SegmentedSearchIndex`].
+//!
+//! [`crate::durability::Durability`] made the single-structure pipeline
+//! crash-safe; this module gives the segment-based engine the same
+//! guarantees with the same store machinery. Every [`IngestMessage`]
+//! is appended to the write-ahead log before it is applied, and
+//! checkpoints persist a *segment manifest*: the live source documents
+//! with their original global-id bases plus the id allocator position.
+//! Recovery restores the manifest (re-chunking and re-embedding each
+//! document deterministically under its original ids), replays the WAL
+//! tail, and commits — after which every query answer, down to the
+//! [`uniask_search::SearchHit::chunk`] ids and score bits, matches the
+//! uninterrupted run. Segment *boundaries* are not persisted: the
+//! pinned-statistics engine is provably partition-independent, so the
+//! recovered index may pack the same chunks into different segments
+//! without changing a single answer.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use uniask_corpus::kb::KbDocument;
+use uniask_corpus::vocab::{SynonymNormalizer, Vocabulary};
+use uniask_search::hybrid::{HybridConfig, SearchHit};
+use uniask_search::reranker::SemanticReranker;
+use uniask_search::segmented::{SegmentedConfig, SegmentedSearchIndex, SegmentedStats};
+use uniask_store::checkpoint::{CheckpointError, CheckpointManager};
+use uniask_store::vfs::Vfs;
+use uniask_store::wal::Wal;
+use uniask_vector::embedding::SyntheticEmbedder;
+
+use crate::durability::RecoveryReport;
+use crate::durability::{decode_message, encode_message, DurabilityConfig, DurabilityError};
+use crate::indexing::IndexingService;
+use crate::ingestion::IngestMessage;
+
+/// Construction knobs of a [`SegmentedService`].
+#[derive(Debug, Clone)]
+pub struct SegmentedServiceConfig {
+    /// Embedding dimension.
+    pub embedding_dim: usize,
+    /// Embedder seed.
+    pub seed: u64,
+    /// Chunk token budget.
+    pub chunk_max_tokens: usize,
+    /// Summary sentences generated per document during indexing.
+    pub summary_sentences: usize,
+    /// Segmented-engine knobs (seal threshold, merge policy).
+    pub segments: SegmentedConfig,
+    /// WAL/checkpoint layout and cadence.
+    pub durability: DurabilityConfig,
+}
+
+impl Default for SegmentedServiceConfig {
+    fn default() -> Self {
+        SegmentedServiceConfig {
+            embedding_dim: 128,
+            seed: 0xBA5E_BA11,
+            chunk_max_tokens: 512,
+            summary_sentences: 2,
+            segments: SegmentedConfig::default(),
+            durability: DurabilityConfig::default(),
+        }
+    }
+}
+
+/// Version tag of the segment-manifest checkpoint payload.
+const MANIFEST_VERSION: u16 = 1;
+
+/// The durable segmented ingest/serve pipeline.
+pub struct SegmentedService {
+    index: Arc<SegmentedSearchIndex>,
+    indexing: IndexingService,
+    wal: Wal,
+    checkpoints: CheckpointManager,
+    config: SegmentedServiceConfig,
+    next_lsn: u64,
+    applied_since_checkpoint: u64,
+    last_applied_lsn: u64,
+    /// Live documents keyed by the global id of their first chunk —
+    /// exactly the manifest a checkpoint serializes.
+    live_docs: BTreeMap<u32, KbDocument>,
+    /// Document id → first-chunk global id (upsert/delete bookkeeping).
+    doc_gids: HashMap<String, u32>,
+}
+
+impl std::fmt::Debug for SegmentedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedService")
+            .field("next_lsn", &self.next_lsn)
+            .field("documents", &self.live_docs.len())
+            .finish()
+    }
+}
+
+impl SegmentedService {
+    fn build_index(config: &SegmentedServiceConfig) -> Arc<SegmentedSearchIndex> {
+        let vocab = Arc::new(Vocabulary::new());
+        let normalizer = Arc::new(SynonymNormalizer::new(vocab));
+        let embedder = Arc::new(SyntheticEmbedder::with_normalizer(
+            config.embedding_dim,
+            config.seed,
+            normalizer.clone(),
+        ));
+        let reranker = SemanticReranker::new(normalizer);
+        Arc::new(SegmentedSearchIndex::new(
+            embedder,
+            reranker,
+            config.segments,
+        ))
+    }
+
+    /// Recover (or cold-start) a segmented service from `vfs`: restore
+    /// the newest manifest checkpoint that verifies, replay the WAL
+    /// tail, seal, and return the pipeline positioned for new appends.
+    pub fn recover(
+        config: SegmentedServiceConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let checkpoints =
+            CheckpointManager::open(Arc::clone(&vfs), config.durability.checkpoint.clone());
+        checkpoints.sweep_orphans()?;
+        let (wal, wal_recovery) = Wal::open(Arc::clone(&vfs), config.durability.wal.clone())?;
+
+        let index = Self::build_index(&config);
+        let indexing = IndexingService::new(
+            config.chunk_max_tokens,
+            uniask_search::enrichment::Enrichment::None,
+            config.summary_sentences,
+        );
+        let mut service = SegmentedService {
+            index,
+            indexing,
+            wal,
+            checkpoints,
+            config,
+            next_lsn: 1,
+            applied_since_checkpoint: 0,
+            last_applied_lsn: 0,
+            live_docs: BTreeMap::new(),
+            doc_gids: HashMap::new(),
+        };
+
+        let mut report = RecoveryReport::default();
+        match service.checkpoints.load_latest() {
+            Ok(loaded) => {
+                report.checkpoint_generation = Some(loaded.generation);
+                report.generations_skipped = loaded.generations_skipped;
+                report.last_lsn = loaded.wal_watermark;
+                service
+                    .restore_manifest(&loaded.payload)
+                    .ok_or(DurabilityError::Checkpoint(
+                        CheckpointError::NoValidCheckpoint,
+                    ))?;
+            }
+            Err(CheckpointError::NoValidCheckpoint) => {}
+            Err(e) => return Err(e.into()),
+        }
+
+        report.corrupt_records_skipped = wal_recovery.corrupt_records_skipped;
+        for record in &wal_recovery.records {
+            if record.lsn <= report.last_lsn {
+                continue;
+            }
+            match decode_message(&record.payload) {
+                Some(message) => {
+                    service.apply(message);
+                    report.wal_records_replayed += 1;
+                    report.last_lsn = record.lsn;
+                }
+                None => {
+                    report.corrupt_records_skipped += 1;
+                    break;
+                }
+            }
+        }
+        service.index.commit();
+
+        service.next_lsn = service
+            .wal
+            .last_lsn()
+            .unwrap_or(0)
+            .max(report.last_lsn)
+            .max(service.checkpoints.prune_watermark().unwrap_or(0))
+            + 1;
+        service.last_applied_lsn = report.last_lsn;
+        Ok((service, report))
+    }
+
+    /// Apply one message to the in-memory engine (no logging).
+    fn apply(&mut self, message: IngestMessage) {
+        match message {
+            IngestMessage::Upsert(doc) => {
+                if doc.id.is_empty() {
+                    return;
+                }
+                let records = self.indexing.chunk_document(&doc);
+                if records.is_empty() {
+                    return;
+                }
+                if let Some(old_gid) = self.doc_gids.remove(&doc.id) {
+                    self.live_docs.remove(&old_gid);
+                    self.index.remove_document(&doc.id);
+                }
+                let mut first_gid = None;
+                for record in &records {
+                    let gid = self.index.add_chunk(record);
+                    first_gid.get_or_insert(gid);
+                }
+                let first_gid = first_gid.expect("records is non-empty");
+                self.doc_gids.insert(doc.id.clone(), first_gid);
+                self.live_docs.insert(first_gid, doc);
+            }
+            IngestMessage::Delete(id) => {
+                if let Some(gid) = self.doc_gids.remove(&id) {
+                    self.live_docs.remove(&gid);
+                }
+                self.index.remove_document(&id);
+            }
+        }
+    }
+
+    /// Log `message` durably, then apply it — the write-ahead contract.
+    /// Triggers an automatic checkpoint every `checkpoint_every`
+    /// messages.
+    pub fn log_and_apply(&mut self, message: IngestMessage) -> Result<(), DurabilityError> {
+        let lsn = self.next_lsn;
+        self.wal.append(lsn, &encode_message(&message))?;
+        self.next_lsn = lsn + 1;
+        self.apply(message);
+        self.last_applied_lsn = lsn;
+        self.applied_since_checkpoint += 1;
+        if self.config.durability.checkpoint_every > 0
+            && self.applied_since_checkpoint >= self.config.durability.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Seal buffered chunks, write an atomic manifest checkpoint, and
+    /// prune WAL segments no retained generation needs.
+    pub fn checkpoint(&mut self) -> Result<u64, DurabilityError> {
+        self.index.commit();
+        let manifest = self.encode_manifest();
+        let generation = self.checkpoints.write(&manifest, self.last_applied_lsn)?;
+        self.applied_since_checkpoint = 0;
+        if let Some(watermark) = self.checkpoints.prune_watermark() {
+            self.wal.prune(watermark)?;
+        }
+        Ok(generation)
+    }
+
+    /// Seal buffered chunks and publish them to queries.
+    pub fn commit(&self) -> u64 {
+        self.index.commit()
+    }
+
+    /// Query the published epoch.
+    pub fn search(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        self.index.search(query, config)
+    }
+
+    /// The segmented engine (shareable with a background merger and
+    /// concurrent readers).
+    pub fn index(&self) -> &Arc<SegmentedSearchIndex> {
+        &self.index
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> SegmentedStats {
+        self.index.stats()
+    }
+
+    /// The LSN the next logged message will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Live WAL segment count.
+    pub fn wal_segments(&self) -> usize {
+        self.wal.segment_count()
+    }
+
+    /// Serialize the segment manifest: version, id-allocator position,
+    /// then each live document (ascending first-chunk global id) as a
+    /// length-prefixed [`IngestMessage::Upsert`] frame.
+    fn encode_manifest(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.live_docs.len() * 256);
+        buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.index.next_gid().to_le_bytes());
+        buf.extend_from_slice(&(self.live_docs.len() as u32).to_le_bytes());
+        for (first_gid, doc) in &self.live_docs {
+            buf.extend_from_slice(&first_gid.to_le_bytes());
+            let frame = encode_message(&IngestMessage::Upsert(doc.clone()));
+            buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&frame);
+        }
+        buf
+    }
+
+    /// Restore a serialized manifest into the (empty) engine. Returns
+    /// `None` on any structural mismatch.
+    fn restore_manifest(&mut self, data: &[u8]) -> Option<()> {
+        let mut offset = 0usize;
+        let version = u16::from_le_bytes(data.get(0..2)?.try_into().ok()?);
+        if version != MANIFEST_VERSION {
+            return None;
+        }
+        offset += 2;
+        let next_gid = u32::from_le_bytes(data.get(offset..offset + 4)?.try_into().ok()?);
+        offset += 4;
+        let count = u32::from_le_bytes(data.get(offset..offset + 4)?.try_into().ok()?) as usize;
+        offset += 4;
+        for _ in 0..count {
+            let first_gid = u32::from_le_bytes(data.get(offset..offset + 4)?.try_into().ok()?);
+            offset += 4;
+            let len = u32::from_le_bytes(data.get(offset..offset + 4)?.try_into().ok()?) as usize;
+            offset += 4;
+            let frame = data.get(offset..offset + len)?;
+            offset += len;
+            let IngestMessage::Upsert(doc) = decode_message(frame)? else {
+                return None;
+            };
+            let records = self.indexing.chunk_document(&doc);
+            self.index.restore_document(first_gid, &records);
+            self.doc_gids.insert(doc.id.clone(), first_gid);
+            self.live_docs.insert(first_gid, doc);
+        }
+        if offset != data.len() {
+            return None;
+        }
+        self.index.restore_next_gid(next_gid);
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_corpus::generator::CorpusGenerator;
+    use uniask_corpus::scale::CorpusScale;
+    use uniask_store::checkpoint::CheckpointConfig;
+    use uniask_store::vfs::MemVfs;
+    use uniask_store::wal::WalConfig;
+
+    fn small_docs(n: usize) -> Vec<KbDocument> {
+        CorpusGenerator::new(
+            CorpusScale {
+                documents: n,
+                human_questions: 1,
+                keyword_queries: 1,
+                embedding_dim: 32,
+            },
+            5,
+        )
+        .generate()
+        .documents
+    }
+
+    fn config(checkpoint_every: u64) -> SegmentedServiceConfig {
+        SegmentedServiceConfig {
+            embedding_dim: 32,
+            segments: SegmentedConfig {
+                seal_threshold: 4,
+                ..SegmentedConfig::default()
+            },
+            durability: DurabilityConfig {
+                wal: WalConfig {
+                    dir: "wal".into(),
+                    segment_max_bytes: 8 * 1024,
+                },
+                checkpoint: CheckpointConfig {
+                    dir: "ckpt".into(),
+                    keep: 2,
+                },
+                checkpoint_every,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn sample_queries(docs: &[KbDocument]) -> Vec<String> {
+        docs.iter()
+            .take(4)
+            .map(|d| format!("{} informazioni", d.title))
+            .collect()
+    }
+
+    fn assert_bitwise_equal(a: &[SearchHit], b: &[SearchHit], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: hit count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.chunk, y.chunk, "{context}");
+            assert_eq!(x.parent_doc, y.parent_doc, "{context}");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{context}: score bits for {:?}",
+                x.chunk
+            );
+        }
+    }
+
+    #[test]
+    fn cold_start_is_empty() {
+        let vfs = Arc::new(MemVfs::new());
+        let (service, report) = SegmentedService::recover(config(4), vfs).unwrap();
+        assert_eq!(report.checkpoint_generation, None);
+        assert_eq!(report.wal_records_replayed, 0);
+        assert_eq!(service.next_lsn(), 1);
+        assert!(service.index().is_empty());
+    }
+
+    #[test]
+    fn wal_tail_replay_restores_unfinished_ingest() {
+        let vfs = Arc::new(MemVfs::new());
+        let docs = small_docs(5);
+        {
+            let (mut service, _) =
+                SegmentedService::recover(config(0), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+            for doc in &docs {
+                service
+                    .log_and_apply(IngestMessage::Upsert(doc.clone()))
+                    .unwrap();
+            }
+            // Killed before any commit or checkpoint.
+        }
+        let (service, report) = SegmentedService::recover(config(0), vfs).unwrap();
+        assert_eq!(report.checkpoint_generation, None);
+        assert_eq!(report.wal_records_replayed, 5);
+        assert_eq!(service.next_lsn(), 6);
+        assert_eq!(service.stats().live_chunks, service.index().len());
+        assert!(service.index().len() >= 5);
+    }
+
+    #[test]
+    fn recovery_is_bitwise_identical_to_uninterrupted_run() {
+        let docs = small_docs(8);
+        let queries = sample_queries(&docs);
+        let cfg = HybridConfig::default();
+
+        // Uninterrupted reference run with deletes and an upsert.
+        let build = |service: &mut SegmentedService| {
+            for doc in &docs {
+                service
+                    .log_and_apply(IngestMessage::Upsert(doc.clone()))
+                    .unwrap();
+            }
+            service
+                .log_and_apply(IngestMessage::Delete(docs[1].id.clone()))
+                .unwrap();
+            let mut updated = docs[2].clone();
+            updated.title = format!("{} (aggiornato)", updated.title);
+            service
+                .log_and_apply(IngestMessage::Upsert(updated))
+                .unwrap();
+        };
+        let reference_vfs = Arc::new(MemVfs::new());
+        let (mut reference, _) = SegmentedService::recover(config(3), reference_vfs).unwrap();
+        build(&mut reference);
+        reference.commit();
+        let expected: Vec<Vec<SearchHit>> =
+            queries.iter().map(|q| reference.search(q, &cfg)).collect();
+
+        // Durable run killed mid-stream (after the same messages, with
+        // checkpoints every 3), then recovered from storage.
+        let vfs = Arc::new(MemVfs::new());
+        {
+            let (mut service, _) =
+                SegmentedService::recover(config(3), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+            build(&mut service);
+            // No final commit: the tail lives only in the WAL.
+        }
+        let (recovered, report) = SegmentedService::recover(config(3), vfs).unwrap();
+        assert!(report.checkpoint_generation.is_some());
+        assert!(report.wal_records_replayed > 0, "tail must replay");
+        for (q, want) in queries.iter().zip(&expected) {
+            let got = recovered.search(q, &cfg);
+            assert_bitwise_equal(&got, want, q);
+        }
+    }
+
+    #[test]
+    fn checkpoint_limits_replay_and_preserves_global_ids() {
+        let vfs = Arc::new(MemVfs::new());
+        let docs = small_docs(6);
+        let queries = sample_queries(&docs);
+        let cfg = HybridConfig::default();
+        let expected: Vec<Vec<SearchHit>>;
+        {
+            let (mut service, _) =
+                SegmentedService::recover(config(2), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+            for doc in &docs {
+                service
+                    .log_and_apply(IngestMessage::Upsert(doc.clone()))
+                    .unwrap();
+            }
+            // Delete a middle document so the manifest carries a
+            // global-id gap, then checkpoint.
+            service
+                .log_and_apply(IngestMessage::Delete(docs[3].id.clone()))
+                .unwrap();
+            service.checkpoint().unwrap();
+            expected = queries.iter().map(|q| service.search(q, &cfg)).collect();
+        }
+        let (recovered, report) = SegmentedService::recover(config(2), vfs).unwrap();
+        assert!(report.checkpoint_generation.is_some());
+        assert_eq!(report.wal_records_replayed, 0, "checkpoint covers all");
+        // Ids continue past the gap exactly where the pre-crash engine
+        // would have.
+        assert_eq!(recovered.next_lsn(), 8);
+        for (q, want) in queries.iter().zip(&expected) {
+            assert_bitwise_equal(&recovered.search(q, &cfg), want, q);
+        }
+        let hits = recovered.search(&queries[0], &cfg);
+        assert!(hits.iter().all(|h| h.parent_doc != docs[3].id));
+    }
+
+    #[test]
+    fn manifest_roundtrip_rejects_corruption() {
+        let vfs = Arc::new(MemVfs::new());
+        let (mut service, _) =
+            SegmentedService::recover(config(0), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+        for doc in small_docs(3) {
+            service.log_and_apply(IngestMessage::Upsert(doc)).unwrap();
+        }
+        let manifest = service.encode_manifest();
+        // A fresh service restores the manifest cleanly.
+        let (mut fresh, _) = SegmentedService::recover(config(0), Arc::new(MemVfs::new())).unwrap();
+        assert!(fresh.restore_manifest(&manifest).is_some());
+        // Truncations never panic and never half-apply silently.
+        for cut in 0..manifest.len() {
+            let (mut target, _) =
+                SegmentedService::recover(config(0), Arc::new(MemVfs::new())).unwrap();
+            assert!(
+                target.restore_manifest(&manifest[..cut]).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // A wrong version word is rejected outright.
+        let mut bad = manifest.clone();
+        bad[0] ^= 0xFF;
+        let (mut target, _) =
+            SegmentedService::recover(config(0), Arc::new(MemVfs::new())).unwrap();
+        assert!(target.restore_manifest(&bad).is_none());
+    }
+}

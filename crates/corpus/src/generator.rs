@@ -161,6 +161,19 @@ impl CorpusGenerator {
         self
     }
 
+    /// Guarantee a non-empty, non-whitespace-only title. Generated and
+    /// noise titles are non-empty by construction today, but downstream
+    /// consumers (e.g. `prev_engine` taking the first title token) rely
+    /// on the invariant, so enforce it at the single point where titles
+    /// enter a `KbDocument` rather than trusting every template.
+    fn ensure_titled(title: String) -> String {
+        if title.split_whitespace().next().is_none() {
+            "Documento senza titolo".to_string()
+        } else {
+            title
+        }
+    }
+
     /// A junk page: one of several real-world failure shapes.
     fn noise_document(&self, rng: &mut ChaCha8Rng, index: usize) -> KbDocument {
         let shape = rng.gen_range(0..4u8);
@@ -185,7 +198,7 @@ impl CorpusGenerator {
         };
         KbDocument {
             id: format!("kb/junk/{index:06}"),
-            title,
+            title: Self::ensure_titled(title),
             html,
             domain: "Governance".to_string(),
             topic: "Varie".to_string(),
@@ -350,6 +363,10 @@ impl CorpusGenerator {
                 documents.push(self.render_document(&mut rng, &fact, documents.len(), 0));
             }
         }
+        debug_assert!(
+            documents.iter().all(|d| d.first_title_token().is_some()),
+            "corpus generator produced an empty or whitespace-only title"
+        );
         KnowledgeBase { documents }
     }
 
@@ -464,7 +481,7 @@ impl CorpusGenerator {
         index: usize,
         copy: usize,
     ) -> KbDocument {
-        let title = Self::title_for(fact, copy);
+        let title = Self::ensure_titled(Self::title_for(fact, copy));
         let system_name = fact
             .concepts()
             .iter()
@@ -599,6 +616,42 @@ mod tests {
         assert_eq!(a.documents.len(), b.documents.len());
         assert_eq!(a.documents[10].html, b.documents[10].html);
         assert_eq!(a.documents[99].id, b.documents[99].id);
+    }
+
+    #[test]
+    fn every_generated_title_has_a_first_token() {
+        // Regression for the `prev_engine` panic site: taking the first
+        // title token must be infallible on generator output, noise
+        // pages included.
+        for seed in [1u64, 7, 42, 0xBAD5EED] {
+            let kb = CorpusGenerator::new(CorpusScale::tiny(), seed)
+                .with_noise(0.3)
+                .generate();
+            for doc in &kb.documents {
+                assert!(
+                    doc.first_title_token().is_some(),
+                    "doc {} has empty/whitespace-only title {:?}",
+                    doc.id,
+                    doc.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blank_titles_are_replaced_with_a_fallback() {
+        // Pre-fix, a whitespace-only title passed through untouched and
+        // `.split_whitespace().next().unwrap()` downstream panicked.
+        for raw in ["", "   ", "\t\n "] {
+            let fixed = CorpusGenerator::ensure_titled(raw.to_string());
+            assert!(
+                fixed.split_whitespace().next().is_some(),
+                "fallback title must carry a token"
+            );
+        }
+        // Real titles pass through unchanged.
+        let kept = CorpusGenerator::ensure_titled("Sbloccare la carta".to_string());
+        assert_eq!(kept, "Sbloccare la carta");
     }
 
     #[test]

@@ -47,6 +47,13 @@ impl KbDocument {
     pub fn token_count(&self) -> usize {
         approx_token_count(&self.body_text())
     }
+
+    /// First whitespace-separated token of the title, lowercased.
+    /// `None` when the title is empty or whitespace-only — callers
+    /// must not assume titles carry at least one word.
+    pub fn first_title_token(&self) -> Option<String> {
+        self.title.split_whitespace().next().map(str::to_lowercase)
+    }
 }
 
 /// The whole knowledge base plus aggregate statistics.
@@ -148,6 +155,20 @@ mod tests {
         };
         assert!(kb.get("kb/test").is_some());
         assert!(kb.get("kb/missing").is_none());
+    }
+
+    #[test]
+    fn first_title_token_handles_blank_titles() {
+        let mut d = doc("<p>x</p>");
+        assert_eq!(d.first_title_token().as_deref(), Some("test"));
+        d.title = "Sbloccare la Carta".into();
+        assert_eq!(d.first_title_token().as_deref(), Some("sbloccare"));
+        // Pre-fix, consumers unwrapped `split_whitespace().next()` and
+        // panicked on exactly these:
+        for blank in ["", "   ", "\t \n"] {
+            d.title = blank.into();
+            assert_eq!(d.first_title_token(), None);
+        }
     }
 
     #[test]

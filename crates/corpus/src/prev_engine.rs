@@ -154,9 +154,15 @@ mod tests {
     fn keyword_query_from_document_matches() {
         let kb = kb();
         let engine = PrevEngine::build(&kb);
-        // Take verbatim title terms from some document.
+        // Take verbatim title terms from some document. The generator
+        // guarantees non-empty titles, so the accessor always yields a
+        // token here; going through it (rather than a bare `.unwrap()`
+        // on `split_whitespace`) keeps this test panic-free even on a
+        // hand-built corpus with a blank title.
         let doc = &kb.documents[0];
-        let term = doc.title.split_whitespace().next().unwrap().to_lowercase();
+        let term = doc
+            .first_title_token()
+            .expect("generated titles are never empty");
         let results = engine.search(&term, 10);
         assert!(!results.is_empty());
     }

@@ -709,6 +709,50 @@ impl InvertedIndex {
             .map_or(0, |p| p.live_df)
     }
 
+    /// Live `(total_len, docs_with_field)` of a searchable field — the
+    /// two integers behind the BM25 average length. Exposed so a
+    /// multi-segment engine can sum them across segments and reproduce
+    /// the exact `avg_len` division a single index would perform.
+    pub fn field_len_stats(&self, field: &str) -> (u64, u32) {
+        self.fields
+            .get(field)
+            .map_or((0, 0), |f| (f.total_len, f.docs_with_field))
+    }
+
+    /// Field length (in analyzed terms) of one live document, 0 when
+    /// the field is absent or the document deleted.
+    pub fn doc_field_len(&self, field: &str, doc: DocId) -> u32 {
+        self.fields
+            .get(field)
+            .and_then(|f| f.doc_len.get(doc.0 as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Distinct terms `doc` posts in `field` (empty when absent or
+    /// deleted). Term strings, not ids, so callers outside the crate
+    /// can account per-term df deltas — e.g. a tombstone overlay
+    /// subtracting a deleted doc's contribution from global stats
+    /// without mutating the sealed segment.
+    pub fn doc_field_terms(&self, field: &str, doc: DocId) -> Vec<String> {
+        self.fields
+            .get(field)
+            .and_then(|f| f.doc_terms.get(&doc.0))
+            .map(|tids| {
+                tids.iter()
+                    .map(|tid| self.dict.term(*tid).to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Names of searchable fields that currently hold postings.
+    pub fn posting_fields(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.fields.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
     /// Resident-bytes accounting over posting storage, field lengths
     /// and the term dictionary.
     pub fn memory_stats(&self) -> IndexMemoryStats {
@@ -1081,6 +1125,130 @@ mod tests {
         let mut rt = Vec::new();
         block.decode_into(&mut rd, &mut rt);
         assert_eq!((rd, rt), (vec![9], vec![4]));
+    }
+
+    /// Tiny deterministic generator so the sweep below runs without
+    /// external dependencies (mirrors the searcher's test idiom).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+    }
+
+    /// Delete-path stats drift sweep: after any interleaving of adds
+    /// and deletes, the incrementally maintained live stats must agree
+    /// with a from-scratch rebuild of the surviving documents —
+    /// exactly for `live_df`, `total_len`, `docs_with_field`,
+    /// `doc_count` and (bitwise) `avg_len`; as safe bounds for
+    /// `max_tf` (never below the rebuild's) and `min_len` (never
+    /// above). These are the invariants the segmented engine's
+    /// tombstone overlays lean on.
+    #[test]
+    fn interleaved_delete_stats_match_fresh_rebuild() {
+        let words = [
+            "bonifico", "carta", "mutuo", "estero", "filiale", "saldo", "conto", "limite",
+            "blocco", "rata",
+        ];
+        let mut rng = XorShift(0x5EED_CAFE_F00D_0001);
+        for _round in 0..40 {
+            let mut idx = InvertedIndex::new(schema());
+            // Live pool of (id, title, content) surviving so far.
+            let mut live: Vec<(DocId, String, String)> = Vec::new();
+            let ops = 10 + rng.below(40);
+            for _ in 0..ops {
+                let delete = !live.is_empty() && rng.below(100) < 35;
+                if delete {
+                    let victim = rng.below(live.len());
+                    let (id, _, _) = live.swap_remove(victim);
+                    idx.delete(id).unwrap();
+                } else {
+                    let pick = |rng: &mut XorShift, n: usize| {
+                        (0..n)
+                            .map(|_| words[rng.below(words.len())])
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    };
+                    let title_len = 1 + rng.below(3);
+                    let title = pick(&mut rng, title_len);
+                    let content_len = 1 + rng.below(14);
+                    let content = pick(&mut rng, content_len);
+                    let id = idx.add(&doc(&title, &content)).unwrap();
+                    live.push((id, title, content));
+                }
+            }
+
+            // From-scratch rebuild of the survivors, in surviving-id
+            // order (order is irrelevant for the stats compared here).
+            let mut fresh = InvertedIndex::new(schema());
+            let mut sorted = live.clone();
+            sorted.sort_by_key(|(id, _, _)| id.0);
+            for (_, title, content) in &sorted {
+                fresh.add(&doc(title, content)).unwrap();
+            }
+
+            assert_eq!(idx.doc_count(), fresh.doc_count(), "live doc count drifted");
+            for (name, fresh_field) in &fresh.fields {
+                let inc_field = idx.fields.get(name).expect("field exists");
+                assert_eq!(
+                    inc_field.docs_with_field, fresh_field.docs_with_field,
+                    "docs_with_field drifted on `{name}`"
+                );
+                assert_eq!(
+                    inc_field.total_len, fresh_field.total_len,
+                    "total_len drifted on `{name}`"
+                );
+                assert_eq!(
+                    inc_field.avg_len().to_bits(),
+                    fresh_field.avg_len().to_bits(),
+                    "avg_len not bitwise identical on `{name}`"
+                );
+                for (tid, fresh_list) in &fresh_field.postings {
+                    let term = fresh.dict.term(*tid);
+                    let inc_tid = idx.dict.lookup(term).expect("term interned");
+                    let inc_list = inc_field.postings.get(&inc_tid).expect("list exists");
+                    assert_eq!(
+                        inc_list.live_df, fresh_list.live_df,
+                        "live_df drifted for `{name}`/`{term}`"
+                    );
+                    // max_tf / min_len are pruning bounds: deletes may
+                    // leave them loose but never unsafe.
+                    assert!(
+                        inc_list.max_tf >= fresh_list.max_tf,
+                        "max_tf bound unsafe for `{name}`/`{term}`"
+                    );
+                    assert!(
+                        inc_list.min_len <= fresh_list.min_len,
+                        "min_len bound unsafe for `{name}`/`{term}`"
+                    );
+                }
+                // Terms fully tombstoned incrementally must report df 0.
+                for (tid, inc_list) in &inc_field.postings {
+                    let term = idx.dict.term(*tid);
+                    if fresh
+                        .dict
+                        .lookup(term)
+                        .and_then(|t| fresh_field.postings.get(&t))
+                        .is_none()
+                    {
+                        assert_eq!(
+                            inc_list.live_df, 0,
+                            "dead term `{name}`/`{term}` kept live df"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -104,6 +104,59 @@ pub struct ScoredDoc {
     pub score: f64,
 }
 
+/// Corpus-wide statistics injected into a segment-local search so a
+/// multi-segment engine scores with the exact IDF and average length a
+/// single merged index would use (see
+/// [`Searcher::search_terms_pinned`]). A plain container: the caller —
+/// who alone can see every segment and its tombstone overlays — sums
+/// the integers and performs the one float division per field.
+#[derive(Debug, Clone, Default)]
+pub struct PinnedStats {
+    /// Corpus-wide live document count.
+    pub doc_count: usize,
+    avg_len: HashMap<String, f64>,
+    df: HashMap<(String, String), usize>,
+}
+
+impl PinnedStats {
+    /// Stats for a corpus of `doc_count` live documents.
+    pub fn new(doc_count: usize) -> Self {
+        PinnedStats {
+            doc_count,
+            ..Self::default()
+        }
+    }
+
+    /// Record the corpus-wide BM25 average length of `field`. Must be
+    /// computed as `total_len as f64 / f64::from(docs_with_field)`
+    /// over the summed live integers (0.0 when no live document has
+    /// the field) — the same branch a single [`InvertedIndex`] takes —
+    /// for bitwise score equality.
+    pub fn set_avg_len(&mut self, field: &str, avg_len: f64) {
+        self.avg_len.insert(field.to_string(), avg_len);
+    }
+
+    /// Record the corpus-wide live document frequency of `term` in
+    /// `field`.
+    pub fn set_df(&mut self, field: &str, term: &str, df: usize) {
+        self.df.insert((field.to_string(), term.to_string()), df);
+    }
+
+    fn avg_len(&self, field: &str) -> f64 {
+        self.avg_len.get(field).copied().unwrap_or(0.0)
+    }
+
+    fn df(&self, field: &str, term: &str) -> usize {
+        // Allocation-free would need a borrowed pair key; query-time
+        // lookups here are O(fields × terms) per query, so the two
+        // owned strings are noise next to posting traversal.
+        self.df
+            .get(&(field.to_string(), term.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
 /// One `(field, term)` scoring stream: a cursor over a block-compressed
 /// posting list plus the per-query constants needed to turn a
 /// `(tf, doc_len)` posting into a weighted BM25 contribution, and the
@@ -282,6 +335,128 @@ impl Searcher {
         };
         let candidates = Self::candidates(index, filter)?;
         Ok(self.evaluate_exhaustive(scorers, &candidates, n))
+    }
+
+    /// Search one segment of a multi-segment index with *corpus-wide*
+    /// statistics injected. `stats` carries the global live document
+    /// count, per-field global average lengths and per-`(field, term)`
+    /// global document frequencies; contributions are therefore
+    /// computed with exactly the IDF and `avg_len` a single merged
+    /// index would use, so per-document scores are bit-identical to
+    /// the single-structure engine and a cross-segment merge by
+    /// `(score desc, global id asc)` reproduces its top-k. Upper
+    /// bounds stay segment-local (`max_tf`/`min_len` of the local
+    /// posting lists) — tighter than the global ones and still safe,
+    /// so Block-Max MaxScore pruning keeps working per segment.
+    /// `extra_deleted` removes overlay-tombstoned local docs from the
+    /// candidate set without mutating the sealed segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_terms_pinned(
+        &self,
+        index: &InvertedIndex,
+        terms: &[String],
+        n: usize,
+        profile: &ScoringProfile,
+        filter: Option<&Filter>,
+        extra_deleted: Option<&DocSet>,
+        stats: &PinnedStats,
+    ) -> Result<Vec<ScoredDoc>, IndexError> {
+        let Some(scorers) = self.prepare_pinned(index, terms, n, profile, stats) else {
+            return Ok(Vec::new());
+        };
+        let mut candidates = Self::candidates(index, filter)?;
+        if let Some(extra) = extra_deleted {
+            for doc in extra.iter() {
+                candidates.remove(doc);
+            }
+        }
+        if scorers.iter().any(|s| s.weight < 0.0) {
+            return Ok(self.evaluate_exhaustive(scorers, &candidates, n));
+        }
+        Ok(self.evaluate_pruned(scorers, &candidates, n))
+    }
+
+    /// [`Searcher::prepare`] against injected corpus-wide statistics.
+    /// Query terms fold by *string* in first-occurrence order — the
+    /// same canonical order `prepare` derives from its term-id fold,
+    /// because interning is injective — and a scorer is emitted only
+    /// for `(field, term)` pairs with postings in *this* segment. A
+    /// pair that is live elsewhere but absent here would contribute to
+    /// no local document, so skipping it preserves each document's
+    /// floating-point accumulation sequence exactly.
+    fn prepare_pinned<'a>(
+        &self,
+        index: &'a InvertedIndex,
+        terms: &[String],
+        n: usize,
+        profile: &ScoringProfile,
+        stats: &PinnedStats,
+    ) -> Option<Vec<Scorer<'a>>> {
+        if terms.is_empty() || n == 0 || stats.doc_count == 0 {
+            return None;
+        }
+        let mut qterms: Vec<(&str, f64)> = Vec::with_capacity(terms.len());
+        let mut seen: HashMap<&str, usize> = HashMap::with_capacity(terms.len());
+        for term in terms {
+            match seen.entry(term.as_str()) {
+                std::collections::hash_map::Entry::Occupied(e) => qterms[*e.get()].1 += 1.0,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(qterms.len());
+                    qterms.push((term.as_str(), 1.0));
+                }
+            }
+        }
+        if qterms.is_empty() {
+            return None;
+        }
+        let weights = profile.resolve(index.schema());
+        let mut scorers = Vec::with_capacity(weights.len() * qterms.len());
+        for (field_name, weight) in weights {
+            if weight == 0.0 {
+                continue;
+            }
+            let Some(field) = index.fields.get(field_name) else {
+                continue;
+            };
+            let avg_len = stats.avg_len(field_name);
+            for &(term, qf) in &qterms {
+                let global_df = stats.df(field_name, term);
+                if global_df == 0 {
+                    continue;
+                }
+                let Some(tid) = index.dict.lookup(term) else {
+                    continue;
+                };
+                let Some(list) = field.postings.get(&tid) else {
+                    continue;
+                };
+                if list.live_df == 0 {
+                    continue;
+                }
+                let term_idf = idf(stats.doc_count, global_df);
+                let ub = weight
+                    * term_upper_bound(
+                        self.params,
+                        term_idf,
+                        f64::from(list.max_tf),
+                        f64::from(list.min_len),
+                        avg_len,
+                    )
+                    * qf;
+                scorers.push(Scorer {
+                    cursor: list.cursor(),
+                    doc_len: &field.doc_len,
+                    weight,
+                    qf,
+                    idf: term_idf,
+                    avg_len,
+                    ub,
+                    cached_block: usize::MAX,
+                    cached_block_ub: 0.0,
+                });
+            }
+        }
+        Some(scorers)
     }
 
     /// Build the per-query scorer set in canonical order: searchable
@@ -583,6 +758,118 @@ mod tests {
             .unwrap();
         }
         idx
+    }
+
+    /// `PinnedStats` mirroring one index's own live statistics for a
+    /// query: the pinned path under these must equal the plain path
+    /// bitwise (the single-segment degenerate case of the segmented
+    /// engine's equivalence contract).
+    fn own_stats(idx: &InvertedIndex, terms: &[String]) -> PinnedStats {
+        let mut stats = PinnedStats::new(idx.doc_count());
+        for field in idx.posting_fields() {
+            let (total_len, docs_with_field) = idx.field_len_stats(field);
+            let avg = if docs_with_field == 0 {
+                0.0
+            } else {
+                total_len as f64 / f64::from(docs_with_field)
+            };
+            stats.set_avg_len(field, avg);
+            for term in terms {
+                stats.set_df(field, term, idx.term_df(field, term) as usize);
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn pinned_path_matches_plain_path_on_a_single_index() {
+        let mut idx = index_with(&[
+            ("Mutuo casa", "informazioni sul mutuo per la casa e i tassi"),
+            ("Bonifico SEPA", "come eseguire un bonifico SEPA estero"),
+            ("Carta di credito", "limiti della carta di credito"),
+            ("Bonifico estero", "bonifico estero con bic e iban"),
+        ]);
+        idx.delete(DocId(2)).unwrap();
+        let searcher = Searcher::new();
+        for query in [
+            "bonifico estero",
+            "mutuo",
+            "carta carta bonifico",
+            "assente",
+        ] {
+            let terms = idx.analyze_query(query);
+            let stats = own_stats(&idx, &terms);
+            for k in 1..=5 {
+                let plain = searcher
+                    .search_terms(&idx, &terms, k, &ScoringProfile::neutral(), None)
+                    .unwrap();
+                let pinned = searcher
+                    .search_terms_pinned(
+                        &idx,
+                        &terms,
+                        k,
+                        &ScoringProfile::neutral(),
+                        None,
+                        None,
+                        &stats,
+                    )
+                    .unwrap();
+                assert_eq!(plain.len(), pinned.len(), "query `{query}` k={k}");
+                for (a, b) in plain.iter().zip(&pinned) {
+                    assert_eq!(a.doc, b.doc, "query `{query}` k={k}");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "score not bitwise identical: query `{query}` k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_path_extra_deleted_matches_real_deletes() {
+        // Tombstoning a doc via the overlay parameter must yield the
+        // same results as deleting it from the index, given stats that
+        // already account for the removal.
+        let build = || {
+            index_with(&[
+                ("Bonifico SEPA", "come eseguire un bonifico SEPA estero"),
+                ("Bonifico estero", "bonifico estero con bic e iban"),
+                ("Carta", "limiti della carta di credito"),
+            ])
+        };
+        let searcher = Searcher::new();
+        let mut hard = build();
+        hard.delete(DocId(1)).unwrap();
+        let soft = build();
+        let mut overlay = DocSet::default();
+        overlay.insert(DocId(1));
+        for query in ["bonifico estero", "carta"] {
+            let terms = soft.analyze_query(query);
+            // Global stats = the post-delete truth (from the hard-
+            // deleted twin, whose integers the overlay bookkeeping
+            // reproduces).
+            let stats = own_stats(&hard, &terms);
+            let expected = searcher
+                .search_terms(&hard, &terms, 10, &ScoringProfile::neutral(), None)
+                .unwrap();
+            let got = searcher
+                .search_terms_pinned(
+                    &soft,
+                    &terms,
+                    10,
+                    &ScoringProfile::neutral(),
+                    None,
+                    Some(&overlay),
+                    &stats,
+                )
+                .unwrap();
+            assert_eq!(expected.len(), got.len(), "query `{query}`");
+            for (a, b) in expected.iter().zip(&got) {
+                assert_eq!((a.doc, a.score.to_bits()), (b.doc, b.score.to_bits()));
+            }
+        }
     }
 
     #[test]

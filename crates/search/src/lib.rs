@@ -17,6 +17,7 @@ pub mod hybrid;
 pub mod persistence;
 pub mod reranker;
 pub mod rrf;
+pub mod segmented;
 
 pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use enrichment::{enrich_chunk, Enrichment};
@@ -27,3 +28,7 @@ pub use hybrid::{ChunkRecord, HybridConfig, IndexStats, SearchHit, SearchIndex};
 pub use persistence::PersistError;
 pub use reranker::SemanticReranker;
 pub use rrf::{rrf_fuse, RrfFused};
+pub use segmented::{
+    spawn_merger, MergePolicy, MergeWorker, OracleIndex, SegmentedConfig, SegmentedSearchIndex,
+    SegmentedStats,
+};

@@ -24,11 +24,17 @@ use crate::reranker::SemanticReranker;
 
 /// Magic bytes of the composite format.
 pub const MAGIC: &[u8; 4] = b"UASX";
-/// Current format version. Version 2 appends an FNV-1a checksum
+/// Current format version. Version 2 appended an FNV-1a checksum
 /// trailer over the whole body so torn or bit-rotted snapshots are
 /// rejected up front instead of half-parsing; version 1 (no checksum)
-/// is no longer accepted.
-pub const VERSION: u16 = 2;
+/// is no longer accepted. Version 3 persists the mutation generation
+/// (cache-invalidation epoch) so a restored index resumes *past* the
+/// saved epoch instead of resetting to 0 — pre-save cache entries can
+/// therefore never alias a post-restore index state.
+pub const VERSION: u16 = 3;
+/// Oldest version still accepted. Version 2 snapshots load with an
+/// unknown saved generation (treated as 0, then bumped).
+pub const MIN_VERSION: u16 = 2;
 
 /// FNV-1a over `data` — same checksum the sibling codecs use.
 fn fnv64(data: &[u8]) -> u64 {
@@ -116,6 +122,9 @@ impl SearchIndex {
         let mut buf = BytesMut::with_capacity(1 << 20);
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
+        // v3: the mutation generation travels with the state it
+        // describes, so cache-epoch monotonicity survives a restore.
+        buf.put_u64_le(self.generation());
         put_section(&mut buf, &index_codec::encode(&self.inverted));
         put_section(&mut buf, &vector_snapshot::encode(&self.title_vectors));
         put_section(&mut buf, &vector_snapshot::encode(&self.content_vectors));
@@ -159,7 +168,7 @@ impl SearchIndex {
             return Err(PersistError::BadMagic);
         }
         let version = buf.get_u16_le();
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion(version));
         }
         // Verify the trailer before trusting any length field below:
@@ -173,6 +182,16 @@ impl SearchIndex {
             return Err(PersistError::ChecksumMismatch);
         }
         buf.truncate(body_len - 6);
+        let saved_generation = if version >= 3 {
+            if buf.remaining() < 8 {
+                return Err(PersistError::Truncated);
+            }
+            buf.get_u64_le()
+        } else {
+            // v2 never recorded the epoch; 0 is the floor, and the
+            // post-load bump below still moves strictly past it.
+            0
+        };
         let index_section = get_section(&mut buf)?;
         let title_section = get_section(&mut buf)?;
         let content_section = get_section(&mut buf)?;
@@ -241,7 +260,12 @@ impl SearchIndex {
             by_parent,
             tombstones,
             cache: None,
-            generation: std::sync::atomic::AtomicU64::new(0),
+            // Resume one epoch *past* the saved one: any cache entry
+            // produced before the save (generation ≤ saved) can never
+            // key-match the restored index, even if a cache object
+            // outlives the snapshot round-trip. Pre-fix this reset to
+            // 0, silently re-validating pre-save generations.
+            generation: std::sync::atomic::AtomicU64::new(saved_generation.saturating_add(1)),
             fault_hook: None,
         })
     }
@@ -340,6 +364,67 @@ mod tests {
     #[test]
     fn save_is_deterministic() {
         assert_eq!(sample().save(), sample().save());
+    }
+
+    #[test]
+    fn load_resumes_generation_strictly_past_the_saved_epoch() {
+        // Regression: pre-fix, `load` reset the mutation generation to
+        // 0, so cache entries keyed with pre-save generations would
+        // key-match (and be served against) a restored index once the
+        // counter wrapped back over the same small values.
+        let original = sample();
+        let saved_generation = original.generation();
+        assert!(saved_generation > 0, "mutations advanced the epoch");
+        let restored =
+            SearchIndex::load(&original.save(), embedder(), SemanticReranker::default()).unwrap();
+        assert_eq!(
+            restored.generation(),
+            saved_generation + 1,
+            "restored index must resume past the saved epoch, not at 0"
+        );
+    }
+
+    #[test]
+    fn stale_cache_entries_cannot_hit_after_restore() {
+        use crate::cache::{CacheConfig, QueryCache};
+        // Simulate a cache object that outlives a snapshot round-trip:
+        // entries stored at pre-save generations must all miss against
+        // the restored index's generation.
+        let original = sample();
+        let cache = QueryCache::new(CacheConfig::default());
+        let config = HybridConfig::default();
+        let stale_hits = original.search("bonifico estero", &config);
+        for g in 0..=original.generation() {
+            cache.put("bonifico estero", config.fingerprint(), g, &stale_hits);
+        }
+        let restored =
+            SearchIndex::load(&original.save(), embedder(), SemanticReranker::default()).unwrap();
+        assert!(
+            cache
+                .get(
+                    "bonifico estero",
+                    config.fingerprint(),
+                    restored.generation()
+                )
+                .is_none(),
+            "pre-save cache entry served against a restored index"
+        );
+    }
+
+    #[test]
+    fn version_below_minimum_is_rejected() {
+        let mut old = sample().save().to_vec();
+        old[4] = 1; // version word (LE) → v1
+        old[5] = 0;
+        // Re-seal the trailer so the version check (not the checksum)
+        // is what rejects it.
+        let body_len = old.len() - 8;
+        let sum = fnv64(&old[..body_len]).to_le_bytes();
+        old[body_len..].copy_from_slice(&sum);
+        assert_eq!(
+            SearchIndex::load(&old, embedder(), SemanticReranker::default()).unwrap_err(),
+            PersistError::UnsupportedVersion(1)
+        );
     }
 
     #[test]

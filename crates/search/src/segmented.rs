@@ -1,0 +1,1504 @@
+//! Segment-based indexing with epoch-pinned lock-free reads.
+//!
+//! [`crate::hybrid::SearchIndex`] is a single mutable structure: every
+//! `add_chunk`/`remove_document` takes `&mut self`, so a serving tier
+//! must either stop answering queries while it ingests or clone the
+//! whole index. This module rebuilds ingestion around LSM-style
+//! *immutable segments*:
+//!
+//! * Writers append into a small in-memory buffer; when it reaches the
+//!   seal threshold (or on [`SegmentedSearchIndex::commit`]) the buffer
+//!   is frozen into a [`SealedSegment`] — its own inverted index, its
+//!   own flat vector indexes, its own Block-Max posting metadata —
+//!   which is never mutated again.
+//! * Readers pin an `Arc<Snapshot>` (the epoch) and run the entire
+//!   hybrid pipeline against that frozen view. Publication is a single
+//!   `Arc` swap under a briefly-held write lock, so queries never block
+//!   on ingestion or merging and never observe torn state.
+//! * Deletes are per-segment tombstone [`Overlay`]s, copy-on-write:
+//!   the sealed segment stays untouched, a new overlay `Arc` is
+//!   published. Overlays carry exactly the statistics decrements
+//!   (`df`, field length sums, per-field doc counts) that
+//!   `InvertedIndex::delete` would have applied, so corpus-wide BM25
+//!   statistics can be reassembled without touching postings.
+//! * A background merge thread compacts segments under a size-tiered
+//!   policy, resolving tombstones; deletes that land *during* a merge
+//!   are re-applied to the merged segment before it is installed.
+//!
+//! # Score equivalence
+//!
+//! Per-segment text search runs
+//! [`Searcher::search_terms_pinned`] with *corpus-wide* statistics
+//! (live doc count, per-field average lengths, per-term document
+//! frequencies) summed across segments minus overlay decrements.
+//! Contributions are therefore computed with exactly the IDF and
+//! `avg_len` a single merged index would use, while MaxScore /
+//! Block-Max upper bounds stay segment-local (tighter, still safe).
+//! Every document's top-`n` membership is segment-local too — a
+//! document in the global top-`n` is beaten by fewer than `n`
+//! documents overall, hence by fewer than `n` within its own segment —
+//! so merging per-segment top-`n` lists by `(score desc, global id
+//! asc)` reproduces the single-structure ranking bit for bit. The
+//! vector legs are exhaustive per segment and merged with
+//! [`uniask_vector::merge_neighbors`]; cosine similarity is a pure
+//! function of `(query, stored vector)`, so the merged ranking is
+//! bitwise identical as well. [`OracleIndex`] is the single-structure
+//! reference the equivalence suite pins against.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use uniask_index::doc::{DocId, DocSet, IndexDocument};
+use uniask_index::error::IndexError;
+use uniask_index::facets::{facet_counts, FacetCounts};
+use uniask_index::inverted::InvertedIndex;
+use uniask_index::schema::Schema;
+use uniask_index::searcher::{PinnedStats, Searcher};
+use uniask_vector::embedding::Embedder;
+use uniask_vector::{merge_neighbors, FlatIndex, Neighbor, VectorIndex};
+
+use crate::cache::{CacheConfig, CacheStats, QueryCache};
+use crate::hybrid::{ChunkRecord, HybridConfig, SearchHit};
+use crate::reranker::SemanticReranker;
+use crate::rrf::{rrf_fuse, RrfFused};
+
+/// When and what the background compactor merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Size-tiered: merge `fanout` segments of the same size tier
+    /// (tier `t` holds segments with `fanout^t ≤ live < fanout^(t+1)`),
+    /// smallest tier first. The classic LSM write-amplification
+    /// trade-off.
+    Tiered {
+        /// Segments per merge (≥ 2).
+        fanout: usize,
+    },
+    /// Merge everything into one segment whenever two or more exist
+    /// (read-optimized; highest write amplification).
+    Aggressive,
+    /// Never merge (test/diagnostic mode; tombstones accumulate).
+    Never,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy::Tiered { fanout: 4 }
+    }
+}
+
+/// Construction-time knobs of a [`SegmentedSearchIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentedConfig {
+    /// Buffered chunks that trigger an automatic seal.
+    pub seal_threshold: usize,
+    /// Compaction policy used by [`SegmentedSearchIndex::merge_once`].
+    pub merge_policy: MergePolicy,
+}
+
+impl Default for SegmentedConfig {
+    fn default() -> Self {
+        SegmentedConfig {
+            seal_threshold: 64,
+            merge_policy: MergePolicy::default(),
+        }
+    }
+}
+
+/// An immutable index over one batch of chunks. Built once when the
+/// write buffer seals (or by a merge) and never mutated; deletion state
+/// lives in the segment's [`Overlay`].
+pub struct SealedSegment {
+    /// Monotonic segment id (diagnostics; merge targets are matched by
+    /// this id when installing a compacted segment).
+    id: u64,
+    /// Full-text index over the segment's chunks, local ids `0..len`.
+    inverted: InvertedIndex,
+    /// Exhaustive vector index over title embeddings, keyed by global
+    /// chunk id (ids are globally unique, so per-segment results merge
+    /// without translation).
+    title_flat: FlatIndex,
+    /// Exhaustive vector index over content embeddings.
+    content_flat: FlatIndex,
+    /// Local id → global chunk id; strictly ascending (sealing and
+    /// merging both add in global-id order), so local-id tie-breaks
+    /// agree with global-id tie-breaks and lookup is a binary search.
+    global_ids: Vec<u32>,
+    /// The source records (result metadata + merge re-indexing).
+    records: Vec<ChunkRecord>,
+    /// Stored embeddings per chunk (merge re-indexing without
+    /// re-embedding; all-zero vectors were skipped by the flat indexes
+    /// but are kept here so a merge skips them identically).
+    vectors: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl SealedSegment {
+    fn local_of(&self, gid: u32) -> Option<u32> {
+        self.global_ids.binary_search(&gid).ok().map(|i| i as u32)
+    }
+}
+
+/// Copy-on-write deletion state of one segment: the tombstone bitset
+/// plus exactly the statistics decrements `InvertedIndex::delete`
+/// maintains, so corpus-wide BM25 statistics are reconstructible
+/// without mutating the sealed segment.
+#[derive(Debug, Clone, Default)]
+struct Overlay {
+    /// Tombstoned local ids.
+    tombstones: DocSet,
+    /// `tombstones.len()` cached as a counter.
+    removed: u32,
+    /// Per `(field, term)` count of tombstoned documents containing the
+    /// term (document-frequency decrement).
+    df_dec: HashMap<(String, String), u32>,
+    /// Per field: token lengths of tombstoned documents.
+    removed_len: HashMap<String, u64>,
+    /// Per field: tombstoned documents that had the field.
+    removed_docs: HashMap<String, u32>,
+}
+
+impl Overlay {
+    /// Tombstone `local`, mirroring the bookkeeping a single
+    /// `InvertedIndex::delete` performs. Returns false if already dead.
+    fn delete(&mut self, seg: &SealedSegment, local: DocId) -> bool {
+        if !self.tombstones.insert(local) {
+            return false;
+        }
+        self.removed += 1;
+        for field in seg.inverted.posting_fields() {
+            let len = seg.inverted.doc_field_len(field, local);
+            if len == 0 {
+                // Field absent from the document: a single index would
+                // not have touched this field's statistics either.
+                continue;
+            }
+            *self.removed_len.entry(field.to_string()).or_insert(0) += u64::from(len);
+            *self.removed_docs.entry(field.to_string()).or_insert(0) += 1;
+            for term in seg.inverted.doc_field_terms(field, local) {
+                *self.df_dec.entry((field.to_string(), term)).or_insert(0) += 1;
+            }
+        }
+        true
+    }
+
+    fn df_dec(&self, field: &str, term: &str) -> u32 {
+        self.df_dec
+            .get(&(field.to_string(), term.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// One segment plus its current deletion overlay.
+#[derive(Clone)]
+struct SegmentEntry {
+    segment: Arc<SealedSegment>,
+    overlay: Arc<Overlay>,
+}
+
+impl SegmentEntry {
+    fn live(&self) -> usize {
+        self.segment.records.len() - self.overlay.removed as usize
+    }
+}
+
+/// An immutable, epoch-stamped view of the index. Queries clone the
+/// `Arc` once and run entirely against this frozen state.
+struct Snapshot {
+    entries: Vec<SegmentEntry>,
+    epoch: u64,
+}
+
+impl Snapshot {
+    fn locate(&self, gid: u32) -> Option<(&SegmentEntry, u32)> {
+        self.entries
+            .iter()
+            .find_map(|e| e.segment.local_of(gid).map(|local| (e, local)))
+    }
+}
+
+/// A chunk sitting in the unsealed write buffer (invisible to queries
+/// until the buffer seals).
+struct BufferedChunk {
+    gid: u32,
+    record: ChunkRecord,
+    title_vec: Vec<f32>,
+    content_vec: Vec<f32>,
+    live: bool,
+}
+
+/// Mutable state, all behind one mutex: the write buffer and the
+/// authoritative segment list the published snapshot is built from.
+struct Writer {
+    buffer: Vec<BufferedChunk>,
+    segments: Vec<SegmentEntry>,
+    /// parent document id → global chunk ids (live only).
+    by_parent: HashMap<String, Vec<u32>>,
+    next_gid: u32,
+    next_segment_id: u64,
+    merges: u64,
+}
+
+/// Size/health statistics of a [`SegmentedSearchIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentedStats {
+    /// Published (sealed) segments.
+    pub segments: usize,
+    /// Live chunks visible to queries.
+    pub live_chunks: usize,
+    /// Chunks buffered but not yet sealed (invisible to queries).
+    pub buffered: usize,
+    /// Overlay-tombstoned chunks awaiting compaction.
+    pub tombstones: usize,
+    /// Current published epoch.
+    pub epoch: u64,
+    /// Completed merges.
+    pub merges: u64,
+}
+
+/// The segmented hybrid-search engine. Shares the query pipeline shape
+/// of [`crate::hybrid::SearchIndex`] — BM25 text leg, two exhaustive
+/// vector legs, RRF fusion, semantic reranking, query cache — but all
+/// mutation happens through immutable segment publication, so `&self`
+/// ingestion runs concurrently with `&self` queries.
+pub struct SegmentedSearchIndex {
+    embedder: Arc<dyn Embedder>,
+    reranker: SemanticReranker,
+    searcher: Searcher,
+    /// Empty index carrying the schema + analyzer: query analysis and
+    /// facet-field validation run against it, and sealed segments are
+    /// built with the same analyzer instance.
+    template: InvertedIndex,
+    config: SegmentedConfig,
+    writer: Mutex<Writer>,
+    published: RwLock<Arc<Snapshot>>,
+    /// Monotonic epoch counter; the published snapshot's `epoch` is
+    /// always the last value this produced. Doubles as the query-cache
+    /// generation, so cached results can never leak across publishes.
+    epoch: AtomicU64,
+    cache: Option<QueryCache>,
+}
+
+impl std::fmt::Debug for SegmentedSearchIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedSearchIndex")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SegmentedSearchIndex {
+    /// Create an empty segmented index over the UniAsk chunk schema.
+    pub fn new(
+        embedder: Arc<dyn Embedder>,
+        reranker: SemanticReranker,
+        config: SegmentedConfig,
+    ) -> Self {
+        assert!(config.seal_threshold > 0, "seal threshold must be positive");
+        if let MergePolicy::Tiered { fanout } = config.merge_policy {
+            assert!(fanout >= 2, "tiered merge needs fanout >= 2");
+        }
+        SegmentedSearchIndex {
+            embedder,
+            reranker,
+            searcher: Searcher::new(),
+            template: InvertedIndex::new(Schema::uniask_chunk_schema()),
+            config,
+            writer: Mutex::new(Writer {
+                buffer: Vec::new(),
+                segments: Vec::new(),
+                by_parent: HashMap::new(),
+                next_gid: 0,
+                next_segment_id: 0,
+                merges: 0,
+            }),
+            published: RwLock::new(Arc::new(Snapshot {
+                entries: Vec::new(),
+                epoch: 0,
+            })),
+            epoch: AtomicU64::new(0),
+            cache: None,
+        }
+    }
+
+    /// Enable the sharded query-result cache, keyed by the published
+    /// epoch (construction-time option: the cache is probed from
+    /// concurrent readers, so it cannot be swapped in later).
+    pub fn with_cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(QueryCache::new(config));
+        self
+    }
+
+    /// Cache counters, when the cache is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(QueryCache::stats)
+    }
+
+    /// The current published epoch. Bumped by every visible mutation
+    /// (seal, delete, merge); queries answered under epoch `e` saw
+    /// exactly the state published at `e`.
+    pub fn epoch(&self) -> u64 {
+        self.published.read().expect("snapshot lock").epoch
+    }
+
+    /// Live chunks (sealed + buffered).
+    pub fn len(&self) -> usize {
+        let w = self.writer.lock().expect("writer lock");
+        w.segments.iter().map(SegmentEntry::live).sum::<usize>()
+            + w.buffer.iter().filter(|b| b.live).count()
+    }
+
+    /// Whether no chunk was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current size/health statistics.
+    pub fn stats(&self) -> SegmentedStats {
+        let w = self.writer.lock().expect("writer lock");
+        SegmentedStats {
+            segments: w.segments.len(),
+            live_chunks: w.segments.iter().map(SegmentEntry::live).sum(),
+            buffered: w.buffer.iter().filter(|b| b.live).count(),
+            tombstones: w.segments.iter().map(|e| e.overlay.removed as usize).sum(),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            merges: w.merges,
+        }
+    }
+
+    /// The embedder (query side must reuse it).
+    pub fn embedder(&self) -> &Arc<dyn Embedder> {
+        &self.embedder
+    }
+
+    /// Publish the writer's current segment list as a new epoch.
+    /// Readers pin the previous snapshot until they finish; the write
+    /// lock is held only for the pointer swap.
+    fn publish_locked(&self, w: &mut Writer) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(Snapshot {
+            entries: w.segments.clone(),
+            epoch,
+        });
+        *self.published.write().expect("snapshot lock") = snap;
+    }
+
+    /// Freeze the live buffered chunks into a sealed segment.
+    fn seal_locked(&self, w: &mut Writer) {
+        let items: Vec<(u32, ChunkRecord, Vec<f32>, Vec<f32>)> = w
+            .buffer
+            .drain(..)
+            .filter(|b| b.live)
+            .map(|b| (b.gid, b.record, b.title_vec, b.content_vec))
+            .collect();
+        if items.is_empty() {
+            return;
+        }
+        let id = w.next_segment_id;
+        w.next_segment_id += 1;
+        let segment = self.build_segment(id, items);
+        w.segments.push(SegmentEntry {
+            segment: Arc::new(segment),
+            overlay: Arc::new(Overlay::default()),
+        });
+        self.publish_locked(w);
+    }
+
+    /// Build an immutable segment from `(gid, record, vectors)` items.
+    /// Items must arrive in ascending global-id order so local ids
+    /// order exactly like global ids.
+    fn build_segment(
+        &self,
+        id: u64,
+        items: Vec<(u32, ChunkRecord, Vec<f32>, Vec<f32>)>,
+    ) -> SealedSegment {
+        debug_assert!(
+            items.windows(2).all(|p| p[0].0 < p[1].0),
+            "segment items must be in ascending global-id order"
+        );
+        let mut inverted = InvertedIndex::with_analyzer(
+            self.template.schema().clone(),
+            self.template.analyzer().clone(),
+        );
+        let mut title_flat = FlatIndex::new();
+        let mut content_flat = FlatIndex::new();
+        let mut global_ids = Vec::with_capacity(items.len());
+        let mut records = Vec::with_capacity(items.len());
+        let mut vectors = Vec::with_capacity(items.len());
+        for (gid, record, title_vec, content_vec) in items {
+            let doc = IndexDocument::new()
+                .with_text("title", record.title.clone())
+                .with_text("content", record.content.clone())
+                .with_text("summary", record.summary.clone())
+                .with_tags("domain", vec![record.domain.clone()])
+                .with_tags("topic", vec![record.topic.clone()])
+                .with_tags("section", vec![record.section.clone()])
+                .with_tags("keywords", record.keywords.clone());
+            let local = inverted
+                .add(&doc)
+                .expect("chunk schema fields are always valid");
+            debug_assert_eq!(local.as_usize(), global_ids.len(), "local ids are dense");
+            if title_vec.iter().any(|&x| x != 0.0) {
+                title_flat.add(gid, title_vec.clone());
+            }
+            if content_vec.iter().any(|&x| x != 0.0) {
+                content_flat.add(gid, content_vec.clone());
+            }
+            global_ids.push(gid);
+            records.push(record);
+            vectors.push((title_vec, content_vec));
+        }
+        SealedSegment {
+            id,
+            inverted,
+            title_flat,
+            content_flat,
+            global_ids,
+            records,
+            vectors,
+        }
+    }
+
+    /// Add a chunk. The embedding runs outside the writer lock; the
+    /// chunk becomes visible to queries when the buffer seals
+    /// (automatically at the seal threshold, or on
+    /// [`SegmentedSearchIndex::commit`]). Returns the global chunk id.
+    pub fn add_chunk(&self, record: &ChunkRecord) -> u32 {
+        let title_vec = self.embedder.embed(&record.title);
+        let content_vec = self.embedder.embed(&record.content);
+        let mut w = self.writer.lock().expect("writer lock");
+        let gid = w.next_gid;
+        w.next_gid += 1;
+        w.by_parent
+            .entry(record.parent_doc.clone())
+            .or_default()
+            .push(gid);
+        w.buffer.push(BufferedChunk {
+            gid,
+            record: record.clone(),
+            title_vec,
+            content_vec,
+            live: true,
+        });
+        if w.buffer.iter().filter(|b| b.live).count() >= self.config.seal_threshold {
+            self.seal_locked(&mut w);
+        }
+        gid
+    }
+
+    /// Durability restore path: re-ingest one document's chunks under
+    /// their original global-id base, so recovered [`SearchHit::chunk`]
+    /// ids — and every id-based tie-break — are byte-identical to the
+    /// pre-crash engine's. Documents must be restored in ascending
+    /// `first_gid` order, before any concurrent use of the index.
+    pub fn restore_document(&self, first_gid: u32, records: &[ChunkRecord]) {
+        {
+            let mut w = self.writer.lock().expect("writer lock");
+            assert!(
+                first_gid >= w.next_gid,
+                "restored global ids must be monotone ({} < {})",
+                first_gid,
+                w.next_gid
+            );
+            w.next_gid = first_gid;
+        }
+        for record in records {
+            self.add_chunk(record);
+        }
+    }
+
+    /// Durability restore path: advance the global-id allocator past
+    /// ids consumed by documents that were deleted before the
+    /// checkpoint (so post-recovery ids continue exactly where the
+    /// pre-crash engine would have).
+    pub fn restore_next_gid(&self, next_gid: u32) {
+        let mut w = self.writer.lock().expect("writer lock");
+        assert!(
+            next_gid >= w.next_gid,
+            "global-id allocator must not move backwards"
+        );
+        w.next_gid = next_gid;
+    }
+
+    /// The next global chunk id the writer will assign (manifest
+    /// bookkeeping for the durability layer).
+    pub fn next_gid(&self) -> u32 {
+        self.writer.lock().expect("writer lock").next_gid
+    }
+
+    /// Seal any buffered chunks and publish. Returns the epoch now
+    /// visible to queries.
+    pub fn commit(&self) -> u64 {
+        let mut w = self.writer.lock().expect("writer lock");
+        self.seal_locked(&mut w);
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Remove every chunk of `parent_doc`. Buffered chunks die in the
+    /// buffer (they were never visible); sealed chunks get tombstoned
+    /// in a copy-on-write overlay and the new state publishes
+    /// immediately. Returns the number of chunks removed.
+    pub fn remove_document(&self, parent_doc: &str) -> usize {
+        let mut w = self.writer.lock().expect("writer lock");
+        let Some(gids) = w.by_parent.remove(parent_doc) else {
+            return 0;
+        };
+        let mut removed = 0;
+        let mut sealed_removed = false;
+        for gid in gids {
+            if let Some(buf) = w.buffer.iter_mut().find(|b| b.gid == gid) {
+                if buf.live {
+                    buf.live = false;
+                    removed += 1;
+                }
+                continue;
+            }
+            let located = w
+                .segments
+                .iter()
+                .enumerate()
+                .find_map(|(i, e)| e.segment.local_of(gid).map(|local| (i, local)));
+            if let Some((i, local)) = located {
+                let entry = &mut w.segments[i];
+                let mut overlay = (*entry.overlay).clone();
+                if overlay.delete(&entry.segment, DocId(local)) {
+                    entry.overlay = Arc::new(overlay);
+                    removed += 1;
+                    sealed_removed = true;
+                }
+            }
+        }
+        if sealed_removed {
+            self.publish_locked(&mut w);
+        }
+        removed
+    }
+
+    // ------------------------------------------------------------------
+    // Query side: everything below runs against a pinned snapshot.
+
+    /// Corpus-wide statistics for `terms`, assembled from per-segment
+    /// integers minus overlay decrements. The integer sums equal what a
+    /// single index's incremental delete bookkeeping maintains (pinned
+    /// by the stats-drift property test in `uniask-index`), and the one
+    /// float division per field replicates the single index's
+    /// `avg_len()` branch exactly — so IDF and `avg_len` inputs are
+    /// bitwise identical to the single-structure engine's.
+    fn pinned_stats(snap: &Snapshot, terms: &[String]) -> PinnedStats {
+        let mut doc_count = 0usize;
+        let mut per_field: BTreeMap<String, (u64, u32)> = BTreeMap::new();
+        for entry in &snap.entries {
+            doc_count += entry.live();
+            for field in entry.segment.inverted.posting_fields() {
+                let (total, docs) = entry.segment.inverted.field_len_stats(field);
+                let removed_len = entry.overlay.removed_len.get(field).copied().unwrap_or(0);
+                let removed_docs = entry.overlay.removed_docs.get(field).copied().unwrap_or(0);
+                let slot = per_field.entry(field.to_string()).or_insert((0, 0));
+                slot.0 += total - removed_len;
+                slot.1 += docs - removed_docs;
+            }
+        }
+        let mut stats = PinnedStats::new(doc_count);
+        let mut unique: Vec<&str> = Vec::with_capacity(terms.len());
+        for term in terms {
+            if !unique.contains(&term.as_str()) {
+                unique.push(term.as_str());
+            }
+        }
+        for (field, (total, docs)) in &per_field {
+            let avg = if *docs == 0 {
+                0.0
+            } else {
+                *total as f64 / f64::from(*docs)
+            };
+            stats.set_avg_len(field, avg);
+            for term in &unique {
+                let df: u32 = snap
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        e.segment
+                            .inverted
+                            .term_df(field, term)
+                            .saturating_sub(e.overlay.df_dec(field, term))
+                    })
+                    .sum();
+                if df > 0 {
+                    stats.set_df(field, term, df as usize);
+                }
+            }
+        }
+        stats
+    }
+
+    /// The BM25 leg: per-segment pinned search, merged by
+    /// `(score desc, global id asc)` — the single-structure result
+    /// order — and truncated to `text_n`.
+    fn text_leg(&self, snap: &Snapshot, terms: &[String], config: &HybridConfig) -> Vec<u32> {
+        let stats = Self::pinned_stats(snap, terms);
+        let mut merged: Vec<(f64, u32)> = Vec::new();
+        for entry in &snap.entries {
+            let hits = self
+                .searcher
+                .search_terms_pinned(
+                    &entry.segment.inverted,
+                    terms,
+                    config.text_n,
+                    &config.profile,
+                    None,
+                    Some(&entry.overlay.tombstones),
+                    &stats,
+                )
+                .unwrap_or_default();
+            merged.extend(
+                hits.into_iter()
+                    .map(|h| (h.score, entry.segment.global_ids[h.doc.as_usize()])),
+            );
+        }
+        merged.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        merged.truncate(config.text_n);
+        merged.into_iter().map(|(_, gid)| gid).collect()
+    }
+
+    /// One vector-field leg: exhaustive per-segment search, tombstones
+    /// filtered per segment, merged to the global top-`vector_k`.
+    fn vector_leg(
+        &self,
+        snap: &Snapshot,
+        query_vector: &[f32],
+        title_field: bool,
+        config: &HybridConfig,
+    ) -> Vec<u32> {
+        let legs = snap.entries.iter().map(|entry| {
+            let flat = if title_field {
+                &entry.segment.title_flat
+            } else {
+                &entry.segment.content_flat
+            };
+            flat.search(query_vector, flat.len())
+                .into_iter()
+                .filter(|n| {
+                    entry
+                        .segment
+                        .local_of(n.id)
+                        .is_some_and(|local| !entry.overlay.tombstones.contains(DocId(local)))
+                })
+                .collect::<Vec<Neighbor>>()
+        });
+        merge_neighbors(legs, config.vector_k)
+            .into_iter()
+            .map(|n| n.id)
+            .collect()
+    }
+
+    fn search_snapshot(
+        &self,
+        snap: &Snapshot,
+        query: &str,
+        config: &HybridConfig,
+    ) -> Vec<SearchHit> {
+        let query_vector = if config.use_vector {
+            Some(self.embedder.embed(query))
+        } else {
+            None
+        };
+        let vector_active = config.use_vector
+            && query_vector
+                .as_deref()
+                .is_some_and(|qv| qv.iter().any(|&x| x != 0.0));
+        let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
+        if config.use_text {
+            let terms = self.template.analyze_query(query);
+            rankings.push(self.text_leg(snap, &terms, config));
+        }
+        if vector_active {
+            let qv = query_vector
+                .as_deref()
+                .expect("vector_active implies a query vector");
+            rankings.push(self.vector_leg(snap, qv, true, config));
+            rankings.push(self.vector_leg(snap, qv, false, config));
+        }
+        let fused = rrf_fuse(&rankings, config.rrf_c);
+        self.finalize_hits(snap, query, fused, config)
+    }
+
+    /// Truncate the fused ranking to `final_n`, apply semantic
+    /// reranking, and sort — the same per-candidate arithmetic and sort
+    /// as the single-structure engine.
+    fn finalize_hits(
+        &self,
+        snap: &Snapshot,
+        text_query: &str,
+        fused: Vec<RrfFused<u32>>,
+        config: &HybridConfig,
+    ) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = fused
+            .into_iter()
+            .take(config.final_n)
+            .map(|f| {
+                let (entry, local) = snap
+                    .locate(f.id)
+                    .expect("fused ids come from this snapshot");
+                let record = &entry.segment.records[local as usize];
+                let mut score = f.score;
+                if config.use_reranker {
+                    score += self.reranker.weight
+                        * self
+                            .reranker
+                            .score(text_query, &record.title, &record.content);
+                }
+                SearchHit {
+                    chunk: DocId(f.id),
+                    parent_doc: record.parent_doc.clone(),
+                    title: record.title.clone(),
+                    content: record.content.clone(),
+                    score,
+                }
+            })
+            .collect();
+        if config.use_reranker {
+            hits.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.chunk.cmp(&b.chunk))
+            });
+        }
+        hits
+    }
+
+    /// Hybrid search against the currently published epoch. The whole
+    /// query — cache probe, every leg, and the cache fill — runs
+    /// against one pinned snapshot, so a concurrent publish can neither
+    /// tear the results nor poison the cache: an entry stored under
+    /// epoch `e` is only ever served to queries that pinned epoch `e`.
+    pub fn search(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        let snap = Arc::clone(&self.published.read().expect("snapshot lock"));
+        if let Some(cache) = &self.cache {
+            let fingerprint = config.fingerprint();
+            if let Some(hits) = cache.get(query, fingerprint, snap.epoch) {
+                return hits;
+            }
+            let hits = self.search_snapshot(&snap, query, config);
+            cache.put(query, fingerprint, snap.epoch, &hits);
+            return hits;
+        }
+        self.search_snapshot(&snap, query, config)
+    }
+
+    /// Facet counts of `hits` over a filterable field: validated once
+    /// against the schema, then counted per segment and summed.
+    pub fn facets(&self, hits: &[SearchHit], field: &str) -> Result<FacetCounts, IndexError> {
+        // Field/attribute validation with an empty id set; the same
+        // checks a single index would run.
+        facet_counts(&self.template, &[], field)?;
+        let snap = Arc::clone(&self.published.read().expect("snapshot lock"));
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut by_segment: HashMap<u64, (usize, Vec<DocId>)> = HashMap::new();
+        for hit in hits {
+            if let Some((entry, local)) = snap.locate(hit.chunk.0) {
+                by_segment
+                    .entry(entry.segment.id)
+                    .or_insert_with(|| {
+                        let idx = snap
+                            .entries
+                            .iter()
+                            .position(|e| e.segment.id == entry.segment.id)
+                            .expect("entry comes from this snapshot");
+                        (idx, Vec::new())
+                    })
+                    .1
+                    .push(DocId(local));
+            }
+        }
+        for (_, (idx, locals)) in by_segment {
+            let seg_counts = facet_counts(&snap.entries[idx].segment.inverted, &locals, field)?;
+            for (value, count) in seg_counts.counts {
+                *counts.entry(value).or_insert(0) += count;
+            }
+        }
+        Ok(FacetCounts {
+            field: field.to_string(),
+            counts,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction.
+
+    /// Pick the segments the policy wants merged (indices into the
+    /// current list), or `None` when nothing qualifies.
+    fn select_merge(segments: &[SegmentEntry], policy: MergePolicy) -> Option<Vec<usize>> {
+        match policy {
+            MergePolicy::Never => None,
+            MergePolicy::Aggressive => {
+                if segments.len() >= 2 {
+                    Some((0..segments.len()).collect())
+                } else {
+                    None
+                }
+            }
+            MergePolicy::Tiered { fanout } => {
+                // tier(live) = floor(log_fanout(max(live, 1)))
+                let tier = |live: usize| {
+                    let mut t = 0usize;
+                    let mut s = live.max(1);
+                    while s >= fanout {
+                        s /= fanout;
+                        t += 1;
+                    }
+                    t
+                };
+                let mut by_tier: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for (i, e) in segments.iter().enumerate() {
+                    by_tier.entry(tier(e.live())).or_default().push(i);
+                }
+                by_tier
+                    .into_iter()
+                    .find(|(_, members)| members.len() >= fanout)
+                    .map(|(_, members)| members.into_iter().take(fanout).collect())
+            }
+        }
+    }
+
+    /// Run one compaction round: select segments under the policy,
+    /// build the merged segment *outside* the writer lock from pinned
+    /// `Arc`s, then install it — re-applying any deletes that landed on
+    /// the sources while the merge ran. Returns whether a merge
+    /// happened. Safe to call from a dedicated thread while ingestion
+    /// and queries proceed.
+    pub fn merge_once(&self) -> bool {
+        let (sources, merged_id) = {
+            let mut w = self.writer.lock().expect("writer lock");
+            let Some(picked) = Self::select_merge(&w.segments, self.config.merge_policy) else {
+                return false;
+            };
+            let sources: Vec<SegmentEntry> =
+                picked.into_iter().map(|i| w.segments[i].clone()).collect();
+            let id = w.next_segment_id;
+            w.next_segment_id += 1;
+            (sources, id)
+        };
+
+        // Build outside the lock. Global ids are unique but a tiered
+        // policy may pick non-adjacent segments, and a previous such
+        // merge leaves a segment whose (non-contiguous) gid range
+        // straddles its neighbours' — so sort the *items* by global id
+        // rather than assuming per-segment ranges concatenate in order.
+        let mut items: Vec<(u32, ChunkRecord, Vec<f32>, Vec<f32>)> = Vec::new();
+        for entry in &sources {
+            let seg = &entry.segment;
+            for local in 0..seg.records.len() {
+                if entry.overlay.tombstones.contains(DocId(local as u32)) {
+                    continue;
+                }
+                let (title_vec, content_vec) = seg.vectors[local].clone();
+                items.push((
+                    seg.global_ids[local],
+                    seg.records[local].clone(),
+                    title_vec,
+                    content_vec,
+                ));
+            }
+        }
+        items.sort_unstable_by_key(|item| item.0);
+        let merged = self.build_segment(merged_id, items);
+
+        // Install: find the sources by id (another merger may have
+        // consumed them — abort if so), replay deletes that arrived
+        // since pinning onto the merged overlay, splice, publish.
+        let mut w = self.writer.lock().expect("writer lock");
+        let mut positions = Vec::with_capacity(sources.len());
+        for src in &sources {
+            match w
+                .segments
+                .iter()
+                .position(|e| e.segment.id == src.segment.id)
+            {
+                Some(p) => positions.push(p),
+                None => return false,
+            }
+        }
+        let mut overlay = Overlay::default();
+        for (src, &pos) in sources.iter().zip(&positions) {
+            let current = &w.segments[pos];
+            for local in current.overlay.tombstones.iter() {
+                if !src.overlay.tombstones.contains(local) {
+                    let gid = src.segment.global_ids[local.as_usize()];
+                    if let Some(mlocal) = merged.local_of(gid) {
+                        overlay.delete(&merged, DocId(mlocal));
+                    }
+                }
+            }
+        }
+        let mut sorted_positions = positions;
+        sorted_positions.sort_unstable();
+        let insert_at = sorted_positions[0];
+        for &p in sorted_positions.iter().rev() {
+            w.segments.remove(p);
+        }
+        w.segments.insert(
+            insert_at,
+            SegmentEntry {
+                segment: Arc::new(merged),
+                overlay: Arc::new(overlay),
+            },
+        );
+        w.merges += 1;
+        self.publish_locked(&mut w);
+        true
+    }
+
+    /// Compact until the policy is satisfied (test/maintenance helper).
+    pub fn merge_to_quiescence(&self) -> u64 {
+        let mut rounds = 0;
+        while self.merge_once() {
+            rounds += 1;
+        }
+        rounds
+    }
+}
+
+/// Handle of a background merge thread; stops and joins on drop.
+pub struct MergeWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MergeWorker {
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MergeWorker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn a background compactor over `index`: runs
+/// [`SegmentedSearchIndex::merge_once`] in a loop, parking for
+/// `interval` whenever the policy finds nothing to merge.
+pub fn spawn_merger(
+    index: &Arc<SegmentedSearchIndex>,
+    interval: std::time::Duration,
+) -> MergeWorker {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread_index = Arc::clone(index);
+    let handle = std::thread::Builder::new()
+        .name("uniask-segment-merger".into())
+        .spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                if !thread_index.merge_once() {
+                    std::thread::park_timeout(interval);
+                }
+            }
+        })
+        .expect("spawn merge thread");
+    MergeWorker {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Single-structure oracle.
+
+/// The single-structure reference engine the segmented index is proven
+/// byte-identical against. Identical pipeline — BM25 text leg through
+/// the plain [`Searcher`], two *exhaustive* vector legs, RRF fusion,
+/// semantic reranking — over one mutable [`InvertedIndex`] and two
+/// [`FlatIndex`]es, with hard deletes. (The production
+/// [`crate::hybrid::SearchIndex`] uses HNSW for the vector legs; HNSW
+/// graphs are insertion-order dependent and therefore not
+/// segment-mergeable, so exhaustive flat search — which the paper
+/// reports as retrieval-equivalent — is the common ground both engines
+/// score on.)
+pub struct OracleIndex {
+    inverted: InvertedIndex,
+    title_flat: FlatIndex,
+    content_flat: FlatIndex,
+    embedder: Arc<dyn Embedder>,
+    reranker: SemanticReranker,
+    searcher: Searcher,
+    records: Vec<ChunkRecord>,
+    live: Vec<bool>,
+    by_parent: HashMap<String, Vec<u32>>,
+}
+
+impl OracleIndex {
+    /// Create an empty oracle over the UniAsk chunk schema.
+    pub fn new(embedder: Arc<dyn Embedder>, reranker: SemanticReranker) -> Self {
+        OracleIndex {
+            inverted: InvertedIndex::new(Schema::uniask_chunk_schema()),
+            title_flat: FlatIndex::new(),
+            content_flat: FlatIndex::new(),
+            embedder,
+            reranker,
+            searcher: Searcher::new(),
+            records: Vec::new(),
+            live: Vec::new(),
+            by_parent: HashMap::new(),
+        }
+    }
+
+    /// Add a chunk; returns its dense id (aligned with the segmented
+    /// engine's global ids when both replay the same interleaving).
+    pub fn add_chunk(&mut self, record: &ChunkRecord) -> u32 {
+        let doc = IndexDocument::new()
+            .with_text("title", record.title.clone())
+            .with_text("content", record.content.clone())
+            .with_text("summary", record.summary.clone())
+            .with_tags("domain", vec![record.domain.clone()])
+            .with_tags("topic", vec![record.topic.clone()])
+            .with_tags("section", vec![record.section.clone()])
+            .with_tags("keywords", record.keywords.clone());
+        let id = self
+            .inverted
+            .add(&doc)
+            .expect("chunk schema fields are always valid");
+        debug_assert_eq!(id.as_usize(), self.records.len(), "ids are dense");
+        let title_vec = self.embedder.embed(&record.title);
+        if title_vec.iter().any(|&x| x != 0.0) {
+            self.title_flat.add(id.0, title_vec);
+        }
+        let content_vec = self.embedder.embed(&record.content);
+        if content_vec.iter().any(|&x| x != 0.0) {
+            self.content_flat.add(id.0, content_vec);
+        }
+        self.records.push(record.clone());
+        self.live.push(true);
+        self.by_parent
+            .entry(record.parent_doc.clone())
+            .or_default()
+            .push(id.0);
+        id.0
+    }
+
+    /// Hard-delete every chunk of `parent_doc`; returns chunks removed.
+    pub fn remove_document(&mut self, parent_doc: &str) -> usize {
+        let Some(ids) = self.by_parent.remove(parent_doc) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for id in ids {
+            if self.live.get(id as usize).copied().unwrap_or(false) {
+                self.live[id as usize] = false;
+                let _ = self.inverted.delete(DocId(id));
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Live chunks.
+    pub fn len(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Whether no chunk was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn vector_leg(&self, flat: &FlatIndex, query_vector: &[f32], k: usize) -> Vec<u32> {
+        flat.search(query_vector, flat.len())
+            .into_iter()
+            .filter(|n| self.live[n.id as usize])
+            .take(k)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Hybrid search (the reference answer).
+    pub fn search(&self, query: &str, config: &HybridConfig) -> Vec<SearchHit> {
+        let query_vector = if config.use_vector {
+            Some(self.embedder.embed(query))
+        } else {
+            None
+        };
+        let vector_active = config.use_vector
+            && query_vector
+                .as_deref()
+                .is_some_and(|qv| qv.iter().any(|&x| x != 0.0));
+        let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(3);
+        if config.use_text {
+            let hits = self
+                .searcher
+                .search(&self.inverted, query, config.text_n, &config.profile, None)
+                .unwrap_or_default();
+            rankings.push(hits.into_iter().map(|h| h.doc.0).collect());
+        }
+        if vector_active {
+            let qv = query_vector
+                .as_deref()
+                .expect("vector_active implies a query vector");
+            rankings.push(self.vector_leg(&self.title_flat, qv, config.vector_k));
+            rankings.push(self.vector_leg(&self.content_flat, qv, config.vector_k));
+        }
+        let fused = rrf_fuse(&rankings, config.rrf_c);
+        let mut hits: Vec<SearchHit> = fused
+            .into_iter()
+            .take(config.final_n)
+            .map(|f| {
+                let record = &self.records[f.id as usize];
+                let mut score = f.score;
+                if config.use_reranker {
+                    score += self.reranker.weight
+                        * self.reranker.score(query, &record.title, &record.content);
+                }
+                SearchHit {
+                    chunk: DocId(f.id),
+                    parent_doc: record.parent_doc.clone(),
+                    title: record.title.clone(),
+                    content: record.content.clone(),
+                    score,
+                }
+            })
+            .collect();
+        if config.use_reranker {
+            hits.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.chunk.cmp(&b.chunk))
+            });
+        }
+        hits
+    }
+
+    /// Facet counts of `hits` over a filterable field.
+    pub fn facets(&self, hits: &[SearchHit], field: &str) -> Result<FacetCounts, IndexError> {
+        let ids: Vec<DocId> = hits.iter().map(|h| h.chunk).collect();
+        facet_counts(&self.inverted, &ids, field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniask_vector::embedding::SyntheticEmbedder;
+
+    fn chunk(parent: &str, title: &str, content: &str) -> ChunkRecord {
+        ChunkRecord {
+            parent_doc: parent.to_string(),
+            ordinal: 0,
+            title: title.to_string(),
+            content: content.to_string(),
+            summary: String::new(),
+            domain: "D".into(),
+            topic: "T".into(),
+            section: "S".into(),
+            keywords: vec![],
+        }
+    }
+
+    fn corpus() -> Vec<ChunkRecord> {
+        let topics = [
+            (
+                "bonifico",
+                "Il bonifico richiede il codice IBAN del beneficiario",
+            ),
+            ("mutuo", "Il mutuo prima casa prevede un tasso agevolato"),
+            ("carta", "La carta smarrita si blocca dal numero verde"),
+            ("conto", "Il conto corrente si apre online con lo SPID"),
+            ("prestito", "Il prestito personale copre spese impreviste"),
+        ];
+        (0..25)
+            .map(|i| {
+                let (term, body) = topics[i % topics.len()];
+                chunk(
+                    &format!("kb/{i}"),
+                    &format!("Scheda {term} {i}"),
+                    &format!("{body} (variante {i})"),
+                )
+            })
+            .collect()
+    }
+
+    fn engines(seal: usize) -> (SegmentedSearchIndex, OracleIndex) {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let seg = SegmentedSearchIndex::new(
+            Arc::clone(&embedder) as Arc<dyn Embedder>,
+            SemanticReranker::default(),
+            SegmentedConfig {
+                seal_threshold: seal,
+                merge_policy: MergePolicy::Never,
+            },
+        );
+        let oracle = OracleIndex::new(embedder, SemanticReranker::default());
+        (seg, oracle)
+    }
+
+    fn queries() -> Vec<&'static str> {
+        vec![
+            "bonifico iban",
+            "mutuo tasso agevolato",
+            "carta smarrita blocco",
+            "conto corrente online",
+            "prestito personale spese",
+            "bonifico mutuo carta conto",
+        ]
+    }
+
+    fn assert_same(seg: &SegmentedSearchIndex, oracle: &OracleIndex, cfg: &HybridConfig) {
+        for q in queries() {
+            let a = seg.search(q, cfg);
+            let b = oracle.search(q, cfg);
+            assert_eq!(a.len(), b.len(), "hit count for {q:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.chunk, y.chunk, "chunk id for {q:?}");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "score bits for {q:?} chunk {:?}",
+                    x.chunk
+                );
+                assert_eq!(x.parent_doc, y.parent_doc);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_segment_results_match_oracle_bitwise() {
+        let (seg, mut oracle) = engines(7); // several segments + partial tail
+        for record in corpus() {
+            seg.add_chunk(&record);
+            oracle.add_chunk(&record);
+        }
+        seg.commit();
+        assert!(seg.stats().segments >= 3, "corpus must span segments");
+        for cfg in [
+            HybridConfig::default(),
+            HybridConfig::text_only(),
+            HybridConfig::vector_only(),
+        ] {
+            assert_same(&seg, &oracle, &cfg);
+        }
+    }
+
+    #[test]
+    fn deletes_match_oracle_and_publish_immediately() {
+        let (seg, mut oracle) = engines(6);
+        for record in corpus() {
+            seg.add_chunk(&record);
+            oracle.add_chunk(&record);
+        }
+        seg.commit();
+        let epoch_before = seg.epoch();
+        for victim in ["kb/0", "kb/7", "kb/13", "kb/24"] {
+            assert_eq!(seg.remove_document(victim), oracle.remove_document(victim));
+        }
+        assert!(seg.epoch() > epoch_before, "deletes must publish");
+        assert_eq!(seg.len(), oracle.len());
+        assert_same(&seg, &oracle, &HybridConfig::default());
+    }
+
+    #[test]
+    fn buffered_chunks_are_invisible_until_commit() {
+        let (seg, _) = engines(1000);
+        seg.add_chunk(&chunk("kb/x", "Bonifico estero", "il bonifico estero"));
+        assert!(seg.search("bonifico", &HybridConfig::default()).is_empty());
+        assert_eq!(seg.stats().buffered, 1);
+        seg.commit();
+        assert_eq!(seg.stats().buffered, 0);
+        assert!(!seg.search("bonifico", &HybridConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn buffered_delete_never_becomes_visible() {
+        let (seg, mut oracle) = engines(1000);
+        for record in corpus().into_iter().take(10) {
+            seg.add_chunk(&record);
+            oracle.add_chunk(&record);
+        }
+        seg.remove_document("kb/3");
+        oracle.remove_document("kb/3");
+        seg.commit();
+        assert_eq!(seg.len(), oracle.len());
+        assert_same(&seg, &oracle, &HybridConfig::default());
+        let hits = seg.search("bonifico mutuo carta conto", &HybridConfig::default());
+        assert!(hits.iter().all(|h| h.parent_doc != "kb/3"));
+    }
+
+    #[test]
+    fn merge_preserves_results_and_reclaims_tombstones() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let seg = SegmentedSearchIndex::new(
+            Arc::clone(&embedder) as Arc<dyn Embedder>,
+            SemanticReranker::default(),
+            SegmentedConfig {
+                seal_threshold: 5,
+                merge_policy: MergePolicy::Aggressive,
+            },
+        );
+        let mut oracle = OracleIndex::new(embedder, SemanticReranker::default());
+        for record in corpus() {
+            seg.add_chunk(&record);
+            oracle.add_chunk(&record);
+        }
+        seg.commit();
+        seg.remove_document("kb/2");
+        oracle.remove_document("kb/2");
+        let before: Vec<Vec<SearchHit>> = queries()
+            .iter()
+            .map(|q| seg.search(q, &HybridConfig::default()))
+            .collect();
+        assert!(seg.merge_once(), "aggressive policy must merge");
+        let stats = seg.stats();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.tombstones, 0, "merge resolves tombstones");
+        assert_eq!(stats.merges, 1);
+        for (q, want) in queries().iter().zip(&before) {
+            assert_eq!(&seg.search(q, &HybridConfig::default()), want, "{q:?}");
+        }
+        assert_same(&seg, &oracle, &HybridConfig::default());
+    }
+
+    #[test]
+    fn tiered_policy_merges_small_tier_first() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let seg = SegmentedSearchIndex::new(
+            embedder,
+            SemanticReranker::default(),
+            SegmentedConfig {
+                seal_threshold: 2,
+                merge_policy: MergePolicy::Tiered { fanout: 4 },
+            },
+        );
+        // 8 two-chunk segments.
+        for record in corpus().into_iter().take(16) {
+            seg.add_chunk(&record);
+        }
+        seg.commit();
+        assert_eq!(seg.stats().segments, 8);
+        assert!(seg.merge_once());
+        // Four 2-chunk segments merged into one 8-chunk segment.
+        assert_eq!(seg.stats().segments, 5);
+        let rounds = seg.merge_to_quiescence();
+        assert!(rounds >= 1);
+        assert!(seg.stats().segments < 5);
+    }
+
+    #[test]
+    fn facets_match_oracle() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 3));
+        let seg = SegmentedSearchIndex::new(
+            Arc::clone(&embedder) as Arc<dyn Embedder>,
+            SemanticReranker::default(),
+            SegmentedConfig {
+                seal_threshold: 2,
+                merge_policy: MergePolicy::Never,
+            },
+        );
+        let mut oracle = OracleIndex::new(embedder, SemanticReranker::default());
+        for (i, domain) in ["Pagamenti", "Pagamenti", "Carte", "Conti", "Carte"]
+            .iter()
+            .enumerate()
+        {
+            let record = ChunkRecord {
+                parent_doc: format!("kb/{i}"),
+                ordinal: 0,
+                title: "Bonifico".into(),
+                content: "testo sul bonifico condiviso".into(),
+                summary: String::new(),
+                domain: domain.to_string(),
+                topic: "T".into(),
+                section: "S".into(),
+                keywords: vec![],
+            };
+            seg.add_chunk(&record);
+            oracle.add_chunk(&record);
+        }
+        seg.commit();
+        let hits = seg.search("bonifico", &HybridConfig::default());
+        let a = seg.facets(&hits, "domain").unwrap();
+        let b = oracle.facets(
+            &oracle.search("bonifico", &HybridConfig::default()),
+            "domain",
+        );
+        assert_eq!(a.counts, b.unwrap().counts);
+        assert!(seg.facets(&hits, "title").is_err(), "non-filterable field");
+    }
+
+    #[test]
+    fn cache_is_keyed_by_epoch() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let seg = SegmentedSearchIndex::new(
+            embedder,
+            SemanticReranker::default(),
+            SegmentedConfig {
+                seal_threshold: 4,
+                merge_policy: MergePolicy::Never,
+            },
+        )
+        .with_cache(CacheConfig::default());
+        for record in corpus().into_iter().take(8) {
+            seg.add_chunk(&record);
+        }
+        seg.commit();
+        let cfg = HybridConfig::default();
+        let first = seg.search("bonifico", &cfg);
+        let second = seg.search("bonifico", &cfg);
+        assert_eq!(first, second);
+        assert_eq!(seg.cache_stats().unwrap().hits, 1);
+        // A delete publishes a new epoch; the stale entry must not hit.
+        assert!(seg.remove_document("kb/0") > 0);
+        let third = seg.search("bonifico", &cfg);
+        assert!(third.iter().all(|h| h.parent_doc != "kb/0"));
+        assert_eq!(seg.cache_stats().unwrap().hits, 1, "no stale hit");
+    }
+
+    #[test]
+    fn background_merger_compacts_while_reads_proceed() {
+        let embedder = Arc::new(SyntheticEmbedder::new(64, 9));
+        let seg = Arc::new(SegmentedSearchIndex::new(
+            embedder,
+            SemanticReranker::default(),
+            SegmentedConfig {
+                seal_threshold: 3,
+                merge_policy: MergePolicy::Aggressive,
+            },
+        ));
+        for record in corpus().into_iter().take(12) {
+            seg.add_chunk(&record);
+        }
+        seg.commit();
+        let worker = spawn_merger(&seg, std::time::Duration::from_millis(1));
+        let want = seg.search("bonifico iban", &HybridConfig::default());
+        for _ in 0..50 {
+            assert_eq!(seg.search("bonifico iban", &HybridConfig::default()), want);
+        }
+        worker.stop();
+        assert_eq!(seg.stats().segments, 1);
+        assert_eq!(seg.search("bonifico iban", &HybridConfig::default()), want);
+    }
+
+    #[test]
+    fn empty_and_fully_deleted_states_are_safe() {
+        let (seg, _) = engines(4);
+        assert!(seg.search("bonifico", &HybridConfig::default()).is_empty());
+        assert!(seg.is_empty());
+        seg.add_chunk(&chunk("kb/a", "Bonifico", "testo bonifico"));
+        seg.commit();
+        assert_eq!(seg.remove_document("kb/a"), 1);
+        assert_eq!(seg.len(), 0);
+        assert!(seg.search("bonifico", &HybridConfig::default()).is_empty());
+        assert_eq!(seg.remove_document("kb/a"), 0, "double delete is a no-op");
+    }
+}

@@ -158,4 +158,39 @@ mod tests {
         idx.add(0, vec![1.0, 0.0]);
         idx.add(1, vec![1.0, 0.0, 0.0]);
     }
+
+    #[test]
+    fn merged_segment_search_equals_single_index() {
+        use crate::merge_neighbors;
+        // Deterministic pseudo-random vectors spread over 3 segments
+        // must merge to exactly the single-index ranking, similarities
+        // bitwise equal (dot is row-position independent).
+        let dim = 8;
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32 / u32::MAX as f32) - 0.25
+        };
+        let vectors: Vec<Vec<f32>> = (0..30)
+            .map(|_| (0..dim).map(|_| next()).collect())
+            .collect();
+        let query: Vec<f32> = (0..dim).map(|_| next()).collect();
+        let mut single = FlatIndex::new();
+        let mut segments = [FlatIndex::new(), FlatIndex::new(), FlatIndex::new()];
+        for (id, v) in vectors.iter().enumerate() {
+            single.add(id as u32, v.clone());
+            segments[id % 3].add(id as u32, v.clone());
+        }
+        for k in [1, 5, 17, 30] {
+            let expected = single.search(&query, k);
+            let merged = merge_neighbors(segments.iter().map(|s| s.search(&query, s.len())), k);
+            assert_eq!(expected.len(), merged.len());
+            for (a, b) in expected.iter().zip(&merged) {
+                assert_eq!(a.id, b.id, "k={k}");
+                assert_eq!(a.similarity.to_bits(), b.similarity.to_bits(), "k={k}");
+            }
+        }
+    }
 }

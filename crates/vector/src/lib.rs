@@ -31,6 +31,25 @@ pub struct Neighbor {
     pub similarity: f32,
 }
 
+/// Merge per-segment neighbour lists into one global top-`k`, ordered
+/// exactly as a single index's [`VectorIndex::search`] would order the
+/// union: similarity descending, id ascending on ties. Because each
+/// similarity is a pure function of `(query, stored vector)` —
+/// independent of which arena the row lives in — merging per-segment
+/// exhaustive results is bit-identical to searching one index holding
+/// every vector, provided ids are globally unique across segments.
+pub fn merge_neighbors(legs: impl IntoIterator<Item = Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = legs.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    all
+}
+
 /// Common interface of the flat and HNSW indexes.
 pub trait VectorIndex {
     /// Insert a vector under `id`. Vectors are expected L2-normalized

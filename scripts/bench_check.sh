@@ -21,11 +21,13 @@ echo "==> regenerating reports into $FRESH/"
 BENCH_JSON="$PWD/$FRESH/BENCH_topk.json" cargo bench -q -p uniask-bench --bench bm25_topk
 BENCH_JSON="$PWD/$FRESH/BENCH_vector.json" cargo bench -q -p uniask-bench --bench vector_search
 BENCH_JSON="$PWD/$FRESH/BENCH_serving.json" cargo bench -q -p uniask-bench --bench serving_saturation
+BENCH_JSON="$PWD/$FRESH/BENCH_segments.json" cargo bench -q -p uniask-bench --bench segment_ingest
 
 echo "==> comparing against committed baselines"
 cargo run -q --release -p uniask-bench --bin bench_check -- \
   BENCH_topk.json "$FRESH/BENCH_topk.json" \
   BENCH_vector.json "$FRESH/BENCH_vector.json" \
-  BENCH_serving.json "$FRESH/BENCH_serving.json"
+  BENCH_serving.json "$FRESH/BENCH_serving.json" \
+  BENCH_segments.json "$FRESH/BENCH_segments.json"
 
 echo "bench_check: OK"

@@ -325,3 +325,63 @@ fn corrupt_latest_checkpoint_falls_back_one_generation() {
     assert!(snapshot.recovery_generation > 0);
     assert!(snapshot.wal_replays >= 3);
 }
+
+#[test]
+fn recovered_index_never_revalidates_pre_crash_cache_generations() {
+    // Regression (UASX v3): before the fix, restoring a checkpoint
+    // reset the index's mutation generation to 0, so any query-cache
+    // entry keyed with a small pre-crash generation could be served
+    // again after recovery — stale hits resurrecting deleted documents.
+    // The generation now travels with the snapshot and recovery resumes
+    // strictly past it.
+    let vfs = Arc::new(MemVfs::new());
+    let pre_crash_generation = {
+        let (mut app, mut durability, _) = Durability::recover(
+            config(),
+            Arc::clone(&vfs) as Arc<dyn Vfs>,
+            durability_config(4),
+        )
+        .unwrap();
+        for message in script() {
+            durability.log_and_apply(&mut app, message).unwrap();
+        }
+        // Warm the cache (the default config enables it end-to-end)
+        // and prove it actually serves hits pre-crash.
+        let _ = footprints(&app);
+        let _ = footprints(&app);
+        let stats = app.index().cache_stats().expect("cache enabled");
+        assert!(stats.hits > 0, "the cache must be live before the crash");
+        durability.checkpoint(&mut app).unwrap();
+        app.index().generation()
+    };
+    assert!(pre_crash_generation > 0, "the script mutated the index");
+
+    let (mut app, mut durability, report) = Durability::recover(
+        config(),
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+        durability_config(4),
+    )
+    .unwrap();
+    assert_eq!(report.wal_records_replayed, 0, "checkpoint covered all");
+    assert!(
+        app.index().generation() > pre_crash_generation,
+        "recovered generation {} must strictly exceed every pre-crash \
+         generation {pre_crash_generation}, or old cache keys re-validate",
+        app.index().generation()
+    );
+    assert_eq!(footprints(&app), expected_footprints());
+
+    // A post-recovery mutation must be visible through the cached path:
+    // ask → delete the top document → ask again.
+    let question = &questions()[0];
+    let before = app.ask(question);
+    let victim = before.documents[0].parent_doc.clone();
+    durability
+        .log_and_apply(&mut app, IngestMessage::Delete(victim.clone()))
+        .unwrap();
+    let after = app.ask(question);
+    assert!(
+        after.documents.iter().all(|d| d.parent_doc != victim),
+        "stale cached hits served a deleted document after recovery"
+    );
+}
